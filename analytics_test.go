@@ -1,0 +1,136 @@
+package webfountain
+
+import (
+	"fmt"
+	"testing"
+)
+
+func analyticsPlatform(t *testing.T) *Platform {
+	t.Helper()
+	p := NewPlatform(PlatformConfig{Shards: 4})
+	var docs []Document
+	// A hub page everyone links to, camera pages, oil pages, and one
+	// near-duplicate pair.
+	docs = append(docs, Document{ID: "hub", URL: "http://site.example/hub", Date: "2004-01-05",
+		Text: "The portal lists camera reviews and oil coverage from Texas and Japan."})
+	camBodies := []string{
+		"Camera review one: the lens focused instantly while the zoom hunted in dim light across California.",
+		"Our second camera test measured battery stamina and flash recycling through a long California weekend.",
+		"Field notes: the viewfinder and the menu of this camera felt dated, though the zoom impressed testers.",
+		"Lab charts compare sensor noise, lens sharpness, and battery curves for the camera lineup this spring.",
+	}
+	for i, body := range camBodies {
+		docs = append(docs, Document{
+			ID: fmt.Sprintf("cam%d", i), URL: "http://site.example/cam", Date: fmt.Sprintf("2004-%02d-10", 2+i),
+			Links: []string{"hub"},
+			Text:  body,
+		})
+	}
+	oilBodies := []string{
+		"Crude output from Saudi Arabia climbed as pipeline capacity expanded near the coast.",
+		"Refinery margins in Kuwait narrowed while tanker schedules slipped a week.",
+		"An exploration consortium mapped new oil fields under deep water leases.",
+		"Pipeline maintenance idled two pumping stations and trimmed weekly crude flows.",
+	}
+	for i, body := range oilBodies {
+		docs = append(docs, Document{
+			ID: fmt.Sprintf("oil%d", i), URL: "http://site.example/oil", Date: fmt.Sprintf("2004-%02d-12", 6+i),
+			Links: []string{"hub"},
+			Text:  body,
+		})
+	}
+	dupText := "This exact boilerplate press release repeats verbatim across the wire services without any change at all whatsoever today."
+	docs = append(docs,
+		Document{ID: "dupA", URL: "http://wire.example/a", Date: "2004-03-01", Text: dupText},
+		Document{ID: "dupB", URL: "http://wire.example/b", Date: "2004-03-02", Text: dupText},
+	)
+	if _, err := p.Ingest(docs); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestRunAnalyticsReport(t *testing.T) {
+	p := analyticsPlatform(t)
+	rep, err := p.RunAnalytics(AnalyticsConfig{TopTerms: 5, Clusters: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Stats.Documents != 11 || rep.Stats.Vocabulary == 0 || rep.Stats.AvgDocTokens <= 0 {
+		t.Errorf("stats = %+v", rep.Stats)
+	}
+	if len(rep.Stats.TopTerms) != 5 {
+		t.Errorf("top terms = %+v", rep.Stats.TopTerms)
+	}
+	// The duplicate press release pair is found.
+	if len(rep.DuplicateClusters) != 1 || len(rep.DuplicateClusters[0]) != 2 {
+		t.Errorf("duplicates = %v", rep.DuplicateClusters)
+	}
+	// The hub is the top-ranked page.
+	if len(rep.TopRanked) == 0 || rep.TopRanked[0].ID != "hub" {
+		t.Errorf("top ranked = %+v", rep.TopRanked)
+	}
+	// Geographic regions detected.
+	if rep.Regions["north-america"] == 0 {
+		t.Errorf("regions = %v", rep.Regions)
+	}
+	// Two clusters with sizes summing to the corpus.
+	total := 0
+	for _, c := range rep.Clusters {
+		total += c.Size
+	}
+	if len(rep.Clusters) != 2 || total != 11 {
+		t.Errorf("clusters = %+v", rep.Clusters)
+	}
+}
+
+func TestSentimentTrend(t *testing.T) {
+	p := NewPlatform(PlatformConfig{Shards: 2})
+	var docs []Document
+	// Early months negative, late months positive.
+	for i := 0; i < 3; i++ {
+		docs = append(docs, Document{
+			ID: fmt.Sprintf("early%d", i), Date: fmt.Sprintf("2004-0%d-10", i+1),
+			Text: "The Aurora sounded bland. The Aurora disappointed critics.",
+		})
+	}
+	for i := 0; i < 3; i++ {
+		docs = append(docs, Document{
+			ID: fmt.Sprintf("late%d", i), Date: fmt.Sprintf("2004-1%d-10", i%2),
+			Text: "The Aurora is gorgeous. Critics praised Aurora.",
+		})
+	}
+	if _, err := p.Ingest(docs); err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewSentimentMiner(MinerConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run(p); err != nil {
+		t.Fatal(err)
+	}
+	series, momentum, ok := p.SentimentTrend("Aurora")
+	if !ok {
+		t.Fatalf("no trend data (series=%v)", series)
+	}
+	if len(series) < 2 {
+		t.Fatalf("series = %+v", series)
+	}
+	if momentum <= 0 {
+		t.Errorf("momentum = %v, want positive (reputation improved)", momentum)
+	}
+	// Chronological order.
+	for i := 1; i < len(series); i++ {
+		if series[i-1].Month >= series[i].Month {
+			t.Errorf("series out of order: %+v", series)
+		}
+	}
+}
+
+func TestSentimentTrendNoData(t *testing.T) {
+	p := NewPlatform(PlatformConfig{})
+	if _, _, ok := p.SentimentTrend("nothing"); ok {
+		t.Error("empty platform should report no trend")
+	}
+}

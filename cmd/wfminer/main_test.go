@@ -1,0 +1,27 @@
+package main
+
+import (
+	"testing"
+)
+
+func TestPickCorpusKnownNames(t *testing.T) {
+	for _, name := range []string{"camera", "music", "petroleum", "pharma", "news", "bboard"} {
+		gen, subjects, err := pickCorpus(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(subjects) == 0 {
+			t.Errorf("%s: no subjects", name)
+		}
+		docs := gen(1, 3)
+		if len(docs) != 3 {
+			t.Errorf("%s: generated %d docs", name, len(docs))
+		}
+	}
+}
+
+func TestPickCorpusUnknown(t *testing.T) {
+	if _, _, err := pickCorpus("nope"); err == nil {
+		t.Error("unknown corpus should fail")
+	}
+}

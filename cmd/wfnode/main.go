@@ -1,0 +1,201 @@
+// Command wfnode runs one WebFountain node: it loads a corpus, mines it,
+// and serves the store, index and sentiment services over the Vinci
+// protocol so remote application components can use the platform — the
+// paper's "collection of Web service APIs".
+//
+// Server:
+//
+//	wfnode -listen :9410 [-corpus camera] [-docs 100] [-seed 1]
+//
+// Client (one-shot operations against a running node):
+//
+//	wfnode -connect host:9410 -get <docID>
+//	wfnode -connect host:9410 -search "battery life"
+//	wfnode -connect host:9410 -sentiment NR70
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"strings"
+	"time"
+
+	"webfountain/internal/corpus"
+	"webfountain/internal/index"
+	"webfountain/internal/ingest"
+	"webfountain/internal/sentiment"
+	"webfountain/internal/services"
+	"webfountain/internal/store"
+	"webfountain/internal/tokenize"
+	"webfountain/internal/vinci"
+
+	"webfountain/internal/ne"
+	"webfountain/internal/pos"
+)
+
+func main() {
+	listen := flag.String("listen", "", "serve mode: listen address (e.g. :9410)")
+	connect := flag.String("connect", "", "client mode: node address to connect to")
+	corpusName := flag.String("corpus", "camera", "corpus to load in serve mode")
+	docs := flag.Int("docs", 100, "documents to load in serve mode")
+	seed := flag.Int64("seed", 1, "corpus seed")
+	get := flag.String("get", "", "client: fetch an entity by ID")
+	search := flag.String("search", "", "client: search indexed terms (space-separated, AND)")
+	sentimentQ := flag.String("sentiment", "", "client: query a subject's sentiment")
+	flag.Parse()
+
+	switch {
+	case *listen != "":
+		if err := serve(*listen, *corpusName, *docs, *seed); err != nil {
+			log.Fatal(err)
+		}
+	case *connect != "":
+		if err := client(*connect, *get, *search, *sentimentQ); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	default:
+		fmt.Fprintln(os.Stderr, "need -listen (serve) or -connect (client); see -h")
+		os.Exit(2)
+	}
+}
+
+// serve loads and mines a corpus, then serves the Vinci services.
+func serve(addr, corpusName string, docs int, seed int64) error {
+	var generated []corpus.Document
+	switch corpusName {
+	case "camera":
+		generated = corpus.DigitalCameraReviews(seed, docs)
+	case "music":
+		generated = corpus.MusicReviews(seed, docs)
+	case "petroleum":
+		generated = corpus.PetroleumWeb(seed, docs)
+	case "pharma":
+		generated = corpus.PharmaWeb(seed, docs)
+	case "news":
+		generated = corpus.PetroleumNews(seed, docs)
+	default:
+		return fmt.Errorf("unknown corpus %q", corpusName)
+	}
+
+	st := store.New(16)
+	ing := ingest.New(st, 4)
+	stats, err := ing.Run(ingest.FromCorpus(corpusName, generated))
+	if err != nil {
+		return err
+	}
+	log.Printf("ingested %d documents (%d bytes)", stats.Documents, stats.Bytes)
+
+	// Index every document and mine sentiment for the query service.
+	ix := index.New()
+	sidx := index.NewSentimentIndex()
+	tk := tokenize.New()
+	tagger := pos.NewTagger()
+	an := sentiment.New(nil, nil)
+	nesp := ne.New()
+	err = st.ForEach(func(e *store.Entity) error {
+		toks := tk.Tokenize(e.Text)
+		words := make([]string, len(toks))
+		for i, t := range toks {
+			words[i] = t.Text
+		}
+		ix.Add(e.ID, words)
+		for _, s := range tk.Sentences(e.Text) {
+			entities := nesp.SpotTokens(s.Tokens)
+			if len(entities) == 0 {
+				continue
+			}
+			assignments := an.Analyze(tagger.TagSentence(s))
+			for _, ent := range entities {
+				for _, h := range sentiment.ForSpan(assignments, ent.Start, ent.End) {
+					sidx.Add(index.SentimentEntry{
+						DocID: e.ID, Sentence: s.Index, Subject: ent.Text,
+						Polarity: int(h.Polarity), Snippet: s.Text(),
+					})
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	log.Printf("indexed %d documents, %d sentiment entries", ix.NumDocs(), sidx.Len())
+
+	reg := vinci.NewRegistry()
+	services.RegisterStore(reg, st)
+	services.RegisterIndex(reg, ix)
+	services.RegisterSentiment(reg, sidx)
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	log.Printf("wfnode serving %v on %s", reg.Services(), ln.Addr())
+	return vinci.NewServer(reg).Serve(ln)
+}
+
+// client performs one-shot operations against a running node.
+func client(addr, get, search, sentimentQ string) error {
+	conn, err := vinci.Dial(addr, 10*time.Second)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+
+	did := false
+	if get != "" {
+		did = true
+		e, err := services.StoreClient{C: conn}.Get(get)
+		if err != nil {
+			return err
+		}
+		data, err := e.MarshalIndent()
+		if err != nil {
+			return err
+		}
+		fmt.Println(string(data))
+	}
+	if search != "" {
+		did = true
+		ids, err := services.IndexClient{C: conn}.Search("all", strings.Fields(search)...)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%d documents match %q:\n", len(ids), search)
+		for _, id := range ids {
+			fmt.Println(" ", id)
+		}
+	}
+	if sentimentQ != "" {
+		did = true
+		sc := services.SentimentClient{C: conn}
+		pos, neg, err := sc.Counts(sentimentQ)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%q: %d positive, %d negative\n", sentimentQ, pos, neg)
+		entries, err := sc.Query(sentimentQ)
+		if err != nil {
+			return err
+		}
+		for i, e := range entries {
+			if i >= 10 {
+				fmt.Printf("  ... %d more\n", len(entries)-10)
+				break
+			}
+			pol := "+"
+			if e.Polarity < 0 {
+				pol = "-"
+			}
+			fmt.Printf("  [%s] %s s%d: %q\n", pol, e.DocID, e.Sentence, e.Snippet)
+		}
+	}
+	if !did {
+		return fmt.Errorf("client mode needs one of -get, -search, -sentiment")
+	}
+	return nil
+}

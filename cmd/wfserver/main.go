@@ -1,0 +1,188 @@
+// Command wfserver hosts the sentiment mining results as a Web service —
+// the equivalent of the WebFountain application server behind Figures 4
+// and 5 of the paper. It mines a generated corpus at startup and serves:
+//
+//	GET /                      — HTML overview: sentiment per subject
+//	GET /subject?name=X        — HTML listing of sentiment-bearing
+//	                             sentences for a subject (Figure 5)
+//	GET /api/subjects          — JSON subject list with counts
+//	GET /api/sentiment?name=X  — JSON sentiment entries for a subject
+//
+// Usage:
+//
+//	wfserver [-addr :8085] [-corpus pharma] [-docs 120] [-seed 7]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"html/template"
+	"log"
+	"net/http"
+	"os"
+
+	"webfountain"
+	"webfountain/internal/corpus"
+)
+
+var overviewTmpl = template.Must(template.New("overview").Parse(`<!DOCTYPE html>
+<html><head><title>WebFountain Sentiment Miner</title>
+<style>
+ body { font-family: sans-serif; margin: 2em; }
+ table { border-collapse: collapse; }
+ td, th { border: 1px solid #999; padding: 4px 10px; text-align: left; }
+ .bar { background: #4a4; display: inline-block; height: 12px; }
+ .neg { background: #a44; }
+</style></head><body>
+<h1>Sentiment mining results</h1>
+<p>{{.Docs}} documents mined; {{.Facts}} sentiment facts extracted.</p>
+<table>
+<tr><th>subject</th><th>positive</th><th>negative</th><th>positive share</th></tr>
+{{range .Rows}}
+<tr><td><a href="/subject?name={{.Subject}}">{{.Subject}}</a></td>
+<td>{{.Pos}}</td><td>{{.Neg}}</td>
+<td><span class="bar" style="width:{{.Share}}px"></span> {{.Share}}%</td></tr>
+{{end}}
+</table></body></html>`))
+
+var subjectTmpl = template.Must(template.New("subject").Parse(`<!DOCTYPE html>
+<html><head><title>{{.Name}} — sentiment</title>
+<style>
+ body { font-family: sans-serif; margin: 2em; }
+ li { margin: 4px 0; }
+ .plus { color: #070; } .minus { color: #900; }
+</style></head><body>
+<h1>Sentiment-bearing sentences for “{{.Name}}”</h1>
+<p><a href="/">back</a> — {{.Pos}} positive, {{.Neg}} negative</p>
+<ul>
+{{range .Entries}}
+<li class="{{if eq .Polarity 1}}plus{{else}}minus{{end}}">
+[{{if eq .Polarity 1}}+{{else}}−{{end}}] <b>{{.DocID}}</b> s{{.Sentence}}: {{.Snippet}}</li>
+{{end}}
+</ul></body></html>`))
+
+func main() {
+	addr := flag.String("addr", ":8085", "listen address")
+	corpusName := flag.String("corpus", "pharma", "corpus: camera, music, petroleum, pharma, news")
+	docs := flag.Int("docs", 120, "documents to mine at startup")
+	seed := flag.Int64("seed", 7, "corpus seed")
+	flag.Parse()
+
+	miner, platform, err := mine(*corpusName, *docs, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	mux := newMux(miner, platform)
+
+	log.Printf("serving sentiment for %d documents on %s", platform.NumEntities(), *addr)
+	log.Fatal(http.ListenAndServe(*addr, mux))
+}
+
+// newMux wires the HTTP handlers over a mined platform.
+func newMux(miner *webfountain.SentimentMiner, platform *webfountain.Platform) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		type row struct {
+			Subject  string
+			Pos, Neg int
+			Share    int
+		}
+		var rows []row
+		facts := 0
+		for _, s := range miner.Subjects() {
+			p, n := miner.Counts(s)
+			facts += p + n
+			share := 0
+			if p+n > 0 {
+				share = 100 * p / (p + n)
+			}
+			rows = append(rows, row{Subject: s, Pos: p, Neg: n, Share: share})
+		}
+		data := struct {
+			Docs, Facts int
+			Rows        []row
+		}{platform.NumEntities(), facts, rows}
+		if err := overviewTmpl.Execute(w, data); err != nil {
+			log.Print(err)
+		}
+	})
+	mux.HandleFunc("/subject", func(w http.ResponseWriter, r *http.Request) {
+		name := r.URL.Query().Get("name")
+		if name == "" {
+			http.Error(w, "missing name parameter", http.StatusBadRequest)
+			return
+		}
+		p, n := miner.Counts(name)
+		data := struct {
+			Name     string
+			Pos, Neg int
+			Entries  []webfountain.SubjectSentiment
+		}{name, p, n, miner.Query(name)}
+		if err := subjectTmpl.Execute(w, data); err != nil {
+			log.Print(err)
+		}
+	})
+	mux.HandleFunc("/api/subjects", func(w http.ResponseWriter, r *http.Request) {
+		type row struct {
+			Subject            string `json:"subject"`
+			Positive, Negative int
+		}
+		var rows []row
+		for _, s := range miner.Subjects() {
+			p, n := miner.Counts(s)
+			rows = append(rows, row{s, p, n})
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(rows)
+	})
+	mux.HandleFunc("/api/sentiment", func(w http.ResponseWriter, r *http.Request) {
+		name := r.URL.Query().Get("name")
+		if name == "" {
+			http.Error(w, `{"error":"missing name parameter"}`, http.StatusBadRequest)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(miner.Query(name))
+	})
+	return mux
+}
+
+// mine generates, ingests and mines the corpus, returning the loaded miner.
+func mine(corpusName string, docs int, seed int64) (*webfountain.SentimentMiner, *webfountain.Platform, error) {
+	var generated []corpus.Document
+	switch corpusName {
+	case "camera":
+		generated = corpus.DigitalCameraReviews(seed, docs)
+	case "music":
+		generated = corpus.MusicReviews(seed, docs)
+	case "petroleum":
+		generated = corpus.PetroleumWeb(seed, docs)
+	case "pharma":
+		generated = corpus.PharmaWeb(seed, docs)
+	case "news":
+		generated = corpus.PetroleumNews(seed, docs)
+	default:
+		return nil, nil, fmt.Errorf("unknown corpus %q", corpusName)
+	}
+	platform := webfountain.NewPlatform(webfountain.PlatformConfig{})
+	pub := make([]webfountain.Document, len(generated))
+	for i := range generated {
+		pub[i] = webfountain.Document{
+			ID: generated[i].ID, Source: generated[i].Source,
+			Title: generated[i].Title, Text: generated[i].Text(),
+		}
+	}
+	if _, err := platform.Ingest(pub); err != nil {
+		return nil, nil, err
+	}
+	miner, err := webfountain.NewSentimentMiner(webfountain.MinerConfig{})
+	if err != nil {
+		return nil, nil, err
+	}
+	if _, err := miner.Run(platform); err != nil {
+		return nil, nil, err
+	}
+	return miner, platform, nil
+}

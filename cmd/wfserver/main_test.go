@@ -1,0 +1,110 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"webfountain"
+)
+
+func testServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	miner, platform, err := mine("pharma", 25, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(newMux(miner, platform))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestMineRejectsUnknownCorpus(t *testing.T) {
+	if _, _, err := mine("bogus", 5, 1); err == nil {
+		t.Error("unknown corpus should fail")
+	}
+}
+
+func TestOverviewPage(t *testing.T) {
+	srv := testServer(t)
+	status, body := get(t, srv.URL+"/")
+	if status != 200 {
+		t.Fatalf("status = %d", status)
+	}
+	for _, want := range []string{"Sentiment mining results", "documents mined", "/subject?name="} {
+		if !strings.Contains(body, want) {
+			t.Errorf("overview missing %q", want)
+		}
+	}
+}
+
+func TestSubjectPage(t *testing.T) {
+	srv := testServer(t)
+	status, body := get(t, srv.URL+"/subject?name=medicure")
+	if status != 200 {
+		t.Fatalf("status = %d", status)
+	}
+	if !strings.Contains(body, "medicure") || !strings.Contains(body, "positive") {
+		t.Errorf("subject page incomplete: %.200s", body)
+	}
+	if status, _ := get(t, srv.URL+"/subject"); status != 400 {
+		t.Errorf("missing name should be 400, got %d", status)
+	}
+}
+
+func TestAPISubjects(t *testing.T) {
+	srv := testServer(t)
+	status, body := get(t, srv.URL+"/api/subjects")
+	if status != 200 {
+		t.Fatalf("status = %d", status)
+	}
+	var rows []struct {
+		Subject            string
+		Positive, Negative int
+	}
+	if err := json.Unmarshal([]byte(body), &rows); err != nil {
+		t.Fatalf("bad json: %v (%.100s)", err, body)
+	}
+	if len(rows) == 0 {
+		t.Fatal("no subjects")
+	}
+	total := 0
+	for _, r := range rows {
+		total += r.Positive + r.Negative
+	}
+	if total == 0 {
+		t.Error("no sentiment counted")
+	}
+}
+
+func TestAPISentiment(t *testing.T) {
+	srv := testServer(t)
+	status, body := get(t, srv.URL+"/api/sentiment?name=medicure")
+	if status != 200 {
+		t.Fatalf("status = %d", status)
+	}
+	var entries []webfountain.SubjectSentiment
+	if err := json.Unmarshal([]byte(body), &entries); err != nil {
+		t.Fatalf("bad json: %v", err)
+	}
+	if status, _ := get(t, srv.URL+"/api/sentiment"); status != 400 {
+		t.Errorf("missing name should be 400, got %d", status)
+	}
+}

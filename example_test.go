@@ -1,0 +1,68 @@
+package webfountain_test
+
+import (
+	"fmt"
+
+	"webfountain"
+)
+
+// The miner's ad-hoc path: named entities become subjects and each gets
+// the sentiment expressed specifically about it.
+func ExampleSentimentMiner_AnalyzeText() {
+	miner, _ := webfountain.NewSentimentMiner(webfountain.MinerConfig{})
+	text := "The NR70 takes excellent pictures. The CLIE disappointed every reviewer."
+	for _, f := range miner.AnalyzeText(text) {
+		fmt.Printf("(%s, %s)\n", f.Subject, f.Polarity)
+	}
+	// Output:
+	// (NR70, +)
+	// (CLIE, -)
+}
+
+// The predefined-subjects mode resolves the paper's flagship example: the
+// unlike-phrase receives the opposite sentiment of the subject.
+func ExampleSentimentMiner_AnalyzeText_contrast() {
+	miner, _ := webfountain.NewSentimentMiner(webfountain.MinerConfig{
+		Subjects: []webfountain.Subject{
+			{Canonical: "NR70"},
+			{Canonical: "T series CLIEs"},
+		},
+	})
+	text := "Unlike the T series CLIEs, the NR70 does not require an add-on adapter."
+	for _, f := range miner.AnalyzeText(text) {
+		fmt.Printf("(%s, %s)\n", f.Subject, f.Polarity)
+	}
+	// Output:
+	// (t series clies, -)
+	// (nr70, +)
+}
+
+// Platform ingestion with index-backed search.
+func ExamplePlatform_SearchPhrase() {
+	p := webfountain.NewPlatform(webfountain.PlatformConfig{})
+	p.Ingest([]webfountain.Document{
+		{ID: "r1", Text: "The battery life is excellent."},
+		{ID: "r2", Text: "The battery died overnight."},
+	})
+	fmt.Println(p.SearchPhrase("battery", "life"))
+	// Output: [r1]
+}
+
+// Feature discovery with the paper's bBNP-L pipeline.
+func ExampleExtractFeatures() {
+	onTopic := []string{
+		"The battery life is excellent. The zoom works well.",
+		"The battery life disappointed me. The zoom is superb.",
+		"The zoom shines. The battery life lasts all day.",
+	}
+	offTopic := []string{
+		"The weather was nice today.",
+		"The meeting ran long and the agenda was packed.",
+	}
+	for _, f := range webfountain.ExtractFeatures(onTopic, offTopic, webfountain.FeatureConfig{Confidence: 0.95}) {
+		fmt.Println(f.Term)
+	}
+	// Output:
+	// battery life
+	// zoom
+}

@@ -1,0 +1,74 @@
+// Ad-hoc querying, the paper's second operational mode: no subjects are
+// known up front, so the named entity spotter discovers them, the whole
+// corpus is analyzed offline, and the sentiment index answers arbitrary
+// subject queries in real time.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"webfountain"
+	"webfountain/internal/corpus"
+)
+
+func main() {
+	// Offline phase: ingest a mixed general-web corpus and run the miner
+	// with NO predefined subjects — named entities become the subjects.
+	var generated []corpus.Document
+	generated = append(generated, corpus.PetroleumWeb(21, 120)...)
+	generated = append(generated, corpus.PharmaWeb(22, 120)...)
+	generated = append(generated, corpus.PetroleumNews(23, 60)...)
+
+	platform := webfountain.NewPlatform(webfountain.PlatformConfig{})
+	docs := make([]webfountain.Document, len(generated))
+	for i := range generated {
+		docs[i] = webfountain.Document{
+			ID: generated[i].ID, Source: generated[i].Source,
+			Title: generated[i].Title, Text: generated[i].Text(),
+		}
+	}
+	if _, err := platform.Ingest(docs); err != nil {
+		log.Fatal(err)
+	}
+
+	miner, err := webfountain.NewSentimentMiner(webfountain.MinerConfig{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	start := time.Now()
+	facts, err := miner.Run(platform)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("offline analysis: %d documents, %d facts, %d subjects discovered in %v\n\n",
+		platform.NumEntities(), len(facts), len(miner.Subjects()), time.Since(start).Round(time.Millisecond))
+
+	// Query phase: arbitrary subjects, answered from the index.
+	for _, q := range []string{"PetroNova", "MediCure", "GulfStar"} {
+		qStart := time.Now()
+		pos, neg := miner.Counts(q)
+		entries := miner.Query(q)
+		fmt.Printf("query %q -> %d+ %d- in %v\n", q, pos, neg, time.Since(qStart).Round(time.Microsecond))
+		for i, e := range entries {
+			if i >= 2 {
+				fmt.Printf("  ... %d more\n", len(entries)-2)
+				break
+			}
+			fmt.Printf("  [%s] %s: %q\n", e.Polarity, e.DocID, e.Snippet)
+		}
+		fmt.Println()
+	}
+
+	// The index also supports browsing all discovered subjects.
+	fmt.Println("discovered subjects with the most coverage:")
+	shown := 0
+	for _, s := range miner.Subjects() {
+		p, n := miner.Counts(s)
+		if p+n >= 20 && shown < 8 {
+			fmt.Printf("  %-24s %3d+ %3d-\n", s, p, n)
+			shown++
+		}
+	}
+}

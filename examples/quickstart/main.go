@@ -1,0 +1,53 @@
+// Quickstart: analyze a handful of sentences for subject-level sentiment
+// with the default resources — the paper's introductory NR70 example.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"webfountain"
+)
+
+func main() {
+	// The three sentences from the paper's introduction, which document-
+	// level classifiers get wrong: each subject reference carries its own
+	// sentiment.
+	text := "As with every Sony PDA before it, the NR70 series is equipped with memory expansion. " +
+		"Unlike the more recent T series CLIEs, the NR70 does not require an add-on adapter for MP3 playback, which is certainly a welcome change. " +
+		"The memory support in the NR70 is superb, although there is still a lack of non-memory Memory Sticks."
+
+	miner, err := webfountain.NewSentimentMiner(webfountain.MinerConfig{
+		Subjects: []webfountain.Subject{
+			{Canonical: "Sony PDA"},
+			{Canonical: "NR70", Terms: []string{"NR70", "NR70 series"}},
+			{Canonical: "T series CLIEs", Terms: []string{"T series CLIEs", "T series"}},
+			// Feature subjects for the ad-hoc sentences below.
+			{Canonical: "picture quality"},
+			{Canonical: "colors"},
+			{Canonical: "company"},
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("input:")
+	fmt.Println(" ", text)
+	fmt.Println("\nper-subject sentiment:")
+	for _, f := range miner.AnalyzeText(text) {
+		fmt.Printf("  sentence %d: (%s, %s)   via %s\n", f.Sentence, f.Subject, f.Polarity, f.Pattern)
+	}
+
+	// Ad-hoc single sentences work too.
+	fmt.Println("\nad-hoc sentences:")
+	for _, s := range []string{
+		"I am impressed by the picture quality.",
+		"The colors are vibrant.",
+		"The company offers mediocre services.",
+	} {
+		for _, f := range miner.AnalyzeText(s) {
+			fmt.Printf("  %-45q -> (%s, %s)\n", s, f.Subject, f.Polarity)
+		}
+	}
+}

@@ -1,0 +1,58 @@
+package webfountain
+
+import (
+	"webfountain/internal/feature"
+)
+
+// FeatureTerm is a discovered topic-feature term with its likelihood-ratio
+// score.
+type FeatureTerm struct {
+	// Term is the feature term (lower-cased).
+	Term string
+	// Score is Dunning's -2 log lambda statistic.
+	Score float64
+	// DocsOnTopic and DocsOffTopic are document frequencies in the two
+	// collections.
+	DocsOnTopic, DocsOffTopic int
+}
+
+// FeatureConfig tunes feature extraction.
+type FeatureConfig struct {
+	// Confidence is the chi-square acceptance level: one of 0.90, 0.95,
+	// 0.99 or 0.999 (default 0.999, the paper's strict setting).
+	Confidence float64
+	// AllBaseNounPhrases switches from the paper's bBNP heuristic
+	// (definite base noun phrases at sentence starts) to every base noun
+	// phrase — the noisiest ablation baseline.
+	AllBaseNounPhrases bool
+	// DefiniteAnywhere selects the intermediate dBNP heuristic: definite
+	// base noun phrases anywhere in the sentence. Ignored when
+	// AllBaseNounPhrases is set.
+	DefiniteAnywhere bool
+}
+
+// ExtractFeatures runs the paper's bBNP-L pipeline: candidate feature
+// terms are definite base noun phrases at the beginning of sentences
+// followed by a verb phrase, selected by Dunning's likelihood-ratio test
+// against an off-topic collection. onTopic is D+ (documents about the
+// topic), offTopic is D-.
+func ExtractFeatures(onTopic, offTopic []string, cfg FeatureConfig) []FeatureTerm {
+	h := feature.BBNP
+	switch {
+	case cfg.AllBaseNounPhrases:
+		h = feature.AllBNP
+	case cfg.DefiniteAnywhere:
+		h = feature.DBNP
+	}
+	scored := feature.ExtractAndSelect(feature.NewExtractor(h), onTopic, offTopic, cfg.Confidence)
+	out := make([]FeatureTerm, 0, len(scored))
+	for _, st := range scored {
+		out = append(out, FeatureTerm{
+			Term:         st.Term,
+			Score:        st.Score,
+			DocsOnTopic:  st.DocsOn,
+			DocsOffTopic: st.DocsOff,
+		})
+	}
+	return out
+}

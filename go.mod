@@ -1,0 +1,3 @@
+module webfountain
+
+go 1.22

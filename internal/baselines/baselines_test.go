@@ -1,0 +1,153 @@
+package baselines
+
+import (
+	"testing"
+
+	"webfountain/internal/lexicon"
+	"webfountain/internal/pos"
+	"webfountain/internal/tokenize"
+)
+
+var (
+	tk = tokenize.New()
+	tg = pos.NewTagger()
+)
+
+func classify(t *testing.T, sentence, subject string) lexicon.Polarity {
+	t.Helper()
+	c := NewCollocation(nil)
+	tagged := tg.Tag(tk.Tokenize(sentence))
+	start, end := -1, -1
+	for i, tok := range tagged {
+		if tok.Lower() == subject {
+			start, end = i, i+1
+		}
+	}
+	if start < 0 {
+		t.Fatalf("subject %q not in %q", subject, sentence)
+	}
+	return c.Classify(tagged, start, end)
+}
+
+func TestCollocationSimple(t *testing.T) {
+	if got := classify(t, "The zoom is excellent.", "zoom"); got != lexicon.Positive {
+		t.Errorf("got %v", got)
+	}
+	if got := classify(t, "The menu is confusing.", "menu"); got != lexicon.Negative {
+		t.Errorf("got %v", got)
+	}
+	if got := classify(t, "The camera ships in a box.", "camera"); got != lexicon.Neutral {
+		t.Errorf("got %v", got)
+	}
+}
+
+func TestCollocationIgnoresAssociation(t *testing.T) {
+	// Sentiment about the tripod, not the camera — collocation cannot
+	// tell, which is its documented failure mode.
+	got := classify(t, "I paired the camera with a sturdy tripod.", "camera")
+	if got != lexicon.Positive {
+		t.Errorf("got %v, want the (wrong) positive", got)
+	}
+}
+
+func TestCollocationMajorityAndTie(t *testing.T) {
+	if got := classify(t, "The zoom is excellent and superb yet noisy.", "zoom"); got != lexicon.Positive {
+		t.Errorf("majority got %v", got)
+	}
+	if got := classify(t, "The zoom is excellent but noisy.", "zoom"); got != lexicon.Positive {
+		t.Errorf("tie should resolve positive, got %v", got)
+	}
+	if got := classify(t, "The zoom is noisy, grainy, yet excellent.", "zoom"); got != lexicon.Negative {
+		t.Errorf("negative majority got %v", got)
+	}
+}
+
+func TestCollocationSkipsSubjectSpan(t *testing.T) {
+	// "masterpiece" inside the subject span must not count.
+	c := NewCollocation(nil)
+	tagged := tg.Tag(tk.Tokenize("The masterpiece arrived on Tuesday."))
+	got := c.Classify(tagged, 1, 2)
+	if got != lexicon.Neutral {
+		t.Errorf("got %v, want neutral when the only sentiment token is the subject itself", got)
+	}
+}
+
+func TestNaiveBayesLearnsPolarity(t *testing.T) {
+	nb := NewNaiveBayes()
+	posDocs := []string{
+		"I love this camera. The pictures are excellent and the zoom is superb. Overall I am delighted and recommend it.",
+		"Wonderful album with catchy songs. Overall I am thrilled and happy with this purchase.",
+		"Excellent value. The battery life is great and the screen is gorgeous. Highly recommend.",
+	}
+	negDocs := []string{
+		"I hate this camera. The pictures are grainy and the menu is confusing. Overall I regret this purchase.",
+		"Terrible album full of bland filler. Overall I am disappointed and unhappy.",
+		"Awful value. The battery dies fast and the screen is dim. Avoid it.",
+	}
+	for _, d := range posDocs {
+		nb.Train(d, lexicon.Positive)
+	}
+	for _, d := range negDocs {
+		nb.Train(d, lexicon.Negative)
+	}
+	if !nb.Trained() {
+		t.Fatal("not trained")
+	}
+	if got, _ := nb.Classify("The zoom is superb and I am delighted overall."); got != lexicon.Positive {
+		t.Errorf("positive test got %v", got)
+	}
+	if got, _ := nb.Classify("The menu is confusing and I regret buying it."); got != lexicon.Negative {
+		t.Errorf("negative test got %v", got)
+	}
+}
+
+func TestNaiveBayesAlwaysPolar(t *testing.T) {
+	nb := NewNaiveBayes()
+	nb.Train("great wonderful excellent", lexicon.Positive)
+	nb.Train("terrible awful bad", lexicon.Negative)
+	// A completely neutral sentence still receives a polarity: the
+	// classifier has no neutral class, which drives the Table 5 collapse.
+	got, _ := nb.Classify("The company scheduled a meeting for October.")
+	if got == lexicon.Neutral {
+		t.Error("NB must not output neutral")
+	}
+}
+
+func TestNaiveBayesUntrained(t *testing.T) {
+	nb := NewNaiveBayes()
+	if got, _ := nb.Classify("anything"); got != lexicon.Neutral {
+		t.Errorf("untrained should be neutral, got %v", got)
+	}
+}
+
+func TestNaiveBayesIgnoresNeutralTraining(t *testing.T) {
+	nb := NewNaiveBayes()
+	nb.Train("some text", lexicon.Neutral)
+	if nb.Trained() {
+		t.Error("neutral training should be ignored")
+	}
+}
+
+func TestNaiveBayesBigramsMatter(t *testing.T) {
+	nb := NewNaiveBayes()
+	// "not good" appears only in negative training; "good" alone in
+	// positive.
+	for i := 0; i < 5; i++ {
+		nb.Train("this is good and wonderful and excellent really", lexicon.Positive)
+		nb.Train("this is not good at all and terrible awful", lexicon.Negative)
+	}
+	if got, _ := nb.Classify("it is not good honestly"); got != lexicon.Negative {
+		t.Errorf("bigram negation got %v", got)
+	}
+}
+
+func TestTrainOnDocuments(t *testing.T) {
+	nb := NewNaiveBayes()
+	nb.TrainOnDocuments(
+		[]string{"great stuff", "bad stuff"},
+		[]lexicon.Polarity{lexicon.Positive, lexicon.Negative},
+	)
+	if !nb.Trained() {
+		t.Error("TrainOnDocuments did not train")
+	}
+}

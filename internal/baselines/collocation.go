@@ -1,0 +1,61 @@
+// Package baselines implements the two comparison systems of the paper's
+// evaluation: the collocation algorithm and a ReviewSeer-style statistical
+// classifier.
+package baselines
+
+import (
+	"webfountain/internal/lexicon"
+	"webfountain/internal/pos"
+)
+
+// Collocation implements the paper's collocation baseline: it assigns the
+// polarity of sentiment terms co-occurring in the same sentence to the
+// subject term. If positive and negative sentiment terms co-exist, the
+// polarity with more counts is selected (ties resolve positive). It has
+// no notion of grammatical association, which is exactly why its
+// precision collapses on multi-subject sentences.
+type Collocation struct {
+	lex *lexicon.Lexicon
+}
+
+// NewCollocation returns a collocation classifier over the lexicon (nil
+// selects the embedded default).
+func NewCollocation(lex *lexicon.Lexicon) *Collocation {
+	if lex == nil {
+		lex = lexicon.Default()
+	}
+	return &Collocation{lex: lex}
+}
+
+// Classify returns the majority polarity of the sentiment terms in the
+// tagged sentence, ignoring tokens inside the subject span [subjStart,
+// subjEnd). Neutral means no sentiment term co-occurred.
+func (c *Collocation) Classify(tagged []pos.TaggedToken, subjStart, subjEnd int) lexicon.Polarity {
+	pos, neg := 0, 0
+	for i := 0; i < len(tagged); {
+		if i >= subjStart && i < subjEnd {
+			i++
+			continue
+		}
+		pol, n, ok := c.lex.LookupPhrase(tagged, i)
+		if !ok {
+			i++
+			continue
+		}
+		switch pol {
+		case lexicon.Positive:
+			pos++
+		case lexicon.Negative:
+			neg++
+		}
+		i += n
+	}
+	switch {
+	case pos == 0 && neg == 0:
+		return lexicon.Neutral
+	case neg > pos:
+		return lexicon.Negative
+	default:
+		return lexicon.Positive
+	}
+}

@@ -1,0 +1,200 @@
+// Package cluster implements the WebFountain miner runtime: a
+// shared-nothing execution engine that deploys entity-level miners in
+// parallel across store shards and runs corpus-level miners over the
+// whole collection.
+//
+// Entity-level miners process each entity in isolation and augment it
+// with annotations (tokenizers, spotters, the sentiment miner). Corpus-
+// level miners see the entire store (aggregate statistics, the feature
+// extractor, index building). In the production system each cluster node
+// owns a shard; here a worker pool owns shards within one process, which
+// preserves the execution model — no cross-entity state inside an
+// entity-level miner — at laptop scale.
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"webfountain/internal/store"
+)
+
+// EntityMiner is a miner that processes one entity at a time.
+type EntityMiner interface {
+	// Name identifies the miner; its annotations carry this name.
+	Name() string
+	// Process inspects the entity and returns annotations to attach. It
+	// must not retain or mutate e.
+	Process(e *store.Entity) ([]store.Annotation, error)
+}
+
+// CorpusMiner is a miner that needs the whole collection.
+type CorpusMiner interface {
+	// Name identifies the miner.
+	Name() string
+	// Run executes over the full store.
+	Run(s *store.Store) error
+}
+
+// Stats summarizes one miner deployment.
+type Stats struct {
+	// Miner is the miner's name.
+	Miner string
+	// Entities is the number of entities processed.
+	Entities int
+	// Annotations is the number of annotations attached.
+	Annotations int
+	// Failures is the number of entities whose processing errored.
+	Failures int
+	// Elapsed is the wall-clock duration of the deployment.
+	Elapsed time.Duration
+}
+
+// String renders the stats in one line.
+func (s Stats) String() string {
+	return fmt.Sprintf("%s: %d entities, %d annotations, %d failures in %v",
+		s.Miner, s.Entities, s.Annotations, s.Failures, s.Elapsed)
+}
+
+// Cluster runs miners over a store.
+type Cluster struct {
+	store   *store.Store
+	workers int
+}
+
+// New returns a cluster over the store with the given worker count
+// (values below 1 select 1 worker per shard, capped at 8).
+func New(st *store.Store, workers int) *Cluster {
+	if workers < 1 {
+		workers = st.NumShards()
+		if workers > 8 {
+			workers = 8
+		}
+	}
+	return &Cluster{store: st, workers: workers}
+}
+
+// Store returns the cluster's backing store.
+func (c *Cluster) Store() *store.Store { return c.store }
+
+// maxErrors bounds how many per-entity errors are retained verbatim.
+const maxErrors = 8
+
+// RunEntityMiner deploys one entity-level miner across all shards in
+// parallel. Per-entity failures do not abort the run; up to maxErrors are
+// collected into the returned error (nil when every entity succeeded).
+func (c *Cluster) RunEntityMiner(m EntityMiner) (Stats, error) {
+	start := time.Now()
+	shards := make(chan int)
+	var wg sync.WaitGroup
+
+	var mu sync.Mutex
+	stats := Stats{Miner: m.Name()}
+	var errs []error
+
+	workers := c.workers
+	if workers > c.store.NumShards() {
+		workers = c.store.NumShards()
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for shard := range shards {
+				c.mineShard(m, shard, &mu, &stats, &errs)
+			}
+		}()
+	}
+	for i := 0; i < c.store.NumShards(); i++ {
+		shards <- i
+	}
+	close(shards)
+	wg.Wait()
+
+	stats.Elapsed = time.Since(start)
+	if len(errs) > 0 {
+		return stats, fmt.Errorf("cluster: %d entities failed under %s: %w",
+			stats.Failures, m.Name(), errors.Join(errs...))
+	}
+	return stats, nil
+}
+
+func (c *Cluster) mineShard(m EntityMiner, shard int, mu *sync.Mutex, stats *Stats, errs *[]error) {
+	_ = c.store.ForEachInShard(shard, func(e *store.Entity) error {
+		anns, err := m.Process(e)
+		mu.Lock()
+		defer mu.Unlock()
+		stats.Entities++
+		if err != nil {
+			stats.Failures++
+			if len(*errs) < maxErrors {
+				*errs = append(*errs, fmt.Errorf("%s: %w", e.ID, err))
+			}
+			return nil
+		}
+		if len(anns) > 0 {
+			stats.Annotations += len(anns)
+			c.store.Update(e.ID, func(stored *store.Entity) {
+				for _, a := range anns {
+					a.Miner = m.Name()
+					stored.Annotate(a)
+				}
+			})
+		}
+		return nil
+	})
+}
+
+// RunPipeline deploys entity miners in order, then corpus miners in order.
+// It stops at the first corpus-miner error; entity-miner per-entity
+// failures are reported but do not stop the pipeline.
+func (c *Cluster) RunPipeline(entityMiners []EntityMiner, corpusMiners []CorpusMiner) ([]Stats, error) {
+	var all []Stats
+	var firstErr error
+	for _, m := range entityMiners {
+		st, err := c.RunEntityMiner(m)
+		all = append(all, st)
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	for _, m := range corpusMiners {
+		start := time.Now()
+		err := m.Run(c.store)
+		all = append(all, Stats{Miner: m.Name(), Elapsed: time.Since(start)})
+		if err != nil {
+			return all, fmt.Errorf("cluster: corpus miner %s: %w", m.Name(), err)
+		}
+	}
+	return all, firstErr
+}
+
+// MinerFunc adapts a function to the EntityMiner interface.
+type MinerFunc struct {
+	// MinerName is returned by Name.
+	MinerName string
+	// Fn is invoked per entity.
+	Fn func(e *store.Entity) ([]store.Annotation, error)
+}
+
+// Name implements EntityMiner.
+func (m MinerFunc) Name() string { return m.MinerName }
+
+// Process implements EntityMiner.
+func (m MinerFunc) Process(e *store.Entity) ([]store.Annotation, error) { return m.Fn(e) }
+
+// CorpusFunc adapts a function to the CorpusMiner interface.
+type CorpusFunc struct {
+	// MinerName is returned by Name.
+	MinerName string
+	// Fn is invoked with the store.
+	Fn func(s *store.Store) error
+}
+
+// Name implements CorpusMiner.
+func (m CorpusFunc) Name() string { return m.MinerName }
+
+// Run implements CorpusMiner.
+func (m CorpusFunc) Run(s *store.Store) error { return m.Fn(s) }

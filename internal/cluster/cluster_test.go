@@ -1,0 +1,159 @@
+package cluster
+
+import (
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"webfountain/internal/store"
+)
+
+func seededStore(n, shards int) *store.Store {
+	st := store.New(shards)
+	for i := 0; i < n; i++ {
+		st.Put(&store.Entity{ID: fmt.Sprintf("doc%03d", i), Text: fmt.Sprintf("text %d", i)})
+	}
+	return st
+}
+
+func TestRunEntityMinerAnnotatesEverything(t *testing.T) {
+	st := seededStore(50, 8)
+	c := New(st, 4)
+	m := MinerFunc{MinerName: "marker", Fn: func(e *store.Entity) ([]store.Annotation, error) {
+		return []store.Annotation{{Type: "seen", Key: e.ID}}, nil
+	}}
+	stats, err := c.RunEntityMiner(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Entities != 50 || stats.Annotations != 50 || stats.Failures != 0 {
+		t.Errorf("stats = %+v", stats)
+	}
+	count := 0
+	st.ForEach(func(e *store.Entity) error {
+		anns := e.AnnotationsBy("marker")
+		if len(anns) != 1 || anns[0].Key != e.ID {
+			t.Errorf("entity %s annotations = %+v", e.ID, anns)
+		}
+		count++
+		return nil
+	})
+	if count != 50 {
+		t.Errorf("visited %d entities", count)
+	}
+}
+
+func TestRunEntityMinerParallelism(t *testing.T) {
+	st := seededStore(64, 16)
+	c := New(st, 8)
+	var concurrent, peak int64
+	m := MinerFunc{MinerName: "p", Fn: func(e *store.Entity) ([]store.Annotation, error) {
+		cur := atomic.AddInt64(&concurrent, 1)
+		for {
+			old := atomic.LoadInt64(&peak)
+			if cur <= old || atomic.CompareAndSwapInt64(&peak, old, cur) {
+				break
+			}
+		}
+		atomic.AddInt64(&concurrent, -1)
+		return nil, nil
+	}}
+	if _, err := c.RunEntityMiner(m); err != nil {
+		t.Fatal(err)
+	}
+	// Not a strict guarantee, but with 16 shards and 8 workers we expect
+	// at least some overlap on any multicore machine; tolerate 1 to stay
+	// robust on single-core CI.
+	if peak < 1 {
+		t.Errorf("peak concurrency = %d", peak)
+	}
+}
+
+func TestRunEntityMinerCollectsFailures(t *testing.T) {
+	st := seededStore(20, 4)
+	c := New(st, 2)
+	m := MinerFunc{MinerName: "flaky", Fn: func(e *store.Entity) ([]store.Annotation, error) {
+		if strings.HasSuffix(e.ID, "5") {
+			return nil, fmt.Errorf("boom on %s", e.ID)
+		}
+		return []store.Annotation{{Type: "ok"}}, nil
+	}}
+	stats, err := c.RunEntityMiner(m)
+	if err == nil {
+		t.Fatal("expected aggregated error")
+	}
+	if stats.Failures != 2 { // doc005, doc015
+		t.Errorf("failures = %d", stats.Failures)
+	}
+	if stats.Entities != 20 {
+		t.Errorf("entities = %d (run should continue past failures)", stats.Entities)
+	}
+	if !strings.Contains(err.Error(), "doc005") {
+		t.Errorf("error detail missing: %v", err)
+	}
+}
+
+func TestRunPipelineOrdersEntityThenCorpus(t *testing.T) {
+	st := seededStore(10, 2)
+	c := New(st, 2)
+	var order []string
+	em := MinerFunc{MinerName: "e1", Fn: func(e *store.Entity) ([]store.Annotation, error) {
+		return []store.Annotation{{Type: "t"}}, nil
+	}}
+	cm := CorpusFunc{MinerName: "c1", Fn: func(s *store.Store) error {
+		// Entity annotations must be visible by the time the corpus miner
+		// runs.
+		return s.ForEach(func(e *store.Entity) error {
+			if len(e.AnnotationsBy("e1")) != 1 {
+				return fmt.Errorf("corpus miner ran before entity miner finished")
+			}
+			order = append(order, e.ID)
+			return nil
+		})
+	}}
+	stats, err := c.RunPipeline([]EntityMiner{em}, []CorpusMiner{cm})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stats) != 2 || stats[0].Miner != "e1" || stats[1].Miner != "c1" {
+		t.Errorf("stats = %+v", stats)
+	}
+	if len(order) != 10 {
+		t.Errorf("corpus miner saw %d entities", len(order))
+	}
+}
+
+func TestRunPipelineCorpusErrorStops(t *testing.T) {
+	st := seededStore(5, 1)
+	c := New(st, 1)
+	ran := false
+	cm1 := CorpusFunc{MinerName: "bad", Fn: func(*store.Store) error { return fmt.Errorf("nope") }}
+	cm2 := CorpusFunc{MinerName: "after", Fn: func(*store.Store) error { ran = true; return nil }}
+	_, err := c.RunPipeline(nil, []CorpusMiner{cm1, cm2})
+	if err == nil || !strings.Contains(err.Error(), "nope") {
+		t.Errorf("err = %v", err)
+	}
+	if ran {
+		t.Error("pipeline continued after corpus error")
+	}
+}
+
+func TestStatsString(t *testing.T) {
+	s := Stats{Miner: "m", Entities: 3, Annotations: 2, Failures: 1}
+	if got := s.String(); !strings.Contains(got, "m: 3 entities, 2 annotations, 1 failures") {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestWorkerDefaulting(t *testing.T) {
+	st := seededStore(4, 32)
+	c := New(st, 0)
+	if c.workers != 8 {
+		t.Errorf("workers = %d, want capped 8", c.workers)
+	}
+	c2 := New(store.New(2), 0)
+	if c2.workers != 2 {
+		t.Errorf("workers = %d, want 2", c2.workers)
+	}
+}

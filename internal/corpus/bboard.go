@@ -1,0 +1,75 @@
+package corpus
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"webfountain/internal/lexicon"
+)
+
+// Bulletin-board posts: the paper lists "preprocessed bulletin boards" and
+// NNTP among WebFountain's sources. Posts are short, informal and noisy —
+// fragments, lower-case subjects, interjections — which stresses the
+// robustness of the pipeline rather than its accuracy; gold labels are
+// still emitted for every subject mention.
+
+// bboardPolar are short polar post templates ({S} subject); all stay
+// within lexicon/pattern coverage so the miner has a fair shot.
+var bboardPolar = []struct {
+	tmpl string
+	pol  lexicon.Polarity
+}{
+	{"just got the {S} and the pictures are gorgeous!!", lexicon.Positive},
+	{"the {S} is excellent, period.", lexicon.Positive},
+	{"love the {S}, no regrets here", lexicon.Positive},
+	{"my {S} takes superb pictures every time", lexicon.Positive},
+	{"honestly the {S} impressed me a lot", lexicon.Positive},
+	{"the {S} is terrible, avoid", lexicon.Negative},
+	{"my {S} died after two weeks... the battery drains overnight", lexicon.Negative},
+	{"the {S} takes blurry pictures indoors", lexicon.Negative},
+	{"returned the {S}, the menu is confusing beyond belief", lexicon.Negative},
+	{"the {S} disappointed me from day one", lexicon.Negative},
+}
+
+// bboardNeutral are neutral post templates.
+var bboardNeutral = []string{
+	"anyone know if the {S} ships with a charger?",
+	"what firmware is the {S} on these days?",
+	"selling my {S}, see the classifieds thread",
+	"the {S} manual is on the maker's site",
+	"does the {S} use the same battery as last year's model?",
+	"picked up the {S} at the outlet, box was sealed",
+}
+
+// BulletinBoard generates a noisy short-post corpus over the camera
+// products. Each document is one post with a single subject mention.
+func BulletinBoard(seed int64, n int) []Document {
+	r := rand.New(rand.NewSource(seed))
+	docs := make([]Document, 0, n)
+	for i := 0; i < n; i++ {
+		product := pick(r, CameraProducts)
+		d := Document{
+			ID:     docID("camera", "bboard", i),
+			Title:  fmt.Sprintf("post %d", i),
+			Source: "bboard",
+			Domain: "camera",
+		}
+		if chance(r, 0.55) {
+			t := pick(r, bboardPolar)
+			d.Sentences = append(d.Sentences, Sentence{
+				Text:   strings.ReplaceAll(t.tmpl, "{S}", product),
+				Labels: []Label{{Subject: product, Polarity: t.pol, Detectable: true}},
+			})
+			d.DocLabel = t.pol
+		} else {
+			d.Sentences = append(d.Sentences, Sentence{
+				Text:   strings.ReplaceAll(pick(r, bboardNeutral), "{S}", product),
+				Labels: []Label{{Subject: product, Polarity: lexicon.Neutral}},
+			})
+		}
+		stampDateAndLinks(&d, r, i, func(k int) string { return docID("camera", "bboard", k) })
+		docs = append(docs, d)
+	}
+	return docs
+}

@@ -1,0 +1,332 @@
+package corpus
+
+import (
+	"fmt"
+	"math/rand"
+
+	"webfountain/internal/lexicon"
+)
+
+// generalDomain parameterizes the general web/news generators.
+type generalDomain struct {
+	name     string
+	subjects []string
+	// trapRate is the probability per document of a sentence where the
+	// miner's pattern fires against the gold label. Petroleum web text is
+	// messier than pharmaceutical text, matching the paper's spread
+	// (86/90 vs. 91/93).
+	trapRate float64
+	// neutral are domain-flavored neutral sentence templates (%s subject).
+	neutral []string
+	// iclass are "I class" templates: ambiguous or off-target sentences
+	// that contain sentiment vocabulary but carry none about the subject.
+	iclass []string
+	// positive and negative are detectable polar templates.
+	positive []string
+	negative []string
+	// idiomShare is the share of polar sentences expressed idiomatically
+	// (undetectable). Web text uses fewer review idioms than reviews.
+	idiomShare float64
+}
+
+func petroleumDomain() generalDomain {
+	return generalDomain{
+		name:     "petroleum",
+		subjects: PetroleumCompanies,
+		trapRate: 0.6,
+		neutral: []string{
+			"%s operates twelve refineries across Texas and Alaska.",
+			"%s employs roughly eight thousand workers.",
+			"%s scheduled its annual meeting for October.",
+			"%s ships crude through the North Sea pipeline.",
+			"%s filed its quarterly statement on Monday.",
+			"%s named a new director of exploration in Norway.",
+			"Production at %s resumed after routine maintenance.",
+		},
+		iclass: []string{
+			// Off-target: sentiment about rivals, suppliers, conditions.
+			"Rivals of %s posted terrible losses this quarter.",
+			"A supplier to %s drew harsh criticism from regulators.",
+			"%s watched a competitor struggle through an awful spill season.",
+			// Ambiguous out of context.
+			"Questions continue to follow %s into the new quarter.",
+			"The picture around %s keeps shifting, observers say.",
+			"Few expected %s to dominate the headlines again.",
+		},
+		positive: []string{
+			"%s delivered excellent figures this quarter.",
+			"Analysts praised %s for a superb safety record.",
+			"%s posted impressive earnings despite soft demand.",
+			"%s delivered an outstanding turnaround.",
+			"Investors applauded %s after the upgrade.",
+			"%s delighted investors across the board.",
+			"Analysts happily recommend %s to clients.",
+		},
+		negative: []string{
+			"%s suffered a terrible spill near the coast.",
+			"Regulators criticized %s for shoddy maintenance.",
+			"%s posted terrible losses for the third quarter.",
+			"%s leaked crude into the bay again last week.",
+			"%s failed to contain the contamination.",
+			"%s disappointed investors yet again.",
+			"Investors regret backing %s, analysts say.",
+		},
+		idiomShare: 0.1,
+	}
+}
+
+func pharmaDomain() generalDomain {
+	return generalDomain{
+		name:     "pharma",
+		subjects: PharmaCompanies,
+		trapRate: 0.35,
+		neutral: []string{
+			"%s enrolled four hundred patients in the study.",
+			"%s expects a decision by the second quarter.",
+			"%s presented data at the annual conference in Singapore.",
+			"%s manufactures the tablet at two sites in Germany.",
+			"%s licensed the compound from a university lab.",
+			"%s completed enrollment ahead of schedule.",
+			"The trial run by %s spans nine hospitals.",
+		},
+		iclass: []string{
+			"A rival of %s reported disappointing trial data.",
+			"Generic makers pressured %s with aggressive pricing.",
+			"%s shared the stage with a struggling competitor.",
+			"The road ahead for %s remains hard to read.",
+			"Opinions on %s split along familiar lines.",
+			"Nobody doubts the stakes for %s this year.",
+		},
+		positive: []string{
+			"%s delivered impressive findings in the trial.",
+			"Doctors praised %s for the new therapy.",
+			"%s posted superb earnings on strong demand.",
+			"%s reported an excellent safety profile.",
+			"Patients applauded %s after the approval.",
+			"%s delighted investors across the board.",
+			"Doctors happily recommend %s to patients.",
+		},
+		negative: []string{
+			"%s suffered a disappointing setback in the late-stage trial.",
+			"Regulators criticized %s over shoddy manufacturing.",
+			"%s reported disappointing sales for the drug.",
+			"%s issued a damaging recall last month.",
+			"%s failed to meet the trial endpoints.",
+			"%s disappointed investors yet again.",
+			"Patients regret switching to %s, surveys say.",
+		},
+		idiomShare: 0.08,
+	}
+}
+
+// generalIdiomsPositive/Negative express web-text sentiment outside
+// lexicon coverage.
+var generalIdiomsPositive = []string{
+	"%s came out of the quarter smelling like roses.",
+	"%s keeps finding another gear.",
+	"%s has the wind squarely at its back.",
+}
+
+var generalIdiomsNegative = []string{
+	"%s is skating on thin ice with regulators.",
+	"%s spent the quarter putting out fires.",
+	"%s has dug itself into a deep hole.",
+}
+
+// generalTraps are sentences where the pattern fires against the gold
+// label ({S} subject): conditionals and wrong referents.
+var generalTraps = []string{
+	"{S} would be profitable if demand ever recovered.",       // gold -
+	"{S} is excellent at announcing plans it never executes.", // gold -
+	"The unit {S} sold last year produced terrible losses.",   // gold neutral
+}
+
+// PetroleumWeb generates the petroleum-domain general web corpus.
+func PetroleumWeb(seed int64, n int) []Document {
+	return general(petroleumDomain(), "web", seed, n)
+}
+
+// PharmaWeb generates the pharmaceutical-domain general web corpus.
+func PharmaWeb(seed int64, n int) []Document {
+	return general(pharmaDomain(), "web", seed, n)
+}
+
+// PetroleumNews generates the petroleum-domain newswire corpus: the same
+// statistical structure as the web corpus with a slightly lower trap rate
+// (edited copy is cleaner), matching the paper's 88/91 band.
+func PetroleumNews(seed int64, n int) []Document {
+	dom := petroleumDomain()
+	dom.trapRate = 0.5
+	return general(dom, "news", seed, n)
+}
+
+func general(dom generalDomain, source string, seed int64, n int) []Document {
+	r := rand.New(rand.NewSource(seed))
+	docs := make([]Document, 0, n)
+	for i := 0; i < n; i++ {
+		docs = append(docs, generalDoc(dom, source, r, i))
+	}
+	return docs
+}
+
+// generalDoc builds one web page or news article. Sentiment is sparse and
+// the I class dominates, per the paper's observation that 60-90% of
+// sentiment-bearing sentences on the general web are difficult cases.
+func generalDoc(dom generalDomain, source string, r *rand.Rand, i int) Document {
+	subject := pick(r, dom.subjects)
+	d := Document{
+		ID:     docID(dom.name, source, i),
+		Title:  fmt.Sprintf("%s coverage", subject),
+		Source: source,
+		Domain: dom.name,
+	}
+	add := func(s Sentence) { d.Sentences = append(d.Sentences, s) }
+
+	// 4 neutral sentences about the subject.
+	for k := 0; k < 4; k++ {
+		add(Sentence{
+			Text:   fmt.Sprintf(pick(r, dom.neutral), subject),
+			Labels: []Label{{Subject: subject, Polarity: lexicon.Neutral}},
+		})
+	}
+	// 2 I-class sentences (sentiment vocabulary, neutral gold).
+	for k := 0; k < 2; k++ {
+		add(Sentence{
+			Text:   fmt.Sprintf(pick(r, dom.iclass), subject),
+			Labels: []Label{{Subject: subject, Polarity: lexicon.Neutral}},
+		})
+	}
+	// 4-5 polar sentences, mostly detectable.
+	nPolar := 4 + r.Intn(2)
+	for k := 0; k < nPolar; k++ {
+		pol := lexicon.Positive
+		if chance(r, 0.5) {
+			pol = lexicon.Negative
+		}
+		if chance(r, dom.idiomShare) {
+			tmpl := pick(r, generalIdiomsPositive)
+			if pol == lexicon.Negative {
+				tmpl = pick(r, generalIdiomsNegative)
+			}
+			add(Sentence{
+				Text:   fmt.Sprintf(tmpl, subject),
+				Labels: []Label{{Subject: subject, Polarity: pol, Detectable: false}},
+			})
+			continue
+		}
+		tmpl := pick(r, dom.positive)
+		if pol == lexicon.Negative {
+			tmpl = pick(r, dom.negative)
+		}
+		add(Sentence{
+			Text:   fmt.Sprintf(tmpl, subject),
+			Labels: []Label{{Subject: subject, Polarity: pol, Detectable: true}},
+		})
+	}
+	stampDateAndLinks(&d, r, i, func(k int) string { return docID(dom.name, source, k) })
+
+	// Trap sentence with domain-specific probability.
+	if chance(r, dom.trapRate) {
+		tmpl := pick(r, generalTraps)
+		pol := lexicon.Negative
+		if tmpl == generalTraps[2] {
+			pol = lexicon.Neutral
+		}
+		text := fmt.Sprintf(replacePlaceholder(tmpl), subject)
+		add(Sentence{
+			Text:   text,
+			Labels: []Label{{Subject: subject, Polarity: pol, Detectable: pol != lexicon.Neutral}},
+		})
+	}
+	return d
+}
+
+func replacePlaceholder(tmpl string) string {
+	out := ""
+	for i := 0; i < len(tmpl); i++ {
+		if i+2 < len(tmpl) && tmpl[i] == '{' && tmpl[i+1] == 'S' && tmpl[i+2] == '}' {
+			out += "%s"
+			i += 2
+			continue
+		}
+		out += string(tmpl[i])
+	}
+	return out
+}
+
+// distractorTopics flavor the off-topic collection (the paper's D-:
+// random web pages).
+var distractorTopics = []struct {
+	title     string
+	sentences []string
+}{
+	{"weather report", []string{
+		"The weather turned cold over the weekend.",
+		"Forecasters expect rain through Thursday.",
+		"The storm passed north of the valley.",
+		"Temperatures should recover by Sunday.",
+		"The morning fog lifted before nine.",
+	}},
+	{"city council", []string{
+		"The council met to discuss the budget.",
+		"The agenda covered parking and permits.",
+		"Residents spoke during the open session.",
+		"The vote was postponed until next month.",
+		"The mayor thanked the committee for its work.",
+	}},
+	{"recipe corner", []string{
+		"The dough needs an hour to rest.",
+		"Fold the herbs in at the very end.",
+		"The oven should reach a high heat first.",
+		"Serve the stew with crusty bread.",
+		"Leftovers keep for three days.",
+	}},
+	{"travel diary", []string{
+		"The train left the station at dawn.",
+		"We reached the coast by early afternoon.",
+		"The harbor was quiet in the off season.",
+		"Dinner was grilled fish by the water.",
+		"The trip back took most of a day.",
+	}},
+	{"local sports", []string{
+		"The match ended level after extra time.",
+		"The keeper saved a penalty in the first half.",
+		"The league table tightened at the top.",
+		"The coach rotated the squad midweek.",
+		"Fans filled the east stand early.",
+	}},
+}
+
+// Distractors generates the off-topic collection D-: random pages with no
+// camera/music/petroleum/pharma subjects. A light sprinkle of sentiment
+// vocabulary keeps the statistical baseline honest.
+func Distractors(seed int64, n int) []Document {
+	r := rand.New(rand.NewSource(seed))
+	docs := make([]Document, 0, n)
+	for i := 0; i < n; i++ {
+		topic := pick(r, distractorTopics)
+		d := Document{
+			ID:     docID("none", "web", i),
+			Title:  topic.title,
+			Source: "web",
+			Domain: "none",
+		}
+		// 4-6 sentences sampled (with replacement) from the topic pool.
+		m := 4 + r.Intn(3)
+		for k := 0; k < m; k++ {
+			d.Sentences = append(d.Sentences, Sentence{Text: pick(r, topic.sentences)})
+		}
+		if chance(r, 0.3) {
+			d.Sentences = append(d.Sentences, Sentence{
+				Text: pick(r, []string{
+					"It was a wonderful afternoon overall.",
+					"The whole thing felt tedious by the end.",
+					"Everyone went home happy.",
+					"The turnout was disappointing.",
+				}),
+			})
+		}
+		docs = append(docs, d)
+	}
+	return docs
+}

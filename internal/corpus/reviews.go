@@ -1,0 +1,505 @@
+package corpus
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"webfountain/internal/lexicon"
+)
+
+// reviewDomain parameterizes the review generator for a product domain.
+// Bait and catalog templates use {S} for the subject, {POS} and {NEG} for
+// sentiment adjectives; sentence-initial definite NPs in any template must
+// be feature terms of the domain so the bBNP extractor's precision target
+// holds.
+type reviewDomain struct {
+	name         string
+	products     []string
+	features     []string
+	positiveAdjs []string
+	negativeAdjs []string
+	positiveNPs  []string
+	negativeNPs  []string
+	neutralTmpls []string
+	baitTmpls    []string
+	catalogTmpls []string
+	// condTail finishes the conditional trap sentence ("if the firmware
+	// ever cooperated") with domain-appropriate blame.
+	condTail    string
+	productNoun string // "camera" / "album": the generic product word
+}
+
+func cameraDomain() reviewDomain {
+	return reviewDomain{
+		name:         "camera",
+		products:     CameraProducts,
+		features:     CameraFeatures,
+		positiveAdjs: positiveAdjectives,
+		negativeAdjs: negativeAdjectives,
+		positiveNPs:  positiveObjectNPs,
+		negativeNPs:  negativeObjectNPs,
+		neutralTmpls: neutralCameraTemplates,
+		baitTmpls: []string{
+			"I paired the {S} with a remarkably {POS} tripod from another maker.",
+			"My brother, a {NEG} photographer by his own admission, borrowed the {S} for a week.",
+			"The manual describes the {S} right after a chapter full of {NEG} stock photos.",
+			"A surprisingly {POS} carrying bag arrived in the same parcel as the {S}.",
+			"The {S} replaced an older unit that produced {NEG} results.",
+			"Next to my {NEG} old kit, the {S} arrived on a Tuesday.",
+		},
+		catalogTmpls: []string{
+			"{F+}You also get the {A}, the {B}, and the {C} in a surprisingly sturdy box.",
+			"{F+}A glossy flyer hypes the {A}, the {B}, and the {C} in breathless superb-this, flawless-that copy.",
+			"{F-}Some cheap third-party kits bundle the {A}, the {B}, and the {C}.",
+			"{F-}An awful instructional DVD about the {A}, the {B}, and the {C} rounds out the box.",
+			"{F+}One gorgeous poster diagrams the {A}, the {B}, and the {C}.",
+			"Buyers will find the {A}, the {B}, and the {C} covered under warranty.",
+		},
+		condTail:    "if the firmware ever cooperated",
+		productNoun: "camera",
+	}
+}
+
+func musicDomain() reviewDomain {
+	return reviewDomain{
+		name:         "music",
+		products:     MusicAlbums,
+		features:     MusicFeatures,
+		positiveAdjs: positiveMusicAdjectives,
+		negativeAdjs: negativeMusicAdjectives,
+		positiveNPs:  []string{"memorable melodies", "gorgeous harmonies", "vivid textures", "superb solos"},
+		negativeNPs:  []string{"forgettable hooks", "muddy textures", "lifeless arrangements", "repetitive riffs"},
+		neutralTmpls: neutralMusicTemplates,
+		baitTmpls: []string{
+			"I heard the {S} right after a {NEG} radio single by another act.",
+			"My roommate, a {NEG} critic of everything, hummed along to the {S}.",
+			"One {POS} live bootleg circulated long before the {S} was cut.",
+			"The {S} follows an interlude that samples a {NEG} lounge record.",
+			"Liner notes credit the {S} alongside a {POS} guest ensemble.",
+			"Between two {NEG} cover songs, the {S} simply plays on.",
+		},
+		catalogTmpls: []string{
+			"{F+}A gorgeous gatefold sleeve wraps the {A}, the {B}, and the {C}.",
+			"{F-}Some tedious liner essays annotate the {A}, the {B}, and the {C}.",
+			"{F+}One glowing sticker promises the {A}, the {B}, and the {C} remastered.",
+			"{F-}A dreary press kit summarizes the {A}, the {B}, and the {C}.",
+			"{F+}Some superb session players anchor the {A}, the {B}, and the {C}.",
+			"You will hear the {A}, the {B}, and the {C} within ten minutes.",
+		},
+		condTail:    "if the mastering ever cooperated",
+		productNoun: "album",
+	}
+}
+
+// FeatureQuality returns the deterministic quality profile of a feature
+// for a product: the probability that a review of the product speaks
+// positively about the feature. Profiles are spread over [0.15, 0.85] so
+// the satisfaction chart (Figure 2 inset) has visible structure.
+func FeatureQuality(productIdx, featureIdx int) float64 {
+	h := (productIdx*131 + featureIdx*31 + 17) % 97
+	return 0.15 + 0.7*float64(h)/96.0
+}
+
+// DigitalCameraReviews generates the digital camera review corpus (the
+// paper's D+ had 485 documents).
+func DigitalCameraReviews(seed int64, n int) []Document {
+	return reviews(cameraDomain(), seed, n)
+}
+
+// MusicReviews generates the music review corpus (the paper's D+ had 250
+// documents).
+func MusicReviews(seed int64, n int) []Document {
+	return reviews(musicDomain(), seed, n)
+}
+
+func reviews(dom reviewDomain, seed int64, n int) []Document {
+	r := rand.New(rand.NewSource(seed))
+	docs := make([]Document, 0, n)
+	for i := 0; i < n; i++ {
+		docs = append(docs, reviewDoc(dom, r, i))
+	}
+	return docs
+}
+
+// reviewDoc builds one review. The sentence mix is engineered to the
+// corpus-level targets documented in the package comment.
+func reviewDoc(dom reviewDomain, r *rand.Rand, i int) Document {
+	productIdx := r.Intn(len(dom.products))
+	product := dom.products[productIdx]
+	docPol := lexicon.Positive
+	if chance(r, 0.5) {
+		docPol = lexicon.Negative
+	}
+	d := Document{
+		ID:       docID(dom.name, "review", i),
+		Title:    fmt.Sprintf("Review of the %s", product),
+		Source:   "review",
+		Domain:   dom.name,
+		DocLabel: docPol,
+	}
+
+	add := func(s Sentence) { d.Sentences = append(d.Sentences, s) }
+
+	// 1. Intro: neutral product mention.
+	add(introSentence(dom, r, product))
+
+	// 2. Detectable polar feature sentences driven by the product's
+	// per-feature quality profile.
+	featureIdxs := r.Perm(len(dom.features))
+	nFeat := 4
+	for k := 0; k < nFeat; k++ {
+		fi := featureIdxs[k]
+		// Blend the product's per-feature quality with the reviewer's
+		// overall verdict: a negative review dwells on weaknesses. The
+		// blend keeps the satisfaction profiles visible while giving the
+		// document-level classifier a real signal.
+		p := 0.55 * FeatureQuality(productIdx, fi)
+		if docPol == lexicon.Positive {
+			p += 0.45
+		}
+		pol := lexicon.Negative
+		if chance(r, p) {
+			pol = lexicon.Positive
+		}
+		add(detectableFeatureSentence(dom, r, dom.features[fi], pol))
+	}
+
+	// 3. One detectable polar sentence about the product itself, aligned
+	// with the overall verdict.
+	add(detectableProductSentence(dom, r, product, docPol))
+
+	// 4. Idiomatic polar sentences: gold sentiment outside lexicon
+	// coverage (the recall gap).
+	for k := 0; k < 3; k++ {
+		subj := dom.features[featureIdxs[nFeat+k]]
+		pol := docPol
+		if chance(r, 0.15) {
+			pol = pol.Flip()
+		}
+		add(idiomSentence(r, subj, pol))
+	}
+
+	// 5. Collocation baits: neutral subject mentions inside sentences that
+	// contain sentiment vocabulary about something else.
+	for k := 0; k < 6; k++ {
+		subj := dom.features[featureIdxs[(nFeat+3+k)%len(dom.features)]]
+		add(baitSentence(dom, r, subj, docPol))
+	}
+
+	// 6. Catalog sentences: several neutral feature mentions at once.
+	add(catalogSentence(dom, r, featureIdxs[nFeat+8:nFeat+11], docPol))
+	add(catalogSentence(dom, r, featureIdxs[nFeat+11:nFeat+14], docPol))
+	add(catalogSentence(dom, r, featureIdxs[nFeat+14:nFeat+17], docPol))
+	add(catalogSentence(dom, r, featureIdxs[nFeat+20:nFeat+23], docPol))
+
+	// 7. Trap sentence with probability 0.8: the miner's pattern fires but
+	// the gold label disagrees (sarcasm, conditionals, wrong referent).
+	if chance(r, 0.8) {
+		subj := dom.features[featureIdxs[nFeat+17]]
+		add(trapSentence(dom, r, subj, product))
+	}
+
+	// 7b. Contrast sentence (the paper's flagship NR70-vs-CLIE example)
+	// with probability 0.25: "Unlike X, Y does not require an adapter."
+	if chance(r, 0.25) {
+		other := dom.products[(productIdx+1+r.Intn(len(dom.products)-1))%len(dom.products)]
+		add(contrastSentence(dom, r, product, other))
+	}
+
+	// 8. Neutral spec sentences.
+	add(specSentence(dom, r, dom.features[featureIdxs[nFeat+18]]))
+	add(specSentence(dom, r, dom.features[featureIdxs[nFeat+19]]))
+
+	// 9. Overall verdict: strong document-level vocabulary for the
+	// statistical baseline.
+	add(verdictSentence(r, docPol, dom.productNoun))
+
+	stampDateAndLinks(&d, r, i, func(k int) string { return docID(dom.name, "review", k) })
+
+	// Rating noise: real review sites show star ratings that contradict
+	// the text about one time in eight, which is what keeps document-level
+	// classifiers under ~90% (ReviewSeer's 88.4%). The per-sentence gold
+	// labels stay consistent with their own sentences.
+	if chance(r, 0.12) {
+		d.DocLabel = d.DocLabel.Flip()
+	}
+
+	return d
+}
+
+func introSentence(dom reviewDomain, r *rand.Rand, product string) Sentence {
+	tmpl := pick(r, []string{
+		"I spent three weeks with the %s before writing this.",
+		"This review covers the %s in detail.",
+		"My %s arrived at the end of last month.",
+		"I tested the %s on two long trips.",
+		"After a string of terrible rentals, I finally picked up the %s.",
+		"A friend with impeccable taste talked me into the %s.",
+		"Fresh from returning a shoddy knockoff, I unboxed the %s.",
+		"On the advice of one brutally honest forum, I ordered the %s.",
+	})
+	return Sentence{
+		Text:   fmt.Sprintf(tmpl, product),
+		Labels: []Label{{Subject: product, Polarity: lexicon.Neutral}},
+	}
+}
+
+// detectableFeatureSentence uses constructs inside pattern/lexicon
+// coverage, with the feature as a definite NP at sentence start (feeding
+// the bBNP extractor).
+func detectableFeatureSentence(dom reviewDomain, r *rand.Rand, feature string, pol lexicon.Polarity) Sentence {
+	adjs := dom.positiveAdjs
+	if pol == lexicon.Negative {
+		adjs = dom.negativeAdjs
+	}
+	adj := pick(r, adjs)
+	var text string
+	switch r.Intn(4) {
+	case 0:
+		text = fmt.Sprintf("The %s is %s.", feature, adj)
+	case 1:
+		text = fmt.Sprintf("The %s feels %s in daily use.", feature, adj)
+	case 2:
+		text = fmt.Sprintf("The %s seems %s overall.", feature, adj)
+	default:
+		// Negated opposite: "The zoom is not sluggish." (negation test).
+		opp := pick(r, dom.negativeAdjs)
+		if pol == lexicon.Negative {
+			opp = pick(r, dom.positiveAdjs)
+		}
+		text = fmt.Sprintf("The %s is not %s.", feature, opp)
+	}
+	return Sentence{
+		Text:   text,
+		Labels: []Label{{Subject: feature, Polarity: pol, Detectable: true}},
+	}
+}
+
+// detectableProductSentence speaks about the product via trans-verb or
+// fixed-verb patterns.
+func detectableProductSentence(dom reviewDomain, r *rand.Rand, product string, pol lexicon.Polarity) Sentence {
+	if pol == lexicon.Positive {
+		switch r.Intn(4) {
+		case 0:
+			return Sentence{
+				Text:   fmt.Sprintf("This %s takes %s.", product, pick(r, dom.positiveNPs)),
+				Labels: []Label{{Subject: product, Polarity: pol, Detectable: true}},
+			}
+		case 1:
+			return Sentence{
+				Text:   fmt.Sprintf("The %s offers %s.", product, pick(r, dom.positiveNPs)),
+				Labels: []Label{{Subject: product, Polarity: pol, Detectable: true}},
+			}
+		case 2:
+			return Sentence{
+				Text:   fmt.Sprintf("I am impressed with the %s.", product),
+				Labels: []Label{{Subject: product, Polarity: pol, Detectable: true}},
+			}
+		default:
+			return Sentence{
+				Text:   fmt.Sprintf("I love the %s.", product),
+				Labels: []Label{{Subject: product, Polarity: pol, Detectable: true}},
+			}
+		}
+	}
+	switch r.Intn(4) {
+	case 0:
+		return Sentence{
+			Text:   fmt.Sprintf("This %s takes %s.", product, pick(r, dom.negativeNPs)),
+			Labels: []Label{{Subject: product, Polarity: pol, Detectable: true}},
+		}
+	case 1:
+		return Sentence{
+			Text:   fmt.Sprintf("The %s disappointed me from day one.", product),
+			Labels: []Label{{Subject: product, Polarity: pol, Detectable: true}},
+		}
+	case 2:
+		return Sentence{
+			Text:   fmt.Sprintf("I was frustrated by the %s.", product),
+			Labels: []Label{{Subject: product, Polarity: pol, Detectable: true}},
+		}
+	default:
+		return Sentence{
+			Text:   fmt.Sprintf("The %s fails to meet basic expectations.", product),
+			Labels: []Label{{Subject: product, Polarity: pol, Detectable: true}},
+		}
+	}
+}
+
+func idiomSentence(r *rand.Rand, subject string, pol lexicon.Polarity) Sentence {
+	// 65% of idioms carry a detached sentiment word (visible to the
+	// collocation baseline, invisible to the miner's grammar); the rest
+	// contain no lexicon vocabulary at all.
+	visible := chance(r, 0.65)
+	var tmpl string
+	switch {
+	case pol == lexicon.Positive && visible:
+		tmpl = pick(r, idiomPositiveVisible)
+	case pol == lexicon.Positive:
+		tmpl = pick(r, idiomPositiveInvisible)
+	case visible:
+		tmpl = pick(r, idiomNegativeVisible)
+	default:
+		tmpl = pick(r, idiomNegativeInvisible)
+	}
+	return Sentence{
+		Text:   fmt.Sprintf(tmpl, subject),
+		Labels: []Label{{Subject: subject, Polarity: pol, Detectable: false}},
+	}
+}
+
+// baitSentence mentions the subject neutrally while a sentiment word
+// applies to something else. The verbs used here are outside the pattern
+// database and the sentiment lexicon, so the miner stays silent; the
+// collocation baseline fires and is wrong. The sentiment flavor of the
+// aside leans toward the reviewer's overall mood (a disappointed reviewer
+// writes sour asides), which is the document-wide vocabulary signal a
+// document-level classifier feeds on.
+func baitSentence(dom reviewDomain, r *rand.Rand, subject string, mood lexicon.Polarity) Sentence {
+	want := "{NEG}"
+	if mood == lexicon.Positive {
+		want = "{POS}"
+	}
+	text := pickFlavored(r, dom.baitTmpls, want, 0.85)
+	text = strings.ReplaceAll(text, "{S}", subject)
+	text = strings.ReplaceAll(text, "{POS}", pick(r, dom.positiveAdjs))
+	text = strings.ReplaceAll(text, "{NEG}", pick(r, dom.negativeAdjs))
+	return Sentence{
+		Text:   text,
+		Labels: []Label{{Subject: subject, Polarity: lexicon.Neutral}},
+	}
+}
+
+// pickFlavored picks a template containing the wanted placeholder (or
+// flavor marker) with the given probability, otherwise any template.
+func pickFlavored(r *rand.Rand, tmpls []string, want string, p float64) string {
+	if chance(r, p) {
+		var flavored []string
+		for _, t := range tmpls {
+			if strings.Contains(t, want) {
+				flavored = append(flavored, t)
+			}
+		}
+		if len(flavored) > 0 {
+			return pick(r, flavored)
+		}
+	}
+	return pick(r, tmpls)
+}
+
+// catalogSentence lists several features neutrally. Templates carry an
+// invisible {F+}/{F-} flavor marker so the aside vocabulary can follow the
+// reviewer's mood.
+func catalogSentence(dom reviewDomain, r *rand.Rand, featureIdxs []int, mood lexicon.Polarity) Sentence {
+	f1 := dom.features[featureIdxs[0]]
+	f2 := dom.features[featureIdxs[1]]
+	f3 := dom.features[featureIdxs[2]]
+	want := "{F-}"
+	if mood == lexicon.Positive {
+		want = "{F+}"
+	}
+	text := pickFlavored(r, dom.catalogTmpls, want, 0.85)
+	text = strings.ReplaceAll(text, "{F+}", "")
+	text = strings.ReplaceAll(text, "{F-}", "")
+	text = strings.ReplaceAll(text, "{A}", f1)
+	text = strings.ReplaceAll(text, "{B}", f2)
+	text = strings.ReplaceAll(text, "{C}", f3)
+	return Sentence{
+		Text: text,
+		Labels: []Label{
+			{Subject: f1, Polarity: lexicon.Neutral},
+			{Subject: f2, Polarity: lexicon.Neutral},
+			{Subject: f3, Polarity: lexicon.Neutral},
+		},
+	}
+}
+
+// trapSentence makes the miner's patterns fire against the gold label:
+// sarcasm and conditionals carry an opposite gold polarity; wrong-referent
+// sentences are gold-neutral for the spotted subject.
+func trapSentence(dom reviewDomain, r *rand.Rand, subject, product string) Sentence {
+	switch r.Intn(3) {
+	case 0: // conditional: reads positive, is negative
+		adj := pick(r, dom.positiveAdjs)
+		return Sentence{
+			Text:   fmt.Sprintf("The %s would be %s "+dom.condTail+".", subject, adj),
+			Labels: []Label{{Subject: subject, Polarity: lexicon.Negative, Detectable: true}},
+		}
+	case 1: // sarcasm: reads positive, is negative
+		adj := pick(r, dom.positiveAdjs)
+		return Sentence{
+			Text:   fmt.Sprintf("The %s is %s if you enjoy wrestling with it for sport.", subject, adj),
+			Labels: []Label{{Subject: subject, Polarity: lexicon.Negative, Detectable: true}},
+		}
+	default: // wrong referent: sentiment about earlier models, not this one
+		np := pick(r, dom.negativeNPs)
+		return Sentence{
+			Text:   fmt.Sprintf("Earlier %s models took %s.", product, np),
+			Labels: []Label{{Subject: product, Polarity: lexicon.Neutral}},
+		}
+	}
+}
+
+// contrastSentence reproduces the paper's motivating example: an
+// unlike-phrase whose referent receives the opposite sentiment of the
+// subject. "Unlike the T series CLIEs, the NR70 does not require an
+// add-on adapter."
+func contrastSentence(dom reviewDomain, r *rand.Rand, product, other string) Sentence {
+	if chance(r, 0.5) {
+		return Sentence{
+			Text: fmt.Sprintf("Unlike the %s, the %s does not require an add-on adapter.", other, product),
+			Labels: []Label{
+				{Subject: product, Polarity: lexicon.Positive, Detectable: true},
+				{Subject: other, Polarity: lexicon.Negative, Detectable: true},
+			},
+		}
+	}
+	adj := pick(r, dom.positiveAdjs)
+	return Sentence{
+		Text: fmt.Sprintf("Unlike the %s, the %s is truly %s.", other, product, adj),
+		Labels: []Label{
+			{Subject: product, Polarity: lexicon.Positive, Detectable: true},
+			{Subject: other, Polarity: lexicon.Negative, Detectable: true},
+		},
+	}
+}
+
+func specSentence(dom reviewDomain, r *rand.Rand, feature string) Sentence {
+	return Sentence{
+		Text:   fmt.Sprintf(pick(r, dom.neutralTmpls), feature),
+		Labels: []Label{{Subject: feature, Polarity: lexicon.Neutral}},
+	}
+}
+
+// verdictSentence closes the review with unambiguous document-level
+// vocabulary. The variant that names the generic product word ("this
+// camera") carries a gold label for it, since that mention does bear the
+// verdict's sentiment.
+func verdictSentence(r *rand.Rand, pol lexicon.Polarity, noun string) Sentence {
+	var text string
+	var labels []Label
+	variant := r.Intn(3)
+	if pol == lexicon.Positive {
+		switch variant {
+		case 0:
+			text = "Overall I am delighted with this purchase and recommend it without hesitation."
+		case 1:
+			text = "Overall this is a superb buy and I would purchase it again tomorrow."
+		default:
+			text = "Overall I am thrilled and happy with this " + noun + "."
+			labels = []Label{{Subject: noun, Polarity: pol, Detectable: true}}
+		}
+	} else {
+		switch variant {
+		case 0:
+			text = "Overall I regret this purchase and advise avoiding it."
+		case 1:
+			text = "Overall this is a terrible buy and I returned it within a week."
+		default:
+			text = "Overall I am disappointed and unhappy with this " + noun + "."
+			labels = []Label{{Subject: noun, Polarity: pol, Detectable: true}}
+		}
+	}
+	return Sentence{Text: text, Labels: labels}
+}

@@ -1,0 +1,196 @@
+package corpus
+
+// Domain vocabulary for the generators. Adjectives and verbs in the
+// "known" pools are guaranteed to be in the embedded sentiment lexicon /
+// pattern database (detectable); the idiom templates are guaranteed NOT to
+// be (the deliberate recall gap).
+
+// CameraProducts are the product names of the digital camera domain
+// (15 products, echoing Table 3).
+var CameraProducts = []string{
+	"Canon", "Nikon", "Sony", "Olympus", "Kodak", "Fuji", "Minolta",
+	"NR70", "DX3700", "PowerShot", "CoolPix", "FinePix", "Stylus",
+	"EasyShare", "Dimage",
+}
+
+// CameraFeatures are the feature terms of the digital camera domain. The
+// first 20 mirror Table 2's top-20 list; the remainder fill out the 55
+// features the paper reports.
+var CameraFeatures = []string{
+	// Table 2 top 20 (rank order).
+	"camera", "picture", "flash", "lens", "picture quality", "battery",
+	"software", "price", "battery life", "viewfinder", "color", "feature",
+	"image", "menu", "manual", "photo", "movie", "resolution", "quality",
+	"zoom",
+	// Remainder to 55.
+	"screen", "display", "button", "body", "grip", "shutter", "sensor",
+	"size", "weight", "memory card", "memory", "storage", "firmware",
+	"mode", "setting", "video", "adapter", "charger", "cable", "strap",
+	"case", "autofocus", "interface", "design", "construction",
+	"performance", "playback", "expansion", "burst mode", "white balance",
+	"image quality", "shutter speed", "zoom lens", "flash range",
+	"battery compartment",
+}
+
+// MusicAlbums are album subjects for the music domain.
+var MusicAlbums = []string{
+	"Aurora", "Nightfall", "Crescendo", "Horizon", "Ember", "Solstice",
+	"Cadence", "Mirage", "Tempest", "Lumina",
+}
+
+// MusicFeatures mirror the music column of Table 2 plus extras.
+var MusicFeatures = []string{
+	"song", "album", "track", "music", "piece", "band", "lyrics",
+	"first movement", "second movement", "orchestra", "guitar",
+	"final movement", "beat", "production", "chorus", "first track",
+	"mix", "third movement", "piano", "work",
+	"melody", "harmony", "rhythm", "vocal", "voice", "arrangement",
+	"drum", "bass", "verse", "bridge", "tempo", "tone", "finale",
+}
+
+// PetroleumCompanies are subjects of the petroleum domain.
+var PetroleumCompanies = []string{
+	"PetroNova", "GulfStar", "Meridian Oil", "Atlas Energy", "NorthSea Petroleum",
+	"Crestfield", "Helios Fuels", "Vantage Oil",
+}
+
+// PharmaCompanies are subjects of the pharmaceutical domain.
+var PharmaCompanies = []string{
+	"MediCure", "BioVanta", "Helixia", "NovaPharm", "Clearwell Labs",
+	"Axiom Therapeutics", "Veridian Health", "CureGen",
+}
+
+// positiveAdjectives are lexicon-covered positive adjectives usable after
+// a copula.
+var positiveAdjectives = []string{
+	"excellent", "superb", "outstanding", "impressive", "responsive",
+	"sturdy", "sharp", "crisp", "vivid", "vibrant", "flawless",
+	"intuitive", "reliable", "fast", "smooth", "durable", "accurate",
+	"comfortable", "generous", "bright",
+}
+
+// negativeAdjectives are lexicon-covered negative adjectives.
+var negativeAdjectives = []string{
+	"terrible", "sluggish", "mediocre", "disappointing", "flimsy",
+	"grainy", "blurry", "noisy", "clunky", "confusing", "frustrating",
+	"unreliable", "awful", "weak", "dim", "bulky", "harsh", "shoddy",
+	"overpriced", "dull",
+}
+
+// positiveMusicAdjectives lean musical while staying in the lexicon.
+var positiveMusicAdjectives = []string{
+	"catchy", "soulful", "haunting", "energetic", "lively", "upbeat",
+	"memorable", "masterful", "polished", "melodic", "captivating",
+	"expressive", "vibrant", "superb", "gorgeous",
+}
+
+// negativeMusicAdjectives lean musical while staying in the lexicon.
+var negativeMusicAdjectives = []string{
+	"bland", "forgettable", "repetitive", "monotonous", "uninspired",
+	"derivative", "generic", "tinny", "muffled", "grating", "lifeless",
+	"dreary", "hollow", "dull",
+}
+
+// positiveObjectNPs are object noun phrases with lexicon-positive heads or
+// modifiers, for trans-verb templates ("takes excellent pictures").
+var positiveObjectNPs = []string{
+	"excellent pictures", "gorgeous images", "crisp photos",
+	"vivid colors", "superb results", "sharp images",
+	"impressive detail", "reliable performance",
+}
+
+// negativeObjectNPs are object NPs with negative sentiment words.
+var negativeObjectNPs = []string{
+	"grainy pictures", "blurry images", "muddy colors",
+	"disappointing results", "mediocre performance", "washed-out photos",
+	"noisy images",
+}
+
+// idiomPositiveTemplates express positive sentiment with vocabulary the
+// lexicon does not contain; %s is the subject NP. The miner must NOT be
+// able to detect these — they are the recall gap. Half of the templates
+// (the "visible" halves below) drop a detached sentiment word into the
+// sentence where the collocation baseline can count it but no grammatical
+// path ties it to the subject, matching the paper's observation that
+// collocation recall (70%) exceeds the miner's (56%).
+// idiomPositiveVisible express positive sentiment the miner cannot attach
+// to the subject (fragments, appositions), yet contain a detached
+// sentiment word the collocation baseline can count. These templates are
+// why collocation recall (paper: 70%) exceeds the miner's (56%).
+var idiomPositiveVisible = []string{
+	"Sheer excellence, that %s of mine.",
+	"A masterpiece of a %s, I kept telling everyone.",
+	"Pure joy, this %s, whatever the spec sheet says.",
+	"What a gem they hid inside the %s.",
+	"A triumph of a %s, according to half the forum.",
+	"Perfection, more or less, this %s.",
+	"A small marvel they built into the %s, truly.",
+	"A delight of a %s, if my notes mean anything.",
+	"Quiet excellence, the %s, week after week.",
+	"Such a treat they built into the %s.",
+}
+
+// idiomPositiveInvisible express positive sentiment with no lexicon
+// vocabulary at all: both the miner and collocation miss these.
+var idiomPositiveInvisible = []string{
+	"The %s blew me away.",
+	"The %s knocked my socks off.",
+	"You simply cannot go wrong with the %s.",
+	"The %s is the real deal.",
+	"The %s runs circles around the competition.",
+	"I keep coming back to the %s.",
+	"The %s is in a league of its own.",
+	"The %s punches far above its class.",
+	"The %s sold me within minutes.",
+	"Hats off to whoever engineered the %s.",
+}
+
+// idiomNegativeVisible mirrors idiomPositiveVisible for negative polarity.
+var idiomNegativeVisible = []string{
+	"A disaster of a %s, from the very first day.",
+	"Pure frustration, this %s, start to finish.",
+	"What a letdown they shipped as the %s.",
+	"Sheer annoyance, that %s, every single time.",
+	"A fiasco of a %s, according to everyone I asked.",
+	"A headache of a %s, morning after morning.",
+	"Such a nuisance they built into the %s, honestly.",
+	"A mess of a %s, whichever way you hold it.",
+	"Pure annoyance, this %s, start to finish.",
+	"A dud of a %s, and the forum agrees.",
+}
+
+// idiomNegativeInvisible mirrors idiomPositiveInvisible.
+var idiomNegativeInvisible = []string{
+	"The %s left me cold.",
+	"The %s falls flat on its face.",
+	"The %s is not worth the box it came in.",
+	"Save your money and skip the %s.",
+	"The %s belongs in a drawer, not a bag.",
+	"The %s had me reaching for the receipt.",
+	"The %s tested my patience at every turn.",
+	"I would not wish the %s on anyone.",
+	"The %s went straight back to the store.",
+	"The %s turned every outing into a chore.",
+}
+
+// neutralCameraTemplates carry no sentiment; %s is a feature/product NP.
+var neutralCameraTemplates = []string{
+	"The %s ships in the retail box.",
+	"The %s sits on the left side of the body.",
+	"The %s uses a standard connector.",
+	"The %s comes in three versions.",
+	"The %s was announced in March.",
+	"The %s weighs about nine ounces.",
+	"The %s stores files in the usual format.",
+	"The %s appears on page twelve of the guide.",
+}
+
+// neutralMusicTemplates carry no sentiment for the music domain.
+var neutralMusicTemplates = []string{
+	"The %s runs just under five minutes.",
+	"The %s opens the second half.",
+	"The %s was recorded in one session.",
+	"The %s features a guest player.",
+	"The %s closes with a long fade.",
+	"The %s appears twice on the set list.",
+}

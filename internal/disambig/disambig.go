@@ -1,0 +1,155 @@
+// Package disambig implements the spot disambiguator: for each occurrence
+// of a subject term it decides whether the occurrence really refers to the
+// intended subject ("SUN" the company vs. "Sunday").
+//
+// Following the paper, the decision relies on user-defined sets of terms
+// positively (on-topic) and negatively (off-topic) related to the subject
+// domain. For each spot the disambiguator computes a score for a local
+// context window around the spot and a global score for the whole
+// document, weighting terms by TF·IDF when corpus statistics are
+// available. If the global score passes a threshold, every spot on the
+// page is considered on-topic; otherwise each spot is kept only if its
+// combined local+global score passes a second threshold.
+package disambig
+
+import (
+	"strings"
+
+	"webfountain/internal/spotter"
+	"webfountain/internal/stats"
+	"webfountain/internal/tokenize"
+)
+
+// Config defines one subject's disambiguation resources.
+type Config struct {
+	// OnTopic are terms whose presence supports the intended reading.
+	OnTopic []string
+	// OffTopic are terms whose presence indicates a different sense.
+	OffTopic []string
+	// GlobalThreshold is the whole-document score above which all spots
+	// are accepted. Zero selects a sensible default.
+	GlobalThreshold float64
+	// LocalThreshold is the combined local+global score a single spot
+	// needs when the document as a whole is inconclusive.
+	LocalThreshold float64
+	// LocalWindow is the number of tokens on each side of a spot that form
+	// its local context (default 10).
+	LocalWindow int
+}
+
+// Disambiguator filters spots down to on-topic occurrences.
+type Disambiguator struct {
+	cfg      Config
+	onTopic  map[string]bool
+	offTopic map[string]bool
+	// idf holds optional corpus-level inverse document frequencies.
+	idf     map[string]float64
+	haveIDF bool
+}
+
+// New compiles a disambiguator from the configuration.
+func New(cfg Config) *Disambiguator {
+	if cfg.LocalWindow == 0 {
+		cfg.LocalWindow = 10
+	}
+	if cfg.GlobalThreshold == 0 {
+		cfg.GlobalThreshold = 2.0
+	}
+	if cfg.LocalThreshold == 0 {
+		cfg.LocalThreshold = 1.0
+	}
+	d := &Disambiguator{
+		cfg:      cfg,
+		onTopic:  make(map[string]bool, len(cfg.OnTopic)),
+		offTopic: make(map[string]bool, len(cfg.OffTopic)),
+	}
+	for _, t := range cfg.OnTopic {
+		d.onTopic[strings.ToLower(t)] = true
+	}
+	for _, t := range cfg.OffTopic {
+		d.offTopic[strings.ToLower(t)] = true
+	}
+	return d
+}
+
+// SetCorpusStats installs document frequencies so scores are TF·IDF
+// weighted; without it every context term weighs 1.
+func (d *Disambiguator) SetCorpusStats(docFreq map[string]int, numDocs int) {
+	d.idf = make(map[string]float64, len(docFreq))
+	for term, df := range docFreq {
+		d.idf[strings.ToLower(term)] = stats.IDF(df, numDocs)
+	}
+	d.haveIDF = numDocs > 0
+}
+
+func (d *Disambiguator) weight(term string) float64 {
+	if !d.haveIDF {
+		return 1
+	}
+	if w, ok := d.idf[term]; ok && w > 0 {
+		return w
+	}
+	return 1
+}
+
+// Score computes the on-topic evidence of a token window: the weighted
+// count of on-topic terms minus the weighted count of off-topic terms.
+func (d *Disambiguator) Score(tokens []tokenize.Token) float64 {
+	score := 0.0
+	for _, t := range tokens {
+		lw := t.Lower()
+		switch {
+		case d.onTopic[lw]:
+			score += d.weight(lw)
+		case d.offTopic[lw]:
+			score -= d.weight(lw)
+		}
+	}
+	return score
+}
+
+// GlobalScore scores the full document.
+func (d *Disambiguator) GlobalScore(tokens []tokenize.Token) float64 {
+	return d.Score(tokens)
+}
+
+// LocalScore scores the window of cfg.LocalWindow tokens on each side of
+// the spot.
+func (d *Disambiguator) LocalScore(tokens []tokenize.Token, s spotter.Spot) float64 {
+	lo := s.Start - d.cfg.LocalWindow
+	if lo < 0 {
+		lo = 0
+	}
+	hi := s.End + d.cfg.LocalWindow
+	if hi > len(tokens) {
+		hi = len(tokens)
+	}
+	return d.Score(tokens[lo:hi])
+}
+
+// Filter returns the subset of spots judged on-topic, applying the
+// two-threshold rule from the paper.
+func (d *Disambiguator) Filter(tokens []tokenize.Token, spots []spotter.Spot) []spotter.Spot {
+	if len(spots) == 0 {
+		return nil
+	}
+	global := d.GlobalScore(tokens)
+	if global >= d.cfg.GlobalThreshold {
+		out := make([]spotter.Spot, len(spots))
+		copy(out, spots)
+		return out
+	}
+	var out []spotter.Spot
+	for _, s := range spots {
+		if d.LocalScore(tokens, s)+global >= d.cfg.LocalThreshold {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// OnTopicDocument reports whether the whole document is about the subject
+// domain, per the global threshold alone.
+func (d *Disambiguator) OnTopicDocument(tokens []tokenize.Token) bool {
+	return d.GlobalScore(tokens) >= d.cfg.GlobalThreshold
+}

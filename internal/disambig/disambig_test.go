@@ -1,0 +1,116 @@
+package disambig
+
+import (
+	"testing"
+
+	"webfountain/internal/spotter"
+	"webfountain/internal/tokenize"
+)
+
+var tk = tokenize.New()
+
+func sunConfig() Config {
+	return Config{
+		OnTopic:         []string{"microsystems", "java", "server", "workstation", "solaris"},
+		OffTopic:        []string{"sunday", "weather", "sunshine", "sky", "beach"},
+		GlobalThreshold: 2,
+		LocalThreshold:  1,
+		LocalWindow:     8,
+	}
+}
+
+func sunSpots(tokens []tokenize.Token) []spotter.Spot {
+	sp := spotter.New([]spotter.SynonymSet{{ID: "sun", Terms: []string{"SUN"}}})
+	return sp.SpotTokens(tokens)
+}
+
+func TestGlobalOnTopicAcceptsAllSpots(t *testing.T) {
+	d := New(sunConfig())
+	text := "SUN released a new Solaris server. The Java workstation line from SUN also grew. Microsystems revenue rose."
+	toks := tk.Tokenize(text)
+	spots := sunSpots(toks)
+	if len(spots) != 2 {
+		t.Fatalf("precondition: %d spots", len(spots))
+	}
+	got := d.Filter(toks, spots)
+	if len(got) != 2 {
+		t.Errorf("on-topic doc should keep all spots, got %d", len(got))
+	}
+}
+
+func TestOffTopicDocumentRejectsSpots(t *testing.T) {
+	d := New(sunConfig())
+	text := "The SUN was bright on Sunday. We enjoyed the sunshine at the beach under a clear sky."
+	toks := tk.Tokenize(text)
+	spots := sunSpots(toks)
+	if len(spots) != 1 {
+		t.Fatalf("precondition: %d spots", len(spots))
+	}
+	got := d.Filter(toks, spots)
+	if len(got) != 0 {
+		t.Errorf("off-topic doc should reject spots, got %+v", got)
+	}
+}
+
+func TestLocalContextRescuesSpot(t *testing.T) {
+	d := New(sunConfig())
+	// Document globally mixed: enough off-topic noise to fail the global
+	// threshold, but the spot sits right next to strong on-topic terms.
+	text := "The weather on Sunday was fine with sunshine at the beach. " +
+		"Meanwhile SUN shipped Solaris on a new server and Java workstation."
+	toks := tk.Tokenize(text)
+	spots := sunSpots(toks)
+	if len(spots) != 1 {
+		t.Fatalf("precondition: %d spots (%v)", len(spots), spots)
+	}
+	if d.OnTopicDocument(toks) {
+		t.Fatal("precondition: document should be globally inconclusive")
+	}
+	got := d.Filter(toks, spots)
+	if len(got) != 1 {
+		t.Errorf("local context should rescue the spot")
+	}
+}
+
+func TestScoreWeighting(t *testing.T) {
+	d := New(sunConfig())
+	toks := tk.Tokenize("java server sunday")
+	if got := d.Score(toks); got != 1 { // +1 +1 -1
+		t.Errorf("Score = %v, want 1", got)
+	}
+}
+
+func TestTFIDFWeightsChangeScores(t *testing.T) {
+	d := New(sunConfig())
+	toks := tk.Tokenize("java sunday")
+	plain := d.Score(toks)
+	// "java" rare (high IDF), "sunday" ubiquitous (low IDF).
+	d.SetCorpusStats(map[string]int{"java": 2, "sunday": 900}, 1000)
+	weighted := d.Score(toks)
+	if weighted <= plain {
+		t.Errorf("weighted score %v should exceed plain %v when the on-topic term is rare", weighted, plain)
+	}
+}
+
+func TestFilterEmptySpots(t *testing.T) {
+	d := New(sunConfig())
+	if got := d.Filter(tk.Tokenize("anything"), nil); got != nil {
+		t.Errorf("got %+v", got)
+	}
+}
+
+func TestDefaultsApplied(t *testing.T) {
+	d := New(Config{OnTopic: []string{"x"}})
+	if d.cfg.LocalWindow != 10 || d.cfg.GlobalThreshold != 2 || d.cfg.LocalThreshold != 1 {
+		t.Errorf("defaults = %+v", d.cfg)
+	}
+}
+
+func TestLocalScoreWindowClamps(t *testing.T) {
+	d := New(sunConfig())
+	toks := tk.Tokenize("SUN java")
+	s := spotter.Spot{Start: 0, End: 1}
+	if got := d.LocalScore(toks, s); got != 1 {
+		t.Errorf("LocalScore = %v, want 1", got)
+	}
+}

@@ -1,0 +1,86 @@
+package eval
+
+import (
+	"math/rand"
+	"sort"
+
+	"webfountain/internal/corpus"
+	"webfountain/internal/lexicon"
+	"webfountain/internal/sentiment"
+)
+
+// Outcome is one case's (gold, predicted) pair, the unit the bootstrap
+// resamples.
+type Outcome struct {
+	Gold, Pred lexicon.Polarity
+}
+
+// SentimentOutcomes evaluates the miner and returns the per-case outcomes
+// (the same predictions EvalSentimentMiner aggregates).
+func (r *Runner) SentimentOutcomes(docs []corpus.Document, cases []Case) []Outcome {
+	type analysis struct {
+		assignments []sentiment.Assignment
+	}
+	cache := map[sentenceKey]analysis{}
+	out := make([]Outcome, 0, len(cases))
+	for _, c := range cases {
+		key := sentenceKey{c.Doc, c.SentIdx}
+		a, ok := cache[key]
+		if !ok {
+			tagged := r.tagger.Tag(r.tk.Tokenize(docs[c.Doc].Sentences[c.SentIdx].Text))
+			a = analysis{assignments: r.analyzer.Analyze(tagged)}
+			cache[key] = a
+		}
+		hits := sentiment.ForSpan(a.assignments, c.SpotStart, c.SpotEnd)
+		out = append(out, Outcome{Gold: c.Gold, Pred: sentiment.Net(hits)})
+	}
+	return out
+}
+
+// MetricsOf aggregates outcomes into Metrics.
+func MetricsOf(outcomes []Outcome) Metrics {
+	var m Metrics
+	for _, o := range outcomes {
+		m.Add(o.Gold, o.Pred)
+	}
+	return m
+}
+
+// BootstrapCI computes a percentile bootstrap confidence interval for a
+// metric over the outcomes: iters resamples with replacement, returning
+// the (alpha/2, 1-alpha/2) percentiles. Deterministic for a given seed.
+func BootstrapCI(outcomes []Outcome, metric func(Metrics) float64, iters int, alpha float64, seed int64) (lo, hi float64) {
+	if len(outcomes) == 0 || iters <= 0 {
+		return 0, 0
+	}
+	if alpha <= 0 || alpha >= 1 {
+		alpha = 0.05
+	}
+	r := rand.New(rand.NewSource(seed))
+	values := make([]float64, iters)
+	for it := 0; it < iters; it++ {
+		var m Metrics
+		for k := 0; k < len(outcomes); k++ {
+			o := outcomes[r.Intn(len(outcomes))]
+			m.Add(o.Gold, o.Pred)
+		}
+		values[it] = metric(m)
+	}
+	sort.Float64s(values)
+	loIdx := int(alpha / 2 * float64(iters))
+	hiIdx := int((1 - alpha/2) * float64(iters))
+	if hiIdx >= iters {
+		hiIdx = iters - 1
+	}
+	return values[loIdx], values[hiIdx]
+}
+
+// Convenience metric accessors for BootstrapCI.
+var (
+	// PrecisionMetric extracts precision.
+	PrecisionMetric = func(m Metrics) float64 { return m.Precision() }
+	// RecallMetric extracts recall.
+	RecallMetric = func(m Metrics) float64 { return m.Recall() }
+	// AccuracyMetric extracts accuracy.
+	AccuracyMetric = func(m Metrics) float64 { return m.Accuracy() }
+)

@@ -1,0 +1,540 @@
+package eval
+
+import (
+	"fmt"
+	"sort"
+
+	"webfountain/internal/baselines"
+	"webfountain/internal/corpus"
+	"webfountain/internal/feature"
+	"webfountain/internal/lexicon"
+	"webfountain/internal/pos"
+	"webfountain/internal/sentiment"
+	"webfountain/internal/spotter"
+	"webfountain/internal/tokenize"
+)
+
+// Sizes mirror the paper's dataset sizes (Section 4.1). Experiments can
+// scale them down for fast runs.
+const (
+	PaperCameraDocs     = 485
+	PaperCameraOffTopic = 1838
+	PaperMusicDocs      = 250
+	PaperMusicOffTopic  = 2389
+	DefaultWebDocs      = 300
+	DefaultNewsDocs     = 200
+	DefaultSeed         = 20050405 // ICDE 2005 vintage
+)
+
+// Runner bundles the NLP stack shared by the experiments.
+type Runner struct {
+	tagger   *pos.Tagger
+	tk       *tokenize.Tokenizer
+	analyzer *sentiment.Analyzer
+	colloc   *baselines.Collocation
+}
+
+// NewRunner builds a Runner with the embedded resources. A nil analyzer
+// option selects the default full algorithm.
+func NewRunner(analyzer *sentiment.Analyzer) *Runner {
+	if analyzer == nil {
+		analyzer = sentiment.New(nil, nil)
+	}
+	return &Runner{
+		tagger:   pos.NewTagger(),
+		tk:       tokenize.New(),
+		analyzer: analyzer,
+		colloc:   baselines.NewCollocation(analyzer.Lexicon()),
+	}
+}
+
+// sentenceKey caches per-sentence analysis across cases.
+type sentenceKey struct{ doc, sent int }
+
+// EvalSentimentMiner scores the sentiment miner over the cases.
+func (r *Runner) EvalSentimentMiner(docs []corpus.Document, cases []Case) Metrics {
+	var m Metrics
+	type analysis struct {
+		tagged      []pos.TaggedToken
+		assignments []sentiment.Assignment
+	}
+	cache := map[sentenceKey]analysis{}
+	for _, c := range cases {
+		key := sentenceKey{c.Doc, c.SentIdx}
+		a, ok := cache[key]
+		if !ok {
+			tagged := r.tagger.Tag(r.tk.Tokenize(docs[c.Doc].Sentences[c.SentIdx].Text))
+			a = analysis{tagged: tagged, assignments: r.analyzer.Analyze(tagged)}
+			cache[key] = a
+		}
+		hits := sentiment.ForSpan(a.assignments, c.SpotStart, c.SpotEnd)
+		m.Add(c.Gold, sentiment.Net(hits))
+	}
+	return m
+}
+
+// EvalSentimentMinerWindowed scores the miner with a sentiment context of
+// `window` sentences on each side of each spot (the paper's context
+// window formation rule; 0 reproduces EvalSentimentMiner's behaviour of
+// analyzing the spot sentence alone).
+func (r *Runner) EvalSentimentMinerWindowed(docs []corpus.Document, cases []Case, window int) Metrics {
+	var m Metrics
+	tk := tokenize.New()
+	sentCache := map[int][]tokenize.Sentence{}
+	for _, c := range cases {
+		sents, ok := sentCache[c.Doc]
+		if !ok {
+			sents = tk.Sentences(docs[c.Doc].Text())
+			sentCache[c.Doc] = sents
+		}
+		if c.SentIdx >= len(sents) {
+			m.Add(c.Gold, lexicon.Neutral)
+			continue
+		}
+		ctx := sentiment.BuildContext(sents, c.SentIdx, window, c.SpotStart, c.SpotEnd)
+		hits, ok := r.analyzer.SubjectSentiment(r.tagger, ctx)
+		if !ok {
+			m.Add(c.Gold, lexicon.Neutral)
+			continue
+		}
+		m.Add(c.Gold, sentiment.Net(hits))
+	}
+	return m
+}
+
+// EvalCollocation scores the collocation baseline over the cases.
+func (r *Runner) EvalCollocation(docs []corpus.Document, cases []Case) Metrics {
+	var m Metrics
+	cache := map[sentenceKey][]pos.TaggedToken{}
+	for _, c := range cases {
+		key := sentenceKey{c.Doc, c.SentIdx}
+		tagged, ok := cache[key]
+		if !ok {
+			tagged = r.tagger.Tag(r.tk.Tokenize(docs[c.Doc].Sentences[c.SentIdx].Text))
+			cache[key] = tagged
+		}
+		pred := r.colloc.Classify(tagged, c.SpotStart, c.SpotEnd)
+		m.Add(c.Gold, pred)
+	}
+	return m
+}
+
+// EvalReviewSeerSentences scores the statistical classifier per sentence,
+// the protocol the paper applies on general web documents. When
+// excludeIClass is true only clearly polar, on-target cases are kept (the
+// paper's "accuracy w/o I class").
+func (r *Runner) EvalReviewSeerSentences(nb *baselines.NaiveBayes, docs []corpus.Document, cases []Case, excludeIClass bool) Metrics {
+	var m Metrics
+	for _, c := range cases {
+		if excludeIClass && (c.Gold == lexicon.Neutral || !c.Detectable) {
+			continue
+		}
+		pred, _ := nb.Classify(docs[c.Doc].Sentences[c.SentIdx].Text)
+		m.Add(c.Gold, pred)
+	}
+	return m
+}
+
+// EvalReviewSeerDocuments scores the classifier at document level on
+// review verdicts (its home turf).
+func EvalReviewSeerDocuments(nb *baselines.NaiveBayes, docs []corpus.Document) Metrics {
+	var m Metrics
+	for i := range docs {
+		pred, _ := nb.Classify(docs[i].Text())
+		m.Add(docs[i].DocLabel, pred)
+	}
+	return m
+}
+
+// TrainReviewSeer trains the statistical baseline on review documents.
+func TrainReviewSeer(docs []corpus.Document) *baselines.NaiveBayes {
+	nb := baselines.NewNaiveBayes()
+	for i := range docs {
+		nb.Train(docs[i].Text(), docs[i].DocLabel)
+	}
+	return nb
+}
+
+// --- Table 4: product review datasets ---
+
+// Table4Row is one system's row in Table 4.
+type Table4Row struct {
+	System    string
+	Precision float64
+	Recall    float64
+	Accuracy  float64
+	Cases     int
+}
+
+// Table4Result reproduces Table 4.
+type Table4Result struct {
+	Rows []Table4Row
+	// ReviewTestDocs is the held-out review count for the classifier row.
+	ReviewTestDocs int
+}
+
+// Table4 runs the review-dataset comparison: the sentiment miner and the
+// collocation baseline at (sentence, subject) level over the camera and
+// music review corpora, and the ReviewSeer-style classifier at document
+// level (as the original system was evaluated), trained on a held-out
+// split.
+func Table4(seed int64, cameraDocs, musicDocs int) Table4Result {
+	r := NewRunner(nil)
+
+	camera := corpus.DigitalCameraReviews(seed, cameraDocs)
+	music := corpus.MusicReviews(seed+1, musicDocs)
+
+	camSubjects := append(append([]string{}, corpus.CameraProducts...), corpus.CameraFeatures...)
+	musSubjects := append(append([]string{}, corpus.MusicAlbums...), corpus.MusicFeatures...)
+
+	camCases := Cases(camera, camSubjects)
+	musCases := Cases(music, musSubjects)
+
+	var sm, col Metrics
+	for _, part := range []struct {
+		docs  []corpus.Document
+		cases []Case
+	}{{camera, camCases}, {music, musCases}} {
+		s := r.EvalSentimentMiner(part.docs, part.cases)
+		c := r.EvalCollocation(part.docs, part.cases)
+		sm = merge(sm, s)
+		col = merge(col, c)
+	}
+
+	// ReviewSeer: 70/30 train/test split within each domain at doc level,
+	// so both train and test cover both review domains (the original
+	// system was trained on in-domain review data).
+	var train, test []corpus.Document
+	for _, part := range [][]corpus.Document{camera, music} {
+		cut := len(part) * 7 / 10
+		train = append(train, part[:cut]...)
+		test = append(test, part[cut:]...)
+	}
+	nb := TrainReviewSeer(train)
+	rs := EvalReviewSeerDocuments(nb, test)
+
+	return Table4Result{
+		Rows: []Table4Row{
+			{System: "SM", Precision: sm.Precision(), Recall: sm.Recall(), Accuracy: sm.Accuracy(), Cases: sm.Total},
+			{System: "Collocation", Precision: col.Precision(), Recall: col.Recall(), Accuracy: col.Accuracy(), Cases: col.Total},
+			{System: "ReviewSeer", Precision: rs.Precision(), Recall: rs.Recall(), Accuracy: rs.Accuracy(), Cases: rs.Total},
+		},
+		ReviewTestDocs: len(test),
+	}
+}
+
+func merge(a, b Metrics) Metrics {
+	return Metrics{
+		CorrectPolar:   a.CorrectPolar + b.CorrectPolar,
+		PredictedPolar: a.PredictedPolar + b.PredictedPolar,
+		GoldPolar:      a.GoldPolar + b.GoldPolar,
+		Correct:        a.Correct + b.Correct,
+		Total:          a.Total + b.Total,
+	}
+}
+
+// --- Table 5: general web documents and news articles ---
+
+// Table5Row is one (system, corpus) row of Table 5.
+type Table5Row struct {
+	System    string
+	Corpus    string
+	Precision float64
+	Accuracy  float64
+	// AccuracyNoIClass is only set for the ReviewSeer row, mirroring the
+	// paper's 68% column.
+	AccuracyNoIClass float64
+	Cases            int
+}
+
+// Table5 reproduces Table 5: the sentiment miner on petroleum-web,
+// pharma-web and petroleum-news corpora, and the review-trained
+// statistical classifier collapsing on the web corpus.
+func Table5(seed int64, webDocs, newsDocs int) []Table5Row {
+	r := NewRunner(nil)
+
+	petro := corpus.PetroleumWeb(seed+10, webDocs)
+	pharma := corpus.PharmaWeb(seed+11, webDocs)
+	news := corpus.PetroleumNews(seed+12, newsDocs)
+
+	var rows []Table5Row
+	evalCorpus := func(name string, docs []corpus.Document, subjects []string) []Case {
+		cases := Cases(docs, subjects)
+		m := r.EvalSentimentMiner(docs, cases)
+		rows = append(rows, Table5Row{
+			System: "SM", Corpus: name,
+			Precision: m.Precision(), Accuracy: m.Accuracy(), Cases: m.Total,
+		})
+		return cases
+	}
+
+	petroCases := evalCorpus("Petroleum, Web", petro, corpus.PetroleumCompanies)
+	evalCorpus("Pharmaceutical, Web", pharma, corpus.PharmaCompanies)
+	evalCorpus("Petroleum, News", news, corpus.PetroleumCompanies)
+
+	// ReviewSeer trained on reviews, applied per sentence on the
+	// petroleum web corpus (the paper's "Web" row).
+	training := append(
+		corpus.DigitalCameraReviews(seed, PaperCameraDocs/2),
+		corpus.MusicReviews(seed+1, PaperMusicDocs/2)...)
+	nb := TrainReviewSeer(training)
+	all := r.EvalReviewSeerSentences(nb, petro, petroCases, false)
+	noI := r.EvalReviewSeerSentences(nb, petro, petroCases, true)
+	rows = append(rows, Table5Row{
+		System: "ReviewSeer", Corpus: "Web",
+		Precision: all.Precision(), Accuracy: all.Accuracy(),
+		AccuracyNoIClass: noI.Accuracy(), Cases: all.Total,
+	})
+	return rows
+}
+
+// --- Feature extraction experiments (Table 2 and the 97%/100% precision) ---
+
+// FeatureResult is the outcome of the bBNP-L pipeline on one domain.
+type FeatureResult struct {
+	Domain string
+	// Top are the selected feature terms in rank order.
+	Top []feature.ScoredTerm
+	// Precision is the share of selected terms present in the domain's
+	// gold feature list (standing in for the paper's two human judges).
+	Precision float64
+	Selected  int
+}
+
+// FeatureExtraction runs the bBNP-L pipeline for a domain. heuristic
+// selects bBNP (the paper's) or AllBNP (the ablation).
+func FeatureExtraction(domain string, seed int64, onDocs, offDocs int, h feature.Heuristic) FeatureResult {
+	var on []corpus.Document
+	var gold []string
+	switch domain {
+	case "music":
+		on = corpus.MusicReviews(seed+1, onDocs)
+		gold = corpus.MusicFeatures
+	default:
+		domain = "camera"
+		on = corpus.DigitalCameraReviews(seed, onDocs)
+		gold = corpus.CameraFeatures
+	}
+	off := corpus.Distractors(seed+2, offDocs)
+
+	onTexts := make([]string, len(on))
+	for i := range on {
+		onTexts[i] = on[i].Text()
+	}
+	offTexts := make([]string, len(off))
+	for i := range off {
+		offTexts[i] = off[i].Text()
+	}
+	selected := feature.ExtractAndSelect(feature.NewExtractor(h), onTexts, offTexts, 0.999)
+
+	goldSet := map[string]bool{}
+	for _, g := range gold {
+		goldSet[g] = true
+	}
+	correct := 0
+	for _, st := range selected {
+		if goldSet[st.Term] {
+			correct++
+		}
+	}
+	prec := 0.0
+	if len(selected) > 0 {
+		prec = float64(correct) / float64(len(selected))
+	}
+	top := selected
+	if len(top) > 20 {
+		top = top[:20]
+	}
+	return FeatureResult{Domain: domain, Top: top, Precision: prec, Selected: len(selected)}
+}
+
+// --- Table 3: product vs. feature reference counts ---
+
+// ReferenceCount is one row of Table 3.
+type ReferenceCount struct {
+	Term  string
+	Count int
+}
+
+// Table3Result reproduces Table 3.
+type Table3Result struct {
+	Products     []ReferenceCount
+	Features     []ReferenceCount
+	ProductTotal int
+	FeatureTotal int
+	NumProducts  int
+	NumFeatures  int
+}
+
+// Ratio returns feature references per product reference.
+func (t Table3Result) Ratio() float64 {
+	if t.ProductTotal == 0 {
+		return 0
+	}
+	return float64(t.FeatureTotal) / float64(t.ProductTotal)
+}
+
+// Table3 counts product-name and feature-term references in the camera
+// review corpus with the spotter, exactly as the production pipeline
+// counts spots.
+func Table3(seed int64, docs int) Table3Result {
+	camera := corpus.DigitalCameraReviews(seed, docs)
+	tk := tokenize.New()
+
+	prodSpotter := spotter.New(corpus.SynonymSets(corpus.CameraProducts))
+	featSpotter := spotter.New(corpus.SynonymSets(corpus.CameraFeatures))
+
+	prodCounts := map[string]int{}
+	featCounts := map[string]int{}
+	for i := range camera {
+		toks := tk.Tokenize(camera[i].Text())
+		for id, n := range spotter.CountBySet(prodSpotter.SpotTokens(toks)) {
+			prodCounts[id] += n
+		}
+		for id, n := range spotter.CountBySet(featSpotter.SpotTokens(toks)) {
+			featCounts[id] += n
+		}
+	}
+	res := Table3Result{NumProducts: len(prodCounts), NumFeatures: len(featCounts)}
+	res.Products, res.ProductTotal = ranked(prodCounts)
+	res.Features, res.FeatureTotal = ranked(featCounts)
+	return res
+}
+
+func ranked(counts map[string]int) ([]ReferenceCount, int) {
+	out := make([]ReferenceCount, 0, len(counts))
+	total := 0
+	for term, n := range counts {
+		out = append(out, ReferenceCount{Term: term, Count: n})
+		total += n
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Term < out[j].Term
+	})
+	return out, total
+}
+
+// --- Figure 2 inset: customer satisfaction by product and feature ---
+
+// SatisfactionCell is one bar of the chart: the share of pages about a
+// product whose sentiment toward a feature is positive.
+type SatisfactionCell struct {
+	Product  string
+	Feature  string
+	Positive int
+	Negative int
+}
+
+// Share returns the percentage of positive pages.
+func (c SatisfactionCell) Share() float64 {
+	if c.Positive+c.Negative == 0 {
+		return 0
+	}
+	return 100 * float64(c.Positive) / float64(c.Positive+c.Negative)
+}
+
+// Satisfaction reproduces the Figure 2 inset chart over the first
+// nProducts products and the given features.
+func Satisfaction(seed int64, docs, nProducts int, features []string) []SatisfactionCell {
+	r := NewRunner(nil)
+	camera := corpus.DigitalCameraReviews(seed, docs)
+	products := corpus.CameraProducts
+	if nProducts < len(products) {
+		products = products[:nProducts]
+	}
+
+	cases := Cases(camera, features)
+	// Per (doc, feature) net sentiment.
+	type key struct {
+		doc     int
+		feature string
+	}
+	net := map[key]int{}
+	type analysis struct{ assignments []sentiment.Assignment }
+	cache := map[sentenceKey]analysis{}
+	for _, c := range cases {
+		k := sentenceKey{c.Doc, c.SentIdx}
+		a, ok := cache[k]
+		if !ok {
+			tagged := r.tagger.Tag(r.tk.Tokenize(camera[c.Doc].Sentences[c.SentIdx].Text))
+			a = analysis{assignments: r.analyzer.Analyze(tagged)}
+			cache[k] = a
+		}
+		hits := sentiment.ForSpan(a.assignments, c.SpotStart, c.SpotEnd)
+		net[key{c.Doc, c.Subject}] += int(sentiment.Net(hits))
+	}
+
+	// Product of each page from its title.
+	pageProduct := make([]string, len(camera))
+	for i := range camera {
+		for _, p := range products {
+			if containsWord(camera[i].Title, p) {
+				pageProduct[i] = p
+			}
+		}
+	}
+
+	cells := map[string]*SatisfactionCell{}
+	for k, v := range net {
+		p := pageProduct[k.doc]
+		if p == "" || v == 0 {
+			continue
+		}
+		ck := p + "\x00" + k.feature
+		cell, ok := cells[ck]
+		if !ok {
+			cell = &SatisfactionCell{Product: p, Feature: k.feature}
+			cells[ck] = cell
+		}
+		if v > 0 {
+			cell.Positive++
+		} else {
+			cell.Negative++
+		}
+	}
+	out := make([]SatisfactionCell, 0, len(cells))
+	for _, c := range cells {
+		out = append(out, *c)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Product != out[j].Product {
+			return out[i].Product < out[j].Product
+		}
+		return out[i].Feature < out[j].Feature
+	})
+	return out
+}
+
+func containsWord(s, w string) bool {
+	idx := 0
+	for {
+		j := indexFrom(s, w, idx)
+		if j < 0 {
+			return false
+		}
+		before := j == 0 || s[j-1] == ' '
+		after := j+len(w) == len(s) || s[j+len(w)] == ' ' || s[j+len(w)] == '.'
+		if before && after {
+			return true
+		}
+		idx = j + 1
+	}
+}
+
+func indexFrom(s, sub string, from int) int {
+	if from >= len(s) {
+		return -1
+	}
+	for i := from; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return i
+		}
+	}
+	return -1
+}
+
+// FormatPercent renders a ratio as a percentage string.
+func FormatPercent(x float64) string { return fmt.Sprintf("%.1f%%", 100*x) }

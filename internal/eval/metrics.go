@@ -1,0 +1,180 @@
+// Package eval implements the paper's evaluation methodology: test cases
+// are (sentence, subject) pairs; precision is computed over polar
+// predictions, recall over gold-polar cases, and accuracy over all cases
+// including neutral ones — exactly the protocol of Tables 4 and 5.
+package eval
+
+import (
+	"fmt"
+
+	"webfountain/internal/corpus"
+	"webfountain/internal/lexicon"
+	"webfountain/internal/spotter"
+	"webfountain/internal/tokenize"
+)
+
+// Metrics accumulates evaluation counts.
+type Metrics struct {
+	// CorrectPolar counts polar predictions whose polarity matches a
+	// polar gold label.
+	CorrectPolar int
+	// PredictedPolar counts all polar (non-neutral) predictions.
+	PredictedPolar int
+	// GoldPolar counts cases whose gold label is polar.
+	GoldPolar int
+	// Correct counts all correct predictions, where predicting neutral on
+	// a neutral gold case is correct.
+	Correct int
+	// Total counts all cases.
+	Total int
+}
+
+// Add records one (gold, predicted) pair.
+func (m *Metrics) Add(gold, pred lexicon.Polarity) {
+	m.Total++
+	if gold != lexicon.Neutral {
+		m.GoldPolar++
+	}
+	if pred != lexicon.Neutral {
+		m.PredictedPolar++
+	}
+	if gold == pred {
+		m.Correct++
+		if gold != lexicon.Neutral {
+			m.CorrectPolar++
+		}
+	}
+}
+
+// Precision is correct polar predictions over all polar predictions.
+func (m Metrics) Precision() float64 {
+	if m.PredictedPolar == 0 {
+		return 0
+	}
+	return float64(m.CorrectPolar) / float64(m.PredictedPolar)
+}
+
+// Recall is correct polar predictions over gold-polar cases.
+func (m Metrics) Recall() float64 {
+	if m.GoldPolar == 0 {
+		return 0
+	}
+	return float64(m.CorrectPolar) / float64(m.GoldPolar)
+}
+
+// Accuracy is correct predictions over all cases, neutrals included.
+func (m Metrics) Accuracy() float64 {
+	if m.Total == 0 {
+		return 0
+	}
+	return float64(m.Correct) / float64(m.Total)
+}
+
+// String renders the three headline numbers.
+func (m Metrics) String() string {
+	return fmt.Sprintf("P=%.1f%% R=%.1f%% Acc=%.1f%% (n=%d)",
+		100*m.Precision(), 100*m.Recall(), 100*m.Accuracy(), m.Total)
+}
+
+// Case is one evaluation unit: a subject spotted in a sentence, with its
+// gold polarity.
+type Case struct {
+	// Doc indexes the document within the evaluated corpus.
+	Doc int
+	// SentIdx is the sentence index within the document.
+	SentIdx int
+	// Subject is the canonical subject (synonym set ID).
+	Subject string
+	// SpotStart and SpotEnd are token indices of the subject within the
+	// tokenized sentence.
+	SpotStart, SpotEnd int
+	// Gold is the gold polarity (Neutral for unlabeled mentions).
+	Gold lexicon.Polarity
+	// Detectable mirrors the corpus label flag (false for gold-neutral).
+	Detectable bool
+}
+
+// Cases builds the evaluation cases for a corpus: every (sentence,
+// subject) pair found by the spotter, deduplicated, with gold labels from
+// the generator. Unlabeled mentions are gold-neutral, per the protocol
+// that a mention without sentiment is a neutral case.
+func Cases(docs []corpus.Document, subjectTerms []string) []Case {
+	sp := spotter.New(corpus.SynonymSets(subjectTerms))
+	tk := tokenize.New()
+	var out []Case
+	for di := range docs {
+		d := &docs[di]
+		for si := range d.Sentences {
+			toks := tk.Tokenize(d.Sentences[si].Text)
+			seen := map[string]bool{}
+			spots := maximalSpots(sp.SpotTokens(toks))
+			for _, s := range spots {
+				if seen[s.SetID] {
+					continue
+				}
+				seen[s.SetID] = true
+				gold, _ := d.GoldFor(si, s.SetID)
+				detectable := false
+				for _, l := range d.Sentences[si].Labels {
+					if equalFold(l.Subject, s.SetID) {
+						detectable = l.Detectable
+					}
+				}
+				out = append(out, Case{
+					Doc:        di,
+					SentIdx:    si,
+					Subject:    s.SetID,
+					SpotStart:  s.Start,
+					SpotEnd:    s.End,
+					Gold:       gold,
+					Detectable: detectable,
+				})
+			}
+		}
+	}
+	return out
+}
+
+// maximalSpots drops spots strictly contained in a longer spot (longest-
+// match spotting): in "the image quality", the nested "image" and
+// "quality" spots are shadowed by "image quality". Without this, nested
+// mentions show up as unlabeled gold-neutral cases that any correct
+// assignment to the enclosing phrase "contradicts".
+func maximalSpots(spots []spotter.Spot) []spotter.Spot {
+	var out []spotter.Spot
+	for i, s := range spots {
+		contained := false
+		for j, t := range spots {
+			if i == j {
+				continue
+			}
+			if t.Start <= s.Start && s.End <= t.End && t.End-t.Start > s.End-s.Start {
+				contained = true
+				break
+			}
+		}
+		if !contained {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+func equalFold(a, b string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := 0; i < len(a); i++ {
+		ca, cb := a[i], b[i]
+		if 'A' <= ca && ca <= 'Z' {
+			ca += 'a' - 'A'
+		}
+		if 'A' <= cb && cb <= 'Z' {
+			cb += 'a' - 'A'
+		}
+		if ca != cb {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,399 @@
+// Package feature implements the topic-feature term extractor: the bBNP
+// (beginning definite Base Noun Phrase) candidate heuristic and the
+// likelihood-ratio selection algorithm (the paper's bBNP-L combination,
+// reported as its best performer).
+//
+// A feature term of a topic is a term in a part-of or attribute-of
+// relationship with the topic (lens, battery, picture quality, ...). The
+// bBNP heuristic extracts definite base noun phrases at the beginning of
+// sentences followed by a verb phrase — "The battery life is..." — based
+// on the observation that writers introduce a new feature with a definite
+// noun phrase in sentence-initial position. Candidates are then ranked by
+// Dunning's likelihood ratio over an on-topic collection D+ and an
+// off-topic collection D-.
+package feature
+
+import (
+	"sort"
+	"strings"
+
+	"webfountain/internal/pos"
+	"webfountain/internal/stats"
+	"webfountain/internal/tokenize"
+)
+
+// Heuristic selects the candidate extraction strategy.
+type Heuristic int
+
+const (
+	// BBNP is the paper's best heuristic: definite base noun phrases at
+	// sentence start followed by a verb phrase.
+	BBNP Heuristic = iota
+	// DBNP is the intermediate heuristic from the companion Sentiment
+	// Analyzer paper: definite base noun phrases anywhere in the
+	// sentence, regardless of position.
+	DBNP
+	// AllBNP is the loosest baseline: every base noun phrase anywhere,
+	// regardless of definiteness or position.
+	AllBNP
+)
+
+// Extractor extracts candidate feature terms from documents.
+type Extractor struct {
+	tagger    *pos.Tagger
+	tokenizer *tokenize.Tokenizer
+	heuristic Heuristic
+}
+
+// NewExtractor returns an extractor using the given heuristic.
+func NewExtractor(h Heuristic) *Extractor {
+	return &Extractor{
+		tagger:    pos.NewTagger(),
+		tokenizer: tokenize.New(),
+		heuristic: h,
+	}
+}
+
+// bnpPatterns are the paper's definite base noun phrase shapes, as POS tag
+// sequences following the definite article: NN, NN NN, JJ NN, NN NN NN,
+// JJ NN NN, JJ JJ NN.
+var bnpPatterns = [][]pos.Tag{
+	{pos.NN},
+	{pos.NN, pos.NN},
+	{pos.JJ, pos.NN},
+	{pos.NN, pos.NN, pos.NN},
+	{pos.JJ, pos.NN, pos.NN},
+	{pos.JJ, pos.JJ, pos.NN},
+}
+
+// Candidates extracts the candidate feature terms of one document,
+// lower-cased, with duplicates removed (document-level presence is what
+// the selection algorithm counts).
+func (e *Extractor) Candidates(text string) []string {
+	seen := make(map[string]bool)
+	var out []string
+	for _, sent := range e.tokenizer.Sentences(text) {
+		tagged := e.tagger.TagSentence(sent)
+		for _, cand := range e.sentenceCandidates(tagged) {
+			if !seen[cand] {
+				seen[cand] = true
+				out = append(out, cand)
+			}
+		}
+	}
+	return out
+}
+
+func (e *Extractor) sentenceCandidates(ts []pos.TaggedToken) []string {
+	switch e.heuristic {
+	case AllBNP:
+		return allBNPs(ts)
+	case DBNP:
+		return definiteBNPs(ts)
+	default:
+		return beginningDefiniteBNP(ts)
+	}
+}
+
+// definiteBNPs returns every base noun phrase directly preceded by the
+// definite article, anywhere in the sentence.
+func definiteBNPs(ts []pos.TaggedToken) []string {
+	var out []string
+	for i := 0; i < len(ts)-1; i++ {
+		if !strings.EqualFold(ts[i].Text, "the") {
+			continue
+		}
+		body := ts[i+1:]
+		var best []pos.TaggedToken
+		for _, pat := range bnpPatterns {
+			if len(body) < len(pat) {
+				continue
+			}
+			if !tagsMatch(body, pat) {
+				continue
+			}
+			// Maximal: the noun run must end at the pattern boundary.
+			if len(body) > len(pat) && body[len(pat)].Tag.IsNoun() {
+				continue
+			}
+			if len(pat) > len(best) {
+				best = body[:len(pat)]
+			}
+		}
+		if best != nil {
+			out = append(out, joinLower(best))
+			i += len(best)
+		}
+	}
+	return out
+}
+
+// beginningDefiniteBNP matches "The <bnp> <verb...>" at sentence start.
+func beginningDefiniteBNP(ts []pos.TaggedToken) []string {
+	if len(ts) < 3 {
+		return nil
+	}
+	if !strings.EqualFold(ts[0].Text, "the") {
+		return nil
+	}
+	body := ts[1:]
+	var best []pos.TaggedToken
+	for _, pat := range bnpPatterns {
+		if len(body) < len(pat)+1 {
+			continue
+		}
+		if !tagsMatch(body, pat) {
+			continue
+		}
+		// Followed by a verb phrase (allow an intervening adverb).
+		next := body[len(pat)]
+		if next.Tag.IsVerb() || next.Tag == pos.MD ||
+			(next.Tag.IsAdverb() && len(body) > len(pat)+1 &&
+				(body[len(pat)+1].Tag.IsVerb() || body[len(pat)+1].Tag == pos.MD)) {
+			if len(pat) > len(best) {
+				best = body[:len(pat)]
+			}
+		}
+	}
+	if best == nil {
+		return nil
+	}
+	return []string{joinLower(best)}
+}
+
+// allBNPs returns every base noun phrase in the sentence matching the bnp
+// tag shapes, definite or not, anywhere.
+func allBNPs(ts []pos.TaggedToken) []string {
+	var out []string
+	for i := 0; i < len(ts); i++ {
+		var best []pos.TaggedToken
+		for _, pat := range bnpPatterns {
+			if i+len(pat) > len(ts) {
+				continue
+			}
+			if !tagsMatch(ts[i:], pat) {
+				continue
+			}
+			// Maximal match: the noun run must end here.
+			if i+len(pat) < len(ts) && ts[i+len(pat)].Tag.IsNoun() {
+				continue
+			}
+			// And must not start mid-noun-run.
+			if i > 0 && (ts[i-1].Tag.IsNoun() || ts[i-1].Tag.IsAdjective()) {
+				continue
+			}
+			if len(pat) > len(best) {
+				best = ts[i : i+len(pat)]
+			}
+		}
+		if best != nil {
+			out = append(out, joinLower(best))
+			i += len(best) - 1
+		}
+	}
+	return out
+}
+
+func tagsMatch(ts []pos.TaggedToken, pat []pos.Tag) bool {
+	for k, want := range pat {
+		got := ts[k].Tag
+		switch want {
+		case pos.NN:
+			if got != pos.NN && got != pos.NNS {
+				return false
+			}
+		case pos.JJ:
+			if !got.IsAdjective() {
+				return false
+			}
+		default:
+			if got != want {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func joinLower(ts []pos.TaggedToken) string {
+	parts := make([]string, len(ts))
+	for i, t := range ts {
+		parts[i] = strings.ToLower(t.Text)
+	}
+	return strings.Join(parts, " ")
+}
+
+// ScoredTerm is a candidate with its likelihood-ratio score and document
+// frequencies.
+type ScoredTerm struct {
+	Term string
+	// Score is Dunning's -2 log lambda; higher means more characteristic
+	// of the on-topic collection.
+	Score float64
+	// DocsOn and DocsOff are the number of on-/off-topic documents whose
+	// candidate set contains the term.
+	DocsOn, DocsOff int
+}
+
+// Selector ranks candidate feature terms by likelihood ratio.
+type Selector struct {
+	// Confidence is the chi-square confidence level for the acceptance
+	// threshold (default 0.999 when zero).
+	Confidence float64
+}
+
+// Select computes the likelihood-ratio score for every candidate seen in
+// the on-topic candidate sets and returns terms above the confidence
+// threshold, sorted by decreasing score (ties broken by on-topic document
+// frequency, then alphabetically for determinism).
+func (s Selector) Select(onTopic, offTopic [][]string) []ScoredTerm {
+	conf := s.Confidence
+	if conf == 0 {
+		conf = 0.999
+	}
+	threshold, ok := stats.ChiSquare1CriticalValues[conf]
+	if !ok {
+		threshold = stats.ChiSquare1CriticalValues[0.999]
+	}
+	scored := s.scoreAll(onTopic, offTopic)
+	out := scored[:0]
+	for _, st := range scored {
+		if st.Score >= threshold {
+			out = append(out, st)
+		}
+	}
+	return out
+}
+
+// TopN returns the N highest-scoring candidates regardless of threshold.
+func (s Selector) TopN(onTopic, offTopic [][]string, n int) []ScoredTerm {
+	scored := s.scoreAll(onTopic, offTopic)
+	if len(scored) > n {
+		scored = scored[:n]
+	}
+	return scored
+}
+
+func (s Selector) scoreAll(onTopic, offTopic [][]string) []ScoredTerm {
+	dfOn := docFreq(onTopic)
+	dfOff := docFreq(offTopic)
+	nOn, nOff := float64(len(onTopic)), float64(len(offTopic))
+
+	scored := make([]ScoredTerm, 0, len(dfOn))
+	for term, c11 := range dfOn {
+		c12 := dfOff[term]
+		tab := stats.Contingency{
+			C11: float64(c11),
+			C12: float64(c12),
+			C21: nOn - float64(c11),
+			C22: nOff - float64(c12),
+		}
+		scored = append(scored, ScoredTerm{
+			Term:    term,
+			Score:   tab.LogLikelihoodRatio(),
+			DocsOn:  c11,
+			DocsOff: c12,
+		})
+	}
+	sort.Slice(scored, func(i, j int) bool {
+		if scored[i].Score != scored[j].Score {
+			return scored[i].Score > scored[j].Score
+		}
+		if scored[i].DocsOn != scored[j].DocsOn {
+			return scored[i].DocsOn > scored[j].DocsOn
+		}
+		return scored[i].Term < scored[j].Term
+	})
+	return scored
+}
+
+func docFreq(docs [][]string) map[string]int {
+	df := make(map[string]int)
+	for _, cands := range docs {
+		seen := make(map[string]bool, len(cands))
+		for _, c := range cands {
+			if !seen[c] {
+				seen[c] = true
+				df[c]++
+			}
+		}
+	}
+	return df
+}
+
+// MixtureSelector is the companion paper's alternative selection
+// algorithm (bBNP-M): candidate terms are scored by how much more
+// probable they are under the on-topic collection's language model than
+// under a mixture of the on-topic and background models. Terms whose
+// on-topic probability is dominated by the background score near zero;
+// topic-characteristic terms score high.
+type MixtureSelector struct {
+	// Lambda is the background interpolation weight (default 0.9): higher
+	// values discount globally common terms harder.
+	Lambda float64
+	// MinScore is the acceptance threshold (default 1.0).
+	MinScore float64
+}
+
+// Select scores candidates by the mixture-model criterion and returns
+// those above MinScore, sorted by decreasing score.
+func (ms MixtureSelector) Select(onTopic, offTopic [][]string) []ScoredTerm {
+	lambda := ms.Lambda
+	if lambda == 0 {
+		lambda = 0.9
+	}
+	minScore := ms.MinScore
+	if minScore == 0 {
+		minScore = 1.0
+	}
+	dfOn := docFreq(onTopic)
+	dfOff := docFreq(offTopic)
+	nOn, nOff := float64(len(onTopic)), float64(len(offTopic))
+	if nOn == 0 {
+		return nil
+	}
+
+	var out []ScoredTerm
+	for term, c11 := range dfOn {
+		pOn := float64(c11) / nOn
+		pBg := 0.0
+		if nOff > 0 {
+			pBg = float64(dfOff[term]) / nOff
+		}
+		// Score: how much of the term's mass the on-topic model explains
+		// against the lambda-weighted background, scaled by evidence.
+		denom := lambda*pBg + (1-lambda)*pOn
+		if denom == 0 {
+			denom = (1 - lambda) / nOn // unseen everywhere: minimal mass
+		}
+		score := pOn / denom * pOn * float64(c11)
+		if score >= minScore {
+			out = append(out, ScoredTerm{Term: term, Score: score, DocsOn: c11, DocsOff: dfOff[term]})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		if out[i].DocsOn != out[j].DocsOn {
+			return out[i].DocsOn > out[j].DocsOn
+		}
+		return out[i].Term < out[j].Term
+	})
+	return out
+}
+
+// ExtractAndSelect is the full bBNP-L pipeline: extract candidates from
+// both collections with the extractor's heuristic and select by likelihood
+// ratio at the given confidence (0 = default 0.999).
+func ExtractAndSelect(e *Extractor, onTopic, offTopic []string, confidence float64) []ScoredTerm {
+	on := make([][]string, len(onTopic))
+	for i, d := range onTopic {
+		on[i] = e.Candidates(d)
+	}
+	off := make([][]string, len(offTopic))
+	for i, d := range offTopic {
+		off[i] = e.Candidates(d)
+	}
+	return Selector{Confidence: confidence}.Select(on, off)
+}

@@ -1,0 +1,274 @@
+package feature
+
+import (
+	"fmt"
+	"testing"
+
+	"webfountain/internal/stats"
+)
+
+func TestBBNPExtractsSentenceInitialDefiniteNP(t *testing.T) {
+	e := NewExtractor(BBNP)
+	cases := []struct {
+		text string
+		want []string
+	}{
+		{"The battery is excellent.", []string{"battery"}},
+		{"The battery life is excellent.", []string{"battery life"}},
+		{"The picture quality exceeded my expectations.", []string{"picture quality"}},
+		{"The first movement is a haunting piece.", []string{"first movement"}},
+		// Indefinite article: not a candidate.
+		{"A battery is included.", nil},
+		// Definite NP not at sentence start: not a candidate.
+		{"I replaced the battery quickly.", nil},
+		// No following verb phrase: not a candidate.
+		{"The battery.", nil},
+	}
+	for _, c := range cases {
+		got := e.Candidates(c.text)
+		if fmt.Sprint(got) != fmt.Sprint(c.want) {
+			t.Errorf("Candidates(%q) = %v, want %v", c.text, got, c.want)
+		}
+	}
+}
+
+func TestBBNPLongestPatternWins(t *testing.T) {
+	e := NewExtractor(BBNP)
+	got := e.Candidates("The optical zoom lens works flawlessly.")
+	if len(got) != 1 || got[0] != "optical zoom lens" {
+		t.Errorf("got %v, want [optical zoom lens]", got)
+	}
+}
+
+func TestBBNPInterveningAdverb(t *testing.T) {
+	e := NewExtractor(BBNP)
+	got := e.Candidates("The viewfinder really shines.")
+	if len(got) != 1 || got[0] != "viewfinder" {
+		t.Errorf("got %v", got)
+	}
+}
+
+func TestBBNPDedupPerDocument(t *testing.T) {
+	e := NewExtractor(BBNP)
+	got := e.Candidates("The battery drains. The battery dies.")
+	if len(got) != 1 {
+		t.Errorf("got %v, want one deduped candidate", got)
+	}
+}
+
+func TestAllBNPFindsNonInitialPhrases(t *testing.T) {
+	e := NewExtractor(AllBNP)
+	got := e.Candidates("I replaced the battery and cleaned the lens.")
+	want := map[string]bool{"battery": true, "lens": true}
+	found := 0
+	for _, g := range got {
+		if want[g] {
+			found++
+		}
+	}
+	if found != 2 {
+		t.Errorf("AllBNP got %v, want battery and lens", got)
+	}
+}
+
+func TestAllBNPNoisierThanBBNP(t *testing.T) {
+	text := "The battery life is great. I took many pictures at the beach near the old pier. Friends saw the results on my laptop screen."
+	bbnp := NewExtractor(BBNP).Candidates(text)
+	all := NewExtractor(AllBNP).Candidates(text)
+	if len(all) <= len(bbnp) {
+		t.Errorf("AllBNP (%d: %v) should out-produce bBNP (%d: %v)", len(all), all, len(bbnp), bbnp)
+	}
+}
+
+func TestSelectorRanksCharacteristicTerms(t *testing.T) {
+	// 20 on-topic docs mentioning "battery life", 2 also mention "weather";
+	// 50 off-topic docs, "weather" in most, "battery life" in none.
+	var on, off [][]string
+	for i := 0; i < 20; i++ {
+		c := []string{"battery life"}
+		if i < 2 {
+			c = append(c, "weather")
+		}
+		on = append(on, c)
+	}
+	for i := 0; i < 50; i++ {
+		off = append(off, []string{"weather"})
+	}
+	sel := Selector{Confidence: 0.999}
+	got := sel.Select(on, off)
+	if len(got) != 1 || got[0].Term != "battery life" {
+		t.Fatalf("Select = %+v, want only battery life", got)
+	}
+	if got[0].DocsOn != 20 || got[0].DocsOff != 0 {
+		t.Errorf("doc freqs = %d/%d", got[0].DocsOn, got[0].DocsOff)
+	}
+	if got[0].Score < stats.ChiSquare1CriticalValues[0.999] {
+		t.Errorf("score %v below threshold", got[0].Score)
+	}
+}
+
+func TestSelectorTopN(t *testing.T) {
+	on := [][]string{{"a", "b", "c"}, {"a", "b"}, {"a"}}
+	off := [][]string{{}, {}, {}}
+	got := Selector{}.TopN(on, off, 2)
+	if len(got) != 2 {
+		t.Fatalf("TopN = %+v", got)
+	}
+	if got[0].Term != "a" {
+		t.Errorf("top term = %q, want a (most frequent)", got[0].Term)
+	}
+}
+
+func TestSelectorDeterministicTieBreak(t *testing.T) {
+	on := [][]string{{"zeta", "alpha"}, {"zeta", "alpha"}}
+	off := [][]string{{}, {}}
+	a := Selector{}.TopN(on, off, 2)
+	b := Selector{}.TopN(on, off, 2)
+	if a[0].Term != b[0].Term || a[0].Term != "alpha" {
+		t.Errorf("tie break not deterministic/alphabetical: %v vs %v", a, b)
+	}
+}
+
+func TestExtractAndSelectEndToEnd(t *testing.T) {
+	onTopic := []string{
+		"The battery life is excellent. The zoom works well.",
+		"The battery life disappointed me. The menu is confusing.",
+		"The zoom is responsive. The battery life lasts all day.",
+		"The picture quality is superb. The zoom impressed me.",
+		"The battery life is short. The picture quality is great.",
+	}
+	offTopic := []string{
+		"The weather was nice today. We walked along the beach.",
+		"The meeting ran long. The agenda was packed.",
+		"The weather turned cold. The traffic was terrible.",
+		"The election dominated the news. The weather stayed mild.",
+	}
+	got := ExtractAndSelect(NewExtractor(BBNP), onTopic, offTopic, 0.95)
+	if len(got) == 0 {
+		t.Fatal("no features selected")
+	}
+	terms := map[string]bool{}
+	for _, st := range got {
+		terms[st.Term] = true
+	}
+	for _, want := range []string{"battery life", "zoom"} {
+		if !terms[want] {
+			t.Errorf("missing expected feature %q in %v", want, got)
+		}
+	}
+	if terms["weather"] {
+		t.Error("off-topic term selected")
+	}
+}
+
+func TestSelectEmptyCollections(t *testing.T) {
+	if got := (Selector{}).Select(nil, nil); len(got) != 0 {
+		t.Errorf("empty input should select nothing, got %v", got)
+	}
+}
+
+func TestDBNPFindsDefiniteNPsAnywhere(t *testing.T) {
+	e := NewExtractor(DBNP)
+	got := e.Candidates("I replaced the battery and cleaned the zoom lens carefully.")
+	want := map[string]bool{"battery": true, "zoom lens": true}
+	for _, g := range got {
+		if !want[g] {
+			t.Errorf("unexpected candidate %q", g)
+		}
+		delete(want, g)
+	}
+	if len(want) != 0 {
+		t.Errorf("missing candidates: %v (got %v)", want, got)
+	}
+	// Indefinite NPs stay out.
+	if got := e.Candidates("I bought a battery yesterday."); len(got) != 0 {
+		t.Errorf("indefinite leaked: %v", got)
+	}
+}
+
+func TestHeuristicStrictnessOrdering(t *testing.T) {
+	text := "The battery life is great. I cleaned the lens and a filter. Good shots happen at the beach."
+	b := len(NewExtractor(BBNP).Candidates(text))
+	d := len(NewExtractor(DBNP).Candidates(text))
+	a := len(NewExtractor(AllBNP).Candidates(text))
+	if !(b <= d && d <= a) {
+		t.Errorf("strictness violated: bBNP=%d dBNP=%d all=%d", b, d, a)
+	}
+	if b == a {
+		t.Errorf("heuristics indistinguishable on mixed text: %d", b)
+	}
+}
+
+func TestMixtureSelectorRanksCharacteristicTerms(t *testing.T) {
+	var on, off [][]string
+	for i := 0; i < 30; i++ {
+		c := []string{"battery life"}
+		if i < 3 {
+			c = append(c, "weather")
+		}
+		on = append(on, c)
+	}
+	for i := 0; i < 80; i++ {
+		off = append(off, []string{"weather"})
+	}
+	got := MixtureSelector{}.Select(on, off)
+	if len(got) == 0 || got[0].Term != "battery life" {
+		t.Fatalf("Select = %+v", got)
+	}
+	for _, st := range got {
+		if st.Term == "weather" {
+			t.Errorf("background-dominated term selected: %+v", st)
+		}
+	}
+}
+
+func TestMixtureSelectorAgreesWithLLROnCorpus(t *testing.T) {
+	// Both selectors should recover substantially the same feature set on
+	// a clean separation (the companion paper found LLR slightly better;
+	// here we assert strong overlap).
+	onTopic := []string{
+		"The battery life is excellent. The zoom works well.",
+		"The battery life disappointed me. The menu is confusing.",
+		"The zoom is responsive. The battery life lasts all day.",
+		"The picture quality is superb. The zoom impressed me.",
+		"The battery life is short. The menu is slow.",
+		"The picture quality is great. The zoom hunts indoors.",
+	}
+	offTopic := []string{
+		"The weather was nice. We walked along the shore.",
+		"The meeting ran long. The agenda was packed.",
+		"The weather turned cold. The traffic was terrible.",
+		"The election dominated the news. The weather stayed mild.",
+		"The forecast was wrong. The commute was slow.",
+	}
+	e := NewExtractor(BBNP)
+	on := make([][]string, len(onTopic))
+	for i, d := range onTopic {
+		on[i] = e.Candidates(d)
+	}
+	off := make([][]string, len(offTopic))
+	for i, d := range offTopic {
+		off[i] = e.Candidates(d)
+	}
+	llr := Selector{Confidence: 0.95}.Select(on, off)
+	mix := MixtureSelector{}.Select(on, off)
+	llrSet := map[string]bool{}
+	for _, st := range llr {
+		llrSet[st.Term] = true
+	}
+	overlap := 0
+	for _, st := range mix {
+		if llrSet[st.Term] {
+			overlap++
+		}
+	}
+	if len(llr) == 0 || overlap < len(llr)/2 {
+		t.Errorf("selectors disagree: llr=%v mix=%v", llr, mix)
+	}
+}
+
+func TestMixtureSelectorEmpty(t *testing.T) {
+	if got := (MixtureSelector{}).Select(nil, nil); got != nil {
+		t.Errorf("got %v", got)
+	}
+}

@@ -1,0 +1,318 @@
+// Package index implements the WebFountain indexer: an inverted index
+// over text tokens and miner-generated conceptual tokens, supporting
+// boolean, phrase, range and regular-expression queries, plus the
+// sentiment index that serves query-time lookups in the miner's second
+// operational mode.
+package index
+
+import (
+	"regexp"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// posting records the positions of one term within one document.
+type posting struct {
+	docID     string
+	positions []int
+}
+
+// Index is an inverted index, safe for concurrent use. Terms are
+// lower-cased; conceptual tokens (miner outputs such as
+// "sentiment/nr70/+") share the same term space and are distinguished by
+// their prefix, exactly as the production indexer mixes text and concept
+// tokens.
+type Index struct {
+	mu      sync.RWMutex
+	terms   map[string][]posting
+	numeric map[string]map[string]float64 // field -> docID -> value
+	docLen  map[string]int
+}
+
+// New returns an empty index.
+func New() *Index {
+	return &Index{
+		terms:   make(map[string][]posting),
+		numeric: make(map[string]map[string]float64),
+		docLen:  make(map[string]int),
+	}
+}
+
+// Add indexes a document's tokens (positions are the slice indices).
+// Re-adding a document ID replaces nothing — the caller is responsible
+// for not indexing the same document twice.
+func (ix *Index) Add(docID string, tokens []string) {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	ix.docLen[docID] = len(tokens)
+	byTerm := make(map[string][]int)
+	for i, t := range tokens {
+		lt := strings.ToLower(t)
+		byTerm[lt] = append(byTerm[lt], i)
+	}
+	for term, positions := range byTerm {
+		ix.terms[term] = append(ix.terms[term], posting{docID: docID, positions: positions})
+	}
+}
+
+// AddConcept indexes a conceptual token (no position) for a document.
+func (ix *Index) AddConcept(docID, concept string) {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	lt := strings.ToLower(concept)
+	ix.terms[lt] = append(ix.terms[lt], posting{docID: docID})
+	if _, ok := ix.docLen[docID]; !ok {
+		ix.docLen[docID] = 0
+	}
+}
+
+// AddNumeric indexes a numeric attribute for range queries.
+func (ix *Index) AddNumeric(docID, field string, value float64) {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	m, ok := ix.numeric[field]
+	if !ok {
+		m = make(map[string]float64)
+		ix.numeric[field] = m
+	}
+	m[docID] = value
+	if _, ok := ix.docLen[docID]; !ok {
+		ix.docLen[docID] = 0
+	}
+}
+
+// Remove deletes a document from the index: its postings, concepts and
+// numeric attributes all disappear. Removing an unknown ID is a no-op.
+func (ix *Index) Remove(docID string) {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	if _, ok := ix.docLen[docID]; !ok {
+		return
+	}
+	delete(ix.docLen, docID)
+	for term, ps := range ix.terms {
+		kept := ps[:0]
+		for _, p := range ps {
+			if p.docID != docID {
+				kept = append(kept, p)
+			}
+		}
+		if len(kept) == 0 {
+			delete(ix.terms, term)
+		} else {
+			ix.terms[term] = kept
+		}
+	}
+	for field, m := range ix.numeric {
+		delete(m, docID)
+		if len(m) == 0 {
+			delete(ix.numeric, field)
+		}
+	}
+}
+
+// NumDocs returns the number of indexed documents.
+func (ix *Index) NumDocs() int {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return len(ix.docLen)
+}
+
+// DocFreq returns the number of documents containing term.
+func (ix *Index) DocFreq(term string) int {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return len(ix.terms[strings.ToLower(term)])
+}
+
+// Vocabulary returns the number of distinct terms.
+func (ix *Index) Vocabulary() int {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return len(ix.terms)
+}
+
+// docSet is a set of document IDs.
+type docSet map[string]bool
+
+func (ix *Index) allDocs() docSet {
+	out := make(docSet, len(ix.docLen))
+	for id := range ix.docLen {
+		out[id] = true
+	}
+	return out
+}
+
+// Query is a composable index query.
+type Query interface {
+	eval(ix *Index) docSet
+}
+
+// term matches documents containing a single term.
+type termQuery string
+
+func (q termQuery) eval(ix *Index) docSet {
+	out := make(docSet)
+	for _, p := range ix.terms[strings.ToLower(string(q))] {
+		out[p.docID] = true
+	}
+	return out
+}
+
+// Term returns a query matching documents containing t.
+func Term(t string) Query { return termQuery(t) }
+
+type andQuery []Query
+
+func (q andQuery) eval(ix *Index) docSet {
+	if len(q) == 0 {
+		return docSet{}
+	}
+	acc := q[0].eval(ix)
+	for _, sub := range q[1:] {
+		next := sub.eval(ix)
+		for id := range acc {
+			if !next[id] {
+				delete(acc, id)
+			}
+		}
+	}
+	return acc
+}
+
+// And intersects sub-queries.
+func And(qs ...Query) Query { return andQuery(qs) }
+
+type orQuery []Query
+
+func (q orQuery) eval(ix *Index) docSet {
+	acc := make(docSet)
+	for _, sub := range q {
+		for id := range sub.eval(ix) {
+			acc[id] = true
+		}
+	}
+	return acc
+}
+
+// Or unions sub-queries.
+func Or(qs ...Query) Query { return orQuery(qs) }
+
+type notQuery struct{ q Query }
+
+func (q notQuery) eval(ix *Index) docSet {
+	exclude := q.q.eval(ix)
+	out := ix.allDocs()
+	for id := range exclude {
+		delete(out, id)
+	}
+	return out
+}
+
+// Not matches all documents except those matching q.
+func Not(q Query) Query { return notQuery{q} }
+
+type phraseQuery []string
+
+func (q phraseQuery) eval(ix *Index) docSet {
+	out := make(docSet)
+	if len(q) == 0 {
+		return out
+	}
+	first := ix.terms[strings.ToLower(q[0])]
+	for _, p := range first {
+		if ix.phraseAt(p, q) {
+			out[p.docID] = true
+		}
+	}
+	return out
+}
+
+// phraseAt checks whether the phrase continues from each position of the
+// first term's posting.
+func (ix *Index) phraseAt(first posting, words []string) bool {
+	for _, start := range first.positions {
+		ok := true
+		for k := 1; k < len(words); k++ {
+			if !ix.hasPosition(strings.ToLower(words[k]), first.docID, start+k) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return true
+		}
+	}
+	return false
+}
+
+func (ix *Index) hasPosition(term, docID string, pos int) bool {
+	for _, p := range ix.terms[term] {
+		if p.docID != docID {
+			continue
+		}
+		i := sort.SearchInts(p.positions, pos)
+		return i < len(p.positions) && p.positions[i] == pos
+	}
+	return false
+}
+
+// Phrase matches documents containing the words consecutively.
+func Phrase(words ...string) Query { return phraseQuery(words) }
+
+type rangeQuery struct {
+	field  string
+	lo, hi float64
+}
+
+func (q rangeQuery) eval(ix *Index) docSet {
+	out := make(docSet)
+	for id, v := range ix.numeric[q.field] {
+		if v >= q.lo && v <= q.hi {
+			out[id] = true
+		}
+	}
+	return out
+}
+
+// Range matches documents whose numeric field lies in [lo, hi].
+func Range(field string, lo, hi float64) Query { return rangeQuery{field, lo, hi} }
+
+type regexpQuery struct{ re *regexp.Regexp }
+
+func (q regexpQuery) eval(ix *Index) docSet {
+	out := make(docSet)
+	for term, ps := range ix.terms {
+		if !q.re.MatchString(term) {
+			continue
+		}
+		for _, p := range ps {
+			out[p.docID] = true
+		}
+	}
+	return out
+}
+
+// Regexp matches documents containing any indexed term that matches the
+// pattern. It returns an error for invalid patterns.
+func Regexp(pattern string) (Query, error) {
+	re, err := regexp.Compile(pattern)
+	if err != nil {
+		return nil, err
+	}
+	return regexpQuery{re}, nil
+}
+
+// Search evaluates a query and returns matching document IDs, sorted.
+func (ix *Index) Search(q Query) []string {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	set := q.eval(ix)
+	out := make([]string, 0, len(set))
+	for id := range set {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}

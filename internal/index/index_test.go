@@ -1,0 +1,252 @@
+package index
+
+import (
+	"fmt"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func buildIndex() *Index {
+	ix := New()
+	ix.Add("d1", strings.Fields("the camera takes excellent pictures"))
+	ix.Add("d2", strings.Fields("the battery life is short"))
+	ix.Add("d3", strings.Fields("excellent battery life and excellent pictures"))
+	ix.Add("d4", strings.Fields("news about oil prices"))
+	return ix
+}
+
+func TestTermQuery(t *testing.T) {
+	ix := buildIndex()
+	if got := ix.Search(Term("excellent")); !reflect.DeepEqual(got, []string{"d1", "d3"}) {
+		t.Errorf("got %v", got)
+	}
+	if got := ix.Search(Term("EXCELLENT")); !reflect.DeepEqual(got, []string{"d1", "d3"}) {
+		t.Errorf("case-insensitive got %v", got)
+	}
+	if got := ix.Search(Term("missing")); len(got) != 0 {
+		t.Errorf("got %v", got)
+	}
+}
+
+func TestBooleanQueries(t *testing.T) {
+	ix := buildIndex()
+	if got := ix.Search(And(Term("excellent"), Term("battery"))); !reflect.DeepEqual(got, []string{"d3"}) {
+		t.Errorf("AND got %v", got)
+	}
+	if got := ix.Search(Or(Term("camera"), Term("oil"))); !reflect.DeepEqual(got, []string{"d1", "d4"}) {
+		t.Errorf("OR got %v", got)
+	}
+	if got := ix.Search(Not(Term("excellent"))); !reflect.DeepEqual(got, []string{"d2", "d4"}) {
+		t.Errorf("NOT got %v", got)
+	}
+	if got := ix.Search(And(Term("excellent"), Not(Term("camera")))); !reflect.DeepEqual(got, []string{"d3"}) {
+		t.Errorf("AND NOT got %v", got)
+	}
+	if got := ix.Search(And()); len(got) != 0 {
+		t.Errorf("empty AND got %v", got)
+	}
+}
+
+func TestPhraseQuery(t *testing.T) {
+	ix := buildIndex()
+	if got := ix.Search(Phrase("battery", "life")); !reflect.DeepEqual(got, []string{"d2", "d3"}) {
+		t.Errorf("got %v", got)
+	}
+	// "life battery" never appears consecutively.
+	if got := ix.Search(Phrase("life", "battery")); len(got) != 0 {
+		t.Errorf("got %v", got)
+	}
+	if got := ix.Search(Phrase("excellent", "pictures")); !reflect.DeepEqual(got, []string{"d1", "d3"}) {
+		t.Errorf("got %v", got)
+	}
+	if got := ix.Search(Phrase()); len(got) != 0 {
+		t.Errorf("empty phrase got %v", got)
+	}
+}
+
+func TestRangeQuery(t *testing.T) {
+	ix := buildIndex()
+	ix.AddNumeric("d1", "price", 299)
+	ix.AddNumeric("d2", "price", 99)
+	ix.AddNumeric("d3", "price", 499)
+	if got := ix.Search(Range("price", 100, 400)); !reflect.DeepEqual(got, []string{"d1"}) {
+		t.Errorf("got %v", got)
+	}
+	if got := ix.Search(Range("missingfield", 0, 1e9)); len(got) != 0 {
+		t.Errorf("got %v", got)
+	}
+}
+
+func TestRegexpQuery(t *testing.T) {
+	ix := buildIndex()
+	q, err := Regexp("^pict")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ix.Search(q); !reflect.DeepEqual(got, []string{"d1", "d3"}) {
+		t.Errorf("got %v", got)
+	}
+	if _, err := Regexp("["); err == nil {
+		t.Error("invalid pattern should fail")
+	}
+}
+
+func TestConceptTokens(t *testing.T) {
+	ix := buildIndex()
+	ix.AddConcept("d1", "sentiment/camera/+")
+	ix.AddConcept("d2", "sentiment/battery life/-")
+	if got := ix.Search(Term("sentiment/camera/+")); !reflect.DeepEqual(got, []string{"d1"}) {
+		t.Errorf("got %v", got)
+	}
+	// Concepts and text mix in boolean queries.
+	if got := ix.Search(And(Term("sentiment/camera/+"), Term("pictures"))); !reflect.DeepEqual(got, []string{"d1"}) {
+		t.Errorf("got %v", got)
+	}
+}
+
+func TestDocFreqAndStats(t *testing.T) {
+	ix := buildIndex()
+	if ix.NumDocs() != 4 {
+		t.Errorf("NumDocs = %d", ix.NumDocs())
+	}
+	if ix.DocFreq("excellent") != 2 {
+		t.Errorf("DocFreq = %d", ix.DocFreq("excellent"))
+	}
+	if ix.Vocabulary() == 0 {
+		t.Error("empty vocabulary")
+	}
+}
+
+func TestConcurrentIndexing(t *testing.T) {
+	ix := New()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				id := fmt.Sprintf("w%d-d%d", w, i)
+				ix.Add(id, []string{"shared", fmt.Sprintf("tok%d", i)})
+				ix.Search(Term("shared"))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := len(ix.Search(Term("shared"))); got != 800 {
+		t.Errorf("shared docs = %d", got)
+	}
+}
+
+func TestSentimentIndexQueryAndCounts(t *testing.T) {
+	si := NewSentimentIndex()
+	si.Add(SentimentEntry{DocID: "d2", Sentence: 1, Subject: "NR70", Polarity: -1, Snippet: "s2"})
+	si.Add(SentimentEntry{DocID: "d1", Sentence: 0, Subject: "nr70", Polarity: 1, Snippet: "s1"})
+	si.Add(SentimentEntry{DocID: "d1", Sentence: 2, Subject: "nr70", Polarity: 1, Snippet: "s3"})
+
+	got := si.Query("NR70")
+	if len(got) != 3 {
+		t.Fatalf("got %+v", got)
+	}
+	if got[0].DocID != "d1" || got[0].Sentence != 0 {
+		t.Errorf("ordering wrong: %+v", got)
+	}
+	c := si.Counts("nr70")
+	if c.Positive != 2 || c.Negative != 1 {
+		t.Errorf("counts = %+v", c)
+	}
+	if share := c.PositiveShare(); share < 0.66 || share > 0.67 {
+		t.Errorf("share = %v", share)
+	}
+	if si.Len() != 3 {
+		t.Errorf("Len = %d", si.Len())
+	}
+	if subs := si.Subjects(); len(subs) != 1 || subs[0] != "nr70" {
+		t.Errorf("subjects = %v", subs)
+	}
+}
+
+func TestSentimentIndexEmpty(t *testing.T) {
+	si := NewSentimentIndex()
+	if got := si.Query("missing"); len(got) != 0 {
+		t.Errorf("got %+v", got)
+	}
+	c := si.Counts("missing")
+	if c.Total() != 0 || c.PositiveShare() != 0 {
+		t.Errorf("counts = %+v", c)
+	}
+}
+
+// Property: every document that contains a term is found by Term, and AND
+// with itself is idempotent.
+func TestQuickTermCompleteness(t *testing.T) {
+	f := func(docWords [][8]byte) bool {
+		ix := New()
+		type doc struct {
+			id    string
+			words []string
+		}
+		var docs []doc
+		for i, w := range docWords {
+			word := fmt.Sprintf("w%x", w[:2])
+			d := doc{id: fmt.Sprintf("d%d", i), words: []string{word, "common"}}
+			ix.Add(d.id, d.words)
+			docs = append(docs, d)
+		}
+		for _, d := range docs {
+			found := false
+			for _, id := range ix.Search(Term(d.words[0])) {
+				if id == d.id {
+					found = true
+				}
+			}
+			if !found {
+				return false
+			}
+		}
+		a := ix.Search(Term("common"))
+		b := ix.Search(And(Term("common"), Term("common")))
+		return reflect.DeepEqual(a, b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRemoveDocument(t *testing.T) {
+	ix := buildIndex()
+	ix.AddNumeric("d1", "price", 299)
+	ix.AddConcept("d1", "sentiment/camera/+")
+	ix.Remove("d1")
+	if got := ix.Search(Term("camera")); len(got) != 0 {
+		t.Errorf("d1 postings survive: %v", got)
+	}
+	if got := ix.Search(Term("excellent")); !reflect.DeepEqual(got, []string{"d3"}) {
+		t.Errorf("other docs affected: %v", got)
+	}
+	if got := ix.Search(Range("price", 0, 1000)); len(got) != 0 {
+		t.Errorf("numeric survives: %v", got)
+	}
+	if got := ix.Search(Term("sentiment/camera/+")); len(got) != 0 {
+		t.Errorf("concept survives: %v", got)
+	}
+	if ix.NumDocs() != 3 {
+		t.Errorf("NumDocs = %d", ix.NumDocs())
+	}
+	ix.Remove("missing") // no-op
+	if ix.NumDocs() != 3 {
+		t.Error("no-op removal changed doc count")
+	}
+}
+
+func TestRemoveShrinksVocabulary(t *testing.T) {
+	ix := New()
+	ix.Add("only", strings.Fields("unique words here"))
+	before := ix.Vocabulary()
+	ix.Remove("only")
+	if before == 0 || ix.Vocabulary() != 0 {
+		t.Errorf("vocabulary %d -> %d", before, ix.Vocabulary())
+	}
+}

@@ -1,0 +1,115 @@
+package index
+
+import (
+	"sort"
+	"strings"
+	"sync"
+)
+
+// SentimentEntry is one (subject, sentiment) fact extracted offline and
+// indexed for query-time retrieval: the second operational mode applies
+// the sentiment miner to the whole corpus and serves real-time queries
+// from this index.
+type SentimentEntry struct {
+	// DocID is the entity the sentiment was found in.
+	DocID string
+	// Sentence is the sentence index within the document.
+	Sentence int
+	// Subject is the normalized (lower-cased) subject the sentiment is
+	// about.
+	Subject string
+	// Polarity is +1 or -1.
+	Polarity int
+	// Snippet is the sentiment-bearing sentence text, for display.
+	Snippet string
+}
+
+// SentimentCounts aggregates a subject's sentiment.
+type SentimentCounts struct {
+	Positive, Negative int
+}
+
+// Total returns the number of polar mentions.
+func (c SentimentCounts) Total() int { return c.Positive + c.Negative }
+
+// PositiveShare returns the fraction of positive mentions (0 when empty).
+func (c SentimentCounts) PositiveShare() float64 {
+	if c.Total() == 0 {
+		return 0
+	}
+	return float64(c.Positive) / float64(c.Total())
+}
+
+// SentimentIndex serves subject-sentiment queries, safe for concurrent
+// use.
+type SentimentIndex struct {
+	mu        sync.RWMutex
+	bySubject map[string][]SentimentEntry
+}
+
+// NewSentimentIndex returns an empty sentiment index.
+func NewSentimentIndex() *SentimentIndex {
+	return &SentimentIndex{bySubject: make(map[string][]SentimentEntry)}
+}
+
+// Add indexes one entry; the subject key is case-insensitive.
+func (si *SentimentIndex) Add(e SentimentEntry) {
+	e.Subject = strings.ToLower(e.Subject)
+	si.mu.Lock()
+	defer si.mu.Unlock()
+	si.bySubject[e.Subject] = append(si.bySubject[e.Subject], e)
+}
+
+// Query returns all entries for a subject, ordered by (DocID, Sentence).
+func (si *SentimentIndex) Query(subject string) []SentimentEntry {
+	si.mu.RLock()
+	entries := si.bySubject[strings.ToLower(subject)]
+	out := make([]SentimentEntry, len(entries))
+	copy(out, entries)
+	si.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].DocID != out[j].DocID {
+			return out[i].DocID < out[j].DocID
+		}
+		return out[i].Sentence < out[j].Sentence
+	})
+	return out
+}
+
+// Counts aggregates the polar mentions of a subject.
+func (si *SentimentIndex) Counts(subject string) SentimentCounts {
+	si.mu.RLock()
+	defer si.mu.RUnlock()
+	var c SentimentCounts
+	for _, e := range si.bySubject[strings.ToLower(subject)] {
+		if e.Polarity > 0 {
+			c.Positive++
+		} else if e.Polarity < 0 {
+			c.Negative++
+		}
+	}
+	return c
+}
+
+// Subjects returns every indexed subject, sorted.
+func (si *SentimentIndex) Subjects() []string {
+	si.mu.RLock()
+	defer si.mu.RUnlock()
+	out := make([]string, 0, len(si.bySubject))
+	for s := range si.bySubject {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Len returns the total number of indexed entries.
+func (si *SentimentIndex) Len() int {
+	si.mu.RLock()
+	defer si.mu.RUnlock()
+	n := 0
+	for _, es := range si.bySubject {
+		n += len(es)
+	}
+	return n
+}

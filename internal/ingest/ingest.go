@@ -1,0 +1,120 @@
+// Package ingest simulates WebFountain's data acquisition layer: the web
+// crawler and the per-source ingestors that feed documents into the data
+// store. Each source has its own delivery format; adapters normalize them
+// into store entities. A worker pool drains all sources concurrently, as
+// the production gatherers do.
+package ingest
+
+import (
+	"fmt"
+	"sync"
+
+	"webfountain/internal/corpus"
+	"webfountain/internal/store"
+)
+
+// Source streams documents from one acquisition channel.
+type Source interface {
+	// Name identifies the channel ("webcrawl", "newsfeed", "reviews").
+	Name() string
+	// Next returns the next entity, or ok=false when the source is
+	// exhausted. Implementations must be safe for concurrent Next calls.
+	Next() (e *store.Entity, ok bool)
+}
+
+// corpusSource adapts a generated corpus into a Source.
+type corpusSource struct {
+	name string
+	mu   sync.Mutex
+	docs []corpus.Document
+	pos  int
+}
+
+// FromCorpus wraps generated documents as a source.
+func FromCorpus(name string, docs []corpus.Document) Source {
+	return &corpusSource{name: name, docs: docs}
+}
+
+func (s *corpusSource) Name() string { return s.name }
+
+func (s *corpusSource) Next() (*store.Entity, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.pos >= len(s.docs) {
+		return nil, false
+	}
+	d := &s.docs[s.pos]
+	s.pos++
+	return &store.Entity{
+		ID:     d.ID,
+		URL:    fmt.Sprintf("http://%s.example/%s", d.Domain, d.ID),
+		Source: d.Source,
+		Title:  d.Title,
+		Date:   d.Date,
+		Text:   d.Text(),
+		Links:  append([]string(nil), d.Links...),
+	}, true
+}
+
+// Stats summarizes one ingestion run.
+type Stats struct {
+	// Documents is the total number of entities stored.
+	Documents int
+	// Bytes is the total text volume.
+	Bytes int64
+	// BySource counts documents per source name.
+	BySource map[string]int
+}
+
+// Ingestor drains sources into a store with a worker pool.
+type Ingestor struct {
+	store   *store.Store
+	workers int
+}
+
+// New builds an ingestor over the store (workers < 1 selects 4).
+func New(st *store.Store, workers int) *Ingestor {
+	if workers < 1 {
+		workers = 4
+	}
+	return &Ingestor{store: st, workers: workers}
+}
+
+// Run ingests every document of every source. Sources are drained
+// concurrently; the first storage error aborts the run.
+func (ing *Ingestor) Run(sources ...Source) (Stats, error) {
+	stats := Stats{BySource: make(map[string]int)}
+	var mu sync.Mutex
+	var firstErr error
+
+	var wg sync.WaitGroup
+	for _, src := range sources {
+		for w := 0; w < ing.workers; w++ {
+			wg.Add(1)
+			go func(src Source) {
+				defer wg.Done()
+				for {
+					e, ok := src.Next()
+					if !ok {
+						return
+					}
+					err := ing.store.Put(e)
+					mu.Lock()
+					if err != nil {
+						if firstErr == nil {
+							firstErr = fmt.Errorf("ingest %s: %w", src.Name(), err)
+						}
+						mu.Unlock()
+						return
+					}
+					stats.Documents++
+					stats.Bytes += int64(len(e.Text))
+					stats.BySource[src.Name()]++
+					mu.Unlock()
+				}
+			}(src)
+		}
+	}
+	wg.Wait()
+	return stats, firstErr
+}

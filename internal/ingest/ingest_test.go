@@ -1,0 +1,81 @@
+package ingest
+
+import (
+	"testing"
+
+	"webfountain/internal/corpus"
+	"webfountain/internal/store"
+)
+
+func TestFromCorpusStreamsAll(t *testing.T) {
+	docs := corpus.DigitalCameraReviews(1, 10)
+	src := FromCorpus("reviews", docs)
+	if src.Name() != "reviews" {
+		t.Errorf("name = %q", src.Name())
+	}
+	n := 0
+	for {
+		e, ok := src.Next()
+		if !ok {
+			break
+		}
+		if e.ID == "" || e.Text == "" || e.Source != "review" {
+			t.Errorf("bad entity: %+v", e)
+		}
+		n++
+	}
+	if n != 10 {
+		t.Errorf("streamed %d docs, want 10", n)
+	}
+	if _, ok := src.Next(); ok {
+		t.Error("exhausted source yielded more")
+	}
+}
+
+func TestIngestorRunStoresEverything(t *testing.T) {
+	st := store.New(8)
+	ing := New(st, 4)
+	stats, err := ing.Run(
+		FromCorpus("reviews", corpus.DigitalCameraReviews(1, 25)),
+		FromCorpus("webcrawl", corpus.PetroleumWeb(2, 15)),
+		FromCorpus("newsfeed", corpus.PetroleumNews(3, 10)),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Documents != 50 || st.Len() != 50 {
+		t.Errorf("documents = %d, store = %d", stats.Documents, st.Len())
+	}
+	if stats.Bytes <= 0 {
+		t.Error("no bytes counted")
+	}
+	if stats.BySource["reviews"] != 25 || stats.BySource["webcrawl"] != 15 || stats.BySource["newsfeed"] != 10 {
+		t.Errorf("by source = %v", stats.BySource)
+	}
+}
+
+func TestIngestorWorkerDefault(t *testing.T) {
+	ing := New(store.New(1), 0)
+	if ing.workers != 4 {
+		t.Errorf("workers = %d", ing.workers)
+	}
+}
+
+// badSource produces an entity the store rejects (empty ID).
+type badSource struct{ done bool }
+
+func (b *badSource) Name() string { return "bad" }
+func (b *badSource) Next() (*store.Entity, bool) {
+	if b.done {
+		return nil, false
+	}
+	b.done = true
+	return &store.Entity{}, true
+}
+
+func TestIngestorPropagatesStoreErrors(t *testing.T) {
+	ing := New(store.New(1), 1)
+	if _, err := ing.Run(&badSource{}); err == nil {
+		t.Error("expected error for invalid entity")
+	}
+}

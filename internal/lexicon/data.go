@@ -1,0 +1,203 @@
+package lexicon
+
+import "webfountain/internal/pos"
+
+// defaultEntries returns the embedded sentiment lexicon. It stands in for
+// the paper's ~3000 manually validated entries merged from the General
+// Inquirer, the Dictionary of Affect in Language and WordNet. Like the
+// paper's lexicon it is dominated by adjectives, with a smaller set of
+// nouns, verbs and adverbs. Coverage is intentionally not exhaustive —
+// idiomatic and figurative sentiment ("a real gem", "falls flat") is
+// absent, which is what bounds the sentiment miner's recall.
+func defaultEntries() []Entry {
+	mk := func(pol Polarity, tag pos.Tag, words ...string) []Entry {
+		out := make([]Entry, len(words))
+		for i, w := range words {
+			out[i] = Entry{Term: w, POS: tag, Pol: pol}
+		}
+		return out
+	}
+	var all []Entry
+	add := func(es []Entry) { all = append(all, es...) }
+
+	// --- positive adjectives ---
+	add(mk(Positive, pos.JJ,
+		"excellent", "good", "great", "amazing", "awesome", "wonderful",
+		"fantastic", "superb", "outstanding", "impressive", "remarkable",
+		"brilliant", "stunning", "gorgeous", "beautiful", "crisp", "sharp",
+		"vivid", "vibrant", "flawless", "perfect", "solid", "sturdy",
+		"reliable", "responsive", "fast", "quick", "smooth", "intuitive",
+		"comfortable", "compact", "lightweight", "durable", "versatile",
+		"powerful", "accurate", "superior", "exceptional", "delightful",
+		"pleasant", "satisfying", "functional", "useful", "handy",
+		"affordable", "reasonable", "generous", "rich", "warm", "clean",
+		"clear", "bright", "quiet", "catchy", "soulful", "haunting",
+		"energetic", "lively", "upbeat", "memorable", "masterful",
+		"polished", "melodic", "lyrical", "effective", "safe",
+		"profitable", "robust", "steady", "stable", "strong", "welcome",
+		"happy", "glad", "pleased", "satisfied", "thrilled", "delighted",
+		"ecstatic", "fabulous", "marvelous", "terrific", "splendid",
+		"magnificent", "phenomenal", "extraordinary", "admirable",
+		"praiseworthy", "commendable", "favorable", "positive", "promising",
+		"encouraging", "healthy", "beneficial", "valuable", "worthwhile",
+		"enjoyable", "fun", "engaging", "charming", "elegant", "graceful",
+		"stylish", "sleek", "premium", "top-notch", "first-rate",
+		"well-built", "well-designed", "well-made", "user-friendly",
+		"seamless", "effortless", "snappy", "speedy", "nimble", "agile",
+		"precise", "consistent", "dependable", "trustworthy", "honest",
+		"innovative", "creative", "original", "fresh", "modern",
+		"convenient", "practical", "efficient", "economical", "ergonomic",
+		"roomy", "spacious", "generous", "ample", "plentiful", "abundant",
+		"impeccable", "immaculate", "pristine", "luminous", "radiant",
+		"smart", "clever", "intelligent", "capable", "competent",
+		"skillful", "talented", "gifted", "inspired", "inspiring",
+		"uplifting", "moving", "touching", "stirring", "captivating",
+		"mesmerizing", "enchanting", "riveting", "gripping", "compelling",
+		"rewarding", "gratifying", "refreshing", "invigorating", "soothing",
+		"relaxing", "calming", "crystal-clear", "impressed", "amazed", "natural", "authentic",
+		"faithful", "true", "balanced", "harmonious", "cohesive", "tight",
+		"punchy", "dynamic", "expressive", "nuanced", "sophisticated",
+		"mature", "confident", "assured", "bold", "daring", "adventurous",
+	))
+
+	// --- negative adjectives ---
+	add(mk(Negative, pos.JJ,
+		"bad", "poor", "terrible", "horrible", "awful", "disappointing",
+		"mediocre", "sluggish", "slow", "weak", "flimsy", "cheap",
+		"noisy", "grainy", "blurry", "dim", "dull", "muddy", "harsh",
+		"clunky", "bulky", "heavy", "awkward", "confusing", "frustrating",
+		"annoying", "unreliable", "defective", "faulty", "useless",
+		"worthless", "inadequate", "inferior", "unacceptable", "dreadful",
+		"abysmal", "lousy", "shoddy", "subpar", "overpriced", "expensive",
+		"costly", "pricey", "bland", "forgettable", "repetitive",
+		"monotonous", "uninspired", "derivative", "generic", "ineffective",
+		"unsafe", "harmful", "dangerous", "hazardous", "risky", "toxic",
+		"unprofitable", "volatile", "unstable", "sad", "angry", "upset",
+		"unhappy", "dissatisfied", "displeased", "disgusted", "appalled",
+		"horrified", "furious", "disappointed", "frustrated", "irritated",
+		"aggravated", "annoyed", "miserable", "pathetic", "pitiful",
+		"atrocious", "deplorable", "disastrous", "catastrophic", "dismal",
+		"grim", "bleak", "negative", "unfavorable", "discouraging",
+		"troubling", "worrying", "alarming", "disturbing", "distressing",
+		"unpleasant", "disagreeable", "objectionable", "offensive",
+		"obnoxious", "intolerable", "unbearable", "insufferable",
+		"problematic", "flawed", "broken", "buggy", "glitchy", "erratic",
+		"inconsistent", "unpredictable", "undependable", "untrustworthy",
+		"deceptive", "misleading", "dishonest", "fraudulent", "shady",
+		"sloppy", "careless", "negligent", "reckless", "irresponsible",
+		"incompetent", "inept", "clumsy", "crude", "primitive", "outdated",
+		"obsolete", "stale", "tired", "boring", "tedious", "dreary",
+		"lifeless", "soulless", "hollow", "shallow", "thin", "weak-sounding",
+		"tinny", "muffled", "distorted", "garbled", "scratchy", "shrill",
+		"grating", "jarring", "dissonant", "off-key", "out-of-tune",
+		"uncomfortable", "cramped", "stiff", "rigid", "brittle", "fragile",
+		"cheap-feeling", "plasticky", "ugly", "hideous", "unsightly",
+		"washed-out", "faded", "overexposed", "underexposed", "soft",
+		"fuzzy", "pixelated", "jagged", "choppy", "laggy", "unresponsive",
+		"painful", "agonizing", "excruciating", "nightmarish", "hellish",
+		"regrettable", "lamentable", "unfortunate", "woeful", "sorry",
+		"second-rate", "third-rate", "low-quality", "low-grade", "bottom",
+		"excessive", "bloated", "wasteful", "inefficient", "impractical",
+		"cumbersome", "unwieldy", "convoluted", "complicated", "cryptic",
+		"counterintuitive", "baffling", "bewildering", "incomprehensible",
+		"contaminated", "polluted", "dirty", "filthy", "grimy", "corrosive",
+		"sick", "ill", "nauseous", "dizzy", "lethargic", "fatigued",
+	))
+
+	// --- positive nouns ---
+	add(mk(Positive, pos.NN,
+		"masterpiece", "gem", "delight", "pleasure", "joy", "triumph",
+		"success", "winner", "bargain", "steal", "treat", "marvel",
+		"wonder", "beauty", "excellence", "perfection", "brilliance",
+		"strength", "advantage", "benefit", "improvement",
+		"breakthrough", "innovation", "progress", "achievement",
+		"satisfaction", "praise", "acclaim", "applause", "admiration",
+		"confidence", "trust", "reliability", "durability", "clarity",
+		"precision", "comfort", "convenience", "elegance", "charm",
+		"grace", "polish", "finesse", "craftsmanship", "virtuosity",
+		"gain", "profit", "growth", "recovery", "upturn", "boom",
+		"remedy", "cure", "relief", "healing", "wellness",
+	))
+
+	// --- negative nouns ---
+	add(mk(Negative, pos.NN,
+		"disaster", "catastrophe", "failure", "flop", "dud", "mess",
+		"nightmare", "disappointment", "letdown", "ripoff", "junk",
+		"garbage", "trash", "waste", "problem", "issue", "flaw",
+		"defect", "fault", "weakness", "shortcoming", "drawback",
+		"disadvantage", "downside", "deficiency", "lack", "shortage",
+		"complaint", "grievance", "frustration", "annoyance", "nuisance",
+		"hassle", "headache", "trouble", "difficulty", "struggle",
+		"breakdown", "malfunction", "glitch", "bug", "error", "mistake",
+		"blunder", "fiasco", "debacle", "scandal", "controversy",
+		"crisis", "emergency", "danger", "hazard", "risk", "threat",
+		"damage", "harm", "injury", "loss", "decline", "downturn",
+		"slump", "crash", "collapse", "recession", "deficit",
+		"contamination", "pollution", "spill", "leak", "accident",
+		"violation", "penalty", "fine", "lawsuit", "recall",
+		"side-effect", "overdose", "addiction", "relapse", "infection",
+		"noise", "distortion", "lag", "delay", "crack", "scratch",
+		"dent", "wear", "corrosion", "rust",
+	))
+
+	// --- positive verbs (self-polar predicates) ---
+	add(mk(Positive, pos.VB,
+		"love", "enjoy", "adore", "admire", "appreciate", "praise",
+		"recommend", "applaud", "celebrate", "impress", "delight",
+		"please", "satisfy", "excel", "shine", "thrive", "flourish",
+		"improve", "enhance", "boost", "strengthen", "succeed",
+		"outperform", "surpass", "exceed", "win", "triumph", "reward",
+		"benefit", "help", "heal", "cure", "comfort", "reassure",
+	))
+
+	// --- negative verbs ---
+	add(mk(Negative, pos.VB,
+		"hate", "dislike", "despise", "loathe", "detest", "regret",
+		"disappoint", "frustrate", "annoy", "irritate", "aggravate",
+		"anger", "upset", "disgust", "appall", "horrify", "fail",
+		"struggle", "suffer", "lack", "break", "crash", "freeze",
+		"malfunction", "deteriorate", "degrade", "worsen", "decline",
+		"criticize", "condemn", "denounce", "blame", "complain",
+		"damage", "harm", "hurt", "ruin", "destroy", "waste",
+		"pollute", "contaminate", "leak", "spill", "violate",
+		"overheat", "jam", "rattle", "scratch", "blur", "stall",
+	))
+
+	// --- positive adverbs ---
+	add(mk(Positive, pos.RB,
+		"flawlessly", "beautifully", "superbly", "brilliantly",
+		"wonderfully", "excellently", "admirably", "gracefully",
+		"smoothly", "reliably", "consistently", "effortlessly",
+		"perfectly", "impressively", "remarkably well",
+	))
+
+	// --- negative adverbs ---
+	add(mk(Negative, pos.RB,
+		"poorly", "badly", "terribly", "horribly", "awfully",
+		"miserably", "dismally", "sloppily", "erratically",
+		"unreliably", "painfully", "frustratingly", "annoyingly",
+	))
+
+	// --- multi-word terms ---
+	add([]Entry{
+		{Term: "high quality", POS: pos.JJ, Pol: Positive},
+		{Term: "top quality", POS: pos.JJ, Pol: Positive},
+		{Term: "poor quality", POS: pos.JJ, Pol: Negative},
+		{Term: "low quality", POS: pos.JJ, Pol: Negative},
+		{Term: "state of the art", POS: pos.JJ, Pol: Positive},
+		{Term: "state-of-the-art", POS: pos.JJ, Pol: Positive},
+		{Term: "top notch", POS: pos.JJ, Pol: Positive},
+		{Term: "second to none", POS: pos.JJ, Pol: Positive},
+		{Term: "best in class", POS: pos.JJ, Pol: Positive},
+		{Term: "worth every penny", POS: pos.JJ, Pol: Positive},
+		{Term: "highly recommended", POS: pos.JJ, Pol: Positive},
+		{Term: "piece of junk", POS: pos.NN, Pol: Negative},
+		{Term: "waste of money", POS: pos.NN, Pol: Negative},
+		{Term: "pain in the neck", POS: pos.NN, Pol: Negative},
+		{Term: "deal breaker", POS: pos.NN, Pol: Negative},
+		{Term: "short battery life", POS: pos.NN, Pol: Negative},
+		{Term: "long battery life", POS: pos.NN, Pol: Positive},
+	})
+
+	return all
+}

@@ -1,0 +1,321 @@
+// Package lexicon implements the sentiment lexicon: the dictionary that
+// defines the sentiment polarity of individual words and multi-word terms.
+//
+// Entries follow the paper's format
+//
+//	<lexical_entry> <POS> <sent_category>
+//
+// for example
+//
+//	"excellent" JJ +
+//
+// where lexical_entry is a (possibly multi-word) term, POS is the required
+// Penn Treebank tag of the entry, and sent_category is + or -.
+//
+// The paper merged ~3000 manually validated entries from the General
+// Inquirer, the Dictionary of Affect in Language and WordNet. Those
+// resources are not shipped here; instead the package embeds a hand-curated
+// lexicon of the same form (see data.go) and can load additional entries
+// from any reader. Deliberate coverage gaps are part of the reproduction:
+// the paper's 56% recall stems from sentiment expressions the lexicon and
+// pattern database do not cover.
+package lexicon
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+
+	"webfountain/internal/pos"
+)
+
+// Polarity is a sentiment orientation.
+type Polarity int
+
+// Polarity values. Neutral is the zero value.
+const (
+	Neutral  Polarity = 0
+	Positive Polarity = 1
+	Negative Polarity = -1
+)
+
+// String renders the paper's +/- notation (0 for neutral).
+func (p Polarity) String() string {
+	switch p {
+	case Positive:
+		return "+"
+	case Negative:
+		return "-"
+	}
+	return "0"
+}
+
+// Flip returns the opposite polarity; Neutral flips to Neutral.
+func (p Polarity) Flip() Polarity { return -p }
+
+// Entry is one sentiment lexicon entry.
+type Entry struct {
+	// Term is the lower-cased lexical entry, possibly multi-word.
+	Term string
+	// POS is the required part-of-speech tag. An empty POS matches any tag.
+	POS pos.Tag
+	// Pol is the sentiment category.
+	Pol Polarity
+}
+
+// Lexicon maps (term, POS) to polarity. Multi-word terms are supported via
+// LookupPhrase.
+type Lexicon struct {
+	// entries maps term -> list of (POS, polarity) readings.
+	entries map[string][]Entry
+	// maxWords is the longest multi-word entry length, for phrase lookup.
+	maxWords int
+}
+
+// New returns an empty lexicon.
+func New() *Lexicon {
+	return &Lexicon{entries: make(map[string][]Entry)}
+}
+
+// Default returns a lexicon populated with the embedded entries: the core
+// set (data.go) plus the extended General Inquirer / DAL-style long tail
+// (data_extended.go).
+func Default() *Lexicon {
+	lx := New()
+	for _, e := range defaultEntries() {
+		lx.Add(e)
+	}
+	for _, e := range extendedEntries() {
+		lx.Add(e)
+	}
+	return lx
+}
+
+// Add inserts an entry. Later entries with the same (term, POS) override
+// earlier ones.
+func (lx *Lexicon) Add(e Entry) {
+	e.Term = strings.ToLower(e.Term)
+	words := strings.Count(e.Term, " ") + 1
+	if words > lx.maxWords {
+		lx.maxWords = words
+	}
+	list := lx.entries[e.Term]
+	for i, old := range list {
+		if old.POS == e.POS {
+			list[i] = e
+			return
+		}
+	}
+	lx.entries[e.Term] = append(list, e)
+}
+
+// Len returns the number of distinct terms in the lexicon.
+func (lx *Lexicon) Len() int { return len(lx.entries) }
+
+// MaxWords returns the longest entry length in words.
+func (lx *Lexicon) MaxWords() int { return lx.maxWords }
+
+// Lookup returns the polarity of term under the given POS tag. A tag-less
+// entry (POS == "") matches any tag; noun-tag entries match all noun tags,
+// adjective entries all adjective grades, and verb entries all inflections,
+// mirroring how the paper's tagger-agnostic entries behave.
+func (lx *Lexicon) Lookup(term string, tag pos.Tag) (Polarity, bool) {
+	list, ok := lx.entries[strings.ToLower(term)]
+	if !ok {
+		return Neutral, false
+	}
+	var wildcard *Entry
+	for i := range list {
+		e := &list[i]
+		if e.POS == "" {
+			wildcard = e
+			continue
+		}
+		if tagsCompatible(e.POS, tag) {
+			return e.Pol, true
+		}
+	}
+	if wildcard != nil {
+		return wildcard.Pol, true
+	}
+	return Neutral, false
+}
+
+// LookupAny returns the polarity of term under any POS.
+func (lx *Lexicon) LookupAny(term string) (Polarity, bool) {
+	list, ok := lx.entries[strings.ToLower(term)]
+	if !ok || len(list) == 0 {
+		return Neutral, false
+	}
+	return list[0].Pol, true
+}
+
+// tagsCompatible reports whether a lexicon POS class covers a concrete tag.
+func tagsCompatible(entry, actual pos.Tag) bool {
+	if entry == actual {
+		return true
+	}
+	switch entry {
+	case pos.JJ:
+		// Participles in adjectival positions ("impressed", "polished")
+		// count as adjectives for sentiment purposes.
+		return actual.IsAdjective() || actual == pos.VBN || actual == pos.VBG
+	case pos.NN:
+		return actual.IsNoun()
+	case pos.VB:
+		return actual.IsVerb()
+	case pos.RB:
+		return actual.IsAdverb()
+	}
+	return false
+}
+
+// comparativeBase maps irregular comparative/superlative forms to their
+// base adjective.
+var comparativeBase = map[string]string{
+	"better": "good", "best": "good",
+	"worse": "bad", "worst": "bad",
+	"finer": "fine", "finest": "fine",
+}
+
+// LookupComparative resolves a comparative or superlative adjective to its
+// base form's polarity: "sharper" -> "sharp", "better" -> "good". It
+// returns false for words that are not recognizable comparatives of
+// lexicon entries.
+func (lx *Lexicon) LookupComparative(word string) (Polarity, bool) {
+	lw := strings.ToLower(word)
+	if base, ok := comparativeBase[lw]; ok {
+		return lx.Lookup(base, pos.JJ)
+	}
+	try := func(base string) (Polarity, bool) {
+		if pol, ok := lx.Lookup(base, pos.JJ); ok {
+			return pol, true
+		}
+		return Neutral, false
+	}
+	for _, suf := range []string{"er", "est"} {
+		if !strings.HasSuffix(lw, suf) || len(lw) <= len(suf)+2 {
+			continue
+		}
+		stem := lw[:len(lw)-len(suf)]
+		if pol, ok := try(stem); ok { // sharp-er
+			return pol, true
+		}
+		if pol, ok := try(stem + "e"); ok { // nic-er -> nice
+			return pol, true
+		}
+		if strings.HasSuffix(stem, "i") {
+			if pol, ok := try(stem[:len(stem)-1] + "y"); ok { // happi-er -> happy
+				return pol, true
+			}
+		}
+		if len(stem) >= 2 && stem[len(stem)-1] == stem[len(stem)-2] {
+			if pol, ok := try(stem[:len(stem)-1]); ok { // bigg-er -> big
+				return pol, true
+			}
+		}
+	}
+	return Neutral, false
+}
+
+// LookupPhrase scans tagged tokens [i, len) for the longest lexicon entry
+// starting at i. It returns the polarity, the number of tokens consumed,
+// and whether a match was found.
+func (lx *Lexicon) LookupPhrase(tokens []pos.TaggedToken, i int) (Polarity, int, bool) {
+	maxLen := lx.maxWords
+	if rem := len(tokens) - i; maxLen > rem {
+		maxLen = rem
+	}
+	for l := maxLen; l >= 1; l-- {
+		parts := make([]string, l)
+		for k := 0; k < l; k++ {
+			parts[k] = strings.ToLower(tokens[i+k].Text)
+		}
+		term := strings.Join(parts, " ")
+		if pol, ok := lx.Lookup(term, tokens[i].Tag); ok {
+			return pol, l, true
+		}
+		// Single-reading fallback: when the term exists in the lexicon
+		// under exactly one reading, a POS mismatch is almost always the
+		// tagger misjudging an unknown word ("grimy" guessed as a noun),
+		// not a genuine sense distinction — accept the lone reading.
+		if list := lx.entries[term]; len(list) == 1 && tokens[i].Tag != "" {
+			return list[0].Pol, l, true
+		}
+	}
+	return Neutral, 0, false
+}
+
+// Parse reads entries in the paper's line format:
+//
+//	"excellent" JJ +
+//	"battery drain" NN -
+//
+// Quotes around the term are optional for single words. Lines starting
+// with # and blank lines are skipped.
+func Parse(r io.Reader) ([]Entry, error) {
+	var entries []Entry
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		e, err := parseLine(line)
+		if err != nil {
+			return nil, fmt.Errorf("lexicon line %d: %w", lineNo, err)
+		}
+		entries = append(entries, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("lexicon read: %w", err)
+	}
+	return entries, nil
+}
+
+func parseLine(line string) (Entry, error) {
+	var term, rest string
+	if strings.HasPrefix(line, `"`) {
+		end := strings.Index(line[1:], `"`)
+		if end < 0 {
+			return Entry{}, fmt.Errorf("unterminated quote in %q", line)
+		}
+		term = line[1 : 1+end]
+		rest = strings.TrimSpace(line[2+end:])
+	} else {
+		fields := strings.SplitN(line, " ", 2)
+		if len(fields) != 2 {
+			return Entry{}, fmt.Errorf("malformed entry %q", line)
+		}
+		term, rest = fields[0], strings.TrimSpace(fields[1])
+	}
+	fields := strings.Fields(rest)
+	if len(fields) != 2 {
+		return Entry{}, fmt.Errorf("want POS and polarity after term in %q", line)
+	}
+	var pol Polarity
+	switch fields[1] {
+	case "+":
+		pol = Positive
+	case "-":
+		pol = Negative
+	default:
+		return Entry{}, fmt.Errorf("bad polarity %q (want + or -)", fields[1])
+	}
+	return Entry{Term: strings.ToLower(term), POS: pos.Tag(fields[0]), Pol: pol}, nil
+}
+
+// Load parses entries from r and adds them to the lexicon.
+func (lx *Lexicon) Load(r io.Reader) error {
+	entries, err := Parse(r)
+	if err != nil {
+		return err
+	}
+	for _, e := range entries {
+		lx.Add(e)
+	}
+	return nil
+}

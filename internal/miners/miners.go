@@ -1,0 +1,46 @@
+// Package miners implements the WebFountain platform's standard miners —
+// the ones the paper names as examples of the two miner classes:
+//
+// Entity-level (process one entity in isolation):
+//
+//   - GeoContext: the geographic context discoverer (gazetteer spotting).
+//
+// Corpus-level (need all or part of the collection):
+//
+//   - AggregateStats: corpus-wide statistics.
+//   - DuplicateDetector: near-duplicate detection via minhash.
+//   - TemplateDetector: per-host boilerplate detection.
+//   - PageRank: link-graph ranking.
+//   - Trend: sentiment trending over time.
+//   - KMeans: document clustering over TF-IDF vectors.
+//
+// The sentiment miner (package sentiment, surfaced through the public
+// webfountain API) is itself an entity-level miner and composes with
+// these: Trend, for example, consumes the annotations the sentiment miner
+// writes.
+package miners
+
+import (
+	"strings"
+
+	"webfountain/internal/store"
+	"webfountain/internal/tokenize"
+)
+
+// words lower-cases the word tokens of a text.
+func words(text string) []string {
+	toks := tokenize.New().Tokenize(text)
+	out := make([]string, 0, len(toks))
+	for _, t := range toks {
+		if t.Kind == tokenize.Word {
+			out = append(out, strings.ToLower(t.Text))
+		}
+	}
+	return out
+}
+
+// forEach iterates a store, panicking never: iteration errors from the
+// callback abort and are returned.
+func forEach(st *store.Store, fn func(*store.Entity) error) error {
+	return st.ForEach(fn)
+}

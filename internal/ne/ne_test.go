@@ -1,0 +1,168 @@
+package ne
+
+import (
+	"strings"
+	"testing"
+
+	"webfountain/internal/tokenize"
+)
+
+var tk = tokenize.New()
+
+func entityTexts(es []Entity) []string {
+	out := make([]string, len(es))
+	for i, e := range es {
+		out[i] = e.Text
+	}
+	return out
+}
+
+func spot(s string) []string {
+	return entityTexts(New().SpotSentences(tk.Sentences(s)))
+}
+
+func contains(list []string, want string) bool {
+	for _, s := range list {
+		if s == want {
+			return true
+		}
+	}
+	return false
+}
+
+func TestPaperSplitExample(t *testing.T) {
+	got := spot("We heard Prof. Wilson of American University speak.")
+	if !contains(got, "Prof. Wilson") {
+		t.Errorf("missing Prof. Wilson in %v", got)
+	}
+	if !contains(got, "American University") {
+		t.Errorf("missing American University in %v", got)
+	}
+	if contains(got, "Prof. Wilson of American University") {
+		t.Errorf("unsplit candidate leaked: %v", got)
+	}
+}
+
+func TestSimpleProperNoun(t *testing.T) {
+	got := spot("Reviewers compared Canon against Nikon.")
+	if !contains(got, "Canon") || !contains(got, "Nikon") {
+		t.Errorf("got %v", got)
+	}
+}
+
+func TestMultiTokenEntity(t *testing.T) {
+	got := spot("The Sony CLIE impressed the critics.")
+	if !contains(got, "Sony CLIE") {
+		t.Errorf("got %v", got)
+	}
+}
+
+func TestConjunctionSplits(t *testing.T) {
+	got := spot("Both Kodak and Fuji announced new models.")
+	if !contains(got, "Kodak") || !contains(got, "Fuji") {
+		t.Errorf("got %v", got)
+	}
+	if contains(got, "Kodak and Fuji") {
+		t.Errorf("conjunction not split: %v", got)
+	}
+}
+
+func TestPossessiveSplits(t *testing.T) {
+	got := spot("We tried Sony's Memory Stick expansion.")
+	if !contains(got, "Sony") {
+		t.Errorf("got %v", got)
+	}
+	if !contains(got, "Memory Stick") {
+		t.Errorf("got %v", got)
+	}
+}
+
+func TestBankOfAmericaStaysTogether(t *testing.T) {
+	got := spot("Shares of Bank of America rose.")
+	if !contains(got, "Bank of America") {
+		t.Errorf("got %v", got)
+	}
+}
+
+func TestSentenceInitialStopwordNotEntity(t *testing.T) {
+	got := spot("The camera works. However, the menu lags. Unfortunately, nothing improved.")
+	for _, e := range got {
+		switch e {
+		case "The", "However", "Unfortunately":
+			t.Errorf("stopword leaked as entity: %v", got)
+		}
+	}
+}
+
+func TestSentenceInitialRealEntityKept(t *testing.T) {
+	got := spot("Canon shipped the camera in June.")
+	if !contains(got, "Canon") {
+		t.Errorf("got %v", got)
+	}
+}
+
+func TestSentenceIndexRecorded(t *testing.T) {
+	es := New().SpotSentences(tk.Sentences("Canon won. Nikon lost."))
+	if len(es) < 2 {
+		t.Fatalf("got %+v", es)
+	}
+	byText := map[string]int{}
+	for _, e := range es {
+		byText[e.Text] = e.Sentence
+	}
+	if byText["Canon"] != 0 || byText["Nikon"] != 1 {
+		t.Errorf("sentence indices: %v", byText)
+	}
+}
+
+func TestSpotTokensSpans(t *testing.T) {
+	toks := tk.Tokenize("I prefer the Olympus Stylus over others")
+	es := New().SpotTokens(toks)
+	if len(es) != 1 || es[0].Text != "Olympus Stylus" {
+		t.Fatalf("got %+v", es)
+	}
+	if toks[es[0].Start].Text != "Olympus" || es[0].End-es[0].Start != 2 {
+		t.Errorf("span = [%d,%d)", es[0].Start, es[0].End)
+	}
+	if es[0].Sentence != -1 {
+		t.Errorf("raw scan sentence = %d, want -1", es[0].Sentence)
+	}
+}
+
+func TestAlphanumericModelNames(t *testing.T) {
+	got := spot("I compared the NR70 with the T650C today.")
+	if !contains(got, "NR70") || !contains(got, "T650C") {
+		t.Errorf("got %v", got)
+	}
+}
+
+func TestNoEntitiesInLowercaseText(t *testing.T) {
+	if got := spot("the quick brown fox jumps over the lazy dog."); len(got) != 0 {
+		t.Errorf("got %v", got)
+	}
+}
+
+// Property-style check: lower-casing the input removes every entity, and
+// detection is deterministic.
+func TestCaseSensitivityInvariant(t *testing.T) {
+	inputs := []string{
+		"Canon and Nikon both shipped cameras to Japan.",
+		"Prof. Wilson of American University spoke at Sony.",
+		"The NR70 outsold the T650C in March.",
+	}
+	sp := New()
+	for _, in := range inputs {
+		upper := sp.SpotSentences(tk.Sentences(in))
+		if len(upper) == 0 {
+			t.Errorf("%q: no entities", in)
+		}
+		lower := sp.SpotSentences(tk.Sentences(strings.ToLower(in)))
+		if len(lower) != 0 {
+			t.Errorf("%q lower-cased still yields %v", in, lower)
+		}
+		again := sp.SpotSentences(tk.Sentences(in))
+		if len(again) != len(upper) {
+			t.Errorf("%q: nondeterministic", in)
+		}
+	}
+}

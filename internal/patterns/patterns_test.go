@@ -1,0 +1,156 @@
+package patterns
+
+import (
+	"strings"
+	"testing"
+
+	"webfountain/internal/chunk"
+	"webfountain/internal/lexicon"
+)
+
+func TestDefaultDatabaseLoads(t *testing.T) {
+	db := Default()
+	if db.Len() < 80 {
+		t.Errorf("default DB has %d predicates, want >= 80", db.Len())
+	}
+	if db.Patterns() < db.Len() {
+		t.Error("pattern count below predicate count")
+	}
+}
+
+func TestPaperExamplePatterns(t *testing.T) {
+	db := Default()
+
+	// impress + PP(by;with)
+	var passive *Pattern
+	for i, p := range db.Lookup("impress") {
+		if p.Target.Role == chunk.RolePP {
+			passive = &db.Lookup("impress")[i]
+		}
+	}
+	if passive == nil {
+		t.Fatal("no impress PP pattern")
+	}
+	if passive.Fixed != lexicon.Positive {
+		t.Error("impress should be fixed positive")
+	}
+	if !passive.Target.MatchesPrep("by") || !passive.Target.MatchesPrep("with") {
+		t.Error("impress target should accept by/with")
+	}
+	if passive.Target.MatchesPrep("against") {
+		t.Error("impress target should reject other prepositions")
+	}
+
+	// be CP SP
+	bePs := db.Lookup("be")
+	if len(bePs) != 1 {
+		t.Fatalf("be patterns = %d, want 1", len(bePs))
+	}
+	be := bePs[0]
+	if !be.IsTrans() || be.Source.Role != chunk.RoleCP || be.Target.Role != chunk.RoleSP {
+		t.Errorf("be pattern = %+v", be)
+	}
+
+	// offer OP SP
+	offer := db.Lookup("offer")[0]
+	if !offer.IsTrans() || offer.Source.Role != chunk.RoleOP || offer.Target.Role != chunk.RoleSP {
+		t.Errorf("offer pattern = %+v", offer)
+	}
+}
+
+func TestParseNotationRoundTrip(t *testing.T) {
+	cases := []string{
+		"impress + PP(by;with)",
+		"be CP SP",
+		"offer OP SP",
+		"fail - SP",
+		"avoid ~OP SP",
+	}
+	for _, c := range cases {
+		ps, err := Parse(strings.NewReader(c))
+		if err != nil {
+			t.Errorf("Parse(%q): %v", c, err)
+			continue
+		}
+		if got := ps[0].String(); got != c {
+			t.Errorf("round trip %q -> %q", c, got)
+		}
+	}
+}
+
+func TestParseInvertedSource(t *testing.T) {
+	ps, err := Parse(strings.NewReader("avoid ~OP SP"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := ps[0]
+	if !p.IsTrans() || !p.InvertSource || p.Source.Role != chunk.RoleOP {
+		t.Errorf("pattern = %+v", p)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, bad := range []string{
+		"impress +",        // missing target
+		"impress + CP",     // CP cannot be target
+		"impress ? SP",     // bad category
+		"impress + XX",     // unknown role
+		"impress + PP(by",  // unterminated prep list
+		"impress + SP(by)", // preps on non-PP
+		"a b c d",          // too many fields
+	} {
+		if _, err := Parse(strings.NewReader(bad)); err == nil {
+			t.Errorf("Parse(%q) should fail", bad)
+		}
+	}
+}
+
+func TestParseSkipsCommentsAndBlanks(t *testing.T) {
+	in := "\n# comment\n\nbe CP SP\n"
+	ps, err := Parse(strings.NewReader(in))
+	if err != nil || len(ps) != 1 {
+		t.Fatalf("got %d patterns, err=%v", len(ps), err)
+	}
+}
+
+func TestLookupCaseInsensitive(t *testing.T) {
+	db := Default()
+	if len(db.Lookup("IMPRESS")) == 0 {
+		t.Error("lookup should be case-insensitive")
+	}
+	if len(db.Lookup("nonexistentverb")) != 0 {
+		t.Error("unknown predicate should return nil")
+	}
+}
+
+func TestLoadAppends(t *testing.T) {
+	db := NewDB()
+	if err := db.Load(strings.NewReader("wow + SP")); err != nil {
+		t.Fatal(err)
+	}
+	if len(db.Lookup("wow")) != 1 {
+		t.Error("loaded pattern missing")
+	}
+}
+
+func TestRoleSpecString(t *testing.T) {
+	rs := RoleSpec{Role: chunk.RolePP, Preps: []string{"by", "with"}}
+	if rs.String() != "PP(by;with)" {
+		t.Errorf("String() = %q", rs.String())
+	}
+	rs2 := RoleSpec{Role: chunk.RoleSP}
+	if rs2.String() != "SP" {
+		t.Errorf("String() = %q", rs2.String())
+	}
+}
+
+func TestMatchesPrepUnrestricted(t *testing.T) {
+	rs := RoleSpec{Role: chunk.RolePP}
+	if !rs.MatchesPrep("from") {
+		t.Error("unrestricted PP should match any prep")
+	}
+	sp := RoleSpec{Role: chunk.RoleSP}
+	if !sp.MatchesPrep("anything") {
+		t.Error("non-PP roles ignore preps")
+	}
+}

@@ -1,0 +1,66 @@
+package pos
+
+import "testing"
+
+func TestVerbLemma(t *testing.T) {
+	cases := map[string]string{
+		"takes":        "take",
+		"took":         "take",
+		"taken":        "take",
+		"is":           "be",
+		"are":          "be",
+		"was":          "be",
+		"'s":           "be",
+		"impressed":    "impress",
+		"impresses":    "impress",
+		"loves":        "love",
+		"loved":        "love",
+		"loving":       "love",
+		"offered":      "offer",
+		"offers":       "offer",
+		"stopped":      "stop",
+		"running":      "run",
+		"tries":        "try",
+		"tried":        "try",
+		"fails":        "fail",
+		"failed":       "fail",
+		"lacks":        "lack",
+		"lacked":       "lack",
+		"requires":     "require",
+		"required":     "require",
+		"disappoints":  "disappoint",
+		"disappointed": "disappoint",
+		"recommends":   "recommend",
+		"recommended":  "recommend",
+		"provides":     "provide",
+		"provided":     "provide",
+		"watches":      "watch",
+		"fixes":        "fix",
+		"goes":         "go",
+		"delivers":     "deliver",
+		"delivered":    "deliver",
+		"praised":      "praise",
+		"criticized":   "criticize",
+		"annoys":       "annoy",
+		"annoyed":      "annoy",
+		"enjoys":       "enjoy",
+		"enjoyed":      "enjoy",
+		"hates":        "hate",
+		"hated":        "hate",
+		"avoids":       "avoid",
+		"avoided":      "avoid",
+		"seems":        "seem",
+		"seemed":       "seem",
+		"looks":        "look",
+		"looked":       "look",
+		"sounds":       "sound",
+		"sounded":      "sound",
+		"IMPRESSED":    "impress",
+		"camera":       "camera", // non-verb unchanged
+	}
+	for in, want := range cases {
+		if got := VerbLemma(in); got != want {
+			t.Errorf("VerbLemma(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -1,0 +1,346 @@
+package pos
+
+import (
+	"strings"
+
+	"webfountain/internal/tokenize"
+)
+
+// TaggedToken pairs a token with its assigned part-of-speech tag.
+type TaggedToken struct {
+	tokenize.Token
+	Tag Tag
+}
+
+// Tagger assigns Penn Treebank tags to token streams. The zero value uses
+// the embedded lexicon; Extra entries can extend it per instance.
+type Tagger struct {
+	// Extra maps lower-cased words to tags, consulted before the embedded
+	// lexicon. It lets applications pin domain vocabulary.
+	Extra map[string]Tag
+}
+
+// NewTagger returns a Tagger backed by the embedded lexicon.
+func NewTagger() *Tagger { return &Tagger{} }
+
+// Tag tags a full sentence worth of tokens. Tagging is done in two passes:
+// a per-token lexical pass followed by contextual repair rules.
+func (tg *Tagger) Tag(tokens []tokenize.Token) []TaggedToken {
+	out := make([]TaggedToken, len(tokens))
+	for i, tok := range tokens {
+		out[i] = TaggedToken{Token: tok, Tag: tg.lexical(tok, i == 0)}
+	}
+	applyContextRules(out)
+	return out
+}
+
+// TagSentence tags the tokens of a tokenize.Sentence.
+func (tg *Tagger) TagSentence(s tokenize.Sentence) []TaggedToken {
+	return tg.Tag(s.Tokens)
+}
+
+// lexical assigns the context-free most likely tag for a token.
+func (tg *Tagger) lexical(tok tokenize.Token, first bool) Tag {
+	switch tok.Kind {
+	case tokenize.Number:
+		return CD
+	case tokenize.Punct, tokenize.Symbol:
+		return PCT
+	}
+	lower := strings.ToLower(tok.Text)
+
+	// Possessive clitic from the tokenizer ("camera" + "'s"). Verbal "'s"
+	// (= is) is repaired contextually when followed by an adjective or
+	// determiner; default to POS after nouns, which the context rules use.
+	if lower == "'s" {
+		return POS
+	}
+	if t, ok := beForms[lower]; ok && lower != "'s" {
+		return t
+	}
+
+	if tg.Extra != nil {
+		if t, ok := tg.Extra[lower]; ok {
+			return t
+		}
+	}
+
+	switch {
+	case lower == "to":
+		return TO
+	case lower == "there":
+		return EX // repaired to RB contextually when not followed by be
+	case determiners[lower]:
+		return DT
+	case modals[lower]:
+		return MD
+	case possessivePronouns[lower]:
+		return PRPS
+	case pronouns[lower]:
+		return PRP
+	case conjunctions[lower]:
+		return CC
+	case prepositions[lower]:
+		return IN
+	}
+	if t, ok := whWords[lower]; ok {
+		return t
+	}
+	if t, ok := irregularVerbs[lower]; ok {
+		return t
+	}
+	if t, ok := lexicon[lower]; ok {
+		return t
+	}
+
+	// Unknown word: capitalized non-sentence-initial words are proper
+	// nouns; sentence-initial capitalized unknowns are too, since known
+	// common words were already matched via their lower-case form.
+	if tok.IsCapitalized() {
+		if strings.HasSuffix(tok.Text, "s") && len(tok.Text) > 3 && !strings.HasSuffix(lower, "ss") {
+			return NNPS
+		}
+		return NNP
+	}
+	return suffixTag(lower)
+}
+
+// suffixTag guesses a tag for an unknown lower-case word from morphology.
+func suffixTag(w string) Tag {
+	switch {
+	case strings.Contains(w, "-"):
+		// Unknown hyphenated compounds are overwhelmingly modifiers in
+		// review text ("washed-out", "state-of-the-art").
+		return JJ
+	case strings.HasSuffix(w, "ly") && len(w) > 4:
+		return RB
+	case strings.HasSuffix(w, "ing") && len(w) > 5:
+		return VBG
+	case strings.HasSuffix(w, "ed") && len(w) > 4:
+		return VBN // repaired to VBD contextually after a nominal subject
+	case strings.HasSuffix(w, "tion") || strings.HasSuffix(w, "sion") ||
+		strings.HasSuffix(w, "ment") || strings.HasSuffix(w, "ness") ||
+		strings.HasSuffix(w, "ance") || strings.HasSuffix(w, "ence") ||
+		strings.HasSuffix(w, "ship") || strings.HasSuffix(w, "ity") ||
+		strings.HasSuffix(w, "ism") || strings.HasSuffix(w, "age") ||
+		strings.HasSuffix(w, "ure") || strings.HasSuffix(w, "cy"):
+		return NN
+	case strings.HasSuffix(w, "ous") || strings.HasSuffix(w, "ful") ||
+		strings.HasSuffix(w, "able") || strings.HasSuffix(w, "ible") ||
+		strings.HasSuffix(w, "ive") || strings.HasSuffix(w, "ish") ||
+		strings.HasSuffix(w, "less") || strings.HasSuffix(w, "ic") ||
+		strings.HasSuffix(w, "al") || strings.HasSuffix(w, "ary"):
+		return JJ
+	case strings.HasSuffix(w, "est") && len(w) > 4:
+		return JJS
+	case strings.HasSuffix(w, "er") && len(w) > 4:
+		// -er is genuinely ambiguous (agent noun vs. comparative); nouns
+		// dominate in product text (reviewer, adapter, charger).
+		return NN
+	case strings.HasSuffix(w, "ies"):
+		return NNS
+	case strings.HasSuffix(w, "s") && !strings.HasSuffix(w, "ss") && len(w) > 3:
+		return NNS
+	}
+	return NN
+}
+
+// applyContextRules runs Brill-style repair rules over a lexically tagged
+// sentence, in order. Each rule inspects neighbouring tags and rewrites
+// the current one.
+func applyContextRules(ts []TaggedToken) {
+	n := len(ts)
+	at := func(i int) Tag {
+		if i < 0 || i >= n {
+			return ""
+		}
+		return ts[i].Tag
+	}
+	lowerAt := func(i int) string {
+		if i < 0 || i >= n {
+			return ""
+		}
+		return strings.ToLower(ts[i].Text)
+	}
+
+	for i := 0; i < n; i++ {
+		cur := ts[i].Tag
+		prev, next := at(i-1), at(i+1)
+
+		switch {
+		// "'s" after a noun followed by JJ/DT/VBN reads as "is".
+		case cur == POS && (next == JJ || next == JJR || next == JJS || next == DT || next == RB || next == VBG || next == VBN):
+			ts[i].Tag = VBZ
+
+		// DT/JJ before a base verb that can be a noun: "the lack", "a break".
+		case cur == VB && (prev == DT || prev == JJ || prev == PRPS || prev == POS):
+			ts[i].Tag = NN
+		case cur == VBZ && (prev == DT || prev == JJ || prev == PRPS || prev == POS):
+			// "the takes" is implausible but "the costs" is a plural noun.
+			ts[i].Tag = NNS
+
+		// TO or MD before any verb form forces the base form.
+		case cur.IsVerb() && (prev == TO || prev == MD):
+			ts[i].Tag = VB
+
+		// Do-support: after "do/does/did" plus optional adverbs, the next
+		// open-class word is a base-form verb ("does n't respond").
+		case (cur == NN || cur == NNS || cur == VBZ || cur == VBD) && followsDoSupport(ts, i):
+			ts[i].Tag = VB
+
+		// VBN directly after a nominal or pronoun with no auxiliary before
+		// it is a simple past: "The camera impressed everyone."
+		case cur == VBN && (prev.IsNoun() || prev == PRP):
+			if !hasAuxBefore(ts, i) {
+				ts[i].Tag = VBD
+			}
+
+		// Conversely, a simple past after a be/have auxiliary is a past
+		// participle: "I am impressed", "everyone was disappointed".
+		case cur == VBD && hasAuxBefore(ts, i):
+			ts[i].Tag = VBN
+
+		// A participle directly after a copular or linking verb with no
+		// nominal following is predicative: "seems convoluted", "is
+		// breathtaking" — an adjective for chunking purposes. A following
+		// "by"/"with" marks a true agent passive ("was enchanted by the
+		// view"), which must stay verbal for the PP(by;with) patterns.
+		case (cur == VBN || cur == VBG) && isLinkingLike(ts, i-1) &&
+			!(next.IsNoun() || next == DT || next == PRPS) &&
+			lowerAt(i+1) != "by" && lowerAt(i+1) != "with":
+			ts[i].Tag = JJ
+
+		// Existential "there" only before forms of be.
+		case cur == EX && !(next == VBZ || next == VBP || next == VBD || next == VB || next == MD):
+			ts[i].Tag = RB
+
+		// A noun between a determiner and another noun is usually an
+		// attributive position where adjectives also sit; keep NN (bBNP
+		// patterns accept NN NN), but a verb there becomes a noun:
+		// "the zoom control".
+		case cur.IsVerb() && prev == DT && next.IsNoun():
+			ts[i].Tag = NN
+
+		// Gerund or adjective directly between a determiner and a finite
+		// verb is a nominal head: "the setting is", "the manual works",
+		// "the coating deteriorated" (the VBN there repairs to VBD next
+		// pass).
+		case (cur == VBG || cur == JJ) && prev == DT &&
+			(next == VBZ || next == VBP || next == VBD || next == VBN || next == MD):
+			ts[i].Tag = NN
+
+		// An adjective closing a determiner-rooted modifier chain with no
+		// nominal following is itself the head noun: "the old terminal,"
+		// — suffix guessing mistook the noun for an adjective.
+		case cur == JJ && dtChainBefore(ts, i) &&
+			!(next.IsNoun() || next.IsAdjective() || next == CD || next == VBG):
+			ts[i].Tag = NN
+
+		// Prepositional "like/unlike" stay IN; verbal "like" after PRP:
+		// "I like the camera."
+		case cur == IN && lowerAt(i) == "like" && (prev == PRP || prev == NNS || prev == NNP) && (next == DT || next == PRPS || next == NNP):
+			ts[i].Tag = VBP
+
+		// "that" as complementizer after a verb: keep IN; as determiner
+		// before a noun: DT (already lexical); as relative pronoun after a
+		// noun and before a verb: WDT.
+		case cur == DT && lowerAt(i) == "that" && prev.IsNoun() && (next.IsVerb() || next == MD):
+			ts[i].Tag = WDT
+		}
+	}
+
+	// Second pass: plural noun just before a finite verb position that was
+	// mis-guessed as NNS but acts as VBZ: "The colors looks" cannot occur
+	// in generated text, so instead repair NN+NNS sequences where the NNS
+	// is actually the sentence's verb ("The company reports strong
+	// earnings"): NNS followed by JJ+NN with a nominal before it.
+	for i := 1; i < n-1; i++ {
+		if ts[i].Tag == NNS && at(i-1).IsNoun() && (at(i+1) == JJ || at(i+1) == DT) {
+			if vb, ok := pluralAsVerb[strings.ToLower(ts[i].Text)]; ok {
+				ts[i].Tag = vb
+			}
+		}
+	}
+}
+
+// pluralAsVerb lists -s forms that are far more often 3sg verbs than
+// plural nouns when they follow a subject.
+var pluralAsVerb = map[string]Tag{
+	"reports": VBZ, "claims": VBZ, "plans": VBZ, "notes": VBZ,
+	"states": VBZ, "estimates": VBZ, "costs": VBZ, "features": VBZ,
+	"supports": VBZ, "results": VBZ, "increases": VBZ, "decreases": VBZ,
+}
+
+// dtChainBefore reports whether positions before i form an unbroken
+// modifier chain (JJ/VBG/CD) rooted at a determiner — i.e. token i closes
+// a "the old ..." noun phrase.
+func dtChainBefore(ts []TaggedToken, i int) bool {
+	for j := i - 1; j >= 0; j-- {
+		switch ts[j].Tag {
+		case JJ, JJR, JJS, VBG, CD:
+			continue
+		case DT, PRPS:
+			return true
+		default:
+			return false
+		}
+	}
+	return false
+}
+
+// isLinkingLike reports whether the token at position j is a be-form or a
+// linking verb ("seem", "look", "feel", "taste", "smell", ...).
+func isLinkingLike(ts []TaggedToken, j int) bool {
+	if j < 0 || j >= len(ts) {
+		return false
+	}
+	lw := strings.ToLower(ts[j].Text)
+	if _, ok := beForms[lw]; ok {
+		return true
+	}
+	switch VerbLemma(lw) {
+	case "seem", "look", "feel", "taste", "smell", "appear", "sound",
+		"remain", "stay", "become", "get", "turn", "prove", "grow":
+		return ts[j].Tag.IsVerb()
+	}
+	return false
+}
+
+// followsDoSupport reports whether position i follows a form of "do" (or a
+// modal) with only adverbs in between.
+func followsDoSupport(ts []TaggedToken, i int) bool {
+	for j := i - 1; j >= 0; j-- {
+		switch ts[j].Tag {
+		case RB, RBR, RBS:
+			continue
+		case MD:
+			return true
+		case VB, VBZ, VBP, VBD:
+			lw := strings.ToLower(ts[j].Text)
+			return lw == "do" || lw == "does" || lw == "did"
+		default:
+			return false
+		}
+	}
+	return false
+}
+
+// hasAuxBefore reports whether an auxiliary (be/have form or modal)
+// appears before position i with only adverbs in between.
+func hasAuxBefore(ts []TaggedToken, i int) bool {
+	for j := i - 1; j >= 0; j-- {
+		switch ts[j].Tag {
+		case RB, RBR, RBS:
+			continue
+		case MD, VBZ, VBP, VBD, VB:
+			lw := strings.ToLower(ts[j].Text)
+			if _, isBe := beForms[lw]; isBe || lw == "has" || lw == "have" || lw == "had" {
+				return true
+			}
+			return false
+		default:
+			return false
+		}
+	}
+	return false
+}

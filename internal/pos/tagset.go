@@ -1,0 +1,78 @@
+// Package pos implements a Penn Treebank part-of-speech tagger.
+//
+// The paper used the Ratnaparkhi maximum-entropy tagger; that model and
+// its training data are unavailable, so this package provides an
+// equivalent-contract substitute: a deterministic tagger built from
+//
+//  1. closed-class word lists (determiners, prepositions, pronouns, ...),
+//  2. an embedded open-class lexicon of common English words,
+//  3. morphological suffix rules for unknown words, and
+//  4. Brill-style contextual repair rules.
+//
+// Downstream consumers (the chunker, the bBNP feature extractor and the
+// sentiment analyzer) depend only on Penn Treebank tags such as NN, JJ,
+// VB and DT, which this tagger emits.
+package pos
+
+// Tag is a Penn Treebank part-of-speech tag.
+type Tag string
+
+// The subset of the Penn Treebank tagset produced by this tagger.
+const (
+	CC   Tag = "CC"   // coordinating conjunction
+	CD   Tag = "CD"   // cardinal number
+	DT   Tag = "DT"   // determiner
+	EX   Tag = "EX"   // existential there
+	FW   Tag = "FW"   // foreign word
+	IN   Tag = "IN"   // preposition / subordinating conjunction
+	JJ   Tag = "JJ"   // adjective
+	JJR  Tag = "JJR"  // adjective, comparative
+	JJS  Tag = "JJS"  // adjective, superlative
+	MD   Tag = "MD"   // modal
+	NN   Tag = "NN"   // noun, singular or mass
+	NNS  Tag = "NNS"  // noun, plural
+	NNP  Tag = "NNP"  // proper noun, singular
+	NNPS Tag = "NNPS" // proper noun, plural
+	PDT  Tag = "PDT"  // predeterminer
+	POS  Tag = "POS"  // possessive ending
+	PRP  Tag = "PRP"  // personal pronoun
+	PRPS Tag = "PRP$" // possessive pronoun
+	RB   Tag = "RB"   // adverb
+	RBR  Tag = "RBR"  // adverb, comparative
+	RBS  Tag = "RBS"  // adverb, superlative
+	RP   Tag = "RP"   // particle
+	TO   Tag = "TO"   // to
+	UH   Tag = "UH"   // interjection
+	VB   Tag = "VB"   // verb, base form
+	VBD  Tag = "VBD"  // verb, past tense
+	VBG  Tag = "VBG"  // verb, gerund/present participle
+	VBN  Tag = "VBN"  // verb, past participle
+	VBP  Tag = "VBP"  // verb, non-3rd person singular present
+	VBZ  Tag = "VBZ"  // verb, 3rd person singular present
+	WDT  Tag = "WDT"  // wh-determiner
+	WP   Tag = "WP"   // wh-pronoun
+	WRB  Tag = "WRB"  // wh-adverb
+	SYM  Tag = "SYM"  // symbol
+	PCT  Tag = "."    // punctuation (collapsed)
+)
+
+// IsNoun reports whether the tag is any noun tag (NN, NNS, NNP, NNPS).
+func (t Tag) IsNoun() bool { return t == NN || t == NNS || t == NNP || t == NNPS }
+
+// IsProperNoun reports whether the tag is NNP or NNPS.
+func (t Tag) IsProperNoun() bool { return t == NNP || t == NNPS }
+
+// IsAdjective reports whether the tag is JJ, JJR or JJS.
+func (t Tag) IsAdjective() bool { return t == JJ || t == JJR || t == JJS }
+
+// IsVerb reports whether the tag is any verb tag (VB..VBZ, MD excluded).
+func (t Tag) IsVerb() bool {
+	switch t {
+	case VB, VBD, VBG, VBN, VBP, VBZ:
+		return true
+	}
+	return false
+}
+
+// IsAdverb reports whether the tag is RB, RBR or RBS.
+func (t Tag) IsAdverb() bool { return t == RB || t == RBR || t == RBS }

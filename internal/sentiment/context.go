@@ -1,0 +1,86 @@
+package sentiment
+
+import (
+	"webfountain/internal/pos"
+	"webfountain/internal/tokenize"
+)
+
+// Context is the sentiment context for one subject spot: the sentence
+// containing the spot plus any surrounding sentences selected by the
+// window formation rule, with the spot's token range marked.
+type Context struct {
+	// Sentences is the window, in document order.
+	Sentences []tokenize.Sentence
+	// Focus is the index within Sentences of the sentence holding the spot.
+	Focus int
+	// SubjectStart and SubjectEnd are token indices of the subject spot
+	// within the focus sentence (half-open).
+	SubjectStart, SubjectEnd int
+}
+
+// FocusSentence returns the sentence containing the subject spot.
+func (c Context) FocusSentence() tokenize.Sentence { return c.Sentences[c.Focus] }
+
+// BuildContext applies the sentiment context window formation rule: the
+// full sentence containing the spot plus `window` sentences on each side.
+// The paper's default is the sentence alone (window 0).
+func BuildContext(sents []tokenize.Sentence, focus, window, subjStart, subjEnd int) Context {
+	lo := focus - window
+	if lo < 0 {
+		lo = 0
+	}
+	hi := focus + window + 1
+	if hi > len(sents) {
+		hi = len(sents)
+	}
+	return Context{
+		Sentences:    sents[lo:hi],
+		Focus:        focus - lo,
+		SubjectStart: subjStart,
+		SubjectEnd:   subjEnd,
+	}
+}
+
+// SubjectSentiment runs the analyzer over the context and reduces the
+// assignments that target the subject spot to a single polarity. It also
+// returns the matching assignments for tracing. Assignments from
+// non-focus sentences only count when the focus sentence yields nothing —
+// the window is a fallback, not an override.
+func (a *Analyzer) SubjectSentiment(tagger *pos.Tagger, ctx Context) ([]Assignment, bool) {
+	focus := tagger.TagSentence(ctx.FocusSentence())
+	as := a.Analyze(focus)
+	hits := ForSpan(as, ctx.SubjectStart, ctx.SubjectEnd)
+	if len(hits) > 0 {
+		return hits, true
+	}
+	// Fallback to surrounding sentences: a spot mentioned there under the
+	// same head noun inherits their assignments.
+	if len(ctx.Sentences) == 1 {
+		return nil, false
+	}
+	head := subjectHead(ctx)
+	if head == "" {
+		return nil, false
+	}
+	var out []Assignment
+	for i, s := range ctx.Sentences {
+		if i == ctx.Focus {
+			continue
+		}
+		tagged := tagger.TagSentence(s)
+		for _, asg := range a.Analyze(tagged) {
+			if asg.Phrase.HeadToken().Lower() == head {
+				out = append(out, asg)
+			}
+		}
+	}
+	return out, len(out) > 0
+}
+
+func subjectHead(ctx Context) string {
+	s := ctx.FocusSentence()
+	if ctx.SubjectEnd-1 < 0 || ctx.SubjectEnd-1 >= len(s.Tokens) {
+		return ""
+	}
+	return s.Tokens[ctx.SubjectEnd-1].Lower()
+}

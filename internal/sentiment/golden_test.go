@@ -1,0 +1,132 @@
+package sentiment
+
+import (
+	"strings"
+	"testing"
+
+	"webfountain/internal/lexicon"
+)
+
+// goldenCase is one sentence with the expected (target-substring,
+// polarity) assignments, in any order. An empty want list asserts that
+// the analyzer stays silent.
+type goldenCase struct {
+	text string
+	want map[string]lexicon.Polarity
+}
+
+// TestGoldenSuite exercises the analyzer on realistic sentences beyond the
+// synthetic corpus vocabulary — copulas, trans verbs, passives, negation,
+// verb chains, linking verbs, coordination, and known silence cases.
+func TestGoldenSuite(t *testing.T) {
+	cases := []goldenCase{
+		// Copulas over extended-lexicon adjectives.
+		{"The keyboard is superb.", map[string]lexicon.Polarity{"keyboard": lexicon.Positive}},
+		{"The interface seems convoluted.", map[string]lexicon.Polarity{"interface": lexicon.Negative}},
+		{"The soundtrack is breathtaking.", map[string]lexicon.Polarity{"soundtrack": lexicon.Positive}},
+		{"The plot felt contrived.", map[string]lexicon.Polarity{"plot": lexicon.Negative}},
+		{"The staff was courteous.", map[string]lexicon.Polarity{"staff": lexicon.Positive}},
+		{"The checkout process is exasperating.", map[string]lexicon.Polarity{"process": lexicon.Negative}},
+		{"The hotel lobby looked immaculate.", map[string]lexicon.Polarity{"lobby": lexicon.Positive}},
+		{"The service remained dreadful.", map[string]lexicon.Polarity{"service": lexicon.Negative}},
+
+		// Trans verbs with object transfer.
+		{"The update delivers remarkable stability.", map[string]lexicon.Polarity{"update": lexicon.Positive}},
+		{"The sequel offers tedious filler.", map[string]lexicon.Polarity{"sequel": lexicon.Negative}},
+		{"The firm posted magnificent growth.", map[string]lexicon.Polarity{"firm": lexicon.Positive}},
+		{"The merger produced chaotic results.", map[string]lexicon.Polarity{"merger": lexicon.Negative}},
+
+		// Passives with by/with.
+		{"I was enchanted by the harbor view.", map[string]lexicon.Polarity{"harbor view": lexicon.Positive}},
+		{"We were appalled by the waiting room.", map[string]lexicon.Polarity{"waiting room": lexicon.Negative}},
+
+		// Fixed verbs toward the object.
+		{"Critics adored the screenplay.", map[string]lexicon.Polarity{"screenplay": lexicon.Positive}},
+		{"Everyone despised the commute.", map[string]lexicon.Polarity{"commute": lexicon.Negative}},
+		{"Guests treasure the courtyard.", map[string]lexicon.Polarity{"courtyard": lexicon.Positive}},
+
+		// Fixed verbs toward the subject.
+		{"The engine excels on long climbs.", map[string]lexicon.Polarity{"engine": lexicon.Positive}},
+		{"The scheduler malfunctioned overnight.", map[string]lexicon.Polarity{"scheduler": lexicon.Negative}},
+		{"The coating deteriorated within weeks.", map[string]lexicon.Polarity{"coating": lexicon.Negative}},
+
+		// Negation flips.
+		{"The keyboard is not superb.", map[string]lexicon.Polarity{"keyboard": lexicon.Negative}},
+		{"The blade never rusts.", map[string]lexicon.Polarity{"blade": lexicon.Positive}},
+		{"The printer does not jam.", map[string]lexicon.Polarity{"printer": lexicon.Positive}},
+
+		// Verb chains with reversal.
+		{"The suspension fails to impress.", map[string]lexicon.Polarity{"suspension": lexicon.Negative}},
+		{"The cast fails to deliver memorable moments.", map[string]lexicon.Polarity{"cast": lexicon.Negative}},
+
+		// Linking verbs.
+		{"The broth tastes divine.", map[string]lexicon.Polarity{"broth": lexicon.Positive}},
+		{"The mixture smells rancid.", map[string]lexicon.Polarity{"mixture": lexicon.Negative}},
+		{"The fabric feels sumptuous and warm.", map[string]lexicon.Polarity{"fabric": lexicon.Positive}},
+
+		// Coordination: two clauses, two targets.
+		{"The kitchen is spotless but the hallway is grimy.", map[string]lexicon.Polarity{
+			"kitchen": lexicon.Positive, "hallway": lexicon.Negative}},
+		{"The opening act was dull and the finale was glorious.", map[string]lexicon.Polarity{
+			"act": lexicon.Negative, "finale": lexicon.Positive}},
+
+		// Nominal complements.
+		{"The rollout was a fiasco.", map[string]lexicon.Polarity{"rollout": lexicon.Negative}},
+		{"The comeback is a triumph.", map[string]lexicon.Polarity{"comeback": lexicon.Positive}},
+
+		// Comparatives with than-phrases.
+		{"The sequel is better than the original.", map[string]lexicon.Polarity{
+			"sequel": lexicon.Positive, "original": lexicon.Negative}},
+		{"The remake is worse than the first film.", map[string]lexicon.Polarity{
+			"remake": lexicon.Negative, "film": lexicon.Positive}},
+
+		// Unlike-contrast.
+		{"Unlike the old terminal, the new concourse is splendid.", map[string]lexicon.Polarity{
+			"concourse": lexicon.Positive, "terminal": lexicon.Negative}},
+
+		// Silence: neutral statements must produce nothing.
+		{"The shipment arrives on Thursday.", nil},
+		{"The committee meets twice a month.", nil},
+		{"The recipe calls for two eggs.", nil},
+		{"The office sits above the bakery.", nil},
+
+		// Silence: idiomatic sentiment outside coverage (the recall gap).
+		{"The gadget knocked everyone's socks off.", nil},
+		{"The show jumped the shark this season.", nil},
+	}
+
+	a := New(nil, nil)
+	failures := 0
+	for _, c := range cases {
+		got := map[string]lexicon.Polarity{}
+		for _, asg := range a.Analyze(tg.Tag(tk.Tokenize(c.text))) {
+			got[strings.ToLower(asg.Target)] = asg.Polarity
+		}
+		if len(c.want) == 0 {
+			if len(got) != 0 {
+				t.Errorf("%q: expected silence, got %v", c.text, got)
+				failures++
+			}
+			continue
+		}
+		for sub, pol := range c.want {
+			matched := false
+			for target, gp := range got {
+				if strings.Contains(target, strings.ToLower(sub)) {
+					matched = true
+					if gp != pol {
+						t.Errorf("%q: %s = %v, want %v", c.text, sub, gp, pol)
+						failures++
+					}
+				}
+			}
+			if !matched {
+				t.Errorf("%q: no assignment for %q (got %v)", c.text, sub, got)
+				failures++
+			}
+		}
+	}
+	if failures > 0 {
+		t.Logf("golden suite: %d failures out of %d cases", failures, len(cases))
+	}
+}

@@ -1,0 +1,211 @@
+// Package spotter implements the general-purpose term spotter miner: it
+// identifies occurrences of arbitrary terms or phrases within documents
+// and tags them with the synonym set they belong to.
+//
+// Subject terms are grouped into synonym sets ("Sony PDA", "CLIE" and
+// "Sony CLIE" may all map to one subject) so that analytics over a subject
+// count all its name variants together. Matching is case-insensitive and
+// token-based, using an Aho-Corasick automaton over token sequences so a
+// document is scanned once regardless of how many terms are registered.
+package spotter
+
+import (
+	"sort"
+	"strings"
+
+	"webfountain/internal/tokenize"
+)
+
+// SynonymSet groups the name variants of one subject under a stable ID.
+type SynonymSet struct {
+	// ID identifies the subject (e.g. "nr70").
+	ID string
+	// Canonical is the display name of the subject.
+	Canonical string
+	// Terms are the surface variants to spot, each possibly multi-word.
+	Terms []string
+}
+
+// Spot is one occurrence of a registered term.
+type Spot struct {
+	// SetID is the synonym set the matched term belongs to.
+	SetID string
+	// Term is the matched variant (lower-cased).
+	Term string
+	// Start and End are token indices of the match within the scanned
+	// token slice (half-open).
+	Start, End int
+	// Sentence is the sentence index for sentence-based scans, -1 for raw
+	// token scans.
+	Sentence int
+}
+
+// node is one Aho-Corasick trie state.
+type node struct {
+	next map[string]*node
+	fail *node
+	// outputs are (setID, term, length-in-tokens) for terms ending here.
+	outputs []output
+}
+
+type output struct {
+	setID  string
+	term   string
+	length int
+}
+
+// Spotter is an immutable, compiled term matcher. Build one with New and
+// reuse it across documents; it is safe for concurrent use.
+type Spotter struct {
+	root *node
+	sets map[string]SynonymSet
+}
+
+// New compiles the synonym sets into a spotter. Empty terms are ignored;
+// duplicate terms across sets match for every set that registered them.
+func New(sets []SynonymSet) *Spotter {
+	sp := &Spotter{
+		root: &node{next: make(map[string]*node)},
+		sets: make(map[string]SynonymSet, len(sets)),
+	}
+	for _, set := range sets {
+		sp.sets[set.ID] = set
+		for _, term := range set.Terms {
+			words := termWords(term)
+			if len(words) == 0 {
+				continue
+			}
+			sp.insert(set.ID, strings.Join(words, " "), words)
+		}
+	}
+	sp.buildFailureLinks()
+	return sp
+}
+
+// termWords tokenizes a registered term the same way documents are
+// tokenized, so "T series CLIEs" matches the token stream.
+func termWords(term string) []string {
+	toks := tokenize.New().Tokenize(strings.ToLower(term))
+	words := make([]string, 0, len(toks))
+	for _, t := range toks {
+		words = append(words, t.Text)
+	}
+	return words
+}
+
+func (sp *Spotter) insert(setID, term string, words []string) {
+	cur := sp.root
+	for _, w := range words {
+		nxt, ok := cur.next[w]
+		if !ok {
+			nxt = &node{next: make(map[string]*node)}
+			cur.next[w] = nxt
+		}
+		cur = nxt
+	}
+	cur.outputs = append(cur.outputs, output{setID: setID, term: term, length: len(words)})
+}
+
+// buildFailureLinks runs the standard BFS construction.
+func (sp *Spotter) buildFailureLinks() {
+	var queue []*node
+	for _, child := range sp.root.next {
+		child.fail = sp.root
+		queue = append(queue, child)
+	}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for sym, child := range cur.next {
+			f := cur.fail
+			for f != nil {
+				if nxt, ok := f.next[sym]; ok {
+					child.fail = nxt
+					break
+				}
+				f = f.fail
+			}
+			if child.fail == nil {
+				child.fail = sp.root
+			}
+			child.outputs = append(child.outputs, child.fail.outputs...)
+			queue = append(queue, child)
+		}
+	}
+}
+
+// Set returns the synonym set registered under id.
+func (sp *Spotter) Set(id string) (SynonymSet, bool) {
+	s, ok := sp.sets[id]
+	return s, ok
+}
+
+// Sets returns the number of registered synonym sets.
+func (sp *Spotter) Sets() int { return len(sp.sets) }
+
+// SpotTokens scans a token slice and returns all matches, ordered by start
+// position (longest first at equal starts). Sentence is -1 on every spot.
+func (sp *Spotter) SpotTokens(tokens []tokenize.Token) []Spot {
+	spots := sp.scan(tokens, -1)
+	sortSpots(spots)
+	return spots
+}
+
+// SpotSentences scans each sentence and annotates spots with the sentence
+// index.
+func (sp *Spotter) SpotSentences(sents []tokenize.Sentence) []Spot {
+	var all []Spot
+	for _, s := range sents {
+		all = append(all, sp.scan(s.Tokens, s.Index)...)
+	}
+	sortSpots(all)
+	return all
+}
+
+func (sp *Spotter) scan(tokens []tokenize.Token, sentence int) []Spot {
+	var spots []Spot
+	cur := sp.root
+	for i, tok := range tokens {
+		sym := strings.ToLower(tok.Text)
+		for cur != sp.root && cur.next[sym] == nil {
+			cur = cur.fail
+		}
+		if nxt, ok := cur.next[sym]; ok {
+			cur = nxt
+		}
+		for _, out := range cur.outputs {
+			spots = append(spots, Spot{
+				SetID:    out.setID,
+				Term:     out.term,
+				Start:    i - out.length + 1,
+				End:      i + 1,
+				Sentence: sentence,
+			})
+		}
+	}
+	return spots
+}
+
+func sortSpots(spots []Spot) {
+	sort.Slice(spots, func(i, j int) bool {
+		if spots[i].Sentence != spots[j].Sentence {
+			return spots[i].Sentence < spots[j].Sentence
+		}
+		if spots[i].Start != spots[j].Start {
+			return spots[i].Start < spots[j].Start
+		}
+		if spots[i].End != spots[j].End {
+			return spots[i].End > spots[j].End // longest first
+		}
+		return spots[i].SetID < spots[j].SetID
+	})
+}
+
+// CountBySet tallies spots per synonym set ID.
+func CountBySet(spots []Spot) map[string]int {
+	counts := make(map[string]int)
+	for _, s := range spots {
+		counts[s.SetID]++
+	}
+	return counts
+}

@@ -1,0 +1,175 @@
+package spotter
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"webfountain/internal/tokenize"
+)
+
+var tk = tokenize.New()
+
+func TestSpotSingleWordTerm(t *testing.T) {
+	sp := New([]SynonymSet{{ID: "nr70", Canonical: "NR70", Terms: []string{"NR70"}}})
+	spots := sp.SpotTokens(tk.Tokenize("The NR70 is a great PDA. I like the NR70."))
+	if len(spots) != 2 {
+		t.Fatalf("got %d spots, want 2: %+v", len(spots), spots)
+	}
+	for _, s := range spots {
+		if s.SetID != "nr70" || s.Term != "nr70" {
+			t.Errorf("spot = %+v", s)
+		}
+	}
+}
+
+func TestSpotMultiWordTerm(t *testing.T) {
+	sp := New([]SynonymSet{{ID: "clie", Terms: []string{"T series CLIEs"}}})
+	toks := tk.Tokenize("Unlike the more recent T series CLIEs, the NR70 shines.")
+	spots := sp.SpotTokens(toks)
+	if len(spots) != 1 {
+		t.Fatalf("got %+v", spots)
+	}
+	s := spots[0]
+	if s.End-s.Start != 3 {
+		t.Errorf("span = [%d,%d), want 3 tokens", s.Start, s.End)
+	}
+	if got := toks[s.Start].Text; got != "T" {
+		t.Errorf("match starts at %q", got)
+	}
+}
+
+func TestSpotSynonymVariantsShareSet(t *testing.T) {
+	sp := New([]SynonymSet{{
+		ID:        "sonypda",
+		Canonical: "Sony PDA",
+		Terms:     []string{"Sony PDA", "CLIE", "Sony CLIE"},
+	}})
+	spots := sp.SpotTokens(tk.Tokenize("The Sony PDA line and the CLIE both impressed."))
+	counts := CountBySet(spots)
+	if counts["sonypda"] != 2 {
+		t.Errorf("counts = %v, want 2 for sonypda", counts)
+	}
+}
+
+func TestSpotCaseInsensitive(t *testing.T) {
+	sp := New([]SynonymSet{{ID: "canon", Terms: []string{"Canon"}}})
+	spots := sp.SpotTokens(tk.Tokenize("CANON, canon and Canon"))
+	if len(spots) != 3 {
+		t.Errorf("got %d spots, want 3", len(spots))
+	}
+}
+
+func TestSpotOverlappingTermsBothReported(t *testing.T) {
+	sp := New([]SynonymSet{
+		{ID: "life", Terms: []string{"battery life"}},
+		{ID: "batt", Terms: []string{"battery"}},
+	})
+	spots := sp.SpotTokens(tk.Tokenize("The battery life is short."))
+	if len(spots) != 2 {
+		t.Fatalf("got %+v, want both the nested and the longer match", spots)
+	}
+	// Longest first at equal start.
+	if spots[0].SetID != "life" || spots[1].SetID != "batt" {
+		t.Errorf("order = %+v", spots)
+	}
+}
+
+func TestSpotSentencesCarriesIndex(t *testing.T) {
+	sp := New([]SynonymSet{{ID: "zoom", Terms: []string{"zoom"}}})
+	sents := tk.Sentences("The zoom works. The menu lags. The zoom shines.")
+	spots := sp.SpotSentences(sents)
+	if len(spots) != 2 {
+		t.Fatalf("got %+v", spots)
+	}
+	if spots[0].Sentence != 0 || spots[1].Sentence != 2 {
+		t.Errorf("sentence indices = %d, %d", spots[0].Sentence, spots[1].Sentence)
+	}
+}
+
+func TestSpotNoMatches(t *testing.T) {
+	sp := New([]SynonymSet{{ID: "x", Terms: []string{"frobnicator"}}})
+	if spots := sp.SpotTokens(tk.Tokenize("Nothing to see here.")); len(spots) != 0 {
+		t.Errorf("got %+v", spots)
+	}
+}
+
+func TestSpotEmptyAndDegenerate(t *testing.T) {
+	sp := New([]SynonymSet{{ID: "x", Terms: []string{"", "   "}}})
+	if spots := sp.SpotTokens(tk.Tokenize("anything at all")); len(spots) != 0 {
+		t.Errorf("degenerate terms matched: %+v", spots)
+	}
+	if sp.Sets() != 1 {
+		t.Errorf("Sets = %d", sp.Sets())
+	}
+}
+
+func TestSetLookup(t *testing.T) {
+	sp := New([]SynonymSet{{ID: "a", Canonical: "Alpha", Terms: []string{"alpha"}}})
+	got, ok := sp.Set("a")
+	if !ok || got.Canonical != "Alpha" {
+		t.Errorf("Set(a) = %+v, %v", got, ok)
+	}
+	if _, ok := sp.Set("missing"); ok {
+		t.Error("missing set found")
+	}
+}
+
+func TestAhoCorasickSuffixMatches(t *testing.T) {
+	// "picture quality" and "quality" — scanning "picture quality" must
+	// emit the suffix match via failure links.
+	sp := New([]SynonymSet{
+		{ID: "pq", Terms: []string{"picture quality"}},
+		{ID: "q", Terms: []string{"quality"}},
+	})
+	spots := sp.SpotTokens(tk.Tokenize("the picture quality rocks"))
+	counts := CountBySet(spots)
+	if counts["pq"] != 1 || counts["q"] != 1 {
+		t.Errorf("counts = %v", counts)
+	}
+}
+
+// Property: every reported span is in bounds and the matched tokens join
+// to the registered term.
+func TestQuickSpansMatchTerm(t *testing.T) {
+	sp := New([]SynonymSet{
+		{ID: "a", Terms: []string{"battery life", "zoom", "picture quality"}},
+	})
+	f := func(s string) bool {
+		toks := tk.Tokenize(s)
+		for _, spot := range sp.SpotTokens(toks) {
+			if spot.Start < 0 || spot.End > len(toks) || spot.Start >= spot.End {
+				return false
+			}
+			var words []string
+			for _, tok := range toks[spot.Start:spot.End] {
+				words = append(words, strings.ToLower(tok.Text))
+			}
+			if strings.Join(words, " ") != spot.Term {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: spotting is insensitive to preceding junk — appending a prefix
+// shifts spans but keeps counts per set for text containing registered
+// terms.
+func TestQuickPrefixInvariance(t *testing.T) {
+	sp := New([]SynonymSet{{ID: "z", Terms: []string{"zoom"}}})
+	base := "the zoom is great and the zoom is fast"
+	want := len(sp.SpotTokens(tk.Tokenize(base)))
+	f := func(prefix string) bool {
+		// Strip the registered word from the random prefix to keep counts.
+		p := strings.ReplaceAll(strings.ToLower(prefix), "zoom", "")
+		got := sp.SpotTokens(tk.Tokenize(p + " . " + base))
+		return len(got) >= want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,148 @@
+// Package stats provides the statistical machinery the miners rely on:
+// Dunning's log-likelihood ratio test (used by the feature term selector),
+// TF·IDF weighting (used by the disambiguator) and contingency-table
+// helpers.
+package stats
+
+import "math"
+
+// Contingency is the 2x2 document-count table of the paper's Table 1 for
+// one candidate term:
+//
+//	            D+      D-
+//	term        C11     C12
+//	no term     C21     C22
+//
+// where D+ is the on-topic collection and D- the off-topic collection.
+type Contingency struct {
+	C11, C12, C21, C22 float64
+}
+
+// Valid reports whether all counts are non-negative and the table is
+// non-degenerate (both collections non-empty).
+func (c Contingency) Valid() bool {
+	if c.C11 < 0 || c.C12 < 0 || c.C21 < 0 || c.C22 < 0 {
+		return false
+	}
+	return c.C11+c.C21 > 0 && c.C12+c.C22 > 0
+}
+
+// Rates returns r1 = C11/(C11+C12), r2 = C21/(C21+C22) and the pooled
+// r = (C11+C21)/total, as defined in the paper's Table 1.
+//
+// Note the paper's r1 conditions on the term row and r2 on the no-term
+// row; the likelihood ratio below follows the paper's Equation 1 exactly.
+func (c Contingency) Rates() (r1, r2, r float64) {
+	if c.C11+c.C12 > 0 {
+		r1 = c.C11 / (c.C11 + c.C12)
+	}
+	if c.C21+c.C22 > 0 {
+		r2 = c.C21 / (c.C21 + c.C22)
+	}
+	total := c.C11 + c.C12 + c.C21 + c.C22
+	if total > 0 {
+		r = (c.C11 + c.C21) / total
+	}
+	return r1, r2, r
+}
+
+// LogLikelihoodRatio computes the paper's Equation 1:
+//
+//	-2 log λ = 2·lr   if r2 < r1
+//	           0      if r2 >= r1
+//
+// with
+//
+//	lr = (C11+C21)·log r + (C12+C22)·log(1-r)
+//	     - C11·log r1 - C12·log(1-r1) - C21·log r2 - C22·log(1-r2)
+//
+// Under the null hypothesis (the candidate is equally likely in D+ and
+// D-), -2 log λ is asymptotically χ²(1)-distributed; large values mean the
+// term is characteristic of the on-topic collection. The one-sided guard
+// (zero when r2 >= r1) keeps only terms that are *more* frequent in D+.
+func (c Contingency) LogLikelihoodRatio() float64 {
+	if !c.Valid() {
+		return 0
+	}
+	r1, r2, r := c.Rates()
+	if r2 >= r1 {
+		return 0
+	}
+	lr := (c.C11+c.C21)*safeLog(r) + (c.C12+c.C22)*safeLog(1-r) -
+		c.C11*safeLog(r1) - c.C12*safeLog(1-r1) -
+		c.C21*safeLog(r2) - c.C22*safeLog(1-r2)
+	// The paper writes 2·log λ for the statistic -2·log λ; lr above is
+	// -log λ, so the statistic is 2·lr. Numerical noise can leave a tiny
+	// negative value; clamp.
+	v := -2 * lr
+	if v < 0 {
+		return 0
+	}
+	return v
+}
+
+// safeLog returns log(x), treating log(0) as 0 so that 0·log 0 terms
+// vanish, the standard convention for likelihood ratios.
+func safeLog(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	return math.Log(x)
+}
+
+// ChiSquare1CriticalValues maps common confidence levels to χ²(1) critical
+// values, used to threshold the likelihood ratio.
+var ChiSquare1CriticalValues = map[float64]float64{
+	0.90:  2.706,
+	0.95:  3.841,
+	0.99:  6.635,
+	0.999: 10.828,
+}
+
+// TF computes raw term frequency normalized by document length.
+func TF(count, docLen int) float64 {
+	if docLen == 0 {
+		return 0
+	}
+	return float64(count) / float64(docLen)
+}
+
+// IDF computes the inverse document frequency log(N / df) with add-one
+// smoothing on the document frequency.
+func IDF(docFreq, numDocs int) float64 {
+	if numDocs == 0 {
+		return 0
+	}
+	return math.Log(float64(numDocs) / (1 + float64(docFreq)))
+}
+
+// TFIDF combines TF and IDF.
+func TFIDF(count, docLen, docFreq, numDocs int) float64 {
+	return TF(count, docLen) * IDF(docFreq, numDocs)
+}
+
+// Mean returns the arithmetic mean of xs (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Variance returns the population variance of xs.
+func Variance(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := Mean(xs)
+	s := 0.0
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return s / float64(len(xs))
+}

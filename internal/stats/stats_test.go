@@ -1,0 +1,144 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestContingencyValid(t *testing.T) {
+	if !(Contingency{10, 5, 90, 95}).Valid() {
+		t.Error("plain table should be valid")
+	}
+	if (Contingency{-1, 5, 90, 95}).Valid() {
+		t.Error("negative count should be invalid")
+	}
+	if (Contingency{0, 0, 0, 0}).Valid() {
+		t.Error("empty table should be invalid")
+	}
+}
+
+func TestRates(t *testing.T) {
+	c := Contingency{C11: 30, C12: 10, C21: 70, C22: 90}
+	r1, r2, r := c.Rates()
+	if math.Abs(r1-0.75) > 1e-9 {
+		t.Errorf("r1 = %v, want 0.75", r1)
+	}
+	if math.Abs(r2-0.4375) > 1e-9 {
+		t.Errorf("r2 = %v, want 0.4375", r2)
+	}
+	if math.Abs(r-0.5) > 1e-9 {
+		t.Errorf("r = %v, want 0.5", r)
+	}
+}
+
+func TestLLRZeroWhenTermNotCharacteristic(t *testing.T) {
+	// Term equally frequent in both collections: r2 == r1 -> 0.
+	c := Contingency{C11: 10, C12: 10, C21: 90, C22: 90}
+	if got := c.LogLikelihoodRatio(); got != 0 {
+		t.Errorf("balanced table LLR = %v, want 0", got)
+	}
+	// Term MORE frequent in D-: also 0 under the one-sided rule.
+	c = Contingency{C11: 1, C12: 50, C21: 99, C22: 50}
+	if got := c.LogLikelihoodRatio(); got != 0 {
+		t.Errorf("anti-correlated LLR = %v, want 0", got)
+	}
+}
+
+func TestLLRLargeForCharacteristicTerm(t *testing.T) {
+	// Term appears in 40% of 100 on-topic docs and 1% of 1000 off-topic.
+	strong := Contingency{C11: 40, C12: 10, C21: 60, C22: 990}
+	weak := Contingency{C11: 5, C12: 30, C21: 95, C22: 970}
+	s, w := strong.LogLikelihoodRatio(), weak.LogLikelihoodRatio()
+	if s <= 0 {
+		t.Fatalf("strong LLR = %v, want > 0", s)
+	}
+	if s <= w {
+		t.Errorf("strong (%v) should exceed weak (%v)", s, w)
+	}
+	if s < ChiSquare1CriticalValues[0.999] {
+		t.Errorf("strong LLR %v should clear the 99.9%% threshold", s)
+	}
+}
+
+func TestLLRMonotonicInEvidence(t *testing.T) {
+	// More on-topic occurrences (with everything else fixed) must not
+	// decrease the statistic.
+	prev := 0.0
+	for c11 := 5.0; c11 <= 50; c11 += 5 {
+		c := Contingency{C11: c11, C12: 5, C21: 100 - c11, C22: 995}
+		got := c.LogLikelihoodRatio()
+		if got < prev {
+			t.Errorf("LLR decreased from %v to %v at C11=%v", prev, got, c11)
+		}
+		prev = got
+	}
+}
+
+func TestLLRInvalidTable(t *testing.T) {
+	if got := (Contingency{-1, 1, 1, 1}).LogLikelihoodRatio(); got != 0 {
+		t.Errorf("invalid table LLR = %v, want 0", got)
+	}
+}
+
+func TestTFIDF(t *testing.T) {
+	if got := TF(5, 100); math.Abs(got-0.05) > 1e-12 {
+		t.Errorf("TF = %v", got)
+	}
+	if got := TF(5, 0); got != 0 {
+		t.Errorf("TF with empty doc = %v", got)
+	}
+	rare := IDF(1, 1000)
+	common := IDF(900, 1000)
+	if rare <= common {
+		t.Errorf("rare IDF (%v) should exceed common IDF (%v)", rare, common)
+	}
+	if got := IDF(0, 0); got != 0 {
+		t.Errorf("IDF with no docs = %v", got)
+	}
+	if TFIDF(5, 100, 1, 1000) <= TFIDF(5, 100, 900, 1000) {
+		t.Error("TFIDF should favor rare terms")
+	}
+}
+
+func TestMeanVariance(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	if got := Mean(xs); got != 2.5 {
+		t.Errorf("Mean = %v", got)
+	}
+	if got := Variance(xs); math.Abs(got-1.25) > 1e-12 {
+		t.Errorf("Variance = %v", got)
+	}
+	if Mean(nil) != 0 || Variance(nil) != 0 {
+		t.Error("empty input should give 0")
+	}
+}
+
+// Property: LLR is always finite and non-negative for arbitrary tables.
+func TestQuickLLRFiniteNonNegative(t *testing.T) {
+	f := func(a, b, c, d uint16) bool {
+		tab := Contingency{float64(a), float64(b), float64(c), float64(d)}
+		got := tab.LogLikelihoodRatio()
+		return got >= 0 && !math.IsNaN(got) && !math.IsInf(got, 0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: swapping the collections (so the term is characteristic of D-
+// instead) always yields 0 under the one-sided rule when the original was
+// positive.
+func TestQuickLLROneSided(t *testing.T) {
+	f := func(a, b, c, d uint16) bool {
+		tab := Contingency{float64(a), float64(b), float64(c), float64(d)}
+		swapped := Contingency{tab.C12, tab.C11, tab.C22, tab.C21}
+		if tab.LogLikelihoodRatio() > 0 && swapped.LogLikelihoodRatio() > 0 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,68 @@
+package store
+
+import (
+	"bufio"
+	"encoding/xml"
+	"fmt"
+	"io"
+)
+
+// Snapshot streams the whole store to w as an XML document:
+//
+//	<snapshot count="N">
+//	  <entity id="...">...</entity>
+//	  ...
+//	</snapshot>
+//
+// Entities are written in deterministic (ID-sorted) order, so identical
+// stores produce identical snapshots.
+func (s *Store) Snapshot(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "<snapshot count=\"%d\">\n", s.Len()); err != nil {
+		return err
+	}
+	enc := xml.NewEncoder(bw)
+	enc.Indent("  ", "  ")
+	err := s.ForEach(func(e *Entity) error {
+		return enc.Encode(e)
+	})
+	if err != nil {
+		return fmt.Errorf("store: snapshot: %w", err)
+	}
+	if err := enc.Flush(); err != nil {
+		return err
+	}
+	if _, err := io.WriteString(bw, "\n</snapshot>\n"); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// Restore reads a snapshot produced by Snapshot and puts every entity into
+// the store (existing entities with the same IDs are replaced). It returns
+// the number of entities restored.
+func (s *Store) Restore(r io.Reader) (int, error) {
+	dec := xml.NewDecoder(bufio.NewReader(r))
+	n := 0
+	for {
+		tok, err := dec.Token()
+		if err == io.EOF {
+			return n, nil
+		}
+		if err != nil {
+			return n, fmt.Errorf("store: restore: %w", err)
+		}
+		start, ok := tok.(xml.StartElement)
+		if !ok || start.Name.Local != "entity" {
+			continue
+		}
+		var e Entity
+		if err := dec.DecodeElement(&e, &start); err != nil {
+			return n, fmt.Errorf("store: restore entity %d: %w", n, err)
+		}
+		if err := s.Put(&e); err != nil {
+			return n, fmt.Errorf("store: restore entity %d: %w", n, err)
+		}
+		n++
+	}
+}

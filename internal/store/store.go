@@ -1,0 +1,261 @@
+// Package store implements the WebFountain data store: a sharded,
+// concurrency-safe repository of entities.
+//
+// An entity is a referenceable unit of information such as a web page,
+// represented in XML. The store supports put/get/delete, per-shard
+// iteration (the unit of parallelism for the cluster runtime), and miner
+// annotations attached to entities. Sharding is by FNV hash of the entity
+// ID, mirroring the shared-nothing layout of the production system where
+// each node owns a disjoint slice of the corpus.
+package store
+
+import (
+	"encoding/xml"
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"sync"
+)
+
+// Annotation is one miner-produced mark on an entity: a spot, a named
+// entity, a sentiment, etc. Positions are token indices.
+type Annotation struct {
+	// Miner names the producer ("spotter", "sentiment", "ne", ...).
+	Miner string `xml:"miner,attr"`
+	// Type is the annotation kind within the miner's vocabulary.
+	Type string `xml:"type,attr"`
+	// Key is the annotation's subject (synonym set ID, entity name, ...).
+	Key string `xml:"key,attr"`
+	// Value is the payload ("+", "-", a score, ...).
+	Value string `xml:"value,attr,omitempty"`
+	// Sentence is the sentence index, -1 when not sentence-scoped.
+	Sentence int `xml:"sentence,attr"`
+	// Start and End are token indices within the sentence (half-open).
+	Start int `xml:"start,attr"`
+	End   int `xml:"end,attr"`
+}
+
+// Entity is a referenceable unit of information (a web page, a news
+// article, a review).
+type Entity struct {
+	XMLName xml.Name `xml:"entity"`
+	// ID is the unique entity identifier.
+	ID string `xml:"id,attr"`
+	// URL is the acquisition source address.
+	URL string `xml:"url,attr,omitempty"`
+	// Source classifies the ingestion channel: "web", "news", "review",
+	// "bboard", "customer".
+	Source string `xml:"source,attr,omitempty"`
+	// Title is the document title.
+	Title string `xml:"title,omitempty"`
+	// Date is the acquisition or publication date in YYYY-MM-DD form,
+	// empty when unknown. Corpus-level miners (trending) bucket by it.
+	Date string `xml:"date,attr,omitempty"`
+	// Text is the document body.
+	Text string `xml:"text"`
+	// Links are the IDs of entities this one links to (the hyperlink
+	// graph the page-ranking miner consumes).
+	Links []string `xml:"links>link,omitempty"`
+	// Annotations are miner outputs attached to the entity.
+	Annotations []Annotation `xml:"annotations>annotation,omitempty"`
+}
+
+// Clone returns a deep copy of the entity.
+func (e *Entity) Clone() *Entity {
+	cp := *e
+	cp.Links = append([]string(nil), e.Links...)
+	cp.Annotations = append([]Annotation(nil), e.Annotations...)
+	return &cp
+}
+
+// Host returns the host part of the entity's URL ("" when unparsable).
+func (e *Entity) Host() string {
+	u := e.URL
+	if i := indexOf(u, "://"); i >= 0 {
+		u = u[i+3:]
+	}
+	for i := 0; i < len(u); i++ {
+		if u[i] == '/' || u[i] == ':' {
+			return u[:i]
+		}
+	}
+	return u
+}
+
+func indexOf(s, sub string) int {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return i
+		}
+	}
+	return -1
+}
+
+// Annotate appends an annotation.
+func (e *Entity) Annotate(a Annotation) { e.Annotations = append(e.Annotations, a) }
+
+// AnnotationsBy returns the annotations produced by one miner.
+func (e *Entity) AnnotationsBy(miner string) []Annotation {
+	var out []Annotation
+	for _, a := range e.Annotations {
+		if a.Miner == miner {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// MarshalIndent renders the entity as indented XML.
+func (e *Entity) MarshalIndent() ([]byte, error) {
+	return xml.MarshalIndent(e, "", "  ")
+}
+
+// ParseEntity decodes an entity from its XML representation.
+func ParseEntity(data []byte) (*Entity, error) {
+	var e Entity
+	if err := xml.Unmarshal(data, &e); err != nil {
+		return nil, fmt.Errorf("store: decode entity: %w", err)
+	}
+	return &e, nil
+}
+
+// shard is one mutex-guarded slice of the keyspace.
+type shard struct {
+	mu       sync.RWMutex
+	entities map[string]*Entity
+}
+
+// Store is a sharded in-memory entity repository, safe for concurrent use.
+type Store struct {
+	shards []*shard
+}
+
+// New creates a store with the given number of shards (minimum 1).
+func New(numShards int) *Store {
+	if numShards < 1 {
+		numShards = 1
+	}
+	s := &Store{shards: make([]*shard, numShards)}
+	for i := range s.shards {
+		s.shards[i] = &shard{entities: make(map[string]*Entity)}
+	}
+	return s
+}
+
+// NumShards returns the shard count.
+func (s *Store) NumShards() int { return len(s.shards) }
+
+func (s *Store) shardFor(id string) *shard {
+	h := fnv.New32a()
+	h.Write([]byte(id))
+	return s.shards[int(h.Sum32())%len(s.shards)]
+}
+
+// Put stores (or replaces) an entity. The store keeps its own copy; later
+// mutations of the caller's value do not leak in.
+func (s *Store) Put(e *Entity) error {
+	if e == nil || e.ID == "" {
+		return fmt.Errorf("store: entity must have an ID")
+	}
+	sh := s.shardFor(e.ID)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	sh.entities[e.ID] = e.Clone()
+	return nil
+}
+
+// Get returns a copy of the entity with the given ID.
+func (s *Store) Get(id string) (*Entity, bool) {
+	sh := s.shardFor(id)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	e, ok := sh.entities[id]
+	if !ok {
+		return nil, false
+	}
+	return e.Clone(), true
+}
+
+// Delete removes an entity; deleting a missing ID is a no-op.
+func (s *Store) Delete(id string) {
+	sh := s.shardFor(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	delete(sh.entities, id)
+}
+
+// Update applies fn to the stored entity under the shard lock, persisting
+// the mutation atomically. It returns false if the ID is unknown.
+func (s *Store) Update(id string, fn func(*Entity)) bool {
+	sh := s.shardFor(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	e, ok := sh.entities[id]
+	if !ok {
+		return false
+	}
+	fn(e)
+	return true
+}
+
+// Len returns the total number of stored entities.
+func (s *Store) Len() int {
+	n := 0
+	for _, sh := range s.shards {
+		sh.mu.RLock()
+		n += len(sh.entities)
+		sh.mu.RUnlock()
+	}
+	return n
+}
+
+// ForEachInShard iterates the entities of one shard in deterministic
+// (ID-sorted) order, passing copies to fn. Iteration stops at the first
+// error, which is returned.
+func (s *Store) ForEachInShard(shardIdx int, fn func(*Entity) error) error {
+	if shardIdx < 0 || shardIdx >= len(s.shards) {
+		return fmt.Errorf("store: shard %d out of range [0,%d)", shardIdx, len(s.shards))
+	}
+	sh := s.shards[shardIdx]
+	sh.mu.RLock()
+	ids := make([]string, 0, len(sh.entities))
+	for id := range sh.entities {
+		ids = append(ids, id)
+	}
+	sh.mu.RUnlock()
+	sort.Strings(ids)
+	for _, id := range ids {
+		e, ok := s.Get(id)
+		if !ok {
+			continue // deleted concurrently
+		}
+		if err := fn(e); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ForEach iterates every entity across all shards in deterministic order.
+func (s *Store) ForEach(fn func(*Entity) error) error {
+	for i := range s.shards {
+		if err := s.ForEachInShard(i, fn); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// IDs returns all entity IDs, sorted.
+func (s *Store) IDs() []string {
+	var ids []string
+	for _, sh := range s.shards {
+		sh.mu.RLock()
+		for id := range sh.entities {
+			ids = append(ids, id)
+		}
+		sh.mu.RUnlock()
+	}
+	sort.Strings(ids)
+	return ids
+}

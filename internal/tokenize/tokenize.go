@@ -1,0 +1,369 @@
+// Package tokenize implements the WebFountain tokenizer miner: it turns
+// raw document text into a stream of tokens with byte offsets, and groups
+// tokens into sentences.
+//
+// The tokenizer is the first entity-level miner in every WebFountain
+// pipeline; all downstream miners (POS tagging, chunking, spotting,
+// sentiment analysis) consume its output rather than raw text, so offsets
+// recorded here are the coordinate system for every later annotation.
+//
+// The implementation is a deterministic rule-based English tokenizer. It
+// handles contractions ("don't" -> "do", "n't"), possessives ("camera's"
+// -> "camera", "'s"), common abbreviations (so "Dr. Wilson" does not end a
+// sentence), numbers with decimal points, and hyphenated words.
+package tokenize
+
+import (
+	"strings"
+	"unicode"
+)
+
+// Kind classifies a token's surface form.
+type Kind int
+
+// Token kinds.
+const (
+	Word   Kind = iota // alphabetic word, possibly hyphenated
+	Number             // integer or decimal number
+	Punct              // punctuation mark
+	Symbol             // any other non-space symbol
+)
+
+// String returns a human-readable name for the kind.
+func (k Kind) String() string {
+	switch k {
+	case Word:
+		return "Word"
+	case Number:
+		return "Number"
+	case Punct:
+		return "Punct"
+	case Symbol:
+		return "Symbol"
+	}
+	return "Unknown"
+}
+
+// Token is a single lexical unit with its position in the source text.
+// Start and End are byte offsets such that text[Start:End] == Text for
+// tokens that appear verbatim in the input (contraction splits share the
+// span of the original surface form).
+type Token struct {
+	Text  string
+	Start int
+	End   int
+	Kind  Kind
+}
+
+// IsWord reports whether the token is alphabetic.
+func (t Token) IsWord() bool { return t.Kind == Word }
+
+// Lower returns the lower-cased token text.
+func (t Token) Lower() string { return strings.ToLower(t.Text) }
+
+// IsCapitalized reports whether the token starts with an upper-case letter.
+func (t Token) IsCapitalized() bool {
+	for _, r := range t.Text {
+		return unicode.IsUpper(r)
+	}
+	return false
+}
+
+// Sentence is a contiguous run of tokens ending at a sentence boundary.
+type Sentence struct {
+	// Index is the zero-based sentence number within the document.
+	Index int
+	// Tokens are the tokens of the sentence in order.
+	Tokens []Token
+	// Start and End are byte offsets of the sentence span in the source.
+	Start int
+	End   int
+}
+
+// Text reconstructs a normalized (single-spaced) rendering of the sentence.
+func (s Sentence) Text() string {
+	var b strings.Builder
+	for i, t := range s.Tokens {
+		if i > 0 && !noSpaceBefore(t.Text) && !noSpaceAfter(s.Tokens[i-1].Text) {
+			b.WriteByte(' ')
+		}
+		b.WriteString(t.Text)
+	}
+	return b.String()
+}
+
+func noSpaceBefore(tok string) bool {
+	switch tok {
+	case ".", ",", ";", ":", "!", "?", ")", "]", "}", "'s", "n't", "'re", "'ve", "'ll", "'d", "'m", "'", "%":
+		return true
+	}
+	return false
+}
+
+func noSpaceAfter(tok string) bool {
+	switch tok {
+	case "(", "[", "{", "$":
+		return true
+	}
+	return false
+}
+
+// abbreviations that end with a period but do not terminate a sentence.
+var abbreviations = map[string]bool{
+	"mr.": true, "mrs.": true, "ms.": true, "dr.": true, "prof.": true,
+	"sr.": true, "jr.": true, "st.": true, "co.": true, "corp.": true,
+	"inc.": true, "ltd.": true, "vs.": true, "etc.": true, "e.g.": true,
+	"i.e.": true, "u.s.": true, "u.k.": true, "no.": true, "fig.": true,
+	"jan.": true, "feb.": true, "mar.": true, "apr.": true, "jun.": true,
+	"jul.": true, "aug.": true, "sep.": true, "sept.": true, "oct.": true,
+	"nov.": true, "dec.": true, "approx.": true, "dept.": true, "est.": true,
+	"gen.": true, "gov.": true, "hon.": true, "rev.": true, "sgt.": true,
+	"capt.": true, "col.": true, "lt.": true, "maj.": true,
+}
+
+// contractions maps a lower-cased suffix to the split point from the end.
+// "don't" has suffix "n't" (3 runes); "it's" has suffix "'s" (2 runes).
+var contractionSuffixes = []string{"n't", "'re", "'ve", "'ll", "'d", "'m", "'s"}
+
+// Tokenizer converts text into tokens and sentences. The zero value is
+// ready to use.
+type Tokenizer struct{}
+
+// New returns a ready-to-use Tokenizer.
+func New() *Tokenizer { return &Tokenizer{} }
+
+// Tokenize splits text into tokens with byte offsets.
+func (tk *Tokenizer) Tokenize(text string) []Token {
+	var tokens []Token
+	n := len(text)
+	i := 0
+	for i < n {
+		c := text[i]
+		switch {
+		case isSpaceByte(c):
+			i++
+		case isDigitByte(c):
+			j := i + 1
+			for j < n && (isDigitByte(text[j]) || (text[j] == '.' && j+1 < n && isDigitByte(text[j+1])) || text[j] == ',') {
+				j++
+			}
+			tokens = append(tokens, Token{Text: text[i:j], Start: i, End: j, Kind: Number})
+			i = j
+		case hasURLPrefix(text[i:]):
+			j := i
+			for j < n && !isSpaceByte(text[j]) {
+				j++
+			}
+			// Trailing sentence punctuation belongs to the sentence, not
+			// the URL.
+			for j > i && (text[j-1] == '.' || text[j-1] == ',' || text[j-1] == ')' || text[j-1] == ';') {
+				j--
+			}
+			tokens = append(tokens, Token{Text: text[i:j], Start: i, End: j, Kind: Symbol})
+			i = j
+		case isEmailAhead(text, i):
+			j := i
+			for j < n && (isLetterByte(text[j]) || isDigitByte(text[j]) ||
+				text[j] == '.' || text[j] == '@' || text[j] == '-' || text[j] == '_') {
+				j++
+			}
+			for j > i && text[j-1] == '.' {
+				j--
+			}
+			tokens = append(tokens, Token{Text: text[i:j], Start: i, End: j, Kind: Symbol})
+			i = j
+		case isLetterByte(c):
+			j := i + 1
+			for j < n && (isLetterByte(text[j]) || isDigitByte(text[j]) ||
+				(text[j] == '-' && j+1 < n && isLetterByte(text[j+1])) ||
+				(text[j] == '\'' && j+1 < n && isLetterByte(text[j+1])) ||
+				(text[j] == '.' && j+1 < n && isLetterByte(text[j+1]) && looksLikeAbbrevSoFar(text[i:j+1]))) {
+				j++
+			}
+			// Trailing period kept only for known abbreviations, so that
+			// "etc." stays one token but "camera." splits.
+			if j < n && text[j] == '.' && abbreviations[strings.ToLower(text[i:j+1])] {
+				j++
+			}
+			word := text[i:j]
+			tokens = append(tokens, splitContractions(word, i)...)
+			i = j
+		default:
+			// Single-character punctuation or symbol token. Collapse runs
+			// of the same sentence-final punctuation ("!!!" -> "!").
+			j := i + 1
+			if c == '.' || c == '!' || c == '?' {
+				for j < n && text[j] == c {
+					j++
+				}
+			}
+			kind := Symbol
+			if isPunctByte(c) {
+				kind = Punct
+			}
+			tokens = append(tokens, Token{Text: string(c), Start: i, End: j, Kind: kind})
+			i = j
+		}
+	}
+	return tokens
+}
+
+// looksLikeAbbrevSoFar reports whether a partial word containing an
+// internal period could still be an abbreviation like "e.g" or "U.S".
+func looksLikeAbbrevSoFar(s string) bool {
+	// Single letters separated by periods: U.S., e.g., i.e.
+	parts := strings.Split(strings.TrimSuffix(s, "."), ".")
+	for _, p := range parts {
+		if len(p) != 1 {
+			return false
+		}
+	}
+	return true
+}
+
+// splitContractions splits possessives and contractions off a word token.
+// The pieces share the byte span boundaries of the original word.
+func splitContractions(word string, start int) []Token {
+	lower := strings.ToLower(word)
+	for _, suf := range contractionSuffixes {
+		if len(lower) > len(suf) && strings.HasSuffix(lower, suf) {
+			cut := len(word) - len(suf)
+			head := word[:cut]
+			tail := word[cut:]
+			// "n't" requires the head to end in a letter ("do" in "don't").
+			if head == "" {
+				break
+			}
+			return []Token{
+				{Text: head, Start: start, End: start + cut, Kind: Word},
+				{Text: tail, Start: start + cut, End: start + len(word), Kind: Word},
+			}
+		}
+	}
+	return []Token{{Text: word, Start: start, End: start + len(word), Kind: Word}}
+}
+
+// Sentences tokenizes text and groups the tokens into sentences.
+func (tk *Tokenizer) Sentences(text string) []Sentence {
+	tokens := tk.Tokenize(text)
+	return tk.Split(tokens)
+}
+
+// Split groups an existing token stream into sentences. A sentence ends at
+// '.', '!' or '?' unless the period belongs to a known abbreviation, or at
+// the end of input.
+func (tk *Tokenizer) Split(tokens []Token) []Sentence {
+	var sentences []Sentence
+	var cur []Token
+	flush := func() {
+		if len(cur) == 0 {
+			return
+		}
+		s := Sentence{
+			Index:  len(sentences),
+			Tokens: cur,
+			Start:  cur[0].Start,
+			End:    cur[len(cur)-1].End,
+		}
+		sentences = append(sentences, s)
+		cur = nil
+	}
+	for i, t := range tokens {
+		cur = append(cur, t)
+		if t.Kind == Punct && (t.Text == "." || t.Text == "!" || t.Text == "?") {
+			// A period mid-number or abbreviation never reaches here (those
+			// are folded into the preceding token), so this is a boundary —
+			// unless the next token continues in lower case right away,
+			// which suggests an unusual abbreviation we don't know.
+			if t.Text == "." && i+1 < len(tokens) && tokens[i+1].Kind == Word && !tokens[i+1].IsCapitalized() {
+				continue
+			}
+			flush()
+		}
+	}
+	flush()
+	return sentences
+}
+
+// hasURLPrefix reports whether the text starts with a URL scheme or a
+// leading "www." — web pages are full of them and they must stay single
+// tokens.
+func hasURLPrefix(s string) bool {
+	for _, p := range []string{"http://", "https://", "ftp://", "www."} {
+		if len(s) > len(p) && equalFoldASCII(s[:len(p)], p) {
+			return true
+		}
+	}
+	return false
+}
+
+// isEmailAhead reports whether an email address starts at position i: a
+// run of address characters containing '@' before the next space.
+func isEmailAhead(text string, i int) bool {
+	if !isLetterByte(text[i]) && !isDigitByte(text[i]) {
+		return false
+	}
+	sawAt := false
+	j := i
+	for j < len(text) && (isLetterByte(text[j]) || isDigitByte(text[j]) ||
+		text[j] == '.' || text[j] == '@' || text[j] == '-' || text[j] == '_') {
+		if text[j] == '@' {
+			if sawAt {
+				return false
+			}
+			sawAt = true
+		}
+		j++
+	}
+	// Require a dot after the @ ("user@host.tld").
+	if !sawAt {
+		return false
+	}
+	at := i
+	for text[at] != '@' {
+		at++
+	}
+	for k := at + 1; k < j; k++ {
+		if text[k] == '.' && k+1 < j {
+			return true
+		}
+	}
+	return false
+}
+
+func equalFoldASCII(a, b string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := 0; i < len(a); i++ {
+		ca, cb := a[i], b[i]
+		if 'A' <= ca && ca <= 'Z' {
+			ca += 'a' - 'A'
+		}
+		if 'A' <= cb && cb <= 'Z' {
+			cb += 'a' - 'A'
+		}
+		if ca != cb {
+			return false
+		}
+	}
+	return true
+}
+
+func isSpaceByte(c byte) bool {
+	return c == ' ' || c == '\t' || c == '\n' || c == '\r' || c == '\v' || c == '\f'
+}
+
+func isDigitByte(c byte) bool { return c >= '0' && c <= '9' }
+
+func isLetterByte(c byte) bool {
+	return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c >= 0x80
+}
+
+func isPunctByte(c byte) bool {
+	switch c {
+	case '.', ',', ';', ':', '!', '?', '(', ')', '[', ']', '{', '}', '"', '\'', '-', '/':
+		return true
+	}
+	return false
+}

@@ -1,0 +1,346 @@
+// Package vinci implements a lightweight, Web-service style communication
+// protocol in the spirit of Vinci, the SOAP derivative WebFountain nodes
+// use to talk to each other.
+//
+// A request names a service and an operation and carries string
+// parameters; a response carries result fields or an error. On the wire,
+// requests and responses are XML documents framed with a 4-byte big-endian
+// length prefix. Two transports are provided: an in-process client for
+// single-binary deployments and tests, and a TCP transport for running
+// miners against a store on another process.
+package vinci
+
+import (
+	"encoding/binary"
+	"encoding/xml"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sort"
+	"sync"
+	"time"
+)
+
+// MaxFrameSize bounds a single request or response frame (16 MiB).
+const MaxFrameSize = 16 << 20
+
+// Request is one service invocation.
+type Request struct {
+	// Service is the registered service name ("store", "indexer", ...).
+	Service string
+	// Op is the operation within the service ("get", "put", "query", ...).
+	Op string
+	// Params carries the operation's arguments.
+	Params map[string]string
+}
+
+// Param returns a parameter value ("" when absent).
+func (r Request) Param(name string) string { return r.Params[name] }
+
+// Response is a service result.
+type Response struct {
+	// OK reports success; when false, Error describes the failure.
+	OK bool
+	// Error is the failure description for !OK responses.
+	Error string
+	// Fields carries result values.
+	Fields map[string]string
+}
+
+// Errorf builds a failed response.
+func Errorf(format string, args ...any) Response {
+	return Response{OK: false, Error: fmt.Sprintf(format, args...)}
+}
+
+// OKResponse builds a successful response with the given fields.
+func OKResponse(fields map[string]string) Response {
+	if fields == nil {
+		fields = map[string]string{}
+	}
+	return Response{OK: true, Fields: fields}
+}
+
+// Handler processes one request.
+type Handler func(Request) Response
+
+// Registry maps service names to handlers; safe for concurrent use.
+type Registry struct {
+	mu       sync.RWMutex
+	services map[string]Handler
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{services: make(map[string]Handler)}
+}
+
+// Register installs (or replaces) the handler for a service.
+func (rg *Registry) Register(service string, h Handler) {
+	rg.mu.Lock()
+	defer rg.mu.Unlock()
+	rg.services[service] = h
+}
+
+// Services returns the registered service names, sorted.
+func (rg *Registry) Services() []string {
+	rg.mu.RLock()
+	defer rg.mu.RUnlock()
+	out := make([]string, 0, len(rg.services))
+	for s := range rg.services {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Dispatch routes a request to its service handler.
+func (rg *Registry) Dispatch(req Request) Response {
+	rg.mu.RLock()
+	h, ok := rg.services[req.Service]
+	rg.mu.RUnlock()
+	if !ok {
+		return Errorf("vinci: unknown service %q", req.Service)
+	}
+	return h(req)
+}
+
+// Client issues requests against a registry, local or remote.
+type Client interface {
+	// Call performs one request/response exchange.
+	Call(Request) (Response, error)
+	// Close releases the transport.
+	Close() error
+}
+
+// localClient dispatches in-process.
+type localClient struct{ reg *Registry }
+
+// NewLocalClient returns a client that dispatches directly to reg.
+func NewLocalClient(reg *Registry) Client { return &localClient{reg: reg} }
+
+func (c *localClient) Call(req Request) (Response, error) { return c.reg.Dispatch(req), nil }
+func (c *localClient) Close() error                       { return nil }
+
+// --- wire representation ---
+
+type xmlParam struct {
+	Name  string `xml:"name,attr"`
+	Value string `xml:",chardata"`
+}
+
+type xmlRequest struct {
+	XMLName xml.Name   `xml:"request"`
+	Service string     `xml:"service,attr"`
+	Op      string     `xml:"op,attr"`
+	Params  []xmlParam `xml:"param"`
+}
+
+type xmlResponse struct {
+	XMLName xml.Name   `xml:"response"`
+	OK      bool       `xml:"ok,attr"`
+	Error   string     `xml:"error,omitempty"`
+	Fields  []xmlParam `xml:"field"`
+}
+
+func encodeRequest(req Request) ([]byte, error) {
+	xr := xmlRequest{Service: req.Service, Op: req.Op}
+	for _, k := range sortedKeys(req.Params) {
+		xr.Params = append(xr.Params, xmlParam{Name: k, Value: req.Params[k]})
+	}
+	return xml.Marshal(xr)
+}
+
+func decodeRequest(data []byte) (Request, error) {
+	var xr xmlRequest
+	if err := xml.Unmarshal(data, &xr); err != nil {
+		return Request{}, err
+	}
+	req := Request{Service: xr.Service, Op: xr.Op, Params: map[string]string{}}
+	for _, p := range xr.Params {
+		req.Params[p.Name] = p.Value
+	}
+	return req, nil
+}
+
+func encodeResponse(resp Response) ([]byte, error) {
+	xr := xmlResponse{OK: resp.OK, Error: resp.Error}
+	for _, k := range sortedKeys(resp.Fields) {
+		xr.Fields = append(xr.Fields, xmlParam{Name: k, Value: resp.Fields[k]})
+	}
+	return xml.Marshal(xr)
+}
+
+func decodeResponse(data []byte) (Response, error) {
+	var xr xmlResponse
+	if err := xml.Unmarshal(data, &xr); err != nil {
+		return Response{}, err
+	}
+	resp := Response{OK: xr.OK, Error: xr.Error, Fields: map[string]string{}}
+	for _, f := range xr.Fields {
+		resp.Fields[f.Name] = f.Value
+	}
+	return resp, nil
+}
+
+func sortedKeys(m map[string]string) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// writeFrame writes a length-prefixed frame.
+func writeFrame(w io.Writer, payload []byte) error {
+	if len(payload) > MaxFrameSize {
+		return fmt.Errorf("vinci: frame of %d bytes exceeds limit", len(payload))
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// readFrame reads a length-prefixed frame.
+func readFrame(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > MaxFrameSize {
+		return nil, fmt.Errorf("vinci: frame of %d bytes exceeds limit", n)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, err
+	}
+	return payload, nil
+}
+
+// Server serves a registry over a listener.
+type Server struct {
+	reg *Registry
+
+	mu     sync.Mutex
+	ln     net.Listener
+	closed bool
+}
+
+// NewServer wraps a registry for network serving.
+func NewServer(reg *Registry) *Server { return &Server{reg: reg} }
+
+// Serve accepts connections until the listener is closed. Each connection
+// may carry any number of sequential request/response exchanges.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	s.ln = ln
+	s.mu.Unlock()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return err
+		}
+		go s.handleConn(conn)
+	}
+}
+
+// Close stops the server.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.closed = true
+	if s.ln != nil {
+		return s.ln.Close()
+	}
+	return nil
+}
+
+func (s *Server) handleConn(conn net.Conn) {
+	defer conn.Close()
+	for {
+		payload, err := readFrame(conn)
+		if err != nil {
+			return // EOF or broken peer: drop the connection
+		}
+		req, err := decodeRequest(payload)
+		var resp Response
+		if err != nil {
+			resp = Errorf("vinci: malformed request: %v", err)
+		} else {
+			resp = s.reg.Dispatch(req)
+		}
+		out, err := encodeResponse(resp)
+		if err != nil {
+			return
+		}
+		if err := writeFrame(conn, out); err != nil {
+			return
+		}
+	}
+}
+
+// tcpClient is a single-connection network client; calls are serialized.
+type tcpClient struct {
+	mu      sync.Mutex
+	conn    net.Conn
+	timeout time.Duration
+}
+
+// Dial connects to a vinci server. The timeout applies per call (0 means
+// no deadline).
+func Dial(addr string, timeout time.Duration) (Client, error) {
+	conn, err := net.DialTimeout("tcp", addr, 5*time.Second)
+	if err != nil {
+		return nil, fmt.Errorf("vinci: dial %s: %w", addr, err)
+	}
+	return &tcpClient{conn: conn, timeout: timeout}, nil
+}
+
+func (c *tcpClient) Call(req Request) (Response, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.conn == nil {
+		return Response{}, errors.New("vinci: client closed")
+	}
+	if c.timeout > 0 {
+		deadline := time.Now().Add(c.timeout)
+		if err := c.conn.SetDeadline(deadline); err != nil {
+			return Response{}, err
+		}
+	}
+	payload, err := encodeRequest(req)
+	if err != nil {
+		return Response{}, err
+	}
+	if err := writeFrame(c.conn, payload); err != nil {
+		return Response{}, err
+	}
+	respData, err := readFrame(c.conn)
+	if err != nil {
+		return Response{}, err
+	}
+	return decodeResponse(respData)
+}
+
+func (c *tcpClient) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.conn == nil {
+		return nil
+	}
+	err := c.conn.Close()
+	c.conn = nil
+	return err
+}

@@ -1,0 +1,357 @@
+package webfountain
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"webfountain/internal/cluster"
+	"webfountain/internal/disambig"
+	"webfountain/internal/index"
+	"webfountain/internal/lexicon"
+	"webfountain/internal/ne"
+	"webfountain/internal/patterns"
+	"webfountain/internal/pos"
+	"webfountain/internal/sentiment"
+	"webfountain/internal/spotter"
+	"webfountain/internal/store"
+	"webfountain/internal/tokenize"
+)
+
+// Polarity is a sentiment orientation as reported by the miner.
+type Polarity = lexicon.Polarity
+
+// Polarity values.
+const (
+	Neutral  = lexicon.Neutral
+	Positive = lexicon.Positive
+	Negative = lexicon.Negative
+)
+
+// Subject describes one subject of interest for the predefined-subjects
+// mode: a synonym set plus optional disambiguation resources.
+type Subject struct {
+	// ID identifies the subject; defaults to a lower-cased Canonical.
+	ID string
+	// Canonical is the display name.
+	Canonical string
+	// Terms are the surface variants to spot. Defaults to {Canonical}.
+	Terms []string
+	// OnTopic and OffTopic feed the disambiguator; when both are empty
+	// every spot of the subject is accepted.
+	OnTopic  []string
+	OffTopic []string
+}
+
+// AnalyzerOptions re-exports the ablation switches of the core analyzer.
+type AnalyzerOptions = sentiment.Options
+
+// MinerConfig configures a SentimentMiner.
+type MinerConfig struct {
+	// Subjects enables the predefined-subjects mode. Leave empty for the
+	// query-time mode driven by the named entity spotter.
+	Subjects []Subject
+	// ExtraLexicon optionally supplies additional sentiment lexicon
+	// entries in the paper's "<term> <POS> <polarity>" format.
+	ExtraLexicon io.Reader
+	// ExtraPatterns optionally supplies additional predicate patterns in
+	// the paper's "<predicate> <category> <target>" format.
+	ExtraPatterns io.Reader
+	// ContextWindow is the number of sentences on each side of a spot
+	// included in its sentiment context (default 0: the sentence alone).
+	ContextWindow int
+	// Options ablate parts of the algorithm; the zero value is the full
+	// algorithm.
+	Options AnalyzerOptions
+}
+
+// SubjectSentiment is one extracted (subject, sentiment) fact.
+type SubjectSentiment struct {
+	// Subject is the subject the sentiment is about (synonym-set ID in
+	// the predefined mode, the entity surface form otherwise).
+	Subject string
+	// Polarity is the extracted sentiment, never Neutral.
+	Polarity Polarity
+	// DocID locates the document ("" for ad-hoc text analysis).
+	DocID string
+	// Sentence is the sentence index within the document.
+	Sentence int
+	// Snippet is the sentiment-bearing sentence.
+	Snippet string
+	// Pattern names the sentiment pattern that fired, for tracing.
+	Pattern string
+}
+
+// SentimentMiner implements the paper's miner in both operational modes.
+// It is safe for concurrent use once constructed.
+type SentimentMiner struct {
+	cfg      MinerConfig
+	tagger   *pos.Tagger
+	tk       *tokenize.Tokenizer
+	analyzer *sentiment.Analyzer
+	spot     *spotter.Spotter // nil without predefined subjects
+	disamb   map[string]*disambig.Disambiguator
+	nespot   *ne.Spotter
+	sidx     *index.SentimentIndex
+}
+
+// NewSentimentMiner builds a miner. It fails only when ExtraLexicon or
+// ExtraPatterns contain malformed entries; a zero config always succeeds.
+func NewSentimentMiner(cfg MinerConfig) (*SentimentMiner, error) {
+	lex := lexicon.Default()
+	if cfg.ExtraLexicon != nil {
+		if err := lex.Load(cfg.ExtraLexicon); err != nil {
+			return nil, fmt.Errorf("webfountain: extra lexicon: %w", err)
+		}
+	}
+	db := patterns.Default()
+	if cfg.ExtraPatterns != nil {
+		if err := db.Load(cfg.ExtraPatterns); err != nil {
+			return nil, fmt.Errorf("webfountain: extra patterns: %w", err)
+		}
+	}
+	m := &SentimentMiner{
+		cfg:      cfg,
+		tagger:   pos.NewTagger(),
+		tk:       tokenize.New(),
+		analyzer: sentiment.NewWithOptions(lex, db, cfg.Options),
+		nespot:   ne.New(),
+		sidx:     index.NewSentimentIndex(),
+		disamb:   map[string]*disambig.Disambiguator{},
+	}
+	if len(cfg.Subjects) > 0 {
+		sets := make([]spotter.SynonymSet, 0, len(cfg.Subjects))
+		for _, s := range cfg.Subjects {
+			id := s.ID
+			if id == "" {
+				id = strings.ToLower(s.Canonical)
+			}
+			terms := s.Terms
+			if len(terms) == 0 {
+				terms = []string{s.Canonical}
+			}
+			sets = append(sets, spotter.SynonymSet{ID: id, Canonical: s.Canonical, Terms: terms})
+			if len(s.OnTopic) > 0 || len(s.OffTopic) > 0 {
+				m.disamb[id] = disambig.New(disambig.Config{
+					OnTopic:  s.OnTopic,
+					OffTopic: s.OffTopic,
+				})
+			}
+		}
+		m.spot = spotter.New(sets)
+	}
+	return m, nil
+}
+
+// AnalyzeText runs the miner over a single text outside any platform. In
+// the predefined-subjects mode it reports sentiment per subject spot; in
+// the query-time mode it reports sentiment for named entities and for
+// whatever phrase each sentiment associates with.
+func (m *SentimentMiner) AnalyzeText(text string) []SubjectSentiment {
+	return m.analyzeEntity("", text)
+}
+
+// analyzeEntity extracts the (subject, sentiment) facts of one document.
+func (m *SentimentMiner) analyzeEntity(docID, text string) []SubjectSentiment {
+	sents := m.tk.Sentences(text)
+	var out []SubjectSentiment
+	if m.spot != nil {
+		out = m.mineWithSubjects(docID, text, sents)
+	} else {
+		out = m.mineEntities(docID, sents)
+	}
+	return out
+}
+
+// mineWithSubjects is mode 1: spot subjects, disambiguate, build a
+// sentiment context per spot and analyze it.
+func (m *SentimentMiner) mineWithSubjects(docID, text string, sents []tokenize.Sentence) []SubjectSentiment {
+	var out []SubjectSentiment
+	allTokens := m.tk.Tokenize(text)
+	// Sentences partition the document token stream, so a running offset
+	// turns sentence-local token indices into document-level ones for the
+	// disambiguator's local window.
+	offset := 0
+	for _, s := range sents {
+		sentOffset := offset
+		offset += len(s.Tokens)
+		spots := m.spot.SpotTokens(s.Tokens)
+		spots = maximal(spots)
+		seen := map[string]bool{}
+		for _, sp := range spots {
+			if seen[sp.SetID] {
+				continue
+			}
+			seen[sp.SetID] = true
+			if d, ok := m.disamb[sp.SetID]; ok {
+				kept := d.Filter(allTokens, []spotter.Spot{{
+					SetID: sp.SetID, Term: sp.Term,
+					Start: sentOffset + sp.Start, End: sentOffset + sp.End,
+				}})
+				if len(kept) == 0 {
+					continue
+				}
+			}
+			ctx := sentiment.BuildContext(sents, s.Index, m.cfg.ContextWindow, sp.Start, sp.End)
+			hits, ok := m.analyzer.SubjectSentiment(m.tagger, ctx)
+			if !ok {
+				continue
+			}
+			for _, h := range hits {
+				out = append(out, SubjectSentiment{
+					Subject:  sp.SetID,
+					Polarity: h.Polarity,
+					DocID:    docID,
+					Sentence: s.Index,
+					Snippet:  s.Text(),
+					Pattern:  h.Pattern,
+				})
+			}
+		}
+	}
+	return out
+}
+
+// mineEntities is mode 2's analysis half: named entities become subjects;
+// every sentiment-bearing sentence contributes (entity, polarity) facts.
+func (m *SentimentMiner) mineEntities(docID string, sents []tokenize.Sentence) []SubjectSentiment {
+	var out []SubjectSentiment
+	for _, s := range sents {
+		entities := m.nespot.SpotTokens(s.Tokens)
+		if len(entities) == 0 {
+			continue
+		}
+		tagged := m.tagger.TagSentence(s)
+		assignments := m.analyzer.Analyze(tagged)
+		if len(assignments) == 0 {
+			continue
+		}
+		for _, e := range entities {
+			hits := sentiment.ForSpan(assignments, e.Start, e.End)
+			for _, h := range hits {
+				out = append(out, SubjectSentiment{
+					Subject:  e.Text,
+					Polarity: h.Polarity,
+					DocID:    docID,
+					Sentence: s.Index,
+					Snippet:  s.Text(),
+					Pattern:  h.Pattern,
+				})
+			}
+		}
+	}
+	return out
+}
+
+// maximal drops spots contained in longer spots (longest-match rule).
+func maximal(spots []spotter.Spot) []spotter.Spot {
+	var out []spotter.Spot
+	for i, s := range spots {
+		contained := false
+		for j, t := range spots {
+			if i != j && t.Start <= s.Start && s.End <= t.End && t.End-t.Start > s.End-s.Start {
+				contained = true
+				break
+			}
+		}
+		if !contained {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// MinerName is the annotation name the sentiment miner writes.
+const MinerName = "sentiment"
+
+// Run deploys the miner over every entity of the platform in parallel,
+// annotating entities with their (subject, sentiment) facts and building
+// the sentiment index for query-time lookups. It returns the extracted
+// facts sorted by (DocID, Sentence, Subject).
+func (m *SentimentMiner) Run(p *Platform) ([]SubjectSentiment, error) {
+	var mu struct {
+		facts []SubjectSentiment
+	}
+	collect := make(chan []SubjectSentiment, 64)
+	done := make(chan struct{})
+	go func() {
+		for fs := range collect {
+			mu.facts = append(mu.facts, fs...)
+		}
+		close(done)
+	}()
+
+	miner := cluster.MinerFunc{
+		MinerName: MinerName,
+		Fn: func(e *store.Entity) ([]store.Annotation, error) {
+			facts := m.analyzeEntity(e.ID, e.Text)
+			if len(facts) == 0 {
+				return nil, nil
+			}
+			collect <- facts
+			anns := make([]store.Annotation, 0, len(facts))
+			for _, f := range facts {
+				anns = append(anns, store.Annotation{
+					Type:     "polarity",
+					Key:      f.Subject,
+					Value:    f.Polarity.String(),
+					Sentence: f.Sentence,
+				})
+			}
+			return anns, nil
+		},
+	}
+	_, err := p.internalCluster().RunEntityMiner(miner)
+	close(collect)
+	<-done
+	if err != nil {
+		return nil, err
+	}
+
+	sort.Slice(mu.facts, func(i, j int) bool {
+		a, b := mu.facts[i], mu.facts[j]
+		if a.DocID != b.DocID {
+			return a.DocID < b.DocID
+		}
+		if a.Sentence != b.Sentence {
+			return a.Sentence < b.Sentence
+		}
+		return a.Subject < b.Subject
+	})
+	for _, f := range mu.facts {
+		m.sidx.Add(index.SentimentEntry{
+			DocID:    f.DocID,
+			Sentence: f.Sentence,
+			Subject:  f.Subject,
+			Polarity: int(f.Polarity),
+			Snippet:  f.Snippet,
+		})
+	}
+	return mu.facts, nil
+}
+
+// Query serves a query-time sentiment lookup from the index built by Run.
+func (m *SentimentMiner) Query(subject string) []SubjectSentiment {
+	entries := m.sidx.Query(subject)
+	out := make([]SubjectSentiment, 0, len(entries))
+	for _, e := range entries {
+		out = append(out, SubjectSentiment{
+			Subject:  e.Subject,
+			Polarity: Polarity(e.Polarity),
+			DocID:    e.DocID,
+			Sentence: e.Sentence,
+			Snippet:  e.Snippet,
+		})
+	}
+	return out
+}
+
+// Counts aggregates a subject's indexed sentiment.
+func (m *SentimentMiner) Counts(subject string) (positive, negative int) {
+	c := m.sidx.Counts(subject)
+	return c.Positive, c.Negative
+}
+
+// Subjects returns every subject with indexed sentiment, sorted.
+func (m *SentimentMiner) Subjects() []string { return m.sidx.Subjects() }

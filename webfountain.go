@@ -1,0 +1,196 @@
+// Package webfountain is a from-scratch reproduction of "Sentiment Mining
+// in WebFountain" (Yi & Niblack, ICDE 2005): a text-analytics platform in
+// the style of WebFountain together with the paper's NLP-based sentiment
+// miner, which determines the sentiment expressed about each individual
+// subject reference instead of classifying whole documents.
+//
+// The package is the public facade over the substrates in internal/:
+//
+//   - Platform: a sharded entity store, an inverted indexer and a
+//     shared-nothing miner runtime (the WebFountain core).
+//   - SentimentMiner: the paper's contribution, in both operational
+//     modes — with a predefined set of subjects (spotting,
+//     disambiguation, per-spot sentiment) and without (named-entity
+//     spotting, offline analysis, a sentiment index serving queries).
+//   - Feature extraction: the bBNP heuristic with likelihood-ratio
+//     selection, for discovering the feature terms of a topic.
+//
+// A minimal session:
+//
+//	miner := webfountain.NewSentimentMiner(webfountain.MinerConfig{})
+//	for _, s := range miner.AnalyzeText("The NR70 takes excellent pictures.") {
+//		fmt.Printf("(%s, %s)\n", s.Subject, s.Polarity)
+//	}
+package webfountain
+
+import (
+	"fmt"
+	"io"
+	"sync/atomic"
+
+	"webfountain/internal/cluster"
+	"webfountain/internal/index"
+	"webfountain/internal/store"
+	"webfountain/internal/tokenize"
+)
+
+// Document is a unit of ingested content.
+type Document struct {
+	// ID must be unique within the platform; empty IDs are assigned
+	// automatically at ingestion.
+	ID string
+	// URL is the acquisition address, if any.
+	URL string
+	// Source classifies the channel: "web", "news", "review", "bboard".
+	Source string
+	// Title is the document title.
+	Title string
+	// Date is the publication date in YYYY-MM-DD form (optional; enables
+	// trend analysis).
+	Date string
+	// Links are IDs of other documents this one links to (optional;
+	// enables page ranking).
+	Links []string
+	// Text is the document body.
+	Text string
+}
+
+// Platform is the text-analytics substrate: a sharded entity store, an
+// inverted index over tokens and miner concepts, and a parallel miner
+// runtime. It is safe for concurrent use.
+type Platform struct {
+	store   *store.Store
+	cluster *cluster.Cluster
+	index   *index.Index
+	nextID  atomic.Int64
+}
+
+// PlatformConfig tunes the platform. Zero values select sensible
+// defaults.
+type PlatformConfig struct {
+	// Shards is the number of store shards (default 16).
+	Shards int
+	// Workers is the miner worker-pool size (default: one per shard,
+	// capped at 8).
+	Workers int
+}
+
+// NewPlatform builds an empty platform.
+func NewPlatform(cfg PlatformConfig) *Platform {
+	if cfg.Shards <= 0 {
+		cfg.Shards = 16
+	}
+	st := store.New(cfg.Shards)
+	return &Platform{
+		store:   st,
+		cluster: cluster.New(st, cfg.Workers),
+		index:   index.New(),
+	}
+}
+
+// Ingest stores documents and indexes their tokens. Documents without an
+// ID receive a generated one, returned in the IDs slice in input order.
+func (p *Platform) Ingest(docs []Document) ([]string, error) {
+	tk := tokenize.New()
+	ids := make([]string, 0, len(docs))
+	for _, d := range docs {
+		id := d.ID
+		if id == "" {
+			id = fmt.Sprintf("doc-%06d", p.nextID.Add(1))
+		}
+		e := &store.Entity{
+			ID:     id,
+			URL:    d.URL,
+			Source: d.Source,
+			Title:  d.Title,
+			Date:   d.Date,
+			Text:   d.Text,
+			Links:  append([]string(nil), d.Links...),
+		}
+		if err := p.store.Put(e); err != nil {
+			return ids, fmt.Errorf("webfountain: ingest %s: %w", id, err)
+		}
+		toks := tk.Tokenize(d.Text)
+		words := make([]string, len(toks))
+		for i, t := range toks {
+			words[i] = t.Text
+		}
+		p.index.Add(id, words)
+		ids = append(ids, id)
+	}
+	return ids, nil
+}
+
+// NumEntities returns the number of stored documents.
+func (p *Platform) NumEntities() int { return p.store.Len() }
+
+// Entity returns a stored document by ID.
+func (p *Platform) Entity(id string) (Document, bool) {
+	e, ok := p.store.Get(id)
+	if !ok {
+		return Document{}, false
+	}
+	return Document{
+		ID: e.ID, URL: e.URL, Source: e.Source, Title: e.Title,
+		Date: e.Date, Links: append([]string(nil), e.Links...), Text: e.Text,
+	}, true
+}
+
+// Delete removes a document from the platform: both the store entity and
+// its index postings disappear. Deleting an unknown ID is a no-op.
+func (p *Platform) Delete(id string) {
+	p.store.Delete(id)
+	p.index.Remove(id)
+}
+
+// SearchAll returns the IDs of documents containing every given term.
+func (p *Platform) SearchAll(terms ...string) []string {
+	qs := make([]index.Query, len(terms))
+	for i, t := range terms {
+		qs[i] = index.Term(t)
+	}
+	return p.index.Search(index.And(qs...))
+}
+
+// SearchPhrase returns the IDs of documents containing the words
+// consecutively.
+func (p *Platform) SearchPhrase(words ...string) []string {
+	return p.index.Search(index.Phrase(words...))
+}
+
+// Snapshot streams every stored document to w as XML, in deterministic
+// order. The snapshot can be loaded into another platform with Restore.
+func (p *Platform) Snapshot(w io.Writer) error {
+	return p.store.Snapshot(w)
+}
+
+// Restore loads a snapshot produced by Snapshot, replacing same-ID
+// documents and indexing the restored text. It returns the number of
+// documents restored.
+func (p *Platform) Restore(r io.Reader) (int, error) {
+	staging := store.New(p.store.NumShards())
+	n, err := staging.Restore(r)
+	if err != nil {
+		return n, fmt.Errorf("webfountain: restore: %w", err)
+	}
+	tk := tokenize.New()
+	err = staging.ForEach(func(e *store.Entity) error {
+		if putErr := p.store.Put(e); putErr != nil {
+			return putErr
+		}
+		toks := tk.Tokenize(e.Text)
+		words := make([]string, len(toks))
+		for i, t := range toks {
+			words[i] = t.Text
+		}
+		p.index.Add(e.ID, words)
+		return nil
+	})
+	return n, err
+}
+
+// internalStore exposes the store to sibling files of this package.
+func (p *Platform) internalStore() *store.Store { return p.store }
+
+// internalCluster exposes the miner runtime to sibling files.
+func (p *Platform) internalCluster() *cluster.Cluster { return p.cluster }
