@@ -12,6 +12,11 @@
 //	wfnode -connect host:9410 -get <docID>
 //	wfnode -connect host:9410 -search "battery life"
 //	wfnode -connect host:9410 -sentiment NR70
+//	wfnode -connect host:9410 -ping
+//
+// Every client run first probes the node's health service before
+// issuing operations; transport failures are retried with exponential
+// backoff (tunable via -retries, -backoff, -call-timeout).
 package main
 
 import (
@@ -45,6 +50,10 @@ func main() {
 	get := flag.String("get", "", "client: fetch an entity by ID")
 	search := flag.String("search", "", "client: search indexed terms (space-separated, AND)")
 	sentimentQ := flag.String("sentiment", "", "client: query a subject's sentiment")
+	ping := flag.Bool("ping", false, "client: print the node's health status")
+	retries := flag.Int("retries", 4, "client: attempts per call on transport failure")
+	backoff := flag.Duration("backoff", 25*time.Millisecond, "client: base retry backoff (doubles per retry)")
+	callTimeout := flag.Duration("call-timeout", 10*time.Second, "client: per-call deadline")
 	flag.Parse()
 
 	switch {
@@ -53,7 +62,16 @@ func main() {
 			log.Fatal(err)
 		}
 	case *connect != "":
-		if err := client(*connect, *get, *search, *sentimentQ); err != nil {
+		opts := vinci.DialOptions{
+			CallTimeout: *callTimeout,
+			Retry: vinci.RetryPolicy{
+				MaxAttempts: *retries,
+				BaseBackoff: *backoff,
+				MaxBackoff:  20 * *backoff,
+				Jitter:      0.2,
+			},
+		}
+		if err := client(*connect, opts, *ping, *get, *search, *sentimentQ); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
@@ -129,6 +147,11 @@ func serve(addr, corpusName string, docs int, seed int64) error {
 	services.RegisterStore(reg, st)
 	services.RegisterIndex(reg, ix)
 	services.RegisterSentiment(reg, sidx)
+	services.RegisterHealth(reg, services.HealthOptions{
+		Node:     "wfnode@" + addr,
+		Registry: reg,
+		Entities: st.Len,
+	})
 
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
@@ -138,15 +161,29 @@ func serve(addr, corpusName string, docs int, seed int64) error {
 	return vinci.NewServer(reg).Serve(ln)
 }
 
-// client performs one-shot operations against a running node.
-func client(addr, get, search, sentimentQ string) error {
-	conn, err := vinci.Dial(addr, 10*time.Second)
+// client performs one-shot operations against a running node. The
+// node's health service is probed before any operation runs, so a dead
+// or half-up node is reported up front instead of failing mid-request.
+func client(addr string, opts vinci.DialOptions, ping bool, get, search, sentimentQ string) error {
+	conn, err := vinci.DialWith(addr, opts)
 	if err != nil {
 		return err
 	}
 	defer conn.Close()
 
+	if err := services.Probe(conn); err != nil {
+		return fmt.Errorf("node %s unhealthy: %w", addr, err)
+	}
+
 	did := false
+	if ping {
+		did = true
+		st, err := services.HealthClient{C: conn}.Status()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%s: up %v, %d entities, serving %v\n", st.Node, st.Uptime, st.Entities, st.Services)
+	}
 	if get != "" {
 		did = true
 		e, err := services.StoreClient{C: conn}.Get(get)
@@ -195,7 +232,7 @@ func client(addr, get, search, sentimentQ string) error {
 		}
 	}
 	if !did {
-		return fmt.Errorf("client mode needs one of -get, -search, -sentiment")
+		return fmt.Errorf("client mode needs one of -ping, -get, -search, -sentiment")
 	}
 	return nil
 }

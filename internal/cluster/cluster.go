@@ -15,7 +15,9 @@ package cluster
 import (
 	"errors"
 	"fmt"
+	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"webfountain/internal/store"
@@ -46,34 +48,120 @@ type Stats struct {
 	Entities int
 	// Annotations is the number of annotations attached.
 	Annotations int
-	// Failures is the number of entities whose processing errored.
+	// Failures is the number of entities whose processing errored after
+	// all retries.
 	Failures int
+	// Retries is the number of re-attempted Process calls that transient
+	// failures triggered.
+	Retries int
+	// Panics is the number of recovered miner panics.
+	Panics int
+	// Skipped is the number of entities skipped after the circuit
+	// breaker tripped.
+	Skipped int
+	// BreakerTripped reports that the miner exhausted its error budget
+	// and the deployment degraded to skip-and-report.
+	BreakerTripped bool
 	// Elapsed is the wall-clock duration of the deployment.
 	Elapsed time.Duration
 }
 
 // String renders the stats in one line.
 func (s Stats) String() string {
-	return fmt.Sprintf("%s: %d entities, %d annotations, %d failures in %v",
+	out := fmt.Sprintf("%s: %d entities, %d annotations, %d failures in %v",
 		s.Miner, s.Entities, s.Annotations, s.Failures, s.Elapsed)
+	if s.Retries > 0 {
+		out += fmt.Sprintf(", %d retries", s.Retries)
+	}
+	if s.Panics > 0 {
+		out += fmt.Sprintf(", %d panics", s.Panics)
+	}
+	if s.BreakerTripped {
+		out += fmt.Sprintf(", breaker tripped (%d skipped)", s.Skipped)
+	}
+	return out
+}
+
+// RetryPolicy bounds per-entity retries of transient miner failures.
+// Backoff is deliberately jitter-free so a seeded fault injector replays
+// the exact same retry schedule.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of Process attempts per entity,
+	// including the first (values below 1 select 1: no retries).
+	MaxAttempts int
+	// Backoff is the sleep before the first retry; each further retry
+	// doubles it (0 means retry immediately).
+	Backoff time.Duration
+	// MaxBackoff caps the doubled backoff (0 means uncapped).
+	MaxBackoff time.Duration
+}
+
+// attempts normalizes MaxAttempts.
+func (p RetryPolicy) attempts() int {
+	if p.MaxAttempts < 1 {
+		return 1
+	}
+	return p.MaxAttempts
+}
+
+// backoffFor computes the sleep before retry number `retry` (1-based).
+func (p RetryPolicy) backoffFor(retry int) time.Duration {
+	if p.Backoff <= 0 {
+		return 0
+	}
+	d := p.Backoff
+	for i := 1; i < retry; i++ {
+		d *= 2
+		if p.MaxBackoff > 0 && d >= p.MaxBackoff {
+			return p.MaxBackoff
+		}
+	}
+	return d
+}
+
+// Config tunes the miner runtime's resilience behavior. The zero value
+// reproduces the pre-fault-tolerance runtime: no retries, no timeout,
+// no breaker.
+type Config struct {
+	// Workers is the worker-pool size (values below 1 select one per
+	// shard, capped at 8).
+	Workers int
+	// Retry bounds retries of transient per-entity failures.
+	Retry RetryPolicy
+	// EntityTimeout bounds one Process call (0 means no timeout). A
+	// timed-out entity counts as a transient failure; the abandoned
+	// attempt finishes in the background and its result is discarded.
+	EntityTimeout time.Duration
+	// ErrorBudget is the number of failed entities (after retries) a
+	// single deployment tolerates before its circuit breaker trips and
+	// the remaining entities are skipped and reported (0 = never trip).
+	ErrorBudget int
 }
 
 // Cluster runs miners over a store.
 type Cluster struct {
 	store   *store.Store
 	workers int
+	cfg     Config
 }
 
 // New returns a cluster over the store with the given worker count
-// (values below 1 select 1 worker per shard, capped at 8).
+// (values below 1 select 1 worker per shard, capped at 8) and no
+// resilience policy: failures are not retried and never trip a breaker.
 func New(st *store.Store, workers int) *Cluster {
+	return NewWithConfig(st, Config{Workers: workers})
+}
+
+// NewWithConfig returns a cluster with an explicit resilience config.
+func NewWithConfig(st *store.Store, cfg Config) *Cluster {
+	workers := cfg.Workers
 	if workers < 1 {
 		workers = st.NumShards()
 		if workers > 8 {
 			workers = 8
 		}
 	}
-	return &Cluster{store: st, workers: workers}
+	return &Cluster{store: st, workers: workers, cfg: cfg}
 }
 
 // Store returns the cluster's backing store.
@@ -82,17 +170,125 @@ func (c *Cluster) Store() *store.Store { return c.store }
 // maxErrors bounds how many per-entity errors are retained verbatim.
 const maxErrors = 8
 
+// runState is the shared bookkeeping of one deployment.
+type runState struct {
+	mu      sync.Mutex
+	stats   Stats
+	errs    []error
+	tripped atomic.Bool
+}
+
+// isTransient classifies a per-entity failure: errors carrying
+// Temporary() == true (injected faults, vinci retryable errors) and
+// network timeouts are worth retrying; anything else — including a
+// recovered panic — is treated as permanent.
+func isTransient(err error) bool {
+	if err == nil {
+		return false
+	}
+	var tmp interface{ Temporary() bool }
+	if errors.As(err, &tmp) && tmp.Temporary() {
+		return true
+	}
+	var ne net.Error
+	return errors.As(err, &ne) && ne.Timeout()
+}
+
+// entityTimeoutError reports a Process call that outran EntityTimeout.
+type entityTimeoutError struct{ d time.Duration }
+
+func (e *entityTimeoutError) Error() string { return fmt.Sprintf("entity timed out after %v", e.d) }
+
+// Temporary marks timeouts retryable: a stalled downstream dependency
+// may well answer the next attempt.
+func (e *entityTimeoutError) Temporary() bool { return true }
+
+// procResult is the outcome of processing one entity through the
+// retry/timeout/recovery stack.
+type procResult struct {
+	anns     []store.Annotation
+	retries  int
+	panicked bool
+	err      error
+}
+
+// safeProcess runs one Process attempt with panic recovery.
+func safeProcess(m EntityMiner, e *store.Entity) (anns []store.Annotation, panicked bool, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			panicked = true
+			err = fmt.Errorf("miner panicked: %v", r)
+		}
+	}()
+	anns, err = m.Process(e)
+	return anns, false, err
+}
+
+// attemptOnce runs one Process attempt under the optional entity
+// timeout. On timeout the attempt keeps running in a goroutine whose
+// result is discarded (the buffered channel lets it exit when done).
+func (c *Cluster) attemptOnce(m EntityMiner, e *store.Entity) ([]store.Annotation, bool, error) {
+	if c.cfg.EntityTimeout <= 0 {
+		return safeProcess(m, e)
+	}
+	type attempt struct {
+		anns     []store.Annotation
+		panicked bool
+		err      error
+	}
+	ch := make(chan attempt, 1)
+	go func() {
+		anns, panicked, err := safeProcess(m, e)
+		ch <- attempt{anns, panicked, err}
+	}()
+	timer := time.NewTimer(c.cfg.EntityTimeout)
+	defer timer.Stop()
+	select {
+	case a := <-ch:
+		return a.anns, a.panicked, a.err
+	case <-timer.C:
+		return nil, false, &entityTimeoutError{d: c.cfg.EntityTimeout}
+	}
+}
+
+// processEntity runs the full per-entity resilience stack: panic
+// recovery, timeout, and bounded retries of transient failures.
+func (c *Cluster) processEntity(m EntityMiner, e *store.Entity) procResult {
+	var res procResult
+	attempts := c.cfg.Retry.attempts()
+	for attempt := 1; ; attempt++ {
+		anns, panicked, err := c.attemptOnce(m, e)
+		if panicked {
+			res.panicked = true
+		}
+		if err == nil {
+			res.anns = anns
+			res.err = nil
+			return res
+		}
+		res.err = err
+		if attempt >= attempts || !isTransient(err) {
+			return res
+		}
+		res.retries++
+		if d := c.cfg.Retry.backoffFor(attempt); d > 0 {
+			time.Sleep(d)
+		}
+	}
+}
+
 // RunEntityMiner deploys one entity-level miner across all shards in
-// parallel. Per-entity failures do not abort the run; up to maxErrors are
+// parallel. Per-entity failures do not abort the run: transient errors
+// are retried within the retry policy, panics are recovered and counted,
+// and once failures exhaust the error budget the breaker trips and the
+// remaining entities are skipped. Up to maxErrors failure details are
 // collected into the returned error (nil when every entity succeeded).
 func (c *Cluster) RunEntityMiner(m EntityMiner) (Stats, error) {
 	start := time.Now()
 	shards := make(chan int)
 	var wg sync.WaitGroup
 
-	var mu sync.Mutex
-	stats := Stats{Miner: m.Name()}
-	var errs []error
+	rs := &runState{stats: Stats{Miner: m.Name()}}
 
 	workers := c.workers
 	if workers > c.store.NumShards() {
@@ -103,7 +299,7 @@ func (c *Cluster) RunEntityMiner(m EntityMiner) (Stats, error) {
 		go func() {
 			defer wg.Done()
 			for shard := range shards {
-				c.mineShard(m, shard, &mu, &stats, &errs)
+				c.mineShard(m, shard, rs)
 			}
 		}()
 	}
@@ -113,36 +309,58 @@ func (c *Cluster) RunEntityMiner(m EntityMiner) (Stats, error) {
 	close(shards)
 	wg.Wait()
 
-	stats.Elapsed = time.Since(start)
-	if len(errs) > 0 {
-		return stats, fmt.Errorf("cluster: %d entities failed under %s: %w",
-			stats.Failures, m.Name(), errors.Join(errs...))
+	rs.stats.Elapsed = time.Since(start)
+	if rs.stats.BreakerTripped {
+		rs.errs = append(rs.errs, fmt.Errorf(
+			"breaker tripped after %d failures; %d entities skipped",
+			rs.stats.Failures, rs.stats.Skipped))
 	}
-	return stats, nil
+	if len(rs.errs) > 0 {
+		return rs.stats, fmt.Errorf("cluster: %d entities failed under %s: %w",
+			rs.stats.Failures, m.Name(), errors.Join(rs.errs...))
+	}
+	return rs.stats, nil
 }
 
-func (c *Cluster) mineShard(m EntityMiner, shard int, mu *sync.Mutex, stats *Stats, errs *[]error) {
+func (c *Cluster) mineShard(m EntityMiner, shard int, rs *runState) {
 	_ = c.store.ForEachInShard(shard, func(e *store.Entity) error {
-		anns, err := m.Process(e)
-		mu.Lock()
-		defer mu.Unlock()
-		stats.Entities++
-		if err != nil {
-			stats.Failures++
-			if len(*errs) < maxErrors {
-				*errs = append(*errs, fmt.Errorf("%s: %w", e.ID, err))
-			}
+		if rs.tripped.Load() {
+			rs.mu.Lock()
+			rs.stats.Skipped++
+			rs.mu.Unlock()
 			return nil
 		}
-		if len(anns) > 0 {
-			stats.Annotations += len(anns)
+		res := c.processEntity(m, e)
+		if res.err == nil && len(res.anns) > 0 {
+			// The store update stays outside the stats critical section:
+			// holding the mutex across Update would serialize all shard
+			// workers through one lock.
 			c.store.Update(e.ID, func(stored *store.Entity) {
-				for _, a := range anns {
+				for _, a := range res.anns {
 					a.Miner = m.Name()
 					stored.Annotate(a)
 				}
 			})
 		}
+		rs.mu.Lock()
+		defer rs.mu.Unlock()
+		rs.stats.Entities++
+		rs.stats.Retries += res.retries
+		if res.panicked {
+			rs.stats.Panics++
+		}
+		if res.err != nil {
+			rs.stats.Failures++
+			if len(rs.errs) < maxErrors {
+				rs.errs = append(rs.errs, fmt.Errorf("%s: %w", e.ID, res.err))
+			}
+			if c.cfg.ErrorBudget > 0 && rs.stats.Failures >= c.cfg.ErrorBudget && !rs.stats.BreakerTripped {
+				rs.stats.BreakerTripped = true
+				rs.tripped.Store(true)
+			}
+			return nil
+		}
+		rs.stats.Annotations += len(res.anns)
 		return nil
 	})
 }

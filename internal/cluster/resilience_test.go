@@ -1,0 +1,177 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"webfountain/internal/store"
+)
+
+// transientErr carries Temporary() == true, like injected faults and
+// vinci retryable errors.
+type transientErr struct{ n int }
+
+func (e *transientErr) Error() string   { return fmt.Sprintf("transient failure #%d", e.n) }
+func (e *transientErr) Temporary() bool { return true }
+
+// TestRetryRecoversTransientFailures: a miner that fails transiently
+// once per entity succeeds under a 2-attempt policy with zero failures.
+func TestRetryRecoversTransientFailures(t *testing.T) {
+	st := seededStore(30, 4)
+	c := NewWithConfig(st, Config{
+		Workers: 4,
+		Retry:   RetryPolicy{MaxAttempts: 2, Backoff: time.Microsecond},
+	})
+	var mu sync.Mutex
+	failed := map[string]bool{}
+	m := MinerFunc{MinerName: "flaky-once", Fn: func(e *store.Entity) ([]store.Annotation, error) {
+		mu.Lock()
+		first := !failed[e.ID]
+		failed[e.ID] = true
+		mu.Unlock()
+		if first {
+			return nil, &transientErr{n: 1}
+		}
+		return []store.Annotation{{Type: "ok"}}, nil
+	}}
+	stats, err := c.RunEntityMiner(m)
+	if err != nil {
+		t.Fatalf("retries should absorb one transient failure per entity: %v", err)
+	}
+	if stats.Entities != 30 || stats.Failures != 0 || stats.Annotations != 30 {
+		t.Errorf("stats = %+v", stats)
+	}
+	if stats.Retries != 30 {
+		t.Errorf("retries = %d, want 30 (one per entity)", stats.Retries)
+	}
+}
+
+// TestPermanentErrorsAreNotRetried: non-temporary failures burn no
+// retry budget.
+func TestPermanentErrorsAreNotRetried(t *testing.T) {
+	st := seededStore(10, 2)
+	c := NewWithConfig(st, Config{Workers: 1, Retry: RetryPolicy{MaxAttempts: 5}})
+	var calls int
+	m := MinerFunc{MinerName: "hard-fail", Fn: func(e *store.Entity) ([]store.Annotation, error) {
+		calls++
+		return nil, errors.New("permanent")
+	}}
+	stats, err := c.RunEntityMiner(m)
+	if err == nil {
+		t.Fatal("expected aggregated error")
+	}
+	if calls != 10 {
+		t.Errorf("calls = %d, want 10 (no retries for permanent errors)", calls)
+	}
+	if stats.Retries != 0 || stats.Failures != 10 {
+		t.Errorf("stats = %+v", stats)
+	}
+}
+
+// TestPanicRecoveryCountsAndContinues: a panicking miner is recovered,
+// counted, and the deployment finishes the remaining entities.
+func TestPanicRecoveryCountsAndContinues(t *testing.T) {
+	st := seededStore(20, 4)
+	c := New(st, 2)
+	m := MinerFunc{MinerName: "panicky", Fn: func(e *store.Entity) ([]store.Annotation, error) {
+		if strings.HasSuffix(e.ID, "7") {
+			panic("miner bug on " + e.ID)
+		}
+		return []store.Annotation{{Type: "ok"}}, nil
+	}}
+	stats, err := c.RunEntityMiner(m)
+	if err == nil || !strings.Contains(err.Error(), "miner panicked") {
+		t.Fatalf("err = %v", err)
+	}
+	if stats.Entities != 20 {
+		t.Errorf("entities = %d (run should continue past panics)", stats.Entities)
+	}
+	if stats.Panics != 2 || stats.Failures != 2 { // doc007, doc017
+		t.Errorf("stats = %+v", stats)
+	}
+}
+
+// TestEntityTimeoutFailsSlowEntity: one stuck entity times out; the
+// rest of the deployment completes.
+func TestEntityTimeoutFailsSlowEntity(t *testing.T) {
+	st := seededStore(12, 3)
+	release := make(chan struct{})
+	defer close(release)
+	c := NewWithConfig(st, Config{Workers: 3, EntityTimeout: 25 * time.Millisecond})
+	m := MinerFunc{MinerName: "stuck", Fn: func(e *store.Entity) ([]store.Annotation, error) {
+		if e.ID == "doc005" {
+			<-release // hangs far past the timeout
+		}
+		return []store.Annotation{{Type: "ok"}}, nil
+	}}
+	stats, err := c.RunEntityMiner(m)
+	if err == nil || !strings.Contains(err.Error(), "timed out") {
+		t.Fatalf("err = %v", err)
+	}
+	if stats.Failures != 1 || stats.Entities != 12 {
+		t.Errorf("stats = %+v", stats)
+	}
+	if stats.Annotations != 11 {
+		t.Errorf("annotations = %d, want 11", stats.Annotations)
+	}
+}
+
+// TestBreakerTripsDeterministically: with one worker the breaker trips
+// after exactly ErrorBudget failures and every remaining entity is
+// skipped and reported.
+func TestBreakerTripsDeterministically(t *testing.T) {
+	st := seededStore(50, 1)
+	c := NewWithConfig(st, Config{Workers: 1, ErrorBudget: 5})
+	m := MinerFunc{MinerName: "doomed", Fn: func(e *store.Entity) ([]store.Annotation, error) {
+		return nil, errors.New("store shard offline")
+	}}
+	stats, err := c.RunEntityMiner(m)
+	if err == nil || !strings.Contains(err.Error(), "breaker tripped") {
+		t.Fatalf("err = %v", err)
+	}
+	if !stats.BreakerTripped {
+		t.Error("BreakerTripped not reported")
+	}
+	if stats.Failures != 5 {
+		t.Errorf("failures = %d, want exactly the error budget (5)", stats.Failures)
+	}
+	if stats.Skipped != 45 {
+		t.Errorf("skipped = %d, want 45", stats.Skipped)
+	}
+	if stats.Entities != 5 {
+		t.Errorf("entities = %d, want 5 (processing stops at the trip)", stats.Entities)
+	}
+	if !strings.Contains(stats.String(), "breaker tripped (45 skipped)") {
+		t.Errorf("String = %q", stats.String())
+	}
+}
+
+// TestBreakerZeroBudgetNeverTrips: the zero config preserves the old
+// unbounded-failure behavior.
+func TestBreakerZeroBudgetNeverTrips(t *testing.T) {
+	st := seededStore(20, 4)
+	c := New(st, 2)
+	m := MinerFunc{MinerName: "doomed", Fn: func(e *store.Entity) ([]store.Annotation, error) {
+		return nil, errors.New("nope")
+	}}
+	stats, _ := c.RunEntityMiner(m)
+	if stats.BreakerTripped || stats.Skipped != 0 || stats.Entities != 20 {
+		t.Errorf("stats = %+v", stats)
+	}
+}
+
+// TestClusterBackoffSchedule pins the deterministic (jitter-free)
+// cluster backoff.
+func TestClusterBackoffSchedule(t *testing.T) {
+	p := RetryPolicy{Backoff: 2 * time.Millisecond, MaxBackoff: 5 * time.Millisecond}
+	want := []time.Duration{2 * time.Millisecond, 4 * time.Millisecond, 5 * time.Millisecond, 5 * time.Millisecond}
+	for i, w := range want {
+		if got := p.backoffFor(i + 1); got != w {
+			t.Errorf("backoffFor(%d) = %v, want %v", i+1, got, w)
+		}
+	}
+}

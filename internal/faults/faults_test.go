@@ -1,0 +1,298 @@
+package faults
+
+import (
+	"fmt"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"webfountain/internal/cluster"
+	"webfountain/internal/store"
+	"webfountain/internal/vinci"
+)
+
+func echoRegistry() *vinci.Registry {
+	reg := vinci.NewRegistry()
+	reg.Register("echo", func(req vinci.Request) vinci.Response {
+		return vinci.OKResponse(map[string]string{"op": req.Op})
+	})
+	return reg
+}
+
+func seededStore(n, shards int) *store.Store {
+	st := store.New(shards)
+	for i := 0; i < n; i++ {
+		st.Put(&store.Entity{ID: fmt.Sprintf("doc%03d", i), Text: fmt.Sprintf("text %d", i)})
+	}
+	return st
+}
+
+// TestInjectorDeterministicSequence: the same seed yields the same
+// fault decisions, call by call, and therefore the same stats.
+func TestInjectorDeterministicSequence(t *testing.T) {
+	cfg := Config{Seed: 99, DropRate: 0.15, DelayRate: 0.1, Delay: time.Microsecond,
+		TransientRate: 0.2, PermanentRate: 0.05}
+	run := func() ([]string, Stats) {
+		in := New(cfg)
+		var outcomes []string
+		for i := 0; i < 200; i++ {
+			err := in.MinerFault()
+			switch {
+			case err == nil:
+				outcomes = append(outcomes, "ok")
+			case err.(*Error).Transient:
+				outcomes = append(outcomes, "transient")
+			default:
+				outcomes = append(outcomes, "permanent")
+			}
+		}
+		return outcomes, in.Stats()
+	}
+	a, sa := run()
+	b, sb := run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("call %d: %s vs %s (same seed must replay the same faults)", i, a[i], b[i])
+		}
+	}
+	if sa != sb {
+		t.Errorf("stats diverged: %v vs %v", sa, sb)
+	}
+	if sa.Total() == 0 {
+		t.Error("no faults injected at 50% combined rate over 200 calls")
+	}
+}
+
+// TestSeedsDiverge: different seeds explore different fault sequences.
+func TestSeedsDiverge(t *testing.T) {
+	outcomes := func(seed int64) string {
+		in := New(Config{Seed: seed, TransientRate: 0.5})
+		var b strings.Builder
+		for i := 0; i < 64; i++ {
+			if in.MinerFault() == nil {
+				b.WriteByte('.')
+			} else {
+				b.WriteByte('x')
+			}
+		}
+		return b.String()
+	}
+	if outcomes(1) == outcomes(2) {
+		t.Error("seeds 1 and 2 produced identical 64-call fault sequences")
+	}
+}
+
+// TestFaultyClientWrapper: injected call faults carry the right
+// transience and pass-through calls reach the registry.
+func TestFaultyClientWrapper(t *testing.T) {
+	in := New(Config{Seed: 3, TransientRate: 1})
+	c := in.Client(vinci.NewLocalClient(echoRegistry()))
+	_, err := c.Call(vinci.Request{Service: "echo", Op: "x"})
+	var fe *Error
+	if err == nil {
+		t.Fatal("TransientRate 1 must fail every call")
+	}
+	if !vinci.IsRetryable(err) {
+		t.Errorf("injected transient fault should classify retryable: %v", err)
+	}
+	if ok := errorsAs(err, &fe); !ok || !fe.Transient {
+		t.Errorf("err = %#v", err)
+	}
+
+	quiet := New(Config{Seed: 3})
+	c2 := quiet.Client(vinci.NewLocalClient(echoRegistry()))
+	resp, err := c2.Call(vinci.Request{Service: "echo", Op: "through"})
+	if err != nil || !resp.OK || resp.Fields["op"] != "through" {
+		t.Errorf("pass-through call: %+v, %v", resp, err)
+	}
+}
+
+func errorsAs(err error, target **Error) bool {
+	e, ok := err.(*Error)
+	if ok {
+		*target = e
+	}
+	return ok
+}
+
+// TestCallbackWrapper: injected callback faults surface through store
+// iteration error paths.
+func TestCallbackWrapper(t *testing.T) {
+	st := seededStore(4, 1)
+	in := New(Config{Seed: 5, PermanentRate: 1})
+	err := st.ForEach(in.Callback(func(e *store.Entity) error { return nil }))
+	if err == nil || !strings.Contains(err.Error(), "injected permanent callback") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+// startFaultyServer runs a plain vinci server; faults are injected on
+// the client side of the link.
+func startFaultyServer(t *testing.T) (addr string, shutdown func()) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := vinci.NewServer(echoRegistry())
+	done := make(chan struct{})
+	go func() { defer close(done); srv.Serve(ln) }()
+	return ln.Addr().String(), func() { srv.Close(); <-done }
+}
+
+// TestAcceptanceTransportFaults is the ISSUE acceptance scenario for
+// the transport: with 20% of frames dropped or delayed, every client
+// operation still completes through retries.
+func TestAcceptanceTransportFaults(t *testing.T) {
+	addr, shutdown := startFaultyServer(t)
+	defer shutdown()
+
+	in := New(Config{Seed: 2026, DropRate: 0.10, DelayRate: 0.10, Delay: time.Millisecond})
+	c, err := vinci.DialWith(addr, vinci.DialOptions{
+		CallTimeout: 500 * time.Millisecond,
+		Retry:       vinci.RetryPolicy{MaxAttempts: 8, BaseBackoff: time.Millisecond, MaxBackoff: 10 * time.Millisecond, Jitter: 0.2, Seed: 7},
+		Dialer:      in.Dialer(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	for i := 0; i < 60; i++ {
+		op := fmt.Sprintf("op%d", i)
+		resp, err := c.Call(vinci.Request{Service: "echo", Op: op})
+		if err != nil {
+			t.Fatalf("call %d failed through 20%% drop/delay: %v", i, err)
+		}
+		if !resp.OK || resp.Fields["op"] != op {
+			t.Fatalf("call %d: %+v", i, resp)
+		}
+	}
+	st := in.Stats()
+	if st.Drops == 0 || st.Delays == 0 {
+		t.Errorf("expected both drops and delays to fire: %v", st)
+	}
+}
+
+// TestAcceptanceCorruptedFrames: corrupted frames are retried via the
+// protocol-integrity classification instead of surfacing as failures.
+func TestAcceptanceCorruptedFrames(t *testing.T) {
+	addr, shutdown := startFaultyServer(t)
+	defer shutdown()
+
+	in := New(Config{Seed: 11, CorruptRate: 0.15})
+	c, err := vinci.DialWith(addr, vinci.DialOptions{
+		CallTimeout: 300 * time.Millisecond,
+		Retry:       vinci.RetryPolicy{MaxAttempts: 10, BaseBackoff: time.Millisecond, Seed: 8},
+		Dialer:      in.Dialer(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	for i := 0; i < 40; i++ {
+		resp, err := c.Call(vinci.Request{Service: "echo", Op: "x"})
+		if err != nil {
+			t.Fatalf("call %d failed through corruption: %v", i, err)
+		}
+		if !resp.OK {
+			t.Fatalf("call %d returned application error for transport fault: %+v", i, resp)
+		}
+	}
+	if in.Stats().Corruptions == 0 {
+		t.Error("no corruption injected at 15% over 40+ frames")
+	}
+}
+
+// TestAcceptanceClusterTransientFaults is the ISSUE acceptance scenario
+// for the miner runtime: 10% of entity-miner calls fail transiently,
+// and RunEntityMiner still completes with zero net failures.
+func TestAcceptanceClusterTransientFaults(t *testing.T) {
+	st := seededStore(200, 8)
+	in := New(Config{Seed: 13, TransientRate: 0.10})
+	c := cluster.NewWithConfig(st, cluster.Config{
+		Workers: 4,
+		Retry:   cluster.RetryPolicy{MaxAttempts: 6, Backoff: 100 * time.Microsecond},
+	})
+	m := in.Miner(cluster.MinerFunc{MinerName: "resilient", Fn: func(e *store.Entity) ([]store.Annotation, error) {
+		return []store.Annotation{{Type: "seen", Key: e.ID}}, nil
+	}})
+	stats, err := c.RunEntityMiner(m)
+	if err != nil {
+		t.Fatalf("run with 10%% transient faults must complete: %v", err)
+	}
+	if stats.Entities != 200 || stats.Failures != 0 || stats.Annotations != 200 {
+		t.Errorf("stats = %+v", stats)
+	}
+	if stats.Retries == 0 {
+		t.Error("no retries recorded despite injected transients")
+	}
+	if in.Stats().Transients == 0 {
+		t.Error("injector reports no transients")
+	}
+	// Every entity carries its annotation.
+	count := 0
+	st.ForEach(func(e *store.Entity) error {
+		if len(e.AnnotationsBy("resilient")) != 1 {
+			t.Errorf("entity %s missing annotation", e.ID)
+		}
+		count++
+		return nil
+	})
+	if count != 200 {
+		t.Errorf("visited %d entities", count)
+	}
+}
+
+// TestAcceptanceBreakerUnderPermanentFaults: when faults are permanent
+// the breaker trips at the budget and the trip is visible in Stats.
+func TestAcceptanceBreakerUnderPermanentFaults(t *testing.T) {
+	st := seededStore(80, 1)
+	in := New(Config{Seed: 17, PermanentRate: 1})
+	c := cluster.NewWithConfig(st, cluster.Config{
+		Workers:     1,
+		Retry:       cluster.RetryPolicy{MaxAttempts: 3},
+		ErrorBudget: 4,
+	})
+	m := in.Miner(cluster.MinerFunc{MinerName: "doomed", Fn: func(e *store.Entity) ([]store.Annotation, error) {
+		return []store.Annotation{{Type: "never"}}, nil
+	}})
+	stats, err := c.RunEntityMiner(m)
+	if err == nil || !strings.Contains(err.Error(), "breaker tripped") {
+		t.Fatalf("err = %v", err)
+	}
+	if !stats.BreakerTripped || stats.Failures != 4 || stats.Skipped != 76 {
+		t.Errorf("stats = %+v", stats)
+	}
+	if stats.Retries != 0 {
+		t.Errorf("permanent faults must not be retried: %+v", stats)
+	}
+}
+
+// TestClusterRunDeterministicUnderSeed: a single-worker run under a
+// fixed seed reproduces identical stats, including retry counts.
+func TestClusterRunDeterministicUnderSeed(t *testing.T) {
+	run := func() cluster.Stats {
+		st := seededStore(100, 4)
+		in := New(Config{Seed: 21, TransientRate: 0.15, PermanentRate: 0.02})
+		c := cluster.NewWithConfig(st, cluster.Config{
+			Workers: 1, // sequential: the fault stream maps 1:1 onto entities
+			Retry:   cluster.RetryPolicy{MaxAttempts: 3},
+		})
+		m := in.Miner(cluster.MinerFunc{MinerName: "det", Fn: func(e *store.Entity) ([]store.Annotation, error) {
+			return []store.Annotation{{Type: "t"}}, nil
+		}})
+		stats, _ := c.RunEntityMiner(m)
+		stats.Elapsed = 0 // wall clock is the one nondeterministic field
+		return stats
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Errorf("same seed, different outcomes:\n  %+v\n  %+v", a, b)
+	}
+	if a.Retries == 0 {
+		t.Error("expected some retries in the deterministic run")
+	}
+}

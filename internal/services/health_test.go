@@ -1,0 +1,120 @@
+package services
+
+import (
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"webfountain/internal/vinci"
+)
+
+func healthRegistry(entities int) *vinci.Registry {
+	reg := vinci.NewRegistry()
+	reg.Register("store", func(vinci.Request) vinci.Response { return vinci.OKResponse(nil) })
+	RegisterHealth(reg, HealthOptions{
+		Node:     "node-a",
+		Registry: reg,
+		Entities: func() int { return entities },
+	})
+	return reg
+}
+
+func TestHealthPing(t *testing.T) {
+	c := vinci.NewLocalClient(healthRegistry(7))
+	if err := (HealthClient{C: c}).Ping(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHealthStatus(t *testing.T) {
+	c := vinci.NewLocalClient(healthRegistry(7))
+	st, err := HealthClient{C: c}.Status()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Node != "node-a" || st.Entities != 7 {
+		t.Errorf("status = %+v", st)
+	}
+	found := false
+	for _, s := range st.Services {
+		if s == "store" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("services = %v, want store listed", st.Services)
+	}
+}
+
+func TestHealthUptimeAdvances(t *testing.T) {
+	reg := vinci.NewRegistry()
+	now := time.Unix(1000, 0)
+	RegisterHealth(reg, HealthOptions{Node: "n", now: func() time.Time { return now }})
+	c := vinci.NewLocalClient(reg)
+	now = now.Add(90 * time.Second)
+	up, err := HealthClient{C: c}.Uptime()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if up != 90*time.Second {
+		t.Errorf("uptime = %v, want 90s", up)
+	}
+}
+
+func TestHealthUnknownOp(t *testing.T) {
+	c := vinci.NewLocalClient(healthRegistry(0))
+	resp, _ := c.Call(vinci.Request{Service: HealthService, Op: "nope"})
+	if resp.OK || !strings.Contains(resp.Error, "unknown op") {
+		t.Errorf("resp = %+v", resp)
+	}
+}
+
+func TestProbeHealthyNode(t *testing.T) {
+	c := vinci.NewLocalClient(healthRegistry(3))
+	if err := Probe(c); err != nil {
+		t.Fatal(err)
+	}
+	if err := Probe(c, "store"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProbeMissingService(t *testing.T) {
+	c := vinci.NewLocalClient(healthRegistry(3))
+	err := Probe(c, "index")
+	if err == nil || !strings.Contains(err.Error(), `does not serve "index"`) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestProbeNodeWithoutHealthService(t *testing.T) {
+	reg := vinci.NewRegistry()
+	err := Probe(vinci.NewLocalClient(reg))
+	if err == nil || !strings.Contains(err.Error(), "health probe") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+// TestProbeOverTCP exercises the probe end to end, the way wfnode's
+// client mode gates operations on node health.
+func TestProbeOverTCP(t *testing.T) {
+	reg := healthRegistry(5)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := vinci.NewServer(reg)
+	done := make(chan struct{})
+	go func() { defer close(done); srv.Serve(ln) }()
+	defer func() { srv.Close(); <-done }()
+
+	c, err := vinci.Dial(ln.Addr().String(), 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := Probe(c, "store", HealthService); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,313 @@
+package vinci
+
+import (
+	"encoding/binary"
+	"net"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestDispatchRecoversPanic: a panicking handler becomes an error
+// response, not a crash.
+func TestDispatchRecoversPanic(t *testing.T) {
+	reg := NewRegistry()
+	reg.Register("boom", func(Request) Response { panic("handler bug") })
+	resp := reg.Dispatch(Request{Service: "boom", Op: "x"})
+	if resp.OK || !strings.Contains(resp.Error, "panicked") || !strings.Contains(resp.Error, "handler bug") {
+		t.Errorf("resp = %+v", resp)
+	}
+}
+
+// TestServerSurvivesPanickingHandler: over TCP, the panic comes back as
+// an error response and the same connection keeps working.
+func TestServerSurvivesPanickingHandler(t *testing.T) {
+	reg := echoRegistry()
+	var calls atomic.Int32
+	reg.Register("boom", func(Request) Response {
+		if calls.Add(1) == 1 {
+			panic("first call explodes")
+		}
+		return OKResponse(nil)
+	})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(reg)
+	done := make(chan struct{})
+	go func() { defer close(done); srv.Serve(ln) }()
+	defer func() { srv.Close(); <-done }()
+
+	c, err := Dial(ln.Addr().String(), 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	resp, err := c.Call(Request{Service: "boom"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.OK || !strings.Contains(resp.Error, "panicked") {
+		t.Errorf("panic response = %+v", resp)
+	}
+	// The connection survived the panic: both the panicking service and
+	// others still answer.
+	resp2, err := c.Call(Request{Service: "echo", Op: "after"})
+	if err != nil || !resp2.OK {
+		t.Errorf("call after panic: %+v, %v", resp2, err)
+	}
+}
+
+// TestClientReconnectsAfterPartialFrame is the transport-desync
+// regression test: a server that answers with a truncated frame and
+// stalls must not poison the client. The deadline fires mid-frame, the
+// client tears the connection down, and the retry succeeds on a fresh
+// connection — observable as a second accept.
+func TestClientReconnectsAfterPartialFrame(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	var accepts atomic.Int32
+	hold := make(chan struct{})
+	defer close(hold)
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			n := accepts.Add(1)
+			go func(conn net.Conn, n int32) {
+				defer conn.Close()
+				for {
+					payload, err := readFrame(conn)
+					if err != nil {
+						return
+					}
+					if n == 1 {
+						// Promise a 64-byte response, deliver 8, stall:
+						// the client's deadline fires mid-frame.
+						var hdr [4]byte
+						binary.BigEndian.PutUint32(hdr[:], 64)
+						conn.Write(hdr[:])
+						conn.Write([]byte("partial!"))
+						<-hold
+						return
+					}
+					req, err := decodeRequest(payload)
+					if err != nil {
+						return
+					}
+					out, _ := encodeResponse(OKResponse(map[string]string{"op": req.Op}))
+					writeFrame(conn, out)
+				}
+			}(conn, n)
+		}
+	}()
+
+	c, err := DialWith(ln.Addr().String(), DialOptions{
+		CallTimeout: 150 * time.Millisecond,
+		Retry:       RetryPolicy{MaxAttempts: 3, BaseBackoff: 5 * time.Millisecond, Seed: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	resp, err := c.Call(Request{Service: "echo", Op: "hello"})
+	if err != nil {
+		t.Fatalf("call through partial-frame server: %v", err)
+	}
+	if !resp.OK || resp.Fields["op"] != "hello" {
+		t.Errorf("resp = %+v", resp)
+	}
+	if got := accepts.Load(); got != 2 {
+		t.Errorf("accepts = %d, want 2 (teardown must force a fresh connection)", got)
+	}
+}
+
+// TestClientRetriesFailedDial: a dialer that fails at first hands the
+// retry loop a chance to connect; the call succeeds once it does.
+func TestClientRetriesFailedDial(t *testing.T) {
+	addr, shutdown := startServer(t)
+	defer shutdown()
+
+	var dials atomic.Int32
+	opts := DialOptions{
+		CallTimeout: time.Second,
+		Retry:       RetryPolicy{MaxAttempts: 4, BaseBackoff: time.Millisecond, Seed: 7},
+		Dialer: func(a string) (net.Conn, error) {
+			// First redial attempt inside Call fails; later ones connect.
+			if n := dials.Add(1); n == 2 {
+				return nil, &net.OpError{Op: "dial", Err: &timeoutErr{}}
+			}
+			return net.DialTimeout("tcp", a, time.Second)
+		},
+	}
+	c, err := DialWith(addr, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	// Break the live connection under the client so the next call must
+	// redial: the first redial fails, the second succeeds.
+	c.(*tcpClient).mu.Lock()
+	c.(*tcpClient).conn.Close()
+	c.(*tcpClient).mu.Unlock()
+
+	resp, err := c.Call(Request{Service: "echo", Op: "back"})
+	if err != nil || !resp.OK {
+		t.Fatalf("call after broken conn: %+v, %v", resp, err)
+	}
+	if dials.Load() < 3 {
+		t.Errorf("dials = %d, want ≥3 (initial + failed redial + good redial)", dials.Load())
+	}
+}
+
+type timeoutErr struct{}
+
+func (*timeoutErr) Error() string   { return "synthetic timeout" }
+func (*timeoutErr) Timeout() bool   { return true }
+func (*timeoutErr) Temporary() bool { return true }
+
+// TestCallReportsExhaustedRetries: when every attempt fails the error
+// names the operation and attempt count and wraps a retryable cause.
+func TestCallReportsExhaustedRetries(t *testing.T) {
+	opts := DialOptions{
+		Retry: RetryPolicy{MaxAttempts: 3, Seed: 1},
+		Dialer: func(string) (net.Conn, error) {
+			return nil, &timeoutErr{}
+		},
+	}
+	if _, err := DialWith("127.0.0.1:1", opts); err == nil {
+		t.Fatal("eager dial through failing dialer should error")
+	}
+
+	// Lazy path: a client whose connection broke keeps failing to
+	// redial and reports the exhausted attempts.
+	c := &tcpClient{addr: "127.0.0.1:1", opts: opts, rng: opts.Retry.newRand()}
+	_, err := c.Call(Request{Service: "echo", Op: "x"})
+	if err == nil || !strings.Contains(err.Error(), "after 3 attempts") {
+		t.Errorf("err = %v", err)
+	}
+	if !IsRetryable(err) {
+		t.Errorf("exhausted-retries error should still classify retryable: %v", err)
+	}
+}
+
+// TestServerCloseDrainsInFlight: Close must wait for a response already
+// being computed to be written before returning.
+func TestServerCloseDrainsInFlight(t *testing.T) {
+	reg := NewRegistry()
+	started := make(chan struct{})
+	reg.Register("slow", func(Request) Response {
+		close(started)
+		time.Sleep(120 * time.Millisecond)
+		return OKResponse(map[string]string{"done": "1"})
+	})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(reg)
+	serveDone := make(chan struct{})
+	go func() { defer close(serveDone); srv.Serve(ln) }()
+
+	c, err := DialWith(ln.Addr().String(), DialOptions{CallTimeout: 2 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	type result struct {
+		resp Response
+		err  error
+	}
+	got := make(chan result, 1)
+	go func() {
+		resp, err := c.Call(Request{Service: "slow"})
+		got <- result{resp, err}
+	}()
+
+	// Close while the handler is still sleeping: the server must finish
+	// the exchange (drain) rather than cut the connection.
+	<-started
+	closed := make(chan struct{})
+	go func() {
+		defer close(closed)
+		srv.Close()
+	}()
+
+	r := <-got
+	if r.err != nil || !r.resp.OK || r.resp.Fields["done"] != "1" {
+		t.Fatalf("in-flight call during Close: %+v, %v", r.resp, r.err)
+	}
+	<-closed
+	<-serveDone
+}
+
+// TestBackoffDeterministicUnderSeed: the jittered backoff schedule is a
+// pure function of the seed.
+func TestBackoffDeterministicUnderSeed(t *testing.T) {
+	p := RetryPolicy{MaxAttempts: 6, BaseBackoff: 10 * time.Millisecond, MaxBackoff: 80 * time.Millisecond, Jitter: 0.5, Seed: 42}
+	schedule := func() []time.Duration {
+		rng := p.newRand()
+		var out []time.Duration
+		for retry := 1; retry <= 5; retry++ {
+			out = append(out, p.backoffFor(retry, rng))
+		}
+		return out
+	}
+	a, b := schedule(), schedule()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("retry %d: %v vs %v (same seed must give same schedule)", i+1, a[i], b[i])
+		}
+	}
+	// Jitter of 0.5 around an 80ms cap never exceeds 120ms.
+	for i, d := range a {
+		if d <= 0 || d > 120*time.Millisecond {
+			t.Errorf("retry %d backoff %v out of range", i+1, d)
+		}
+	}
+}
+
+// TestBackoffExponentialNoJitter: without jitter the schedule doubles
+// and caps.
+func TestBackoffExponentialNoJitter(t *testing.T) {
+	p := RetryPolicy{BaseBackoff: 10 * time.Millisecond, MaxBackoff: 35 * time.Millisecond}
+	want := []time.Duration{10 * time.Millisecond, 20 * time.Millisecond, 35 * time.Millisecond, 35 * time.Millisecond}
+	for i, w := range want {
+		if got := p.backoffFor(i+1, nil); got != w {
+			t.Errorf("backoffFor(%d) = %v, want %v", i+1, got, w)
+		}
+	}
+}
+
+// TestIsRetryableClassification pins the error taxonomy.
+func TestIsRetryableClassification(t *testing.T) {
+	if IsRetryable(nil) {
+		t.Error("nil is not retryable")
+	}
+	if !IsRetryable(&RetryableError{Op: "read", Err: &timeoutErr{}}) {
+		t.Error("RetryableError must be retryable")
+	}
+	if !IsRetryable(&timeoutErr{}) {
+		t.Error("timeouts must be retryable")
+	}
+	if IsRetryable(errOpaque) {
+		t.Error("plain application errors are not retryable")
+	}
+}
+
+var errOpaque = &opaqueErr{}
+
+type opaqueErr struct{}
+
+func (*opaqueErr) Error() string { return "opaque" }

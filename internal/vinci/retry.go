@@ -1,0 +1,127 @@
+package vinci
+
+import (
+	"errors"
+	"io"
+	"math/rand"
+	"net"
+	"syscall"
+	"time"
+)
+
+// RetryableError marks a transport-level failure (connection loss,
+// deadline, frame corruption) that is safe to retry on a fresh
+// connection. Application-level failures — a handler returning !OK —
+// travel inside the Response and are never wrapped.
+type RetryableError struct {
+	// Op names the transport step that failed ("dial", "write", "read",
+	// "decode", "deadline").
+	Op string
+	// Err is the underlying failure.
+	Err error
+}
+
+// Error implements error.
+func (e *RetryableError) Error() string { return "vinci: retryable " + e.Op + ": " + e.Err.Error() }
+
+// Unwrap exposes the underlying error.
+func (e *RetryableError) Unwrap() error { return e.Err }
+
+// Temporary marks the error retryable for callers that classify via the
+// Temporary() interface.
+func (e *RetryableError) Temporary() bool { return true }
+
+// IsRetryable classifies an error as a transient transport failure
+// (retry may succeed) versus an application or usage error (retry is
+// pointless). Connection resets, timeouts, EOF mid-exchange and
+// anything carrying Temporary() == true count as retryable.
+func IsRetryable(err error) bool {
+	if err == nil {
+		return false
+	}
+	var re *RetryableError
+	if errors.As(err, &re) {
+		return true
+	}
+	var tmp interface{ Temporary() bool }
+	if errors.As(err, &tmp) && tmp.Temporary() {
+		return true
+	}
+	var ne net.Error
+	if errors.As(err, &ne) && ne.Timeout() {
+		return true
+	}
+	return errors.Is(err, io.EOF) ||
+		errors.Is(err, io.ErrUnexpectedEOF) ||
+		errors.Is(err, syscall.ECONNRESET) ||
+		errors.Is(err, syscall.EPIPE) ||
+		errors.Is(err, syscall.ECONNREFUSED)
+}
+
+// RetryPolicy bounds how a client retries transport failures.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of attempts per call, including
+	// the first (values below 1 select 1: no retries).
+	MaxAttempts int
+	// BaseBackoff is the sleep before the first retry; each further
+	// retry doubles it (0 means no sleep).
+	BaseBackoff time.Duration
+	// MaxBackoff caps the doubled backoff (0 means uncapped).
+	MaxBackoff time.Duration
+	// Jitter randomizes each backoff by ±Jitter fraction (0..1) to
+	// avoid thundering herds of synchronized retries.
+	Jitter float64
+	// Seed makes the jitter sequence deterministic when non-zero;
+	// required for reproducible fault-injection tests.
+	Seed int64
+}
+
+// DefaultRetryPolicy is the production default: four attempts with
+// 25ms → 200ms exponential backoff and 20% jitter.
+func DefaultRetryPolicy() RetryPolicy {
+	return RetryPolicy{MaxAttempts: 4, BaseBackoff: 25 * time.Millisecond, MaxBackoff: 500 * time.Millisecond, Jitter: 0.2}
+}
+
+// attempts normalizes MaxAttempts.
+func (p RetryPolicy) attempts() int {
+	if p.MaxAttempts < 1 {
+		return 1
+	}
+	return p.MaxAttempts
+}
+
+// newRand builds the jitter source for one client.
+func (p RetryPolicy) newRand() *rand.Rand {
+	seed := p.Seed
+	if seed == 0 {
+		seed = rand.Int63()
+	}
+	return rand.New(rand.NewSource(seed))
+}
+
+// backoffFor computes the sleep before retry number `retry` (1-based)
+// using rng for jitter (nil means no jitter).
+func (p RetryPolicy) backoffFor(retry int, rng *rand.Rand) time.Duration {
+	if p.BaseBackoff <= 0 {
+		return 0
+	}
+	d := p.BaseBackoff
+	for i := 1; i < retry; i++ {
+		d *= 2
+		if p.MaxBackoff > 0 && d >= p.MaxBackoff {
+			d = p.MaxBackoff
+			break
+		}
+	}
+	if p.MaxBackoff > 0 && d > p.MaxBackoff {
+		d = p.MaxBackoff
+	}
+	if p.Jitter > 0 && rng != nil {
+		frac := 1 + p.Jitter*(2*rng.Float64()-1)
+		d = time.Duration(float64(d) * frac)
+		if d < 0 {
+			d = 0
+		}
+	}
+	return d
+}

@@ -16,8 +16,10 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 )
@@ -94,14 +96,21 @@ func (rg *Registry) Services() []string {
 	return out
 }
 
-// Dispatch routes a request to its service handler.
-func (rg *Registry) Dispatch(req Request) Response {
+// Dispatch routes a request to its service handler. A panicking handler
+// is recovered and reported as an error response, so one bad handler
+// cannot take down the node serving it.
+func (rg *Registry) Dispatch(req Request) (resp Response) {
 	rg.mu.RLock()
 	h, ok := rg.services[req.Service]
 	rg.mu.RUnlock()
 	if !ok {
 		return Errorf("vinci: unknown service %q", req.Service)
 	}
+	defer func() {
+		if r := recover(); r != nil {
+			resp = Errorf("vinci: %s.%s panicked: %v", req.Service, req.Op, r)
+		}
+	}()
 	return h(req)
 }
 
@@ -229,11 +238,15 @@ type Server struct {
 
 	mu     sync.Mutex
 	ln     net.Listener
+	conns  map[net.Conn]struct{}
 	closed bool
+	wg     sync.WaitGroup
 }
 
 // NewServer wraps a registry for network serving.
-func NewServer(reg *Registry) *Server { return &Server{reg: reg} }
+func NewServer(reg *Registry) *Server {
+	return &Server{reg: reg, conns: make(map[net.Conn]struct{})}
+}
 
 // Serve accepts connections until the listener is closed. Each connection
 // may carry any number of sequential request/response exchanges.
@@ -252,27 +265,54 @@ func (s *Server) Serve(ln net.Listener) error {
 			}
 			return err
 		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			continue
+		}
+		s.conns[conn] = struct{}{}
+		s.wg.Add(1)
+		s.mu.Unlock()
 		go s.handleConn(conn)
 	}
 }
 
-// Close stops the server.
+// Close stops the server: it stops accepting, nudges idle connections
+// off their blocking reads, and waits for in-flight exchanges to drain
+// before returning. In-flight responses are still written.
 func (s *Server) Close() error {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	s.closed = true
+	var err error
 	if s.ln != nil {
-		return s.ln.Close()
+		err = s.ln.Close()
 	}
-	return nil
+	for conn := range s.conns {
+		// Interrupt the blocking read; a dispatch already in flight
+		// completes and its response write still goes out.
+		conn.SetReadDeadline(time.Now())
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+	return err
 }
 
 func (s *Server) handleConn(conn net.Conn) {
-	defer conn.Close()
+	defer func() {
+		// Last-resort recovery so an unexpected panic in the framing or
+		// codec path kills only this connection, never the node.
+		recover()
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		s.wg.Done()
+	}()
 	for {
 		payload, err := readFrame(conn)
 		if err != nil {
-			return // EOF or broken peer: drop the connection
+			return // EOF, shutdown nudge, or broken peer: drop the connection
 		}
 		req, err := decodeRequest(payload)
 		var resp Response
@@ -291,56 +331,164 @@ func (s *Server) handleConn(conn net.Conn) {
 	}
 }
 
-// tcpClient is a single-connection network client; calls are serialized.
-type tcpClient struct {
-	mu      sync.Mutex
-	conn    net.Conn
-	timeout time.Duration
+// DialOptions tunes the TCP client transport.
+type DialOptions struct {
+	// CallTimeout is the per-call deadline covering the whole exchange
+	// (0 means no deadline).
+	CallTimeout time.Duration
+	// DialTimeout bounds each connection attempt (default 5s).
+	DialTimeout time.Duration
+	// Retry bounds how transport failures are retried. The zero value
+	// means a single attempt; use DefaultRetryPolicy() for production.
+	Retry RetryPolicy
+	// Dialer overrides the transport, e.g. to inject faults in tests.
+	// It receives the target address and must return a connected conn.
+	Dialer func(addr string) (net.Conn, error)
 }
 
-// Dial connects to a vinci server. The timeout applies per call (0 means
-// no deadline).
+// tcpClient is a single-connection network client; calls are serialized.
+// After any transport error mid-exchange the connection may hold a
+// partial frame, so it is torn down and redialed on the next attempt —
+// never reused, which would desynchronize the framing.
+type tcpClient struct {
+	addr string
+	opts DialOptions
+
+	mu     sync.Mutex
+	rng    *rand.Rand
+	conn   net.Conn
+	closed bool
+}
+
+// Dial connects to a vinci server with the default retry policy. The
+// timeout applies per call (0 means no deadline).
 func Dial(addr string, timeout time.Duration) (Client, error) {
-	conn, err := net.DialTimeout("tcp", addr, 5*time.Second)
+	return DialWith(addr, DialOptions{CallTimeout: timeout, Retry: DefaultRetryPolicy()})
+}
+
+// DialWith connects to a vinci server with explicit transport options.
+// The initial connection is established eagerly so configuration errors
+// surface immediately; later reconnects happen lazily inside Call.
+func DialWith(addr string, opts DialOptions) (Client, error) {
+	if opts.DialTimeout <= 0 {
+		opts.DialTimeout = 5 * time.Second
+	}
+	c := &tcpClient{addr: addr, opts: opts, rng: opts.Retry.newRand()}
+	conn, err := c.dial()
 	if err != nil {
 		return nil, fmt.Errorf("vinci: dial %s: %w", addr, err)
 	}
-	return &tcpClient{conn: conn, timeout: timeout}, nil
+	c.conn = conn
+	return c, nil
 }
 
+// dial opens one connection using the configured transport.
+func (c *tcpClient) dial() (net.Conn, error) {
+	if c.opts.Dialer != nil {
+		return c.opts.Dialer(c.addr)
+	}
+	return net.DialTimeout("tcp", c.addr, c.opts.DialTimeout)
+}
+
+// Call performs one exchange, transparently redialing and retrying
+// transport failures within the retry policy. Operations are assumed
+// idempotent (true of all platform services): a call whose response was
+// lost may execute twice on the server.
 func (c *tcpClient) Call(req Request) (Response, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if c.conn == nil {
-		return Response{}, errors.New("vinci: client closed")
-	}
-	if c.timeout > 0 {
-		deadline := time.Now().Add(c.timeout)
-		if err := c.conn.SetDeadline(deadline); err != nil {
-			return Response{}, err
-		}
-	}
 	payload, err := encodeRequest(req)
 	if err != nil {
 		return Response{}, err
 	}
+	attempts := c.opts.Retry.attempts()
+	var lastErr error
+	for attempt := 1; attempt <= attempts; attempt++ {
+		if attempt > 1 {
+			if d := c.opts.Retry.backoffFor(attempt-1, c.rng); d > 0 {
+				time.Sleep(d)
+			}
+		}
+		if c.closed {
+			return Response{}, errors.New("vinci: client closed")
+		}
+		if c.conn == nil {
+			conn, err := c.dial()
+			if err != nil {
+				lastErr = &RetryableError{Op: "dial", Err: err}
+				continue
+			}
+			c.conn = conn
+		}
+		resp, err := c.exchange(payload)
+		if err == nil {
+			return resp, nil
+		}
+		lastErr = err
+		if !IsRetryable(err) {
+			return Response{}, err
+		}
+	}
+	return Response{}, fmt.Errorf("vinci: call %s.%s failed after %d attempts: %w",
+		req.Service, req.Op, attempts, lastErr)
+}
+
+// exchange writes one request frame and reads the response frame on the
+// live connection. Any failure tears the connection down: after a
+// deadline or I/O error mid-frame the stream may hold a partial frame,
+// and reusing it would make the next call read garbage.
+func (c *tcpClient) exchange(payload []byte) (Response, error) {
+	if c.opts.CallTimeout > 0 {
+		if err := c.conn.SetDeadline(time.Now().Add(c.opts.CallTimeout)); err != nil {
+			c.teardown()
+			return Response{}, &RetryableError{Op: "deadline", Err: err}
+		}
+	}
 	if err := writeFrame(c.conn, payload); err != nil {
-		return Response{}, err
+		c.teardown()
+		return Response{}, &RetryableError{Op: "write", Err: err}
 	}
 	respData, err := readFrame(c.conn)
 	if err != nil {
-		return Response{}, err
+		c.teardown()
+		return Response{}, &RetryableError{Op: "read", Err: err}
 	}
-	return decodeResponse(respData)
+	resp, err := decodeResponse(respData)
+	if err != nil {
+		// A frame that parsed as a length but not as XML means the
+		// stream integrity is suspect (corruption or desync): drop it.
+		c.teardown()
+		return Response{}, &RetryableError{Op: "decode", Err: err}
+	}
+	if !resp.OK && strings.HasPrefix(resp.Error, "vinci: malformed request") {
+		// The peer could not parse the frame we sent — corruption in
+		// transit, not an application failure. Resend on a fresh
+		// connection; the stream position is no longer trustworthy.
+		c.teardown()
+		return Response{}, &RetryableError{Op: "integrity", Err: errors.New(resp.Error)}
+	}
+	return resp, nil
+}
+
+// teardown closes and forgets the broken connection (mu held).
+func (c *tcpClient) teardown() {
+	if c.conn != nil {
+		c.conn.Close()
+		c.conn = nil
+	}
 }
 
 func (c *tcpClient) Close() error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if c.conn == nil {
+	if c.closed {
 		return nil
 	}
-	err := c.conn.Close()
-	c.conn = nil
+	c.closed = true
+	var err error
+	if c.conn != nil {
+		err = c.conn.Close()
+		c.conn = nil
+	}
 	return err
 }

@@ -27,6 +27,7 @@ import (
 	"fmt"
 	"io"
 	"sync/atomic"
+	"time"
 
 	"webfountain/internal/cluster"
 	"webfountain/internal/index"
@@ -73,6 +74,17 @@ type PlatformConfig struct {
 	// Workers is the miner worker-pool size (default: one per shard,
 	// capped at 8).
 	Workers int
+	// MinerRetries is the total number of attempts per entity when a
+	// miner fails transiently (default 1: no retries).
+	MinerRetries int
+	// MinerBackoff is the base sleep between per-entity retries,
+	// doubling per retry (default none).
+	MinerBackoff time.Duration
+	// EntityTimeout bounds one miner call on one entity (default none).
+	EntityTimeout time.Duration
+	// MinerErrorBudget trips a deployment's circuit breaker after this
+	// many failed entities, skipping the rest (default 0: never trip).
+	MinerErrorBudget int
 }
 
 // NewPlatform builds an empty platform.
@@ -82,9 +94,17 @@ func NewPlatform(cfg PlatformConfig) *Platform {
 	}
 	st := store.New(cfg.Shards)
 	return &Platform{
-		store:   st,
-		cluster: cluster.New(st, cfg.Workers),
-		index:   index.New(),
+		store: st,
+		cluster: cluster.NewWithConfig(st, cluster.Config{
+			Workers: cfg.Workers,
+			Retry: cluster.RetryPolicy{
+				MaxAttempts: cfg.MinerRetries,
+				Backoff:     cfg.MinerBackoff,
+			},
+			EntityTimeout: cfg.EntityTimeout,
+			ErrorBudget:   cfg.MinerErrorBudget,
+		}),
+		index: index.New(),
 	}
 }
 
