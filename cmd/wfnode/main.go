@@ -6,6 +6,12 @@
 // Server:
 //
 //	wfnode -listen :9410 [-corpus camera] [-docs 100] [-seed 1]
+//	       [-data-dir /var/wfnode] [-sync-every 1]
+//
+// With -data-dir the store is durable: every mutation is write-ahead-
+// logged there, and a restart recovers the corpus (and rebuilds the
+// index from it) instead of regenerating. SIGINT/SIGTERM trigger a
+// graceful shutdown that drains in-flight requests and flushes the log.
 //
 // Client (one-shot operations against a running node):
 //
@@ -25,7 +31,9 @@ import (
 	"log"
 	"net"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"webfountain/internal/corpus"
@@ -47,6 +55,8 @@ func main() {
 	corpusName := flag.String("corpus", "camera", "corpus to load in serve mode")
 	docs := flag.Int("docs", 100, "documents to load in serve mode")
 	seed := flag.Int64("seed", 1, "corpus seed")
+	dataDir := flag.String("data-dir", "", "serve mode: durable data directory (empty: in-memory)")
+	syncEvery := flag.Int("sync-every", 1, "serve mode: sync the write-ahead log every N records")
 	get := flag.String("get", "", "client: fetch an entity by ID")
 	search := flag.String("search", "", "client: search indexed terms (space-separated, AND)")
 	sentimentQ := flag.String("sentiment", "", "client: query a subject's sentiment")
@@ -58,7 +68,7 @@ func main() {
 
 	switch {
 	case *listen != "":
-		if err := serve(*listen, *corpusName, *docs, *seed); err != nil {
+		if err := serve(*listen, *corpusName, *docs, *seed, *dataDir, *syncEvery); err != nil {
 			log.Fatal(err)
 		}
 	case *connect != "":
@@ -81,31 +91,47 @@ func main() {
 	}
 }
 
-// serve loads and mines a corpus, then serves the Vinci services.
-func serve(addr, corpusName string, docs int, seed int64) error {
-	var generated []corpus.Document
-	switch corpusName {
-	case "camera":
-		generated = corpus.DigitalCameraReviews(seed, docs)
-	case "music":
-		generated = corpus.MusicReviews(seed, docs)
-	case "petroleum":
-		generated = corpus.PetroleumWeb(seed, docs)
-	case "pharma":
-		generated = corpus.PharmaWeb(seed, docs)
-	case "news":
-		generated = corpus.PetroleumNews(seed, docs)
-	default:
-		return fmt.Errorf("unknown corpus %q", corpusName)
+// serve loads or recovers a corpus, mines it, and serves the Vinci
+// services until the listener closes or a shutdown signal arrives.
+func serve(addr, corpusName string, docs int, seed int64, dataDir string, syncEvery int) error {
+	var st *store.Store
+	if dataDir != "" {
+		var err error
+		st, err = store.Open(dataDir, store.Options{Shards: 16, SyncEvery: syncEvery})
+		if err != nil {
+			return err
+		}
+		if ds := st.Durability(); ds.Replayed > 0 || ds.SnapshotLoaded || ds.Quarantined > 0 {
+			log.Printf("recovered %d entities from %s (gen %d, %d wal records replayed, %d quarantined, %d torn bytes truncated)",
+				st.Len(), dataDir, ds.Generation, ds.Replayed, ds.Quarantined, ds.TruncatedBytes)
+		}
+	} else {
+		st = store.New(16)
 	}
 
-	st := store.New(16)
-	ing := ingest.New(st, 4)
-	stats, err := ing.Run(ingest.FromCorpus(corpusName, generated))
-	if err != nil {
-		return err
+	if st.Len() == 0 {
+		var generated []corpus.Document
+		switch corpusName {
+		case "camera":
+			generated = corpus.DigitalCameraReviews(seed, docs)
+		case "music":
+			generated = corpus.MusicReviews(seed, docs)
+		case "petroleum":
+			generated = corpus.PetroleumWeb(seed, docs)
+		case "pharma":
+			generated = corpus.PharmaWeb(seed, docs)
+		case "news":
+			generated = corpus.PetroleumNews(seed, docs)
+		default:
+			return fmt.Errorf("unknown corpus %q", corpusName)
+		}
+		ing := ingest.New(st, 4)
+		stats, err := ing.Run(ingest.FromCorpus(corpusName, generated))
+		if err != nil {
+			return err
+		}
+		log.Printf("ingested %d documents (%d bytes)", stats.Documents, stats.Bytes)
 	}
-	log.Printf("ingested %d documents (%d bytes)", stats.Documents, stats.Bytes)
 
 	// Index every document and mine sentiment for the query service.
 	ix := index.New()
@@ -114,7 +140,7 @@ func serve(addr, corpusName string, docs int, seed int64) error {
 	tagger := pos.NewTagger()
 	an := sentiment.New(nil, nil)
 	nesp := ne.New()
-	err = st.ForEach(func(e *store.Entity) error {
+	err := st.ForEach(func(e *store.Entity) error {
 		toks := tk.Tokenize(e.Text)
 		words := make([]string, len(toks))
 		for i, t := range toks {
@@ -151,6 +177,7 @@ func serve(addr, corpusName string, docs int, seed int64) error {
 		Node:     "wfnode@" + addr,
 		Registry: reg,
 		Entities: st.Len,
+		Degraded: st.Degraded,
 	})
 
 	ln, err := net.Listen("tcp", addr)
@@ -158,7 +185,31 @@ func serve(addr, corpusName string, docs int, seed int64) error {
 		return err
 	}
 	log.Printf("wfnode serving %v on %s", reg.Services(), ln.Addr())
-	return vinci.NewServer(reg).Serve(ln)
+
+	// Graceful shutdown: on SIGINT/SIGTERM drain the Vinci server (stop
+	// accepting, finish in-flight exchanges), then flush and close the
+	// store's write-ahead log so every acknowledged write survives the
+	// restart.
+	srv := vinci.NewServer(reg)
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		sig := <-sigc
+		log.Printf("received %v, shutting down", sig)
+		if cerr := srv.Close(); cerr != nil {
+			log.Printf("server close: %v", cerr)
+		}
+	}()
+	err = srv.Serve(ln)
+	if cerr := st.Close(); cerr != nil {
+		log.Printf("store close: %v", cerr)
+		if err == nil {
+			err = cerr
+		}
+	} else if st.Durable() {
+		log.Printf("write-ahead log flushed and closed")
+	}
+	return err
 }
 
 // client performs one-shot operations against a running node. The
@@ -183,6 +234,9 @@ func client(addr string, opts vinci.DialOptions, ping bool, get, search, sentime
 			return err
 		}
 		fmt.Printf("%s: up %v, %d entities, serving %v\n", st.Node, st.Uptime, st.Entities, st.Services)
+		if st.Degraded {
+			fmt.Printf("  DEGRADED (read-only): %s\n", st.DegradedReason)
+		}
 	}
 	if get != "" {
 		did = true

@@ -1,0 +1,211 @@
+package webfountain
+
+import (
+	"testing"
+
+	"webfountain/internal/store"
+)
+
+var durableCorpus = []Document{
+	{Source: "review", Date: "2004-06-01", Text: "The Aurora album is gorgeous. Critics praised Aurora."},
+	{ID: "d-tempest", Source: "review", Date: "2004-06-08", Text: "The Tempest fails to impress. Tempest sounded bland."},
+	{Source: "news", Text: "Nothing notable happened today."},
+}
+
+// TestOpenPlatformRecoversCorpusAndIndex: a durable platform reopened
+// after Close answers the same searches as one that never went down —
+// the rebuilt inverted index must be behaviorally identical.
+func TestOpenPlatformRecoversCorpusAndIndex(t *testing.T) {
+	dir := t.TempDir()
+	p, err := OpenPlatform(PlatformConfig{Shards: 4, DataDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids, err := p.Ingest(durableCorpus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	live := NewPlatform(PlatformConfig{Shards: 4})
+	if _, err := live.Ingest(durableCorpus); err != nil {
+		t.Fatal(err)
+	}
+	rec, err := OpenPlatform(PlatformConfig{Shards: 4, DataDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rec.Close()
+
+	if rec.NumEntities() != live.NumEntities() {
+		t.Fatalf("recovered %d entities, want %d", rec.NumEntities(), live.NumEntities())
+	}
+	for _, q := range [][]string{{"aurora"}, {"tempest", "bland"}, {"notable"}, {"absent"}} {
+		got, want := rec.SearchAll(q...), live.SearchAll(q...)
+		if len(got) != len(want) {
+			t.Errorf("SearchAll(%v) = %v, never-crashed platform says %v", q, got, want)
+			continue
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Errorf("SearchAll(%v) = %v, want %v", q, got, want)
+				break
+			}
+		}
+	}
+	if got := rec.SearchPhrase("fails", "to", "impress"); len(got) != 1 || got[0] != "d-tempest" {
+		t.Errorf("SearchPhrase after recovery = %v", got)
+	}
+	doc, ok := rec.Entity(ids[0])
+	if !ok || doc.Date != "2004-06-01" {
+		t.Errorf("recovered entity = %+v, %v", doc, ok)
+	}
+
+	// The ID generator must have advanced past every recovered generated
+	// ID, so a post-recovery ingest cannot overwrite a recovered doc.
+	newIDs, err := rec.Ingest([]Document{{Text: "fresh after recovery"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, old := range ids {
+		if newIDs[0] == old {
+			t.Fatalf("post-recovery ingest reused recovered ID %s", old)
+		}
+	}
+}
+
+// TestOpenPlatformRecoversMinerAnnotations: sentiment annotations written
+// back by a mining run are WAL-logged and survive reopen, so the
+// recovered platform still serves the mined sentiment.
+func TestOpenPlatformRecoversMinerAnnotations(t *testing.T) {
+	dir := t.TempDir()
+	p, err := OpenPlatform(PlatformConfig{Shards: 4, DataDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Ingest(durableCorpus); err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewSentimentMiner(MinerConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	facts, err := m.Run(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(facts) == 0 {
+		t.Fatal("no facts mined")
+	}
+	annotated := 0
+	_ = p.internalStore().ForEach(func(e *store.Entity) error {
+		annotated += len(e.Annotations)
+		return nil
+	})
+	if annotated == 0 {
+		t.Fatal("mining run wrote no annotations")
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	rec, err := OpenPlatform(PlatformConfig{Shards: 4, DataDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rec.Close()
+	recovered := 0
+	_ = rec.internalStore().ForEach(func(e *store.Entity) error {
+		recovered += len(e.Annotations)
+		return nil
+	})
+	if recovered != annotated {
+		t.Errorf("recovered %d annotations, want %d", recovered, annotated)
+	}
+}
+
+// TestOpenPlatformCompact: Compact on a platform folds the log into a
+// snapshot; a reopen after it still serves the full corpus.
+func TestOpenPlatformCompact(t *testing.T) {
+	dir := t.TempDir()
+	p, err := OpenPlatform(PlatformConfig{Shards: 4, DataDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Ingest(durableCorpus); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Delete("d-tempest"); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	rec, err := OpenPlatform(PlatformConfig{Shards: 4, DataDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rec.Close()
+	if rec.NumEntities() != len(durableCorpus)-1 {
+		t.Errorf("recovered %d entities, want %d", rec.NumEntities(), len(durableCorpus)-1)
+	}
+	if got := rec.SearchAll("tempest"); len(got) != 0 {
+		t.Errorf("deleted doc still indexed after recovery: %v", got)
+	}
+}
+
+// TestInMemoryPlatformDurabilityNoOps: the durability surface degrades
+// gracefully on an in-memory platform.
+func TestInMemoryPlatformDurabilityNoOps(t *testing.T) {
+	p := NewPlatform(PlatformConfig{})
+	if err := p.Close(); err != nil {
+		t.Errorf("in-memory Close: %v", err)
+	}
+	if deg, _ := p.Degraded(); deg {
+		t.Error("in-memory platform reports degraded")
+	}
+	if err := p.Compact(); err == nil {
+		t.Error("in-memory Compact should error")
+	}
+	if _, err := OpenPlatform(PlatformConfig{}); err == nil {
+		t.Error("OpenPlatform without DataDir should error")
+	}
+}
+
+// TestPlatformWriteAfterCloseFails pins the error contract: once a
+// durable platform is closed, ingests and deletes are refused and never
+// reach the (flushed) log, so a reopen sees only what was acknowledged.
+func TestPlatformWriteAfterCloseFails(t *testing.T) {
+	dir := t.TempDir()
+	p, err := OpenPlatform(PlatformConfig{Shards: 2, DataDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Ingest(durableCorpus[:1]); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Ingest(durableCorpus[1:2]); err == nil {
+		t.Fatal("ingest after close succeeded")
+	}
+	// A clean close is not degradation: the store flushed and shut down.
+	if deg, _ := p.Degraded(); deg {
+		t.Error("cleanly closed platform reports degraded")
+	}
+	rec, err := OpenPlatform(PlatformConfig{Shards: 2, DataDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rec.Close()
+	if rec.NumEntities() != 1 {
+		t.Errorf("recovered %d entities, want only the acknowledged 1", rec.NumEntities())
+	}
+}

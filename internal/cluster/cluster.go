@@ -59,6 +59,10 @@ type Stats struct {
 	// Skipped is the number of entities skipped after the circuit
 	// breaker tripped.
 	Skipped int
+	// WriteFailures is the number of entities whose annotations were
+	// mined but could not be written back to the store — the store was
+	// in degraded read-only mode or its write-ahead log failed.
+	WriteFailures int
 	// BreakerTripped reports that the miner exhausted its error budget
 	// and the deployment degraded to skip-and-report.
 	BreakerTripped bool
@@ -75,6 +79,9 @@ func (s Stats) String() string {
 	}
 	if s.Panics > 0 {
 		out += fmt.Sprintf(", %d panics", s.Panics)
+	}
+	if s.WriteFailures > 0 {
+		out += fmt.Sprintf(", %d write failures", s.WriteFailures)
 	}
 	if s.BreakerTripped {
 		out += fmt.Sprintf(", breaker tripped (%d skipped)", s.Skipped)
@@ -331,21 +338,31 @@ func (c *Cluster) mineShard(m EntityMiner, shard int, rs *runState) {
 			return nil
 		}
 		res := c.processEntity(m, e)
+		writeFailed := false
 		if res.err == nil && len(res.anns) > 0 {
-			// The store update stays outside the stats critical section:
-			// holding the mutex across Update would serialize all shard
-			// workers through one lock.
-			c.store.Update(e.ID, func(stored *store.Entity) {
-				for _, a := range res.anns {
-					a.Miner = m.Name()
-					stored.Annotate(a)
-				}
-			})
+			// The write-back stays outside the stats critical section:
+			// holding the mutex across Annotate would serialize all shard
+			// workers through one lock. Annotate write-ahead-logs the
+			// annotations on durable stores; a failure (degraded read-only
+			// mode) makes the mined result unrecoverable, so it counts as
+			// an entity failure and feeds the error budget like any other.
+			anns := make([]store.Annotation, len(res.anns))
+			for i, a := range res.anns {
+				a.Miner = m.Name()
+				anns[i] = a
+			}
+			if _, werr := c.store.Annotate(e.ID, anns); werr != nil {
+				res.err = fmt.Errorf("annotation write-back: %w", werr)
+				writeFailed = true
+			}
 		}
 		rs.mu.Lock()
 		defer rs.mu.Unlock()
 		rs.stats.Entities++
 		rs.stats.Retries += res.retries
+		if writeFailed {
+			rs.stats.WriteFailures++
+		}
 		if res.panicked {
 			rs.stats.Panics++
 		}

@@ -1,0 +1,183 @@
+package faults
+
+import (
+	"io"
+)
+
+// Disk-fault injection: deterministic wrappers over the file surfaces the
+// durable store writes through, mirroring the Conn/Client wrappers. Four
+// fault shapes cover how real disks lose data:
+//
+//   - torn write  — a Write persists only a prefix and fails: the on-disk
+//     image a crash mid-append leaves behind;
+//   - short read  — a Read returns fewer bytes than available with
+//     io.ErrUnexpectedEOF;
+//   - bit flip    — one bit of the moved data is flipped silently;
+//   - sync fail   — Sync errors, so acknowledged data may not be durable.
+//
+// All decisions come from the injector's single seeded PRNG, so a
+// sequential writer (the store's WAL appends are serialized) replays the
+// exact same fault placement under a fixed seed — which is what lets a
+// crash-recovery scenario be re-run byte-for-byte.
+
+// Disk-fault decisions, disjoint from the transport decision set.
+const (
+	tornWrite decision = iota + 100
+	shortRead
+	bitFlip
+	syncFail
+)
+
+// diskOp selects which fault set a disk operation draws from.
+type diskOp int
+
+const (
+	diskWrite diskOp = iota
+	diskRead
+	diskSync
+)
+
+// decideDisk draws the next disk fault decision for one operation.
+func (in *Injector) decideDisk(op diskOp) decision {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	r := in.rng.Float64()
+	switch op {
+	case diskWrite:
+		cum := in.cfg.TornWriteRate
+		if r < cum {
+			in.stats.TornWrites++
+			return tornWrite
+		}
+		cum += in.cfg.BitFlipRate
+		if r < cum {
+			in.stats.BitFlips++
+			return bitFlip
+		}
+	case diskRead:
+		cum := in.cfg.ShortReadRate
+		if r < cum {
+			in.stats.ShortReads++
+			return shortRead
+		}
+		cum += in.cfg.BitFlipRate
+		if r < cum {
+			in.stats.BitFlips++
+			return bitFlip
+		}
+	case diskSync:
+		if r < in.cfg.SyncFailRate {
+			in.stats.SyncFailures++
+			return syncFail
+		}
+	}
+	return deliver
+}
+
+// intn draws a bounded int from the injector's PRNG (n must be > 0).
+func (in *Injector) intn(n int) int {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.rng.Intn(n)
+}
+
+// File is the durable-storage surface the injector wraps: the subset of
+// *os.File the store's WAL and snapshot paths use. It structurally
+// satisfies store.WALFile, so an injected file drops straight into
+// store.Options.WrapWAL.
+type File interface {
+	io.Reader
+	io.Writer
+	Sync() error
+	Close() error
+}
+
+type faultyFile struct {
+	in *Injector
+	f  File
+}
+
+// File wraps a file so Writes may be torn or bit-flipped, Reads may come
+// up short or bit-flipped, and Syncs may fail.
+func (in *Injector) File(f File) File { return &faultyFile{in: in, f: f} }
+
+func (ff *faultyFile) Write(p []byte) (int, error) {
+	switch ff.in.decideDisk(diskWrite) {
+	case tornWrite:
+		n := 0
+		if len(p) > 0 {
+			n = ff.in.intn(len(p))
+			if max := ff.in.cfg.TornWriteBytes; max > 0 && n > max {
+				n = max
+			}
+		}
+		if n > 0 {
+			if wn, err := ff.f.Write(p[:n]); err != nil {
+				return wn, err
+			}
+		}
+		return n, &Error{Op: "disk-write", Transient: false}
+	case bitFlip:
+		flipped := make([]byte, len(p))
+		copy(flipped, p)
+		if len(flipped) > 0 {
+			flipped[ff.in.intn(len(flipped))] ^= 1 << uint(ff.in.intn(8))
+		}
+		return ff.f.Write(flipped)
+	}
+	return ff.f.Write(p)
+}
+
+func (ff *faultyFile) Read(p []byte) (int, error) {
+	switch ff.in.decideDisk(diskRead) {
+	case shortRead:
+		if len(p) > 1 {
+			p = p[:1+ff.in.intn(len(p)-1)]
+		}
+		n, err := ff.f.Read(p)
+		if err == nil {
+			err = io.ErrUnexpectedEOF
+		}
+		return n, err
+	case bitFlip:
+		n, err := ff.f.Read(p)
+		if n > 0 {
+			p[ff.in.intn(n)] ^= 1 << uint(ff.in.intn(8))
+		}
+		return n, err
+	}
+	return ff.f.Read(p)
+}
+
+func (ff *faultyFile) Sync() error {
+	if ff.in.decideDisk(diskSync) == syncFail {
+		return &Error{Op: "disk-sync", Transient: false}
+	}
+	return ff.f.Sync()
+}
+
+func (ff *faultyFile) Close() error { return ff.f.Close() }
+
+type faultyWriter struct {
+	in *Injector
+	w  io.WriteCloser
+}
+
+// Writer wraps a write-only sink with the write-side disk faults (torn
+// writes, bit flips) for code paths that never read back or sync.
+func (in *Injector) Writer(w io.WriteCloser) io.WriteCloser {
+	return &faultyWriter{in: in, w: w}
+}
+
+func (fw *faultyWriter) Write(p []byte) (int, error) {
+	ff := faultyFile{in: fw.in, f: writerFile{fw.w}}
+	return ff.Write(p)
+}
+
+func (fw *faultyWriter) Close() error { return fw.w.Close() }
+
+// writerFile adapts an io.WriteCloser to the File surface.
+type writerFile struct{ io.WriteCloser }
+
+func (writerFile) Read([]byte) (int, error) { return 0, io.EOF }
+func (writerFile) Sync() error              { return nil }

@@ -52,6 +52,23 @@ type Config struct {
 	TransientRate float64
 	// PermanentRate fails the operation with a non-temporary error.
 	PermanentRate float64
+
+	// Disk-fault rates, drawn by the Writer/File wrappers (see disk.go).
+
+	// TornWriteRate persists only a prefix of a Write and fails it — the
+	// on-disk effect of a crash mid-append.
+	TornWriteRate float64
+	// TornWriteBytes caps the persisted prefix of a torn write (0: any
+	// prefix strictly shorter than the buffer).
+	TornWriteBytes int
+	// ShortReadRate makes a Read return fewer bytes than requested with
+	// io.ErrUnexpectedEOF — a truncated or failing device.
+	ShortReadRate float64
+	// BitFlipRate flips one bit of the data moved by a Read or Write —
+	// silent media corruption.
+	BitFlipRate float64
+	// SyncFailRate fails a Sync call: the data may not be durable.
+	SyncFailRate float64
 }
 
 // Stats counts injected faults.
@@ -61,15 +78,29 @@ type Stats struct {
 	Corruptions int
 	Transients  int
 	Permanents  int
+
+	// Disk-fault counters (Writer/File wrappers).
+	TornWrites   int
+	ShortReads   int
+	BitFlips     int
+	SyncFailures int
 }
 
 // Total is the number of faults injected so far.
-func (s Stats) Total() int { return s.Drops + s.Delays + s.Corruptions + s.Transients + s.Permanents }
+func (s Stats) Total() int {
+	return s.Drops + s.Delays + s.Corruptions + s.Transients + s.Permanents +
+		s.TornWrites + s.ShortReads + s.BitFlips + s.SyncFailures
+}
 
 // String renders the stats in one line.
 func (s Stats) String() string {
-	return fmt.Sprintf("faults: %d drops, %d delays, %d corruptions, %d transient, %d permanent",
+	out := fmt.Sprintf("faults: %d drops, %d delays, %d corruptions, %d transient, %d permanent",
 		s.Drops, s.Delays, s.Corruptions, s.Transients, s.Permanents)
+	if disk := s.TornWrites + s.ShortReads + s.BitFlips + s.SyncFailures; disk > 0 {
+		out += fmt.Sprintf("; disk: %d torn writes, %d short reads, %d bit flips, %d sync failures",
+			s.TornWrites, s.ShortReads, s.BitFlips, s.SyncFailures)
+	}
+	return out
 }
 
 // Error is an injected failure.

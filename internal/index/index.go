@@ -39,6 +39,19 @@ func New() *Index {
 	}
 }
 
+// Reset empties the index in place — postings, concepts, numeric
+// attributes and document lengths all disappear. It is the first step of
+// an index rebuild after the store recovers from disk: the recovered
+// entities are re-Added onto a clean slate instead of merging with
+// whatever a partial build left behind.
+func (ix *Index) Reset() {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	ix.terms = make(map[string][]posting)
+	ix.numeric = make(map[string]map[string]float64)
+	ix.docLen = make(map[string]int)
+}
+
 // Add indexes a document's tokens (positions are the slice indices).
 // Re-adding a document ID replaces nothing — the caller is responsible
 // for not indexing the same document twice.

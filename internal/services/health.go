@@ -24,6 +24,11 @@ type HealthOptions struct {
 	Registry *vinci.Registry
 	// Entities, when set, lets the status op report the entity count.
 	Entities func() int
+	// Degraded, when set, lets the status op report that the node's
+	// store has entered degraded read-only mode (its write-ahead log
+	// failed) and why. A degraded node still answers reads; callers use
+	// the flag to route writes and mining runs elsewhere.
+	Degraded func() (bool, string)
 	// now overrides the clock in tests.
 	now func() time.Time
 }
@@ -58,6 +63,14 @@ func RegisterHealth(reg *vinci.Registry, opts HealthOptions) {
 			if opts.Entities != nil {
 				fields["entities"] = strconv.Itoa(opts.Entities())
 			}
+			if opts.Degraded != nil {
+				if deg, reason := opts.Degraded(); deg {
+					fields["degraded"] = "1"
+					fields["degraded_reason"] = reason
+				} else {
+					fields["degraded"] = "0"
+				}
+			}
 			return vinci.OKResponse(fields)
 		}
 		return vinci.Errorf("health: unknown op %q", req.Op)
@@ -74,6 +87,10 @@ type NodeStatus struct {
 	Entities int
 	// Uptime is how long the node has served, at second granularity.
 	Uptime time.Duration
+	// Degraded reports the node's store is in read-only mode;
+	// DegradedReason says why.
+	Degraded       bool
+	DegradedReason string
 }
 
 // HealthClient is the typed client for the health service.
@@ -130,6 +147,10 @@ func (hc HealthClient) Status() (NodeStatus, error) {
 	}
 	if secs, err := strconv.ParseInt(resp.Fields["seconds"], 10, 64); err == nil {
 		st.Uptime = time.Duration(secs) * time.Second
+	}
+	if resp.Fields["degraded"] == "1" {
+		st.Degraded = true
+		st.DegradedReason = resp.Fields["degraded_reason"]
 	}
 	return st, nil
 }

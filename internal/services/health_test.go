@@ -118,3 +118,45 @@ func TestProbeOverTCP(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestHealthDegradedStatus: the status op surfaces the store's degraded
+// read-only flag and its reason, and stays "0" while healthy.
+func TestHealthDegradedStatus(t *testing.T) {
+	degraded, reason := false, ""
+	reg := vinci.NewRegistry()
+	RegisterHealth(reg, HealthOptions{
+		Node:     "node-a",
+		Degraded: func() (bool, string) { return degraded, reason },
+	})
+	c := vinci.NewLocalClient(reg)
+
+	st, err := HealthClient{C: c}.Status()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Degraded || st.DegradedReason != "" {
+		t.Errorf("healthy node reported degraded: %+v", st)
+	}
+
+	degraded, reason = true, "wal append: disk full"
+	st, err = HealthClient{C: c}.Status()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Degraded || st.DegradedReason != "wal append: disk full" {
+		t.Errorf("degraded node status = %+v", st)
+	}
+}
+
+// TestHealthStatusOmitsDegradedWhenUnwired: nodes without a durable
+// store (no Degraded hook) report no degraded field at all.
+func TestHealthStatusOmitsDegradedWhenUnwired(t *testing.T) {
+	c := vinci.NewLocalClient(healthRegistry(1))
+	resp, err := c.Call(vinci.Request{Service: HealthService, Op: "status"})
+	if err != nil || !resp.OK {
+		t.Fatalf("status: %v %+v", err, resp)
+	}
+	if _, ok := resp.Fields["degraded"]; ok {
+		t.Error("degraded field present without a Degraded hook")
+	}
+}

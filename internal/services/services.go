@@ -50,7 +50,9 @@ func RegisterStore(reg *vinci.Registry, st *store.Store) {
 			}
 			return vinci.OKResponse(map[string]string{"id": e.ID})
 		case "delete":
-			st.Delete(req.Param("id"))
+			if err := st.Delete(req.Param("id")); err != nil {
+				return vinci.Errorf("store: %v", err)
+			}
 			return vinci.OKResponse(nil)
 		case "count":
 			return vinci.OKResponse(map[string]string{"count": strconv.Itoa(st.Len())})

@@ -1,0 +1,476 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// The durable store keeps its state in one data directory:
+//
+//	snapshot-<gen>.xml   — compacted, checksum-trailed snapshots
+//	wal-<gen>.log        — the write-ahead log built on snapshot <gen>
+//	quarantine.log       — raw bytes of corrupt records, for forensics
+//	*.corrupt            — snapshots that failed checksum verification
+//
+// Open loads the newest snapshot that verifies, replays every WAL whose
+// generation is at least the snapshot's (ascending), truncates torn
+// tails, quarantines corrupt records, and then appends new mutations to
+// the highest-generation WAL. Compact writes snapshot gen+1, rotates to
+// wal gen+1, and prunes everything older than the previous generation —
+// keeping one snapshot+WAL pair of history so a snapshot that rots on
+// disk can still be reconstructed from its predecessor plus that WAL.
+
+// ErrReadOnly is wrapped by every mutation rejected because the store is
+// in degraded read-only mode: the WAL could not be appended or synced, so
+// accepting more writes would acknowledge data that cannot be recovered.
+var ErrReadOnly = errors.New("store: degraded read-only mode")
+
+// WALFile is the file surface the write-ahead log appends to — the
+// subset of *os.File the store needs. Tests substitute fault-injecting
+// implementations via Options.WrapWAL.
+type WALFile interface {
+	io.Writer
+	Sync() error
+	Close() error
+}
+
+// Options tunes a durable store opened with Open. The zero value selects
+// 16 shards and a sync on every record.
+type Options struct {
+	// Shards is the number of store shards (default 16).
+	Shards int
+	// SyncEvery syncs the WAL to stable storage after every Nth appended
+	// record (default and minimum 1: every record). Larger values trade
+	// a window of acknowledged-but-unsynced writes for throughput.
+	SyncEvery int
+	// CompactEvery, when positive, compacts automatically after that
+	// many records have been appended since the last compaction
+	// (0: compaction only happens via explicit Compact calls).
+	CompactEvery int
+	// WrapWAL, when set, wraps the live WAL file handle — the hook the
+	// deterministic disk-fault injector uses in crash-recovery tests.
+	WrapWAL func(WALFile) WALFile
+}
+
+// DurabilityStats describes a durable store's persistence state.
+type DurabilityStats struct {
+	// Dir is the data directory.
+	Dir string
+	// Generation is the current snapshot/WAL generation.
+	Generation uint64
+	// SnapshotLoaded reports whether recovery loaded a snapshot.
+	SnapshotLoaded bool
+	// Replayed is the number of WAL records applied during recovery.
+	Replayed int
+	// Quarantined counts corrupt records and snapshots set aside during
+	// recovery instead of being applied.
+	Quarantined int
+	// TruncatedBytes is the torn-tail byte count dropped at recovery.
+	TruncatedBytes int
+	// Appended is the number of records logged since open or the last
+	// compaction.
+	Appended int
+	// Syncs is the number of WAL syncs since open.
+	Syncs int
+	// Degraded reports read-only mode; Reason says why.
+	Degraded bool
+	Reason   string
+}
+
+// durability is the persistence state of a durable store.
+type durability struct {
+	mu   sync.Mutex
+	dir  string
+	opts Options
+
+	gen     uint64
+	wal     WALFile
+	walPath string
+
+	appended  int
+	sinceSync int
+	syncs     int
+
+	replayed    int
+	quarantined int
+	truncated   int
+	snapLoaded  bool
+
+	degraded string // reason; "" while healthy
+	closed   bool
+}
+
+func snapshotPath(dir string, gen uint64) string {
+	return filepath.Join(dir, fmt.Sprintf("snapshot-%08d.xml", gen))
+}
+
+func walPath(dir string, gen uint64) string {
+	return filepath.Join(dir, fmt.Sprintf("wal-%08d.log", gen))
+}
+
+// listGens returns the generations of files named <prefix>-<gen><suffix>
+// in dir, ascending.
+func listGens(dir, prefix, suffix string) []uint64 {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil
+	}
+	var gens []uint64
+	for _, ent := range entries {
+		name := ent.Name()
+		if !strings.HasPrefix(name, prefix+"-") || !strings.HasSuffix(name, suffix) {
+			continue
+		}
+		mid := strings.TrimSuffix(strings.TrimPrefix(name, prefix+"-"), suffix)
+		g, err := strconv.ParseUint(mid, 10, 64)
+		if err != nil {
+			continue
+		}
+		gens = append(gens, g)
+	}
+	sort.Slice(gens, func(i, j int) bool { return gens[i] < gens[j] })
+	return gens
+}
+
+// Open creates or recovers a durable store rooted at dir. Recovery loads
+// the newest snapshot that passes checksum verification (quarantining
+// ones that do not), replays the write-ahead logs on top of it, truncates
+// any torn tail left by a crash mid-append, quarantines corrupt records,
+// and leaves the store ready to append. Every mutation acknowledged
+// before a crash is present afterwards (subject to Options.SyncEvery).
+func Open(dir string, opts Options) (*Store, error) {
+	if opts.Shards < 1 {
+		opts.Shards = 16
+	}
+	if opts.SyncEvery < 1 {
+		opts.SyncEvery = 1
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: open %s: %w", dir, err)
+	}
+	// Recovery applies through the plain in-memory paths; the durability
+	// state is attached only once the store is caught up, so replay never
+	// re-logs.
+	s := New(opts.Shards)
+	d := &durability{dir: dir, opts: opts}
+
+	// Load the newest verifiable snapshot.
+	snapGens := listGens(dir, "snapshot", ".xml")
+	for i := len(snapGens) - 1; i >= 0; i-- {
+		g := snapGens[i]
+		path := snapshotPath(dir, g)
+		data, err := os.ReadFile(path)
+		if err == nil {
+			if body, verr := VerifySnapshot(data); verr == nil {
+				if _, rerr := s.Restore(bytes.NewReader(body)); rerr != nil {
+					return nil, fmt.Errorf("store: open %s: snapshot gen %d: %w", dir, g, rerr)
+				}
+				d.gen = g
+				d.snapLoaded = true
+				break
+			}
+		}
+		// Unreadable or failed verification: set it aside and try older.
+		_ = os.Rename(path, path+".corrupt")
+		d.quarantined++
+	}
+
+	// Replay WALs from the loaded generation forward.
+	for _, g := range listGens(dir, "wal", ".log") {
+		if g < d.gen {
+			continue
+		}
+		if err := d.replayWAL(s, walPath(dir, g)); err != nil {
+			return nil, fmt.Errorf("store: open %s: %w", dir, err)
+		}
+		if g > d.gen {
+			d.gen = g
+		}
+	}
+
+	// Append to the current generation's WAL from here on.
+	d.walPath = walPath(dir, d.gen)
+	f, err := os.OpenFile(d.walPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: open %s: %w", dir, err)
+	}
+	d.wal = WALFile(f)
+	if opts.WrapWAL != nil {
+		d.wal = opts.WrapWAL(d.wal)
+	}
+	s.dur = d
+	return s, nil
+}
+
+// replayWAL applies one WAL file to the store: valid records are applied
+// in order, a corrupt record is quarantined and skipped, and a torn tail
+// truncates the file in place so the next append starts on a record
+// boundary.
+func (d *durability) replayWAL(s *Store, path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil
+		}
+		return fmt.Errorf("replay %s: %w", filepath.Base(path), err)
+	}
+	off := 0
+	for off < len(data) {
+		op, body, n, derr := decodeWALRecord(data[off:])
+		if derr != nil {
+			if errors.Is(derr, errCorruptRecord) {
+				d.quarantine(data[off : off+n])
+				off += n
+				continue
+			}
+			// Torn tail: drop it so appends resume on a clean boundary.
+			d.truncated += len(data) - off
+			if terr := os.Truncate(path, int64(off)); terr != nil {
+				return fmt.Errorf("replay %s: truncate torn tail: %w", filepath.Base(path), terr)
+			}
+			return nil
+		}
+		if aerr := applyRecord(s, op, body); aerr != nil {
+			d.quarantine(data[off : off+n])
+		} else {
+			d.replayed++
+		}
+		off += n
+	}
+	return nil
+}
+
+// applyRecord applies one decoded WAL record through the in-memory paths.
+func applyRecord(s *Store, op byte, body []byte) error {
+	switch op {
+	case opPut:
+		e, err := ParseEntity(body)
+		if err != nil {
+			return err
+		}
+		s.applyPut(e)
+		return nil
+	case opDelete:
+		s.applyDelete(string(body))
+		return nil
+	case opAnnotate:
+		rec, err := decodeAnnotate(body)
+		if err != nil {
+			return err
+		}
+		sh := s.shardFor(rec.ID)
+		sh.mu.Lock()
+		defer sh.mu.Unlock()
+		// Annotating an entity deleted later in the original timeline is
+		// impossible here (records replay in order); a missing ID means
+		// the record raced a delete at log time and is a no-op.
+		if e, ok := sh.entities[rec.ID]; ok {
+			e.Annotations = append(e.Annotations, rec.Annotations...)
+		}
+		return nil
+	}
+	return fmt.Errorf("store: unknown wal op %d", op)
+}
+
+// quarantine appends the raw bytes of a corrupt record to quarantine.log
+// (best effort) and counts it.
+func (d *durability) quarantine(rec []byte) {
+	d.quarantined++
+	f, err := os.OpenFile(filepath.Join(d.dir, "quarantine.log"), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return
+	}
+	defer f.Close()
+	_, _ = f.Write(rec)
+}
+
+// logged appends one record and, if the append is durable, applies the
+// mutation. The WAL mutex serializes log order with apply order so replay
+// reconstructs exactly the in-memory history. Any append or sync failure
+// flips the store into degraded read-only mode: the mutation is NOT
+// applied, the caller gets ErrReadOnly, and no later write is accepted —
+// readers keep working from the recovered state.
+func (s *Store) logged(op byte, body []byte, apply func()) error {
+	d := s.dur
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return fmt.Errorf("store: closed")
+	}
+	if d.degraded != "" {
+		return fmt.Errorf("%w: %s", ErrReadOnly, d.degraded)
+	}
+	rec := encodeWALRecord(op, body)
+	if _, err := d.wal.Write(rec); err != nil {
+		d.degraded = "wal append failed: " + err.Error()
+		return fmt.Errorf("%w: %s", ErrReadOnly, d.degraded)
+	}
+	d.appended++
+	d.sinceSync++
+	if d.sinceSync >= d.opts.SyncEvery {
+		if err := d.wal.Sync(); err != nil {
+			d.degraded = "wal sync failed: " + err.Error()
+			return fmt.Errorf("%w: %s", ErrReadOnly, d.degraded)
+		}
+		d.sinceSync = 0
+		d.syncs++
+	}
+	apply()
+	if d.opts.CompactEvery > 0 && d.appended >= d.opts.CompactEvery {
+		if err := s.compactLocked(); err != nil {
+			d.degraded = "compaction failed: " + err.Error()
+		}
+	}
+	return nil
+}
+
+// Compact writes a checksummed snapshot of the current state as the next
+// generation, rotates the WAL, and prunes files older than the previous
+// generation. A successful compaction bounds recovery time to one
+// snapshot load plus the records appended since.
+func (s *Store) Compact() error {
+	d := s.dur
+	if d == nil {
+		return fmt.Errorf("store: compact: not a durable store")
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return fmt.Errorf("store: closed")
+	}
+	if d.degraded != "" {
+		return fmt.Errorf("%w: %s", ErrReadOnly, d.degraded)
+	}
+	return s.compactLocked()
+}
+
+// compactLocked does the compaction work; the caller holds d.mu.
+func (s *Store) compactLocked() error {
+	d := s.dur
+	newGen := d.gen + 1
+
+	// Snapshot to a temp file, sync, then rename into place so a crash
+	// mid-write never leaves a half-snapshot under the real name.
+	snapPath := snapshotPath(d.dir, newGen)
+	tmp, err := os.CreateTemp(d.dir, "snapshot-*.tmp")
+	if err != nil {
+		return fmt.Errorf("store: compact: %w", err)
+	}
+	tmpName := tmp.Name()
+	if err := s.Snapshot(tmp); err == nil {
+		err = tmp.Sync()
+	}
+	if cerr := tmp.Close(); err == nil {
+		err = cerr
+	}
+	if err == nil {
+		err = os.Rename(tmpName, snapPath)
+	}
+	if err != nil {
+		_ = os.Remove(tmpName)
+		return fmt.Errorf("store: compact: %w", err)
+	}
+
+	// Rotate the WAL: sync and close the old one, open gen+1.
+	newWal, err := os.OpenFile(walPath(d.dir, newGen), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: compact: rotate wal: %w", err)
+	}
+	_ = d.wal.Sync()
+	_ = d.wal.Close()
+	d.wal = WALFile(newWal)
+	if d.opts.WrapWAL != nil {
+		d.wal = d.opts.WrapWAL(d.wal)
+	}
+	d.walPath = walPath(d.dir, newGen)
+	oldGen := d.gen
+	d.gen = newGen
+	d.appended = 0
+	d.sinceSync = 0
+
+	// Prune history older than the previous generation. The previous
+	// snapshot AND its WAL stay: if snapshot newGen rots on disk,
+	// recovery falls back to snapshot oldGen and replays wal-oldGen.
+	for _, g := range listGens(d.dir, "snapshot", ".xml") {
+		if g < oldGen {
+			_ = os.Remove(snapshotPath(d.dir, g))
+		}
+	}
+	for _, g := range listGens(d.dir, "wal", ".log") {
+		if g < oldGen {
+			_ = os.Remove(walPath(d.dir, g))
+		}
+	}
+	return nil
+}
+
+// Close flushes and closes the WAL. A durable store must not be mutated
+// after Close; reads keep working. Closing an in-memory store is a no-op.
+func (s *Store) Close() error {
+	d := s.dur
+	if d == nil {
+		return nil
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return nil
+	}
+	d.closed = true
+	var err error
+	if d.degraded == "" && d.sinceSync > 0 {
+		err = d.wal.Sync()
+		d.sinceSync = 0
+		d.syncs++
+	}
+	if cerr := d.wal.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// Degraded reports whether the store is in degraded read-only mode and
+// why. In-memory stores are never degraded.
+func (s *Store) Degraded() (bool, string) {
+	d := s.dur
+	if d == nil {
+		return false, ""
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.degraded != "", d.degraded
+}
+
+// Durable reports whether the store persists mutations to disk.
+func (s *Store) Durable() bool { return s.dur != nil }
+
+// Durability returns a snapshot of the persistence counters. The zero
+// value is returned for in-memory stores.
+func (s *Store) Durability() DurabilityStats {
+	d := s.dur
+	if d == nil {
+		return DurabilityStats{}
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return DurabilityStats{
+		Dir:            d.dir,
+		Generation:     d.gen,
+		SnapshotLoaded: d.snapLoaded,
+		Replayed:       d.replayed,
+		Quarantined:    d.quarantined,
+		TruncatedBytes: d.truncated,
+		Appended:       d.appended,
+		Syncs:          d.syncs,
+		Degraded:       d.degraded != "",
+		Reason:         d.degraded,
+	}
+}

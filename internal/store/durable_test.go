@@ -1,0 +1,599 @@
+package store
+
+import (
+	"encoding/xml"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// scriptOp is one mutation in a scripted workload, applied identically to
+// a durable store (logging to disk) and an in-memory reference.
+type scriptOp struct {
+	kind string // "put", "del", "ann"
+	e    *Entity
+	id   string
+	anns []Annotation
+}
+
+// crashScript is the workload every recovery test replays: puts,
+// overwrites, deletes and annotations, with short bodies so the byte-
+// level truncation matrix stays fast.
+func crashScript() []scriptOp {
+	ann := func(key, val string, sent int) Annotation {
+		return Annotation{Miner: "sentiment", Type: "polarity", Key: key, Value: val, Sentence: sent, Start: 0, End: 2}
+	}
+	return []scriptOp{
+		{kind: "put", e: &Entity{ID: "e1", Source: "review", Date: "2004-06-01", Text: "alpha alpha"}},
+		{kind: "put", e: &Entity{ID: "e2", Source: "web", Text: "beta", Links: []string{"e1"}}},
+		{kind: "ann", id: "e1", anns: []Annotation{ann("nr70", "+", 0)}},
+		{kind: "put", e: &Entity{ID: "e3", Source: "news", Date: "2004-07-02", Text: "gamma gamma"}},
+		{kind: "del", id: "e2"},
+		{kind: "put", e: &Entity{ID: "e2", Source: "web", Text: "beta rewritten"}},
+		{kind: "ann", id: "e3", anns: []Annotation{ann("d100", "-", 1), ann("d100", "+", 2)}},
+		{kind: "put", e: &Entity{ID: "e4", Text: "delta"}},
+		{kind: "ann", id: "e1", anns: []Annotation{ann("nr70", "-", 3)}},
+		{kind: "del", id: "e4"},
+		{kind: "put", e: &Entity{ID: "e5", URL: "http://x.example/5", Text: "epsilon"}},
+		{kind: "put", e: &Entity{ID: "e1", Source: "review", Text: "alpha replaced"}},
+	}
+}
+
+// applyOp applies one script op, failing the test on unexpected errors.
+func applyOp(t *testing.T, s *Store, op scriptOp) {
+	t.Helper()
+	switch op.kind {
+	case "put":
+		if err := s.Put(op.e); err != nil {
+			t.Fatalf("put %s: %v", op.e.ID, err)
+		}
+	case "del":
+		if err := s.Delete(op.id); err != nil {
+			t.Fatalf("delete %s: %v", op.id, err)
+		}
+	case "ann":
+		if _, err := s.Annotate(op.id, op.anns); err != nil {
+			t.Fatalf("annotate %s: %v", op.id, err)
+		}
+	}
+}
+
+// referenceAfter replays the first n script ops into an in-memory store.
+func referenceAfter(t *testing.T, ops []scriptOp, n int) *Store {
+	t.Helper()
+	ref := New(4)
+	for _, op := range ops[:n] {
+		applyOp(t, ref, op)
+	}
+	return ref
+}
+
+// requireEqualStores asserts two stores hold identical entities.
+// XMLName is normalized: entities that travelled through XML carry it,
+// freshly Put ones do not, and it is not part of the data.
+func requireEqualStores(t *testing.T, label string, got, want *Store) {
+	t.Helper()
+	gotIDs, wantIDs := got.IDs(), want.IDs()
+	if !reflect.DeepEqual(gotIDs, wantIDs) {
+		t.Fatalf("%s: IDs = %v, want %v", label, gotIDs, wantIDs)
+	}
+	for _, id := range wantIDs {
+		g, _ := got.Get(id)
+		w, _ := want.Get(id)
+		g.XMLName, w.XMLName = xml.Name{}, xml.Name{}
+		if !reflect.DeepEqual(g, w) {
+			t.Fatalf("%s: entity %s = %+v, want %+v", label, id, g, w)
+		}
+	}
+}
+
+// runScript runs the whole script against a fresh durable store in dir,
+// recording the WAL size after each acknowledged op, and returns the WAL
+// bytes plus those per-op boundaries.
+func runScript(t *testing.T, dir string) (walBytes []byte, boundaries []int) {
+	t.Helper()
+	st, err := Open(dir, Options{Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wal := filepath.Join(dir, "wal-00000000.log")
+	for _, op := range crashScript() {
+		applyOp(t, st, op)
+		fi, err := os.Stat(wal)
+		if err != nil {
+			t.Fatal(err)
+		}
+		boundaries = append(boundaries, int(fi.Size()))
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	walBytes, err = os.ReadFile(wal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(walBytes) != boundaries[len(boundaries)-1] {
+		t.Fatalf("wal is %d bytes, last boundary %d", len(walBytes), boundaries[len(boundaries)-1])
+	}
+	return walBytes, boundaries
+}
+
+// TestCrashRecoveryMatrix is the acceptance matrix: the WAL is cut off at
+// every possible byte offset — every torn-write point a crash could leave
+// behind — and recovery must restore exactly the acknowledged prefix of
+// operations: nothing acknowledged lost, no torn record surfaced.
+func TestCrashRecoveryMatrix(t *testing.T) {
+	ops := crashScript()
+	walBytes, boundaries := runScript(t, t.TempDir())
+
+	for cut := 0; cut <= len(walBytes); cut++ {
+		dir := t.TempDir()
+		if err := os.WriteFile(filepath.Join(dir, "wal-00000000.log"), walBytes[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		rec, err := Open(dir, Options{Shards: 4})
+		if err != nil {
+			t.Fatalf("cut=%d: open: %v", cut, err)
+		}
+		acked := 0
+		for acked < len(boundaries) && boundaries[acked] <= cut {
+			acked++
+		}
+		label := fmt.Sprintf("cut=%d acked=%d", cut, acked)
+		requireEqualStores(t, label, rec, referenceAfter(t, ops, acked))
+
+		ds := rec.Durability()
+		if ds.Replayed != countApplied(ops[:acked]) {
+			t.Fatalf("%s: replayed %d records, want %d", label, ds.Replayed, countApplied(ops[:acked]))
+		}
+		wantTrunc := cut
+		if acked > 0 {
+			wantTrunc = cut - boundaries[acked-1]
+		}
+		if ds.TruncatedBytes != wantTrunc {
+			t.Fatalf("%s: truncated %d bytes, want %d", label, ds.TruncatedBytes, wantTrunc)
+		}
+		if ds.Quarantined != 0 {
+			t.Fatalf("%s: quarantined %d records from a pure truncation", label, ds.Quarantined)
+		}
+		if err := rec.Close(); err != nil {
+			t.Fatalf("%s: close: %v", label, err)
+		}
+
+		// A second crash at the same point must recover identically: the
+		// torn tail was physically truncated, so the reopened store sees
+		// a clean log.
+		if cut%7 == 0 {
+			again, err := Open(dir, Options{Shards: 4})
+			if err != nil {
+				t.Fatalf("%s: reopen: %v", label, err)
+			}
+			requireEqualStores(t, label+" reopen", again, referenceAfter(t, ops, acked))
+			if ds2 := again.Durability(); ds2.TruncatedBytes != 0 {
+				t.Fatalf("%s: reopen truncated %d more bytes", label, ds2.TruncatedBytes)
+			}
+			again.Close()
+		}
+	}
+}
+
+// countApplied counts the script ops that produce a WAL record (all of
+// them — annotates in the script always target live entities).
+func countApplied(ops []scriptOp) int { return len(ops) }
+
+// TestRecoveryAppendsAfterCrash proves the store is writable after a
+// torn-tail recovery: new acknowledged ops land after the truncation
+// point and survive the next reopen.
+func TestRecoveryAppendsAfterCrash(t *testing.T) {
+	ops := crashScript()
+	walBytes, boundaries := runScript(t, t.TempDir())
+
+	cut := boundaries[5] + 3 // mid-record: op 6 torn, ops 0..5 acked
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "wal-00000000.log"), walBytes[:cut], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	rec, err := Open(dir, Options{Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rec.Put(&Entity{ID: "post-crash", Text: "written after recovery"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := rec.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	again, err := Open(dir, Options{Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer again.Close()
+	want := referenceAfter(t, ops, 6)
+	if err := want.Put(&Entity{ID: "post-crash", Text: "written after recovery"}); err != nil {
+		t.Fatal(err)
+	}
+	requireEqualStores(t, "post-crash append", again, want)
+}
+
+// walRecordOffsets parses record boundaries out of raw WAL bytes.
+func walRecordOffsets(t *testing.T, data []byte) []int {
+	t.Helper()
+	var offs []int
+	off := 0
+	for off < len(data) {
+		offs = append(offs, off)
+		_, _, n, err := decodeWALRecord(data[off:])
+		if err != nil {
+			t.Fatalf("offset %d: %v", off, err)
+		}
+		off += n
+	}
+	return offs
+}
+
+// TestBitRotQuarantinesRecord flips a byte inside one complete record:
+// recovery must quarantine exactly that record and still apply every
+// other, rather than aborting or truncating the rest of the log.
+func TestBitRotQuarantinesRecord(t *testing.T) {
+	ops := crashScript()
+	walBytes, _ := runScript(t, t.TempDir())
+	offs := walRecordOffsets(t, walBytes)
+
+	const victim = 6 // the two-annotation record for e3
+	dir := t.TempDir()
+	rotted := append([]byte(nil), walBytes...)
+	rotted[offs[victim]+walHeaderSize+2] ^= 0x40
+	if err := os.WriteFile(filepath.Join(dir, "wal-00000000.log"), rotted, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	rec, err := Open(dir, Options{Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rec.Close()
+
+	want := New(4)
+	for i, op := range ops {
+		if i == victim {
+			continue
+		}
+		applyOp(t, want, op)
+	}
+	requireEqualStores(t, "bit rot", rec, want)
+
+	ds := rec.Durability()
+	if ds.Quarantined != 1 {
+		t.Fatalf("quarantined %d records, want 1", ds.Quarantined)
+	}
+	if ds.Replayed != len(ops)-1 {
+		t.Fatalf("replayed %d records, want %d", ds.Replayed, len(ops)-1)
+	}
+	q, err := os.ReadFile(filepath.Join(dir, "quarantine.log"))
+	if err != nil {
+		t.Fatalf("quarantine.log: %v", err)
+	}
+	if len(q) == 0 {
+		t.Fatal("quarantine.log is empty")
+	}
+}
+
+// TestCompactAndRecover: compaction folds the log into a checksummed
+// snapshot; recovery loads the snapshot and replays only the records
+// appended since.
+func TestCompactAndRecover(t *testing.T) {
+	ops := crashScript()
+	dir := t.TempDir()
+	st, err := Open(dir, Options{Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, op := range ops[:6] {
+		applyOp(t, st, op)
+	}
+	if err := st.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	for _, op := range ops[6:] {
+		applyOp(t, st, op)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := os.Stat(filepath.Join(dir, "snapshot-00000001.xml")); err != nil {
+		t.Fatalf("snapshot missing: %v", err)
+	}
+	// The previous generation's WAL is kept as fallback history.
+	if _, err := os.Stat(filepath.Join(dir, "wal-00000000.log")); err != nil {
+		t.Fatalf("previous wal pruned too early: %v", err)
+	}
+
+	rec, err := Open(dir, Options{Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rec.Close()
+	requireEqualStores(t, "compacted", rec, referenceAfter(t, ops, len(ops)))
+	ds := rec.Durability()
+	if !ds.SnapshotLoaded || ds.Generation != 1 {
+		t.Fatalf("stats = %+v, want snapshot loaded at gen 1", ds)
+	}
+	if ds.Replayed != len(ops)-6 {
+		t.Fatalf("replayed %d, want %d (post-compaction records only)", ds.Replayed, len(ops)-6)
+	}
+}
+
+// TestCompactPrunesOldGenerations: a second compaction removes files
+// older than the previous generation.
+func TestCompactPrunesOldGenerations(t *testing.T) {
+	ops := crashScript()
+	dir := t.TempDir()
+	st, err := Open(dir, Options{Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, op := range ops[:4] {
+		applyOp(t, st, op)
+	}
+	if err := st.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	for _, op := range ops[4:8] {
+		applyOp(t, st, op)
+	}
+	if err := st.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	for _, op := range ops[8:] {
+		applyOp(t, st, op)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := os.Stat(filepath.Join(dir, "wal-00000000.log")); !os.IsNotExist(err) {
+		t.Error("gen-0 wal should be pruned after second compaction")
+	}
+	if _, err := os.Stat(filepath.Join(dir, "wal-00000001.log")); err != nil {
+		t.Errorf("gen-1 wal (previous generation) should be kept: %v", err)
+	}
+
+	rec, err := Open(dir, Options{Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rec.Close()
+	requireEqualStores(t, "twice compacted", rec, referenceAfter(t, ops, len(ops)))
+}
+
+// TestCorruptSnapshotFallsBack: when the newest snapshot fails its
+// checksum, recovery quarantines it and reconstructs the same state from
+// the previous generation's WAL plus the current one.
+func TestCorruptSnapshotFallsBack(t *testing.T) {
+	ops := crashScript()
+	dir := t.TempDir()
+	st, err := Open(dir, Options{Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, op := range ops[:6] {
+		applyOp(t, st, op)
+	}
+	if err := st.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	for _, op := range ops[6:] {
+		applyOp(t, st, op)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	snap := filepath.Join(dir, "snapshot-00000001.xml")
+	data, err := os.ReadFile(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0x01
+	if err := os.WriteFile(snap, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	rec, err := Open(dir, Options{Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rec.Close()
+	requireEqualStores(t, "snapshot fallback", rec, referenceAfter(t, ops, len(ops)))
+	if _, err := os.Stat(snap + ".corrupt"); err != nil {
+		t.Errorf("corrupt snapshot not quarantined: %v", err)
+	}
+	ds := rec.Durability()
+	if ds.SnapshotLoaded {
+		t.Error("corrupt snapshot reported as loaded")
+	}
+	if ds.Quarantined == 0 {
+		t.Error("corrupt snapshot not counted as quarantined")
+	}
+}
+
+// TestAutoCompact: CompactEvery triggers compaction from the append path.
+func TestAutoCompact(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir, Options{Shards: 2, CompactEvery: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 12; i++ {
+		if err := st.Put(&Entity{ID: fmt.Sprintf("d%02d", i), Text: "t"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if g := st.Durability().Generation; g < 2 {
+		t.Fatalf("generation = %d after 12 puts with CompactEvery=5, want >= 2", g)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	rec, err := Open(dir, Options{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rec.Close()
+	if rec.Len() != 12 {
+		t.Fatalf("recovered %d entities, want 12", rec.Len())
+	}
+}
+
+// failingWAL fails every write after the first failAfter succeed.
+type failingWAL struct {
+	WALFile
+	failAfter int
+	writes    int
+	failSync  bool
+}
+
+func (f *failingWAL) Write(p []byte) (int, error) {
+	f.writes++
+	if f.writes > f.failAfter {
+		return 0, errors.New("simulated disk failure")
+	}
+	return f.WALFile.Write(p)
+}
+
+func (f *failingWAL) Sync() error {
+	if f.failSync && f.writes >= f.failAfter {
+		return errors.New("simulated sync failure")
+	}
+	return f.WALFile.Sync()
+}
+
+// TestDegradedReadOnlyOnAppendFailure: a failed WAL append flips the
+// store into degraded read-only mode — the failed op is not applied, no
+// later write is accepted, reads keep serving the recovered state, and a
+// clean reopen recovers exactly the acknowledged ops.
+func TestDegradedReadOnlyOnAppendFailure(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir, Options{Shards: 2, WrapWAL: func(w WALFile) WALFile {
+		return &failingWAL{WALFile: w, failAfter: 2}
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Put(&Entity{ID: "a", Text: "first"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Put(&Entity{ID: "b", Text: "second"}); err != nil {
+		t.Fatal(err)
+	}
+	err = st.Put(&Entity{ID: "c", Text: "third"})
+	if !errors.Is(err, ErrReadOnly) {
+		t.Fatalf("third put: err = %v, want ErrReadOnly", err)
+	}
+	if deg, reason := st.Degraded(); !deg || reason == "" {
+		t.Fatalf("Degraded() = %v, %q after append failure", deg, reason)
+	}
+	// The failed mutation must not be visible.
+	if _, ok := st.Get("c"); ok {
+		t.Fatal("unacknowledged put is visible")
+	}
+	// Reads keep working; all further mutations are rejected.
+	if _, ok := st.Get("a"); !ok {
+		t.Fatal("degraded store lost reads")
+	}
+	if err := st.Delete("a"); !errors.Is(err, ErrReadOnly) {
+		t.Fatalf("delete in degraded mode: %v", err)
+	}
+	if _, err := st.Annotate("a", []Annotation{{Miner: "m"}}); !errors.Is(err, ErrReadOnly) {
+		t.Fatalf("annotate in degraded mode: %v", err)
+	}
+	if err := st.Compact(); !errors.Is(err, ErrReadOnly) {
+		t.Fatalf("compact in degraded mode: %v", err)
+	}
+	st.Close()
+
+	rec, err := Open(dir, Options{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rec.Close()
+	if rec.Len() != 2 {
+		t.Fatalf("recovered %d entities, want the 2 acknowledged", rec.Len())
+	}
+}
+
+// TestDegradedReadOnlyOnSyncFailure: a failed sync equally degrades.
+func TestDegradedReadOnlyOnSyncFailure(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir, Options{Shards: 2, WrapWAL: func(w WALFile) WALFile {
+		return &failingWAL{WALFile: w, failAfter: 1, failSync: true}
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Put(&Entity{ID: "a", Text: "x"}); !errors.Is(err, ErrReadOnly) {
+		t.Fatalf("put with failing sync: err = %v, want ErrReadOnly", err)
+	}
+	if deg, reason := st.Degraded(); !deg || reason == "" {
+		t.Fatalf("Degraded() = %v, %q after sync failure", deg, reason)
+	}
+	st.Close()
+}
+
+// TestDurableUpdateSurvivesReopen: Update on a durable store re-logs the
+// whole entity, so the mutation is recoverable.
+func TestDurableUpdateSurvivesReopen(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir, Options{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Put(&Entity{ID: "a", Text: "before"}); err != nil {
+		t.Fatal(err)
+	}
+	if !st.Update("a", func(e *Entity) { e.Text = "after" }) {
+		t.Fatal("update failed")
+	}
+	if st.Update("missing", func(*Entity) {}) {
+		t.Fatal("update of missing ID should report false")
+	}
+	st.Close()
+
+	rec, err := Open(dir, Options{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rec.Close()
+	e, ok := rec.Get("a")
+	if !ok || e.Text != "after" {
+		t.Fatalf("recovered entity = %+v, %v", e, ok)
+	}
+}
+
+// TestOpenEmptyDir: opening a fresh directory yields an empty, writable
+// store with a live gen-0 WAL.
+func TestOpenEmptyDir(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "nested", "data")
+	st, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	if st.Len() != 0 || !st.Durable() {
+		t.Fatalf("Len=%d Durable=%v", st.Len(), st.Durable())
+	}
+	if deg, _ := st.Degraded(); deg {
+		t.Fatal("fresh store is degraded")
+	}
+	if err := st.Put(&Entity{ID: "a", Text: "t"}); err != nil {
+		t.Fatal(err)
+	}
+	if ds := st.Durability(); ds.Appended != 1 || ds.Syncs != 1 || ds.Generation != 0 {
+		t.Fatalf("stats = %+v", ds)
+	}
+}

@@ -125,12 +125,17 @@ type shard struct {
 	entities map[string]*Entity
 }
 
-// Store is a sharded in-memory entity repository, safe for concurrent use.
+// Store is a sharded entity repository, safe for concurrent use. A store
+// built with New is purely in-memory; one built with Open additionally
+// write-ahead-logs every mutation to disk and recovers it on restart.
 type Store struct {
 	shards []*shard
+	// dur is the durability state, nil for in-memory stores.
+	dur *durability
 }
 
-// New creates a store with the given number of shards (minimum 1).
+// New creates an in-memory store with the given number of shards
+// (minimum 1).
 func New(numShards int) *Store {
 	if numShards < 1 {
 		numShards = 1
@@ -152,16 +157,31 @@ func (s *Store) shardFor(id string) *shard {
 }
 
 // Put stores (or replaces) an entity. The store keeps its own copy; later
-// mutations of the caller's value do not leak in.
+// mutations of the caller's value do not leak in. On a durable store the
+// entity is appended to the write-ahead log before it becomes visible;
+// a Put that returns nil is recoverable after a crash (subject to the
+// sync policy).
 func (s *Store) Put(e *Entity) error {
 	if e == nil || e.ID == "" {
 		return fmt.Errorf("store: entity must have an ID")
 	}
+	if s.dur == nil {
+		s.applyPut(e)
+		return nil
+	}
+	body, err := xml.Marshal(e)
+	if err != nil {
+		return fmt.Errorf("store: encode entity %s: %w", e.ID, err)
+	}
+	return s.logged(opPut, body, func() { s.applyPut(e) })
+}
+
+// applyPut installs a copy of the entity in its shard, bypassing the WAL.
+func (s *Store) applyPut(e *Entity) {
 	sh := s.shardFor(e.ID)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	sh.entities[e.ID] = e.Clone()
-	return nil
 }
 
 // Get returns a copy of the entity with the given ID.
@@ -176,26 +196,87 @@ func (s *Store) Get(id string) (*Entity, bool) {
 	return e.Clone(), true
 }
 
-// Delete removes an entity; deleting a missing ID is a no-op.
-func (s *Store) Delete(id string) {
+// Delete removes an entity; deleting a missing ID is a no-op. On a
+// durable store the delete is write-ahead-logged first; the error is
+// non-nil only when the log cannot be appended (degraded mode).
+func (s *Store) Delete(id string) error {
+	if s.dur == nil {
+		s.applyDelete(id)
+		return nil
+	}
+	return s.logged(opDelete, []byte(id), func() { s.applyDelete(id) })
+}
+
+// applyDelete removes the entity from its shard, bypassing the WAL.
+func (s *Store) applyDelete(id string) {
 	sh := s.shardFor(id)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	delete(sh.entities, id)
 }
 
-// Update applies fn to the stored entity under the shard lock, persisting
-// the mutation atomically. It returns false if the ID is unknown.
+// Annotate appends annotations to a stored entity — the miner write-back
+// path. It reports whether the entity existed; on a durable store the
+// annotations are write-ahead-logged before they become visible, and the
+// error is non-nil when the log cannot be appended (degraded mode).
+func (s *Store) Annotate(id string, anns []Annotation) (bool, error) {
+	if len(anns) == 0 {
+		_, ok := s.Get(id)
+		return ok, nil
+	}
+	found := false
+	apply := func() {
+		sh := s.shardFor(id)
+		sh.mu.Lock()
+		defer sh.mu.Unlock()
+		if e, ok := sh.entities[id]; ok {
+			e.Annotations = append(e.Annotations, anns...)
+			found = true
+		}
+	}
+	if s.dur == nil {
+		apply()
+		return found, nil
+	}
+	// Skip logging a record for an entity that is already gone; the
+	// existence re-check inside apply still guards the racing delete.
+	if _, ok := s.Get(id); !ok {
+		return false, nil
+	}
+	body, err := encodeAnnotate(id, anns)
+	if err != nil {
+		return false, fmt.Errorf("store: encode annotations for %s: %w", id, err)
+	}
+	if err := s.logged(opAnnotate, body, apply); err != nil {
+		return false, err
+	}
+	return found, nil
+}
+
+// Update applies fn to the stored entity, persisting the mutation
+// atomically with respect to other writers. It returns false if the ID is
+// unknown. On a durable store the mutated entity is re-logged in full (a
+// read-modify-write), so prefer Annotate for the hot append-annotations
+// path; concurrent Updates of the same ID may interleave as last-writer-
+// wins on durable stores.
 func (s *Store) Update(id string, fn func(*Entity)) bool {
-	sh := s.shardFor(id)
-	sh.mu.Lock()
-	defer sh.mu.Unlock()
-	e, ok := sh.entities[id]
+	if s.dur == nil {
+		sh := s.shardFor(id)
+		sh.mu.Lock()
+		defer sh.mu.Unlock()
+		e, ok := sh.entities[id]
+		if !ok {
+			return false
+		}
+		fn(e)
+		return true
+	}
+	e, ok := s.Get(id)
 	if !ok {
 		return false
 	}
 	fn(e)
-	return true
+	return s.Put(e) == nil
 }
 
 // Len returns the total number of stored entities.

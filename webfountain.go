@@ -85,14 +85,55 @@ type PlatformConfig struct {
 	// MinerErrorBudget trips a deployment's circuit breaker after this
 	// many failed entities, skipping the rest (default 0: never trip).
 	MinerErrorBudget int
+
+	// DataDir, when set, makes the platform durable: every ingest,
+	// delete and miner annotation is write-ahead-logged under this
+	// directory and recovered by OpenPlatform after a crash. NewPlatform
+	// ignores it — use OpenPlatform for a durable platform.
+	DataDir string
+	// SyncEvery syncs the write-ahead log after every Nth record
+	// (default 1: every record). See store.Options.SyncEvery.
+	SyncEvery int
+	// CompactEvery, when positive, compacts the log into a checksummed
+	// snapshot after that many records (default 0: manual only).
+	CompactEvery int
 }
 
-// NewPlatform builds an empty platform.
+// NewPlatform builds an empty in-memory platform.
 func NewPlatform(cfg PlatformConfig) *Platform {
 	if cfg.Shards <= 0 {
 		cfg.Shards = 16
 	}
-	st := store.New(cfg.Shards)
+	return platformOver(store.New(cfg.Shards), cfg)
+}
+
+// OpenPlatform builds a durable platform rooted at cfg.DataDir: the
+// entity store write-ahead-logs every mutation there, and opening an
+// existing directory recovers the stored corpus (latest valid snapshot
+// plus log replay) and rebuilds the inverted index from the recovered
+// entities. Call Close to flush the log before exit.
+func OpenPlatform(cfg PlatformConfig) (*Platform, error) {
+	if cfg.DataDir == "" {
+		return nil, fmt.Errorf("webfountain: OpenPlatform needs PlatformConfig.DataDir")
+	}
+	if cfg.Shards <= 0 {
+		cfg.Shards = 16
+	}
+	st, err := store.Open(cfg.DataDir, store.Options{
+		Shards:       cfg.Shards,
+		SyncEvery:    cfg.SyncEvery,
+		CompactEvery: cfg.CompactEvery,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("webfountain: open platform: %w", err)
+	}
+	p := platformOver(st, cfg)
+	p.reindex()
+	return p, nil
+}
+
+// platformOver assembles the runtime around a store.
+func platformOver(st *store.Store, cfg PlatformConfig) *Platform {
 	return &Platform{
 		store: st,
 		cluster: cluster.NewWithConfig(st, cluster.Config{
@@ -107,6 +148,46 @@ func NewPlatform(cfg PlatformConfig) *Platform {
 		index: index.New(),
 	}
 }
+
+// reindex rebuilds the inverted index from the store's entities, exactly
+// mirroring what Ingest indexes, so a recovered platform answers the
+// same queries as one that never crashed. It also advances the ID
+// generator past every recovered generated ID so new ingests cannot
+// collide with recovered documents.
+func (p *Platform) reindex() {
+	p.index.Reset()
+	tk := tokenize.New()
+	maxGen := int64(0)
+	_ = p.store.ForEach(func(e *store.Entity) error {
+		toks := tk.Tokenize(e.Text)
+		words := make([]string, len(toks))
+		for i, t := range toks {
+			words[i] = t.Text
+		}
+		p.index.Add(e.ID, words)
+		var n int64
+		if _, err := fmt.Sscanf(e.ID, "doc-%d", &n); err == nil && n > maxGen {
+			maxGen = n
+		}
+		return nil
+	})
+	p.nextID.Store(maxGen)
+}
+
+// Close flushes the durable store's write-ahead log and releases it. It
+// is a no-op on an in-memory platform.
+func (p *Platform) Close() error { return p.store.Close() }
+
+// Degraded reports whether the platform's store has entered degraded
+// read-only mode (its write-ahead log failed) and why. Reads and queries
+// keep working in that state; ingests, deletes and miner write-backs are
+// rejected with store.ErrReadOnly.
+func (p *Platform) Degraded() (bool, string) { return p.store.Degraded() }
+
+// Compact folds the durable store's write-ahead log into a fresh
+// checksummed snapshot, bounding recovery time. It errors on an
+// in-memory platform.
+func (p *Platform) Compact() error { return p.store.Compact() }
 
 // Ingest stores documents and indexes their tokens. Documents without an
 // ID receive a generated one, returned in the IDs slice in input order.
@@ -157,10 +238,15 @@ func (p *Platform) Entity(id string) (Document, bool) {
 }
 
 // Delete removes a document from the platform: both the store entity and
-// its index postings disappear. Deleting an unknown ID is a no-op.
-func (p *Platform) Delete(id string) {
-	p.store.Delete(id)
+// its index postings disappear. Deleting an unknown ID is a no-op. The
+// error is non-nil only on a durable platform whose write-ahead log
+// cannot be appended (degraded read-only mode).
+func (p *Platform) Delete(id string) error {
+	if err := p.store.Delete(id); err != nil {
+		return err
+	}
 	p.index.Remove(id)
+	return nil
 }
 
 // SearchAll returns the IDs of documents containing every given term.
