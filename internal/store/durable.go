@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"io/fs"
 	"os"
 	"path/filepath"
 	"sort"
@@ -70,8 +71,8 @@ type DurabilityStats struct {
 	SnapshotLoaded bool
 	// Replayed is the number of WAL records applied during recovery.
 	Replayed int
-	// Quarantined counts corrupt records and snapshots set aside during
-	// recovery instead of being applied.
+	// Quarantined counts corrupt records, snapshots, and unframeable log
+	// tails set aside during recovery instead of being applied.
 	Quarantined int
 	// TruncatedBytes is the torn-tail byte count dropped at recovery.
 	TruncatedBytes int
@@ -168,22 +169,34 @@ func Open(dir string, opts Options) (*Store, error) {
 		g := snapGens[i]
 		path := snapshotPath(dir, g)
 		data, err := os.ReadFile(path)
-		if err == nil {
-			if body, verr := VerifySnapshot(data); verr == nil {
-				if _, rerr := s.Restore(bytes.NewReader(body)); rerr != nil {
-					return nil, fmt.Errorf("store: open %s: snapshot gen %d: %w", dir, g, rerr)
-				}
-				d.gen = g
-				d.snapLoaded = true
-				break
+		if err != nil {
+			if errors.Is(err, fs.ErrNotExist) {
+				continue
 			}
+			// A read error (EIO, EPERM, a flaky mount) is not evidence
+			// the snapshot is bad: failing Open beats demoting a
+			// possibly-good snapshot and losing the records only it holds.
+			return nil, fmt.Errorf("store: open %s: read snapshot gen %d: %w", dir, g, err)
 		}
-		// Unreadable or failed verification: set it aside and try older.
-		_ = os.Rename(path, path+".corrupt")
-		d.quarantined++
+		body, verr := VerifySnapshot(data)
+		if verr != nil {
+			// Failed verification: set it aside and try older.
+			_ = os.Rename(path, path+".corrupt")
+			d.quarantined++
+			continue
+		}
+		if _, rerr := s.Restore(bytes.NewReader(body)); rerr != nil {
+			return nil, fmt.Errorf("store: open %s: snapshot gen %d: %w", dir, g, rerr)
+		}
+		d.gen = g
+		d.snapLoaded = true
+		break
 	}
 
-	// Replay WALs from the loaded generation forward.
+	// Replay WALs from the loaded generation forward. A framing loss
+	// (corrupt record header) degrades the store and ends replay: the
+	// records after the loss — in this log and any later generation —
+	// cannot be trusted to form a consistent history.
 	for _, g := range listGens(dir, "wal", ".log") {
 		if g < d.gen {
 			continue
@@ -194,12 +207,22 @@ func Open(dir string, opts Options) (*Store, error) {
 		if g > d.gen {
 			d.gen = g
 		}
+		if d.degraded != "" {
+			break
+		}
 	}
 
 	// Append to the current generation's WAL from here on.
 	d.walPath = walPath(dir, d.gen)
 	f, err := os.OpenFile(d.walPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
+		return nil, fmt.Errorf("store: open %s: %w", dir, err)
+	}
+	// O_CREATE may have made a new directory entry; fsync the directory
+	// so a fresh WAL cannot vanish in a power cut after writes were
+	// acknowledged into it.
+	if err := syncDir(dir); err != nil {
+		_ = f.Close()
 		return nil, fmt.Errorf("store: open %s: %w", dir, err)
 	}
 	d.wal = WALFile(f)
@@ -211,9 +234,11 @@ func Open(dir string, opts Options) (*Store, error) {
 }
 
 // replayWAL applies one WAL file to the store: valid records are applied
-// in order, a corrupt record is quarantined and skipped, and a torn tail
+// in order, a corrupt record is quarantined and skipped, a torn tail
 // truncates the file in place so the next append starts on a record
-// boundary.
+// boundary, and a corrupt record header — framing lost mid-file —
+// quarantines the whole remaining tail and degrades the store rather
+// than silently dropping the acknowledged records the tail may hold.
 func (d *durability) replayWAL(s *Store, path string) error {
 	data, err := os.ReadFile(path)
 	if err != nil {
@@ -225,12 +250,24 @@ func (d *durability) replayWAL(s *Store, path string) error {
 	off := 0
 	for off < len(data) {
 		op, body, n, derr := decodeWALRecord(data[off:])
-		if derr != nil {
-			if errors.Is(derr, errCorruptRecord) {
-				d.quarantine(data[off : off+n])
-				off += n
-				continue
+		switch {
+		case errors.Is(derr, errCorruptRecord):
+			d.quarantine(data[off : off+n])
+			off += n
+			continue
+		case errors.Is(derr, errBadHeader):
+			// The length field cannot be trusted, so nothing after this
+			// point can be reframed reliably. Preserve the tail for
+			// forensics, truncate so the file ends on a record boundary,
+			// and refuse further writes: the loss must be surfaced, not
+			// papered over.
+			d.quarantine(data[off:])
+			if terr := os.Truncate(path, int64(off)); terr != nil {
+				return fmt.Errorf("replay %s: truncate corrupt tail: %w", filepath.Base(path), terr)
 			}
+			d.degraded = fmt.Sprintf("wal framing lost: %s offset %d: %v", filepath.Base(path), off, derr)
+			return nil
+		case derr != nil:
 			// Torn tail: drop it so appends resume on a clean boundary.
 			d.truncated += len(data) - off
 			if terr := os.Truncate(path, int64(off)); terr != nil {
@@ -244,6 +281,24 @@ func (d *durability) replayWAL(s *Store, path string) error {
 			d.replayed++
 		}
 		off += n
+	}
+	return nil
+}
+
+// syncDir fsyncs a directory so recently created or renamed entries in
+// it survive a power failure — syncing a file's data does not make its
+// name durable.
+func syncDir(dir string) error {
+	f, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("sync dir %s: %w", dir, err)
+	}
+	err = f.Sync()
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return fmt.Errorf("sync dir %s: %w", dir, err)
 	}
 	return nil
 }
@@ -302,6 +357,14 @@ func (s *Store) logged(op byte, body []byte, apply func()) error {
 	d := s.dur
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	return s.loggedLocked(op, body, apply)
+}
+
+// loggedLocked is logged for callers that already hold d.mu — Update
+// uses it to keep its read-modify-write atomic with respect to every
+// other logged mutation.
+func (s *Store) loggedLocked(op byte, body []byte, apply func()) error {
+	d := s.dur
 	if d.closed {
 		return fmt.Errorf("store: closed")
 	}
@@ -353,12 +416,21 @@ func (s *Store) Compact() error {
 }
 
 // compactLocked does the compaction work; the caller holds d.mu.
+//
+// Failure atomicity: every fallible step runs BEFORE the snapshot is
+// renamed into place, and each undoes cleanly — on error the store is
+// still entirely on the old generation, appending to the old WAL, and
+// recovery (which would load the old snapshot and replay the old WAL)
+// loses nothing, so the caller may keep acknowledging writes. Renaming
+// the snapshot first and opening the new WAL after would open a window
+// where a rotation failure leaves acked writes flowing into wal-oldGen
+// while recovery, seeing snapshot-newGen, skips that log entirely.
 func (s *Store) compactLocked() error {
 	d := s.dur
 	newGen := d.gen + 1
 
-	// Snapshot to a temp file, sync, then rename into place so a crash
-	// mid-write never leaves a half-snapshot under the real name.
+	// Snapshot to a temp file and sync it, so a crash mid-write never
+	// leaves a half-snapshot under the real name.
 	snapPath := snapshotPath(d.dir, newGen)
 	tmp, err := os.CreateTemp(d.dir, "snapshot-*.tmp")
 	if err != nil {
@@ -371,42 +443,75 @@ func (s *Store) compactLocked() error {
 	if cerr := tmp.Close(); err == nil {
 		err = cerr
 	}
-	if err == nil {
-		err = os.Rename(tmpName, snapPath)
-	}
 	if err != nil {
 		_ = os.Remove(tmpName)
 		return fmt.Errorf("store: compact: %w", err)
 	}
 
-	// Rotate the WAL: sync and close the old one, open gen+1.
-	newWal, err := os.OpenFile(walPath(d.dir, newGen), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	// Create the next generation's WAL and make its directory entry
+	// durable before the snapshot becomes visible: once snapshot-newGen
+	// exists, recovery roots there, so wal-newGen must be guaranteed to
+	// survive a power cut too.
+	newWalPath := walPath(d.dir, newGen)
+	newWal, err := os.OpenFile(newWalPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
+		_ = os.Remove(tmpName)
 		return fmt.Errorf("store: compact: rotate wal: %w", err)
 	}
+	if err := syncDir(d.dir); err == nil {
+		err = os.Rename(tmpName, snapPath)
+	}
+	if err != nil {
+		_ = newWal.Close()
+		_ = os.Remove(newWalPath)
+		_ = os.Remove(tmpName)
+		return fmt.Errorf("store: compact: %w", err)
+	}
+
+	// The snapshot is in place: switch appends to the new generation.
 	_ = d.wal.Sync()
 	_ = d.wal.Close()
 	d.wal = WALFile(newWal)
 	if d.opts.WrapWAL != nil {
 		d.wal = d.opts.WrapWAL(d.wal)
 	}
-	d.walPath = walPath(d.dir, newGen)
-	oldGen := d.gen
+	d.walPath = newWalPath
 	d.gen = newGen
 	d.appended = 0
 	d.sinceSync = 0
 
-	// Prune history older than the previous generation. The previous
-	// snapshot AND its WAL stay: if snapshot newGen rots on disk,
-	// recovery falls back to snapshot oldGen and replays wal-oldGen.
+	if err := syncDir(d.dir); err != nil {
+		// The snapshot rename may not be durable. The on-disk state is
+		// still recoverable (the fallback generation is kept below), but
+		// a directory that cannot fsync cannot be trusted with further
+		// acknowledgements.
+		d.degraded = "compaction failed: " + err.Error()
+		return fmt.Errorf("store: compact: %w", err)
+	}
+
+	// Prune history older than the newest PREVIOUS snapshot still on
+	// disk: if snapshot-newGen rots, recovery falls back to that
+	// snapshot, so every WAL from its generation forward must survive.
+	// Normally that is generation newGen-1; after a crashed compaction
+	// that bumped the WAL generation without publishing a snapshot, it
+	// is older, and keying the prune off the snapshot actually present
+	// keeps the whole fallback chain intact.
+	prev, havePrev := uint64(0), false
 	for _, g := range listGens(d.dir, "snapshot", ".xml") {
-		if g < oldGen {
-			_ = os.Remove(snapshotPath(d.dir, g))
+		if g < newGen && (!havePrev || g > prev) {
+			prev, havePrev = g, true
 		}
 	}
-	for _, g := range listGens(d.dir, "wal", ".log") {
-		if g < oldGen {
-			_ = os.Remove(walPath(d.dir, g))
+	if havePrev {
+		for _, g := range listGens(d.dir, "snapshot", ".xml") {
+			if g < prev {
+				_ = os.Remove(snapshotPath(d.dir, g))
+			}
+		}
+		for _, g := range listGens(d.dir, "wal", ".log") {
+			if g < prev {
+				_ = os.Remove(walPath(d.dir, g))
+			}
 		}
 	}
 	return nil

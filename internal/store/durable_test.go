@@ -7,6 +7,7 @@ import (
 	"os"
 	"path/filepath"
 	"reflect"
+	"sync"
 	"testing"
 )
 
@@ -371,6 +372,112 @@ func TestCompactPrunesOldGenerations(t *testing.T) {
 	requireEqualStores(t, "twice compacted", rec, referenceAfter(t, ops, len(ops)))
 }
 
+// TestHeaderRotQuarantinesTailAndDegrades: a bit flip in a record's
+// length prefix destroys framing for every record after it. Recovery
+// must not silently truncate that tail — the acked records it holds
+// would vanish uncounted. Instead it applies the intact prefix,
+// preserves the whole tail in quarantine.log, and opens the store
+// degraded so the loss is surfaced.
+func TestHeaderRotQuarantinesTailAndDegrades(t *testing.T) {
+	ops := crashScript()
+	walBytes, _ := runScript(t, t.TempDir())
+	offs := walRecordOffsets(t, walBytes)
+
+	const victim = 4 // framing lost here; ops 0..3 must still replay
+	dir := t.TempDir()
+	rotted := append([]byte(nil), walBytes...)
+	rotted[offs[victim]] ^= 0x04 // length byte
+	if err := os.WriteFile(filepath.Join(dir, "wal-00000000.log"), rotted, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	rec, err := Open(dir, Options{Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rec.Close()
+	if deg, reason := rec.Degraded(); !deg || reason == "" {
+		t.Fatalf("Degraded() = %v, %q after framing loss", deg, reason)
+	}
+	requireEqualStores(t, "prefix before header rot", rec, referenceAfter(t, ops, victim))
+
+	ds := rec.Durability()
+	if ds.Replayed != victim {
+		t.Fatalf("replayed %d records, want %d", ds.Replayed, victim)
+	}
+	if ds.Quarantined != 1 {
+		t.Fatalf("quarantined %d, want 1 (the unframeable tail)", ds.Quarantined)
+	}
+	q, err := os.ReadFile(filepath.Join(dir, "quarantine.log"))
+	if err != nil {
+		t.Fatalf("quarantine.log: %v", err)
+	}
+	if len(q) != len(walBytes)-offs[victim] {
+		t.Fatalf("quarantine holds %d bytes, want the full %d-byte tail", len(q), len(walBytes)-offs[victim])
+	}
+	fi, err := os.Stat(filepath.Join(dir, "wal-00000000.log"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi.Size() != int64(offs[victim]) {
+		t.Fatalf("wal is %d bytes after recovery, want truncated to %d", fi.Size(), offs[victim])
+	}
+	if err := rec.Put(&Entity{ID: "z", Text: "t"}); !errors.Is(err, ErrReadOnly) {
+		t.Fatalf("put after framing loss: err = %v, want ErrReadOnly", err)
+	}
+}
+
+// TestCompactFailureKeepsAckedWritesRecoverable: a compaction that fails
+// mid-way (here: the next generation's WAL cannot be created) must leave
+// the store entirely on the old generation — no snapshot published, not
+// degraded — so writes acknowledged afterwards keep landing in the old
+// WAL and recovery replays every one of them.
+func TestCompactFailureKeepsAckedWritesRecoverable(t *testing.T) {
+	ops := crashScript()
+	dir := t.TempDir()
+	st, err := Open(dir, Options{Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, op := range ops[:6] {
+		applyOp(t, st, op)
+	}
+	// Block the gen-1 WAL with a directory: rotation fails before the
+	// snapshot is renamed into place.
+	blocker := filepath.Join(dir, "wal-00000001.log")
+	if err := os.Mkdir(blocker, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Compact(); err == nil {
+		t.Fatal("compact with a blocked wal rotation should fail")
+	}
+	if deg, reason := st.Degraded(); deg {
+		t.Fatalf("cleanly undone compaction failure degraded the store: %s", reason)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "snapshot-00000001.xml")); !os.IsNotExist(err) {
+		t.Fatalf("failed compaction published a snapshot (stat err = %v)", err)
+	}
+	if g := st.Durability().Generation; g != 0 {
+		t.Fatalf("generation = %d after failed compaction, want 0", g)
+	}
+	// Later writes must still be acknowledged and recoverable.
+	for _, op := range ops[6:] {
+		applyOp(t, st, op)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Remove(blocker); err != nil {
+		t.Fatal(err)
+	}
+	rec, err := Open(dir, Options{Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rec.Close()
+	requireEqualStores(t, "after failed compaction", rec, referenceAfter(t, ops, len(ops)))
+}
+
 // TestCorruptSnapshotFallsBack: when the newest snapshot fails its
 // checksum, recovery quarantines it and reconstructs the same state from
 // the previous generation's WAL plus the current one.
@@ -572,6 +679,59 @@ func TestDurableUpdateSurvivesReopen(t *testing.T) {
 	e, ok := rec.Get("a")
 	if !ok || e.Text != "after" {
 		t.Fatalf("recovered entity = %+v, %v", e, ok)
+	}
+}
+
+// TestConcurrentUpdateAndAnnotate: Update's read-modify-write runs under
+// the WAL mutex, so an Annotate acknowledged while an Update is in
+// flight is never overwritten by the Update's stale full-entity re-log —
+// neither in memory nor after replay.
+func TestConcurrentUpdateAndAnnotate(t *testing.T) {
+	const n = 100
+	dir := t.TempDir()
+	st, err := Open(dir, Options{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Put(&Entity{ID: "a", Text: "t"}); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < n; i++ {
+			if _, err := st.Annotate("a", []Annotation{{Miner: "m", Key: fmt.Sprintf("k%03d", i)}}); err != nil {
+				t.Errorf("annotate %d: %v", i, err)
+				return
+			}
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < n; i++ {
+			if !st.Update("a", func(e *Entity) { e.Title = fmt.Sprintf("rev %d", i) }) {
+				t.Errorf("update %d failed", i)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	e, ok := st.Get("a")
+	if !ok || len(e.Annotations) != n {
+		t.Fatalf("in-memory: %d annotations survived, want %d", len(e.Annotations), n)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	rec, err := Open(dir, Options{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rec.Close()
+	e, ok = rec.Get("a")
+	if !ok || len(e.Annotations) != n {
+		t.Fatalf("after replay: %d annotations survived, want %d", len(e.Annotations), n)
 	}
 }
 

@@ -257,8 +257,9 @@ func (s *Store) Annotate(id string, anns []Annotation) (bool, error) {
 // atomically with respect to other writers. It returns false if the ID is
 // unknown. On a durable store the mutated entity is re-logged in full (a
 // read-modify-write), so prefer Annotate for the hot append-annotations
-// path; concurrent Updates of the same ID may interleave as last-writer-
-// wins on durable stores.
+// path. The read, fn, and re-log run under the WAL mutex, so a
+// concurrent Annotate or Update acknowledged in between cannot be
+// overwritten by a stale full-entity put.
 func (s *Store) Update(id string, fn func(*Entity)) bool {
 	if s.dur == nil {
 		sh := s.shardFor(id)
@@ -271,12 +272,19 @@ func (s *Store) Update(id string, fn func(*Entity)) bool {
 		fn(e)
 		return true
 	}
+	d := s.dur
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	e, ok := s.Get(id)
 	if !ok {
 		return false
 	}
 	fn(e)
-	return s.Put(e) == nil
+	body, err := xml.Marshal(e)
+	if err != nil {
+		return false
+	}
+	return s.loggedLocked(opPut, body, func() { s.applyPut(e) }) == nil
 }
 
 // Len returns the total number of stored entities.

@@ -11,7 +11,8 @@ import (
 // The write-ahead log is a sequence of length-prefixed, checksummed
 // records, one per acknowledged mutation:
 //
-//	[4B little-endian payload length][4B CRC32-IEEE of payload][payload]
+//	[4B little-endian payload length][4B CRC32-IEEE of the length bytes]
+//	[4B CRC32-IEEE of payload][payload]
 //
 // where payload is one op byte followed by the op body:
 //
@@ -19,11 +20,16 @@ import (
 //	opDelete   — the raw entity ID
 //	opAnnotate — an <annotate id="..."> element listing annotations
 //
-// The frame is deliberately minimal: the length prefix gives resync-free
-// sequential scanning, and the checksum distinguishes a torn tail (the
-// record runs past the end of the file — a crash mid-append) from a
-// corrupt record (framing intact, payload rotted — quarantined so the
-// rest of the log still replays).
+// The length prefix gives resync-free sequential scanning, and the two
+// checksums split corruption into three distinguishable classes: a
+// record that runs past the end of the file under a valid header is a
+// torn tail (a crash mid-append — truncated away); a framed record whose
+// payload checksum fails is bit rot (quarantined, scanning continues);
+// and a header whose own checksum fails means the length cannot be
+// trusted — framing is lost for everything after it. Without the header
+// checksum a single bit flip in a length field would misframe the rest
+// of the log and masquerade as a torn tail, silently truncating
+// acknowledged records.
 
 // WAL op codes.
 const (
@@ -32,20 +38,28 @@ const (
 	opAnnotate byte = 3
 )
 
-// walHeaderSize is the length prefix plus the checksum.
-const walHeaderSize = 8
+// walHeaderSize is the length prefix plus the header and payload
+// checksums.
+const walHeaderSize = 12
 
 // maxWALRecord bounds one record's payload; a length above it is treated
 // as framing corruption rather than a record to allocate for.
 const maxWALRecord = 64 << 20
 
 var (
-	// errTornRecord reports a record that runs past the end of the log:
-	// the tail of a crashed append. Recovery truncates the log here.
+	// errTornRecord reports a record that runs past the end of the log
+	// under a valid header: the tail of a crashed append. Recovery
+	// truncates the log here.
 	errTornRecord = errors.New("store: torn wal record")
-	// errCorruptRecord reports a complete record whose checksum does not
-	// match: bit rot. Recovery quarantines it and keeps scanning.
+	// errCorruptRecord reports a complete record whose payload checksum
+	// does not match: bit rot. Recovery quarantines it and keeps
+	// scanning.
 	errCorruptRecord = errors.New("store: corrupt wal record")
+	// errBadHeader reports a header whose self-checksum fails (or a
+	// checksum-valid header carrying a length the writer never emits):
+	// the length cannot be trusted, so framing is lost for every byte
+	// after it. Recovery quarantines the remaining tail and degrades.
+	errBadHeader = errors.New("store: corrupt wal record header")
 )
 
 // encodeWALRecord frames one op into a WAL record.
@@ -55,29 +69,34 @@ func encodeWALRecord(op byte, body []byte) []byte {
 	copy(payload[1:], body)
 	rec := make([]byte, walHeaderSize+len(payload))
 	binary.LittleEndian.PutUint32(rec[0:], uint32(len(payload)))
-	binary.LittleEndian.PutUint32(rec[4:], crc32.ChecksumIEEE(payload))
+	binary.LittleEndian.PutUint32(rec[4:], crc32.ChecksumIEEE(rec[0:4]))
+	binary.LittleEndian.PutUint32(rec[8:], crc32.ChecksumIEEE(payload))
 	copy(rec[walHeaderSize:], payload)
 	return rec
 }
 
 // decodeWALRecord parses the first record in data. n is the number of
-// bytes the record occupies: the full frame on success or checksum
-// failure (the caller can skip it), and the remaining byte count on a
-// torn tail (the caller truncates there). The returned body aliases data.
+// bytes the record occupies: the full frame on success or payload
+// checksum failure (the caller can skip it), and the remaining byte
+// count on a torn tail or corrupt header (the caller truncates or
+// quarantines the rest). The returned body aliases data.
 func decodeWALRecord(data []byte) (op byte, body []byte, n int, err error) {
 	if len(data) < walHeaderSize {
 		return 0, nil, len(data), errTornRecord
 	}
 	ln := binary.LittleEndian.Uint32(data)
+	if crc32.ChecksumIEEE(data[:4]) != binary.LittleEndian.Uint32(data[4:8]) {
+		return 0, nil, len(data), fmt.Errorf("%w: length checksum mismatch", errBadHeader)
+	}
 	if ln == 0 || ln > maxWALRecord {
-		return 0, nil, len(data), fmt.Errorf("%w: implausible length %d", errTornRecord, ln)
+		return 0, nil, len(data), fmt.Errorf("%w: implausible length %d", errBadHeader, ln)
 	}
 	total := walHeaderSize + int(ln)
 	if len(data) < total {
 		return 0, nil, len(data), errTornRecord
 	}
 	payload := data[walHeaderSize:total]
-	if crc32.ChecksumIEEE(payload) != binary.LittleEndian.Uint32(data[4:]) {
+	if crc32.ChecksumIEEE(payload) != binary.LittleEndian.Uint32(data[8:12]) {
 		return 0, nil, total, errCorruptRecord
 	}
 	return payload[0], payload[1:], total, nil

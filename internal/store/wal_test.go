@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/binary"
 	"errors"
+	"hash/crc32"
 	"testing"
 )
 
@@ -47,9 +48,9 @@ func TestWALRecordTornTail(t *testing.T) {
 
 func TestWALRecordCorrupt(t *testing.T) {
 	rec := encodeWALRecord(opAnnotate, []byte("payload to rot"))
-	// Flip one bit in every payload and checksum byte: each must surface
-	// as a corrupt (not torn) record spanning the full frame.
-	for i := 4; i < len(rec); i++ {
+	// Flip one bit in every payload and payload-checksum byte: each must
+	// surface as a corrupt (not torn) record spanning the full frame.
+	for i := 8; i < len(rec); i++ {
 		bad := append([]byte(nil), rec...)
 		bad[i] ^= 0x10
 		_, _, n, err := decodeWALRecord(bad)
@@ -62,15 +63,40 @@ func TestWALRecordCorrupt(t *testing.T) {
 	}
 }
 
-func TestWALRecordImplausibleLength(t *testing.T) {
-	rec := encodeWALRecord(opPut, []byte("x"))
-	binary.LittleEndian.PutUint32(rec, maxWALRecord+1)
-	if _, _, _, err := decodeWALRecord(rec); !errors.Is(err, errTornRecord) {
-		t.Errorf("oversized length: err = %v, want torn", err)
+func TestWALRecordBadHeader(t *testing.T) {
+	rec := encodeWALRecord(opPut, []byte("framed payload"))
+	// Flip one bit in every length and length-checksum byte: the frame
+	// cannot be trusted, so each must surface as a bad header spanning
+	// all remaining bytes — never as a torn tail, which recovery would
+	// silently truncate.
+	for i := 0; i < 8; i++ {
+		bad := append([]byte(nil), rec...)
+		bad[i] ^= 0x10
+		_, _, n, err := decodeWALRecord(bad)
+		if !errors.Is(err, errBadHeader) {
+			t.Fatalf("flip at %d: err = %v, want bad header", i, err)
+		}
+		if n != len(bad) {
+			t.Fatalf("flip at %d: n = %d, want %d (whole remainder)", i, n, len(bad))
+		}
 	}
-	binary.LittleEndian.PutUint32(rec, 0)
-	if _, _, _, err := decodeWALRecord(rec); !errors.Is(err, errTornRecord) {
-		t.Errorf("zero length: err = %v, want torn", err)
+}
+
+func TestWALRecordImplausibleLength(t *testing.T) {
+	// A checksum-valid header carrying a length the writer never emits is
+	// framing corruption, not a torn tail.
+	reframe := func(rec []byte, ln uint32) []byte {
+		bad := append([]byte(nil), rec...)
+		binary.LittleEndian.PutUint32(bad, ln)
+		binary.LittleEndian.PutUint32(bad[4:], crc32.ChecksumIEEE(bad[:4]))
+		return bad
+	}
+	rec := encodeWALRecord(opPut, []byte("x"))
+	if _, _, _, err := decodeWALRecord(reframe(rec, maxWALRecord+1)); !errors.Is(err, errBadHeader) {
+		t.Errorf("oversized length: err = %v, want bad header", err)
+	}
+	if _, _, _, err := decodeWALRecord(reframe(rec, 0)); !errors.Is(err, errBadHeader) {
+		t.Errorf("zero length: err = %v, want bad header", err)
 	}
 }
 
@@ -118,7 +144,7 @@ func FuzzWALRecord(f *testing.F) {
 			t.Fatalf("n = %d out of range [0,%d]", n, len(data))
 		}
 		if err != nil {
-			if !errors.Is(err, errTornRecord) && !errors.Is(err, errCorruptRecord) {
+			if !errors.Is(err, errTornRecord) && !errors.Is(err, errCorruptRecord) && !errors.Is(err, errBadHeader) {
 				t.Fatalf("unexpected error class: %v", err)
 			}
 			return
