@@ -1,0 +1,321 @@
+// Command bench runs the platform's performance benchmarks outside `go
+// test` and records the results as JSON, so every PR's speedup (or
+// regression) is a committed artifact rather than a claim. It covers
+// the ingest→index pipeline end to end (serial vs. worker-pool), the
+// sharded inverted index, WAL durability with and without group commit,
+// and the single-thread NLP micro-benchmarks that guard against
+// regressions on the non-parallel paths.
+//
+//	bench [-quick] [-docs N] [-out BENCH_PR3.json]
+//	bench -compare old.json new.json
+//
+// The JSON records ns/op, MB/s and allocs/op per benchmark plus the
+// machine shape (CPUs, GOMAXPROCS) the numbers were taken on — parallel
+// speedups are only meaningful relative to the recorded CPU count. The
+// -compare mode prints a before/after table of two result files.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	webfountain "webfountain"
+	"webfountain/internal/corpus"
+	"webfountain/internal/index"
+	"webfountain/internal/pos"
+	"webfountain/internal/store"
+	"webfountain/internal/tokenize"
+)
+
+// Result is one benchmark's recorded numbers.
+type Result struct {
+	Name        string  `json:"name"`
+	N           int     `json:"n"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	MBPerSec    float64 `json:"mb_per_s,omitempty"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+// Report is the file layout of BENCH_*.json.
+type Report struct {
+	Bench      string             `json:"bench"`
+	GoVersion  string             `json:"go"`
+	CPUs       int                `json:"cpus"`
+	GOMAXPROCS int                `json:"gomaxprocs"`
+	Quick      bool               `json:"quick,omitempty"`
+	Docs       int                `json:"docs"`
+	Timestamp  string             `json:"timestamp"`
+	Results    []Result           `json:"results"`
+	Derived    map[string]float64 `json:"derived,omitempty"`
+}
+
+func main() {
+	out := flag.String("out", "BENCH_PR3.json", "output JSON path")
+	quick := flag.Bool("quick", false, "smaller corpora for CI smoke runs")
+	docsFlag := flag.Int("docs", 0, "corpus size per ingest iteration (0: 200, or 40 with -quick)")
+	compare := flag.Bool("compare", false, "compare two result files: bench -compare old.json new.json")
+	flag.Parse()
+
+	if *compare {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "usage: bench -compare old.json new.json")
+			os.Exit(2)
+		}
+		if err := compareFiles(flag.Arg(0), flag.Arg(1)); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	docs := *docsFlag
+	if docs <= 0 {
+		if *quick {
+			docs = 40
+		} else {
+			docs = 200
+		}
+	}
+	rep := run(docs, *quick)
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s (%d benchmarks, %d CPUs)\n", *out, len(rep.Results), rep.CPUs)
+}
+
+// run executes the benchmark suite and assembles the report.
+func run(docs int, quick bool) Report {
+	rep := Report{
+		Bench:      "PR3",
+		GoVersion:  runtime.Version(),
+		CPUs:       runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Quick:      quick,
+		Docs:       docs,
+		Timestamp:  time.Now().UTC().Format(time.RFC3339),
+	}
+
+	generated := corpus.DigitalCameraReviews(1, docs)
+	batch := make([]webfountain.Document, len(generated))
+	textBytes := 0
+	for i := range generated {
+		batch[i] = webfountain.Document{Text: generated[i].Text()}
+		textBytes += len(batch[i].Text)
+	}
+	tk := tokenize.New()
+	tokenized := make([][]string, len(batch))
+	for i := range batch {
+		toks := tk.Tokenize(batch[i].Text)
+		words := make([]string, len(toks))
+		for j := range toks {
+			words[j] = toks[j].Text
+		}
+		tokenized[i] = words
+	}
+
+	byName := map[string]Result{}
+	record := func(name string, bytesPerOp int64, fn func(b *testing.B)) {
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			if bytesPerOp > 0 {
+				b.SetBytes(bytesPerOp)
+			}
+			fn(b)
+		})
+		res := Result{
+			Name:        name,
+			N:           r.N,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+		}
+		if bytesPerOp > 0 && r.T > 0 {
+			res.MBPerSec = float64(bytesPerOp) * float64(r.N) / 1e6 / r.T.Seconds()
+		}
+		byName[name] = res
+		rep.Results = append(rep.Results, res)
+		fmt.Printf("%-32s %12.0f ns/op %10.2f MB/s %8d allocs/op\n",
+			name, res.NsPerOp, res.MBPerSec, res.AllocsPerOp)
+	}
+
+	// End-to-end ingest→index, serial baseline vs. worker pool.
+	for _, workers := range []int{1, 2, 4, 8} {
+		name := fmt.Sprintf("ingest/%dw", workers)
+		record(name, int64(textBytes), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				p := webfountain.NewPlatform(webfountain.PlatformConfig{IngestWorkers: workers})
+				if _, err := p.Ingest(batch); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+
+	// Sharded index: single-writer adds, concurrent adds, queries.
+	record("index/add", 0, func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			ix := index.New()
+			for j := range tokenized {
+				ix.Add(fmt.Sprintf("doc-%06d", j), tokenized[j])
+			}
+		}
+	})
+	record("index/add-parallel", 0, func(b *testing.B) {
+		ix := index.New()
+		var id atomic.Int64
+		b.RunParallel(func(pb *testing.PB) {
+			j := 0
+			for pb.Next() {
+				ix.Add(fmt.Sprintf("doc-%08d", id.Add(1)), tokenized[j%len(tokenized)])
+				j++
+			}
+		})
+	})
+	queryIx := index.New()
+	for j := range tokenized {
+		queryIx.Add(fmt.Sprintf("doc-%06d", j), tokenized[j])
+	}
+	record("index/search-term", 0, func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			queryIx.Search(index.And(index.Term("camera"), index.Term("battery")))
+		}
+	})
+	record("index/search-phrase", 0, func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			queryIx.Search(index.Phrase("battery", "life"))
+		}
+	})
+	if re, err := index.Regexp("^pict"); err == nil {
+		record("index/search-regexp", 0, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				queryIx.Search(re)
+			}
+		})
+	}
+
+	// Single-thread NLP micro-benchmarks: the no-regression guard for
+	// the paths the pipeline did not parallelize.
+	sample := batch[0].Text
+	record("tokenize", int64(len(sample)), func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			tk.Tokenize(sample)
+		}
+	})
+	tagger := pos.NewTagger()
+	sampleToks := tk.Tokenize(sample)
+	record("pos-tag", 0, func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			tagger.Tag(sampleToks)
+		}
+	})
+
+	// WAL durability: per-record fsync vs. group commit under
+	// concurrent writers.
+	entities := make([]*store.Entity, len(generated))
+	for i := range generated {
+		entities[i] = &store.Entity{ID: generated[i].ID, Source: "review", Text: generated[i].Text()}
+	}
+	walBench := func(opts store.Options) func(b *testing.B) {
+		return func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				dir, err := os.MkdirTemp("", "wfbench-*")
+				if err != nil {
+					b.Fatal(err)
+				}
+				st, err := store.Open(dir, opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+				var wg sync.WaitGroup
+				for w := 0; w < 8; w++ {
+					wg.Add(1)
+					go func(w int) {
+						defer wg.Done()
+						for j := w; j < len(entities); j += 8 {
+							if err := st.Put(entities[j]); err != nil {
+								b.Error(err)
+								return
+							}
+						}
+					}(w)
+				}
+				wg.Wait()
+				b.StopTimer()
+				st.Close()
+				os.RemoveAll(dir)
+				b.StartTimer()
+			}
+		}
+	}
+	record("store/wal-put", 0, walBench(store.Options{Shards: 16}))
+	record("store/wal-put-group-commit", 0, walBench(store.Options{Shards: 16, GroupCommit: true}))
+
+	rep.Derived = map[string]float64{}
+	if s, ok := byName["ingest/1w"]; ok {
+		if p, ok := byName["ingest/8w"]; ok && p.NsPerOp > 0 {
+			rep.Derived["ingest_speedup_8w_vs_1w"] = s.NsPerOp / p.NsPerOp
+		}
+	}
+	if s, ok := byName["store/wal-put"]; ok {
+		if g, ok := byName["store/wal-put-group-commit"]; ok && g.NsPerOp > 0 {
+			rep.Derived["wal_group_commit_speedup"] = s.NsPerOp / g.NsPerOp
+		}
+	}
+	return rep
+}
+
+// compareFiles prints a before/after table of two result files.
+func compareFiles(oldPath, newPath string) error {
+	oldRep, err := load(oldPath)
+	if err != nil {
+		return err
+	}
+	newRep, err := load(newPath)
+	if err != nil {
+		return err
+	}
+	oldBy := map[string]Result{}
+	for _, r := range oldRep.Results {
+		oldBy[r.Name] = r
+	}
+	fmt.Printf("%-32s %14s %14s %9s\n", "benchmark", "old ns/op", "new ns/op", "delta")
+	for _, nr := range newRep.Results {
+		or, ok := oldBy[nr.Name]
+		if !ok || or.NsPerOp <= 0 {
+			fmt.Printf("%-32s %14s %14.0f %9s\n", nr.Name, "-", nr.NsPerOp, "new")
+			continue
+		}
+		delta := (nr.NsPerOp - or.NsPerOp) / or.NsPerOp * 100
+		fmt.Printf("%-32s %14.0f %14.0f %+8.1f%%\n", nr.Name, or.NsPerOp, nr.NsPerOp, delta)
+	}
+	return nil
+}
+
+func load(path string) (Report, error) {
+	var rep Report
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return rep, err
+	}
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return rep, fmt.Errorf("%s: %w", path, err)
+	}
+	return rep, nil
+}

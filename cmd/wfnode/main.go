@@ -109,6 +109,21 @@ func serve(addr, corpusName string, docs int, seed int64, dataDir string, syncEv
 		st = store.New(16)
 	}
 
+	ix := index.New()
+	tk := tokenize.New()
+	addToIndex := func(e *store.Entity) {
+		toks := tk.Tokenize(e.Text)
+		words := make([]string, len(toks))
+		for i, t := range toks {
+			words[i] = t.Text
+		}
+		ix.Add(e.ID, words)
+	}
+
+	// Fresh corpora are indexed in the same worker pass that stores
+	// them (the index is sharded, so concurrent workers do not
+	// serialize); a recovered corpus is indexed by the sweep below.
+	indexed := false
 	if st.Len() == 0 {
 		var generated []corpus.Document
 		switch corpusName {
@@ -125,28 +140,25 @@ func serve(addr, corpusName string, docs int, seed int64, dataDir string, syncEv
 		default:
 			return fmt.Errorf("unknown corpus %q", corpusName)
 		}
-		ing := ingest.New(st, 4)
+		ing := ingest.New(st, 4).WithIndexer(addToIndex)
 		stats, err := ing.Run(ingest.FromCorpus(corpusName, generated))
 		if err != nil {
 			return err
 		}
-		log.Printf("ingested %d documents (%d bytes)", stats.Documents, stats.Bytes)
+		indexed = true
+		log.Printf("ingested and indexed %d documents (%d bytes)", stats.Documents, stats.Bytes)
 	}
 
-	// Index every document and mine sentiment for the query service.
-	ix := index.New()
+	// Mine sentiment for the query service; index too when the corpus
+	// was recovered from disk rather than freshly ingested.
 	sidx := index.NewSentimentIndex()
-	tk := tokenize.New()
 	tagger := pos.NewTagger()
 	an := sentiment.New(nil, nil)
 	nesp := ne.New()
 	err := st.ForEach(func(e *store.Entity) error {
-		toks := tk.Tokenize(e.Text)
-		words := make([]string, len(toks))
-		for i, t := range toks {
-			words[i] = t.Text
+		if !indexed {
+			addToIndex(e)
 		}
-		ix.Add(e.ID, words)
 		for _, s := range tk.Sentences(e.Text) {
 			entities := nesp.SpotTokens(s.Tokens)
 			if len(entities) == 0 {

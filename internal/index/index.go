@@ -7,6 +7,7 @@ package index
 
 import (
 	"regexp"
+	"runtime"
 	"sort"
 	"strings"
 	"sync"
@@ -18,25 +19,96 @@ type posting struct {
 	positions []int
 }
 
+// defaultShards is the term-shard count selected by New. Sixteen shards
+// keep lock contention negligible up to the worker-pool sizes the
+// platform runs (ingest workers are capped well below it) while the
+// fan-out cost of shard-spanning queries stays small.
+const defaultShards = 16
+
+// termShard owns the posting lists of the terms that hash to it.
+type termShard struct {
+	mu    sync.RWMutex
+	terms map[string][]posting
+}
+
+// docShard owns the membership and token counts of the documents that
+// hash to it.
+type docShard struct {
+	mu     sync.RWMutex
+	docLen map[string]int
+}
+
+// numShard owns the numeric attributes of the fields that hash to it.
+type numShard struct {
+	mu      sync.RWMutex
+	numeric map[string]map[string]float64 // field -> docID -> value
+}
+
 // Index is an inverted index, safe for concurrent use. Terms are
 // lower-cased; conceptual tokens (miner outputs such as
 // "sentiment/nr70/+") share the same term space and are distinguished by
 // their prefix, exactly as the production indexer mixes text and concept
 // tokens.
+//
+// The index is sharded by term hash: each shard guards its own slice of
+// the vocabulary with its own lock, so concurrent Add calls that touch
+// disjoint shards do not serialize. Document membership and numeric
+// attributes are sharded the same way (by document ID and field name
+// respectively). Queries lock only the shards they touch;
+// vocabulary-spanning queries (regexp) fan out across shards and merge.
 type Index struct {
-	mu      sync.RWMutex
-	terms   map[string][]posting
-	numeric map[string]map[string]float64 // field -> docID -> value
-	docLen  map[string]int
+	termShards []termShard
+	docShards  []docShard
+	numShards  []numShard
 }
 
-// New returns an empty index.
-func New() *Index {
-	return &Index{
-		terms:   make(map[string][]posting),
-		numeric: make(map[string]map[string]float64),
-		docLen:  make(map[string]int),
+// New returns an empty index with the default shard count.
+func New() *Index { return NewSharded(defaultShards) }
+
+// NewSharded returns an empty index with the given number of term-hashed
+// shards (minimum 1). More shards admit more concurrent writers at a
+// slight cost to vocabulary-spanning queries.
+func NewSharded(shards int) *Index {
+	if shards < 1 {
+		shards = 1
 	}
+	ix := &Index{
+		termShards: make([]termShard, shards),
+		docShards:  make([]docShard, shards),
+		numShards:  make([]numShard, shards),
+	}
+	for i := 0; i < shards; i++ {
+		ix.termShards[i].terms = make(map[string][]posting)
+		ix.docShards[i].docLen = make(map[string]int)
+		ix.numShards[i].numeric = make(map[string]map[string]float64)
+	}
+	return ix
+}
+
+// NumShards returns the term-shard count.
+func (ix *Index) NumShards() int { return len(ix.termShards) }
+
+// fnv32a is an inline FNV-1a over the string bytes: the shard hash,
+// hand-rolled so hashing a term does not allocate.
+func fnv32a(s string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(s); i++ {
+		h ^= uint32(s[i])
+		h *= 16777619
+	}
+	return h
+}
+
+func (ix *Index) termShard(term string) *termShard {
+	return &ix.termShards[fnv32a(term)%uint32(len(ix.termShards))]
+}
+
+func (ix *Index) docShard(docID string) *docShard {
+	return &ix.docShards[fnv32a(docID)%uint32(len(ix.docShards))]
+}
+
+func (ix *Index) numShard(field string) *numShard {
+	return &ix.numShards[fnv32a(field)%uint32(len(ix.numShards))]
 }
 
 // Reset empties the index in place — postings, concepts, numeric
@@ -45,114 +117,278 @@ func New() *Index {
 // entities are re-Added onto a clean slate instead of merging with
 // whatever a partial build left behind.
 func (ix *Index) Reset() {
-	ix.mu.Lock()
-	defer ix.mu.Unlock()
-	ix.terms = make(map[string][]posting)
-	ix.numeric = make(map[string]map[string]float64)
-	ix.docLen = make(map[string]int)
+	for i := range ix.termShards {
+		sh := &ix.termShards[i]
+		sh.mu.Lock()
+		sh.terms = make(map[string][]posting)
+		sh.mu.Unlock()
+	}
+	for i := range ix.docShards {
+		sh := &ix.docShards[i]
+		sh.mu.Lock()
+		sh.docLen = make(map[string]int)
+		sh.mu.Unlock()
+	}
+	for i := range ix.numShards {
+		sh := &ix.numShards[i]
+		sh.mu.Lock()
+		sh.numeric = make(map[string]map[string]float64)
+		sh.mu.Unlock()
+	}
+}
+
+// docBuilder accumulates one document's per-term position lists. The
+// scratch state (the term map, the entry list, the token→entry indices)
+// is pooled and reused across Add calls; the only per-call allocations
+// are the position backing array and the strings that ToLower actually
+// has to rewrite — both of which outlive the call inside the index.
+type docBuilder struct {
+	byTerm  map[string]int
+	entries []docEntry
+	tokIdx  []int32
+}
+
+// docEntry is one distinct term of the document under construction.
+type docEntry struct {
+	term  string
+	shard uint32
+	count int
+	pos   []int
+}
+
+var builderPool = sync.Pool{
+	New: func() any {
+		return &docBuilder{byTerm: make(map[string]int, 64)}
+	},
+}
+
+// build lowers the tokens, groups positions by term, and tags each term
+// with its destination shard. Position slices are carved out of a single
+// backing array sized to the token count.
+func (b *docBuilder) build(tokens []string, nshards uint32) {
+	b.entries = b.entries[:0]
+	b.tokIdx = b.tokIdx[:0]
+	for _, t := range tokens {
+		lt := strings.ToLower(t)
+		idx, ok := b.byTerm[lt]
+		if !ok {
+			idx = len(b.entries)
+			b.entries = append(b.entries, docEntry{term: lt, shard: fnv32a(lt) % nshards})
+			b.byTerm[lt] = idx
+		}
+		b.entries[idx].count++
+		b.tokIdx = append(b.tokIdx, int32(idx))
+	}
+	backing := make([]int, len(tokens))
+	off := 0
+	for i := range b.entries {
+		e := &b.entries[i]
+		e.pos = backing[off:off : off+e.count]
+		off += e.count
+	}
+	for i, idx := range b.tokIdx {
+		e := &b.entries[idx]
+		e.pos = append(e.pos, i)
+	}
+}
+
+// release clears the scratch state and returns the builder to the pool.
+func (b *docBuilder) release() {
+	for k := range b.byTerm {
+		delete(b.byTerm, k)
+	}
+	for i := range b.entries {
+		b.entries[i] = docEntry{}
+	}
+	builderPool.Put(b)
 }
 
 // Add indexes a document's tokens (positions are the slice indices).
 // Re-adding a document ID replaces nothing — the caller is responsible
-// for not indexing the same document twice.
+// for not indexing the same document twice. Concurrent Adds serialize
+// only on the shards whose terms they share.
 func (ix *Index) Add(docID string, tokens []string) {
-	ix.mu.Lock()
-	defer ix.mu.Unlock()
-	ix.docLen[docID] = len(tokens)
-	byTerm := make(map[string][]int)
-	for i, t := range tokens {
-		lt := strings.ToLower(t)
-		byTerm[lt] = append(byTerm[lt], i)
+	b := builderPool.Get().(*docBuilder)
+	b.build(tokens, uint32(len(ix.termShards)))
+
+	ds := ix.docShard(docID)
+	ds.mu.Lock()
+	ds.docLen[docID] = len(tokens)
+	ds.mu.Unlock()
+
+	// One lock round per touched shard: scan the entry list once per
+	// shard rather than regrouping into per-shard slices — for realistic
+	// documents the scan is far cheaper than the allocation it avoids.
+	for s := range ix.termShards {
+		touched := false
+		for i := range b.entries {
+			if b.entries[i].shard == uint32(s) {
+				touched = true
+				break
+			}
+		}
+		if !touched {
+			continue
+		}
+		sh := &ix.termShards[s]
+		sh.mu.Lock()
+		for i := range b.entries {
+			e := &b.entries[i]
+			if e.shard != uint32(s) {
+				continue
+			}
+			sh.terms[e.term] = append(sh.terms[e.term], posting{docID: docID, positions: e.pos})
+		}
+		sh.mu.Unlock()
 	}
-	for term, positions := range byTerm {
-		ix.terms[term] = append(ix.terms[term], posting{docID: docID, positions: positions})
-	}
+	b.release()
 }
 
 // AddConcept indexes a conceptual token (no position) for a document.
 func (ix *Index) AddConcept(docID, concept string) {
-	ix.mu.Lock()
-	defer ix.mu.Unlock()
 	lt := strings.ToLower(concept)
-	ix.terms[lt] = append(ix.terms[lt], posting{docID: docID})
-	if _, ok := ix.docLen[docID]; !ok {
-		ix.docLen[docID] = 0
-	}
+	sh := ix.termShard(lt)
+	sh.mu.Lock()
+	sh.terms[lt] = append(sh.terms[lt], posting{docID: docID})
+	sh.mu.Unlock()
+	ix.touchDoc(docID)
 }
 
 // AddNumeric indexes a numeric attribute for range queries.
 func (ix *Index) AddNumeric(docID, field string, value float64) {
-	ix.mu.Lock()
-	defer ix.mu.Unlock()
-	m, ok := ix.numeric[field]
+	sh := ix.numShard(field)
+	sh.mu.Lock()
+	m, ok := sh.numeric[field]
 	if !ok {
 		m = make(map[string]float64)
-		ix.numeric[field] = m
+		sh.numeric[field] = m
 	}
 	m[docID] = value
-	if _, ok := ix.docLen[docID]; !ok {
-		ix.docLen[docID] = 0
+	sh.mu.Unlock()
+	ix.touchDoc(docID)
+}
+
+// touchDoc registers a document with zero tokens unless it is already
+// known — concepts and numeric attributes alone make a document visible
+// to Not queries and NumDocs, as before sharding.
+func (ix *Index) touchDoc(docID string) {
+	ds := ix.docShard(docID)
+	ds.mu.Lock()
+	if _, ok := ds.docLen[docID]; !ok {
+		ds.docLen[docID] = 0
 	}
+	ds.mu.Unlock()
 }
 
 // Remove deletes a document from the index: its postings, concepts and
 // numeric attributes all disappear. Removing an unknown ID is a no-op.
 func (ix *Index) Remove(docID string) {
-	ix.mu.Lock()
-	defer ix.mu.Unlock()
-	if _, ok := ix.docLen[docID]; !ok {
+	ds := ix.docShard(docID)
+	ds.mu.Lock()
+	_, ok := ds.docLen[docID]
+	if ok {
+		delete(ds.docLen, docID)
+	}
+	ds.mu.Unlock()
+	if !ok {
 		return
 	}
-	delete(ix.docLen, docID)
-	for term, ps := range ix.terms {
-		kept := ps[:0]
-		for _, p := range ps {
-			if p.docID != docID {
-				kept = append(kept, p)
+	for s := range ix.termShards {
+		sh := &ix.termShards[s]
+		sh.mu.Lock()
+		for term, ps := range sh.terms {
+			hit := false
+			for i := range ps {
+				if ps[i].docID == docID {
+					hit = true
+					break
+				}
+			}
+			if !hit {
+				continue
+			}
+			// Compact into a fresh slice: posting slices already handed to
+			// in-flight readers stay immutable, so queries never need to
+			// hold a shard lock while walking positions.
+			kept := make([]posting, 0, len(ps)-1)
+			for _, p := range ps {
+				if p.docID != docID {
+					kept = append(kept, p)
+				}
+			}
+			if len(kept) == 0 {
+				delete(sh.terms, term)
+			} else {
+				sh.terms[term] = kept
 			}
 		}
-		if len(kept) == 0 {
-			delete(ix.terms, term)
-		} else {
-			ix.terms[term] = kept
-		}
+		sh.mu.Unlock()
 	}
-	for field, m := range ix.numeric {
-		delete(m, docID)
-		if len(m) == 0 {
-			delete(ix.numeric, field)
+	for s := range ix.numShards {
+		sh := &ix.numShards[s]
+		sh.mu.Lock()
+		for field, m := range sh.numeric {
+			delete(m, docID)
+			if len(m) == 0 {
+				delete(sh.numeric, field)
+			}
 		}
+		sh.mu.Unlock()
 	}
 }
 
 // NumDocs returns the number of indexed documents.
 func (ix *Index) NumDocs() int {
-	ix.mu.RLock()
-	defer ix.mu.RUnlock()
-	return len(ix.docLen)
+	n := 0
+	for i := range ix.docShards {
+		sh := &ix.docShards[i]
+		sh.mu.RLock()
+		n += len(sh.docLen)
+		sh.mu.RUnlock()
+	}
+	return n
+}
+
+// postings returns the posting list for an already-lowered term. The
+// returned slice is a stable snapshot: appends go past its length and
+// removals reallocate, so it is safe to read after the lock is dropped.
+func (ix *Index) postings(lt string) []posting {
+	sh := ix.termShard(lt)
+	sh.mu.RLock()
+	ps := sh.terms[lt]
+	sh.mu.RUnlock()
+	return ps
 }
 
 // DocFreq returns the number of documents containing term.
 func (ix *Index) DocFreq(term string) int {
-	ix.mu.RLock()
-	defer ix.mu.RUnlock()
-	return len(ix.terms[strings.ToLower(term)])
+	return len(ix.postings(strings.ToLower(term)))
 }
 
 // Vocabulary returns the number of distinct terms.
 func (ix *Index) Vocabulary() int {
-	ix.mu.RLock()
-	defer ix.mu.RUnlock()
-	return len(ix.terms)
+	n := 0
+	for i := range ix.termShards {
+		sh := &ix.termShards[i]
+		sh.mu.RLock()
+		n += len(sh.terms)
+		sh.mu.RUnlock()
+	}
+	return n
 }
 
 // docSet is a set of document IDs.
 type docSet map[string]bool
 
 func (ix *Index) allDocs() docSet {
-	out := make(docSet, len(ix.docLen))
-	for id := range ix.docLen {
-		out[id] = true
+	out := make(docSet)
+	for i := range ix.docShards {
+		sh := &ix.docShards[i]
+		sh.mu.RLock()
+		for id := range sh.docLen {
+			out[id] = true
+		}
+		sh.mu.RUnlock()
 	}
 	return out
 }
@@ -166,9 +402,10 @@ type Query interface {
 type termQuery string
 
 func (q termQuery) eval(ix *Index) docSet {
-	out := make(docSet)
-	for _, p := range ix.terms[strings.ToLower(string(q))] {
-		out[p.docID] = true
+	ps := ix.postings(strings.ToLower(string(q)))
+	out := make(docSet, len(ps))
+	for i := range ps {
+		out[ps[i].docID] = true
 	}
 	return out
 }
@@ -233,9 +470,17 @@ func (q phraseQuery) eval(ix *Index) docSet {
 	if len(q) == 0 {
 		return out
 	}
-	first := ix.terms[strings.ToLower(q[0])]
-	for _, p := range first {
-		if ix.phraseAt(p, q) {
+	// Snapshot every word's posting list up front: one shard-lock round
+	// per word instead of one per (position, word) probe.
+	lists := make([][]posting, len(q))
+	for i, w := range q {
+		lists[i] = ix.postings(strings.ToLower(w))
+		if len(lists[i]) == 0 {
+			return out
+		}
+	}
+	for _, p := range lists[0] {
+		if phraseAt(lists, p) {
 			out[p.docID] = true
 		}
 	}
@@ -243,12 +488,12 @@ func (q phraseQuery) eval(ix *Index) docSet {
 }
 
 // phraseAt checks whether the phrase continues from each position of the
-// first term's posting.
-func (ix *Index) phraseAt(first posting, words []string) bool {
+// first word's posting.
+func phraseAt(lists [][]posting, first posting) bool {
 	for _, start := range first.positions {
 		ok := true
-		for k := 1; k < len(words); k++ {
-			if !ix.hasPosition(strings.ToLower(words[k]), first.docID, start+k) {
+		for k := 1; k < len(lists); k++ {
+			if !hasPosition(lists[k], first.docID, start+k) {
 				ok = false
 				break
 			}
@@ -260,13 +505,13 @@ func (ix *Index) phraseAt(first posting, words []string) bool {
 	return false
 }
 
-func (ix *Index) hasPosition(term, docID string, pos int) bool {
-	for _, p := range ix.terms[term] {
-		if p.docID != docID {
+func hasPosition(ps []posting, docID string, pos int) bool {
+	for i := range ps {
+		if ps[i].docID != docID {
 			continue
 		}
-		i := sort.SearchInts(p.positions, pos)
-		return i < len(p.positions) && p.positions[i] == pos
+		j := sort.SearchInts(ps[i].positions, pos)
+		return j < len(ps[i].positions) && ps[i].positions[j] == pos
 	}
 	return false
 }
@@ -281,11 +526,14 @@ type rangeQuery struct {
 
 func (q rangeQuery) eval(ix *Index) docSet {
 	out := make(docSet)
-	for id, v := range ix.numeric[q.field] {
+	sh := ix.numShard(q.field)
+	sh.mu.RLock()
+	for id, v := range sh.numeric[q.field] {
 		if v >= q.lo && v <= q.hi {
 			out[id] = true
 		}
 	}
+	sh.mu.RUnlock()
 	return out
 }
 
@@ -294,17 +542,58 @@ func Range(field string, lo, hi float64) Query { return rangeQuery{field, lo, hi
 
 type regexpQuery struct{ re *regexp.Regexp }
 
+// eval scans the whole vocabulary, the one query shape that touches
+// every shard. Shards are scanned by a bounded fan-out of workers and
+// the per-shard matches merged.
 func (q regexpQuery) eval(ix *Index) docSet {
-	out := make(docSet)
-	for term, ps := range ix.terms {
+	nshards := len(ix.termShards)
+	workers := runtime.GOMAXPROCS(0)
+	if workers > nshards {
+		workers = nshards
+	}
+	if workers <= 1 {
+		out := make(docSet)
+		for s := 0; s < nshards; s++ {
+			q.scanShard(ix, s, out)
+		}
+		return out
+	}
+	partial := make([]docSet, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			out := make(docSet)
+			for s := w; s < nshards; s += workers {
+				q.scanShard(ix, s, out)
+			}
+			partial[w] = out
+		}(w)
+	}
+	wg.Wait()
+	merged := partial[0]
+	for _, p := range partial[1:] {
+		for id := range p {
+			merged[id] = true
+		}
+	}
+	return merged
+}
+
+// scanShard adds the shard's matching documents to out.
+func (q regexpQuery) scanShard(ix *Index, s int, out docSet) {
+	sh := &ix.termShards[s]
+	sh.mu.RLock()
+	for term, ps := range sh.terms {
 		if !q.re.MatchString(term) {
 			continue
 		}
-		for _, p := range ps {
-			out[p.docID] = true
+		for i := range ps {
+			out[ps[i].docID] = true
 		}
 	}
-	return out
+	sh.mu.RUnlock()
 }
 
 // Regexp matches documents containing any indexed term that matches the
@@ -318,9 +607,11 @@ func Regexp(pattern string) (Query, error) {
 }
 
 // Search evaluates a query and returns matching document IDs, sorted.
+// Queries lock only the shards they touch, so searches proceed
+// concurrently with indexing; a search overlapping an Add observes the
+// document either fully or not at all per term, and the result is exact
+// once the writers it overlaps have returned.
 func (ix *Index) Search(q Query) []string {
-	ix.mu.RLock()
-	defer ix.mu.RUnlock()
 	set := q.eval(ix)
 	out := make([]string, 0, len(set))
 	for id := range set {

@@ -1,0 +1,208 @@
+package index
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// shardedDocs builds a deterministic corpus of small documents with
+// overlapping vocabulary, so term, phrase and regexp queries all have
+// multi-document answers.
+func shardedDocs(n int) map[string][]string {
+	rng := rand.New(rand.NewSource(7))
+	vocab := []string{
+		"camera", "battery", "life", "excellent", "pictures", "flash",
+		"lens", "zoom", "menu", "price", "terrible", "support", "quality",
+	}
+	docs := make(map[string][]string, n)
+	for i := 0; i < n; i++ {
+		ln := 4 + rng.Intn(12)
+		words := make([]string, ln)
+		for j := range words {
+			words[j] = vocab[rng.Intn(len(vocab))]
+		}
+		// Give half the docs a fixed phrase so SearchPhrase has stable
+		// multi-document answers.
+		if i%2 == 0 {
+			words = append(words, "battery", "life")
+		}
+		docs[fmt.Sprintf("doc-%04d", i)] = words
+	}
+	return docs
+}
+
+func shardedQueries(t *testing.T) []Query {
+	t.Helper()
+	re, err := Regexp("^batt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return []Query{
+		Term("camera"),
+		Term("battery"),
+		And(Term("battery"), Term("excellent")),
+		Or(Term("flash"), Term("zoom")),
+		Not(Term("camera")),
+		Phrase("battery", "life"),
+		re,
+	}
+}
+
+// TestShardedMatchesSerialSeedSemantics: an index built by concurrent
+// Adds must answer every query shape identically to one built by the
+// serial path — the determinism contract parallel ingest relies on.
+func TestShardedMatchesSerialSeedSemantics(t *testing.T) {
+	docs := shardedDocs(200)
+
+	serial := New()
+	for id, words := range docs {
+		serial.Add(id, words)
+	}
+
+	parallel := NewSharded(8)
+	var wg sync.WaitGroup
+	idCh := make(chan string)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for id := range idCh {
+				parallel.Add(id, docs[id])
+			}
+		}()
+	}
+	for id := range docs {
+		idCh <- id
+	}
+	close(idCh)
+	wg.Wait()
+
+	if s, p := serial.NumDocs(), parallel.NumDocs(); s != p {
+		t.Fatalf("NumDocs: serial %d, parallel %d", s, p)
+	}
+	if s, p := serial.Vocabulary(), parallel.Vocabulary(); s != p {
+		t.Fatalf("Vocabulary: serial %d, parallel %d", s, p)
+	}
+	for qi, q := range shardedQueries(t) {
+		s, p := serial.Search(q), parallel.Search(q)
+		if !reflect.DeepEqual(s, p) {
+			t.Errorf("query %d: serial %v, parallel %v", qi, s, p)
+		}
+	}
+}
+
+// TestShardedConcurrentIngestSearchDelete is the -race stress test for
+// the sharded index: writers, deleters and every query shape run
+// concurrently, then the final state is checked exactly.
+func TestShardedConcurrentIngestSearchDelete(t *testing.T) {
+	ix := NewSharded(8)
+	queries := shardedQueries(t)
+	const (
+		writers    = 4
+		docsPerW   = 60
+		searchIter = 80
+	)
+	var wg sync.WaitGroup
+	// Writers: each adds its own documents, removes every third one, and
+	// sprinkles in concepts and numeric attributes.
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < docsPerW; i++ {
+				id := fmt.Sprintf("w%d-d%03d", w, i)
+				ix.Add(id, strings.Fields("shared battery life excellent pictures"))
+				ix.AddConcept(id, fmt.Sprintf("sentiment/doc%d/+", i))
+				ix.AddNumeric(id, "score", float64(i))
+				if i%3 == 0 {
+					ix.Remove(id)
+				}
+			}
+		}(w)
+	}
+	// Readers: hammer every query shape while the writers run.
+	for r := 0; r < 3; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < searchIter; i++ {
+				for _, q := range queries {
+					ix.Search(q)
+				}
+				ix.Search(Range("score", 10, 40))
+				ix.NumDocs()
+				ix.DocFreq("battery")
+				ix.Vocabulary()
+			}
+		}()
+	}
+	wg.Wait()
+
+	// Exactly the non-removed documents remain: per writer, docsPerW
+	// minus the i%3==0 removals.
+	removedPerW := (docsPerW + 2) / 3
+	want := writers * (docsPerW - removedPerW)
+	if got := ix.NumDocs(); got != want {
+		t.Fatalf("NumDocs = %d, want %d", got, want)
+	}
+	if got := len(ix.Search(Term("shared"))); got != want {
+		t.Fatalf("Term(shared) = %d docs, want %d", got, want)
+	}
+	if got := len(ix.Search(Phrase("battery", "life"))); got != want {
+		t.Fatalf("Phrase = %d docs, want %d", got, want)
+	}
+	// Removed docs must not linger in numeric or concept space.
+	for w := 0; w < writers; w++ {
+		id := fmt.Sprintf("w%d-d%03d", w, 0)
+		for _, got := range ix.Search(Range("score", -1, docsPerW+1)) {
+			if got == id {
+				t.Fatalf("removed doc %s still matches numeric range", id)
+			}
+		}
+	}
+}
+
+// TestNewShardedClamps: a non-positive shard count still yields a
+// working index.
+func TestNewShardedClamps(t *testing.T) {
+	ix := NewSharded(0)
+	if ix.NumShards() != 1 {
+		t.Fatalf("NumShards = %d, want 1", ix.NumShards())
+	}
+	ix.Add("d1", strings.Fields("lone word"))
+	if got := ix.Search(Term("word")); !reflect.DeepEqual(got, []string{"d1"}) {
+		t.Fatalf("got %v", got)
+	}
+}
+
+// TestShardedRemoveConcurrentWithSearch: posting-list snapshots handed
+// to a reader must stay valid while Remove compacts the same term.
+func TestShardedRemoveConcurrentWithSearch(t *testing.T) {
+	ix := NewSharded(4)
+	for i := 0; i < 100; i++ {
+		ix.Add(fmt.Sprintf("d%03d", i), strings.Fields("common unique"+fmt.Sprint(i)))
+	}
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 100; i += 2 {
+			ix.Remove(fmt.Sprintf("d%03d", i))
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 200; i++ {
+			ix.Search(Phrase("common"))
+			ix.Search(Term("common"))
+		}
+	}()
+	wg.Wait()
+	if got := len(ix.Search(Term("common"))); got != 50 {
+		t.Fatalf("remaining docs = %d, want 50", got)
+	}
+}

@@ -8,6 +8,7 @@ package ingest
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"webfountain/internal/corpus"
 	"webfountain/internal/store"
@@ -66,13 +67,24 @@ type Stats struct {
 	BySource map[string]int
 }
 
+// IndexFunc receives each successfully stored entity so acquisition can
+// feed the inverted index in the same pass that stores the document,
+// instead of leaving ingested sources unsearchable until a separate
+// full-store indexing sweep. It is called from the worker goroutine
+// that stored the entity, so implementations must be safe for
+// concurrent calls (the platform's sharded index is).
+type IndexFunc func(*store.Entity)
+
 // Ingestor drains sources into a store with a worker pool.
 type Ingestor struct {
 	store   *store.Store
 	workers int
+	index   IndexFunc
 }
 
-// New builds an ingestor over the store (workers < 1 selects 4).
+// New builds an ingestor over the store (workers < 1 selects 4). Without
+// WithIndexer the ingestor is store-only and documents must be indexed
+// by a later sweep.
 func New(st *store.Store, workers int) *Ingestor {
 	if workers < 1 {
 		workers = 4
@@ -80,38 +92,64 @@ func New(st *store.Store, workers int) *Ingestor {
 	return &Ingestor{store: st, workers: workers}
 }
 
+// WithIndexer routes every stored entity through fn — the platform
+// indexing path — and returns the ingestor for chaining.
+func (ing *Ingestor) WithIndexer(fn IndexFunc) *Ingestor {
+	ing.index = fn
+	return ing
+}
+
 // Run ingests every document of every source. Sources are drained
-// concurrently; the first storage error aborts the run.
+// concurrently; the first storage error aborts the run — a shared abort
+// flag stops sibling workers from continuing to Put after the failure,
+// so a degraded store is not hammered with doomed writes. Workers
+// accumulate their stats locally and merge once on exit, keeping the
+// shared critical section off the per-document path.
 func (ing *Ingestor) Run(sources ...Source) (Stats, error) {
 	stats := Stats{BySource: make(map[string]int)}
-	var mu sync.Mutex
-	var firstErr error
-
-	var wg sync.WaitGroup
+	var (
+		mu       sync.Mutex
+		firstErr error
+		aborted  atomic.Bool
+		wg       sync.WaitGroup
+	)
 	for _, src := range sources {
 		for w := 0; w < ing.workers; w++ {
 			wg.Add(1)
 			go func(src Source) {
 				defer wg.Done()
-				for {
+				local := Stats{BySource: make(map[string]int)}
+				for !aborted.Load() {
 					e, ok := src.Next()
 					if !ok {
-						return
+						break
 					}
-					err := ing.store.Put(e)
-					mu.Lock()
-					if err != nil {
+					if aborted.Load() {
+						break
+					}
+					if err := ing.store.Put(e); err != nil {
+						aborted.Store(true)
+						mu.Lock()
 						if firstErr == nil {
 							firstErr = fmt.Errorf("ingest %s: %w", src.Name(), err)
 						}
 						mu.Unlock()
-						return
+						break
 					}
-					stats.Documents++
-					stats.Bytes += int64(len(e.Text))
-					stats.BySource[src.Name()]++
-					mu.Unlock()
+					if ing.index != nil {
+						ing.index(e)
+					}
+					local.Documents++
+					local.Bytes += int64(len(e.Text))
+					local.BySource[src.Name()]++
 				}
+				mu.Lock()
+				stats.Documents += local.Documents
+				stats.Bytes += local.Bytes
+				for name, n := range local.BySource {
+					stats.BySource[name] += n
+				}
+				mu.Unlock()
 			}(src)
 		}
 	}

@@ -1,7 +1,11 @@
 package ingest
 
 import (
+	"fmt"
+	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"webfountain/internal/corpus"
 	"webfountain/internal/store"
@@ -77,5 +81,74 @@ func TestIngestorPropagatesStoreErrors(t *testing.T) {
 	ing := New(store.New(1), 1)
 	if _, err := ing.Run(&badSource{}); err == nil {
 		t.Error("expected error for invalid entity")
+	}
+}
+
+// TestIngestorWithIndexerIndexesEveryStoredDoc: the indexer callback
+// must see exactly the documents that were stored, even with many
+// workers calling it concurrently.
+func TestIngestorWithIndexerIndexesEveryStoredDoc(t *testing.T) {
+	st := store.New(8)
+	var (
+		mu      sync.Mutex
+		indexed = map[string]bool{}
+	)
+	ing := New(st, 4).WithIndexer(func(e *store.Entity) {
+		mu.Lock()
+		indexed[e.ID] = true
+		mu.Unlock()
+	})
+	stats, err := ing.Run(FromCorpus("reviews", corpus.DigitalCameraReviews(1, 40)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Documents != 40 || len(indexed) != 40 {
+		t.Fatalf("stored %d, indexed %d, want 40/40", stats.Documents, len(indexed))
+	}
+	for _, id := range st.IDs() {
+		if !indexed[id] {
+			t.Errorf("stored doc %s never reached the indexer", id)
+		}
+	}
+}
+
+// failFirstSource yields one entity the store rejects (empty ID), then
+// a long stream of slow valid documents — the shape that exposes
+// workers ploughing on after a sibling's failure.
+type failFirstSource struct {
+	pos   atomic.Int64
+	total int64
+}
+
+func (s *failFirstSource) Name() string { return "failfirst" }
+func (s *failFirstSource) Next() (*store.Entity, bool) {
+	n := s.pos.Add(1)
+	if n > s.total {
+		return nil, false
+	}
+	if n == 1 {
+		return &store.Entity{}, true // rejected: no ID
+	}
+	time.Sleep(time.Millisecond)
+	return &store.Entity{ID: fmt.Sprintf("doc-%04d", n), Text: "body"}, true
+}
+
+// TestIngestorAbortStopsSiblingWorkers: after one worker's Put fails,
+// the shared abort flag must stop the other workers long before they
+// drain the source — a degraded store is not hammered with doomed
+// writes.
+func TestIngestorAbortStopsSiblingWorkers(t *testing.T) {
+	const total = 2000
+	src := &failFirstSource{total: total}
+	ing := New(store.New(4), 4)
+	stats, err := ing.Run(src)
+	if err == nil {
+		t.Fatal("expected the first document's store error")
+	}
+	// Workers in flight when the failure lands may each finish their
+	// current document; anything near the full stream means the abort
+	// flag did not propagate.
+	if stats.Documents > total/10 {
+		t.Fatalf("ingested %d of %d documents after a fatal store error", stats.Documents, total)
 	}
 }

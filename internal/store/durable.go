@@ -12,6 +12,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 )
 
 // The durable store keeps its state in one data directory:
@@ -56,6 +57,22 @@ type Options struct {
 	// many records have been appended since the last compaction
 	// (0: compaction only happens via explicit Compact calls).
 	CompactEvery int
+	// GroupCommit coalesces concurrent mutations into shared WAL
+	// batches: the first writer to arrive becomes the batch leader,
+	// writes every queued record in one append and fsyncs once for all
+	// of them. Each caller still returns only after its own record is
+	// durable — ack-after-durable is preserved; what changes is that one
+	// fsync amortizes over the batch. SyncEvery is ignored in this mode
+	// (every batch syncs). Default off: each record appends and syncs
+	// individually, exactly the pre-group-commit contract.
+	GroupCommit bool
+	// GroupCommitWindow, when positive, makes a batch leader wait that
+	// long for followers to queue before committing, trading latency for
+	// larger batches. The default 0 commits as soon as the leader runs:
+	// under concurrency batches still form naturally, because writers
+	// arriving while a leader is inside its append+fsync queue up for
+	// the next batch.
+	GroupCommitWindow time.Duration
 	// WrapWAL, when set, wraps the live WAL file handle — the hook the
 	// deterministic disk-fault injector uses in crash-recovery tests.
 	WrapWAL func(WALFile) WALFile
@@ -81,6 +98,9 @@ type DurabilityStats struct {
 	Appended int
 	// Syncs is the number of WAL syncs since open.
 	Syncs int
+	// Batches is the number of group-commit batches committed since
+	// open (0 unless Options.GroupCommit).
+	Batches int
 	// Degraded reports read-only mode; Reason says why.
 	Degraded bool
 	Reason   string
@@ -105,8 +125,25 @@ type durability struct {
 	truncated   int
 	snapLoaded  bool
 
+	// Group-commit state: writers queue requests on pending; the writer
+	// that finds no leader active becomes the leader, takes the whole
+	// queue, and commits it as one append+fsync. commitIdle is signalled
+	// when a leader finishes, so Close and Compact can wait out an
+	// in-flight batch.
+	pending    []*walReq
+	committing bool
+	commitIdle *sync.Cond
+	batches    int
+
 	degraded string // reason; "" while healthy
 	closed   bool
+}
+
+// walReq is one writer's queued record in a group-commit batch.
+type walReq struct {
+	rec   []byte
+	apply func()
+	done  chan error
 }
 
 func snapshotPath(dir string, gen uint64) string {
@@ -162,6 +199,7 @@ func Open(dir string, opts Options) (*Store, error) {
 	// re-logs.
 	s := New(opts.Shards)
 	d := &durability{dir: dir, opts: opts}
+	d.commitIdle = sync.NewCond(&d.mu)
 
 	// Load the newest verifiable snapshot.
 	snapGens := listGens(dir, "snapshot", ".xml")
@@ -355,9 +393,107 @@ func (d *durability) quarantine(rec []byte) {
 // readers keep working from the recovered state.
 func (s *Store) logged(op byte, body []byte, apply func()) error {
 	d := s.dur
+	if d.opts.GroupCommit {
+		return s.loggedGroup(op, body, apply)
+	}
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	return s.loggedLocked(op, body, apply)
+}
+
+// loggedGroup is the group-commit write path: the record joins the
+// pending batch, and either this writer becomes the batch leader —
+// committing everything queued with one append and one fsync — or it
+// waits for the current leader to commit on its behalf. Either way the
+// call returns only once the record is durable (or the store degraded),
+// so the ack-after-durable contract is identical to the per-record path.
+func (s *Store) loggedGroup(op byte, body []byte, apply func()) error {
+	d := s.dur
+	req := &walReq{rec: encodeWALRecord(op, body), apply: apply, done: make(chan error, 1)}
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		return fmt.Errorf("store: closed")
+	}
+	if d.degraded != "" {
+		reason := d.degraded
+		d.mu.Unlock()
+		return fmt.Errorf("%w: %s", ErrReadOnly, reason)
+	}
+	d.pending = append(d.pending, req)
+	if d.committing {
+		// A leader is already collecting or committing; it will take
+		// this request in its batch (if still collecting) or the next
+		// writer to arrive after it finishes will.
+		d.mu.Unlock()
+		return <-req.done
+	}
+	d.committing = true
+	d.mu.Unlock()
+	if w := d.opts.GroupCommitWindow; w > 0 {
+		time.Sleep(w)
+	}
+	d.mu.Lock()
+	batch := d.pending
+	d.pending = nil
+	s.commitBatchLocked(batch)
+	d.committing = false
+	d.commitIdle.Broadcast()
+	d.mu.Unlock()
+	return <-req.done
+}
+
+// commitBatchLocked writes every queued record in one WAL append, syncs
+// once, applies the mutations in log order, and completes each waiter.
+// A failed append or sync degrades the store and fails the whole batch
+// un-applied: none of those writers were acknowledged, so recovery
+// surfacing any prefix of the batch (what made it to disk before the
+// failure) never contradicts an ack. The caller holds d.mu.
+func (s *Store) commitBatchLocked(batch []*walReq) {
+	d := s.dur
+	fail := func(err error) {
+		for _, r := range batch {
+			r.done <- err
+		}
+	}
+	if len(batch) == 0 {
+		return
+	}
+	if d.degraded != "" {
+		fail(fmt.Errorf("%w: %s", ErrReadOnly, d.degraded))
+		return
+	}
+	total := 0
+	for _, r := range batch {
+		total += len(r.rec)
+	}
+	buf := make([]byte, 0, total)
+	for _, r := range batch {
+		buf = append(buf, r.rec...)
+	}
+	if _, err := d.wal.Write(buf); err != nil {
+		d.degraded = "wal append failed: " + err.Error()
+		fail(fmt.Errorf("%w: %s", ErrReadOnly, d.degraded))
+		return
+	}
+	if err := d.wal.Sync(); err != nil {
+		d.degraded = "wal sync failed: " + err.Error()
+		fail(fmt.Errorf("%w: %s", ErrReadOnly, d.degraded))
+		return
+	}
+	d.appended += len(batch)
+	d.sinceSync = 0
+	d.syncs++
+	d.batches++
+	for _, r := range batch {
+		r.apply()
+		r.done <- nil
+	}
+	if d.opts.CompactEvery > 0 && d.appended >= d.opts.CompactEvery {
+		if err := s.compactLocked(); err != nil {
+			d.degraded = "compaction failed: " + err.Error()
+		}
+	}
 }
 
 // loggedLocked is logged for callers that already hold d.mu — Update
@@ -406,6 +542,9 @@ func (s *Store) Compact() error {
 	}
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	for d.committing {
+		d.commitIdle.Wait()
+	}
 	if d.closed {
 		return fmt.Errorf("store: closed")
 	}
@@ -526,6 +665,11 @@ func (s *Store) Close() error {
 	}
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	// An in-flight group-commit batch finishes first: its writers were
+	// promised a durable ack and the leader needs the WAL handle.
+	for d.committing {
+		d.commitIdle.Wait()
+	}
 	if d.closed {
 		return nil
 	}
@@ -575,6 +719,7 @@ func (s *Store) Durability() DurabilityStats {
 		TruncatedBytes: d.truncated,
 		Appended:       d.appended,
 		Syncs:          d.syncs,
+		Batches:        d.batches,
 		Degraded:       d.degraded != "",
 		Reason:         d.degraded,
 	}

@@ -26,6 +26,8 @@ package webfountain
 import (
 	"fmt"
 	"io"
+	"runtime"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -63,6 +65,7 @@ type Platform struct {
 	store   *store.Store
 	cluster *cluster.Cluster
 	index   *index.Index
+	workers int
 	nextID  atomic.Int64
 }
 
@@ -97,6 +100,24 @@ type PlatformConfig struct {
 	// CompactEvery, when positive, compacts the log into a checksummed
 	// snapshot after that many records (default 0: manual only).
 	CompactEvery int
+
+	// IngestWorkers is the number of concurrent workers Ingest and index
+	// rebuilds use to tokenize and index documents (default: GOMAXPROCS).
+	// 1 selects the serial path.
+	IngestWorkers int
+	// IndexShards is the number of term-hashed inverted-index shards
+	// (default 16). More shards admit more concurrent ingest workers.
+	IndexShards int
+	// GroupCommit coalesces concurrent durable writes into shared WAL
+	// append+fsync batches: each write still returns only after its
+	// record is durable, but one fsync covers a whole batch. Only
+	// meaningful with DataDir; default off preserves the per-record
+	// sync policy. See store.Options.GroupCommit.
+	GroupCommit bool
+	// GroupCommitWindow bounds how long the first writer of a batch
+	// waits for more writers before committing (default 0: commit as
+	// soon as the previous batch's fsync finishes).
+	GroupCommitWindow time.Duration
 }
 
 // NewPlatform builds an empty in-memory platform.
@@ -120,9 +141,11 @@ func OpenPlatform(cfg PlatformConfig) (*Platform, error) {
 		cfg.Shards = 16
 	}
 	st, err := store.Open(cfg.DataDir, store.Options{
-		Shards:       cfg.Shards,
-		SyncEvery:    cfg.SyncEvery,
-		CompactEvery: cfg.CompactEvery,
+		Shards:            cfg.Shards,
+		SyncEvery:         cfg.SyncEvery,
+		CompactEvery:      cfg.CompactEvery,
+		GroupCommit:       cfg.GroupCommit,
+		GroupCommitWindow: cfg.GroupCommitWindow,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("webfountain: open platform: %w", err)
@@ -134,6 +157,14 @@ func OpenPlatform(cfg PlatformConfig) (*Platform, error) {
 
 // platformOver assembles the runtime around a store.
 func platformOver(st *store.Store, cfg PlatformConfig) *Platform {
+	workers := cfg.IngestWorkers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	shards := cfg.IndexShards
+	if shards <= 0 {
+		shards = 16
+	}
 	return &Platform{
 		store: st,
 		cluster: cluster.NewWithConfig(st, cluster.Config{
@@ -145,33 +176,89 @@ func platformOver(st *store.Store, cfg PlatformConfig) *Platform {
 			EntityTimeout: cfg.EntityTimeout,
 			ErrorBudget:   cfg.MinerErrorBudget,
 		}),
-		index: index.New(),
+		index:   index.NewSharded(shards),
+		workers: workers,
 	}
+}
+
+// indexEntity tokenizes a document body and adds it to the inverted
+// index — the one tokenize→words→Add path shared by Ingest, reindex and
+// Restore, so every route into the index produces identical postings.
+func (p *Platform) indexEntity(tk *tokenize.Tokenizer, id, text string) {
+	toks := tk.Tokenize(text)
+	words := make([]string, len(toks))
+	for i := range toks {
+		words[i] = toks[i].Text
+	}
+	p.index.Add(id, words)
+}
+
+// parseGeneratedID recognizes the platform's generated document IDs
+// ("doc-" followed by digits only) and returns the counter value. A
+// cheap manual parse: reindex calls it once per recovered entity, and
+// fmt.Sscanf's reflection-driven scanning dominated recovery profiles.
+func parseGeneratedID(id string) (int64, bool) {
+	if len(id) < 5 || id[:4] != "doc-" {
+		return 0, false
+	}
+	var n int64
+	for i := 4; i < len(id); i++ {
+		c := id[i]
+		if c < '0' || c > '9' {
+			return 0, false
+		}
+		n = n*10 + int64(c-'0')
+	}
+	return n, true
 }
 
 // reindex rebuilds the inverted index from the store's entities, exactly
 // mirroring what Ingest indexes, so a recovered platform answers the
-// same queries as one that never crashed. It also advances the ID
-// generator past every recovered generated ID so new ingests cannot
-// collide with recovered documents.
+// same queries as one that never crashed. Store shards are rebuilt in
+// parallel — each worker drains whole shards, the unit of parallelism
+// the shared-nothing layout provides. It also advances the ID generator
+// past every recovered generated ID so new ingests cannot collide with
+// recovered documents.
 func (p *Platform) reindex() {
 	p.index.Reset()
-	tk := tokenize.New()
-	maxGen := int64(0)
-	_ = p.store.ForEach(func(e *store.Entity) error {
-		toks := tk.Tokenize(e.Text)
-		words := make([]string, len(toks))
-		for i, t := range toks {
-			words[i] = t.Text
-		}
-		p.index.Add(e.ID, words)
-		var n int64
-		if _, err := fmt.Sscanf(e.ID, "doc-%d", &n); err == nil && n > maxGen {
-			maxGen = n
-		}
-		return nil
-	})
-	p.nextID.Store(maxGen)
+	var maxGen atomic.Int64
+	shards := p.store.NumShards()
+	workers := p.workers
+	if workers > shards {
+		workers = shards
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	shardCh := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			tk := tokenize.New()
+			for si := range shardCh {
+				_ = p.store.ForEachInShard(si, func(e *store.Entity) error {
+					p.indexEntity(tk, e.ID, e.Text)
+					if n, ok := parseGeneratedID(e.ID); ok {
+						for {
+							cur := maxGen.Load()
+							if n <= cur || maxGen.CompareAndSwap(cur, n) {
+								break
+							}
+						}
+					}
+					return nil
+				})
+			}
+		}()
+	}
+	for si := 0; si < shards; si++ {
+		shardCh <- si
+	}
+	close(shardCh)
+	wg.Wait()
+	p.nextID.Store(maxGen.Load())
 }
 
 // Close flushes the durable store's write-ahead log and releases it. It
@@ -191,35 +278,94 @@ func (p *Platform) Compact() error { return p.store.Compact() }
 
 // Ingest stores documents and indexes their tokens. Documents without an
 // ID receive a generated one, returned in the IDs slice in input order.
+//
+// With IngestWorkers > 1 the batch is processed by a bounded worker
+// pool: each worker stores, tokenizes and indexes whole documents
+// concurrently (the store and the index are both sharded, so workers
+// rarely contend). The returned IDs are always in input order, and on
+// failure the error wraps the earliest failing document with every
+// earlier document ingested — exactly the serial contract, except that
+// documents after the failing one may also have been stored before the
+// pool drained.
 func (p *Platform) Ingest(docs []Document) ([]string, error) {
-	tk := tokenize.New()
-	ids := make([]string, 0, len(docs))
-	for _, d := range docs {
-		id := d.ID
-		if id == "" {
-			id = fmt.Sprintf("doc-%06d", p.nextID.Add(1))
+	ids := make([]string, len(docs))
+	for i := range docs {
+		if docs[i].ID != "" {
+			ids[i] = docs[i].ID
+		} else {
+			ids[i] = fmt.Sprintf("doc-%06d", p.nextID.Add(1))
 		}
-		e := &store.Entity{
-			ID:     id,
-			URL:    d.URL,
-			Source: d.Source,
-			Title:  d.Title,
-			Date:   d.Date,
-			Text:   d.Text,
-			Links:  append([]string(nil), d.Links...),
+	}
+	workers := p.workers
+	if workers > len(docs) {
+		workers = len(docs)
+	}
+	if workers <= 1 {
+		tk := tokenize.New()
+		for i := range docs {
+			if err := p.ingestOne(tk, &docs[i], ids[i]); err != nil {
+				return ids[:i], err
+			}
 		}
-		if err := p.store.Put(e); err != nil {
-			return ids, fmt.Errorf("webfountain: ingest %s: %w", id, err)
-		}
-		toks := tk.Tokenize(d.Text)
-		words := make([]string, len(toks))
-		for i, t := range toks {
-			words[i] = t.Text
-		}
-		p.index.Add(id, words)
-		ids = append(ids, id)
+		return ids, nil
+	}
+
+	var (
+		next    atomic.Int64 // work dispenser: next input index to claim
+		aborted atomic.Bool
+		mu      sync.Mutex
+		errIdx  = -1
+		firstEr error
+		wg      sync.WaitGroup
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			tk := tokenize.New()
+			for !aborted.Load() {
+				i := int(next.Add(1)) - 1
+				if i >= len(docs) {
+					return
+				}
+				if err := p.ingestOne(tk, &docs[i], ids[i]); err != nil {
+					aborted.Store(true)
+					mu.Lock()
+					if errIdx < 0 || i < errIdx {
+						errIdx, firstEr = i, err
+					}
+					mu.Unlock()
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if errIdx >= 0 {
+		// Indices are claimed monotonically and every claimed document
+		// runs to completion, so everything before the earliest failure
+		// was ingested — the serial prefix guarantee.
+		return ids[:errIdx], firstEr
 	}
 	return ids, nil
+}
+
+// ingestOne stores and indexes a single document under the given ID.
+func (p *Platform) ingestOne(tk *tokenize.Tokenizer, d *Document, id string) error {
+	e := &store.Entity{
+		ID:     id,
+		URL:    d.URL,
+		Source: d.Source,
+		Title:  d.Title,
+		Date:   d.Date,
+		Text:   d.Text,
+		Links:  append([]string(nil), d.Links...),
+	}
+	if err := p.store.Put(e); err != nil {
+		return fmt.Errorf("webfountain: ingest %s: %w", id, err)
+	}
+	p.indexEntity(tk, id, d.Text)
+	return nil
 }
 
 // NumEntities returns the number of stored documents.
@@ -284,12 +430,7 @@ func (p *Platform) Restore(r io.Reader) (int, error) {
 		if putErr := p.store.Put(e); putErr != nil {
 			return putErr
 		}
-		toks := tk.Tokenize(e.Text)
-		words := make([]string, len(toks))
-		for i, t := range toks {
-			words[i] = t.Text
-		}
-		p.index.Add(e.ID, words)
+		p.indexEntity(tk, e.ID, e.Text)
 		return nil
 	})
 	return n, err
