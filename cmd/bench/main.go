@@ -6,13 +6,16 @@
 // and the single-thread NLP micro-benchmarks that guard against
 // regressions on the non-parallel paths.
 //
-//	bench [-quick] [-docs N] [-out BENCH_PR3.json]
+//	bench [-quick] [-docs N] [-out BENCH_PR4.json]
 //	bench -compare old.json new.json
 //
 // The JSON records ns/op, MB/s and allocs/op per benchmark plus the
 // machine shape (CPUs, GOMAXPROCS) the numbers were taken on — parallel
 // speedups are only meaningful relative to the recorded CPU count. The
-// -compare mode prints a before/after table of two result files.
+// report also embeds a snapshot of the metrics registry taken after the
+// run, so the per-stage pipeline latency histograms land in the same
+// artifact as the throughput numbers. The -compare mode prints a
+// before/after table of two result files.
 package main
 
 import (
@@ -29,6 +32,7 @@ import (
 	webfountain "webfountain"
 	"webfountain/internal/corpus"
 	"webfountain/internal/index"
+	"webfountain/internal/metrics"
 	"webfountain/internal/pos"
 	"webfountain/internal/store"
 	"webfountain/internal/tokenize"
@@ -55,10 +59,14 @@ type Report struct {
 	Timestamp  string             `json:"timestamp"`
 	Results    []Result           `json:"results"`
 	Derived    map[string]float64 `json:"derived,omitempty"`
+	// Metrics is the registry snapshot taken after the run: the
+	// per-stage pipeline latency histograms, WAL counters and RPC
+	// metrics the benchmarked code paths populated.
+	Metrics *metrics.Snapshot `json:"metrics,omitempty"`
 }
 
 func main() {
-	out := flag.String("out", "BENCH_PR3.json", "output JSON path")
+	out := flag.String("out", "BENCH_PR4.json", "output JSON path")
 	quick := flag.Bool("quick", false, "smaller corpora for CI smoke runs")
 	docsFlag := flag.Int("docs", 0, "corpus size per ingest iteration (0: 200, or 40 with -quick)")
 	compare := flag.Bool("compare", false, "compare two result files: bench -compare old.json new.json")
@@ -101,7 +109,7 @@ func main() {
 // run executes the benchmark suite and assembles the report.
 func run(docs int, quick bool) Report {
 	rep := Report{
-		Bench:      "PR3",
+		Bench:      "PR4",
 		GoVersion:  runtime.Version(),
 		CPUs:       runtime.NumCPU(),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
@@ -267,7 +275,72 @@ func run(docs int, quick bool) Report {
 	record("store/wal-put", 0, walBench(store.Options{Shards: 16}))
 	record("store/wal-put-group-commit", 0, walBench(store.Options{Shards: 16, GroupCommit: true}))
 
+	// Full mining pipeline over an ingested corpus. Besides the number
+	// itself, this populates the per-stage latency histograms
+	// (pipeline.stage.*) that the Metrics section below snapshots.
+	minePlatform := webfountain.NewPlatform(webfountain.PlatformConfig{})
+	if _, err := minePlatform.Ingest(batch); err != nil {
+		fmt.Fprintln(os.Stderr, "mine bench ingest:", err)
+		os.Exit(1)
+	}
+	record("mine/pipeline", int64(textBytes), func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			m, err := webfountain.NewSentimentMiner(webfountain.MinerConfig{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := m.Run(minePlatform); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	// Mode 1 (predefined subjects) covers the spot→disambiguate path
+	// that entity mode skips, so its stage histogram fills too. The
+	// on/off-topic terms instantiate a disambiguator for NR70.
+	record("mine/subjects", int64(textBytes), func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			m, err := webfountain.NewSentimentMiner(webfountain.MinerConfig{Subjects: []webfountain.Subject{
+				{Canonical: "NR70",
+					OnTopic:  []string{"camera", "pictures", "battery"},
+					OffTopic: []string{"soundtrack", "album"}},
+				{Canonical: "battery"}, {Canonical: "CLIE"},
+			}})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := m.Run(minePlatform); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	// Cost of the instrumentation primitives themselves. The hot paths
+	// pay one span plus a couple of counter increments per document, so
+	// these two numbers bound the observability overhead.
+	benchCounter := metrics.Default().Counter("bench.calibration.count")
+	benchSpan := metrics.Default().Histogram("bench.calibration.ns")
+	record("metrics/counter-inc", 0, func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			benchCounter.Inc()
+		}
+	})
+	record("metrics/span", 0, func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			benchSpan.Start().End()
+		}
+	})
+
 	rep.Derived = map[string]float64{}
+	// Estimated instrumentation overhead on the ingest path: each
+	// document pays one span and two counter adds.
+	if sp, ok := byName["metrics/span"]; ok {
+		if ci, ok := byName["metrics/counter-inc"]; ok {
+			if ing, ok := byName["ingest/1w"]; ok && ing.NsPerOp > 0 {
+				perDoc := sp.NsPerOp + 2*ci.NsPerOp
+				rep.Derived["metrics_overhead_pct_ingest_1w"] = perDoc * float64(docs) / ing.NsPerOp * 100
+			}
+		}
+	}
 	if s, ok := byName["ingest/1w"]; ok {
 		if p, ok := byName["ingest/8w"]; ok && p.NsPerOp > 0 {
 			rep.Derived["ingest_speedup_8w_vs_1w"] = s.NsPerOp / p.NsPerOp
@@ -278,6 +351,8 @@ func run(docs int, quick bool) Report {
 			rep.Derived["wal_group_commit_speedup"] = s.NsPerOp / g.NsPerOp
 		}
 	}
+	snap := metrics.Default().Snapshot()
+	rep.Metrics = &snap
 	return rep
 }
 

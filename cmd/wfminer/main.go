@@ -136,7 +136,15 @@ func main() {
 		p, n := miner.Counts(s)
 		reps = append(reps, rep{s, p, n})
 	}
-	sort.Slice(reps, func(i, j int) bool { return reps[i].pos+reps[i].neg > reps[j].pos+reps[j].neg })
+	// Subjects with equal mention counts must keep a deterministic order,
+	// or the report shuffles between runs (Subjects() is sorted, but a
+	// non-stable sort on the count alone would scramble the ties).
+	sort.SliceStable(reps, func(i, j int) bool {
+		if ti, tj := reps[i].pos+reps[i].neg, reps[j].pos+reps[j].neg; ti != tj {
+			return ti > tj
+		}
+		return reps[i].subject < reps[j].subject
+	})
 	fmt.Printf("%-24s %9s %9s %10s\n", "subject", "positive", "negative", "pos share")
 	for i, r := range reps {
 		if i >= 20 {

@@ -7,6 +7,12 @@
 //
 //	wfnode -listen :9410 [-corpus camera] [-docs 100] [-seed 1]
 //	       [-data-dir /var/wfnode] [-sync-every 1]
+//	       [-metrics-addr :9411] [-pprof-addr :9412]
+//
+// With -metrics-addr the node serves its metrics registry over HTTP:
+// /metrics (plain text), /metrics.json (full snapshot) and /healthz.
+// -pprof-addr exposes net/http/pprof on a separate listener. The same
+// registry is always available over Vinci via the "metrics" service.
 //
 // With -data-dir the store is durable: every mutation is write-ahead-
 // logged there, and a restart recovers the corpus (and rebuilds the
@@ -19,6 +25,7 @@
 //	wfnode -connect host:9410 -search "battery life"
 //	wfnode -connect host:9410 -sentiment NR70
 //	wfnode -connect host:9410 -ping
+//	wfnode -connect host:9410 -metrics
 //
 // Every client run first probes the node's health service before
 // issuing operations; transport failures are retried with exponential
@@ -30,15 +37,19 @@ import (
 	"fmt"
 	"log"
 	"net"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
 	"syscall"
 	"time"
 
+	"webfountain/internal/chunk"
 	"webfountain/internal/corpus"
 	"webfountain/internal/index"
 	"webfountain/internal/ingest"
+	"webfountain/internal/metrics"
 	"webfountain/internal/sentiment"
 	"webfountain/internal/services"
 	"webfountain/internal/store"
@@ -57,10 +68,13 @@ func main() {
 	seed := flag.Int64("seed", 1, "corpus seed")
 	dataDir := flag.String("data-dir", "", "serve mode: durable data directory (empty: in-memory)")
 	syncEvery := flag.Int("sync-every", 1, "serve mode: sync the write-ahead log every N records")
+	metricsAddr := flag.String("metrics-addr", "", "serve mode: HTTP address for /metrics, /metrics.json and /healthz (empty: disabled)")
+	pprofAddr := flag.String("pprof-addr", "", "serve mode: HTTP address for net/http/pprof profiling (empty: disabled)")
 	get := flag.String("get", "", "client: fetch an entity by ID")
 	search := flag.String("search", "", "client: search indexed terms (space-separated, AND)")
 	sentimentQ := flag.String("sentiment", "", "client: query a subject's sentiment")
 	ping := flag.Bool("ping", false, "client: print the node's health status")
+	showMetrics := flag.Bool("metrics", false, "client: dump the node's metrics registry")
 	retries := flag.Int("retries", 4, "client: attempts per call on transport failure")
 	backoff := flag.Duration("backoff", 25*time.Millisecond, "client: base retry backoff (doubles per retry)")
 	callTimeout := flag.Duration("call-timeout", 10*time.Second, "client: per-call deadline")
@@ -68,7 +82,7 @@ func main() {
 
 	switch {
 	case *listen != "":
-		if err := serve(*listen, *corpusName, *docs, *seed, *dataDir, *syncEvery); err != nil {
+		if err := serve(*listen, *corpusName, *docs, *seed, *dataDir, *syncEvery, *metricsAddr, *pprofAddr); err != nil {
 			log.Fatal(err)
 		}
 	case *connect != "":
@@ -81,7 +95,7 @@ func main() {
 				Jitter:      0.2,
 			},
 		}
-		if err := client(*connect, opts, *ping, *get, *search, *sentimentQ); err != nil {
+		if err := client(*connect, opts, *ping, *showMetrics, *get, *search, *sentimentQ); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
@@ -93,7 +107,7 @@ func main() {
 
 // serve loads or recovers a corpus, mines it, and serves the Vinci
 // services until the listener closes or a shutdown signal arrives.
-func serve(addr, corpusName string, docs int, seed int64, dataDir string, syncEvery int) error {
+func serve(addr, corpusName string, docs int, seed int64, dataDir string, syncEvery int, metricsAddr, pprofAddr string) error {
 	var st *store.Store
 	if dataDir != "" {
 		var err error
@@ -155,16 +169,36 @@ func serve(addr, corpusName string, docs int, seed int64, dataDir string, syncEv
 	tagger := pos.NewTagger()
 	an := sentiment.New(nil, nil)
 	nesp := ne.New()
+	ck := chunk.New()
+	reg0 := metrics.Default()
+	stageTokenize := reg0.Stage(metrics.StageTokenize)
+	stagePOS := reg0.Stage(metrics.StagePOS)
+	stageChunk := reg0.Stage(metrics.StageChunk)
+	stageSpot := reg0.Stage(metrics.StageSpot)
+	stageSentiment := reg0.Stage(metrics.StageSentiment)
 	err := st.ForEach(func(e *store.Entity) error {
 		if !indexed {
 			addToIndex(e)
 		}
-		for _, s := range tk.Sentences(e.Text) {
+		span := stageTokenize.Start()
+		sentences := tk.Sentences(e.Text)
+		span.End()
+		for _, s := range sentences {
+			span = stageSpot.Start()
 			entities := nesp.SpotTokens(s.Tokens)
+			span.End()
 			if len(entities) == 0 {
 				continue
 			}
-			assignments := an.Analyze(tagger.TagSentence(s))
+			span = stagePOS.Start()
+			tagged := tagger.TagSentence(s)
+			span.End()
+			span = stageChunk.Start()
+			clauses := ck.Clauses(tagged)
+			span.End()
+			span = stageSentiment.Start()
+			assignments := an.AnalyzeClauses(clauses)
+			span.End()
 			for _, ent := range entities {
 				for _, h := range sentiment.ForSpan(assignments, ent.Start, ent.End) {
 					sidx.Add(index.SentimentEntry{
@@ -191,6 +225,36 @@ func serve(addr, corpusName string, docs int, seed int64, dataDir string, syncEv
 		Entities: st.Len,
 		Degraded: st.Degraded,
 	})
+	services.RegisterMetrics(reg, metrics.Default())
+
+	if metricsAddr != "" {
+		mux := http.NewServeMux()
+		metrics.Default().RegisterHTTP(mux)
+		mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+			deg, reason := st.Degraded()
+			w.Header().Set("Content-Type", "application/json")
+			if deg {
+				w.WriteHeader(http.StatusServiceUnavailable)
+			}
+			fmt.Fprintf(w, `{"node":%q,"entities":%d,"degraded":%v,"degraded_reason":%q}`+"\n",
+				"wfnode@"+addr, st.Len(), deg, reason)
+		})
+		go func() {
+			log.Printf("metrics on http://%s/metrics", metricsAddr)
+			if err := http.ListenAndServe(metricsAddr, mux); err != nil {
+				log.Printf("metrics server: %v", err)
+			}
+		}()
+	}
+	if pprofAddr != "" {
+		// net/http/pprof registers its handlers on the default mux.
+		go func() {
+			log.Printf("pprof on http://%s/debug/pprof/", pprofAddr)
+			if err := http.ListenAndServe(pprofAddr, nil); err != nil {
+				log.Printf("pprof server: %v", err)
+			}
+		}()
+	}
 
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
@@ -227,12 +291,15 @@ func serve(addr, corpusName string, docs int, seed int64, dataDir string, syncEv
 // client performs one-shot operations against a running node. The
 // node's health service is probed before any operation runs, so a dead
 // or half-up node is reported up front instead of failing mid-request.
-func client(addr string, opts vinci.DialOptions, ping bool, get, search, sentimentQ string) error {
-	conn, err := vinci.DialWith(addr, opts)
+func client(addr string, opts vinci.DialOptions, ping, showMetrics bool, get, search, sentimentQ string) error {
+	raw, err := vinci.DialWith(addr, opts)
 	if err != nil {
 		return err
 	}
-	defer conn.Close()
+	defer raw.Close()
+	// One trace ID per invocation: every call this run makes carries it,
+	// so the node's logs and metrics can be correlated with this client.
+	conn := vinci.Traced(raw, metrics.NewTraceID())
 
 	if err := services.Probe(conn); err != nil {
 		return fmt.Errorf("node %s unhealthy: %w", addr, err)
@@ -249,6 +316,14 @@ func client(addr string, opts vinci.DialOptions, ping bool, get, search, sentime
 		if st.Degraded {
 			fmt.Printf("  DEGRADED (read-only): %s\n", st.DegradedReason)
 		}
+	}
+	if showMetrics {
+		did = true
+		text, err := services.MetricsClient{C: conn}.Text()
+		if err != nil {
+			return err
+		}
+		fmt.Print(text)
 	}
 	if get != "" {
 		did = true
@@ -298,7 +373,7 @@ func client(addr string, opts vinci.DialOptions, ping bool, get, search, sentime
 		}
 	}
 	if !did {
-		return fmt.Errorf("client mode needs one of -ping, -get, -search, -sentiment")
+		return fmt.Errorf("client mode needs one of -ping, -metrics, -get, -search, -sentiment")
 	}
 	return nil
 }

@@ -7,10 +7,14 @@
 //	                             sentences for a subject (Figure 5)
 //	GET /api/subjects          — JSON subject list with counts
 //	GET /api/sentiment?name=X  — JSON sentiment entries for a subject
+//	GET /metrics               — plain-text metrics registry dump
+//	GET /metrics.json          — full metrics snapshot as JSON
+//	GET /healthz               — liveness probe
 //
 // Usage:
 //
 //	wfserver [-addr :8085] [-corpus pharma] [-docs 120] [-seed 7]
+//	         [-pprof-addr :8086]
 package main
 
 import (
@@ -20,10 +24,12 @@ import (
 	"html/template"
 	"log"
 	"net/http"
+	_ "net/http/pprof"
 	"os"
 
 	"webfountain"
 	"webfountain/internal/corpus"
+	"webfountain/internal/metrics"
 )
 
 var overviewTmpl = template.Must(template.New("overview").Parse(`<!DOCTYPE html>
@@ -67,6 +73,7 @@ func main() {
 	corpusName := flag.String("corpus", "pharma", "corpus: camera, music, petroleum, pharma, news")
 	docs := flag.Int("docs", 120, "documents to mine at startup")
 	seed := flag.Int64("seed", 7, "corpus seed")
+	pprofAddr := flag.String("pprof-addr", "", "HTTP address for net/http/pprof profiling (empty: disabled)")
 	flag.Parse()
 
 	miner, platform, err := mine(*corpusName, *docs, *seed)
@@ -75,6 +82,16 @@ func main() {
 		os.Exit(1)
 	}
 	mux := newMux(miner, platform)
+
+	if *pprofAddr != "" {
+		// net/http/pprof registers its handlers on the default mux.
+		go func() {
+			log.Printf("pprof on http://%s/debug/pprof/", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				log.Printf("pprof server: %v", err)
+			}
+		}()
+	}
 
 	log.Printf("serving sentiment for %d documents on %s", platform.NumEntities(), *addr)
 	log.Fatal(http.ListenAndServe(*addr, mux))
@@ -145,6 +162,11 @@ func newMux(miner *webfountain.SentimentMiner, platform *webfountain.Platform) *
 		}
 		w.Header().Set("Content-Type", "application/json")
 		json.NewEncoder(w).Encode(miner.Query(name))
+	})
+	metrics.Default().RegisterHTTP(mux)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprintf(w, `{"status":"ok","documents":%d}`+"\n", platform.NumEntities())
 	})
 	return mux
 }

@@ -20,6 +20,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"webfountain/internal/metrics"
 	"webfountain/internal/store"
 )
 
@@ -44,6 +45,9 @@ type CorpusMiner interface {
 type Stats struct {
 	// Miner is the miner's name.
 	Miner string
+	// TraceID correlates this deployment's log lines, metrics and Vinci
+	// calls; assigned when the deployment starts.
+	TraceID string
 	// Entities is the number of entities processed.
 	Entities int
 	// Annotations is the number of annotations attached.
@@ -177,12 +181,42 @@ func (c *Cluster) Store() *store.Store { return c.store }
 // maxErrors bounds how many per-entity errors are retained verbatim.
 const maxErrors = 8
 
+// minerMetrics is one miner's handle set, resolved once per deployment
+// so the per-entity path touches only atomics.
+type minerMetrics struct {
+	entities *metrics.Counter
+	failures *metrics.Counter
+	retries  *metrics.Counter
+	panics   *metrics.Counter
+	entityNs *metrics.Histogram
+	deployNs *metrics.Histogram
+}
+
+func minerMetricsFor(name string) *minerMetrics {
+	reg := metrics.Default()
+	p := "cluster.miner." + name + "."
+	return &minerMetrics{
+		entities: reg.Counter(p + "entities"),
+		failures: reg.Counter(p + "failures"),
+		retries:  reg.Counter(p + "retries"),
+		panics:   reg.Counter(p + "panics"),
+		entityNs: reg.Histogram(p + "entity.ns"),
+		deployNs: reg.Histogram(p + "deploy.ns"),
+	}
+}
+
+var (
+	breakerOpen  = metrics.Default().Gauge("cluster.breaker.open")
+	breakerTrips = metrics.Default().Counter("cluster.breaker.trips")
+)
+
 // runState is the shared bookkeeping of one deployment.
 type runState struct {
 	mu      sync.Mutex
 	stats   Stats
 	errs    []error
 	tripped atomic.Bool
+	mm      *minerMetrics
 }
 
 // isTransient classifies a per-entity failure: errors carrying
@@ -295,7 +329,10 @@ func (c *Cluster) RunEntityMiner(m EntityMiner) (Stats, error) {
 	shards := make(chan int)
 	var wg sync.WaitGroup
 
-	rs := &runState{stats: Stats{Miner: m.Name()}}
+	rs := &runState{
+		stats: Stats{Miner: m.Name(), TraceID: metrics.NewTraceID()},
+		mm:    minerMetricsFor(m.Name()),
+	}
 
 	workers := c.workers
 	if workers > c.store.NumShards() {
@@ -317,7 +354,10 @@ func (c *Cluster) RunEntityMiner(m EntityMiner) (Stats, error) {
 	wg.Wait()
 
 	rs.stats.Elapsed = time.Since(start)
+	rs.mm.deployNs.ObserveDuration(rs.stats.Elapsed)
 	if rs.stats.BreakerTripped {
+		// The breaker is per-deployment; it closes when the run ends.
+		breakerOpen.Add(-1)
 		rs.errs = append(rs.errs, fmt.Errorf(
 			"breaker tripped after %d failures; %d entities skipped",
 			rs.stats.Failures, rs.stats.Skipped))
@@ -337,7 +377,19 @@ func (c *Cluster) mineShard(m EntityMiner, shard int, rs *runState) {
 			rs.mu.Unlock()
 			return nil
 		}
+		span := rs.mm.entityNs.Start()
 		res := c.processEntity(m, e)
+		span.End()
+		rs.mm.entities.Inc()
+		if res.retries > 0 {
+			rs.mm.retries.Add(int64(res.retries))
+		}
+		if res.panicked {
+			rs.mm.panics.Inc()
+		}
+		if res.err != nil {
+			rs.mm.failures.Inc()
+		}
 		writeFailed := false
 		if res.err == nil && len(res.anns) > 0 {
 			// The write-back stays outside the stats critical section:
@@ -374,6 +426,8 @@ func (c *Cluster) mineShard(m EntityMiner, shard int, rs *runState) {
 			if c.cfg.ErrorBudget > 0 && rs.stats.Failures >= c.cfg.ErrorBudget && !rs.stats.BreakerTripped {
 				rs.stats.BreakerTripped = true
 				rs.tripped.Store(true)
+				breakerOpen.Add(1)
+				breakerTrips.Inc()
 			}
 			return nil
 		}
@@ -398,7 +452,9 @@ func (c *Cluster) RunPipeline(entityMiners []EntityMiner, corpusMiners []CorpusM
 	for _, m := range corpusMiners {
 		start := time.Now()
 		err := m.Run(c.store)
-		all = append(all, Stats{Miner: m.Name(), Elapsed: time.Since(start)})
+		elapsed := time.Since(start)
+		minerMetricsFor(m.Name()).deployNs.ObserveDuration(elapsed)
+		all = append(all, Stats{Miner: m.Name(), TraceID: metrics.NewTraceID(), Elapsed: elapsed})
 		if err != nil {
 			return all, fmt.Errorf("cluster: corpus miner %s: %w", m.Name(), err)
 		}

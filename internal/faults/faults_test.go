@@ -285,7 +285,8 @@ func TestClusterRunDeterministicUnderSeed(t *testing.T) {
 			return []store.Annotation{{Type: "t"}}, nil
 		}})
 		stats, _ := c.RunEntityMiner(m)
-		stats.Elapsed = 0 // wall clock is the one nondeterministic field
+		stats.Elapsed = 0 // wall clock and the per-deployment trace ID
+		stats.TraceID = "" // are the intentionally nondeterministic fields
 		return stats
 	}
 	a, b := run(), run()

@@ -295,7 +295,7 @@ func (s Selector) scoreAll(onTopic, offTopic [][]string) []ScoredTerm {
 			DocsOff: c12,
 		})
 	}
-	sort.Slice(scored, func(i, j int) bool {
+	sort.SliceStable(scored, func(i, j int) bool {
 		if scored[i].Score != scored[j].Score {
 			return scored[i].Score > scored[j].Score
 		}
@@ -371,7 +371,7 @@ func (ms MixtureSelector) Select(onTopic, offTopic [][]string) []ScoredTerm {
 			out = append(out, ScoredTerm{Term: term, Score: score, DocsOn: c11, DocsOff: dfOff[term]})
 		}
 	}
-	sort.Slice(out, func(i, j int) bool {
+	sort.SliceStable(out, func(i, j int) bool {
 		if out[i].Score != out[j].Score {
 			return out[i].Score > out[j].Score
 		}

@@ -208,6 +208,10 @@ func (b *docBuilder) release() {
 // for not indexing the same document twice. Concurrent Adds serialize
 // only on the shards whose terms they share.
 func (ix *Index) Add(docID string, tokens []string) {
+	span := addNs.Start()
+	defer span.End()
+	addsTotal.Inc()
+	addTokens.Observe(int64(len(tokens)))
 	b := builderPool.Get().(*docBuilder)
 	b.build(tokens, uint32(len(ix.termShards)))
 
@@ -357,6 +361,9 @@ func (ix *Index) postings(lt string) []posting {
 	sh.mu.RLock()
 	ps := sh.terms[lt]
 	sh.mu.RUnlock()
+	if len(ps) > 0 {
+		postingSizes.Observe(int64(len(ps)))
+	}
 	return ps
 }
 
@@ -583,6 +590,8 @@ func (q regexpQuery) eval(ix *Index) docSet {
 
 // scanShard adds the shard's matching documents to out.
 func (q regexpQuery) scanShard(ix *Index, s int, out docSet) {
+	span := shardScanNs.Start()
+	defer span.End()
 	sh := &ix.termShards[s]
 	sh.mu.RLock()
 	for term, ps := range sh.terms {
@@ -612,6 +621,8 @@ func Regexp(pattern string) (Query, error) {
 // document either fully or not at all per term, and the result is exact
 // once the writers it overlaps have returned.
 func (ix *Index) Search(q Query) []string {
+	span := searchNs.Start()
+	defer span.End()
 	set := q.eval(ix)
 	out := make([]string, 0, len(set))
 	for id := range set {

@@ -60,18 +60,28 @@ func (si *SentimentIndex) Add(e SentimentEntry) {
 	si.bySubject[e.Subject] = append(si.bySubject[e.Subject], e)
 }
 
-// Query returns all entries for a subject, ordered by (DocID, Sentence).
+// Query returns all entries for a subject, ordered by (DocID, Sentence,
+// Polarity, Snippet). The sort is stable and the key total, so entries
+// that tie on document and sentence — the same subject twice in one
+// sentence — come back in the same order regardless of whether they were
+// mined serially or in parallel.
 func (si *SentimentIndex) Query(subject string) []SentimentEntry {
 	si.mu.RLock()
 	entries := si.bySubject[strings.ToLower(subject)]
 	out := make([]SentimentEntry, len(entries))
 	copy(out, entries)
 	si.mu.RUnlock()
-	sort.Slice(out, func(i, j int) bool {
+	sort.SliceStable(out, func(i, j int) bool {
 		if out[i].DocID != out[j].DocID {
 			return out[i].DocID < out[j].DocID
 		}
-		return out[i].Sentence < out[j].Sentence
+		if out[i].Sentence != out[j].Sentence {
+			return out[i].Sentence < out[j].Sentence
+		}
+		if out[i].Polarity != out[j].Polarity {
+			return out[i].Polarity > out[j].Polarity
+		}
+		return out[i].Snippet < out[j].Snippet
 	})
 	return out
 }

@@ -1,0 +1,42 @@
+package index
+
+import (
+	"reflect"
+	"testing"
+)
+
+// Entries that tie on (DocID, Sentence) must come back from Query in
+// the same order no matter what order they were added in — parallel
+// miners insert in scheduler order, so the sort key has to be total.
+func TestSentimentIndexQueryOrderIndependentOfInsertion(t *testing.T) {
+	entries := []SentimentEntry{
+		{DocID: "d2", Sentence: 0, Subject: "nr70", Polarity: 1, Snippet: "b"},
+		{DocID: "d1", Sentence: 3, Subject: "nr70", Polarity: -1, Snippet: "tie"},
+		{DocID: "d1", Sentence: 3, Subject: "nr70", Polarity: 1, Snippet: "tie"},
+		{DocID: "d1", Sentence: 3, Subject: "nr70", Polarity: 1, Snippet: "a tie"},
+		{DocID: "d1", Sentence: 0, Subject: "nr70", Polarity: 1, Snippet: "x"},
+	}
+	forward := NewSentimentIndex()
+	for _, e := range entries {
+		forward.Add(e)
+	}
+	reverse := NewSentimentIndex()
+	for i := len(entries) - 1; i >= 0; i-- {
+		reverse.Add(entries[i])
+	}
+
+	got := forward.Query("NR70")
+	want := []SentimentEntry{
+		{DocID: "d1", Sentence: 0, Subject: "nr70", Polarity: 1, Snippet: "x"},
+		{DocID: "d1", Sentence: 3, Subject: "nr70", Polarity: 1, Snippet: "a tie"},
+		{DocID: "d1", Sentence: 3, Subject: "nr70", Polarity: 1, Snippet: "tie"},
+		{DocID: "d1", Sentence: 3, Subject: "nr70", Polarity: -1, Snippet: "tie"},
+		{DocID: "d2", Sentence: 0, Subject: "nr70", Polarity: 1, Snippet: "b"},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Query order:\n got %+v\nwant %+v", got, want)
+	}
+	if rev := reverse.Query("NR70"); !reflect.DeepEqual(rev, got) {
+		t.Errorf("reversed insertion changed Query order:\n fwd %+v\n rev %+v", got, rev)
+	}
+}

@@ -1,0 +1,20 @@
+package metrics
+
+import (
+	"encoding/json"
+	"net/http"
+)
+
+// RegisterHTTP mounts the registry's read-only endpoints on mux:
+// /metrics serves the sorted plain-text dump, /metrics.json the full
+// snapshot (counters, gauges and histogram percentiles) as JSON.
+func (r *Registry) RegisterHTTP(mux *http.ServeMux) {
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_, _ = w.Write([]byte(r.Text()))
+	})
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(r.Snapshot())
+	})
+}

@@ -1,0 +1,55 @@
+package metrics
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestHTTPEndpoints(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("http.hits").Add(7)
+	r.Histogram("http.lat.ns").Observe(500)
+	mux := http.NewServeMux()
+	r.RegisterHTTP(mux)
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("/metrics Content-Type = %q", ct)
+	}
+	if !strings.Contains(string(body), "counter http.hits 7") {
+		t.Errorf("/metrics missing counter line:\n%s", body)
+	}
+
+	resp, err = http.Get(srv.URL + "/metrics.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("/metrics.json Content-Type = %q", ct)
+	}
+	var snap Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Counters["http.hits"] != 7 {
+		t.Errorf("json counter = %d, want 7", snap.Counters["http.hits"])
+	}
+	if snap.Histograms["http.lat.ns"].Count != 1 {
+		t.Errorf("json histogram count = %d, want 1", snap.Histograms["http.lat.ns"].Count)
+	}
+}

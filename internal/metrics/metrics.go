@@ -1,0 +1,378 @@
+// Package metrics is the platform's observability substrate: a
+// stdlib-only, allocation-light registry of atomic counters, gauges and
+// fixed-bucket histograms, plus the span/trace API that stamps each
+// document's trip through the mining pipeline.
+//
+// Design constraints, in order:
+//
+//  1. Hot-path cost. Counter.Inc and Histogram.Observe are a handful of
+//     atomic operations with no locks and no allocation, so they can sit
+//     inside the WAL append path, the per-document ingest loop and the
+//     per-call RPC path without moving the numbers they measure. Metric
+//     handles are resolved by name once (registration takes a lock) and
+//     then cached by the instrumented package in a package-level var.
+//  2. Readable everywhere. A Registry renders as a deterministic sorted
+//     text dump (one metric per line) and as a JSON snapshot, so the
+//     same state backs the wfnode/wfserver HTTP endpoints, the Vinci
+//     metrics service, and the committed bench artifacts.
+//  3. Fixed memory. Histograms use fixed exponential buckets (no
+//     per-observation storage); p50/p95/p99 are interpolated from the
+//     bucket counts at snapshot time, never tracked online.
+package metrics
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct{ v atomic.Int64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (n must be >= 0; negative deltas belong on a Gauge).
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is an instantaneous atomic value that may go up or down.
+type Gauge struct{ v atomic.Int64 }
+
+// Set replaces the value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add shifts the value by n.
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Histogram bucket geometry. Latency histograms span 256ns..~34s in
+// doubling buckets; size histograms span 1..2^27 the same way. Values
+// past the last bound land in a single overflow bucket whose percentile
+// estimate is the observed max.
+const histBuckets = 28
+
+var (
+	durationBounds = makeBounds(256) // 256ns, 512ns, ... ~34.4s
+	sizeBounds     = makeBounds(1)   // 1, 2, 4, ... ~134M
+)
+
+func makeBounds(base int64) []int64 {
+	bounds := make([]int64, histBuckets)
+	v := base
+	for i := range bounds {
+		bounds[i] = v
+		v *= 2
+	}
+	return bounds
+}
+
+// Histogram is a fixed-bucket histogram with atomic counts. The zero
+// value is unusable; obtain histograms from a Registry.
+type Histogram struct {
+	bounds []int64
+	counts []atomic.Int64 // len(bounds)+1; last bucket is overflow
+	count  atomic.Int64
+	sum    atomic.Int64
+	min    atomic.Int64 // valid only when count > 0
+	max    atomic.Int64
+}
+
+func newHistogram(bounds []int64) *Histogram {
+	h := &Histogram{bounds: bounds, counts: make([]atomic.Int64, len(bounds)+1)}
+	h.min.Store(math.MaxInt64)
+	h.max.Store(math.MinInt64)
+	return h
+}
+
+// Observe records one value. Negative values are clamped to zero.
+func (h *Histogram) Observe(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	// Binary search the doubling bounds: ~5 compares, no allocation.
+	i := sort.Search(len(h.bounds), func(i int) bool { return v <= h.bounds[i] })
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+	for {
+		cur := h.min.Load()
+		if v >= cur || h.min.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+	for {
+		cur := h.max.Load()
+		if v <= cur || h.max.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// HistogramSnapshot is a histogram's state at one instant, with
+// interpolated percentiles.
+type HistogramSnapshot struct {
+	Count int64   `json:"count"`
+	Sum   int64   `json:"sum"`
+	Min   int64   `json:"min"`
+	Max   int64   `json:"max"`
+	Mean  float64 `json:"mean"`
+	P50   int64   `json:"p50"`
+	P95   int64   `json:"p95"`
+	P99   int64   `json:"p99"`
+}
+
+// Snapshot reads the histogram. Concurrent observations may straddle the
+// read; the snapshot is internally consistent enough for monitoring
+// (counts never go backwards, percentiles are bucket-interpolated).
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{Count: h.count.Load(), Sum: h.sum.Load()}
+	if s.Count == 0 {
+		return s
+	}
+	s.Min = h.min.Load()
+	s.Max = h.max.Load()
+	s.Mean = float64(s.Sum) / float64(s.Count)
+	counts := make([]int64, len(h.counts))
+	total := int64(0)
+	for i := range h.counts {
+		counts[i] = h.counts[i].Load()
+		total += counts[i]
+	}
+	s.P50 = h.quantile(counts, total, 0.50, s)
+	s.P95 = h.quantile(counts, total, 0.95, s)
+	s.P99 = h.quantile(counts, total, 0.99, s)
+	return s
+}
+
+// quantile interpolates the q-quantile from bucket counts, clamped to
+// the observed min/max so a single-bucket histogram reports exact values.
+func (h *Histogram) quantile(counts []int64, total int64, q float64, s HistogramSnapshot) int64 {
+	if total == 0 {
+		return 0
+	}
+	rank := q * float64(total)
+	cum := 0.0
+	for i, c := range counts {
+		if c == 0 {
+			continue
+		}
+		next := cum + float64(c)
+		if next >= rank {
+			var lo, hi int64
+			if i == 0 {
+				lo, hi = 0, h.bounds[0]
+			} else if i == len(h.bounds) {
+				// Overflow bucket: everything we know is <= max.
+				return s.Max
+			} else {
+				lo, hi = h.bounds[i-1], h.bounds[i]
+			}
+			frac := (rank - cum) / float64(c)
+			v := lo + int64(frac*float64(hi-lo))
+			if v < s.Min {
+				v = s.Min
+			}
+			if v > s.Max {
+				v = s.Max
+			}
+			return v
+		}
+		cum = next
+	}
+	return s.Max
+}
+
+// Registry holds named metrics. Names are flat dotted paths
+// ("vinci.client.store.get.calls"); a name is permanently bound to its
+// first-registered kind.
+type Registry struct {
+	mu         sync.RWMutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   make(map[string]*Counter),
+		gauges:     make(map[string]*Gauge),
+		histograms: make(map[string]*Histogram),
+	}
+}
+
+// defaultRegistry is the process-wide registry every instrumented
+// package records into.
+var defaultRegistry = NewRegistry()
+
+// Default returns the process-wide registry.
+func Default() *Registry { return defaultRegistry }
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.RLock()
+	c, ok := r.counters[name]
+	r.mu.RUnlock()
+	if ok {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c, ok = r.counters[name]; ok {
+		return c
+	}
+	c = &Counter{}
+	r.counters[name] = c
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.RLock()
+	g, ok := r.gauges[name]
+	r.mu.RUnlock()
+	if ok {
+		return g
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g, ok = r.gauges[name]; ok {
+		return g
+	}
+	g = &Gauge{}
+	r.gauges[name] = g
+	return g
+}
+
+// Histogram returns the named latency histogram (nanosecond buckets,
+// 256ns..~34s), creating it on first use.
+func (r *Registry) Histogram(name string) *Histogram {
+	return r.histogram(name, durationBounds)
+}
+
+// SizeHistogram returns the named size histogram (count buckets,
+// 1..2^27), creating it on first use.
+func (r *Registry) SizeHistogram(name string) *Histogram {
+	return r.histogram(name, sizeBounds)
+}
+
+func (r *Registry) histogram(name string, bounds []int64) *Histogram {
+	r.mu.RLock()
+	h, ok := r.histograms[name]
+	r.mu.RUnlock()
+	if ok {
+		return h
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h, ok = r.histograms[name]; ok {
+		return h
+	}
+	h = newHistogram(bounds)
+	r.histograms[name] = h
+	return h
+}
+
+// Snapshot is a registry's full state at one instant.
+type Snapshot struct {
+	Counters   map[string]int64             `json:"counters"`
+	Gauges     map[string]int64             `json:"gauges"`
+	Histograms map[string]HistogramSnapshot `json:"histograms"`
+}
+
+// Snapshot reads every metric.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.RLock()
+	counters := make(map[string]*Counter, len(r.counters))
+	for n, c := range r.counters {
+		counters[n] = c
+	}
+	gauges := make(map[string]*Gauge, len(r.gauges))
+	for n, g := range r.gauges {
+		gauges[n] = g
+	}
+	hists := make(map[string]*Histogram, len(r.histograms))
+	for n, h := range r.histograms {
+		hists[n] = h
+	}
+	r.mu.RUnlock()
+
+	s := Snapshot{
+		Counters:   make(map[string]int64, len(counters)),
+		Gauges:     make(map[string]int64, len(gauges)),
+		Histograms: make(map[string]HistogramSnapshot, len(hists)),
+	}
+	for n, c := range counters {
+		s.Counters[n] = c.Value()
+	}
+	for n, g := range gauges {
+		s.Gauges[n] = g.Value()
+	}
+	for n, h := range hists {
+		s.Histograms[n] = h.Snapshot()
+	}
+	return s
+}
+
+// WriteText renders the registry as a deterministic plain-text dump, one
+// metric per line, sorted by kind then name:
+//
+//	counter vinci.server.store.get.calls 42
+//	gauge store.degraded 0
+//	histogram pipeline.stage.tokenize.ns count=12 sum=48000 min=900 max=9000 mean=4000.0 p50=3800 p95=8800 p99=9000
+func (r *Registry) WriteText(w io.Writer) error {
+	s := r.Snapshot()
+	var b strings.Builder
+	for _, n := range sortedKeys(s.Counters) {
+		fmt.Fprintf(&b, "counter %s %d\n", n, s.Counters[n])
+	}
+	for _, n := range sortedKeys(s.Gauges) {
+		fmt.Fprintf(&b, "gauge %s %d\n", n, s.Gauges[n])
+	}
+	hnames := make([]string, 0, len(s.Histograms))
+	for n := range s.Histograms {
+		hnames = append(hnames, n)
+	}
+	sort.Strings(hnames)
+	for _, n := range hnames {
+		h := s.Histograms[n]
+		fmt.Fprintf(&b, "histogram %s count=%d sum=%d min=%d max=%d mean=%.1f p50=%d p95=%d p99=%d\n",
+			n, h.Count, h.Sum, h.Min, h.Max, h.Mean, h.P50, h.P95, h.P99)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// Text renders WriteText into a string.
+func (r *Registry) Text() string {
+	var b strings.Builder
+	_ = r.WriteText(&b)
+	return b.String()
+}
+
+// MarshalJSON renders the registry's snapshot as JSON.
+func (r *Registry) MarshalJSON() ([]byte, error) {
+	return json.Marshal(r.Snapshot())
+}
+
+func sortedKeys(m map[string]int64) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,63 @@
+package services
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"webfountain/internal/metrics"
+	"webfountain/internal/vinci"
+)
+
+// MetricsService exposes a node's metrics registry over Vinci, so an
+// operator (or another node) can pull the same counters and latency
+// histograms the HTTP endpoint serves without needing HTTP enabled.
+const MetricsService = "metrics"
+
+// RegisterMetrics exposes a registry: op "text" returns the sorted
+// plain-text dump, op "json" the full snapshot as JSON.
+func RegisterMetrics(reg *vinci.Registry, r *metrics.Registry) {
+	reg.Register(MetricsService, func(req vinci.Request) vinci.Response {
+		switch req.Op {
+		case "text":
+			return vinci.OKResponse(map[string]string{"metrics": r.Text()})
+		case "json":
+			data, err := json.Marshal(r.Snapshot())
+			if err != nil {
+				return vinci.Errorf("metrics: encode: %v", err)
+			}
+			return vinci.OKResponse(map[string]string{"snapshot": string(data)})
+		}
+		return vinci.Errorf("metrics: unknown op %q", req.Op)
+	})
+}
+
+// MetricsClient is the typed client for the metrics service.
+type MetricsClient struct{ C vinci.Client }
+
+// Text fetches the node's plain-text metrics dump.
+func (mc MetricsClient) Text() (string, error) {
+	resp, err := mc.C.Call(vinci.Request{Service: MetricsService, Op: "text"})
+	if err != nil {
+		return "", err
+	}
+	if !resp.OK {
+		return "", fmt.Errorf("%s", resp.Error)
+	}
+	return resp.Fields["metrics"], nil
+}
+
+// Snapshot fetches the node's full metrics snapshot.
+func (mc MetricsClient) Snapshot() (metrics.Snapshot, error) {
+	resp, err := mc.C.Call(vinci.Request{Service: MetricsService, Op: "json"})
+	if err != nil {
+		return metrics.Snapshot{}, err
+	}
+	if !resp.OK {
+		return metrics.Snapshot{}, fmt.Errorf("%s", resp.Error)
+	}
+	var s metrics.Snapshot
+	if err := json.Unmarshal([]byte(resp.Fields["snapshot"]), &s); err != nil {
+		return metrics.Snapshot{}, fmt.Errorf("metrics: decode: %w", err)
+	}
+	return s, nil
+}

@@ -1,0 +1,54 @@
+package services
+
+import (
+	"strings"
+	"testing"
+
+	"webfountain/internal/metrics"
+	"webfountain/internal/vinci"
+)
+
+func TestMetricsServiceRoundTrip(t *testing.T) {
+	reg := vinci.NewRegistry()
+	r := metrics.NewRegistry()
+	r.Counter("node.requests").Add(3)
+	r.Gauge("node.depth").Set(2)
+	r.Histogram("node.lat.ns").Observe(1000)
+	RegisterMetrics(reg, r)
+	mc := MetricsClient{C: vinci.NewLocalClient(reg)}
+
+	text, err := mc.Text()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(text, "counter node.requests 3") {
+		t.Errorf("text dump missing counter:\n%s", text)
+	}
+
+	snap, err := mc.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Counters["node.requests"] != 3 {
+		t.Errorf("snapshot counter = %d, want 3", snap.Counters["node.requests"])
+	}
+	if snap.Gauges["node.depth"] != 2 {
+		t.Errorf("snapshot gauge = %d, want 2", snap.Gauges["node.depth"])
+	}
+	if snap.Histograms["node.lat.ns"].Count != 1 {
+		t.Errorf("snapshot histogram count = %d, want 1", snap.Histograms["node.lat.ns"].Count)
+	}
+}
+
+func TestMetricsServiceUnknownOp(t *testing.T) {
+	reg := vinci.NewRegistry()
+	RegisterMetrics(reg, metrics.NewRegistry())
+	c := vinci.NewLocalClient(reg)
+	resp, err := c.Call(vinci.Request{Service: MetricsService, Op: "bogus"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.OK {
+		t.Error("unknown op should fail")
+	}
+}

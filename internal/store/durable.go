@@ -303,7 +303,7 @@ func (d *durability) replayWAL(s *Store, path string) error {
 			if terr := os.Truncate(path, int64(off)); terr != nil {
 				return fmt.Errorf("replay %s: truncate corrupt tail: %w", filepath.Base(path), terr)
 			}
-			d.degraded = fmt.Sprintf("wal framing lost: %s offset %d: %v", filepath.Base(path), off, derr)
+			d.degrade(fmt.Sprintf("wal framing lost: %s offset %d: %v", filepath.Base(path), off, derr))
 			return nil
 		case derr != nil:
 			// Torn tail: drop it so appends resume on a clean boundary.
@@ -472,15 +472,20 @@ func (s *Store) commitBatchLocked(batch []*walReq) {
 		buf = append(buf, r.rec...)
 	}
 	if _, err := d.wal.Write(buf); err != nil {
-		d.degraded = "wal append failed: " + err.Error()
+		d.degrade("wal append failed: " + err.Error())
 		fail(fmt.Errorf("%w: %s", ErrReadOnly, d.degraded))
 		return
 	}
+	span := walFsyncNs.Start()
 	if err := d.wal.Sync(); err != nil {
-		d.degraded = "wal sync failed: " + err.Error()
+		d.degrade("wal sync failed: " + err.Error())
 		fail(fmt.Errorf("%w: %s", ErrReadOnly, d.degraded))
 		return
 	}
+	span.End()
+	walAppends.Add(int64(len(batch)))
+	walSyncs.Inc()
+	walBatchRecords.Observe(int64(len(batch)))
 	d.appended += len(batch)
 	d.sinceSync = 0
 	d.syncs++
@@ -491,7 +496,7 @@ func (s *Store) commitBatchLocked(batch []*walReq) {
 	}
 	if d.opts.CompactEvery > 0 && d.appended >= d.opts.CompactEvery {
 		if err := s.compactLocked(); err != nil {
-			d.degraded = "compaction failed: " + err.Error()
+			d.degrade("compaction failed: " + err.Error())
 		}
 	}
 }
@@ -509,23 +514,27 @@ func (s *Store) loggedLocked(op byte, body []byte, apply func()) error {
 	}
 	rec := encodeWALRecord(op, body)
 	if _, err := d.wal.Write(rec); err != nil {
-		d.degraded = "wal append failed: " + err.Error()
+		d.degrade("wal append failed: " + err.Error())
 		return fmt.Errorf("%w: %s", ErrReadOnly, d.degraded)
 	}
+	walAppends.Inc()
 	d.appended++
 	d.sinceSync++
 	if d.sinceSync >= d.opts.SyncEvery {
+		span := walFsyncNs.Start()
 		if err := d.wal.Sync(); err != nil {
-			d.degraded = "wal sync failed: " + err.Error()
+			d.degrade("wal sync failed: " + err.Error())
 			return fmt.Errorf("%w: %s", ErrReadOnly, d.degraded)
 		}
+		span.End()
+		walSyncs.Inc()
 		d.sinceSync = 0
 		d.syncs++
 	}
 	apply()
 	if d.opts.CompactEvery > 0 && d.appended >= d.opts.CompactEvery {
 		if err := s.compactLocked(); err != nil {
-			d.degraded = "compaction failed: " + err.Error()
+			d.degrade("compaction failed: " + err.Error())
 		}
 	}
 	return nil
@@ -624,7 +633,7 @@ func (s *Store) compactLocked() error {
 		// still recoverable (the fallback generation is kept below), but
 		// a directory that cannot fsync cannot be trusted with further
 		// acknowledgements.
-		d.degraded = "compaction failed: " + err.Error()
+		d.degrade("compaction failed: " + err.Error())
 		return fmt.Errorf("store: compact: %w", err)
 	}
 
@@ -653,6 +662,7 @@ func (s *Store) compactLocked() error {
 			}
 		}
 	}
+	compactions.Inc()
 	return nil
 }
 

@@ -1,0 +1,25 @@
+package store
+
+import "webfountain/internal/metrics"
+
+// Package-level metric handles, resolved once so the WAL hot path pays
+// only atomic increments. The degraded gauge is authoritative for the
+// whole process: any shard store flipping read-only raises it.
+var (
+	walAppends      = metrics.Default().Counter("store.wal.appends")
+	walSyncs        = metrics.Default().Counter("store.wal.syncs")
+	walFsyncNs      = metrics.Default().Histogram("store.wal.fsync.ns")
+	walBatchRecords = metrics.Default().SizeHistogram("store.wal.batch.records")
+	compactions     = metrics.Default().Counter("store.compactions")
+	degradedGauge   = metrics.Default().Gauge("store.degraded")
+)
+
+// degrade flips the store into read-only mode (caller holds d.mu) and
+// raises the process-wide degraded gauge. Idempotent per store: only the
+// first degradation counts.
+func (d *durability) degrade(reason string) {
+	if d.degraded == "" {
+		degradedGauge.Add(1)
+	}
+	d.degraded = reason
+}

@@ -5,6 +5,8 @@ import (
 	"io"
 	"math/rand"
 	"net"
+	"sync"
+	"sync/atomic"
 	"syscall"
 	"time"
 )
@@ -90,18 +92,40 @@ func (p RetryPolicy) attempts() int {
 	return p.MaxAttempts
 }
 
+// lockedRand is a per-client jitter source: its own seeded rand.Rand
+// behind its own mutex, so concurrent clients neither contend on the
+// global math/rand lock nor perturb each other's deterministic
+// sequences under seeded fault-injection tests.
+type lockedRand struct {
+	mu sync.Mutex
+	r  *rand.Rand
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (lr *lockedRand) Float64() float64 {
+	lr.mu.Lock()
+	defer lr.mu.Unlock()
+	return lr.r.Float64()
+}
+
+// seedCounter differentiates clients created within the same clock tick
+// when no explicit Seed is configured.
+var seedCounter atomic.Int64
+
 // newRand builds the jitter source for one client.
-func (p RetryPolicy) newRand() *rand.Rand {
+func (p RetryPolicy) newRand() *lockedRand {
 	seed := p.Seed
 	if seed == 0 {
-		seed = rand.Int63()
+		// Derive a per-client seed without touching the global math/rand
+		// state: clock entropy plus a process-unique counter.
+		seed = time.Now().UnixNano() ^ (seedCounter.Add(1) << 32)
 	}
-	return rand.New(rand.NewSource(seed))
+	return &lockedRand{r: rand.New(rand.NewSource(seed))}
 }
 
 // backoffFor computes the sleep before retry number `retry` (1-based)
 // using rng for jitter (nil means no jitter).
-func (p RetryPolicy) backoffFor(retry int, rng *rand.Rand) time.Duration {
+func (p RetryPolicy) backoffFor(retry int, rng *lockedRand) time.Duration {
 	if p.BaseBackoff <= 0 {
 		return 0
 	}

@@ -16,7 +16,6 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"math/rand"
 	"net"
 	"sort"
 	"strings"
@@ -106,9 +105,16 @@ func (rg *Registry) Dispatch(req Request) (resp Response) {
 	if !ok {
 		return Errorf("vinci: unknown service %q", req.Service)
 	}
+	mm := serverMethod(req.Service, req.Op)
+	mm.calls.Inc()
+	span := mm.latency.Start()
 	defer func() {
 		if r := recover(); r != nil {
 			resp = Errorf("vinci: %s.%s panicked: %v", req.Service, req.Op, r)
+		}
+		span.End()
+		if !resp.OK {
+			mm.errors.Inc()
 		}
 	}()
 	return h(req)
@@ -355,7 +361,7 @@ type tcpClient struct {
 	opts DialOptions
 
 	mu     sync.Mutex
-	rng    *rand.Rand
+	rng    *lockedRand
 	conn   net.Conn
 	closed bool
 }
@@ -395,21 +401,28 @@ func (c *tcpClient) dial() (net.Conn, error) {
 // idempotent (true of all platform services): a call whose response was
 // lost may execute twice on the server.
 func (c *tcpClient) Call(req Request) (Response, error) {
+	mm := clientMethod(req.Service, req.Op)
+	mm.calls.Inc()
+	span := mm.latency.Start()
+	defer span.End()
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	payload, err := encodeRequest(req)
 	if err != nil {
+		mm.errors.Inc()
 		return Response{}, err
 	}
 	attempts := c.opts.Retry.attempts()
 	var lastErr error
 	for attempt := 1; attempt <= attempts; attempt++ {
 		if attempt > 1 {
+			clientRetries.Inc()
 			if d := c.opts.Retry.backoffFor(attempt-1, c.rng); d > 0 {
 				time.Sleep(d)
 			}
 		}
 		if c.closed {
+			mm.errors.Inc()
 			return Response{}, errors.New("vinci: client closed")
 		}
 		if c.conn == nil {
@@ -426,9 +439,11 @@ func (c *tcpClient) Call(req Request) (Response, error) {
 		}
 		lastErr = err
 		if !IsRetryable(err) {
+			mm.errors.Inc()
 			return Response{}, err
 		}
 	}
+	mm.errors.Inc()
 	return Response{}, fmt.Errorf("vinci: call %s.%s failed after %d attempts: %w",
 		req.Service, req.Op, attempts, lastErr)
 }

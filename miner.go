@@ -6,10 +6,12 @@ import (
 	"sort"
 	"strings"
 
+	"webfountain/internal/chunk"
 	"webfountain/internal/cluster"
 	"webfountain/internal/disambig"
 	"webfountain/internal/index"
 	"webfountain/internal/lexicon"
+	"webfountain/internal/metrics"
 	"webfountain/internal/ne"
 	"webfountain/internal/patterns"
 	"webfountain/internal/pos"
@@ -17,6 +19,23 @@ import (
 	"webfountain/internal/spotter"
 	"webfountain/internal/store"
 	"webfountain/internal/tokenize"
+)
+
+// Per-stage latency histograms of the mining pipeline, resolved once.
+// Mode 2 (named entities) exercises every stage separately; mode 1
+// (predefined subjects) folds POS tagging and chunking into the
+// sentiment stage, because its analyzer tags and chunks internally per
+// subject context.
+var (
+	stageTokenize  = metrics.Default().Stage(metrics.StageTokenize)
+	stagePOS       = metrics.Default().Stage(metrics.StagePOS)
+	stageChunk     = metrics.Default().Stage(metrics.StageChunk)
+	stageSpot      = metrics.Default().Stage(metrics.StageSpot)
+	stageDisambig  = metrics.Default().Stage(metrics.StageDisambig)
+	stageSentiment = metrics.Default().Stage(metrics.StageSentiment)
+	minedDocs      = metrics.Default().Counter("miner.docs")
+	minedFacts     = metrics.Default().Counter("miner.facts")
+	docPipelineNs  = metrics.Default().Histogram("pipeline.doc.ns")
 )
 
 // Polarity is a sentiment orientation as reported by the miner.
@@ -152,15 +171,22 @@ func (m *SentimentMiner) AnalyzeText(text string) []SubjectSentiment {
 	return m.analyzeEntity("", text)
 }
 
-// analyzeEntity extracts the (subject, sentiment) facts of one document.
+// analyzeEntity extracts the (subject, sentiment) facts of one document,
+// stamping the trip through the pipeline stages into the registry.
 func (m *SentimentMiner) analyzeEntity(docID, text string) []SubjectSentiment {
+	doc := docPipelineNs.Start()
+	tok := stageTokenize.Start()
 	sents := m.tk.Sentences(text)
+	tok.End()
 	var out []SubjectSentiment
 	if m.spot != nil {
 		out = m.mineWithSubjects(docID, text, sents)
 	} else {
 		out = m.mineEntities(docID, sents)
 	}
+	doc.End()
+	minedDocs.Inc()
+	minedFacts.Add(int64(len(out)))
 	return out
 }
 
@@ -168,7 +194,9 @@ func (m *SentimentMiner) analyzeEntity(docID, text string) []SubjectSentiment {
 // sentiment context per spot and analyze it.
 func (m *SentimentMiner) mineWithSubjects(docID, text string, sents []tokenize.Sentence) []SubjectSentiment {
 	var out []SubjectSentiment
+	tok := stageTokenize.Start()
 	allTokens := m.tk.Tokenize(text)
+	tok.End()
 	// Sentences partition the document token stream, so a running offset
 	// turns sentence-local token indices into document-level ones for the
 	// disambiguator's local window.
@@ -176,8 +204,10 @@ func (m *SentimentMiner) mineWithSubjects(docID, text string, sents []tokenize.S
 	for _, s := range sents {
 		sentOffset := offset
 		offset += len(s.Tokens)
+		sspan := stageSpot.Start()
 		spots := m.spot.SpotTokens(s.Tokens)
 		spots = maximal(spots)
+		sspan.End()
 		seen := map[string]bool{}
 		for _, sp := range spots {
 			if seen[sp.SetID] {
@@ -185,16 +215,20 @@ func (m *SentimentMiner) mineWithSubjects(docID, text string, sents []tokenize.S
 			}
 			seen[sp.SetID] = true
 			if d, ok := m.disamb[sp.SetID]; ok {
+				dspan := stageDisambig.Start()
 				kept := d.Filter(allTokens, []spotter.Spot{{
 					SetID: sp.SetID, Term: sp.Term,
 					Start: sentOffset + sp.Start, End: sentOffset + sp.End,
 				}})
+				dspan.End()
 				if len(kept) == 0 {
 					continue
 				}
 			}
+			span := stageSentiment.Start()
 			ctx := sentiment.BuildContext(sents, s.Index, m.cfg.ContextWindow, sp.Start, sp.End)
 			hits, ok := m.analyzer.SubjectSentiment(m.tagger, ctx)
+			span.End()
 			if !ok {
 				continue
 			}
@@ -217,13 +251,23 @@ func (m *SentimentMiner) mineWithSubjects(docID, text string, sents []tokenize.S
 // every sentiment-bearing sentence contributes (entity, polarity) facts.
 func (m *SentimentMiner) mineEntities(docID string, sents []tokenize.Sentence) []SubjectSentiment {
 	var out []SubjectSentiment
+	ck := chunk.New()
 	for _, s := range sents {
+		sspan := stageSpot.Start()
 		entities := m.nespot.SpotTokens(s.Tokens)
+		sspan.End()
 		if len(entities) == 0 {
 			continue
 		}
+		pspan := stagePOS.Start()
 		tagged := m.tagger.TagSentence(s)
-		assignments := m.analyzer.Analyze(tagged)
+		pspan.End()
+		cspan := stageChunk.Start()
+		clauses := ck.Clauses(tagged)
+		cspan.End()
+		aspan := stageSentiment.Start()
+		assignments := m.analyzer.AnalyzeClauses(clauses)
+		aspan.End()
 		if len(assignments) == 0 {
 			continue
 		}
@@ -309,7 +353,12 @@ func (m *SentimentMiner) Run(p *Platform) ([]SubjectSentiment, error) {
 		return nil, err
 	}
 
-	sort.Slice(mu.facts, func(i, j int) bool {
+	// Facts arrive via channel from parallel shard workers, so the
+	// pre-sort order varies run to run. The sort key must therefore be
+	// total — same subject twice in one sentence still ties on
+	// (DocID, Sentence, Subject) — and the sort stable, or the report
+	// order differs between serial and parallel mining.
+	sort.SliceStable(mu.facts, func(i, j int) bool {
 		a, b := mu.facts[i], mu.facts[j]
 		if a.DocID != b.DocID {
 			return a.DocID < b.DocID
@@ -317,7 +366,16 @@ func (m *SentimentMiner) Run(p *Platform) ([]SubjectSentiment, error) {
 		if a.Sentence != b.Sentence {
 			return a.Sentence < b.Sentence
 		}
-		return a.Subject < b.Subject
+		if a.Subject != b.Subject {
+			return a.Subject < b.Subject
+		}
+		if a.Polarity != b.Polarity {
+			return a.Polarity > b.Polarity
+		}
+		if a.Pattern != b.Pattern {
+			return a.Pattern < b.Pattern
+		}
+		return a.Snippet < b.Snippet
 	})
 	for _, f := range mu.facts {
 		m.sidx.Add(index.SentimentEntry{

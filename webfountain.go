@@ -33,8 +33,17 @@ import (
 
 	"webfountain/internal/cluster"
 	"webfountain/internal/index"
+	"webfountain/internal/metrics"
 	"webfountain/internal/store"
 	"webfountain/internal/tokenize"
+)
+
+// Platform-level ingest metrics (the Platform.Ingest path; the
+// acquisition layer in internal/ingest has its own counters).
+var (
+	platformIngestDocs  = metrics.Default().Counter("platform.ingest.docs")
+	platformIngestBytes = metrics.Default().Counter("platform.ingest.bytes")
+	platformIngestDocNs = metrics.Default().Histogram("platform.ingest.doc.ns")
 )
 
 // Document is a unit of ingested content.
@@ -120,11 +129,83 @@ type PlatformConfig struct {
 	GroupCommitWindow time.Duration
 }
 
-// NewPlatform builds an empty in-memory platform.
-func NewPlatform(cfg PlatformConfig) *Platform {
+// ConfigError reports a nonsensical PlatformConfig field value. Zero and
+// negative tuning fields are not errors — they clamp to defaults — but a
+// value that cannot mean anything (a negative sync cadence, group commit
+// without a data directory) is surfaced instead of silently ignored.
+type ConfigError struct {
+	// Field names the offending PlatformConfig field.
+	Field string
+	// Value is the rejected value.
+	Value any
+	// Reason says why the value is nonsensical.
+	Reason string
+}
+
+// Error implements error.
+func (e *ConfigError) Error() string {
+	return fmt.Sprintf("webfountain: config %s = %v: %s", e.Field, e.Value, e.Reason)
+}
+
+// maxShards bounds the store and index shard counts: beyond this the
+// per-shard maps cost more than any contention they could relieve, and a
+// runaway value is almost certainly a unit mistake.
+const maxShards = 1 << 12
+
+// Validate reports the first nonsensical configuration value as a
+// *ConfigError. Zero and negative tuning fields (Shards, IngestWorkers,
+// IndexShards, Workers) are valid — they select defaults — so Validate
+// only rejects values no clamping rule can make sense of.
+func (cfg PlatformConfig) Validate() error {
+	if cfg.Shards > maxShards {
+		return &ConfigError{Field: "Shards", Value: cfg.Shards, Reason: fmt.Sprintf("exceeds maximum %d", maxShards)}
+	}
+	if cfg.IndexShards > maxShards {
+		return &ConfigError{Field: "IndexShards", Value: cfg.IndexShards, Reason: fmt.Sprintf("exceeds maximum %d", maxShards)}
+	}
+	if cfg.IngestWorkers > maxShards {
+		return &ConfigError{Field: "IngestWorkers", Value: cfg.IngestWorkers, Reason: fmt.Sprintf("exceeds maximum %d", maxShards)}
+	}
+	if cfg.SyncEvery < 0 {
+		return &ConfigError{Field: "SyncEvery", Value: cfg.SyncEvery, Reason: "negative sync cadence"}
+	}
+	if cfg.CompactEvery < 0 {
+		return &ConfigError{Field: "CompactEvery", Value: cfg.CompactEvery, Reason: "negative compaction cadence"}
+	}
+	if cfg.MinerBackoff < 0 {
+		return &ConfigError{Field: "MinerBackoff", Value: cfg.MinerBackoff, Reason: "negative backoff"}
+	}
+	if cfg.EntityTimeout < 0 {
+		return &ConfigError{Field: "EntityTimeout", Value: cfg.EntityTimeout, Reason: "negative timeout"}
+	}
+	if cfg.GroupCommitWindow < 0 {
+		return &ConfigError{Field: "GroupCommitWindow", Value: cfg.GroupCommitWindow, Reason: "negative window"}
+	}
+	if cfg.GroupCommit && cfg.DataDir == "" {
+		return &ConfigError{Field: "GroupCommit", Value: true, Reason: "group commit needs DataDir (nothing to commit without a write-ahead log)"}
+	}
+	return nil
+}
+
+// normalized clamps zero and negative tuning fields to their defaults.
+func (cfg PlatformConfig) normalized() PlatformConfig {
 	if cfg.Shards <= 0 {
 		cfg.Shards = 16
 	}
+	if cfg.IngestWorkers <= 0 {
+		cfg.IngestWorkers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.IndexShards <= 0 {
+		cfg.IndexShards = 16
+	}
+	return cfg
+}
+
+// NewPlatform builds an empty in-memory platform. Zero or negative
+// tuning fields clamp to defaults; use Validate to surface nonsensical
+// configurations before construction (OpenPlatform does so itself).
+func NewPlatform(cfg PlatformConfig) *Platform {
+	cfg = cfg.normalized()
 	return platformOver(store.New(cfg.Shards), cfg)
 }
 
@@ -135,11 +216,12 @@ func NewPlatform(cfg PlatformConfig) *Platform {
 // entities. Call Close to flush the log before exit.
 func OpenPlatform(cfg PlatformConfig) (*Platform, error) {
 	if cfg.DataDir == "" {
-		return nil, fmt.Errorf("webfountain: OpenPlatform needs PlatformConfig.DataDir")
+		return nil, &ConfigError{Field: "DataDir", Value: "", Reason: "OpenPlatform needs a data directory"}
 	}
-	if cfg.Shards <= 0 {
-		cfg.Shards = 16
+	if err := cfg.Validate(); err != nil {
+		return nil, err
 	}
+	cfg = cfg.normalized()
 	st, err := store.Open(cfg.DataDir, store.Options{
 		Shards:            cfg.Shards,
 		SyncEvery:         cfg.SyncEvery,
@@ -155,7 +237,9 @@ func OpenPlatform(cfg PlatformConfig) (*Platform, error) {
 	return p, nil
 }
 
-// platformOver assembles the runtime around a store.
+// platformOver assembles the runtime around a store. The caller passes a
+// normalized config; the clamps here are a second line of defense for
+// direct internal callers.
 func platformOver(st *store.Store, cfg PlatformConfig) *Platform {
 	workers := cfg.IngestWorkers
 	if workers <= 0 {
@@ -361,10 +445,14 @@ func (p *Platform) ingestOne(tk *tokenize.Tokenizer, d *Document, id string) err
 		Text:   d.Text,
 		Links:  append([]string(nil), d.Links...),
 	}
+	span := platformIngestDocNs.Start()
 	if err := p.store.Put(e); err != nil {
 		return fmt.Errorf("webfountain: ingest %s: %w", id, err)
 	}
 	p.indexEntity(tk, id, d.Text)
+	span.End()
+	platformIngestDocs.Inc()
+	platformIngestBytes.Add(int64(len(d.Text)))
 	return nil
 }
 
