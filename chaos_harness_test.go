@@ -1,0 +1,472 @@
+package webfountain
+
+// The composed-chaos invariant harness: a seeded faults.Schedule drives
+// the injector through storms of network, miner and disk faults while a
+// full ingest→mine workload runs on top, and the test asserts the four
+// overload-resilience invariants:
+//
+//  1. no acknowledged write is ever lost (in memory and through durable
+//     crash recovery);
+//  2. no call outlives its deadline budget by more than one grace
+//     window;
+//  3. the shed and breaker counters the servers export are consistent
+//     with what clients and deployments observed;
+//  4. the mined result set is byte-deterministic per seed — two runs of
+//     the same seeded storm produce identical annotations.
+//
+// The schedule's archetypes deliberately exclude permanent faults, so a
+// retrying workload always converges: that is what makes invariants 1
+// and 4 checkable at all. Each invariant runs as its own sequential
+// test so metric deltas stay attributable to the scenario that caused
+// them.
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"net"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"webfountain/internal/cluster"
+	"webfountain/internal/corpus"
+	"webfountain/internal/faults"
+	"webfountain/internal/metrics"
+	"webfountain/internal/services"
+	"webfountain/internal/store"
+	"webfountain/internal/vinci"
+)
+
+// chaosGrace is the slack a call may run past its deadline budget: one
+// attempt timeout plus scheduler noise, far below a hung retry loop.
+const chaosGrace = 300 * time.Millisecond
+
+// chaosSeeds are the fixed storms the harness replays; a failure report
+// names the seed, and re-running it rebuilds the identical timeline.
+var chaosSeeds = []int64{11, 42, 7777}
+
+// chaosCorpus is the review corpus every chaos scenario ingests,
+// pre-converted to store entities.
+func chaosCorpus() []*store.Entity {
+	gen := corpus.DigitalCameraReviews(3, 120)
+	ents := make([]*store.Entity, len(gen))
+	for i := range gen {
+		ents[i] = &store.Entity{
+			ID: gen[i].ID, Source: gen[i].Source,
+			Title: gen[i].Title, Text: gen[i].Text(),
+		}
+	}
+	return ents
+}
+
+// putWithRetry drives one service put to acknowledgement through the
+// injector-wrapped client. The schedule never injects permanent faults,
+// so a bounded retry loop always converges.
+func putWithRetry(t *testing.T, sc services.StoreClient, e *store.Entity) {
+	t.Helper()
+	for attempt := 0; attempt < 200; attempt++ {
+		if err := sc.Put(e); err == nil {
+			return
+		}
+	}
+	t.Fatalf("put %s: no acknowledgement in 200 attempts", e.ID)
+}
+
+// getWithRetry reads one entity back through the faulty client.
+func getWithRetry(t *testing.T, sc services.StoreClient, id string) *store.Entity {
+	t.Helper()
+	var lastErr error
+	for attempt := 0; attempt < 200; attempt++ {
+		e, err := sc.Get(id)
+		if err == nil {
+			return e
+		}
+		lastErr = err
+	}
+	t.Fatalf("get %s: no success in 200 attempts (last: %v)", id, lastErr)
+	return nil
+}
+
+// runChaosScenario executes one full ingest→mine workload under the
+// seeded storm and returns a digest of the mined annotations. Along the
+// way it asserts the in-memory acked-write invariant and that retries
+// absorbed every injected miner fault.
+func runChaosScenario(t *testing.T, seed int64) string {
+	t.Helper()
+	in := faults.New(faults.Config{Seed: seed})
+	sched := faults.NewSchedule(seed, 300*time.Millisecond)
+	stop := sched.Start(in)
+	defer stop()
+
+	p := NewPlatform(PlatformConfig{MinerRetries: 15, MinerBackoff: 100 * time.Microsecond})
+	reg := vinci.NewRegistry()
+	services.RegisterStore(reg, p.internalStore())
+	sc := services.StoreClient{C: in.Client(vinci.NewLocalClient(reg))}
+
+	docs := chaosCorpus()
+	for _, e := range docs {
+		putWithRetry(t, sc, e)
+		// Pace the stream so the workload spans several storm phases
+		// instead of finishing inside the first.
+		time.Sleep(500 * time.Microsecond)
+	}
+
+	// Invariant 1 (in memory): every acknowledged put is present, and
+	// nothing the workload never wrote appeared.
+	st := p.internalStore()
+	for _, e := range docs {
+		if _, ok := st.Get(e.ID); !ok {
+			t.Fatalf("seed %d: acknowledged put %s lost", seed, e.ID)
+		}
+	}
+	if st.Len() != len(docs) {
+		t.Fatalf("seed %d: store holds %d entities, acked %d", seed, st.Len(), len(docs))
+	}
+
+	// Mine the corpus under the same storm: the injector wraps the miner
+	// so per-entity calls fail transiently mid-deployment, and the
+	// cluster's retry policy must absorb all of it.
+	sm, err := NewSentimentMiner(MinerConfig{Subjects: []Subject{
+		{Canonical: "NR70"}, {Canonical: "battery"}, {Canonical: "CLIE"},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	miner := in.Miner(cluster.MinerFunc{MinerName: "chaos-sentiment", Fn: func(e *store.Entity) ([]store.Annotation, error) {
+		facts := sm.AnalyzeText(e.Text)
+		anns := make([]store.Annotation, 0, len(facts))
+		for _, f := range facts {
+			anns = append(anns, store.Annotation{
+				Type: "polarity", Key: f.Subject,
+				Value: f.Polarity.String(), Sentence: f.Sentence,
+			})
+		}
+		return anns, nil
+	}})
+	stats, err := p.internalCluster().RunEntityMiner(miner)
+	if err != nil {
+		t.Fatalf("seed %d: mining under chaos: %v", seed, err)
+	}
+	if stats.Failures != 0 {
+		t.Fatalf("seed %d: %d entities failed despite retries: %s", seed, stats.Failures, stats)
+	}
+	if stats.Entities != len(docs) {
+		t.Fatalf("seed %d: mined %d of %d entities", seed, stats.Entities, len(docs))
+	}
+
+	// Read everything back through the faulty service surface: the acked
+	// corpus must be byte-identical, and the loop keeps the workload
+	// running across later schedule phases.
+	for _, e := range docs {
+		got := getWithRetry(t, sc, e.ID)
+		if got.Text != e.Text {
+			t.Fatalf("seed %d: entity %s read back different text", seed, e.ID)
+		}
+	}
+
+	// Invariant 4's digest: entity IDs in sorted order, each with its
+	// mined annotations in deployment order (a pure function of the
+	// text, so two runs of any seed must agree byte for byte).
+	h := sha256.New()
+	ids := st.IDs()
+	sort.Strings(ids)
+	mined := 0
+	for _, id := range ids {
+		e, _ := st.Get(id)
+		fmt.Fprintf(h, "%s\n", id)
+		for _, a := range e.AnnotationsBy("chaos-sentiment") {
+			fmt.Fprintf(h, "  %s=%s @%d\n", a.Key, a.Value, a.Sentence)
+			mined++
+		}
+	}
+	if mined == 0 {
+		t.Fatalf("seed %d: chaos run mined no facts; the corpus should produce some", seed)
+	}
+	t.Logf("seed %d: %s; %d facts; injected %v", seed, stats, mined, in.Stats())
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// TestChaosIngestMineDeterministicPerSeed replays each fixed storm
+// twice: the mined result digest must match exactly, under -race, for
+// every seed.
+func TestChaosIngestMineDeterministicPerSeed(t *testing.T) {
+	for _, seed := range chaosSeeds {
+		first := runChaosScenario(t, seed)
+		second := runChaosScenario(t, seed)
+		if first != second {
+			t.Errorf("seed %d: two runs of the same storm produced different result digests\n  %s\n  %s",
+				seed, first, second)
+		}
+	}
+}
+
+// TestChaosCallsNeverOutliveDeadline: under a storm of drops, delays
+// and corruptions, a budgeted call may fail but must always return
+// within its budget plus one grace window.
+func TestChaosCallsNeverOutliveDeadline(t *testing.T) {
+	reg := vinci.NewRegistry()
+	reg.Register("chaos-echo", func(req vinci.Request) vinci.Response {
+		time.Sleep(5 * time.Millisecond)
+		return vinci.OKResponse(map[string]string{"op": req.Op})
+	})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := vinci.NewServer(reg)
+	done := make(chan struct{})
+	go func() { defer close(done); srv.Serve(ln) }()
+	defer func() { srv.Close(); <-done }()
+
+	in := faults.New(faults.Config{Seed: 5})
+	stop := faults.NewSchedule(5, 400*time.Millisecond).Start(in)
+	defer stop()
+
+	const budget = 120 * time.Millisecond
+	c, err := vinci.DialWith(ln.Addr().String(), vinci.DialOptions{
+		CallTimeout:    budget,
+		AttemptTimeout: 40 * time.Millisecond,
+		Retry:          vinci.RetryPolicy{MaxAttempts: 8, BaseBackoff: time.Millisecond, MaxBackoff: 8 * time.Millisecond, Seed: 9},
+		Dialer:         in.Dialer(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	successes := 0
+	for i := 0; i < 30; i++ {
+		start := time.Now()
+		_, err := c.Call(vinci.Request{Service: "chaos-echo", Op: fmt.Sprintf("op%d", i)})
+		if elapsed := time.Since(start); elapsed > budget+chaosGrace {
+			t.Errorf("call %d outlived its deadline: %v against %v budget + %v grace (err=%v)",
+				i, elapsed, budget, chaosGrace, err)
+		}
+		if err == nil {
+			successes++
+		}
+	}
+	if successes == 0 {
+		t.Error("every call failed under survivable chaos rates")
+	}
+}
+
+// TestChaosShedCountersConsistent: a burst far over server capacity is
+// shed, and the server's shed counters account exactly for the
+// overload errors the clients observed.
+func TestChaosShedCountersConsistent(t *testing.T) {
+	reg := vinci.NewRegistry()
+	reg.Register("chaos-slow", func(req vinci.Request) vinci.Response {
+		time.Sleep(20 * time.Millisecond)
+		return vinci.OKResponse(nil)
+	})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := vinci.NewServerWith(reg, vinci.ServerOptions{Admission: vinci.AdmissionConfig{
+		Capacity: 1, Depth: 1, MaxWait: 200 * time.Millisecond,
+	}})
+	done := make(chan struct{})
+	go func() { defer close(done); srv.Serve(ln) }()
+	defer func() { srv.Close(); <-done }()
+
+	mr := metrics.Default()
+	shedBefore := mr.Counter("vinci.server.shed.overload").Value() + mr.Counter("vinci.server.shed.budget").Value()
+	expiredBefore := mr.Counter("vinci.server.shed.expired").Value()
+
+	const callers = 16
+	var (
+		wg         sync.WaitGroup
+		served     atomic.Int64
+		overloaded atomic.Int64
+	)
+	start := make(chan struct{})
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c, err := vinci.DialWith(ln.Addr().String(), vinci.DialOptions{
+				CallTimeout: 2 * time.Second,
+				Retry:       vinci.RetryPolicy{MaxAttempts: 1},
+			})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer c.Close()
+			<-start
+			_, err = c.Call(vinci.Request{Service: "chaos-slow", Op: "work"})
+			switch {
+			case err == nil:
+				served.Add(1)
+			case vinci.IsOverloaded(err):
+				overloaded.Add(1)
+			default:
+				t.Errorf("unexpected error class under overload: %v", err)
+			}
+		}()
+	}
+	close(start)
+	wg.Wait()
+
+	shedDelta := mr.Counter("vinci.server.shed.overload").Value() + mr.Counter("vinci.server.shed.budget").Value() - shedBefore
+	if overloaded.Load() == 0 {
+		t.Fatalf("no calls shed at %dx concurrency over capacity 1", callers)
+	}
+	if served.Load() == 0 {
+		t.Fatal("shedding must protect some capacity, not reject everything")
+	}
+	// Retries are off, so each shed response is observed by exactly one
+	// caller: the server's count and the clients' must agree.
+	if shedDelta != overloaded.Load() {
+		t.Errorf("server shed %d requests, clients observed %d overload errors", shedDelta, overloaded.Load())
+	}
+	if d := mr.Counter("vinci.server.shed.expired").Value() - expiredBefore; d != 0 {
+		t.Errorf("%d requests expired in queue; the burst's budgets were ample", d)
+	}
+}
+
+// chaosSeededStore builds an in-memory store of n synthetic entities.
+func chaosSeededStore(n int) *store.Store {
+	st := store.New(4)
+	for i := 0; i < n; i++ {
+		st.Put(&store.Entity{ID: fmt.Sprintf("doc%03d", i), Text: fmt.Sprintf("body %d", i)})
+	}
+	return st
+}
+
+// TestChaosBreakerCountersConsistent: a deployment against a
+// permanently failing miner trips the breaker once, probes while open,
+// and the cluster's stats match the platform-wide breaker metrics.
+func TestChaosBreakerCountersConsistent(t *testing.T) {
+	st := chaosSeededStore(30)
+	mr := metrics.Default()
+	tripsBefore := mr.Counter("cluster.breaker.trips").Value()
+	probesBefore := mr.Counter("cluster.breaker.probes").Value()
+	recoveriesBefore := mr.Counter("cluster.breaker.recoveries").Value()
+
+	c := cluster.NewWithConfig(st, cluster.Config{
+		Workers:           1,
+		Retry:             cluster.RetryPolicy{MaxAttempts: 1},
+		ErrorBudget:       3,
+		BreakerProbeAfter: 5,
+	})
+	stats, err := c.RunEntityMiner(cluster.MinerFunc{MinerName: "chaos-doomed", Fn: func(e *store.Entity) ([]store.Annotation, error) {
+		return nil, errors.New("permanently broken")
+	}})
+	if err == nil || !strings.Contains(err.Error(), "breaker tripped") {
+		t.Fatalf("err = %v", err)
+	}
+	if !stats.BreakerTripped {
+		t.Fatalf("stats = %+v", stats)
+	}
+	if stats.Probes == 0 {
+		t.Errorf("open breaker admitted no probes over %d entities", 30)
+	}
+	if stats.Entities+stats.Skipped != 30 {
+		t.Errorf("entities %d + skipped %d != 30", stats.Entities, stats.Skipped)
+	}
+	if d := mr.Counter("cluster.breaker.trips").Value() - tripsBefore; d != 1 {
+		t.Errorf("breaker trips metric moved by %d, deployment tripped once", d)
+	}
+	if d := mr.Counter("cluster.breaker.probes").Value() - probesBefore; d != int64(stats.Probes) {
+		t.Errorf("probes metric moved by %d, stats counted %d", d, stats.Probes)
+	}
+	if d := mr.Counter("cluster.breaker.recoveries").Value() - recoveriesBefore; d != int64(stats.Recoveries) {
+		t.Errorf("recoveries metric moved by %d, stats counted %d", d, stats.Recoveries)
+	}
+}
+
+// TestChaosDeployShedCounterConsistent: an exhausted deployment budget
+// sheds every unreached entity, and the shed counter matches the stats.
+func TestChaosDeployShedCounterConsistent(t *testing.T) {
+	st := chaosSeededStore(40)
+	mr := metrics.Default()
+	shedBefore := mr.Counter("cluster.deploy.shed").Value()
+
+	c := cluster.NewWithConfig(st, cluster.Config{Workers: 1, DeployBudget: time.Nanosecond})
+	stats, err := c.RunEntityMiner(cluster.MinerFunc{MinerName: "chaos-never", Fn: func(e *store.Entity) ([]store.Annotation, error) {
+		t.Error("miner ran under an already-exhausted deployment budget")
+		return nil, nil
+	}})
+	if err == nil || !strings.Contains(err.Error(), "deployment budget") {
+		t.Fatalf("err = %v", err)
+	}
+	if stats.Shed != 40 || stats.Entities != 0 {
+		t.Errorf("stats = %+v", stats)
+	}
+	if d := mr.Counter("cluster.deploy.shed").Value() - shedBefore; d != int64(stats.Shed) {
+		t.Errorf("deploy shed metric moved by %d, stats counted %d", d, stats.Shed)
+	}
+}
+
+// TestChaosDurableAckedWritesSurviveRecovery: with the WAL behind the
+// injector and the schedule cycling disk-degraded phases, every put the
+// store acknowledged before degrading must survive close and recovery —
+// and nothing beyond the one in-flight op may appear.
+func TestChaosDurableAckedWritesSurviveRecovery(t *testing.T) {
+	for _, seed := range chaosSeeds {
+		dir := t.TempDir()
+		in := faults.New(faults.Config{Seed: seed})
+		stop := faults.NewSchedule(seed, 250*time.Millisecond).Start(in)
+
+		st, err := store.Open(dir, store.Options{Shards: 4, WrapWAL: func(w store.WALFile) store.WALFile {
+			return in.File(w.(faults.File))
+		}})
+		if err != nil {
+			stop()
+			t.Fatal(err)
+		}
+		var acked []string
+		inFlight := ""
+		for i := 0; i < 120; i++ {
+			id := fmt.Sprintf("doc-%03d", i)
+			err := st.Put(&store.Entity{ID: id, Source: "review", Text: fmt.Sprintf("body of %s", id)})
+			if err == nil {
+				acked = append(acked, id)
+				// Pace the workload so it spans several schedule phases
+				// instead of finishing inside the first.
+				time.Sleep(time.Millisecond)
+				continue
+			}
+			if !errors.Is(err, store.ErrReadOnly) {
+				stop()
+				t.Fatalf("seed %d: put %s: unexpected error class: %v", seed, id, err)
+			}
+			inFlight = id
+			break
+		}
+		st.Close()
+		stop()
+
+		rec, err := store.Open(dir, store.Options{Shards: 4})
+		if err != nil {
+			t.Fatalf("seed %d: recovery open: %v", seed, err)
+		}
+		for _, id := range acked {
+			if _, ok := rec.Get(id); !ok {
+				t.Fatalf("seed %d: acknowledged put %s lost (injected %v)", seed, id, in.Stats())
+			}
+		}
+		// The in-flight op whose ack failed may legitimately have reached
+		// the disk (sync failure after a complete append); anything else
+		// beyond the acked set is data from nowhere.
+		want := len(acked)
+		if inFlight != "" {
+			if _, ok := rec.Get(inFlight); ok {
+				want++
+			}
+		}
+		if got := rec.Len(); got != want {
+			t.Fatalf("seed %d: recovered %d entities, acked %d, in-flight %q (injected %v)",
+				seed, got, len(acked), inFlight, in.Stats())
+		}
+		rec.Close()
+	}
+}

@@ -4,9 +4,11 @@
 // the ingest→index pipeline end to end (serial vs. worker-pool), the
 // sharded inverted index, WAL durability with and without group commit,
 // and the single-thread NLP micro-benchmarks that guard against
-// regressions on the non-parallel paths.
+// regressions on the non-parallel paths. Two scenario probes cover the
+// overload path: p99 latency under 2× open-loop overload with admission
+// control on vs. off, and the extra-call fraction of hedged reads.
 //
-//	bench [-quick] [-docs N] [-out BENCH_PR4.json]
+//	bench [-quick] [-docs N] [-out BENCH_PR5.json]
 //	bench -compare old.json new.json
 //
 // The JSON records ns/op, MB/s and allocs/op per benchmark plus the
@@ -22,8 +24,10 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"net"
 	"os"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -36,6 +40,7 @@ import (
 	"webfountain/internal/pos"
 	"webfountain/internal/store"
 	"webfountain/internal/tokenize"
+	"webfountain/internal/vinci"
 )
 
 // Result is one benchmark's recorded numbers.
@@ -66,7 +71,7 @@ type Report struct {
 }
 
 func main() {
-	out := flag.String("out", "BENCH_PR4.json", "output JSON path")
+	out := flag.String("out", "BENCH_PR5.json", "output JSON path")
 	quick := flag.Bool("quick", false, "smaller corpora for CI smoke runs")
 	docsFlag := flag.Int("docs", 0, "corpus size per ingest iteration (0: 200, or 40 with -quick)")
 	compare := flag.Bool("compare", false, "compare two result files: bench -compare old.json new.json")
@@ -109,7 +114,7 @@ func main() {
 // run executes the benchmark suite and assembles the report.
 func run(docs int, quick bool) Report {
 	rep := Report{
-		Bench:      "PR4",
+		Bench:      "PR5",
 		GoVersion:  runtime.Version(),
 		CPUs:       runtime.NumCPU(),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
@@ -351,9 +356,222 @@ func run(docs int, quick bool) Report {
 			rep.Derived["wal_group_commit_speedup"] = s.NsPerOp / g.NsPerOp
 		}
 	}
+	// Overload and hedging probes: scenario measurements rather than
+	// testing.Benchmark loops. The first drives an open-loop 2×-capacity
+	// storm at a vinci server with admission control off and on — the
+	// without/with numbers show what shedding buys: a bounded p99 for the
+	// requests that are served, at the price of an explicit shed
+	// fraction. The second measures what hedged reads cost: the fraction
+	// of extra calls fired, which must stay near the slow-call rate.
+	overloadCalls, hedgeCalls := 400, 400
+	if quick {
+		overloadCalls, hedgeCalls = 160, 120
+	}
+	for _, shed := range []bool{false, true} {
+		p99, shedFrac, err := probeOverload(shed, overloadCalls)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "overload probe:", err)
+			os.Exit(1)
+		}
+		key := "p99_overload_shed_off_ms"
+		if shed {
+			key = "p99_overload_shed_on_ms"
+			rep.Derived["shed_fraction_2x"] = shedFrac
+		}
+		rep.Derived[key] = float64(p99) / 1e6
+		fmt.Printf("%-32s %12.2f ms p99 %10.0f%% shed\n",
+			fmt.Sprintf("overload/2x-shed=%v", shed), float64(p99)/1e6, shedFrac*100)
+	}
+	extraFrac, p99Hedged, p99Plain, err := probeHedge(hedgeCalls)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hedge probe:", err)
+		os.Exit(1)
+	}
+	rep.Derived["hedge_extra_call_fraction"] = extraFrac
+	rep.Derived["p99_hedged_ms"] = float64(p99Hedged) / 1e6
+	rep.Derived["p99_unhedged_ms"] = float64(p99Plain) / 1e6
+	fmt.Printf("%-32s %12.2f ms p99 (plain %.2f) %6.1f%% extra calls\n",
+		"hedge/tail-read", float64(p99Hedged)/1e6, float64(p99Plain)/1e6, extraFrac*100)
+
 	snap := metrics.Default().Snapshot()
 	rep.Metrics = &snap
 	return rep
+}
+
+// probeOverload measures served-request p99 under a 2×-capacity open-loop
+// storm. The handler models a server with `slots` worker slots and a
+// fixed service time; arrivals come at twice the resulting capacity.
+// With shed=false every arrival queues (on the handler's semaphore) and
+// the backlog grows for as long as the storm lasts; with shed=true the
+// admission queue bounds the wait and sheds the excess instead.
+func probeOverload(shed bool, calls int) (p99 time.Duration, shedFrac float64, err error) {
+	// A deliberately slow service time keeps the open-loop pacing well
+	// above timer granularity, so the 2× arrival rate is actually
+	// achieved even on one-CPU CI runners.
+	const slots = 4
+	const service = 20 * time.Millisecond
+	sem := make(chan struct{}, slots)
+	reg := vinci.NewRegistry()
+	reg.Register("bench-slow", func(req vinci.Request) vinci.Response {
+		sem <- struct{}{}
+		time.Sleep(service)
+		<-sem
+		return vinci.OKResponse(nil)
+	})
+	var srv *vinci.Server
+	if shed {
+		srv = vinci.NewServerWith(reg, vinci.ServerOptions{Admission: vinci.AdmissionConfig{
+			Capacity: slots, Depth: slots, Policy: "lifo", MaxWait: 5 * time.Millisecond,
+		}})
+	} else {
+		srv = vinci.NewServer(reg)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return 0, 0, err
+	}
+	go srv.Serve(ln)
+	defer srv.Close()
+
+	// One transport per in-flight call: the protocol serializes calls on
+	// a connection, so sharing transports would throttle the storm.
+	clients := make([]vinci.Client, calls)
+	for i := range clients {
+		clients[i], err = vinci.DialWith(ln.Addr().String(), vinci.DialOptions{
+			CallTimeout: 10 * time.Second,
+			Retry:       vinci.RetryPolicy{MaxAttempts: 1},
+		})
+		if err != nil {
+			return 0, 0, err
+		}
+		defer clients[i].Close()
+	}
+
+	interarrival := service / (2 * slots) // 2× the slots/service capacity
+	var (
+		mu         sync.Mutex
+		latencies  []time.Duration
+		overloaded int
+		wg         sync.WaitGroup
+	)
+	for i := 0; i < calls; i++ {
+		wg.Add(1)
+		go func(c vinci.Client) {
+			defer wg.Done()
+			start := time.Now()
+			_, cerr := c.Call(vinci.Request{Service: "bench-slow", Op: "work"})
+			elapsed := time.Since(start)
+			mu.Lock()
+			defer mu.Unlock()
+			if cerr == nil {
+				latencies = append(latencies, elapsed)
+			} else if vinci.IsOverloaded(cerr) {
+				overloaded++
+			}
+		}(clients[i])
+		time.Sleep(interarrival)
+	}
+	wg.Wait()
+	if len(latencies) == 0 {
+		return 0, 0, fmt.Errorf("no calls served (shed=%v)", shed)
+	}
+	return p99Of(latencies), float64(overloaded) / float64(calls), nil
+}
+
+// probeHedge measures the latency and extra-load cost of hedged reads
+// against a handler whose every 25th response stalls. The plain client
+// eats the stall in its p99; the hedged client fires a second attempt
+// after the trigger and takes the fast answer — at the cost of one extra
+// call per stall, so the extra-call fraction must track the ~4% stall
+// rate rather than the total call count.
+func probeHedge(calls int) (extraFrac float64, p99Hedged, p99Plain time.Duration, err error) {
+	const fast, slow = 300 * time.Microsecond, 10 * time.Millisecond
+	const trigger = 5 * time.Millisecond
+	// Think time between calls, sized to cover the stalled loser's
+	// remaining service time (slow − trigger). The transports are
+	// serialized, so without it a hedged call's abandoned primary attempt
+	// is still draining when the next call is issued, which queues behind
+	// it, looks slow, hedges too, and cascades — inflating the extra-call
+	// fraction with transport-queueing effects the probe is not after.
+	const think = slow - trigger + time.Millisecond
+	var n atomic.Int64
+	reg := vinci.NewRegistry()
+	reg.Register("bench-read", func(req vinci.Request) vinci.Response {
+		if n.Add(1)%25 == 0 {
+			time.Sleep(slow)
+		} else {
+			time.Sleep(fast)
+		}
+		return vinci.OKResponse(nil)
+	})
+	srv := vinci.NewServer(reg)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	go srv.Serve(ln)
+	defer srv.Close()
+
+	dial := func() (vinci.Client, error) {
+		return vinci.DialWith(ln.Addr().String(), vinci.DialOptions{
+			CallTimeout: 10 * time.Second,
+			Retry:       vinci.RetryPolicy{MaxAttempts: 1},
+		})
+	}
+	measure := func(c vinci.Client) ([]time.Duration, error) {
+		lat := make([]time.Duration, 0, calls)
+		for i := 0; i < calls; i++ {
+			start := time.Now()
+			if _, cerr := c.Call(vinci.Request{Service: "bench-read", Op: "get"}); cerr != nil {
+				return nil, cerr
+			}
+			lat = append(lat, time.Since(start))
+			time.Sleep(think)
+		}
+		return lat, nil
+	}
+
+	plain, err := dial()
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	defer plain.Close()
+	plainLat, err := measure(plain)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+
+	primary, err := dial()
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	secondary, err := dial()
+	if err != nil {
+		primary.Close()
+		return 0, 0, 0, err
+	}
+	hedged := vinci.NewHedged(primary, secondary, vinci.HedgeOptions{
+		After:        trigger, // well past fast, well short of slow
+		IsIdempotent: func(service string) bool { return service == "bench-read" },
+	})
+	defer hedged.Close()
+	hedgesBefore := metrics.Default().Counter("vinci.client.hedges").Value()
+	hedgedLat, err := measure(hedged)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	hedges := metrics.Default().Counter("vinci.client.hedges").Value() - hedgesBefore
+	return float64(hedges) / float64(calls), p99Of(hedgedLat), p99Of(plainLat), nil
+}
+
+// p99Of returns the 99th-percentile latency of a sample set.
+func p99Of(lat []time.Duration) time.Duration {
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	idx := len(lat) * 99 / 100
+	if idx >= len(lat) {
+		idx = len(lat) - 1
+	}
+	return lat[idx]
 }
 
 // compareFiles prints a before/after table of two result files.

@@ -14,10 +14,15 @@
 // Usage:
 //
 //	wfserver [-addr :8085] [-corpus pharma] [-docs 120] [-seed 7]
-//	         [-pprof-addr :8086]
+//	         [-pprof-addr :8086] [-drain-timeout 10s]
+//
+// SIGINT/SIGTERM trigger a graceful shutdown: the listener stops
+// accepting, in-flight requests drain for up to -drain-timeout, and the
+// final metrics registry is flushed to the log before exit.
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -26,6 +31,9 @@ import (
 	"net/http"
 	_ "net/http/pprof"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"webfountain"
 	"webfountain/internal/corpus"
@@ -74,6 +82,7 @@ func main() {
 	docs := flag.Int("docs", 120, "documents to mine at startup")
 	seed := flag.Int64("seed", 7, "corpus seed")
 	pprofAddr := flag.String("pprof-addr", "", "HTTP address for net/http/pprof profiling (empty: disabled)")
+	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "graceful-shutdown bound for draining in-flight requests")
 	flag.Parse()
 
 	miner, platform, err := mine(*corpusName, *docs, *seed)
@@ -94,7 +103,31 @@ func main() {
 	}
 
 	log.Printf("serving sentiment for %d documents on %s", platform.NumEntities(), *addr)
-	log.Fatal(http.ListenAndServe(*addr, mux))
+	srv := &http.Server{Addr: *addr, Handler: mux}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+
+	// Graceful shutdown: stop accepting, drain in-flight requests for a
+	// bounded window, then flush the final metrics so the run's numbers
+	// survive the process.
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		log.Fatal(err)
+	case sig := <-sigc:
+		log.Printf("received %v, draining for up to %v", sig, *drainTimeout)
+		ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			log.Printf("drain incomplete: %v", err)
+			srv.Close()
+		}
+		if err := platform.Close(); err != nil {
+			log.Printf("platform close: %v", err)
+		}
+		log.Printf("final metrics:\n%s", metrics.Default().Text())
+	}
 }
 
 // newMux wires the HTTP handlers over a mined platform.

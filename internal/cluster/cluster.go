@@ -63,6 +63,15 @@ type Stats struct {
 	// Skipped is the number of entities skipped after the circuit
 	// breaker tripped.
 	Skipped int
+	// Shed is the number of entities dropped because the deployment's
+	// deadline budget ran out before they were reached.
+	Shed int
+	// Probes is the number of half-open probe entities admitted while
+	// the breaker was tripped.
+	Probes int
+	// Recoveries is the number of times a successful probe closed the
+	// breaker and resumed normal processing.
+	Recoveries int
 	// WriteFailures is the number of entities whose annotations were
 	// mined but could not be written back to the store — the store was
 	// in degraded read-only mode or its write-ahead log failed.
@@ -88,7 +97,11 @@ func (s Stats) String() string {
 		out += fmt.Sprintf(", %d write failures", s.WriteFailures)
 	}
 	if s.BreakerTripped {
-		out += fmt.Sprintf(", breaker tripped (%d skipped)", s.Skipped)
+		out += fmt.Sprintf(", breaker tripped (%d skipped, %d probes, %d recoveries)",
+			s.Skipped, s.Probes, s.Recoveries)
+	}
+	if s.Shed > 0 {
+		out += fmt.Sprintf(", %d shed on deadline", s.Shed)
 	}
 	return out
 }
@@ -147,6 +160,22 @@ type Config struct {
 	// single deployment tolerates before its circuit breaker trips and
 	// the remaining entities are skipped and reported (0 = never trip).
 	ErrorBudget int
+	// BreakerProbeAfter enables half-open probing of a tripped breaker:
+	// every BreakerProbeAfter-th entity seen while the breaker is open is
+	// admitted as a single probe (never more than one in flight). A
+	// successful probe closes the breaker and processing resumes; a
+	// failed probe re-opens it for another BreakerProbeAfter entities.
+	// The count-based trigger keeps replays deterministic where a timer
+	// would not. 0 disables probing: once tripped, the breaker stays
+	// open for the rest of the deployment.
+	BreakerProbeAfter int
+	// DeployBudget bounds one deployment's wall-clock time. Entities not
+	// reached before the budget expires are shed and counted in
+	// Stats.Shed rather than processed late (0 = unbounded). This is the
+	// miner-side half of the platform's deadline propagation: a caller
+	// with d milliseconds of patience deploys with DeployBudget d and
+	// gets a partial, on-time result instead of a complete, late one.
+	DeployBudget time.Duration
 }
 
 // Cluster runs miners over a store.
@@ -206,8 +235,11 @@ func minerMetricsFor(name string) *minerMetrics {
 }
 
 var (
-	breakerOpen  = metrics.Default().Gauge("cluster.breaker.open")
-	breakerTrips = metrics.Default().Counter("cluster.breaker.trips")
+	breakerOpen       = metrics.Default().Gauge("cluster.breaker.open")
+	breakerTrips      = metrics.Default().Counter("cluster.breaker.trips")
+	breakerProbes     = metrics.Default().Counter("cluster.breaker.probes")
+	breakerRecoveries = metrics.Default().Counter("cluster.breaker.recoveries")
+	deployShed        = metrics.Default().Counter("cluster.deploy.shed")
 )
 
 // runState is the shared bookkeeping of one deployment.
@@ -217,6 +249,46 @@ type runState struct {
 	errs    []error
 	tripped atomic.Bool
 	mm      *minerMetrics
+	// deadline is the deployment's absolute budget (zero = unbounded).
+	deadline time.Time
+	// Breaker half-open machinery, guarded by mu. gaugeOpen mirrors this
+	// deployment's +1 contribution to the cluster.breaker.open gauge so
+	// trip/recover/end-of-run keep it balanced.
+	sinceTrip     int
+	probeInFlight bool
+	gaugeOpen     bool
+}
+
+// admitDecision is the per-entity verdict of the breaker state machine.
+type admitDecision int
+
+const (
+	admitProcess admitDecision = iota // breaker closed: process normally
+	admitProbe                        // breaker open: this entity is the probe
+	admitSkip                         // breaker open: skip and count
+)
+
+// admit decides what to do with the next entity while the breaker is
+// tripped. Callers check rs.tripped first; this re-checks under the lock
+// because a concurrent probe may have closed the breaker in between.
+func (rs *runState) admit(probeAfter int) admitDecision {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	if !rs.tripped.Load() {
+		return admitProcess
+	}
+	if probeAfter > 0 && !rs.probeInFlight {
+		rs.sinceTrip++
+		if rs.sinceTrip >= probeAfter {
+			rs.sinceTrip = 0
+			rs.probeInFlight = true
+			rs.stats.Probes++
+			breakerProbes.Inc()
+			return admitProbe
+		}
+	}
+	rs.stats.Skipped++
+	return admitSkip
 }
 
 // isTransient classifies a per-entity failure: errors carrying
@@ -333,6 +405,9 @@ func (c *Cluster) RunEntityMiner(m EntityMiner) (Stats, error) {
 		stats: Stats{Miner: m.Name(), TraceID: metrics.NewTraceID()},
 		mm:    minerMetricsFor(m.Name()),
 	}
+	if c.cfg.DeployBudget > 0 {
+		rs.deadline = start.Add(c.cfg.DeployBudget)
+	}
 
 	workers := c.workers
 	if workers > c.store.NumShards() {
@@ -355,12 +430,20 @@ func (c *Cluster) RunEntityMiner(m EntityMiner) (Stats, error) {
 
 	rs.stats.Elapsed = time.Since(start)
 	rs.mm.deployNs.ObserveDuration(rs.stats.Elapsed)
-	if rs.stats.BreakerTripped {
-		// The breaker is per-deployment; it closes when the run ends.
+	if rs.gaugeOpen {
+		// The breaker is per-deployment; one still open closes when the
+		// run ends. A probe-recovered breaker already gave back its +1.
 		breakerOpen.Add(-1)
+		rs.gaugeOpen = false
+	}
+	if rs.stats.BreakerTripped {
 		rs.errs = append(rs.errs, fmt.Errorf(
-			"breaker tripped after %d failures; %d entities skipped",
-			rs.stats.Failures, rs.stats.Skipped))
+			"breaker tripped after %d failures; %d entities skipped, %d probes, %d recoveries",
+			rs.stats.Failures, rs.stats.Skipped, rs.stats.Probes, rs.stats.Recoveries))
+	}
+	if rs.stats.Shed > 0 {
+		rs.errs = append(rs.errs, fmt.Errorf(
+			"deployment budget %v exhausted; %d entities shed", c.cfg.DeployBudget, rs.stats.Shed))
 	}
 	if len(rs.errs) > 0 {
 		return rs.stats, fmt.Errorf("cluster: %d entities failed under %s: %w",
@@ -371,11 +454,21 @@ func (c *Cluster) RunEntityMiner(m EntityMiner) (Stats, error) {
 
 func (c *Cluster) mineShard(m EntityMiner, shard int, rs *runState) {
 	_ = c.store.ForEachInShard(shard, func(e *store.Entity) error {
-		if rs.tripped.Load() {
+		if !rs.deadline.IsZero() && time.Now().After(rs.deadline) {
 			rs.mu.Lock()
-			rs.stats.Skipped++
+			rs.stats.Shed++
 			rs.mu.Unlock()
+			deployShed.Inc()
 			return nil
+		}
+		probe := false
+		if rs.tripped.Load() {
+			switch rs.admit(c.cfg.BreakerProbeAfter) {
+			case admitSkip:
+				return nil
+			case admitProbe:
+				probe = true
+			}
 		}
 		span := rs.mm.entityNs.Start()
 		res := c.processEntity(m, e)
@@ -423,13 +516,34 @@ func (c *Cluster) mineShard(m EntityMiner, shard int, rs *runState) {
 			if len(rs.errs) < maxErrors {
 				rs.errs = append(rs.errs, fmt.Errorf("%s: %w", e.ID, res.err))
 			}
-			if c.cfg.ErrorBudget > 0 && rs.stats.Failures >= c.cfg.ErrorBudget && !rs.stats.BreakerTripped {
+			if probe {
+				// Failed probe: the breaker stays open and the next probe
+				// waits another BreakerProbeAfter entities.
+				rs.probeInFlight = false
+			} else if c.cfg.ErrorBudget > 0 && rs.stats.Failures >= c.cfg.ErrorBudget && !rs.tripped.Load() {
 				rs.stats.BreakerTripped = true
 				rs.tripped.Store(true)
-				breakerOpen.Add(1)
+				rs.sinceTrip = 0
+				if !rs.gaugeOpen {
+					breakerOpen.Add(1)
+					rs.gaugeOpen = true
+				}
 				breakerTrips.Inc()
 			}
 			return nil
+		}
+		if probe {
+			// Successful probe: close the breaker and resume. The error
+			// budget stays spent, so the next failure re-trips immediately —
+			// recovery is optimistic, not amnesiac.
+			rs.probeInFlight = false
+			rs.tripped.Store(false)
+			rs.stats.Recoveries++
+			breakerRecoveries.Inc()
+			if rs.gaugeOpen {
+				breakerOpen.Add(-1)
+				rs.gaugeOpen = false
+			}
 		}
 		rs.stats.Annotations += len(res.anns)
 		return nil

@@ -145,8 +145,151 @@ func TestBreakerTripsDeterministically(t *testing.T) {
 	if stats.Entities != 5 {
 		t.Errorf("entities = %d, want 5 (processing stops at the trip)", stats.Entities)
 	}
-	if !strings.Contains(stats.String(), "breaker tripped (45 skipped)") {
+	if !strings.Contains(stats.String(), "breaker tripped (45 skipped") {
 		t.Errorf("String = %q", stats.String())
+	}
+}
+
+// TestBreakerHalfOpenProbeRecovers: after the error budget trips, every
+// BreakerProbeAfter-th entity is admitted as exactly one probe; when the
+// fault has cleared the probe succeeds, the breaker closes and the rest
+// of the deployment processes normally.
+func TestBreakerHalfOpenProbeRecovers(t *testing.T) {
+	st := seededStore(50, 1)
+	c := NewWithConfig(st, Config{Workers: 1, ErrorBudget: 3, BreakerProbeAfter: 5})
+	var calls int
+	m := MinerFunc{MinerName: "recovering", Fn: func(e *store.Entity) ([]store.Annotation, error) {
+		calls++
+		if calls <= 3 {
+			return nil, errors.New("downstream offline")
+		}
+		return []store.Annotation{{Type: "ok"}}, nil
+	}}
+	stats, err := c.RunEntityMiner(m)
+	if err == nil || !strings.Contains(err.Error(), "breaker tripped") {
+		t.Fatalf("err = %v", err)
+	}
+	// Entities 1-3 fail and trip the breaker. Entities 4-7 are skipped,
+	// entity 8 is the probe (the 5th seen while open); it succeeds, the
+	// breaker closes, and entities 9-50 run normally.
+	if !stats.BreakerTripped {
+		t.Error("BreakerTripped not reported")
+	}
+	if stats.Probes != 1 {
+		t.Errorf("probes = %d, want exactly 1", stats.Probes)
+	}
+	if stats.Recoveries != 1 {
+		t.Errorf("recoveries = %d, want 1", stats.Recoveries)
+	}
+	if stats.Skipped != 4 {
+		t.Errorf("skipped = %d, want 4 (the window before the probe)", stats.Skipped)
+	}
+	if stats.Entities != 46 {
+		t.Errorf("entities = %d, want 46 (3 failed + probe + 42 after recovery)", stats.Entities)
+	}
+	if stats.Annotations != 43 {
+		t.Errorf("annotations = %d, want 43 (probe + everything after)", stats.Annotations)
+	}
+	if stats.Failures != 3 {
+		t.Errorf("failures = %d, want 3", stats.Failures)
+	}
+}
+
+// TestBreakerHalfOpenProbeFailureReopens: a failing probe re-opens the
+// breaker for another full window; with a fault that never clears the
+// deployment alternates windows of skips with single failed probes.
+func TestBreakerHalfOpenProbeFailureReopens(t *testing.T) {
+	st := seededStore(30, 1)
+	c := NewWithConfig(st, Config{Workers: 1, ErrorBudget: 3, BreakerProbeAfter: 5})
+	m := MinerFunc{MinerName: "doomed", Fn: func(e *store.Entity) ([]store.Annotation, error) {
+		return nil, errors.New("still offline")
+	}}
+	stats, err := c.RunEntityMiner(m)
+	if err == nil {
+		t.Fatal("expected aggregated error")
+	}
+	// 3 failures trip the breaker; the 27 remaining entities form five
+	// windows of (4 skips + 1 failed probe) plus 2 trailing skips.
+	if stats.Probes != 5 {
+		t.Errorf("probes = %d, want 5 (one per window, never more)", stats.Probes)
+	}
+	if stats.Recoveries != 0 {
+		t.Errorf("recoveries = %d, want 0 (every probe fails)", stats.Recoveries)
+	}
+	if stats.Failures != 8 {
+		t.Errorf("failures = %d, want 8 (3 to trip + 5 failed probes)", stats.Failures)
+	}
+	if stats.Skipped != 22 {
+		t.Errorf("skipped = %d, want 22", stats.Skipped)
+	}
+	if stats.Entities != 8 {
+		t.Errorf("entities = %d, want 8", stats.Entities)
+	}
+}
+
+// TestBreakerRetripsAfterRecovery: recovery is optimistic, not amnesiac —
+// the error budget stays spent, so the first failure after a successful
+// probe trips the breaker again.
+func TestBreakerRetripsAfterRecovery(t *testing.T) {
+	st := seededStore(20, 1)
+	c := NewWithConfig(st, Config{Workers: 1, ErrorBudget: 2, BreakerProbeAfter: 2})
+	var calls int
+	m := MinerFunc{MinerName: "relapsing", Fn: func(e *store.Entity) ([]store.Annotation, error) {
+		calls++
+		switch {
+		case calls <= 2: // trip
+			return nil, errors.New("offline")
+		case calls == 3: // probe: succeeds, closes the breaker
+			return []store.Annotation{{Type: "ok"}}, nil
+		case calls == 4: // first post-recovery entity: re-trips immediately
+			return nil, errors.New("relapse")
+		default:
+			return []store.Annotation{{Type: "ok"}}, nil
+		}
+	}}
+	stats, _ := c.RunEntityMiner(m)
+	if stats.Recoveries < 1 {
+		t.Fatalf("recoveries = %d, want at least the first probe to close the breaker", stats.Recoveries)
+	}
+	if stats.Failures != 3 {
+		t.Errorf("failures = %d, want 3 (2 to trip + 1 relapse)", stats.Failures)
+	}
+	// After the relapse the breaker must be open again: at least one
+	// entity in the following window is skipped, and a later probe
+	// recovers once more.
+	if stats.Skipped == 0 {
+		t.Error("no entities skipped after the relapse — breaker did not re-open")
+	}
+	if stats.Recoveries != 2 {
+		t.Errorf("recoveries = %d, want 2 (initial probe + post-relapse probe)", stats.Recoveries)
+	}
+}
+
+// TestDeployBudgetShedsLateEntities: a deployment whose budget expires
+// mid-run sheds the unreached entities instead of finishing late.
+func TestDeployBudgetShedsLateEntities(t *testing.T) {
+	st := seededStore(50, 1)
+	c := NewWithConfig(st, Config{Workers: 1, DeployBudget: 30 * time.Millisecond})
+	m := MinerFunc{MinerName: "slow", Fn: func(e *store.Entity) ([]store.Annotation, error) {
+		time.Sleep(5 * time.Millisecond)
+		return []store.Annotation{{Type: "ok"}}, nil
+	}}
+	stats, err := c.RunEntityMiner(m)
+	if err == nil || !strings.Contains(err.Error(), "budget") {
+		t.Fatalf("err = %v", err)
+	}
+	if stats.Shed == 0 {
+		t.Error("no entities shed despite an expired budget")
+	}
+	if stats.Entities == 0 {
+		t.Error("no entities processed before the budget expired")
+	}
+	if stats.Entities+stats.Shed != 50 {
+		t.Errorf("entities %d + shed %d != 50", stats.Entities, stats.Shed)
+	}
+	// The run must end near the budget, not after 50 * 5ms.
+	if stats.Elapsed > 150*time.Millisecond {
+		t.Errorf("elapsed = %v, want well under the unshedded 250ms", stats.Elapsed)
 	}
 }
 

@@ -74,6 +74,14 @@ func (in *Injector) decideDisk(op diskOp) decision {
 	return deliver
 }
 
+// tornWriteBytes reads the torn-write cap under the lock (the config
+// may be swapped concurrently by a running schedule).
+func (in *Injector) tornWriteBytes() int {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.cfg.TornWriteBytes
+}
+
 // intn draws a bounded int from the injector's PRNG (n must be > 0).
 func (in *Injector) intn(n int) int {
 	in.mu.Lock()
@@ -107,7 +115,7 @@ func (ff *faultyFile) Write(p []byte) (int, error) {
 		n := 0
 		if len(p) > 0 {
 			n = ff.in.intn(len(p))
-			if max := ff.in.cfg.TornWriteBytes; max > 0 && n > max {
+			if max := ff.in.tornWriteBytes(); max > 0 && n > max {
 				n = max
 			}
 		}

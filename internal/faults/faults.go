@@ -147,6 +147,34 @@ func (in *Injector) Stats() Stats {
 	return in.stats
 }
 
+// Config returns a snapshot of the injector's current fault mix.
+func (in *Injector) Config() Config {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.cfg
+}
+
+// SetConfig swaps the injector's fault mix in place. The PRNG stream and
+// the stats keep running — a chaos schedule moving through phases draws
+// from one deterministic decision sequence, it only changes the rates
+// each draw is tested against. The new config's Seed field is ignored.
+func (in *Injector) SetConfig(cfg Config) {
+	if cfg.Delay <= 0 {
+		cfg.Delay = 5 * time.Millisecond
+	}
+	in.mu.Lock()
+	in.cfg = cfg
+	in.mu.Unlock()
+}
+
+// delay reads the configured stall under the lock (the config may be
+// swapped concurrently by a running schedule).
+func (in *Injector) delay() time.Duration {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.cfg.Delay
+}
+
 // decision is one draw from the PRNG.
 type decision int
 
@@ -215,7 +243,7 @@ func (fc *faultyClient) Call(req vinci.Request) (vinci.Response, error) {
 	case permanent:
 		return vinci.Response{}, &Error{Op: "call", Transient: false}
 	case delay:
-		time.Sleep(fc.in.cfg.Delay)
+		time.Sleep(fc.in.delay())
 	}
 	return fc.c.Call(req)
 }
@@ -241,7 +269,7 @@ func (fc *faultyConn) Write(p []byte) (int, error) {
 		fc.Conn.Close()
 		return 0, &Error{Op: "conn", Transient: true}
 	case delay:
-		time.Sleep(fc.in.cfg.Delay)
+		time.Sleep(fc.in.delay())
 	case corrupt:
 		corrupted := make([]byte, len(p))
 		copy(corrupted, p)
@@ -280,7 +308,7 @@ func (in *Injector) MinerFault() error {
 	case permanent:
 		return &Error{Op: "miner", Transient: false}
 	case delay:
-		time.Sleep(in.cfg.Delay)
+		time.Sleep(in.delay())
 	}
 	return nil
 }
@@ -320,7 +348,7 @@ func (in *Injector) Callback(fn func(*store.Entity) error) func(*store.Entity) e
 		case permanent:
 			return &Error{Op: "callback", Transient: false}
 		case delay:
-			time.Sleep(in.cfg.Delay)
+			time.Sleep(in.delay())
 		}
 		return fn(e)
 	}

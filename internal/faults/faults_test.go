@@ -182,10 +182,15 @@ func TestAcceptanceCorruptedFrames(t *testing.T) {
 	defer shutdown()
 
 	in := New(Config{Seed: 11, CorruptRate: 0.15})
+	// CallTimeout is the total per-call budget across attempts;
+	// AttemptTimeout bounds each stalled exchange (a corrupted length
+	// prefix can leave the server waiting for bytes that never come) so
+	// the budget is spent on retries, not on one dead read.
 	c, err := vinci.DialWith(addr, vinci.DialOptions{
-		CallTimeout: 300 * time.Millisecond,
-		Retry:       vinci.RetryPolicy{MaxAttempts: 10, BaseBackoff: time.Millisecond, Seed: 8},
-		Dialer:      in.Dialer(),
+		CallTimeout:    2 * time.Second,
+		AttemptTimeout: 100 * time.Millisecond,
+		Retry:          vinci.RetryPolicy{MaxAttempts: 10, BaseBackoff: time.Millisecond, Seed: 8},
+		Dialer:         in.Dialer(),
 	})
 	if err != nil {
 		t.Fatal(err)

@@ -1,0 +1,97 @@
+package faults
+
+import (
+	"reflect"
+	"testing"
+	"time"
+)
+
+// TestScheduleDeterministicPerSeed: the timeline is a pure function of
+// the seed.
+func TestScheduleDeterministicPerSeed(t *testing.T) {
+	for _, seed := range []int64{1, 42, 7777} {
+		a := NewSchedule(seed, 300*time.Millisecond)
+		b := NewSchedule(seed, 300*time.Millisecond)
+		if !reflect.DeepEqual(a, b) {
+			t.Errorf("seed %d: schedules differ:\n%+v\n%+v", seed, a.Phases, b.Phases)
+		}
+		if a.Total() < 300*time.Millisecond {
+			t.Errorf("seed %d: total %v under requested 300ms", seed, a.Total())
+		}
+	}
+	if reflect.DeepEqual(NewSchedule(1, 300*time.Millisecond), NewSchedule(2, 300*time.Millisecond)) {
+		t.Error("different seeds produced identical timelines")
+	}
+}
+
+// TestScheduleAlternatesStormsWithRecovery: even slots are always fault
+// archetypes, so a timeline is never all-quiet, and rates stay inside
+// the survivable band.
+func TestScheduleAlternatesStormsWithRecovery(t *testing.T) {
+	s := NewSchedule(99, 500*time.Millisecond)
+	stormy := 0
+	for i, p := range s.Phases {
+		zero := p.Config == Config{}
+		if i%2 == 0 && zero {
+			t.Errorf("phase %d (%s): even slot is quiet", i, p.Name)
+		}
+		if !zero {
+			stormy++
+		}
+		for _, r := range []float64{p.Config.DropRate, p.Config.DelayRate, p.Config.CorruptRate,
+			p.Config.TransientRate, p.Config.PermanentRate, p.Config.TornWriteRate, p.Config.SyncFailRate} {
+			if r < 0 || r > 0.5 {
+				t.Errorf("phase %d (%s): rate %v outside survivable band", i, p.Name, r)
+			}
+		}
+		if p.Duration <= 0 {
+			t.Errorf("phase %d: non-positive duration", i)
+		}
+	}
+	if stormy == 0 {
+		t.Error("timeline has no fault phases at all")
+	}
+}
+
+// TestScheduleStartSwapsInjectorConfig: running the timeline switches
+// the injector's live config at phase boundaries and stop restores
+// quiet.
+func TestScheduleStartSwapsInjectorConfig(t *testing.T) {
+	s := &Schedule{Seed: 1, Phases: []Phase{
+		{Name: "storm", Duration: 40 * time.Millisecond, Config: Config{DropRate: 0.5}},
+		{Name: "calm", Duration: time.Hour, Config: Config{DelayRate: 0.25}},
+	}}
+	in := New(Config{})
+	stop := s.Start(in)
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) && in.Config().DropRate != 0.5 {
+		time.Sleep(time.Millisecond)
+	}
+	if got := in.Config().DropRate; got != 0.5 {
+		t.Fatalf("first phase config not applied: DropRate = %v", got)
+	}
+	for time.Now().Before(deadline) && in.Config().DelayRate != 0.25 {
+		time.Sleep(time.Millisecond)
+	}
+	if got := in.Config().DelayRate; got != 0.25 {
+		t.Fatalf("second phase config not applied: DelayRate = %v", got)
+	}
+	stop()
+	cfg := in.Config()
+	if cfg.DropRate != 0 || cfg.DelayRate != 0 {
+		t.Errorf("stop did not restore the quiet config: %+v", cfg)
+	}
+}
+
+// TestScheduleStopMidPhase: stop returns promptly even when the current
+// phase nominally lasts an hour.
+func TestScheduleStopMidPhase(t *testing.T) {
+	s := &Schedule{Seed: 1, Phases: []Phase{{Name: "long", Duration: time.Hour, Config: Config{DropRate: 0.1}}}}
+	in := New(Config{})
+	stop := s.Start(in)
+	start := time.Now()
+	stop()
+	if e := time.Since(start); e > time.Second {
+		t.Errorf("stop took %v, want immediate", e)
+	}
+}

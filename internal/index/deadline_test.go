@@ -1,0 +1,49 @@
+package index
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// TestSearchWithDeadlineUnbounded: a zero or generous deadline changes
+// nothing about the result.
+func TestSearchWithDeadlineUnbounded(t *testing.T) {
+	ix := buildIndex()
+	want := ix.Search(Or(Term("excellent"), Term("oil")))
+	got, err := ix.SearchWithDeadline(Or(Term("excellent"), Term("oil")), time.Time{})
+	if err != nil || !reflect.DeepEqual(got, want) {
+		t.Errorf("zero deadline: got %v, %v; want %v", got, err, want)
+	}
+	got, err = ix.SearchWithDeadline(Or(Term("excellent"), Term("oil")), time.Now().Add(time.Minute))
+	if err != nil || !reflect.DeepEqual(got, want) {
+		t.Errorf("roomy deadline: got %v, %v; want %v", got, err, want)
+	}
+}
+
+// TestSearchWithDeadlineExpired: a deadline already in the past sheds
+// the search with ErrDeadlineExceeded instead of returning a silently
+// partial result.
+func TestSearchWithDeadlineExpired(t *testing.T) {
+	ix := buildIndex()
+	past := time.Now().Add(-time.Millisecond)
+	queries := []Query{
+		Or(Term("excellent"), Term("oil"), Term("battery")),
+		And(Term("excellent"), Term("battery")),
+		Not(Term("oil")),
+		Range("price", 0, 100),
+	}
+	if re, err := Regexp("ex.*"); err == nil {
+		queries = append(queries, re)
+	}
+	for i, q := range queries {
+		ids, err := ix.SearchWithDeadline(q, past)
+		if !errors.Is(err, ErrDeadlineExceeded) {
+			t.Errorf("query %d: err = %v, want ErrDeadlineExceeded", i, err)
+		}
+		if ids != nil {
+			t.Errorf("query %d: got partial result %v, want nil", i, ids)
+		}
+	}
+}

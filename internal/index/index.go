@@ -6,12 +6,20 @@
 package index
 
 import (
+	"errors"
 	"regexp"
 	"runtime"
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
+	"time"
 )
+
+// ErrDeadlineExceeded reports a search abandoned because its deadline
+// passed mid-evaluation. No partial result is returned: a truncated doc
+// set would silently look like an exact answer.
+var ErrDeadlineExceeded = errors.New("index: search deadline exceeded")
 
 // posting records the positions of one term within one document.
 type posting struct {
@@ -400,16 +408,44 @@ func (ix *Index) allDocs() docSet {
 	return out
 }
 
+// evalCtx threads per-search state — the index and an optional absolute
+// deadline — through query evaluation. The expired latch is atomic
+// because vocabulary-spanning queries check it from parallel shard
+// scanners.
+type evalCtx struct {
+	ix       *Index
+	deadline time.Time
+	hit      atomic.Bool
+}
+
+// expired reports (and latches) whether the search deadline has passed.
+// Evaluators poll it at shard and sub-query boundaries — coarse enough
+// to stay off the per-document hot path, fine enough that an abandoned
+// search returns within one shard scan of its deadline.
+func (ec *evalCtx) expired() bool {
+	if ec.deadline.IsZero() {
+		return false
+	}
+	if ec.hit.Load() {
+		return true
+	}
+	if time.Now().After(ec.deadline) {
+		ec.hit.Store(true)
+		return true
+	}
+	return false
+}
+
 // Query is a composable index query.
 type Query interface {
-	eval(ix *Index) docSet
+	eval(ec *evalCtx) docSet
 }
 
 // term matches documents containing a single term.
 type termQuery string
 
-func (q termQuery) eval(ix *Index) docSet {
-	ps := ix.postings(strings.ToLower(string(q)))
+func (q termQuery) eval(ec *evalCtx) docSet {
+	ps := ec.ix.postings(strings.ToLower(string(q)))
 	out := make(docSet, len(ps))
 	for i := range ps {
 		out[ps[i].docID] = true
@@ -422,13 +458,16 @@ func Term(t string) Query { return termQuery(t) }
 
 type andQuery []Query
 
-func (q andQuery) eval(ix *Index) docSet {
+func (q andQuery) eval(ec *evalCtx) docSet {
 	if len(q) == 0 {
 		return docSet{}
 	}
-	acc := q[0].eval(ix)
+	acc := q[0].eval(ec)
 	for _, sub := range q[1:] {
-		next := sub.eval(ix)
+		if ec.expired() {
+			return acc
+		}
+		next := sub.eval(ec)
 		for id := range acc {
 			if !next[id] {
 				delete(acc, id)
@@ -443,10 +482,13 @@ func And(qs ...Query) Query { return andQuery(qs) }
 
 type orQuery []Query
 
-func (q orQuery) eval(ix *Index) docSet {
+func (q orQuery) eval(ec *evalCtx) docSet {
 	acc := make(docSet)
 	for _, sub := range q {
-		for id := range sub.eval(ix) {
+		if ec.expired() {
+			return acc
+		}
+		for id := range sub.eval(ec) {
 			acc[id] = true
 		}
 	}
@@ -458,9 +500,12 @@ func Or(qs ...Query) Query { return orQuery(qs) }
 
 type notQuery struct{ q Query }
 
-func (q notQuery) eval(ix *Index) docSet {
-	exclude := q.q.eval(ix)
-	out := ix.allDocs()
+func (q notQuery) eval(ec *evalCtx) docSet {
+	exclude := q.q.eval(ec)
+	if ec.expired() {
+		return docSet{}
+	}
+	out := ec.ix.allDocs()
 	for id := range exclude {
 		delete(out, id)
 	}
@@ -472,7 +517,7 @@ func Not(q Query) Query { return notQuery{q} }
 
 type phraseQuery []string
 
-func (q phraseQuery) eval(ix *Index) docSet {
+func (q phraseQuery) eval(ec *evalCtx) docSet {
 	out := make(docSet)
 	if len(q) == 0 {
 		return out
@@ -481,12 +526,15 @@ func (q phraseQuery) eval(ix *Index) docSet {
 	// per word instead of one per (position, word) probe.
 	lists := make([][]posting, len(q))
 	for i, w := range q {
-		lists[i] = ix.postings(strings.ToLower(w))
+		lists[i] = ec.ix.postings(strings.ToLower(w))
 		if len(lists[i]) == 0 {
 			return out
 		}
 	}
-	for _, p := range lists[0] {
+	for i, p := range lists[0] {
+		if i%256 == 255 && ec.expired() {
+			return out
+		}
 		if phraseAt(lists, p) {
 			out[p.docID] = true
 		}
@@ -531,9 +579,12 @@ type rangeQuery struct {
 	lo, hi float64
 }
 
-func (q rangeQuery) eval(ix *Index) docSet {
+func (q rangeQuery) eval(ec *evalCtx) docSet {
 	out := make(docSet)
-	sh := ix.numShard(q.field)
+	if ec.expired() {
+		return out
+	}
+	sh := ec.ix.numShard(q.field)
 	sh.mu.RLock()
 	for id, v := range sh.numeric[q.field] {
 		if v >= q.lo && v <= q.hi {
@@ -552,7 +603,8 @@ type regexpQuery struct{ re *regexp.Regexp }
 // eval scans the whole vocabulary, the one query shape that touches
 // every shard. Shards are scanned by a bounded fan-out of workers and
 // the per-shard matches merged.
-func (q regexpQuery) eval(ix *Index) docSet {
+func (q regexpQuery) eval(ec *evalCtx) docSet {
+	ix := ec.ix
 	nshards := len(ix.termShards)
 	workers := runtime.GOMAXPROCS(0)
 	if workers > nshards {
@@ -561,6 +613,9 @@ func (q regexpQuery) eval(ix *Index) docSet {
 	if workers <= 1 {
 		out := make(docSet)
 		for s := 0; s < nshards; s++ {
+			if ec.expired() {
+				break
+			}
 			q.scanShard(ix, s, out)
 		}
 		return out
@@ -573,6 +628,9 @@ func (q regexpQuery) eval(ix *Index) docSet {
 			defer wg.Done()
 			out := make(docSet)
 			for s := w; s < nshards; s += workers {
+				if ec.expired() {
+					break
+				}
 				q.scanShard(ix, s, out)
 			}
 			partial[w] = out
@@ -621,13 +679,30 @@ func Regexp(pattern string) (Query, error) {
 // document either fully or not at all per term, and the result is exact
 // once the writers it overlaps have returned.
 func (ix *Index) Search(q Query) []string {
+	out, _ := ix.SearchWithDeadline(q, time.Time{})
+	return out
+}
+
+// SearchWithDeadline evaluates a query under an absolute deadline (zero
+// = unbounded). Evaluation polls the deadline at shard and sub-query
+// boundaries; once it passes, the search is abandoned and
+// ErrDeadlineExceeded returned — an overloaded serving path sheds the
+// scan instead of finishing it late. This is the index-side leg of the
+// platform's end-to-end deadline propagation: vinci hands the handler
+// the request's remaining budget and the handler forwards it here.
+func (ix *Index) SearchWithDeadline(q Query, deadline time.Time) ([]string, error) {
 	span := searchNs.Start()
 	defer span.End()
-	set := q.eval(ix)
+	ec := &evalCtx{ix: ix, deadline: deadline}
+	set := q.eval(ec)
+	if ec.hit.Load() {
+		searchExpired.Inc()
+		return nil, ErrDeadlineExceeded
+	}
 	out := make([]string, 0, len(set))
 	for id := range set {
 		out = append(out, id)
 	}
 	sort.Strings(out)
-	return out
+	return out, nil
 }

@@ -12,4 +12,5 @@ var (
 	searchNs     = metrics.Default().Histogram("index.search.ns")
 	shardScanNs  = metrics.Default().Histogram("index.regexp.shard.scan.ns")
 	postingSizes = metrics.Default().SizeHistogram("index.posting.len")
+	searchExpired = metrics.Default().Counter("index.search.expired")
 )

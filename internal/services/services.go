@@ -23,6 +23,15 @@ const (
 	SentimentService = "sentiment"
 )
 
+// Idempotent reports whether a service is safe to hedge: its ops are
+// read-only, so a duplicated call changes nothing. The store service is
+// excluded because put/delete mutate. Client-side hedging gates on this
+// (vinci.HedgeOptions.IsIdempotent); the server-side registration
+// mirrors it via RegisterIdempotent.
+func Idempotent(service string) bool {
+	return service == IndexService || service == SentimentService
+}
+
 // --- store service ---
 
 // RegisterStore exposes an entity store: ops get, put, delete, count.
@@ -119,9 +128,13 @@ func (sc StoreClient) Count() (int, error) {
 // --- index service ---
 
 // RegisterIndex exposes an inverted index: ops search (mode=all|any|
-// phrase over space-separated terms), docfreq and numdocs.
+// phrase over space-separated terms), docfreq and numdocs. The service
+// is read-only and registered idempotent, so clients may hedge it; a
+// search carrying a deadline budget is evaluated under that deadline
+// and shed with a deadline-exceeded response when it cannot finish in
+// time.
 func RegisterIndex(reg *vinci.Registry, ix *index.Index) {
-	reg.Register(IndexService, func(req vinci.Request) vinci.Response {
+	reg.RegisterIdempotent(IndexService, func(req vinci.Request) vinci.Response {
 		switch req.Op {
 		case "search":
 			terms := strings.Fields(req.Param("terms"))
@@ -147,7 +160,11 @@ func RegisterIndex(reg *vinci.Registry, ix *index.Index) {
 			default:
 				return vinci.Errorf("index: unknown mode %q", mode)
 			}
-			ids := ix.Search(q)
+			deadline, _ := req.Deadline()
+			ids, err := ix.SearchWithDeadline(q, deadline)
+			if err != nil {
+				return vinci.DeadlineExceededResponse("index: search shed: " + err.Error())
+			}
 			return vinci.OKResponse(map[string]string{
 				"ids":   strings.Join(ids, " "),
 				"count": strconv.Itoa(len(ids)),
@@ -197,9 +214,10 @@ func (ic IndexClient) DocFreq(term string) (int, error) {
 // --- sentiment service ---
 
 // RegisterSentiment exposes a sentiment index: ops query and counts.
-// Entries travel as JSON inside one response field.
+// Entries travel as JSON inside one response field. Both ops are pure
+// reads, so the service is registered idempotent and safe to hedge.
 func RegisterSentiment(reg *vinci.Registry, sidx *index.SentimentIndex) {
-	reg.Register(SentimentService, func(req vinci.Request) vinci.Response {
+	reg.RegisterIdempotent(SentimentService, func(req vinci.Request) vinci.Response {
 		subject := req.Param("subject")
 		if subject == "" {
 			return vinci.Errorf("sentiment: missing subject")

@@ -1,0 +1,64 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+// TestForEachWithDeadlineExpired: an already-expired deadline stops the
+// scan with ErrDeadlineExceeded before visiting every entity.
+func TestForEachWithDeadlineExpired(t *testing.T) {
+	st := New(4)
+	for i := 0; i < 40; i++ {
+		st.Put(&Entity{ID: fmt.Sprintf("doc%03d", i), Text: "x"})
+	}
+	visited := 0
+	err := st.ForEachWithDeadline(time.Now().Add(-time.Millisecond), func(e *Entity) error {
+		visited++
+		return nil
+	})
+	if !errors.Is(err, ErrDeadlineExceeded) {
+		t.Fatalf("err = %v, want ErrDeadlineExceeded", err)
+	}
+	if visited != 0 {
+		t.Errorf("visited = %d, want 0 under an expired deadline", visited)
+	}
+}
+
+// TestForEachWithDeadlineMidScan: a deadline that expires partway
+// through sheds the tail of the scan.
+func TestForEachWithDeadlineMidScan(t *testing.T) {
+	st := New(1)
+	for i := 0; i < 20; i++ {
+		st.Put(&Entity{ID: fmt.Sprintf("doc%03d", i), Text: "x"})
+	}
+	visited := 0
+	err := st.ForEachInShardWithDeadline(0, time.Now().Add(15*time.Millisecond), func(e *Entity) error {
+		visited++
+		time.Sleep(5 * time.Millisecond)
+		return nil
+	})
+	if !errors.Is(err, ErrDeadlineExceeded) {
+		t.Fatalf("err = %v, want ErrDeadlineExceeded", err)
+	}
+	if visited == 0 || visited >= 20 {
+		t.Errorf("visited = %d, want a strict subset of the 20 entities", visited)
+	}
+}
+
+// TestForEachZeroDeadlineUnbounded: the plain iterators are unchanged.
+func TestForEachZeroDeadlineUnbounded(t *testing.T) {
+	st := New(4)
+	for i := 0; i < 10; i++ {
+		st.Put(&Entity{ID: fmt.Sprintf("doc%03d", i), Text: "x"})
+	}
+	visited := 0
+	if err := st.ForEach(func(e *Entity) error { visited++; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if visited != 10 {
+		t.Errorf("visited = %d, want 10", visited)
+	}
+}

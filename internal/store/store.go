@@ -11,11 +11,17 @@ package store
 
 import (
 	"encoding/xml"
+	"errors"
 	"fmt"
 	"hash/fnv"
 	"sort"
 	"sync"
+	"time"
 )
+
+// ErrDeadlineExceeded reports a scan abandoned because its deadline
+// passed before it finished.
+var ErrDeadlineExceeded = errors.New("store: scan deadline exceeded")
 
 // Annotation is one miner-produced mark on an entity: a spot, a named
 // entity, a sentiment, etc. Positions are token indices.
@@ -302,6 +308,15 @@ func (s *Store) Len() int {
 // (ID-sorted) order, passing copies to fn. Iteration stops at the first
 // error, which is returned.
 func (s *Store) ForEachInShard(shardIdx int, fn func(*Entity) error) error {
+	return s.ForEachInShardWithDeadline(shardIdx, time.Time{}, fn)
+}
+
+// ForEachInShardWithDeadline is ForEachInShard under an absolute
+// deadline (zero = unbounded). The deadline is polled once per entity;
+// when it passes, iteration stops and ErrDeadlineExceeded is returned so
+// a deadline-bounded caller sheds the rest of the scan instead of
+// finishing it late.
+func (s *Store) ForEachInShardWithDeadline(shardIdx int, deadline time.Time, fn func(*Entity) error) error {
 	if shardIdx < 0 || shardIdx >= len(s.shards) {
 		return fmt.Errorf("store: shard %d out of range [0,%d)", shardIdx, len(s.shards))
 	}
@@ -314,6 +329,9 @@ func (s *Store) ForEachInShard(shardIdx int, fn func(*Entity) error) error {
 	sh.mu.RUnlock()
 	sort.Strings(ids)
 	for _, id := range ids {
+		if !deadline.IsZero() && time.Now().After(deadline) {
+			return ErrDeadlineExceeded
+		}
 		e, ok := s.Get(id)
 		if !ok {
 			continue // deleted concurrently
@@ -327,8 +345,14 @@ func (s *Store) ForEachInShard(shardIdx int, fn func(*Entity) error) error {
 
 // ForEach iterates every entity across all shards in deterministic order.
 func (s *Store) ForEach(fn func(*Entity) error) error {
+	return s.ForEachWithDeadline(time.Time{}, fn)
+}
+
+// ForEachWithDeadline is ForEach under an absolute deadline (zero =
+// unbounded); see ForEachInShardWithDeadline.
+func (s *Store) ForEachWithDeadline(deadline time.Time, fn func(*Entity) error) error {
 	for i := range s.shards {
-		if err := s.ForEachInShard(i, fn); err != nil {
+		if err := s.ForEachInShardWithDeadline(i, deadline, fn); err != nil {
 			return err
 		}
 	}

@@ -1,0 +1,237 @@
+package vinci
+
+import (
+	"runtime"
+	"sync"
+	"time"
+
+	"webfountain/internal/metrics"
+)
+
+// AdmissionConfig bounds how much concurrent work a server accepts.
+// The zero value disables admission control (every request dispatches
+// immediately, as before). With admission on, at most Capacity requests
+// execute at once; up to Depth more wait in a bounded queue, and
+// everything beyond that is shed immediately with CodeOverloaded — the
+// server's answer to sustained overload is a fast, retryable "no", not
+// an ever-growing queue whose every entry will miss its deadline.
+type AdmissionConfig struct {
+	// Capacity is the number of concurrent dispatches admitted
+	// (0 with Depth > 0 selects GOMAXPROCS).
+	Capacity int
+	// Depth is the number of requests allowed to wait beyond Capacity
+	// (0 with Capacity > 0 selects Capacity). A request is queued only
+	// if its remaining deadline budget exceeds the method's observed
+	// p95 service time — otherwise it would almost surely expire in
+	// queue, so it is shed up front while the caller can still retry
+	// against another replica.
+	Depth int
+	// Policy orders the queue: "lifo" (default) serves the newest
+	// waiter first — under overload the newest request has the most
+	// budget left and the best chance of finishing in time (adaptive
+	// LIFO); "fifo" preserves arrival order.
+	Policy string
+	// MaxWait bounds how long a request with no deadline budget may
+	// wait in queue before being shed (default 1s). Requests with a
+	// budget wait at most until it expires.
+	MaxWait time.Duration
+	// ServiceP95 overrides where the shed decision reads a method's
+	// p95 service time (nil: the server's own latency histograms).
+	ServiceP95 func(service, op string) time.Duration
+}
+
+// enabled reports whether the config turns admission control on.
+func (c AdmissionConfig) enabled() bool { return c.Capacity > 0 || c.Depth > 0 }
+
+func (c AdmissionConfig) normalized() AdmissionConfig {
+	if c.Capacity <= 0 {
+		c.Capacity = runtime.GOMAXPROCS(0)
+	}
+	if c.Depth <= 0 {
+		c.Depth = c.Capacity
+	}
+	if c.Policy == "" {
+		c.Policy = "lifo"
+	}
+	if c.MaxWait <= 0 {
+		c.MaxWait = time.Second
+	}
+	if c.ServiceP95 == nil {
+		c.ServiceP95 = serverP95
+	}
+	return c
+}
+
+// serverP95 reads the server-side latency histogram for one method and
+// returns its p95 (0 until enough observations exist to matter).
+func serverP95(service, op string) time.Duration {
+	h := metrics.Default().Histogram("vinci.server." + service + "." + op + ".ns")
+	if h.Count() == 0 {
+		return 0
+	}
+	return time.Duration(h.Snapshot().P95)
+}
+
+// admitOutcome is the admission decision for one request.
+type admitOutcome int
+
+const (
+	admitOK admitOutcome = iota
+	shedOverload
+	shedExpired
+)
+
+// admWaiter is one queued request.
+type admWaiter struct {
+	ready    chan struct{} // closed once outcome is set
+	outcome  admitOutcome
+	reason   string
+	deadline time.Time // zero: no budget
+}
+
+// admission is the server's bounded, deadline-aware admission queue.
+type admission struct {
+	cfg AdmissionConfig
+
+	mu       sync.Mutex
+	inflight int
+	queue    []*admWaiter
+
+	admitted     *metrics.Counter
+	shedOverFull *metrics.Counter
+	shedOverBud  *metrics.Counter
+	shedExp      *metrics.Counter
+	queueDepth   *metrics.Gauge
+	queueWaitNs  *metrics.Histogram
+}
+
+func newAdmission(cfg AdmissionConfig) *admission {
+	reg := metrics.Default()
+	a := &admission{
+		cfg:          cfg.normalized(),
+		admitted:     reg.Counter("vinci.server.admitted"),
+		shedOverFull: reg.Counter("vinci.server.shed.overload"),
+		shedOverBud:  reg.Counter("vinci.server.shed.budget"),
+		shedExp:      reg.Counter("vinci.server.shed.expired"),
+		queueDepth:   reg.Gauge("vinci.server.queue.depth"),
+		queueWaitNs:  reg.Histogram("vinci.server.queue.wait.ns"),
+	}
+	return a
+}
+
+// acquire decides one request's fate: dispatch now, wait in the bounded
+// queue, or shed. A request that acquires admitOK must be paired with
+// one release call.
+func (a *admission) acquire(req Request) (admitOutcome, string) {
+	now := time.Now()
+	var deadline time.Time
+	if budget, ok := req.DeadlineBudget(); ok {
+		if budget <= 0 {
+			a.shedExp.Inc()
+			return shedExpired, "arrived with no budget left"
+		}
+		deadline = now.Add(budget)
+	}
+
+	a.mu.Lock()
+	if a.inflight < a.cfg.Capacity {
+		a.inflight++
+		a.mu.Unlock()
+		a.admitted.Inc()
+		return admitOK, ""
+	}
+	if len(a.queue) >= a.cfg.Depth {
+		a.mu.Unlock()
+		a.shedOverFull.Inc()
+		return shedOverload, "admission queue full"
+	}
+	if !deadline.IsZero() {
+		if p95 := a.cfg.ServiceP95(req.Service, req.Op); p95 > 0 && time.Until(deadline) < p95 {
+			a.mu.Unlock()
+			a.shedOverBud.Inc()
+			return shedOverload, "remaining budget below service-time p95"
+		}
+	}
+	w := &admWaiter{ready: make(chan struct{}), deadline: deadline}
+	a.queue = append(a.queue, w)
+	a.queueDepth.Set(int64(len(a.queue)))
+	a.mu.Unlock()
+
+	maxWait := a.cfg.MaxWait
+	if !deadline.IsZero() {
+		if rem := time.Until(deadline); rem < maxWait {
+			maxWait = rem
+		}
+	}
+	timer := time.NewTimer(maxWait)
+	defer timer.Stop()
+	select {
+	case <-w.ready:
+	case <-timer.C:
+		a.mu.Lock()
+		if a.remove(w) {
+			// Still queued: this request's wait is over. A spent budget
+			// is an expiry; a budget-less MaxWait timeout is a shed.
+			if !w.deadline.IsZero() && time.Now().After(w.deadline) {
+				w.outcome, w.reason = shedExpired, "expired while queued"
+			} else {
+				w.outcome, w.reason = shedOverload, "queue wait exceeded max-wait"
+			}
+			close(w.ready)
+		}
+		a.mu.Unlock()
+		<-w.ready
+	}
+	a.queueWaitNs.ObserveDuration(time.Since(now))
+	switch w.outcome {
+	case admitOK:
+		a.admitted.Inc()
+	case shedExpired:
+		a.shedExp.Inc()
+	case shedOverload:
+		a.shedOverFull.Inc()
+	}
+	return w.outcome, w.reason
+}
+
+// remove unlinks w from the queue (lock held); false if already popped.
+func (a *admission) remove(w *admWaiter) bool {
+	for i, q := range a.queue {
+		if q == w {
+			a.queue = append(a.queue[:i], a.queue[i+1:]...)
+			a.queueDepth.Set(int64(len(a.queue)))
+			return true
+		}
+	}
+	return false
+}
+
+// release returns one execution slot, handing it to the next viable
+// waiter (newest first under LIFO). Waiters that expired or whose
+// remaining budget dropped below the method's p95 while queued are shed
+// on the way — queueing them further would only make them miss harder.
+func (a *admission) release() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	now := time.Now()
+	for len(a.queue) > 0 {
+		var w *admWaiter
+		if a.cfg.Policy == "fifo" {
+			w = a.queue[0]
+			a.queue = a.queue[1:]
+		} else {
+			w = a.queue[len(a.queue)-1]
+			a.queue = a.queue[:len(a.queue)-1]
+		}
+		a.queueDepth.Set(int64(len(a.queue)))
+		if !w.deadline.IsZero() && now.After(w.deadline) {
+			w.outcome, w.reason = shedExpired, "expired while queued"
+			close(w.ready)
+			continue
+		}
+		w.outcome = admitOK
+		close(w.ready)
+		return // slot transferred, inflight unchanged
+	}
+	a.inflight--
+}

@@ -1,0 +1,206 @@
+package vinci
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"webfountain/internal/metrics"
+)
+
+// waitQueueDepth polls until the admission queue holds n waiters.
+func waitQueueDepth(t *testing.T, a *admission, n int) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		a.mu.Lock()
+		depth := len(a.queue)
+		a.mu.Unlock()
+		if depth == n {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("queue never reached depth %d", n)
+}
+
+// TestAdmissionCapacityAndQueueFull: with capacity 1 and depth 1, the
+// first request runs, the second queues, the third is shed immediately.
+func TestAdmissionCapacityAndQueueFull(t *testing.T) {
+	a := newAdmission(AdmissionConfig{Capacity: 1, Depth: 1, MaxWait: 2 * time.Second})
+	req := Request{Service: "s", Op: "o"}
+
+	if o, _ := a.acquire(req); o != admitOK {
+		t.Fatalf("first acquire = %v, want admit", o)
+	}
+	queued := make(chan admitOutcome, 1)
+	go func() {
+		o, _ := a.acquire(req)
+		queued <- o
+	}()
+	waitQueueDepth(t, a, 1)
+	if o, reason := a.acquire(req); o != shedOverload {
+		t.Fatalf("third acquire = %v (%s), want shed", o, reason)
+	}
+	a.release() // hands the slot to the queued waiter
+	if o := <-queued; o != admitOK {
+		t.Fatalf("queued waiter = %v, want admit", o)
+	}
+	a.release()
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.inflight != 0 || len(a.queue) != 0 {
+		t.Errorf("inflight=%d queue=%d after full drain", a.inflight, len(a.queue))
+	}
+}
+
+// TestAdmissionLIFOServesNewestFirst: under LIFO the most recently
+// queued request gets the freed slot — it has the freshest budget.
+func TestAdmissionLIFOServesNewestFirst(t *testing.T) {
+	a := newAdmission(AdmissionConfig{Capacity: 1, Depth: 4, MaxWait: 2 * time.Second})
+	req := Request{Service: "s", Op: "o"}
+	if o, _ := a.acquire(req); o != admitOK {
+		t.Fatal("seed acquire failed")
+	}
+	var order []int
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for i := 1; i <= 2; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if o, _ := a.acquire(req); o == admitOK {
+				mu.Lock()
+				order = append(order, i)
+				mu.Unlock()
+				a.release()
+			}
+		}()
+		waitQueueDepth(t, a, i) // deterministic queue order: 1 below 2
+	}
+	a.release()
+	wg.Wait()
+	mu.Lock()
+	defer mu.Unlock()
+	if len(order) != 2 || order[0] != 2 || order[1] != 1 {
+		t.Errorf("admit order = %v, want [2 1] (newest first)", order)
+	}
+}
+
+// TestAdmissionShedsBudgetBelowP95: at capacity, a request whose
+// remaining budget is under the method's p95 service time is shed
+// rather than queued to certain death.
+func TestAdmissionShedsBudgetBelowP95(t *testing.T) {
+	a := newAdmission(AdmissionConfig{
+		Capacity: 1, Depth: 8, MaxWait: time.Second,
+		ServiceP95: func(service, op string) time.Duration { return 100 * time.Millisecond },
+	})
+	seed := Request{Service: "s", Op: "o"}
+	if o, _ := a.acquire(seed); o != admitOK {
+		t.Fatal("seed acquire failed")
+	}
+	defer a.release()
+	tight := WithDeadlineBudget(Request{Service: "s", Op: "o"}, 20*time.Millisecond)
+	if o, reason := a.acquire(tight); o != shedOverload {
+		t.Errorf("tight-budget acquire = %v (%s), want overload shed", o, reason)
+	}
+	roomy := WithDeadlineBudget(Request{Service: "s", Op: "o"}, 5*time.Second)
+	done := make(chan admitOutcome, 1)
+	go func() {
+		o, _ := a.acquire(roomy)
+		done <- o
+	}()
+	waitQueueDepth(t, a, 1)
+	a.release()
+	if o := <-done; o != admitOK {
+		t.Errorf("roomy-budget acquire = %v, want admit", o)
+	}
+}
+
+// TestAdmissionExpiresQueuedRequest: a queued request whose budget runs
+// out before a slot frees is answered with shedExpired, not admitted.
+func TestAdmissionExpiresQueuedRequest(t *testing.T) {
+	a := newAdmission(AdmissionConfig{Capacity: 1, Depth: 2, MaxWait: 5 * time.Second})
+	if o, _ := a.acquire(Request{Service: "s", Op: "o"}); o != admitOK {
+		t.Fatal("seed acquire failed")
+	}
+	defer a.release()
+	start := time.Now()
+	o, reason := a.acquire(WithDeadlineBudget(Request{Service: "s", Op: "o"}, 50*time.Millisecond))
+	if o != shedExpired {
+		t.Fatalf("acquire = %v (%s), want expired", o, reason)
+	}
+	if e := time.Since(start); e > time.Second {
+		t.Errorf("expiry took %v, want ~50ms", e)
+	}
+}
+
+// TestServerShedsUnderOverload drives a capacity-1 server with a slow
+// handler from three concurrent clients: one call runs, one queues, one
+// is shed with a retryable overloaded error the client can classify.
+func TestServerShedsUnderOverload(t *testing.T) {
+	reg := NewRegistry()
+	entered := make(chan struct{}, 8)
+	release := make(chan struct{})
+	reg.Register("slow", func(req Request) Response {
+		entered <- struct{}{}
+		<-release
+		return OKResponse(nil)
+	})
+	addr, shutdown := startServerOpts(t, reg, ServerOptions{
+		Admission: AdmissionConfig{Capacity: 1, Depth: 1, MaxWait: 5 * time.Second},
+	})
+	defer shutdown()
+
+	dial := func() Client {
+		c, err := DialWith(addr, DialOptions{Retry: RetryPolicy{MaxAttempts: 1}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+	c1, c2, c3 := dial(), dial(), dial()
+	defer c1.Close()
+	defer c2.Close()
+	defer c3.Close()
+
+	var ok1, ok2 atomic.Bool
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		resp, err := c1.Call(Request{Service: "slow", Op: "x"})
+		ok1.Store(err == nil && resp.OK)
+	}()
+	<-entered // first call is executing
+	go func() {
+		defer wg.Done()
+		resp, err := c2.Call(Request{Service: "slow", Op: "x"})
+		ok2.Store(err == nil && resp.OK)
+	}()
+	// Wait until the second call is queued server-side.
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if depth := defaultQueueDepth(); depth >= 1 {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	_, err := c3.Call(Request{Service: "slow", Op: "x"})
+	if !IsOverloaded(err) {
+		t.Errorf("third call err = %v, want overloaded", err)
+	}
+	close(release)
+	<-entered // queued call runs after the first releases
+	wg.Wait()
+	if !ok1.Load() || !ok2.Load() {
+		t.Errorf("ok1=%v ok2=%v, want both true", ok1.Load(), ok2.Load())
+	}
+}
+
+func defaultQueueDepth() int64 {
+	return metrics.Default().Gauge("vinci.server.queue.depth").Value()
+}

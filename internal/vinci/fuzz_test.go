@@ -5,6 +5,7 @@ import (
 	"encoding/binary"
 	"strings"
 	"testing"
+	"time"
 )
 
 // frame builds a well-formed length-prefixed frame for seeding.
@@ -54,6 +55,67 @@ func FuzzDecodeResponse(f *testing.F) {
 		}
 		if _, err := encodeResponse(resp); err != nil {
 			t.Errorf("decoded response does not re-encode: %v", err)
+		}
+	})
+}
+
+// FuzzDeadlineParam: x-deadline-ms values off the wire must parse
+// without panicking and never yield a negative budget; anything the
+// parser accepts must round-trip through a stamped request and survive
+// Dispatch (which either rejects it as expired or hands the handler a
+// consistent absolute deadline).
+func FuzzDeadlineParam(f *testing.F) {
+	f.Add("")
+	f.Add("0")
+	f.Add("1")
+	f.Add("250")
+	f.Add("+250")
+	f.Add("-1")
+	f.Add("00000000000000000042")
+	f.Add("99999999999999999999999999")
+	f.Add("1073741824") // just past maxDeadlineMS
+	f.Add("9223372036854775807")
+	f.Add("1e3")
+	f.Add("0x10")
+	f.Add(" 7")
+	f.Add("7 ")
+	f.Add("١٢٣") // non-ASCII digits must be rejected
+	f.Add("\x00")
+	f.Fuzz(func(t *testing.T, s string) {
+		budget, ok := parseDeadlineMS(s)
+		if budget < 0 {
+			t.Fatalf("parseDeadlineMS(%q) yielded negative budget %v", s, budget)
+		}
+		if !ok && budget != 0 {
+			t.Fatalf("parseDeadlineMS(%q) rejected input but returned %v", s, budget)
+		}
+
+		reg := NewRegistry()
+		reg.Register("probe", func(req Request) Response {
+			if dl, has := req.Deadline(); has && time.Until(dl) > time.Duration(maxDeadlineMS)*time.Millisecond {
+				return Errorf("deadline beyond clamp")
+			}
+			return OKResponse(nil)
+		})
+		req := Request{Service: "probe", Op: "x", Params: map[string]string{DeadlineParam: s}}
+		resp := reg.Dispatch(req)
+		switch {
+		case resp.OK:
+		case resp.Code == CodeDeadlineExceeded:
+			if !ok || budget > 0 {
+				t.Fatalf("dispatch expired %q but parse gave (%v, %v)", s, budget, ok)
+			}
+		default:
+			t.Fatalf("dispatch of %q failed unexpectedly: %+v", s, resp)
+		}
+
+		if ok {
+			// A stamped request must round-trip to the same budget.
+			stamped := WithDeadlineBudget(Request{Service: "probe", Op: "x"}, budget)
+			got, has := stamped.DeadlineBudget()
+			if !has || got != budget {
+				t.Fatalf("round trip of %v gave (%v, %v)", budget, got, has)
+			}
 		}
 	})
 }

@@ -1,0 +1,148 @@
+// Tail-tolerant hedged reads (Dean & Barroso, "The Tail at Scale"): for
+// an idempotent call, fire a second attempt on an independent transport
+// once the first has been outstanding longer than the method's observed
+// p95 latency, and take whichever answer lands first. By construction
+// the hedge fires on roughly the slowest ~5% of calls, so the extra
+// load is bounded while the latency tail collapses toward the p95.
+package vinci
+
+import (
+	"fmt"
+	"time"
+
+	"webfountain/internal/metrics"
+)
+
+// HedgeOptions tunes a hedged client.
+type HedgeOptions struct {
+	// After is a fixed hedge trigger delay. Zero selects the adaptive
+	// trigger: the method's observed client-side p95 latency, floored
+	// at MinAfter.
+	After time.Duration
+	// MinAfter floors the adaptive trigger so cold histograms cannot
+	// cause every call to hedge instantly (default 10ms).
+	MinAfter time.Duration
+	// IsIdempotent gates which services may be hedged. A nil gate
+	// hedges nothing — duplicating a non-idempotent write is a
+	// correctness bug, so hedging is strictly opt-in. Registries mark
+	// services via RegisterIdempotent; remote clients supply their own
+	// mirror of that registration (e.g. services.Idempotent).
+	IsIdempotent func(service string) bool
+}
+
+func (o HedgeOptions) normalized() HedgeOptions {
+	if o.MinAfter <= 0 {
+		o.MinAfter = 10 * time.Millisecond
+	}
+	return o
+}
+
+// HedgedClient wraps two independent clients — hedging over one
+// serialized transport would just queue behind the stuck call it is
+// trying to outrun. Call forwards to the primary; CallHedged races a
+// second attempt on the secondary when the idempotency gate allows it.
+type HedgedClient struct {
+	primary, secondary Client
+	opts               HedgeOptions
+}
+
+// NewHedged builds a hedged client over two independent transports
+// (dial the same address twice for a TCP pair, or use two local
+// clients for in-process serving).
+func NewHedged(primary, secondary Client, opts HedgeOptions) *HedgedClient {
+	return &HedgedClient{primary: primary, secondary: secondary, opts: opts.normalized()}
+}
+
+// Call forwards to CallHedged, so a HedgedClient drops into any code
+// path that takes a vinci.Client (non-idempotent services pass through
+// to the primary unhedged).
+func (h *HedgedClient) Call(req Request) (Response, error) { return h.CallHedged(req) }
+
+// Close closes both transports.
+func (h *HedgedClient) Close() error {
+	err := h.primary.Close()
+	if cerr := h.secondary.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// triggerFor picks the hedge delay for one method.
+func (h *HedgedClient) triggerFor(req Request) time.Duration {
+	if h.opts.After > 0 {
+		return h.opts.After
+	}
+	hist := metrics.Default().Histogram("vinci.client." + req.Service + "." + req.Op + ".ns")
+	d := h.opts.MinAfter
+	if hist.Count() > 0 {
+		if p95 := time.Duration(hist.Snapshot().P95); p95 > d {
+			d = p95
+		}
+	}
+	return d
+}
+
+// hedgeResult is one attempt's outcome.
+type hedgeResult struct {
+	resp   Response
+	err    error
+	hedged bool // true for the secondary attempt
+}
+
+// usable reports whether a result can be returned to the caller without
+// waiting for the other attempt: transport success and not a shed
+// (a shed from one path may still succeed on the other).
+func (r hedgeResult) usable() bool { return r.err == nil && r.resp.Code != CodeOverloaded }
+
+// CallHedged performs the request, racing a duplicate on the secondary
+// transport once the primary has been outstanding past the trigger.
+// The first usable answer wins; the loser's result is drained in the
+// background and discarded ("cancelled" — the protocol has no in-band
+// abort, so the losing server simply finishes work nobody reads).
+// Non-idempotent services are never hedged.
+func (h *HedgedClient) CallHedged(req Request) (Response, error) {
+	if h.opts.IsIdempotent == nil || !h.opts.IsIdempotent(req.Service) {
+		return h.primary.Call(req)
+	}
+	ch := make(chan hedgeResult, 2) // buffered: the loser must not leak a goroutine
+	go func() {
+		resp, err := h.primary.Call(req)
+		ch <- hedgeResult{resp: resp, err: err}
+	}()
+	trigger := time.NewTimer(h.triggerFor(req))
+	defer trigger.Stop()
+	pending := 1
+	var last hedgeResult
+	select {
+	case r := <-ch:
+		if r.usable() {
+			return r.resp, r.err
+		}
+		// Primary failed fast (transport error or shed): hedge
+		// immediately rather than waiting out the trigger.
+		pending--
+		last = r
+	case <-trigger.C:
+	}
+	clientHedges.Inc()
+	go func() {
+		resp, err := h.secondary.Call(req)
+		ch <- hedgeResult{resp: resp, err: err, hedged: true}
+	}()
+	pending++
+	for ; pending > 0; pending-- {
+		r := <-ch
+		if r.usable() {
+			if r.hedged {
+				clientHedgeWins.Inc()
+			}
+			return r.resp, r.err
+		}
+		last = r
+	}
+	if last.err != nil {
+		return Response{}, fmt.Errorf("vinci: hedged call %s.%s: both attempts failed: %w",
+			req.Service, req.Op, last.err)
+	}
+	return last.resp, nil
+}

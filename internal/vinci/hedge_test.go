@@ -1,0 +1,131 @@
+package vinci
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// slowFirstClient delays calls routed through the primary.
+type countingClient struct {
+	c     Client
+	calls atomic.Int32
+	delay time.Duration
+}
+
+func (cc *countingClient) Call(req Request) (Response, error) {
+	cc.calls.Add(1)
+	if cc.delay > 0 {
+		time.Sleep(cc.delay)
+	}
+	return cc.c.Call(req)
+}
+func (cc *countingClient) Close() error { return cc.c.Close() }
+
+func hedgeFixture(idempotent bool) (*Registry, *countingClient, *countingClient) {
+	reg := NewRegistry()
+	h := func(req Request) Response { return OKResponse(map[string]string{"v": "ok"}) }
+	if idempotent {
+		reg.RegisterIdempotent("read", h)
+	} else {
+		reg.Register("read", h)
+	}
+	primary := &countingClient{c: NewLocalClient(reg)}
+	secondary := &countingClient{c: NewLocalClient(reg)}
+	return reg, primary, secondary
+}
+
+// TestHedgeFiresOnSlowPrimary: when the primary stalls past the
+// trigger, the secondary attempt answers and the call returns well
+// before the primary would have.
+func TestHedgeFiresOnSlowPrimary(t *testing.T) {
+	reg, primary, secondary := hedgeFixture(true)
+	primary.delay = 300 * time.Millisecond
+	hc := NewHedged(primary, secondary, HedgeOptions{
+		After:        10 * time.Millisecond,
+		IsIdempotent: reg.Idempotent,
+	})
+	start := time.Now()
+	resp, err := hc.CallHedged(Request{Service: "read", Op: "get"})
+	elapsed := time.Since(start)
+	if err != nil || !resp.OK {
+		t.Fatalf("resp=%+v err=%v", resp, err)
+	}
+	if elapsed >= 250*time.Millisecond {
+		t.Errorf("hedged call took %v, want well under the primary's 300ms stall", elapsed)
+	}
+	if secondary.calls.Load() != 1 {
+		t.Errorf("secondary calls = %d, want 1", secondary.calls.Load())
+	}
+}
+
+// TestHedgeSkipsFastPrimary: a primary answering before the trigger
+// never spawns the duplicate call.
+func TestHedgeSkipsFastPrimary(t *testing.T) {
+	reg, primary, secondary := hedgeFixture(true)
+	hc := NewHedged(primary, secondary, HedgeOptions{
+		After:        200 * time.Millisecond,
+		IsIdempotent: reg.Idempotent,
+	})
+	for i := 0; i < 5; i++ {
+		if _, err := hc.CallHedged(Request{Service: "read", Op: "get"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := secondary.calls.Load(); n != 0 {
+		t.Errorf("secondary calls = %d, want 0 (no hedge for fast primaries)", n)
+	}
+	if n := primary.calls.Load(); n != 5 {
+		t.Errorf("primary calls = %d, want 5", n)
+	}
+}
+
+// TestHedgeRespectsIdempotencyGate: a service not registered as
+// idempotent is never hedged, however slow the primary is.
+func TestHedgeRespectsIdempotencyGate(t *testing.T) {
+	reg, primary, secondary := hedgeFixture(false)
+	primary.delay = 50 * time.Millisecond
+	hc := NewHedged(primary, secondary, HedgeOptions{
+		After:        time.Millisecond,
+		IsIdempotent: reg.Idempotent,
+	})
+	if _, err := hc.CallHedged(Request{Service: "read", Op: "get"}); err != nil {
+		t.Fatal(err)
+	}
+	if n := secondary.calls.Load(); n != 0 {
+		t.Errorf("secondary calls = %d, want 0 for a non-idempotent service", n)
+	}
+	// A nil gate hedges nothing: strictly opt-in.
+	hcNil := NewHedged(primary, secondary, HedgeOptions{After: time.Millisecond})
+	if _, err := hcNil.CallHedged(Request{Service: "read", Op: "get"}); err != nil {
+		t.Fatal(err)
+	}
+	if n := secondary.calls.Load(); n != 0 {
+		t.Errorf("secondary calls = %d, want 0 under a nil gate", n)
+	}
+}
+
+// TestHedgeFallsBackOnPrimaryShed: a shed from the primary triggers the
+// secondary immediately instead of waiting out the trigger delay.
+func TestHedgeFallsBackOnPrimaryShed(t *testing.T) {
+	shedReg := NewRegistry()
+	shedReg.RegisterIdempotent("read", func(req Request) Response {
+		return OverloadedResponse("replica busy")
+	})
+	okReg := NewRegistry()
+	okReg.RegisterIdempotent("read", func(req Request) Response {
+		return OKResponse(map[string]string{"v": "fallback"})
+	})
+	hc := NewHedged(NewLocalClient(shedReg), NewLocalClient(okReg), HedgeOptions{
+		After:        5 * time.Second, // must not matter: the shed short-circuits
+		IsIdempotent: func(string) bool { return true },
+	})
+	start := time.Now()
+	resp, err := hc.CallHedged(Request{Service: "read", Op: "get"})
+	if err != nil || !resp.OK || resp.Fields["v"] != "fallback" {
+		t.Fatalf("resp=%+v err=%v", resp, err)
+	}
+	if e := time.Since(start); e > time.Second {
+		t.Errorf("fallback took %v, want immediate", e)
+	}
+}

@@ -76,4 +76,16 @@ func clientMethod(service, op string) *methodMetrics {
 	return methodFor(&clientMethods, "vinci.client.", service, op)
 }
 
-var clientRetries = metrics.Default().Counter("vinci.client.retries")
+var (
+	clientRetries = metrics.Default().Counter("vinci.client.retries")
+
+	// Overload-model counters (see DESIGN.md §10). Client side: calls
+	// that died with a spent budget, shed responses observed, hedges
+	// fired and hedges whose second attempt won. Server side: requests
+	// rejected before dispatch because they arrived with no budget.
+	clientExpired  = metrics.Default().Counter("vinci.client.expired")
+	clientShedSeen = metrics.Default().Counter("vinci.client.shed.seen")
+	clientHedges   = metrics.Default().Counter("vinci.client.hedges")
+	clientHedgeWins = metrics.Default().Counter("vinci.client.hedge.wins")
+	serverExpired  = metrics.Default().Counter("vinci.server.expired")
+)

@@ -110,9 +110,12 @@ func TestClientReconnectsAfterPartialFrame(t *testing.T) {
 		}
 	}()
 
+	// AttemptTimeout bounds the stalled first exchange so the total
+	// budget still has room for the retry on a fresh connection.
 	c, err := DialWith(ln.Addr().String(), DialOptions{
-		CallTimeout: 150 * time.Millisecond,
-		Retry:       RetryPolicy{MaxAttempts: 3, BaseBackoff: 5 * time.Millisecond, Seed: 1},
+		CallTimeout:    600 * time.Millisecond,
+		AttemptTimeout: 150 * time.Millisecond,
+		Retry:          RetryPolicy{MaxAttempts: 3, BaseBackoff: 5 * time.Millisecond, Seed: 1},
 	})
 	if err != nil {
 		t.Fatal(err)

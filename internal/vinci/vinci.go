@@ -34,6 +34,11 @@ type Request struct {
 	Op string
 	// Params carries the operation's arguments.
 	Params map[string]string
+
+	// deadline is the absolute deadline the dispatcher computed from the
+	// DeadlineParam budget; it never travels on the wire (the budget
+	// does, so clock skew between nodes cannot corrupt it).
+	deadline time.Time
 }
 
 // Param returns a parameter value ("" when absent).
@@ -43,6 +48,9 @@ func (r Request) Param(name string) string { return r.Params[name] }
 type Response struct {
 	// OK reports success; when false, Error describes the failure.
 	OK bool
+	// Code classifies machine-actionable failures (CodeOverloaded,
+	// CodeDeadlineExceeded); empty for success and free-text errors.
+	Code string
 	// Error is the failure description for !OK responses.
 	Error string
 	// Fields carries result values.
@@ -67,20 +75,42 @@ type Handler func(Request) Response
 
 // Registry maps service names to handlers; safe for concurrent use.
 type Registry struct {
-	mu       sync.RWMutex
-	services map[string]Handler
+	mu         sync.RWMutex
+	services   map[string]Handler
+	idempotent map[string]bool
 }
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
-	return &Registry{services: make(map[string]Handler)}
+	return &Registry{services: make(map[string]Handler), idempotent: make(map[string]bool)}
 }
 
-// Register installs (or replaces) the handler for a service.
+// Register installs (or replaces) the handler for a service. The
+// service is not marked idempotent: hedged clients will not race
+// duplicate calls against it.
 func (rg *Registry) Register(service string, h Handler) {
 	rg.mu.Lock()
 	defer rg.mu.Unlock()
 	rg.services[service] = h
+	delete(rg.idempotent, service)
+}
+
+// RegisterIdempotent installs the handler and marks the service
+// idempotent: every operation can safely execute more than once, so
+// hedged reads (Client hedging, at-least-once retries) are allowed
+// against it.
+func (rg *Registry) RegisterIdempotent(service string, h Handler) {
+	rg.mu.Lock()
+	defer rg.mu.Unlock()
+	rg.services[service] = h
+	rg.idempotent[service] = true
+}
+
+// Idempotent reports whether the service was registered as idempotent.
+func (rg *Registry) Idempotent(service string) bool {
+	rg.mu.RLock()
+	defer rg.mu.RUnlock()
+	return rg.idempotent[service]
 }
 
 // Services returns the registered service names, sorted.
@@ -97,13 +127,24 @@ func (rg *Registry) Services() []string {
 
 // Dispatch routes a request to its service handler. A panicking handler
 // is recovered and reported as an error response, so one bad handler
-// cannot take down the node serving it.
+// cannot take down the node serving it. A request whose deadline budget
+// is already spent is rejected with CodeDeadlineExceeded before the
+// handler runs — executing work the caller has abandoned only deepens
+// an overload; requests with budget left carry an absolute deadline the
+// handler can read via Request.Deadline to abort long scans mid-work.
 func (rg *Registry) Dispatch(req Request) (resp Response) {
 	rg.mu.RLock()
 	h, ok := rg.services[req.Service]
 	rg.mu.RUnlock()
 	if !ok {
 		return Errorf("vinci: unknown service %q", req.Service)
+	}
+	if budget, ok := req.DeadlineBudget(); ok {
+		if budget <= 0 {
+			serverExpired.Inc()
+			return DeadlineExceededResponse(req.Service + "." + req.Op + " arrived with no budget left")
+		}
+		req = req.withAbsoluteDeadline(time.Now().Add(budget))
 	}
 	mm := serverMethod(req.Service, req.Op)
 	mm.calls.Inc()
@@ -154,6 +195,7 @@ type xmlRequest struct {
 type xmlResponse struct {
 	XMLName xml.Name   `xml:"response"`
 	OK      bool       `xml:"ok,attr"`
+	Code    string     `xml:"code,attr,omitempty"`
 	Error   string     `xml:"error,omitempty"`
 	Fields  []xmlParam `xml:"field"`
 }
@@ -179,7 +221,7 @@ func decodeRequest(data []byte) (Request, error) {
 }
 
 func encodeResponse(resp Response) ([]byte, error) {
-	xr := xmlResponse{OK: resp.OK, Error: resp.Error}
+	xr := xmlResponse{OK: resp.OK, Code: resp.Code, Error: resp.Error}
 	for _, k := range sortedKeys(resp.Fields) {
 		xr.Fields = append(xr.Fields, xmlParam{Name: k, Value: resp.Fields[k]})
 	}
@@ -191,7 +233,7 @@ func decodeResponse(data []byte) (Response, error) {
 	if err := xml.Unmarshal(data, &xr); err != nil {
 		return Response{}, err
 	}
-	resp := Response{OK: xr.OK, Error: xr.Error, Fields: map[string]string{}}
+	resp := Response{OK: xr.OK, Code: xr.Code, Error: xr.Error, Fields: map[string]string{}}
 	for _, f := range xr.Fields {
 		resp.Fields[f.Name] = f.Value
 	}
@@ -238,9 +280,17 @@ func readFrame(r io.Reader) ([]byte, error) {
 	return payload, nil
 }
 
+// ServerOptions tunes a network server's overload behavior.
+type ServerOptions struct {
+	// Admission bounds concurrent work (zero value: no admission
+	// control, every request dispatches immediately).
+	Admission AdmissionConfig
+}
+
 // Server serves a registry over a listener.
 type Server struct {
 	reg *Registry
+	adm *admission // nil: admission control off
 
 	mu     sync.Mutex
 	ln     net.Listener
@@ -249,9 +299,20 @@ type Server struct {
 	wg     sync.WaitGroup
 }
 
-// NewServer wraps a registry for network serving.
+// NewServer wraps a registry for network serving with no admission
+// control (requests dispatch immediately, however many arrive).
 func NewServer(reg *Registry) *Server {
-	return &Server{reg: reg, conns: make(map[net.Conn]struct{})}
+	return NewServerWith(reg, ServerOptions{})
+}
+
+// NewServerWith wraps a registry for network serving with explicit
+// overload options.
+func NewServerWith(reg *Registry, opts ServerOptions) *Server {
+	s := &Server{reg: reg, conns: make(map[net.Conn]struct{})}
+	if opts.Admission.enabled() {
+		s.adm = newAdmission(opts.Admission)
+	}
+	return s
 }
 
 // Serve accepts connections until the listener is closed. Each connection
@@ -325,7 +386,7 @@ func (s *Server) handleConn(conn net.Conn) {
 		if err != nil {
 			resp = Errorf("vinci: malformed request: %v", err)
 		} else {
-			resp = s.reg.Dispatch(req)
+			resp = s.dispatch(req)
 		}
 		out, err := encodeResponse(resp)
 		if err != nil {
@@ -337,11 +398,36 @@ func (s *Server) handleConn(conn net.Conn) {
 	}
 }
 
+// dispatch runs one request through admission control (when enabled)
+// and the registry. Shed and expired requests never reach a handler.
+func (s *Server) dispatch(req Request) Response {
+	if s.adm == nil {
+		return s.reg.Dispatch(req)
+	}
+	outcome, reason := s.adm.acquire(req)
+	switch outcome {
+	case shedOverload:
+		return OverloadedResponse(reason)
+	case shedExpired:
+		return DeadlineExceededResponse(reason)
+	}
+	defer s.adm.release()
+	return s.reg.Dispatch(req)
+}
+
 // DialOptions tunes the TCP client transport.
 type DialOptions struct {
-	// CallTimeout is the per-call deadline covering the whole exchange
-	// (0 means no deadline).
+	// CallTimeout is the total per-call budget covering every attempt —
+	// exchanges, redials and retry backoffs together (0 means no
+	// deadline). The remaining budget is stamped onto each outgoing
+	// request as the x-deadline-ms param so every downstream hop sees
+	// only the time genuinely left.
 	CallTimeout time.Duration
+	// AttemptTimeout bounds a single attempt's exchange within the
+	// total budget (0 means each attempt may use whatever budget
+	// remains). Setting it keeps one stalled server from consuming the
+	// whole call budget, leaving room to retry on a fresh connection.
+	AttemptTimeout time.Duration
 	// DialTimeout bounds each connection attempt (default 5s).
 	DialTimeout time.Duration
 	// Retry bounds how transport failures are retried. The zero value
@@ -397,9 +483,15 @@ func (c *tcpClient) dial() (net.Conn, error) {
 }
 
 // Call performs one exchange, transparently redialing and retrying
-// transport failures within the retry policy. Operations are assumed
-// idempotent (true of all platform services): a call whose response was
-// lost may execute twice on the server.
+// transport failures within the retry policy and the call's total
+// deadline budget: once the budget is spent no further attempt (or
+// backoff sleep) is made, and each attempt stamps the remaining budget
+// onto the request so the server and any downstream hop can shed or
+// abort work the caller will no longer wait for. Shed responses
+// (CodeOverloaded) are retried after backoff like transport failures;
+// expired responses (CodeDeadlineExceeded) are never retried.
+// Operations are assumed idempotent (true of all platform services): a
+// call whose response was lost may execute twice on the server.
 func (c *tcpClient) Call(req Request) (Response, error) {
 	mm := clientMethod(req.Service, req.Op)
 	mm.calls.Inc()
@@ -407,23 +499,75 @@ func (c *tcpClient) Call(req Request) (Response, error) {
 	defer span.End()
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	payload, err := encodeRequest(req)
-	if err != nil {
-		mm.errors.Inc()
-		return Response{}, err
+
+	// The overall deadline is the tighter of the transport's per-call
+	// budget and any budget already stamped on the request by an
+	// upstream hop. Zero means unbounded.
+	var overall time.Time
+	if c.opts.CallTimeout > 0 {
+		overall = time.Now().Add(c.opts.CallTimeout)
 	}
+	if budget, ok := req.DeadlineBudget(); ok {
+		if t := time.Now().Add(budget); overall.IsZero() || t.Before(overall) {
+			overall = t
+		}
+	}
+
+	// Unbounded calls encode once; bounded calls re-encode per attempt
+	// so the stamped budget reflects time already burned on earlier
+	// attempts and backoffs.
+	var payload []byte
+	if overall.IsZero() {
+		var err error
+		payload, err = encodeRequest(req)
+		if err != nil {
+			mm.errors.Inc()
+			return Response{}, err
+		}
+	}
+
 	attempts := c.opts.Retry.attempts()
 	var lastErr error
+	expired := false
 	for attempt := 1; attempt <= attempts; attempt++ {
 		if attempt > 1 {
-			clientRetries.Inc()
 			if d := c.opts.Retry.backoffFor(attempt-1, c.rng); d > 0 {
+				if !overall.IsZero() && time.Until(overall) <= d {
+					// Sleeping would outlive the budget: stop here
+					// rather than retrying a call nobody awaits.
+					expired = true
+					break
+				}
 				time.Sleep(d)
 			}
+			clientRetries.Inc()
 		}
 		if c.closed {
 			mm.errors.Inc()
 			return Response{}, errors.New("vinci: client closed")
+		}
+		attemptDeadline := overall
+		if c.opts.AttemptTimeout > 0 {
+			if t := time.Now().Add(c.opts.AttemptTimeout); attemptDeadline.IsZero() || t.Before(attemptDeadline) {
+				attemptDeadline = t
+			}
+		}
+		if !attemptDeadline.IsZero() {
+			if !overall.IsZero() && time.Until(overall) <= 0 {
+				expired = true
+				break
+			}
+			rem := time.Until(attemptDeadline)
+			if rem <= 0 {
+				expired = true
+				break
+			}
+			var err error
+			payload, err = encodeRequest(WithDeadlineBudget(req, rem))
+			if err != nil {
+				mm.errors.Inc()
+				return Response{}, err
+			}
 		}
 		if c.conn == nil {
 			conn, err := c.dial()
@@ -433,8 +577,19 @@ func (c *tcpClient) Call(req Request) (Response, error) {
 			}
 			c.conn = conn
 		}
-		resp, err := c.exchange(payload)
+		resp, err := c.exchange(payload, attemptDeadline)
 		if err == nil {
+			switch resp.Code {
+			case CodeDeadlineExceeded:
+				clientExpired.Inc()
+				mm.errors.Inc()
+				return Response{}, fmt.Errorf("vinci: call %s.%s: %s: %w",
+					req.Service, req.Op, resp.Error, ErrDeadlineExceeded)
+			case CodeOverloaded:
+				clientShedSeen.Inc()
+				lastErr = fmt.Errorf("%s: %w", resp.Error, ErrOverloaded)
+				continue
+			}
 			return resp, nil
 		}
 		lastErr = err
@@ -444,17 +599,29 @@ func (c *tcpClient) Call(req Request) (Response, error) {
 		}
 	}
 	mm.errors.Inc()
+	if expired || (!overall.IsZero() && time.Now().After(overall)) {
+		clientExpired.Inc()
+		if lastErr == nil {
+			lastErr = ErrDeadlineExceeded
+		}
+		return Response{}, fmt.Errorf("vinci: call %s.%s: deadline budget spent (last error: %v): %w",
+			req.Service, req.Op, lastErr, ErrDeadlineExceeded)
+	}
 	return Response{}, fmt.Errorf("vinci: call %s.%s failed after %d attempts: %w",
 		req.Service, req.Op, attempts, lastErr)
 }
 
 // exchange writes one request frame and reads the response frame on the
-// live connection. Any failure tears the connection down: after a
-// deadline or I/O error mid-frame the stream may hold a partial frame,
-// and reusing it would make the next call read garbage.
-func (c *tcpClient) exchange(payload []byte) (Response, error) {
-	if c.opts.CallTimeout > 0 {
-		if err := c.conn.SetDeadline(time.Now().Add(c.opts.CallTimeout)); err != nil {
+// live connection, bounded by the call's overall deadline (a zero
+// deadline means unbounded). Any failure tears the connection down:
+// after a deadline or I/O error mid-frame the stream may hold a partial
+// frame, and reusing it would make the next call read garbage.
+func (c *tcpClient) exchange(payload []byte, overall time.Time) (Response, error) {
+	if !overall.IsZero() {
+		// The conn deadline is the call's total budget, not a fresh
+		// per-attempt window: retries must never stretch a call past
+		// the deadline its caller is waiting on.
+		if err := c.conn.SetDeadline(overall); err != nil {
 			c.teardown()
 			return Response{}, &RetryableError{Op: "deadline", Err: err}
 		}
