@@ -124,13 +124,19 @@ func newAdmission(cfg AdmissionConfig) *admission {
 // one release call.
 func (a *admission) acquire(req Request) (admitOutcome, string) {
 	now := time.Now()
-	var deadline time.Time
-	if budget, ok := req.DeadlineBudget(); ok {
-		if budget <= 0 {
-			a.shedExp.Inc()
-			return shedExpired, "arrived with no budget left"
+	// Prefer the absolute deadline stamped at arrival (Server.dispatch);
+	// fall back to deriving one from the wire budget for callers that
+	// invoke acquire directly.
+	deadline, hasDeadline := req.Deadline()
+	if !hasDeadline {
+		if budget, ok := req.DeadlineBudget(); ok {
+			deadline = now.Add(budget)
+			hasDeadline = true
 		}
-		deadline = now.Add(budget)
+	}
+	if hasDeadline && !deadline.After(now) {
+		a.shedExp.Inc()
+		return shedExpired, "arrived with no budget left"
 	}
 
 	a.mu.Lock()

@@ -114,12 +114,18 @@ func itoa(v int64) string {
 }
 
 // WithDeadlineBudget returns req with the remaining budget stamped into
-// DeadlineParam (non-positive budgets stamp "0": already expired).
+// DeadlineParam (non-positive budgets stamp "0": already expired). The
+// params map is cloned, never mutated in place: hedged calls hand the
+// same Request to concurrent attempts, and each attempt re-stamps its
+// own remaining budget — a shared map here would be a concurrent map
+// write under the race the stamps create.
 func WithDeadlineBudget(req Request, budget time.Duration) Request {
-	if req.Params == nil {
-		req.Params = map[string]string{}
+	params := make(map[string]string, len(req.Params)+1)
+	for k, v := range req.Params {
+		params[k] = v
 	}
-	req.Params[DeadlineParam] = formatMS(budget)
+	params[DeadlineParam] = formatMS(budget)
+	req.Params = params
 	return req
 }
 

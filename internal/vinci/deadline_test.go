@@ -108,6 +108,110 @@ func TestDispatchExposesDeadlineToHandler(t *testing.T) {
 	}
 }
 
+// TestDispatchHonorsArrivalDeadline: a deadline stamped at arrival
+// (Server.dispatch does this before admission queueing) survives
+// Dispatch unchanged — the wire budget must not be granted back after a
+// queue wait.
+func TestDispatchHonorsArrivalDeadline(t *testing.T) {
+	reg := NewRegistry()
+	var got time.Time
+	reg.Register("scan", func(req Request) Response {
+		got, _ = req.Deadline()
+		return OKResponse(nil)
+	})
+	stamped := time.Now().Add(80 * time.Millisecond)
+	req := Request{Service: "scan", Op: "x",
+		Params: map[string]string{DeadlineParam: "60000"}}.withAbsoluteDeadline(stamped)
+	if resp := reg.Dispatch(req); !resp.OK {
+		t.Fatalf("dispatch failed: %+v", resp)
+	}
+	if !got.Equal(stamped) {
+		t.Errorf("handler saw deadline %v, want the arrival stamp %v (wire budget re-granted)", got, stamped)
+	}
+	// An arrival deadline already in the past is rejected before the
+	// handler runs, even though the wire budget still reads generous.
+	var ran atomic.Int32
+	reg.Register("late", func(req Request) Response {
+		ran.Add(1)
+		return OKResponse(nil)
+	})
+	late := Request{Service: "late", Op: "x",
+		Params: map[string]string{DeadlineParam: "60000"}}.withAbsoluteDeadline(time.Now().Add(-time.Millisecond))
+	if resp := reg.Dispatch(late); resp.OK || resp.Code != CodeDeadlineExceeded {
+		t.Errorf("resp = %+v, want CodeDeadlineExceeded", resp)
+	}
+	if ran.Load() != 0 {
+		t.Error("handler ran for a request whose arrival deadline had passed")
+	}
+}
+
+// TestQueueWaitDeductsBudget: time spent waiting in the admission queue
+// comes out of the handler's budget — the deadline is fixed at arrival,
+// not recomputed from the wire value at dispatch.
+func TestQueueWaitDeductsBudget(t *testing.T) {
+	reg := NewRegistry()
+	occupying := make(chan struct{})
+	release := make(chan struct{})
+	var rem time.Duration
+	reg.Register("svc", func(req Request) Response {
+		if req.Param("who") == "occupier" {
+			close(occupying)
+			<-release
+			return OKResponse(nil)
+		}
+		rem, _ = req.Remaining()
+		return OKResponse(nil)
+	})
+	s := NewServerWith(reg, ServerOptions{Admission: AdmissionConfig{Capacity: 1, Depth: 4}})
+	occDone := make(chan struct{})
+	go func() {
+		defer close(occDone)
+		s.dispatch(Request{Service: "svc", Op: "x", Params: map[string]string{"who": "occupier"}})
+	}()
+	<-occupying
+	queuedDone := make(chan Response, 1)
+	go func() {
+		queuedDone <- s.dispatch(Request{Service: "svc", Op: "x",
+			Params: map[string]string{DeadlineParam: "60000"}})
+	}()
+	waitQueueDepth(t, s.adm, 1)
+	time.Sleep(100 * time.Millisecond) // measurable queue wait
+	close(release)
+	if resp := <-queuedDone; !resp.OK {
+		t.Fatalf("queued request failed: %+v", resp)
+	}
+	<-occDone
+	if rem > 60*time.Second-80*time.Millisecond {
+		t.Errorf("handler saw %v remaining of a 60s budget after ~100ms in queue — queue wait not deducted", rem)
+	}
+}
+
+// TestUnboundedCallClearsInheritedDeadline: a budget-less call on a kept
+// connection must not inherit the conn deadline a prior budget-carrying
+// call set (with CallTimeout=0 and a single-attempt policy the stale,
+// by-then-past deadline would fail the call outright).
+func TestUnboundedCallClearsInheritedDeadline(t *testing.T) {
+	reg := NewRegistry()
+	reg.Register("echo", func(req Request) Response { return OKResponse(nil) })
+	addr, shutdown := startServerWith(t, reg)
+	defer shutdown()
+	c, err := DialWith(addr, DialOptions{}) // no CallTimeout, single attempt
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	// The first call carries an upstream-stamped budget and sets a conn
+	// deadline as part of honoring it.
+	if _, err := c.Call(Request{Service: "echo", Op: "x",
+		Params: map[string]string{DeadlineParam: "40"}}); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(80 * time.Millisecond) // let the stale deadline pass
+	if _, err := c.Call(Request{Service: "echo", Op: "x"}); err != nil {
+		t.Fatalf("budget-less call on kept connection failed: %v (inherited stale deadline)", err)
+	}
+}
+
 // TestRetriesStopAtTotalDeadline is the regression test for the PR-4-era
 // bug where each retry reset the connection deadline, letting a call
 // with CallTimeout=T and N attempts run for nearly N*T plus backoffs.

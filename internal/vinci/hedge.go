@@ -115,7 +115,11 @@ func (h *HedgedClient) CallHedged(req Request) (Response, error) {
 	var last hedgeResult
 	select {
 	case r := <-ch:
-		if r.usable() {
+		if r.usable() || IsDeadlineExceeded(r.err) {
+			// A spent deadline is terminal: the caller has already given
+			// up, so racing the secondary would duplicate work nobody
+			// awaits — exactly the load hedging must not add during
+			// overload.
 			return r.resp, r.err
 		}
 		// Primary failed fast (transport error or shed): hedge
@@ -136,6 +140,12 @@ func (h *HedgedClient) CallHedged(req Request) (Response, error) {
 			if r.hedged {
 				clientHedgeWins.Inc()
 			}
+			return r.resp, r.err
+		}
+		if IsDeadlineExceeded(r.err) {
+			// The budget is spent for the call as a whole, not just this
+			// attempt; return now (the channel is buffered, so the other
+			// attempt drains without leaking a goroutine).
 			return r.resp, r.err
 		}
 		last = r

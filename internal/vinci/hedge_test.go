@@ -1,6 +1,7 @@
 package vinci
 
 import (
+	"fmt"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -102,6 +103,73 @@ func TestHedgeRespectsIdempotencyGate(t *testing.T) {
 	}
 	if n := secondary.calls.Load(); n != 0 {
 		t.Errorf("secondary calls = %d, want 0 under a nil gate", n)
+	}
+}
+
+// errClient fails every call with a fixed error.
+type errClient struct{ err error }
+
+func (e *errClient) Call(Request) (Response, error) { return Response{}, e.err }
+func (e *errClient) Close() error                   { return nil }
+
+// TestHedgeSkipsSecondaryOnExpiredPrimary: a primary failing with a
+// spent deadline is terminal for the whole call — the secondary must
+// not be raced, since the caller has already given up and hedging would
+// only add load during overload.
+func TestHedgeSkipsSecondaryOnExpiredPrimary(t *testing.T) {
+	reg, _, secondary := hedgeFixture(true)
+	primary := &errClient{err: fmt.Errorf("vinci: call read.get: %w", ErrDeadlineExceeded)}
+	hc := NewHedged(primary, secondary, HedgeOptions{
+		After:        time.Second, // the fast failure, not the trigger, decides
+		IsIdempotent: reg.Idempotent,
+	})
+	_, err := hc.CallHedged(Request{Service: "read", Op: "get"})
+	if !IsDeadlineExceeded(err) {
+		t.Fatalf("err = %v, want deadline exceeded", err)
+	}
+	if n := secondary.calls.Load(); n != 0 {
+		t.Errorf("secondary calls = %d, want 0 — hedging an expired call duplicates abandoned work", n)
+	}
+}
+
+// TestHedgeConcurrentDeadlineStamping: both hedge attempts stamp their
+// own remaining budget onto the shared request; with budgets and retries
+// configured (the shipped wfnode -hedge setup) the attempts must not
+// race on the caller's params map, and the caller's request must come
+// back unmutated. Run under -race this is the regression test for the
+// concurrent-map-write crash.
+func TestHedgeConcurrentDeadlineStamping(t *testing.T) {
+	reg := NewRegistry()
+	reg.RegisterIdempotent("read", func(req Request) Response {
+		time.Sleep(10 * time.Millisecond) // keep the primary in flight past the trigger
+		return OKResponse(map[string]string{"v": "ok"})
+	})
+	addr, shutdown := startServerWith(t, reg)
+	defer shutdown()
+	dial := func() Client {
+		c, err := DialWith(addr, DialOptions{
+			CallTimeout: 2 * time.Second,
+			Retry:       RetryPolicy{MaxAttempts: 3, BaseBackoff: time.Millisecond, Seed: 1},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+	hc := NewHedged(dial(), dial(), HedgeOptions{
+		After:        time.Millisecond,
+		IsIdempotent: reg.Idempotent,
+	})
+	defer hc.Close()
+	req := Request{Service: "read", Op: "get", Params: map[string]string{"key": "k1"}}
+	for i := 0; i < 10; i++ {
+		resp, err := hc.CallHedged(req)
+		if err != nil || !resp.OK {
+			t.Fatalf("iteration %d: resp=%+v err=%v", i, resp, err)
+		}
+	}
+	if v, ok := req.Params[DeadlineParam]; ok {
+		t.Errorf("caller's request was mutated: %s=%q", DeadlineParam, v)
 	}
 }
 

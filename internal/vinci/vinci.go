@@ -139,12 +139,21 @@ func (rg *Registry) Dispatch(req Request) (resp Response) {
 	if !ok {
 		return Errorf("vinci: unknown service %q", req.Service)
 	}
-	if budget, ok := req.DeadlineBudget(); ok {
-		if budget <= 0 {
-			serverExpired.Inc()
-			return DeadlineExceededResponse(req.Service + "." + req.Op + " arrived with no budget left")
+	// A request may already carry an absolute deadline stamped at arrival
+	// (Server.dispatch does this before admission queueing, so queue wait
+	// is deducted from the handler's budget rather than granted back
+	// here). Only a request without one derives it from the wire budget.
+	if req.deadline.IsZero() {
+		if budget, ok := req.DeadlineBudget(); ok {
+			if budget <= 0 {
+				serverExpired.Inc()
+				return DeadlineExceededResponse(req.Service + "." + req.Op + " arrived with no budget left")
+			}
+			req = req.withAbsoluteDeadline(time.Now().Add(budget))
 		}
-		req = req.withAbsoluteDeadline(time.Now().Add(budget))
+	} else if req.Expired() {
+		serverExpired.Inc()
+		return DeadlineExceededResponse(req.Service + "." + req.Op + " budget spent before dispatch")
 	}
 	mm := serverMethod(req.Service, req.Op)
 	mm.calls.Inc()
@@ -400,7 +409,13 @@ func (s *Server) handleConn(conn net.Conn) {
 
 // dispatch runs one request through admission control (when enabled)
 // and the registry. Shed and expired requests never reach a handler.
+// The absolute deadline is computed once, at arrival: a request that
+// waits in the admission queue dispatches with only the budget it has
+// genuinely left, not a fresh copy of its wire budget.
 func (s *Server) dispatch(req Request) Response {
+	if budget, ok := req.DeadlineBudget(); ok && budget > 0 {
+		req = req.withAbsoluteDeadline(time.Now().Add(budget))
+	}
 	if s.adm == nil {
 		return s.reg.Dispatch(req)
 	}
@@ -617,14 +632,15 @@ func (c *tcpClient) Call(req Request) (Response, error) {
 // after a deadline or I/O error mid-frame the stream may hold a partial
 // frame, and reusing it would make the next call read garbage.
 func (c *tcpClient) exchange(payload []byte, overall time.Time) (Response, error) {
-	if !overall.IsZero() {
-		// The conn deadline is the call's total budget, not a fresh
-		// per-attempt window: retries must never stretch a call past
-		// the deadline its caller is waiting on.
-		if err := c.conn.SetDeadline(overall); err != nil {
-			c.teardown()
-			return Response{}, &RetryableError{Op: "deadline", Err: err}
-		}
+	// The conn deadline is the call's total budget, not a fresh
+	// per-attempt window: retries must never stretch a call past the
+	// deadline its caller is waiting on. Setting it unconditionally also
+	// clears (zero overall) any deadline a prior budget-carrying call
+	// left on the kept connection — inheriting a spent one would fail an
+	// unbounded call spuriously.
+	if err := c.conn.SetDeadline(overall); err != nil {
+		c.teardown()
+		return Response{}, &RetryableError{Op: "deadline", Err: err}
 	}
 	if err := writeFrame(c.conn, payload); err != nil {
 		c.teardown()
