@@ -1,0 +1,37 @@
+package webfountain
+
+// Backend is the document-platform surface every deployment shape
+// provides: the single-process Platform and the replicated
+// DistributedPlatform both implement it, so applications, examples and
+// the conformance tests are written once and run against either. The
+// miner runtime and analytics pipelines remain Platform-specific (they
+// iterate a local store); in a distributed deployment each storage node
+// runs its own miners and the router merges the indexed results.
+type Backend interface {
+	// Ingest stores documents and indexes their tokens, assigning IDs to
+	// documents that have none; the IDs come back in input order.
+	Ingest(docs []Document) ([]string, error)
+	// Entity returns a stored document by ID.
+	Entity(id string) (Document, bool)
+	// Delete removes a document and its postings; unknown IDs are a
+	// no-op.
+	Delete(id string) error
+	// NumEntities is the number of distinct stored documents.
+	NumEntities() int
+	// SearchAll returns IDs of documents containing every term.
+	SearchAll(terms ...string) []string
+	// SearchPhrase returns IDs of documents containing the words
+	// consecutively.
+	SearchPhrase(words ...string) []string
+	// Degraded reports whether the deployment has lost capacity (a
+	// degraded store, a suspected node) and why.
+	Degraded() (bool, string)
+	// Close releases the deployment.
+	Close() error
+}
+
+// Both deployment shapes satisfy the contract.
+var (
+	_ Backend = (*Platform)(nil)
+	_ Backend = (*DistributedPlatform)(nil)
+)

@@ -1,0 +1,513 @@
+package webfountain
+
+// The distributed chaos harness: seeded faults.ClusterPlans drive node
+// kills, network partitions and kills-during-handoff against a
+// replicated DistributedPlatform while an acked write stream and read
+// sweeps run on top. Each archetype asserts the distributed
+// resilience invariants:
+//
+//  1. no acknowledged write is lost across kill + rebalance — after
+//     convergence every acked document reads back byte-identical and
+//     sits on exactly its ring-assigned replica set;
+//  2. reads are served throughout a failure — the first read after a
+//     kill succeeds from a live replica, and one probe interval later
+//     the victim is suspected and (on a clean network) receives zero
+//     further read attempts;
+//  3. acked deletes never resurrect — a document deleted while its
+//     replica was down stays deleted after that replica rejoins;
+//  4. convergence is byte-deterministic per seed — two runs of one
+//     plan end on identical ring epochs, ring digests and per-node
+//     placements, because aborted handoffs never bump the epoch.
+//
+// The plan is a pure function of (seed, archetype, node set) and the
+// harness sequences every event itself, so the only wall-clock in a
+// run is the victim's downtime window. When CHAOS_INVARIANT_LOG names
+// a file, every invariant checkpoint is appended to it — CI uploads
+// that file as the run's artifact.
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"webfountain/internal/faults"
+	"webfountain/internal/vinci"
+)
+
+// tripwireDisarmed parks a tripwire counter far below zero so the
+// fire-on-exactly-minus-one check can never trigger spuriously.
+const tripwireDisarmed = -1 << 30
+
+// tripwireClient kills a node's gate after a set number of further
+// calls reach it — the deterministic way to crash a node in the middle
+// of a shard handoff, since catch-up's call sequence against a given
+// cluster state is itself deterministic.
+type tripwireClient struct {
+	gate  *faults.Gate
+	armed *atomic.Int64
+	c     vinci.Client
+}
+
+func (tc *tripwireClient) Call(req vinci.Request) (vinci.Response, error) {
+	if tc.armed.Load() >= 0 && tc.armed.Add(-1) == -1 {
+		tc.gate.Kill()
+	}
+	return tc.c.Call(req)
+}
+
+func (tc *tripwireClient) Close() error { return tc.c.Close() }
+
+// distChaos owns one replicated deployment plus the fault surfaces the
+// harness drives: a gate per node (kill/partition) and one injector
+// for the plan's background network weather.
+type distChaos struct {
+	dp    *DistributedPlatform
+	in    *faults.Injector
+	gates map[string]*faults.Gate
+	trips map[string]*atomic.Int64
+
+	acked   map[string]string // id -> text, every acknowledged write
+	order   []string          // acked ids in write order
+	deleted map[string]bool   // acked deletes
+}
+
+func newDistChaos(t *testing.T, plan faults.ClusterPlan) *distChaos {
+	t.Helper()
+	netCfg := plan.Net
+	netCfg.Seed = plan.Seed
+	dc := &distChaos{
+		in:      faults.New(netCfg),
+		gates:   map[string]*faults.Gate{},
+		trips:   map[string]*atomic.Int64{},
+		acked:   map[string]string{},
+		deleted: map[string]bool{},
+	}
+	dp, err := NewDistributedPlatform(DistributedConfig{
+		Nodes:    3,
+		Replicas: 2,
+		Seed:     plan.Seed,
+		WrapNodeClient: func(name string, c vinci.Client) vinci.Client {
+			g := faults.NewGate(name)
+			armed := &atomic.Int64{}
+			armed.Store(tripwireDisarmed)
+			dc.gates[name] = g
+			dc.trips[name] = armed
+			return &tripwireClient{gate: g, armed: armed, c: g.Client(dc.in.Client(c))}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dc.dp = dp
+	return dc
+}
+
+// write drives one document onto every live owner before counting it
+// acked. The router acknowledges on the first replica (availability
+// under a dead node), but this harness asserts the stronger guarantee
+// — so, like a real client that needs it, it retries the idempotent
+// ingest until each reachable member of the replica set holds the
+// document. That discipline is also what keeps catch-up's tombstone
+// rule sound: a sole copy can then only exist on a node that was down,
+// never on a healthy one that happened to drop a replica write.
+func (dc *distChaos) write(t *testing.T, id, text string) {
+	t.Helper()
+	doc := Document{ID: id, Source: "chaos", Text: text}
+	for attempt := 0; attempt < 200; attempt++ {
+		if _, err := dc.dp.Ingest([]Document{doc}); err != nil {
+			continue
+		}
+		ring := dc.dp.Router().Ring()
+		full := true
+		for _, n := range dc.dp.NodeNames() {
+			if ring.Owns(n, id) && !dc.gates[n].Down() && !dc.dp.NodeHas(n, id) {
+				full = false
+				break
+			}
+		}
+		if full {
+			if _, seen := dc.acked[id]; !seen {
+				dc.order = append(dc.order, id)
+			}
+			dc.acked[id] = text
+			return
+		}
+	}
+	t.Fatalf("write %s: not on every live replica in 200 attempts", id)
+}
+
+// read fetches one acked document back through the router.
+func (dc *distChaos) read(t *testing.T, id string) Document {
+	t.Helper()
+	for attempt := 0; attempt < 200; attempt++ {
+		if d, ok := dc.dp.Entity(id); ok {
+			return d
+		}
+	}
+	t.Fatalf("read %s: no success in 200 attempts", id)
+	return Document{}
+}
+
+// delete drives one delete to full application on every live node.
+// Ack-on-one is not enough here: under network weather a replica can
+// drop the delete while staying up, and no catch-up can later tell its
+// stale copy from a legitimate write — so the harness (like a real
+// client that needs the stronger guarantee) retries the idempotent
+// delete until no reachable node holds the document. Stale copies then
+// exist only on down nodes, which is exactly the case tombstone
+// reconciliation covers.
+func (dc *distChaos) delete(t *testing.T, id string) {
+	t.Helper()
+	for attempt := 0; attempt < 200; attempt++ {
+		if err := dc.dp.Delete(id); err != nil {
+			continue
+		}
+		clean := true
+		for _, n := range dc.dp.NodeNames() {
+			if !dc.gates[n].Down() && dc.dp.NodeHas(n, id) {
+				clean = false
+				break
+			}
+		}
+		if clean {
+			dc.deleted[id] = true
+			return
+		}
+	}
+	t.Fatalf("delete %s: not fully applied in 200 attempts", id)
+}
+
+// live returns the acked-and-not-deleted ids in sorted order.
+func (dc *distChaos) live() []string {
+	ids := make([]string, 0, len(dc.acked))
+	for id := range dc.acked {
+		if !dc.deleted[id] {
+			ids = append(ids, id)
+		}
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// ownedBy returns sorted acked ids whose replica set contains node.
+func (dc *distChaos) ownedBy(node string) []string {
+	ring := dc.dp.Router().Ring()
+	var ids []string
+	for _, id := range dc.live() {
+		if ring.Owns(node, id) {
+			ids = append(ids, id)
+		}
+	}
+	return ids
+}
+
+// checkConverged asserts the steady-state invariants: every acked
+// write readable with identical text and placed on exactly its replica
+// set, every acked delete gone everywhere, and the cluster-wide count
+// consistent.
+func (dc *distChaos) checkConverged(t *testing.T, tag string) {
+	t.Helper()
+	ring := dc.dp.Router().Ring()
+	names := dc.dp.NodeNames()
+	for id, text := range dc.acked {
+		if dc.deleted[id] {
+			if _, ok := dc.dp.Entity(id); ok {
+				t.Fatalf("%s: deleted %s resurrected", tag, id)
+			}
+			for _, n := range names {
+				if dc.dp.NodeHas(n, id) {
+					t.Fatalf("%s: deleted %s still on %s", tag, id, n)
+				}
+			}
+			continue
+		}
+		d := dc.read(t, id)
+		if d.Text != text {
+			t.Fatalf("%s: acked %s read back different text", tag, id)
+		}
+		for _, n := range names {
+			has, owns := dc.dp.NodeHas(n, id), ring.Owns(n, id)
+			if has != owns {
+				t.Fatalf("%s: %s on %s: held=%v owned=%v", tag, id, n, has, owns)
+			}
+		}
+	}
+	want := len(dc.live())
+	got := -1
+	for attempt := 0; attempt < 200; attempt++ {
+		if got = dc.dp.NumEntities(); got == want {
+			return
+		}
+	}
+	t.Fatalf("%s: NumEntities = %d, want %d", tag, got, want)
+}
+
+// digest fingerprints the converged cluster: ring epoch + digest and
+// every acked id's fate and holder set. Two runs of one plan must
+// produce identical bytes.
+func (dc *distChaos) digest() (string, uint64) {
+	ring := dc.dp.Router().Ring()
+	h := sha256.New()
+	fmt.Fprintf(h, "epoch=%d ring=%s\n", ring.Epoch(), ring.Digest())
+	ids := make([]string, 0, len(dc.acked))
+	for id := range dc.acked {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		var holders []string
+		for _, n := range dc.dp.NodeNames() {
+			if dc.dp.NodeHas(n, id) {
+				holders = append(holders, n)
+			}
+		}
+		fmt.Fprintf(h, "%s del=%v holders=%s\n", id, dc.deleted[id], strings.Join(holders, ","))
+	}
+	return hex.EncodeToString(h.Sum(nil)), ring.Epoch()
+}
+
+// rejoinUntilConverged retries the victim's rejoin until the catch-up
+// completes, asserting that every aborted attempt leaves the ring
+// epoch untouched and the one success bumps it exactly once.
+func (dc *distChaos) rejoinUntilConverged(t *testing.T, victim string) {
+	t.Helper()
+	r := dc.dp.Router()
+	before := r.Ring().Epoch()
+	for attempt := 0; attempt < 100; attempt++ {
+		err := r.Rejoin(victim)
+		if err == nil {
+			if got := r.Ring().Epoch(); got != before+1 {
+				t.Fatalf("rejoin %s: epoch %d -> %d, want exactly +1", victim, before, got)
+			}
+			return
+		}
+		if got := r.Ring().Epoch(); got != before {
+			t.Fatalf("aborted rejoin moved the epoch: %d -> %d (%v)", before, got, err)
+		}
+	}
+	t.Fatalf("rejoin %s: no convergence in 100 attempts", victim)
+}
+
+// chaosInvariantLog returns a logger that mirrors checkpoints to the
+// CHAOS_INVARIANT_LOG file when CI sets it.
+func chaosInvariantLog(t *testing.T) func(format string, args ...any) {
+	t.Helper()
+	var f *os.File
+	if path := os.Getenv("CHAOS_INVARIANT_LOG"); path != "" {
+		var err error
+		f, err = os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			t.Fatalf("open invariant log: %v", err)
+		}
+		t.Cleanup(func() { f.Close() })
+	}
+	return func(format string, args ...any) {
+		t.Logf(format, args...)
+		if f != nil {
+			fmt.Fprintf(f, format+"\n", args...)
+		}
+	}
+}
+
+// failAndObserve downs the victim and asserts invariant 2: a read of a
+// victim-owned document succeeds immediately (failover via hedge/scan,
+// before any probe has run), one probe suffices to suspect the victim,
+// and on a clean network the post-suspicion read sweep sends the dead
+// node zero requests.
+func (dc *distChaos) failAndObserve(t *testing.T, plan faults.ClusterPlan, logf func(string, ...any), round int) {
+	t.Helper()
+	gate := dc.gates[plan.Victim]
+	if plan.Archetype == faults.ArchetypePartition {
+		gate.Partition()
+	} else {
+		gate.Kill()
+	}
+	owned := dc.ownedBy(plan.Victim)
+	if len(owned) == 0 {
+		t.Fatalf("round %d: victim %s owns no acked documents", round, plan.Victim)
+	}
+	dc.read(t, owned[0]) // served before any probe ran
+	dc.dp.Router().ProbeOnce()
+	if !dc.dp.Router().Detector().Suspect(plan.Victim) {
+		t.Fatalf("round %d: %s not suspected after one probe interval", round, plan.Victim)
+	}
+	cleanNet := plan.Net == (faults.Config{})
+	gate.ResetCounts()
+	for _, id := range dc.live() {
+		dc.read(t, id)
+	}
+	_, refused := gate.Counts()
+	if cleanNet && refused != 0 {
+		t.Fatalf("round %d: %d reads routed at %s after suspicion", round, refused, plan.Victim)
+	}
+	logf("seed=%d archetype=%s round=%d: failover ok, suspected after 1 probe, refused-after-suspect=%d",
+		plan.Seed, plan.Archetype, round, refused)
+}
+
+// runClusterChaos executes one plan end to end and returns the
+// converged cluster fingerprint.
+func runClusterChaos(t *testing.T, plan faults.ClusterPlan, logf func(string, ...any)) (string, uint64) {
+	t.Helper()
+	dc := newDistChaos(t, plan)
+	defer dc.dp.Close()
+	logf("%s", plan)
+
+	for i := 0; i < plan.WarmWrites; i++ {
+		id := fmt.Sprintf("wf-%03d", i)
+		dc.write(t, id, fmt.Sprintf("warm body of %s", id))
+	}
+
+	gate := dc.gates[plan.Victim]
+	for round := 0; round < plan.Rounds; round++ {
+		dc.failAndObserve(t, plan, logf, round)
+
+		// The cluster must keep accepting writes and deletes with a
+		// replica down; the victim misses all of them and owes them to
+		// the catch-up.
+		for i := 0; i < 10; i++ {
+			id := fmt.Sprintf("wf-down-r%d-%02d", round, i)
+			dc.write(t, id, fmt.Sprintf("written during round %d downtime: %s", round, id))
+		}
+		if owned := dc.ownedBy(plan.Victim); len(owned) >= 2 {
+			dc.delete(t, owned[0])
+			dc.delete(t, owned[1])
+		}
+
+		time.Sleep(plan.Downtime)
+		if plan.Archetype == faults.ArchetypePartition {
+			gate.Heal()
+		} else {
+			gate.Revive()
+		}
+		dc.rejoinUntilConverged(t, plan.Victim)
+		dc.checkConverged(t, fmt.Sprintf("seed %d round %d", plan.Seed, round))
+		logf("seed=%d archetype=%s round=%d: converged, epoch=%d, acked=%d, deleted=%d",
+			plan.Seed, plan.Archetype, round, dc.dp.Router().Ring().Epoch(), len(dc.acked), len(dc.deleted))
+	}
+
+	digest, epoch := dc.digest()
+	logf("seed=%d archetype=%s: final epoch=%d digest=%s injected=%v",
+		plan.Seed, plan.Archetype, epoch, digest[:16], dc.in.Stats())
+	return digest, epoch
+}
+
+// runHandoffChaos executes the kill-during-handoff plan: the victim
+// crashes partway through its own catch-up (a tripwire fires on the
+// second post-arm call to reach it), the handoff must abort with the
+// epoch untouched, and the retried handoff after revival converges.
+func runHandoffChaos(t *testing.T, plan faults.ClusterPlan, logf func(string, ...any)) (string, uint64) {
+	t.Helper()
+	dc := newDistChaos(t, plan)
+	defer dc.dp.Close()
+	logf("%s", plan)
+
+	for i := 0; i < plan.WarmWrites; i++ {
+		id := fmt.Sprintf("wf-%03d", i)
+		dc.write(t, id, fmt.Sprintf("warm body of %s", id))
+	}
+	gate := dc.gates[plan.Victim]
+	gate.Kill()
+	for i := 0; i < 12; i++ {
+		id := fmt.Sprintf("wf-delta-%02d", i)
+		dc.write(t, id, fmt.Sprintf("missed while down: %s", id))
+	}
+	time.Sleep(plan.Downtime)
+	gate.Revive()
+
+	// The victim must actually owe the handoff something, or the
+	// tripwire has no transfer to interrupt.
+	owes := 0
+	for _, id := range dc.ownedBy(plan.Victim) {
+		if !dc.dp.NodeHas(plan.Victim, id) {
+			owes++
+		}
+	}
+	if owes == 0 {
+		t.Fatalf("victim %s missed no owned writes; plan cannot exercise the handoff", plan.Victim)
+	}
+	logf("seed=%d archetype=%s: victim=%s owes %d entities, arming mid-handoff kill",
+		plan.Seed, plan.Archetype, plan.Victim, owes)
+
+	// Allow one more call through (the catch-up census), then crash the
+	// victim — the shipment lands on a dead node and must abort.
+	dc.trips[plan.Victim].Store(1)
+	r := dc.dp.Router()
+	before := r.Ring().Epoch()
+	beforeDigest := r.Ring().Digest()
+	sawMidHandoffKill := false
+	for attempt := 0; attempt < 100; attempt++ {
+		err := r.Rejoin(plan.Victim)
+		if err == nil {
+			break
+		}
+		if got := r.Ring().Epoch(); got != before {
+			t.Fatalf("aborted handoff moved the epoch: %d -> %d (%v)", before, got, err)
+		}
+		if got := r.Ring().Digest(); got != beforeDigest {
+			t.Fatalf("aborted handoff moved the ring digest (%v)", err)
+		}
+		if gate.Down() {
+			sawMidHandoffKill = true
+			gate.Revive()
+		}
+		if attempt == 99 {
+			t.Fatalf("handoff never converged after mid-handoff kill (last: %v)", err)
+		}
+	}
+	if !sawMidHandoffKill {
+		t.Fatal("tripwire never fired: the handoff was not interrupted")
+	}
+	if got := r.Ring().Epoch(); got != before+1 {
+		t.Fatalf("converged epoch %d, want %d (+1 regardless of aborted attempts)", got, before+1)
+	}
+	dc.checkConverged(t, fmt.Sprintf("seed %d handoff", plan.Seed))
+
+	digest, epoch := dc.digest()
+	logf("seed=%d archetype=%s: final epoch=%d digest=%s injected=%v",
+		plan.Seed, plan.Archetype, epoch, digest[:16], dc.in.Stats())
+	return digest, epoch
+}
+
+// runDistArchetype replays an archetype's plan twice per pinned seed
+// and asserts the two runs converge to identical fingerprints.
+func runDistArchetype(t *testing.T, archetype string,
+	run func(*testing.T, faults.ClusterPlan, func(string, ...any)) (string, uint64)) {
+	t.Helper()
+	logf := chaosInvariantLog(t)
+	nodes := []string{"node-1", "node-2", "node-3"}
+	for _, seed := range chaosSeeds {
+		plan := faults.NewClusterPlan(seed, archetype, nodes)
+		d1, e1 := run(t, plan, logf)
+		d2, e2 := run(t, plan, logf)
+		if d1 != d2 || e1 != e2 {
+			t.Errorf("seed %d %s: two runs diverged:\n  epoch=%d digest=%s\n  epoch=%d digest=%s",
+				seed, archetype, e1, d1, e2, d2)
+		}
+	}
+}
+
+// TestChaosDistributedNodeKill: crash a replica (possibly repeatedly),
+// keep writing, and prove rejoin ships every missed write and tombstone
+// without losing an acked one.
+func TestChaosDistributedNodeKill(t *testing.T) {
+	runDistArchetype(t, faults.ArchetypeNodeKill, runClusterChaos)
+}
+
+// TestChaosDistributedPartition: cut a replica off the network; the
+// heal-and-catch-up path must behave exactly like crash recovery.
+func TestChaosDistributedPartition(t *testing.T) {
+	runDistArchetype(t, faults.ArchetypePartition, runClusterChaos)
+}
+
+// TestChaosDistributedKillDuringHandoff: crash the victim in the
+// middle of its own catch-up; the handoff aborts without an epoch bump
+// and the retry converges to the same ring as an undisturbed rejoin.
+func TestChaosDistributedKillDuringHandoff(t *testing.T) {
+	runDistArchetype(t, faults.ArchetypeKillDuringHandoff, runHandoffChaos)
+}

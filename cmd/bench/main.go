@@ -8,12 +8,15 @@
 // overload path: p99 latency under 2× open-loop overload with admission
 // control on vs. off, and the extra-call fraction of hedged reads.
 //
-//	bench [-quick] [-docs N] [-out BENCH_PR5.json]
+//	bench [-quick] [-docs N] [-out BENCH_PR6.json]
 //	bench -compare old.json new.json
 //
 // The JSON records ns/op, MB/s and allocs/op per benchmark plus the
 // machine shape (CPUs, GOMAXPROCS) the numbers were taken on — parallel
-// speedups are only meaningful relative to the recorded CPU count. The
+// speedups are only meaningful relative to the recorded CPU count. A
+// GOMAXPROCS sweep (1/2/4) re-runs the 4-worker ingest bench with the
+// scheduler pinned to each width (ingest/4w@2p etc.), separating "more
+// workers" from "more CPUs" in the scaling story. The
 // report also embeds a snapshot of the metrics registry taken after the
 // run, so the per-stage pipeline latency histograms land in the same
 // artifact as the throughput numbers. The -compare mode prints a
@@ -71,7 +74,7 @@ type Report struct {
 }
 
 func main() {
-	out := flag.String("out", "BENCH_PR5.json", "output JSON path")
+	out := flag.String("out", "BENCH_PR6.json", "output JSON path")
 	quick := flag.Bool("quick", false, "smaller corpora for CI smoke runs")
 	docsFlag := flag.Int("docs", 0, "corpus size per ingest iteration (0: 200, or 40 with -quick)")
 	compare := flag.Bool("compare", false, "compare two result files: bench -compare old.json new.json")
@@ -114,7 +117,7 @@ func main() {
 // run executes the benchmark suite and assembles the report.
 func run(docs int, quick bool) Report {
 	rep := Report{
-		Bench:      "PR5",
+		Bench:      "PR6",
 		GoVersion:  runtime.Version(),
 		CPUs:       runtime.NumCPU(),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
@@ -178,6 +181,27 @@ func run(docs int, quick bool) Report {
 			}
 		})
 	}
+
+	// GOMAXPROCS sweep: the same 4-worker ingest pinned to 1, 2 and 4
+	// scheduler threads. The worker-count loop above varies parallelism
+	// in the pipeline; this varies parallelism in the machine, so the
+	// two can be read against each other (4w@1p ≈ 1w shows the pool is
+	// scheduler-bound, not lock-bound). GOMAXPROCS is restored before
+	// any other benchmark runs.
+	prevProcs := runtime.GOMAXPROCS(0)
+	for _, procs := range []int{1, 2, 4} {
+		runtime.GOMAXPROCS(procs)
+		name := fmt.Sprintf("ingest/4w@%dp", procs)
+		record(name, int64(textBytes), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				p := webfountain.NewPlatform(webfountain.PlatformConfig{IngestWorkers: 4})
+				if _, err := p.Ingest(batch); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+	runtime.GOMAXPROCS(prevProcs)
 
 	// Sharded index: single-writer adds, concurrent adds, queries.
 	record("index/add", 0, func(b *testing.B) {
@@ -349,6 +373,11 @@ func run(docs int, quick bool) Report {
 	if s, ok := byName["ingest/1w"]; ok {
 		if p, ok := byName["ingest/8w"]; ok && p.NsPerOp > 0 {
 			rep.Derived["ingest_speedup_8w_vs_1w"] = s.NsPerOp / p.NsPerOp
+		}
+	}
+	if s, ok := byName["ingest/4w@1p"]; ok {
+		if p, ok := byName["ingest/4w@4p"]; ok && p.NsPerOp > 0 {
+			rep.Derived["ingest_4w_speedup_4p_vs_1p"] = s.NsPerOp / p.NsPerOp
 		}
 	}
 	if s, ok := byName["store/wal-put"]; ok {

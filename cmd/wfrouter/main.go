@@ -1,0 +1,267 @@
+// Command wfrouter runs the stateless routing tier in front of a set
+// of wfnode storage nodes: it places every document on a replica set
+// via the seeded consistent-hash ring, replicates writes, hedges reads
+// across replicas, probes node health, and performs online shard
+// handoff when membership changes.
+//
+// Server:
+//
+//	wfrouter -listen :9400 -nodes n1=host1:9410,n2=host2:9410,n3=host3:9410
+//	         [-replicas 2] [-vnodes 64] [-seed 1] [-probe-interval 500ms]
+//	         [-hedge-after 20ms] [-metrics-addr :9401]
+//
+// The router serves the SAME store/index/sentiment wire protocol a
+// single node speaks, so any wfnode client works against it unchanged
+// (wfnode -connect router:9400 -search "battery life"). It
+// additionally serves the "topology" control service: cluster status,
+// placement queries, and membership operations.
+//
+// Client (one-shot control operations against a running router):
+//
+//	wfrouter -connect host:9400 -status
+//	wfrouter -connect host:9400 -place doc-000123
+//	wfrouter -connect host:9400 -join n4=host4:9410
+//	wfrouter -connect host:9400 -drain n2
+//	wfrouter -connect host:9400 -rejoin n2
+//
+// -join admits a new node through the online handoff (dual-write,
+// WAL-frame catch-up, atomic ring-epoch bump); -drain retires one the
+// same way; -rejoin catches a recovered member up on everything it
+// missed while down.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"webfountain/internal/metrics"
+	"webfountain/internal/router"
+	"webfountain/internal/services"
+	"webfountain/internal/vinci"
+)
+
+func main() {
+	listen := flag.String("listen", "", "serve mode: listen address (e.g. :9400)")
+	nodes := flag.String("nodes", "", "serve mode: initial members as name=addr,name=addr")
+	replicas := flag.Int("replicas", 2, "serve mode: replica-set size R")
+	vnodes := flag.Int("vnodes", 64, "serve mode: virtual nodes per member")
+	seed := flag.Int64("seed", 1, "serve mode: ring placement seed")
+	probeInterval := flag.Duration("probe-interval", 500*time.Millisecond, "serve mode: health-probe cadence (0: off)")
+	hedgeAfter := flag.Duration("hedge-after", 20*time.Millisecond, "serve mode: hedge reads to the second replica after this long")
+	metricsAddr := flag.String("metrics-addr", "", "serve mode: HTTP address for /metrics and /healthz (empty: disabled)")
+	connect := flag.String("connect", "", "client mode: router address to connect to")
+	status := flag.Bool("status", false, "client: print ring epoch, digest, members and suspects")
+	place := flag.String("place", "", "client: print the replica set for a key, primary first")
+	join := flag.String("join", "", "client: admit a node, as name=addr")
+	drain := flag.String("drain", "", "client: retire the named node via handoff")
+	rejoin := flag.String("rejoin", "", "client: catch the named recovered member up")
+	callTimeout := flag.Duration("call-timeout", 10*time.Second, "per-call deadline budget")
+	flag.Parse()
+
+	switch {
+	case *listen != "":
+		if err := serve(*listen, *nodes, *replicas, *vnodes, *seed, *probeInterval, *hedgeAfter, *metricsAddr, *callTimeout); err != nil {
+			log.Fatal(err)
+		}
+	case *connect != "":
+		if err := client(*connect, *callTimeout, *status, *place, *join, *drain, *rejoin); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	default:
+		fmt.Fprintln(os.Stderr, "need -listen (serve) or -connect (client); see -h")
+		os.Exit(2)
+	}
+}
+
+// parseMembers splits "name=addr,name=addr" preserving order.
+func parseMembers(spec string) ([][2]string, error) {
+	if spec == "" {
+		return nil, fmt.Errorf("wfrouter: -nodes is required (name=addr,name=addr)")
+	}
+	var out [][2]string
+	for _, part := range strings.Split(spec, ",") {
+		name, addr, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok || name == "" || addr == "" {
+			return nil, fmt.Errorf("wfrouter: bad member %q, want name=addr", part)
+		}
+		out = append(out, [2]string{name, addr})
+	}
+	return out, nil
+}
+
+func serve(addr, nodesSpec string, replicas, vnodes int, seed int64, probeInterval, hedgeAfter time.Duration, metricsAddr string, callTimeout time.Duration) error {
+	members, err := parseMembers(nodesSpec)
+	if err != nil {
+		return err
+	}
+	dial := func(nodeAddr string) (vinci.Client, error) {
+		return vinci.DialWith(nodeAddr, vinci.DialOptions{
+			CallTimeout: callTimeout,
+			Retry:       vinci.RetryPolicy{MaxAttempts: 2, BaseBackoff: 10 * time.Millisecond, MaxBackoff: 100 * time.Millisecond, Jitter: 0.2},
+		})
+	}
+	var handles []router.NodeHandle
+	for _, m := range members {
+		c, err := dial(m[1])
+		if err != nil {
+			for _, h := range handles {
+				h.Client.Close()
+			}
+			return fmt.Errorf("wfrouter: dial %s (%s): %w", m[0], m[1], err)
+		}
+		handles = append(handles, router.NodeHandle{Name: m[0], Client: c})
+	}
+	r := router.New(handles, router.Options{
+		Replicas:      replicas,
+		VNodes:        vnodes,
+		Seed:          seed,
+		ProbeInterval: probeInterval,
+		HedgeAfter:    hedgeAfter,
+		Dial:          dial,
+	})
+	defer r.Close()
+
+	reg := vinci.NewRegistry()
+	r.RegisterRouted(reg)
+	r.RegisterTopology(reg)
+	services.RegisterHealth(reg, services.HealthOptions{
+		Node:     "wfrouter@" + addr,
+		Registry: reg,
+		Entities: func() int {
+			n, err := r.NumEntities()
+			if err != nil {
+				return 0
+			}
+			return n
+		},
+		Degraded: func() (bool, string) {
+			if s := r.Suspects(); len(s) > 0 {
+				return true, "suspected nodes: " + strings.Join(s, ", ")
+			}
+			return false, ""
+		},
+		Topology: func() services.TopologyInfo {
+			ring := r.Ring()
+			return services.TopologyInfo{Epoch: ring.Epoch(), Digest: ring.Digest()}
+		},
+	})
+	services.RegisterMetrics(reg, metrics.Default())
+
+	if metricsAddr != "" {
+		mux := http.NewServeMux()
+		metrics.Default().RegisterHTTP(mux)
+		mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+			ring := r.Ring()
+			suspects := r.Suspects()
+			w.Header().Set("Content-Type", "application/json")
+			if len(suspects) > 0 {
+				w.WriteHeader(http.StatusServiceUnavailable)
+			}
+			fmt.Fprintf(w, `{"node":%q,"ring_epoch":%d,"ring_digest":%q,"members":%q,"suspects":%q}`+"\n",
+				"wfrouter@"+addr, ring.Epoch(), ring.Digest(),
+				strings.Join(ring.Members(), ","), strings.Join(suspects, ","))
+		})
+		go func() {
+			log.Printf("metrics on http://%s/metrics", metricsAddr)
+			if err := http.ListenAndServe(metricsAddr, mux); err != nil {
+				log.Printf("metrics server: %v", err)
+			}
+		}()
+	}
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	ring := r.Ring()
+	log.Printf("wfrouter serving %v on %s: %d members, R=%d, epoch %d, ring %s",
+		reg.Services(), ln.Addr(), ring.NumMembers(), ring.Replicas(), ring.Epoch(), ring.Digest()[:12])
+
+	srv := vinci.NewServer(reg)
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		sig := <-sigc
+		log.Printf("received %v, shutting down", sig)
+		if cerr := srv.Close(); cerr != nil {
+			log.Printf("server close: %v", cerr)
+		}
+	}()
+	return srv.Serve(ln)
+}
+
+func client(addr string, callTimeout time.Duration, status bool, place, join, drain, rejoin string) error {
+	c, err := vinci.DialWith(addr, vinci.DialOptions{CallTimeout: callTimeout})
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	tc := router.TopologyClient{C: c}
+
+	did := false
+	if status {
+		did = true
+		st, err := tc.Status()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("ring epoch %d, digest %s\n", st.Epoch, st.Digest)
+		fmt.Printf("members (%d, R=%d): %s\n", len(st.Members), st.Replicas, strings.Join(st.Members, ", "))
+		if len(st.Suspects) > 0 {
+			fmt.Printf("SUSPECTED: %s\n", strings.Join(st.Suspects, ", "))
+		}
+		for _, m := range st.Members {
+			ti, err := tc.Node(m)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("  %-12s %s: %d primary shards, %d replica shards\n", m, ti.Role(), ti.Primaries, ti.Replicas)
+		}
+	}
+	if place != "" {
+		did = true
+		set, err := tc.Place(place)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%s -> %s (primary first)\n", place, strings.Join(set, ", "))
+	}
+	if join != "" {
+		did = true
+		name, nodeAddr, ok := strings.Cut(join, "=")
+		if !ok {
+			return fmt.Errorf("-join wants name=addr")
+		}
+		if err := tc.Join(name, nodeAddr); err != nil {
+			return err
+		}
+		fmt.Printf("joined %s (%s)\n", name, nodeAddr)
+	}
+	if drain != "" {
+		did = true
+		if err := tc.Drain(drain); err != nil {
+			return err
+		}
+		fmt.Printf("drained %s\n", drain)
+	}
+	if rejoin != "" {
+		did = true
+		if err := tc.Rejoin(rejoin); err != nil {
+			return err
+		}
+		fmt.Printf("rejoined %s\n", rejoin)
+	}
+	if !did {
+		return fmt.Errorf("client mode needs one of -status, -place, -join, -drain, -rejoin")
+	}
+	return nil
+}

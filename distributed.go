@@ -1,0 +1,323 @@
+package webfountain
+
+import (
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"webfountain/internal/index"
+	"webfountain/internal/router"
+	"webfountain/internal/services"
+	"webfountain/internal/store"
+	"webfountain/internal/tokenize"
+	"webfountain/internal/topology"
+	"webfountain/internal/vinci"
+)
+
+// DistributedConfig tunes a replicated in-process deployment.
+type DistributedConfig struct {
+	// Nodes is the number of storage nodes (default 3).
+	Nodes int
+	// Replicas is the replica-set size R (default 2).
+	Replicas int
+	// Seed fixes shard placement; chaos runs pin it so two runs of one
+	// seed converge to byte-identical rings.
+	Seed int64
+	// VNodes is the virtual-node count per member (default 64).
+	VNodes int
+	// ProbeInterval is the router's background health-probe cadence
+	// (0 disables the loop; routed calls still feed the detector).
+	ProbeInterval time.Duration
+	// HedgeAfter is the fixed hedge trigger for replica-fanned reads.
+	HedgeAfter time.Duration
+	// Detector tunes failure detection.
+	Detector topology.DetectorOptions
+	// StoreShards is each node's store shard count (default 4).
+	StoreShards int
+	// DataDir, when set, makes every node durable under
+	// <DataDir>/<node-name> (the per-node WAL + snapshot layout from the
+	// durable store).
+	DataDir string
+	// WrapNodeClient, when set, wraps each node's transport — the hook
+	// the chaos harness uses to put a fault gate between the router and
+	// every node.
+	WrapNodeClient func(name string, c vinci.Client) vinci.Client
+}
+
+func (cfg DistributedConfig) normalized() DistributedConfig {
+	if cfg.Nodes <= 0 {
+		cfg.Nodes = 3
+	}
+	if cfg.Replicas <= 0 {
+		cfg.Replicas = 2
+	}
+	if cfg.StoreShards <= 0 {
+		cfg.StoreShards = 4
+	}
+	return cfg
+}
+
+// distNode is one in-process storage node: its own store, inverted
+// index and sentiment index behind the full Vinci service surface.
+type distNode struct {
+	name string
+	st   *store.Store
+	ix   *index.Index
+	sx   *index.SentimentIndex
+	c    vinci.Client // possibly wrapped (fault gate)
+}
+
+// DistributedPlatform is the replicated deployment shape: N in-process
+// storage nodes behind a shard router. It satisfies Backend, so
+// everything written against the single-process Platform runs against
+// it unchanged; it additionally exposes the cluster-surgery operations
+// (KillNode, ReviveNode, RejoinNode, JoinNode, DrainNode are modeled by
+// the chaos harness through the router and fault gates).
+type DistributedPlatform struct {
+	cfg    DistributedConfig
+	r      *router.Router
+	nodes  map[string]*distNode
+	names  []string
+	nextID atomic.Int64
+}
+
+// NewDistributedPlatform assembles nodes and router. Node names are
+// node-1..node-N.
+func NewDistributedPlatform(cfg DistributedConfig) (*DistributedPlatform, error) {
+	cfg = cfg.normalized()
+	dp := &DistributedPlatform{cfg: cfg, nodes: map[string]*distNode{}}
+	var handles []router.NodeHandle
+	for i := 1; i <= cfg.Nodes; i++ {
+		name := fmt.Sprintf("node-%d", i)
+		n, err := dp.buildNode(name)
+		if err != nil {
+			return nil, err
+		}
+		dp.nodes[name] = n
+		dp.names = append(dp.names, name)
+		handles = append(handles, router.NodeHandle{Name: name, Client: n.c})
+	}
+	dp.r = router.New(handles, router.Options{
+		Replicas:      cfg.Replicas,
+		VNodes:        cfg.VNodes,
+		Seed:          cfg.Seed,
+		ProbeInterval: cfg.ProbeInterval,
+		HedgeAfter:    cfg.HedgeAfter,
+		Detector:      cfg.Detector,
+	})
+	return dp, nil
+}
+
+// buildNode assembles one storage node and its service registry.
+func (dp *DistributedPlatform) buildNode(name string) (*distNode, error) {
+	n := &distNode{
+		name: name,
+		ix:   index.New(),
+		sx:   index.NewSentimentIndex(),
+	}
+	if dp.cfg.DataDir != "" {
+		st, err := store.Open(dp.cfg.DataDir+"/"+name, store.Options{Shards: dp.cfg.StoreShards})
+		if err != nil {
+			return nil, fmt.Errorf("webfountain: open node %s: %w", name, err)
+		}
+		n.st = st
+	} else {
+		n.st = store.New(dp.cfg.StoreShards)
+	}
+	tk := tokenize.New()
+	hooks := services.StoreHooks{
+		OnPut: func(e *store.Entity) {
+			toks := tk.Tokenize(e.Text)
+			words := make([]string, len(toks))
+			for i := range toks {
+				words[i] = toks[i].Text
+			}
+			n.ix.Add(e.ID, words)
+		},
+		OnDelete: func(id string) { n.ix.Remove(id) },
+	}
+	reg := vinci.NewRegistry()
+	services.RegisterStoreWith(reg, n.st, hooks)
+	services.RegisterIndex(reg, n.ix)
+	services.RegisterSentiment(reg, n.sx)
+	services.RegisterReplica(reg, n.st, hooks)
+	services.RegisterHealth(reg, services.HealthOptions{
+		Node:     name,
+		Registry: reg,
+		Entities: n.st.Len,
+		Degraded: n.st.Degraded,
+		Topology: func() services.TopologyInfo {
+			if dp.r == nil {
+				return services.TopologyInfo{}
+			}
+			return dp.r.TopologyInfoFor(name)
+		},
+	})
+	n.c = vinci.NewLocalClient(reg)
+	if dp.cfg.WrapNodeClient != nil {
+		n.c = dp.cfg.WrapNodeClient(name, n.c)
+	}
+	return n, nil
+}
+
+// Router exposes the routing tier (status, membership surgery, probes).
+func (dp *DistributedPlatform) Router() *router.Router { return dp.r }
+
+// NodeNames lists the storage nodes in creation order.
+func (dp *DistributedPlatform) NodeNames() []string {
+	return append([]string(nil), dp.names...)
+}
+
+// NodeEntityCount reports how many entities a node physically holds —
+// the replica-level view invariant checks need (NumEntities dedupes).
+func (dp *DistributedPlatform) NodeEntityCount(name string) (int, bool) {
+	n, ok := dp.nodes[name]
+	if !ok {
+		return 0, false
+	}
+	return n.st.Len(), true
+}
+
+// NodeHas reports whether a node physically holds an entity.
+func (dp *DistributedPlatform) NodeHas(name, id string) bool {
+	n, ok := dp.nodes[name]
+	if !ok {
+		return false
+	}
+	_, has := n.st.Get(id)
+	return has
+}
+
+// AddNode builds a fresh storage node and joins it to the ring through
+// the online-handoff path. The router dual-writes during catch-up and
+// bumps the ring epoch only once the node holds everything it owns.
+func (dp *DistributedPlatform) AddNode(name string) error {
+	if _, exists := dp.nodes[name]; exists {
+		return fmt.Errorf("webfountain: node %s already exists", name)
+	}
+	n, err := dp.buildNode(name)
+	if err != nil {
+		return err
+	}
+	if err := dp.r.Join(name, n.c); err != nil {
+		return err
+	}
+	dp.nodes[name] = n
+	dp.names = append(dp.names, name)
+	return nil
+}
+
+// RetryJoin retries a previously-failed AddNode for a node whose
+// process is still around (the aborted join kept the node's store).
+func (dp *DistributedPlatform) RetryJoin(name string) error {
+	n, ok := dp.nodes[name]
+	if !ok {
+		return fmt.Errorf("webfountain: node %s unknown", name)
+	}
+	return dp.r.Join(name, n.c)
+}
+
+// --- Backend ---
+
+// Ingest assigns IDs and replicates each document through the router.
+// The serial-prefix error contract matches Platform.Ingest: on failure,
+// every earlier document was ingested.
+func (dp *DistributedPlatform) Ingest(docs []Document) ([]string, error) {
+	ids := make([]string, len(docs))
+	for i := range docs {
+		if docs[i].ID != "" {
+			ids[i] = docs[i].ID
+		} else {
+			ids[i] = fmt.Sprintf("doc-%06d", dp.nextID.Add(1))
+		}
+	}
+	for i := range docs {
+		d := &docs[i]
+		e := &store.Entity{
+			ID:     ids[i],
+			URL:    d.URL,
+			Source: d.Source,
+			Title:  d.Title,
+			Date:   d.Date,
+			Text:   d.Text,
+			Links:  append([]string(nil), d.Links...),
+		}
+		if err := dp.r.Put(e); err != nil {
+			return ids[:i], fmt.Errorf("webfountain: ingest %s: %w", ids[i], err)
+		}
+	}
+	return ids, nil
+}
+
+// Entity fetches a document from its replica set.
+func (dp *DistributedPlatform) Entity(id string) (Document, bool) {
+	e, err := dp.r.Get(id)
+	if err != nil {
+		return Document{}, false
+	}
+	return Document{
+		ID: e.ID, URL: e.URL, Source: e.Source, Title: e.Title,
+		Date: e.Date, Links: append([]string(nil), e.Links...), Text: e.Text,
+	}, true
+}
+
+// Delete removes a document from every replica.
+func (dp *DistributedPlatform) Delete(id string) error { return dp.r.Delete(id) }
+
+// NumEntities counts distinct documents across the cluster (0 when no
+// node is reachable).
+func (dp *DistributedPlatform) NumEntities() int {
+	n, err := dp.r.NumEntities()
+	if err != nil {
+		return 0
+	}
+	return n
+}
+
+// SearchAll fans a conjunctive query across the cluster.
+func (dp *DistributedPlatform) SearchAll(terms ...string) []string {
+	ids, err := dp.r.Search("all", terms...)
+	if err != nil {
+		return nil
+	}
+	return ids
+}
+
+// SearchPhrase fans a phrase query across the cluster.
+func (dp *DistributedPlatform) SearchPhrase(words ...string) []string {
+	ids, err := dp.r.Search("phrase", words...)
+	if err != nil {
+		return nil
+	}
+	return ids
+}
+
+// Degraded reports reduced capacity: any suspected ring member, or any
+// node's store in degraded read-only mode.
+func (dp *DistributedPlatform) Degraded() (bool, string) {
+	if suspects := dp.r.Suspects(); len(suspects) > 0 {
+		return true, "suspected nodes: " + strings.Join(suspects, ", ")
+	}
+	for _, name := range dp.names {
+		if n, ok := dp.nodes[name]; ok {
+			if deg, reason := n.st.Degraded(); deg {
+				return true, name + ": " + reason
+			}
+		}
+	}
+	return false, ""
+}
+
+// Close stops the router and releases every node store.
+func (dp *DistributedPlatform) Close() error {
+	err := dp.r.Close()
+	for _, name := range dp.names {
+		if n, ok := dp.nodes[name]; ok {
+			if cerr := n.st.Close(); err == nil {
+				err = cerr
+			}
+		}
+	}
+	return err
+}

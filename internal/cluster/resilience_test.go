@@ -8,7 +8,9 @@ import (
 	"testing"
 	"time"
 
+	"webfountain/internal/faults"
 	"webfountain/internal/store"
+	"webfountain/internal/vinci"
 )
 
 // transientErr carries Temporary() == true, like injected faults and
@@ -192,6 +194,94 @@ func TestBreakerHalfOpenProbeRecovers(t *testing.T) {
 	}
 	if stats.Failures != 3 {
 		t.Errorf("failures = %d, want 3", stats.Failures)
+	}
+}
+
+// TestBreakerHalfOpenBothHedgeTransportsDown: a miner whose remote
+// lookup rides a hedged client loses BOTH transports at once — the
+// hedge fires on the primary's fast failure, finds the secondary just
+// as dead, and the combined "both attempts failed" error feeds the
+// cluster breaker exactly like a single-transport outage: trip after
+// the error budget, skip the window, and close again on the first
+// half-open probe once both transports are back. Hedging is a latency
+// device, not a correctness one; this pins that a correlated
+// two-transport failure still lands on the breaker path rather than
+// looping or double-counting.
+func TestBreakerHalfOpenBothHedgeTransportsDown(t *testing.T) {
+	st := seededStore(50, 1)
+	reg := vinci.NewRegistry()
+	reg.RegisterIdempotent("lookup", func(req vinci.Request) vinci.Response {
+		return vinci.OKResponse(map[string]string{"id": req.Param("id")})
+	})
+	gA, gB := faults.NewGate("transport-a"), faults.NewGate("transport-b")
+	hedged := vinci.NewHedged(
+		gA.Client(vinci.NewLocalClient(reg)),
+		gB.Client(vinci.NewLocalClient(reg)),
+		// Short fixed trigger; irrelevant here since a refused primary
+		// hedges immediately, but it keeps the test fast if that changes.
+		vinci.HedgeOptions{After: time.Millisecond, IsIdempotent: func(string) bool { return true }},
+	)
+	defer hedged.Close()
+	// Both transports go down simultaneously — and differently: one
+	// crashed, one partitioned. The hedged client cannot tell them apart
+	// and neither can the breaker; both are just failed attempts.
+	gA.Kill()
+	gB.Partition()
+
+	c := NewWithConfig(st, Config{Workers: 1, ErrorBudget: 3, BreakerProbeAfter: 5})
+	var calls int
+	var tripErr error
+	m := MinerFunc{MinerName: "remote-lookup", Fn: func(e *store.Entity) ([]store.Annotation, error) {
+		calls++
+		if calls == 4 {
+			// The 4th miner invocation is the half-open probe (1-3 spent
+			// the budget; the open window skips without calling the
+			// miner). The outage ends just before it.
+			gA.Revive()
+			gB.Heal()
+		}
+		_, err := hedged.Call(vinci.Request{Service: "lookup", Op: "get",
+			Params: map[string]string{"id": e.ID}})
+		if err != nil {
+			if tripErr == nil {
+				tripErr = err
+			}
+			return nil, err
+		}
+		return []store.Annotation{{Type: "ok"}}, nil
+	}}
+	stats, err := c.RunEntityMiner(m)
+	if err == nil || !strings.Contains(err.Error(), "breaker tripped") {
+		t.Fatalf("err = %v", err)
+	}
+	if tripErr == nil || !strings.Contains(tripErr.Error(), "both attempts failed") {
+		t.Fatalf("miner error = %v, want the hedged both-attempts failure", tripErr)
+	}
+	// Every failed call must have burned BOTH transports: primary refused,
+	// hedge fired, secondary refused too.
+	if _, refA := gA.Counts(); refA != 3 {
+		t.Errorf("primary refusals = %d, want 3 (one per budget-burning call)", refA)
+	}
+	if _, refB := gB.Counts(); refB != 3 {
+		t.Errorf("secondary refusals = %d, want 3 (the hedge tried it every time)", refB)
+	}
+	// Same shape as the single-transport recovery test: trip at 3, skip 4,
+	// probe recovers, remainder processes normally.
+	if !stats.BreakerTripped {
+		t.Error("BreakerTripped not reported")
+	}
+	if stats.Probes != 1 || stats.Recoveries != 1 {
+		t.Errorf("probes = %d, recoveries = %d, want 1 and 1", stats.Probes, stats.Recoveries)
+	}
+	if stats.Failures != 3 || stats.Skipped != 4 {
+		t.Errorf("failures = %d, skipped = %d, want 3 and 4", stats.Failures, stats.Skipped)
+	}
+	if stats.Entities != 46 || stats.Annotations != 43 {
+		t.Errorf("entities = %d, annotations = %d, want 46 and 43", stats.Entities, stats.Annotations)
+	}
+	// After the heal the transports carried real traffic again.
+	if delA, _ := gA.Counts(); delA == 0 {
+		t.Error("primary delivered nothing after recovery")
 	}
 }
 

@@ -290,7 +290,7 @@ func TestClusterRunDeterministicUnderSeed(t *testing.T) {
 			return []store.Annotation{{Type: "t"}}, nil
 		}})
 		stats, _ := c.RunEntityMiner(m)
-		stats.Elapsed = 0 // wall clock and the per-deployment trace ID
+		stats.Elapsed = 0  // wall clock and the per-deployment trace ID
 		stats.TraceID = "" // are the intentionally nondeterministic fields
 		return stats
 	}

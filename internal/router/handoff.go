@@ -1,0 +1,234 @@
+// Online shard handoff: membership changes move data while writes keep
+// flowing, in three steps —
+//
+//  1. dual-write: the target ring is published as pending, so every
+//     write lands on the union of old and new replica sets;
+//  2. catch-up: each node gaining ownership pulls the entities it is
+//     missing from a live current holder, shipped as CRC-checked WAL
+//     frames (internal/store replication codec);
+//  3. epoch bump: the target ring replaces the active ring in one
+//     atomic swap.
+//
+// A handoff that fails at any step aborts WITHOUT the epoch bump — the
+// cluster stays on the old ring, acked writes are all on old-ring
+// replicas (dual-writing only ever adds copies), and a retry starts
+// clean. Because aborted attempts never bump the epoch, the epoch a
+// deployment converges to is a function of the failures' shape, not of
+// how many retries recovery took — the property the chaos harness pins
+// down as byte-deterministic per seed.
+package router
+
+import (
+	"fmt"
+	"sort"
+
+	"webfountain/internal/services"
+	"webfountain/internal/topology"
+	"webfountain/internal/vinci"
+)
+
+// Join adds a node to the ring: dual-write, bulk catch-up of every
+// shard range the node acquires, then the epoch bump. The node serves
+// reads for its ranges only after the bump; until then it is a write
+// target only.
+func (r *Router) Join(name string, c vinci.Client) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	active := r.ring.Load()
+	if active.Has(name) {
+		return nil
+	}
+	n := &node{name: name, c: &reportingClient{c: c, det: r.det, node: name}}
+	r.nmu.Lock()
+	r.nodes[name] = n
+	r.nmu.Unlock()
+	target := active.WithNode(name)
+	r.pending.Store(target)
+	err := r.catchUp(target, []string{name})
+	r.pending.Store(nil)
+	if err != nil {
+		// Abort: the node never became a read target and the epoch never
+		// moved; remove the handle so placement math doesn't see a ghost.
+		r.nmu.Lock()
+		delete(r.nodes, name)
+		r.nmu.Unlock()
+		r.det.Forget(name)
+		return fmt.Errorf("router: join %s aborted: %w", name, err)
+	}
+	r.ring.Store(target)
+	return nil
+}
+
+// Drain removes a node gracefully: the shrunken ring is published as
+// pending, every remaining node catches up on the ranges it inherits
+// (pulling from the draining node while it still serves), and the
+// epoch bump retires the node. The drained handle is dropped; the node
+// itself keeps running and can be stopped or rejoined later.
+func (r *Router) Drain(name string) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	active := r.ring.Load()
+	if !active.Has(name) {
+		return fmt.Errorf("router: drain %s: not a member", name)
+	}
+	if active.NumMembers() == 1 {
+		return fmt.Errorf("router: drain %s: last member", name)
+	}
+	target := active.WithoutNode(name)
+	r.pending.Store(target)
+	err := r.catchUp(target, target.Members())
+	r.pending.Store(nil)
+	if err != nil {
+		return fmt.Errorf("router: drain %s aborted: %w", name, err)
+	}
+	r.ring.Store(target)
+	r.nmu.Lock()
+	delete(r.nodes, name)
+	r.nmu.Unlock()
+	r.det.Forget(name)
+	return nil
+}
+
+// Rejoin catches a recovered member up on every write it missed while
+// down, then bumps the epoch on the unchanged membership — the
+// cluster-visible acknowledgement that the node is a full replica
+// again. A failed catch-up leaves the epoch alone; the caller retries
+// once the node is truly reachable.
+func (r *Router) Rejoin(name string) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	active := r.ring.Load()
+	if !active.Has(name) {
+		return fmt.Errorf("router: rejoin %s: not a member", name)
+	}
+	if err := r.catchUp(active, []string{name}); err != nil {
+		return fmt.Errorf("router: rejoin %s failed: %w", name, err)
+	}
+	r.ring.Store(active.NextEpoch())
+	return nil
+}
+
+// catchUp brings each node in fill up to its obligations under the
+// target ring: every entity the ring assigns it that it does not hold
+// is shipped from a live current holder, and every entity it holds in
+// an owned range that no live holder still has is deleted (it was
+// deleted cluster-wide while the node was down — with acked writes on
+// at least one live replica, a sole stale copy can only be a tombstoned
+// one). Shipping is batched per source node and iterated in sorted
+// order, so a given cluster state produces one deterministic transfer.
+func (r *Router) catchUp(target *topology.Ring, fill []string) error {
+	// Holdings census. A fill node must answer (we cannot diff against a
+	// node we cannot reach); other nodes are best-effort sources.
+	holdings := map[string]map[string]bool{}
+	for _, n := range r.snapshotNodes() {
+		ids, err := services.ReplicaClient{C: n.c}.IDs()
+		if err != nil {
+			if containsStr(fill, n.name) {
+				return fmt.Errorf("census of %s: %w", n.name, err)
+			}
+			continue
+		}
+		set := make(map[string]bool, len(ids))
+		for _, id := range ids {
+			set[id] = true
+		}
+		holdings[n.name] = set
+	}
+	all := map[string]bool{}
+	for _, set := range holdings {
+		for id := range set {
+			all[id] = true
+		}
+	}
+	allSorted := make([]string, 0, len(all))
+	for id := range all {
+		allSorted = append(allSorted, id)
+	}
+	sort.Strings(allSorted)
+
+	for _, f := range fill {
+		fnode, ok := r.lookup(f)
+		if !ok {
+			return fmt.Errorf("fill node %s: no handle", f)
+		}
+		have := holdings[f]
+		// Missing entities, grouped by the source that will ship them.
+		bySource := map[string][]string{}
+		var extras []string
+		for _, id := range allSorted {
+			if !target.Owns(f, id) {
+				continue
+			}
+			if have[id] {
+				// Held — but only legitimately if some live peer still has
+				// it; a copy nobody else holds is a tombstone (deleted while
+				// this node was down).
+				if !heldElsewhere(holdings, f, id) {
+					extras = append(extras, id)
+				}
+				continue
+			}
+			src := pickSource(holdings, target.ReplicaSet(id), f, id)
+			if src == "" {
+				return fmt.Errorf("entity %s: no live source", id)
+			}
+			bySource[src] = append(bySource[src], id)
+		}
+		sources := make([]string, 0, len(bySource))
+		for s := range bySource {
+			sources = append(sources, s)
+		}
+		sort.Strings(sources)
+		for _, src := range sources {
+			snode, ok := r.lookup(src)
+			if !ok {
+				return fmt.Errorf("source %s: no handle", src)
+			}
+			frames, err := services.ReplicaClient{C: snode.c}.Ship(bySource[src])
+			if err != nil {
+				return fmt.Errorf("ship from %s: %w", src, err)
+			}
+			if _, err := (services.ReplicaClient{C: fnode.c}).Apply(frames); err != nil {
+				return fmt.Errorf("apply to %s: %w", f, err)
+			}
+		}
+		for _, id := range extras {
+			if err := (services.StoreClient{C: fnode.c}).Delete(id); err != nil {
+				return fmt.Errorf("reconcile tombstone %s on %s: %w", id, f, err)
+			}
+		}
+	}
+	return nil
+}
+
+// heldElsewhere reports whether any censused node besides f holds id.
+func heldElsewhere(holdings map[string]map[string]bool, f, id string) bool {
+	for name, set := range holdings {
+		if name != f && set[id] {
+			return true
+		}
+	}
+	return false
+}
+
+// pickSource chooses the shipping source for id: the first censused
+// holder in the key's replica-set order (stable, so transfers are
+// deterministic), falling back to any holder.
+func pickSource(holdings map[string]map[string]bool, replicaSet []string, f, id string) string {
+	for _, name := range replicaSet {
+		if name != f && holdings[name][id] {
+			return name
+		}
+	}
+	names := make([]string, 0, len(holdings))
+	for name := range holdings {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if name != f && holdings[name][id] {
+			return name
+		}
+	}
+	return ""
+}

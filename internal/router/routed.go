@@ -1,0 +1,128 @@
+package router
+
+import (
+	"encoding/json"
+	"strconv"
+	"strings"
+
+	"webfountain/internal/services"
+	"webfountain/internal/store"
+	"webfountain/internal/vinci"
+)
+
+// RegisterRouted exposes the cluster behind the router on the SAME
+// wire protocol a single storage node speaks: the store, index and
+// sentiment services with their usual ops. A client pointed at a
+// wfrouter instead of a wfnode sees one logical store — puts are
+// replicated to the shard's replica set, gets are hedged across
+// replicas, queries fan out and merge — without changing a line.
+//
+// Ops that only make sense against one physical index (docfreq,
+// numdocs' per-shard meaning) report an explicit error rather than a
+// silently wrong cross-replica sum.
+func (r *Router) RegisterRouted(reg *vinci.Registry) {
+	reg.Register(services.StoreService, func(req vinci.Request) vinci.Response {
+		switch req.Op {
+		case "get":
+			e, err := r.Get(req.Param("id"))
+			if IsNotFound(err) {
+				return vinci.Errorf("store: no entity %q", req.Param("id"))
+			}
+			if err != nil {
+				return vinci.Errorf("store: %v", err)
+			}
+			data, err := e.MarshalIndent()
+			if err != nil {
+				return vinci.Errorf("store: encode: %v", err)
+			}
+			return vinci.OKResponse(map[string]string{"entity": string(data)})
+		case "put":
+			e, err := store.ParseEntity([]byte(req.Param("entity")))
+			if err != nil {
+				return vinci.Errorf("store: %v", err)
+			}
+			if err := r.Put(e); err != nil {
+				return vinci.Errorf("store: %v", err)
+			}
+			return vinci.OKResponse(map[string]string{"id": e.ID})
+		case "delete":
+			if err := r.Delete(req.Param("id")); err != nil {
+				return vinci.Errorf("store: %v", err)
+			}
+			return vinci.OKResponse(nil)
+		case "count":
+			n, err := r.NumEntities()
+			if err != nil {
+				return vinci.Errorf("store: %v", err)
+			}
+			return vinci.OKResponse(map[string]string{"count": strconv.Itoa(n)})
+		case "ids":
+			ids, err := r.IDs()
+			if err != nil {
+				return vinci.Errorf("store: %v", err)
+			}
+			return vinci.OKResponse(map[string]string{"ids": strings.Join(ids, " ")})
+		}
+		return vinci.Errorf("store: unknown op %q", req.Op)
+	})
+
+	reg.RegisterIdempotent(services.IndexService, func(req vinci.Request) vinci.Response {
+		switch req.Op {
+		case "search":
+			terms := strings.Fields(req.Param("terms"))
+			if len(terms) == 0 {
+				return vinci.Errorf("index: empty terms")
+			}
+			mode := req.Param("mode")
+			if mode == "" {
+				mode = "all"
+			}
+			ids, err := r.Search(mode, terms...)
+			if err != nil {
+				return vinci.Errorf("index: %v", err)
+			}
+			return vinci.OKResponse(map[string]string{
+				"ids":   strings.Join(ids, " "),
+				"count": strconv.Itoa(len(ids)),
+			})
+		case "numdocs":
+			n, err := r.NumEntities()
+			if err != nil {
+				return vinci.Errorf("index: %v", err)
+			}
+			return vinci.OKResponse(map[string]string{"count": strconv.Itoa(n)})
+		case "docfreq":
+			return vinci.Errorf("index: docfreq is per-shard; ask a node directly")
+		}
+		return vinci.Errorf("index: unknown op %q", req.Op)
+	})
+
+	reg.RegisterIdempotent(services.SentimentService, func(req vinci.Request) vinci.Response {
+		subject := req.Param("subject")
+		if subject == "" {
+			return vinci.Errorf("sentiment: missing subject")
+		}
+		switch req.Op {
+		case "query":
+			entries, err := r.SentimentQuery(subject)
+			if err != nil {
+				return vinci.Errorf("sentiment: %v", err)
+			}
+			data, err := json.Marshal(entries)
+			if err != nil {
+				return vinci.Errorf("sentiment: encode: %v", err)
+			}
+			return vinci.OKResponse(map[string]string{"entries": string(data)})
+		case "counts":
+			pos, neg, err := r.SentimentCounts(subject)
+			if err != nil {
+				return vinci.Errorf("sentiment: %v", err)
+			}
+			return vinci.OKResponse(map[string]string{
+				"positive": strconv.Itoa(pos),
+				"negative": strconv.Itoa(neg),
+			})
+		}
+		return vinci.Errorf("sentiment: unknown op %q", req.Op)
+	})
+}

@@ -1,0 +1,555 @@
+// Package router is the stateless routing tier of a replicated
+// WebFountain deployment. A Router owns no data: it holds a consistent-
+// hash ring (internal/topology), a Vinci client per storage node, and a
+// failure detector, and forwards every operation to the replica set the
+// ring assigns. Writes fan to all replicas of the key (primary first)
+// and acknowledge on the first success; reads race the first two live
+// replicas through the hedged-read machinery and fall back across the
+// rest, so a node kill costs at most one failed attempt before the
+// answer comes from a live replica. Because placement is a pure
+// function of the ring, any number of routers compute identical routing
+// without coordinating — the tier scales by just starting more of them.
+package router
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"webfountain/internal/index"
+	"webfountain/internal/services"
+	"webfountain/internal/store"
+	"webfountain/internal/topology"
+	"webfountain/internal/vinci"
+)
+
+// NodeHandle names a storage node and the client the router reaches it
+// through.
+type NodeHandle struct {
+	Name   string
+	Client vinci.Client
+}
+
+// Options tunes a Router. The zero value is usable for tests.
+type Options struct {
+	// Replicas is the replica-set size R (default 2).
+	Replicas int
+	// VNodes is the virtual-node count per member (default 64).
+	VNodes int
+	// Seed fixes shard placement (see topology.Config.Seed).
+	Seed int64
+	// ProbeInterval is the background health-probe cadence; 0 disables
+	// the probe loop (every routed call still feeds the detector, so
+	// detection works — just without the idle-cluster heartbeat).
+	ProbeInterval time.Duration
+	// HedgeAfter is the fixed hedge trigger for replica-fanned reads
+	// (0 selects the adaptive p95 trigger).
+	HedgeAfter time.Duration
+	// Detector tunes failure detection.
+	Detector topology.DetectorOptions
+	// Dial, when set, lets the topology service's join op connect to a
+	// new node by address.
+	Dial func(addr string) (vinci.Client, error)
+}
+
+func (o Options) normalized() Options {
+	if o.Replicas <= 0 {
+		o.Replicas = 2
+	}
+	if o.VNodes <= 0 {
+		o.VNodes = 64
+	}
+	return o
+}
+
+// node is one storage node as the router sees it: its name and its
+// detector-reporting client.
+type node struct {
+	name string
+	c    vinci.Client
+}
+
+// Router routes platform operations across a replicated node set.
+type Router struct {
+	opts Options
+	det  *topology.Detector
+
+	// ring is the active placement; pending is non-nil only while a
+	// handoff is in flight, and carries the membership being moved to
+	// (writes dual-target both rings so nothing lands only on the old
+	// layout). Both swap atomically: a request sees exactly one epoch.
+	ring    atomic.Pointer[topology.Ring]
+	pending atomic.Pointer[topology.Ring]
+
+	// mu serializes membership operations (join/drain/rejoin); nmu
+	// guards the nodes map for the hot read/write paths.
+	mu    sync.Mutex
+	nmu   sync.RWMutex
+	nodes map[string]*node
+
+	stop chan struct{}
+	wg   sync.WaitGroup
+}
+
+// reportingClient feeds every call outcome into the failure detector:
+// transport errors are failure evidence, anything the node answered
+// (even an application error or a shed) proves it alive. Routing
+// through it makes every request double as a probe, so detection
+// latency is one call, not one timer tick.
+type reportingClient struct {
+	c    vinci.Client
+	det  *topology.Detector
+	node string
+}
+
+func (rc *reportingClient) Call(req vinci.Request) (vinci.Response, error) {
+	resp, err := rc.c.Call(req)
+	if err != nil {
+		rc.det.ReportFailure(rc.node)
+	} else {
+		rc.det.ReportSuccess(rc.node)
+	}
+	return resp, err
+}
+
+func (rc *reportingClient) Close() error { return rc.c.Close() }
+
+// New builds a router over the given nodes. The router does not take
+// ownership of the clients; Close stops probing but leaves them open.
+func New(handles []NodeHandle, opts Options) *Router {
+	opts = opts.normalized()
+	r := &Router{
+		opts:  opts,
+		det:   topology.NewDetector(opts.Detector),
+		nodes: make(map[string]*node, len(handles)),
+		stop:  make(chan struct{}),
+	}
+	names := make([]string, 0, len(handles))
+	for _, h := range handles {
+		names = append(names, h.Name)
+		r.nodes[h.Name] = &node{name: h.Name, c: &reportingClient{c: h.Client, det: r.det, node: h.Name}}
+	}
+	r.ring.Store(topology.New(names, topology.Config{
+		VNodes:   opts.VNodes,
+		Replicas: opts.Replicas,
+		Seed:     opts.Seed,
+	}))
+	if opts.ProbeInterval > 0 {
+		r.wg.Add(1)
+		go r.probeLoop()
+	}
+	return r
+}
+
+// Close stops the probe loop. Node clients stay open (the caller owns
+// them).
+func (r *Router) Close() error {
+	close(r.stop)
+	r.wg.Wait()
+	return nil
+}
+
+// Ring returns the active ring.
+func (r *Router) Ring() *topology.Ring { return r.ring.Load() }
+
+// Detector exposes the failure detector (read-only use: status, tests).
+func (r *Router) Detector() *topology.Detector { return r.det }
+
+// Suspects lists currently suspected members, sorted.
+func (r *Router) Suspects() []string {
+	var out []string
+	for _, h := range r.det.Snapshot() {
+		if h.Suspected && r.Ring().Has(h.Node) {
+			out = append(out, h.Node)
+		}
+	}
+	return out
+}
+
+// TopologyInfoFor summarizes a node's place in the active ring — what
+// the node's health service reports.
+func (r *Router) TopologyInfoFor(name string) services.TopologyInfo {
+	ring := r.Ring()
+	p, rep := ring.RoleCounts(name)
+	return services.TopologyInfo{Epoch: ring.Epoch(), Digest: ring.Digest(), Primaries: p, Replicas: rep}
+}
+
+// probeLoop pings every node each interval. The reporting clients do
+// the bookkeeping; a killed node accrues failures here even when no
+// requests are flowing, which bounds failover latency for idle shards
+// to one probe interval.
+func (r *Router) probeLoop() {
+	defer r.wg.Done()
+	t := time.NewTicker(r.opts.ProbeInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-r.stop:
+			return
+		case <-t.C:
+			var wg sync.WaitGroup
+			for _, n := range r.snapshotNodes() {
+				wg.Add(1)
+				go func(n *node) {
+					defer wg.Done()
+					_ = services.HealthClient{C: n.c}.Ping()
+				}(n)
+			}
+			wg.Wait()
+		}
+	}
+}
+
+// ProbeOnce runs one synchronous probe round — the deterministic
+// alternative the chaos harness uses instead of racing the ticker.
+func (r *Router) ProbeOnce() {
+	for _, n := range r.snapshotNodes() {
+		_ = services.HealthClient{C: n.c}.Ping()
+	}
+}
+
+func (r *Router) snapshotNodes() []*node {
+	r.nmu.RLock()
+	defer r.nmu.RUnlock()
+	out := make([]*node, 0, len(r.nodes))
+	for _, n := range r.nodes {
+		out = append(out, n)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	return out
+}
+
+func (r *Router) lookup(name string) (*node, bool) {
+	r.nmu.RLock()
+	defer r.nmu.RUnlock()
+	n, ok := r.nodes[name]
+	return n, ok
+}
+
+// writeSet resolves a key's write targets: the union of its replica
+// sets under the active and (during handoff) pending rings, primary
+// first. Every target is attempted — even suspected ones, whose refusal
+// is cheap — because a write that skips a merely-slow replica creates
+// the stale copy failover would later read.
+func (r *Router) writeSet(key string) []*node {
+	names := r.ring.Load().ReplicaSet(key)
+	if p := r.pending.Load(); p != nil {
+		for _, n := range p.ReplicaSet(key) {
+			if !containsStr(names, n) {
+				names = append(names, n)
+			}
+		}
+	}
+	out := make([]*node, 0, len(names))
+	for _, name := range names {
+		if n, ok := r.lookup(name); ok {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// readOrder resolves a key's read candidates: the active replica set
+// with suspected nodes demoted to the back (still tried last — a
+// suspect may be falsely accused, and a wrong answer beats none).
+func (r *Router) readOrder(key string) []*node {
+	names := r.ring.Load().ReplicaSet(key)
+	live := make([]*node, 0, len(names))
+	var suspected []*node
+	for _, name := range names {
+		n, ok := r.lookup(name)
+		if !ok {
+			continue
+		}
+		if r.det.Suspect(name) {
+			suspected = append(suspected, n)
+		} else {
+			live = append(live, n)
+		}
+	}
+	return append(live, suspected...)
+}
+
+func containsStr(set []string, s string) bool {
+	for _, v := range set {
+		if v == s {
+			return true
+		}
+	}
+	return false
+}
+
+// --- write path ---
+
+// Put replicates an entity to every node in its write set and
+// acknowledges once at least one replica accepted it. Failed replicas
+// are reported to the detector and caught up at rejoin; an
+// acknowledged Put therefore survives any failure that leaves one
+// acking replica recoverable.
+func (r *Router) Put(e *store.Entity) error {
+	targets := r.writeSet(e.ID)
+	if len(targets) == 0 {
+		return fmt.Errorf("router: put %s: no nodes", e.ID)
+	}
+	acks := 0
+	var lastErr error
+	for _, n := range targets {
+		if err := (services.StoreClient{C: n.c}).Put(e); err != nil {
+			lastErr = err
+		} else {
+			acks++
+		}
+	}
+	if acks == 0 {
+		return fmt.Errorf("router: put %s: no replica acked: %w", e.ID, lastErr)
+	}
+	return nil
+}
+
+// Delete removes an entity from every node in its write set; like Put
+// it acknowledges on the first success.
+func (r *Router) Delete(id string) error {
+	targets := r.writeSet(id)
+	if len(targets) == 0 {
+		return fmt.Errorf("router: delete %s: no nodes", id)
+	}
+	acks := 0
+	var lastErr error
+	for _, n := range targets {
+		if err := (services.StoreClient{C: n.c}).Delete(id); err != nil {
+			lastErr = err
+		} else {
+			acks++
+		}
+	}
+	if acks == 0 {
+		return fmt.Errorf("router: delete %s: no replica acked: %w", id, lastErr)
+	}
+	return nil
+}
+
+// --- read path ---
+
+// errNotFound distinguishes "every replica answered and none has it"
+// from "no replica reachable".
+type errNotFound struct{ id string }
+
+func (e errNotFound) Error() string { return fmt.Sprintf("router: no entity %q", e.id) }
+
+// IsNotFound reports whether err is a definitive not-found answer.
+func IsNotFound(err error) bool {
+	_, ok := err.(errNotFound)
+	return ok
+}
+
+// getFrom fetches id through one client, separating transport failure
+// (try elsewhere), authoritative not-found (this replica answered), and
+// success.
+func getFrom(c vinci.Client, id string) (*store.Entity, bool, error) {
+	resp, err := c.Call(vinci.Request{Service: services.StoreService, Op: "get",
+		Params: map[string]string{"id": id}})
+	if err != nil {
+		return nil, false, err
+	}
+	if !resp.OK {
+		return nil, false, nil // answered: not here (possibly a stale replica mid-catch-up)
+	}
+	e, perr := store.ParseEntity([]byte(resp.Fields["entity"]))
+	if perr != nil {
+		return nil, false, perr
+	}
+	return e, true, nil
+}
+
+// Get reads an entity from its replica set. With two or more live
+// replicas the first two race through the hedged-read machinery (both
+// transports are different nodes, so the hedge is also the failover);
+// remaining replicas are tried in order. A replica that answers
+// not-found does not end the read — during catch-up a just-revived
+// node is authoritative about nothing except what it has.
+func (r *Router) Get(id string) (*store.Entity, error) {
+	candidates := r.readOrder(id)
+	if len(candidates) == 0 {
+		return nil, fmt.Errorf("router: get %s: no nodes", id)
+	}
+	if len(candidates) >= 2 {
+		h := vinci.NewHedged(candidates[0].c, candidates[1].c, vinci.HedgeOptions{
+			After: r.opts.HedgeAfter,
+			// The router only routes the read-only get op through this
+			// client, so it is idempotent regardless of the store service's
+			// blanket (write-bearing) classification.
+			IsIdempotent: func(string) bool { return true },
+		})
+		if e, found, err := getFrom(h, id); err == nil && found {
+			return e, nil
+		}
+		// Hedge inconclusive (both down, or fastest answered not-found):
+		// fall through to the ordered scan for the authoritative answer.
+	}
+	answered := false
+	var lastErr error
+	for _, n := range candidates {
+		e, found, err := getFrom(n.c, id)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if found {
+			return e, nil
+		}
+		answered = true
+	}
+	if answered {
+		return nil, errNotFound{id: id}
+	}
+	return nil, fmt.Errorf("router: get %s: no replica reachable: %w", id, lastErr)
+}
+
+// --- fan-out queries ---
+
+// liveFirst returns all nodes, non-suspected first, each group sorted
+// by name.
+func (r *Router) liveFirst() []*node {
+	all := r.snapshotNodes()
+	live := make([]*node, 0, len(all))
+	var suspected []*node
+	for _, n := range all {
+		if r.det.Suspect(n.name) {
+			suspected = append(suspected, n)
+		} else {
+			live = append(live, n)
+		}
+	}
+	return append(live, suspected...)
+}
+
+// Search fans a query across every node (each node indexes only the
+// entities it stores) and unions the results. Suspected nodes are
+// still consulted last — their shard may have no other live index —
+// but their failure does not fail the query as long as someone
+// answered.
+func (r *Router) Search(mode string, terms ...string) ([]string, error) {
+	seen := map[string]bool{}
+	answered := 0
+	var lastErr error
+	for _, n := range r.liveFirst() {
+		ids, err := services.IndexClient{C: n.c}.Search(mode, terms...)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		answered++
+		for _, id := range ids {
+			seen[id] = true
+		}
+	}
+	if answered == 0 {
+		return nil, fmt.Errorf("router: search: no node answered: %w", lastErr)
+	}
+	out := make([]string, 0, len(seen))
+	for id := range seen {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// IDs returns the sorted distinct entity IDs across the cluster
+// (replicas hold copies, so per-node listings cannot just be
+// concatenated).
+func (r *Router) IDs() ([]string, error) {
+	seen := map[string]bool{}
+	answered := 0
+	var lastErr error
+	for _, n := range r.liveFirst() {
+		ids, err := services.StoreClient{C: n.c}.IDs()
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		answered++
+		for _, id := range ids {
+			seen[id] = true
+		}
+	}
+	if answered == 0 {
+		return nil, fmt.Errorf("router: ids: no node answered: %w", lastErr)
+	}
+	out := make([]string, 0, len(seen))
+	for id := range seen {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// NumEntities counts distinct entities across the cluster.
+func (r *Router) NumEntities() (int, error) {
+	ids, err := r.IDs()
+	if err != nil {
+		return 0, err
+	}
+	return len(ids), nil
+}
+
+// SentimentQuery fans a subject query across the cluster and merges
+// per-replica answers. Entries are deduplicated structurally — a
+// sentiment entry is a pure function of the document text, so replicas
+// of one document produce identical entries — and returned in the same
+// total order a single node would use.
+func (r *Router) SentimentQuery(subject string) ([]index.SentimentEntry, error) {
+	seen := map[index.SentimentEntry]bool{}
+	answered := 0
+	var lastErr error
+	for _, n := range r.liveFirst() {
+		entries, err := services.SentimentClient{C: n.c}.Query(subject)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		answered++
+		for _, e := range entries {
+			seen[e] = true
+		}
+	}
+	if answered == 0 {
+		return nil, fmt.Errorf("router: sentiment: no node answered: %w", lastErr)
+	}
+	out := make([]index.SentimentEntry, 0, len(seen))
+	for e := range seen {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.DocID != b.DocID {
+			return a.DocID < b.DocID
+		}
+		if a.Sentence != b.Sentence {
+			return a.Sentence < b.Sentence
+		}
+		if a.Polarity != b.Polarity {
+			return a.Polarity < b.Polarity
+		}
+		return a.Snippet < b.Snippet
+	})
+	return out, nil
+}
+
+// SentimentCounts aggregates a subject's sentiment across the cluster,
+// counting each distinct entry once.
+func (r *Router) SentimentCounts(subject string) (positive, negative int, err error) {
+	entries, err := r.SentimentQuery(subject)
+	if err != nil {
+		return 0, 0, err
+	}
+	for _, e := range entries {
+		if e.Polarity > 0 {
+			positive++
+		} else if e.Polarity < 0 {
+			negative++
+		}
+	}
+	return positive, negative, nil
+}

@@ -1,0 +1,440 @@
+package router
+
+import (
+	"fmt"
+	"testing"
+
+	"webfountain/internal/faults"
+	"webfountain/internal/index"
+	"webfountain/internal/services"
+	"webfountain/internal/store"
+	"webfountain/internal/tokenize"
+	"webfountain/internal/vinci"
+)
+
+// testNode is one in-process storage node: store, index, sentiment
+// index, and the full service surface, reachable only through a fault
+// gate so tests can kill and partition it.
+type testNode struct {
+	name string
+	st   *store.Store
+	ix   *index.Index
+	sx   *index.SentimentIndex
+	gate *faults.Gate
+	c    vinci.Client
+}
+
+func newTestNode(name string) *testNode {
+	n := &testNode{
+		name: name,
+		st:   store.New(4),
+		ix:   index.New(),
+		sx:   index.NewSentimentIndex(),
+		gate: faults.NewGate(name),
+	}
+	tk := tokenize.New()
+	hooks := services.StoreHooks{
+		OnPut: func(e *store.Entity) {
+			toks := tk.Tokenize(e.Text)
+			words := make([]string, len(toks))
+			for i := range toks {
+				words[i] = toks[i].Text
+			}
+			n.ix.Add(e.ID, words)
+		},
+		OnDelete: func(id string) { n.ix.Remove(id) },
+	}
+	reg := vinci.NewRegistry()
+	services.RegisterStoreWith(reg, n.st, hooks)
+	services.RegisterIndex(reg, n.ix)
+	services.RegisterSentiment(reg, n.sx)
+	services.RegisterReplica(reg, n.st, hooks)
+	services.RegisterHealth(reg, services.HealthOptions{Node: name})
+	n.c = n.gate.Client(vinci.NewLocalClient(reg))
+	return n
+}
+
+// cluster is a router over in-process nodes.
+type cluster struct {
+	r     *Router
+	nodes map[string]*testNode
+}
+
+func newCluster(t *testing.T, names []string, opts Options) *cluster {
+	t.Helper()
+	c := &cluster{nodes: map[string]*testNode{}}
+	var handles []NodeHandle
+	for _, name := range names {
+		n := newTestNode(name)
+		c.nodes[name] = n
+		handles = append(handles, NodeHandle{Name: name, Client: n.c})
+	}
+	c.r = New(handles, opts)
+	t.Cleanup(func() { c.r.Close() })
+	return c
+}
+
+func testEntity(i int) *store.Entity {
+	return &store.Entity{
+		ID:   fmt.Sprintf("doc-%06d", i),
+		Text: fmt.Sprintf("document number %d about topic%d", i, i%5),
+	}
+}
+
+func (c *cluster) put(t *testing.T, n int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		if err := c.r.Put(testEntity(i)); err != nil {
+			t.Fatalf("put %d: %v", i, err)
+		}
+	}
+}
+
+// holders counts which nodes physically hold an ID.
+func (c *cluster) holders(id string) []string {
+	var out []string
+	for name, n := range c.nodes {
+		if _, ok := n.st.Get(id); ok {
+			out = append(out, name)
+		}
+	}
+	return out
+}
+
+func TestRouterReplicatesWrites(t *testing.T) {
+	c := newCluster(t, []string{"n1", "n2", "n3"}, Options{Replicas: 2, Seed: 42})
+	c.put(t, 50)
+	for i := 0; i < 50; i++ {
+		id := testEntity(i).ID
+		holders := c.holders(id)
+		if len(holders) != 2 {
+			t.Fatalf("%s held by %v, want exactly R=2 nodes", id, holders)
+		}
+		want := c.r.Ring().ReplicaSet(id)
+		for _, h := range holders {
+			if !containsStr(want, h) {
+				t.Fatalf("%s held by %s, outside its replica set %v", id, h, want)
+			}
+		}
+		e, err := c.r.Get(id)
+		if err != nil || e.ID != id {
+			t.Fatalf("get %s: %v", id, err)
+		}
+	}
+	n, err := c.r.NumEntities()
+	if err != nil || n != 50 {
+		t.Fatalf("NumEntities=%d err=%v, want 50", n, err)
+	}
+}
+
+func TestRouterGetNotFoundIsDefinitive(t *testing.T) {
+	c := newCluster(t, []string{"n1", "n2"}, Options{Seed: 1})
+	if _, err := c.r.Get("doc-999999"); !IsNotFound(err) {
+		t.Fatalf("err=%v, want definitive not-found", err)
+	}
+}
+
+func TestRouterReadFailoverAfterKill(t *testing.T) {
+	c := newCluster(t, []string{"n1", "n2", "n3"}, Options{Replicas: 2, Seed: 42})
+	c.put(t, 30)
+	// Kill the primary of one key and read it: the answer must come from
+	// the surviving replica on the very next call.
+	id := testEntity(7).ID
+	victim := c.r.Ring().Primary(id)
+	c.nodes[victim].gate.Kill()
+	e, err := c.r.Get(id)
+	if err != nil || e.ID != id {
+		t.Fatalf("get with dead primary: %v", err)
+	}
+	// The failed call was itself the probe: one round later the detector
+	// holds the suspicion, and reads stop paying the refused attempt.
+	c.r.ProbeOnce()
+	if !c.r.det.Suspect(victim) {
+		t.Fatalf("%s not suspected within one probe of the kill", victim)
+	}
+	c.nodes[victim].gate.ResetCounts()
+	for i := 0; i < 30; i++ {
+		if _, err := c.r.Get(id); err != nil {
+			t.Fatalf("read %d with suspected primary: %v", i, err)
+		}
+	}
+	if _, refused := c.nodes[victim].gate.Counts(); refused != 0 {
+		t.Fatalf("suspected node still fielding %d read attempts", refused)
+	}
+}
+
+func TestRouterWriteSurvivesDeadReplicaAndRejoinCatchesUp(t *testing.T) {
+	c := newCluster(t, []string{"n1", "n2", "n3"}, Options{Replicas: 2, Seed: 7})
+	c.put(t, 10)
+	victim := "n2"
+	c.nodes[victim].gate.Kill()
+	epochBefore := c.r.Ring().Epoch()
+	c.put(t, 40) // 30 new writes, all acked despite the dead node
+	// While the node is down, rejoin must fail and must not bump the epoch.
+	if err := c.r.Rejoin(victim); err == nil {
+		t.Fatal("rejoin of a dead node must fail")
+	}
+	if got := c.r.Ring().Epoch(); got != epochBefore {
+		t.Fatalf("failed rejoin bumped epoch %d→%d", epochBefore, got)
+	}
+	c.nodes[victim].gate.Revive()
+	if err := c.r.Rejoin(victim); err != nil {
+		t.Fatalf("rejoin after revive: %v", err)
+	}
+	if got := c.r.Ring().Epoch(); got != epochBefore+1 {
+		t.Fatalf("successful rejoin: epoch %d, want %d", got, epochBefore+1)
+	}
+	// The revived node now holds every entity it owns, including writes
+	// it missed while dead.
+	for i := 0; i < 40; i++ {
+		id := testEntity(i).ID
+		if !c.r.Ring().Owns(victim, id) {
+			continue
+		}
+		if _, ok := c.nodes[victim].st.Get(id); !ok {
+			t.Fatalf("rejoined %s missing owned entity %s", victim, id)
+		}
+	}
+}
+
+func TestRouterRejoinReconcilesTombstones(t *testing.T) {
+	c := newCluster(t, []string{"n1", "n2", "n3"}, Options{Replicas: 2, Seed: 11})
+	c.put(t, 20)
+	// Find an entity the victim owns, delete it while the victim is down.
+	victim := "n3"
+	var id string
+	for i := 0; i < 20; i++ {
+		if cand := testEntity(i).ID; c.r.Ring().Owns(victim, cand) {
+			id = cand
+			break
+		}
+	}
+	if id == "" {
+		t.Skip("victim owns nothing in this placement")
+	}
+	c.nodes[victim].gate.Kill()
+	if err := c.r.Delete(id); err != nil {
+		t.Fatalf("delete with dead replica: %v", err)
+	}
+	c.nodes[victim].gate.Revive()
+	if err := c.r.Rejoin(victim); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.nodes[victim].st.Get(id); ok {
+		t.Fatalf("deleted entity %s resurrected on rejoined node", id)
+	}
+	if n, err := c.r.NumEntities(); err != nil || n != 19 {
+		t.Fatalf("NumEntities=%d err=%v, want 19", n, err)
+	}
+}
+
+func TestRouterSearchFansAcrossNodes(t *testing.T) {
+	c := newCluster(t, []string{"n1", "n2", "n3"}, Options{Replicas: 2, Seed: 42})
+	c.put(t, 25)
+	ids, err := c.r.Search("all", "topic1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0
+	for i := 0; i < 25; i++ {
+		if i%5 == 1 {
+			want++
+		}
+	}
+	if len(ids) != want {
+		t.Fatalf("search found %d docs, want %d (replica dedup broken?)", len(ids), want)
+	}
+	// Search still answers with a node down.
+	c.nodes["n1"].gate.Kill()
+	if _, err := c.r.Search("all", "document"); err != nil {
+		t.Fatalf("search with dead node: %v", err)
+	}
+}
+
+func TestRouterSentimentMergeDedupes(t *testing.T) {
+	c := newCluster(t, []string{"n1", "n2"}, Options{Replicas: 2, Seed: 3})
+	entry := index.SentimentEntry{DocID: "doc-000001", Sentence: 0, Subject: "phones", Polarity: 1, Snippet: "great phones"}
+	// Both replicas indexed the same document and produced the identical
+	// entry; the merged answer must count it once.
+	c.nodes["n1"].sx.Add(entry)
+	c.nodes["n2"].sx.Add(entry)
+	c.nodes["n2"].sx.Add(index.SentimentEntry{DocID: "doc-000002", Sentence: 1, Subject: "phones", Polarity: -1, Snippet: "bad phones"})
+	entries, err := c.r.SentimentQuery("phones")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 2 {
+		t.Fatalf("merged %d entries, want 2 (replica copies deduped): %+v", len(entries), entries)
+	}
+	pos, neg, err := c.r.SentimentCounts("phones")
+	if err != nil || pos != 1 || neg != 1 {
+		t.Fatalf("counts=%d/%d err=%v, want 1/1", pos, neg, err)
+	}
+}
+
+func TestRouterJoinHandoff(t *testing.T) {
+	c := newCluster(t, []string{"n1", "n2"}, Options{Replicas: 2, Seed: 42})
+	c.put(t, 40)
+	n3 := newTestNode("n3")
+	c.nodes["n3"] = n3
+	epochBefore := c.r.Ring().Epoch()
+	if err := c.r.Join("n3", n3.c); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.r.Ring().Epoch(); got != epochBefore+1 {
+		t.Fatalf("join epoch %d, want %d", got, epochBefore+1)
+	}
+	if !c.r.Ring().Has("n3") {
+		t.Fatal("ring missing joined node")
+	}
+	// The new node holds exactly what it now owns (catch-up shipped it).
+	for i := 0; i < 40; i++ {
+		id := testEntity(i).ID
+		_, has := n3.st.Get(id)
+		if c.r.Ring().Owns("n3", id) && !has {
+			t.Fatalf("joined node missing owned entity %s", id)
+		}
+	}
+	// And its index was maintained through the catch-up hooks.
+	if got, err := (services.IndexClient{C: n3.c}).Search("all", "document"); err != nil || len(got) == 0 {
+		t.Fatalf("joined node index empty: %v %v", got, err)
+	}
+	// Reads and counts still correct cluster-wide.
+	if n, err := c.r.NumEntities(); err != nil || n != 40 {
+		t.Fatalf("NumEntities=%d err=%v", n, err)
+	}
+}
+
+func TestRouterJoinAbortsCleanlyWhenTargetDies(t *testing.T) {
+	c := newCluster(t, []string{"n1", "n2"}, Options{Replicas: 2, Seed: 42})
+	c.put(t, 30)
+	n3 := newTestNode("n3")
+	n3.gate.Kill() // dies before catch-up can reach it
+	epochBefore := c.r.Ring().Epoch()
+	digestBefore := c.r.Ring().Digest()
+	if err := c.r.Join("n3", n3.c); err == nil {
+		t.Fatal("join of a dead node must abort")
+	}
+	if c.r.Ring().Epoch() != epochBefore || c.r.Ring().Digest() != digestBefore {
+		t.Fatal("aborted join must not move the ring")
+	}
+	if c.r.Ring().Has("n3") {
+		t.Fatal("aborted join left a ghost member")
+	}
+	// Writes during/after the aborted attempt are unaffected.
+	c.put(t, 35)
+	// Retry after revival converges.
+	n3.gate.Revive()
+	c.nodes["n3"] = n3
+	if err := c.r.Join("n3", n3.c); err != nil {
+		t.Fatalf("retried join: %v", err)
+	}
+	if c.r.Ring().Epoch() != epochBefore+1 {
+		t.Fatalf("epoch after one aborted and one successful join = %d, want %d (aborts must not count)",
+			c.r.Ring().Epoch(), epochBefore+1)
+	}
+}
+
+func TestRouterDrain(t *testing.T) {
+	c := newCluster(t, []string{"n1", "n2", "n3"}, Options{Replicas: 2, Seed: 42})
+	c.put(t, 40)
+	if err := c.r.Drain("n2"); err != nil {
+		t.Fatal(err)
+	}
+	if c.r.Ring().Has("n2") {
+		t.Fatal("drained node still in ring")
+	}
+	// Every entity is still fully replicated among survivors, and no
+	// acked write was lost.
+	for i := 0; i < 40; i++ {
+		id := testEntity(i).ID
+		e, err := c.r.Get(id)
+		if err != nil || e.ID != id {
+			t.Fatalf("get %s after drain: %v", id, err)
+		}
+		holders := 0
+		for _, name := range []string{"n1", "n3"} {
+			if _, ok := c.nodes[name].st.Get(id); ok {
+				holders++
+			}
+		}
+		if holders != 2 {
+			t.Fatalf("%s on %d survivors, want full R=2 replication after drain", id, holders)
+		}
+	}
+	if err := c.r.Drain("n1"); err == nil {
+		// n1 and n3 remain; draining down to one member is allowed...
+		if err := c.r.Drain("n3"); err == nil {
+			t.Fatal("draining the last member must fail")
+		}
+	}
+}
+
+func TestRouterPartitionHealsWithoutDataLoss(t *testing.T) {
+	c := newCluster(t, []string{"n1", "n2", "n3"}, Options{Replicas: 2, Seed: 9})
+	c.put(t, 15)
+	c.nodes["n1"].gate.Partition()
+	c.put(t, 30) // writes flow during the partition
+	for i := 0; i < 30; i++ {
+		if _, err := c.r.Get(testEntity(i).ID); err != nil {
+			t.Fatalf("read during partition: %v", err)
+		}
+	}
+	c.nodes["n1"].gate.Heal()
+	if err := c.r.Rejoin("n1"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 30; i++ {
+		id := testEntity(i).ID
+		if c.r.Ring().Owns("n1", id) {
+			if _, ok := c.nodes["n1"].st.Get(id); !ok {
+				t.Fatalf("healed node missing owned entity %s", id)
+			}
+		}
+	}
+}
+
+func TestTopologyServiceOps(t *testing.T) {
+	c := newCluster(t, []string{"n1", "n2"}, Options{Replicas: 2, Seed: 5})
+	c.put(t, 10)
+	reg := vinci.NewRegistry()
+	c.r.RegisterTopology(reg)
+	tc := TopologyClient{C: vinci.NewLocalClient(reg)}
+	st, err := tc.Status()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Epoch != 0 || len(st.Members) != 2 || st.Replicas != 2 || st.Digest == "" {
+		t.Fatalf("status = %+v", st)
+	}
+	set, err := tc.Place("doc-000001")
+	if err != nil || len(set) != 2 {
+		t.Fatalf("place = %v err=%v", set, err)
+	}
+	if set[0] != c.r.Ring().Primary("doc-000001") {
+		t.Fatal("place order must be primary-first")
+	}
+	if err := tc.Rejoin("n1"); err != nil {
+		t.Fatal(err)
+	}
+	if st2, _ := tc.Status(); st2.Epoch != 1 {
+		t.Fatalf("rejoin via service: epoch %d, want 1", st2.Epoch)
+	}
+	if err := tc.Drain("n2"); err != nil {
+		t.Fatal(err)
+	}
+	if st3, _ := tc.Status(); len(st3.Members) != 1 {
+		t.Fatalf("drain via service left members %v", st3.Members)
+	}
+}
+
+func TestRouterTopologyInfoFor(t *testing.T) {
+	c := newCluster(t, []string{"n1", "n2", "n3"}, Options{Replicas: 2, Seed: 42})
+	ti := c.r.TopologyInfoFor("n1")
+	if ti.Epoch != 0 || ti.Digest == "" || ti.Primaries == 0 || ti.Replicas == 0 {
+		t.Fatalf("topology info = %+v", ti)
+	}
+	if ti.Role() != "primary" {
+		t.Fatalf("role = %s", ti.Role())
+	}
+}

@@ -1,0 +1,186 @@
+package router
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"webfountain/internal/services"
+	"webfountain/internal/vinci"
+)
+
+// TopologyService is the router's own Vinci service: cluster status,
+// placement queries, and membership operations (join by address, drain,
+// rejoin). wfrouter serves it; wfnode -join calls it.
+const TopologyService = "topology"
+
+// RegisterTopology exposes the router's control plane on a registry.
+func (r *Router) RegisterTopology(reg *vinci.Registry) {
+	reg.Register(TopologyService, func(req vinci.Request) vinci.Response {
+		switch req.Op {
+		case "status":
+			ring := r.Ring()
+			return vinci.OKResponse(map[string]string{
+				"epoch":    strconv.FormatUint(ring.Epoch(), 10),
+				"digest":   ring.Digest(),
+				"members":  strings.Join(ring.Members(), " "),
+				"suspects": strings.Join(r.Suspects(), " "),
+				"replicas": strconv.Itoa(ring.Replicas()),
+			})
+		case "node":
+			name := req.Param("node")
+			if name == "" {
+				return vinci.Errorf("topology: missing node")
+			}
+			ti := r.TopologyInfoFor(name)
+			return vinci.OKResponse(map[string]string{
+				"ring_epoch":      strconv.FormatUint(ti.Epoch, 10),
+				"ring_digest":     ti.Digest,
+				"shard_primaries": strconv.Itoa(ti.Primaries),
+				"shard_replicas":  strconv.Itoa(ti.Replicas),
+				"role":            ti.Role(),
+			})
+		case "place":
+			key := req.Param("key")
+			if key == "" {
+				return vinci.Errorf("topology: missing key")
+			}
+			return vinci.OKResponse(map[string]string{
+				"replicas": strings.Join(r.Ring().ReplicaSet(key), " "),
+			})
+		case "join":
+			name, addr := req.Param("node"), req.Param("addr")
+			if name == "" || addr == "" {
+				return vinci.Errorf("topology: join needs node and addr")
+			}
+			if r.opts.Dial == nil {
+				return vinci.Errorf("topology: router cannot dial (no dialer configured)")
+			}
+			c, err := r.opts.Dial(addr)
+			if err != nil {
+				return vinci.Errorf("topology: dial %s: %v", addr, err)
+			}
+			if err := r.Join(name, c); err != nil {
+				c.Close()
+				return vinci.Errorf("topology: %v", err)
+			}
+			return vinci.OKResponse(map[string]string{
+				"epoch": strconv.FormatUint(r.Ring().Epoch(), 10),
+			})
+		case "drain":
+			if err := r.Drain(req.Param("node")); err != nil {
+				return vinci.Errorf("topology: %v", err)
+			}
+			return vinci.OKResponse(map[string]string{
+				"epoch": strconv.FormatUint(r.Ring().Epoch(), 10),
+			})
+		case "rejoin":
+			if err := r.Rejoin(req.Param("node")); err != nil {
+				return vinci.Errorf("topology: %v", err)
+			}
+			return vinci.OKResponse(map[string]string{
+				"epoch": strconv.FormatUint(r.Ring().Epoch(), 10),
+			})
+		}
+		return vinci.Errorf("topology: unknown op %q", req.Op)
+	})
+}
+
+// TopologyStatus is the router's self-reported cluster state.
+type TopologyStatus struct {
+	Epoch    uint64
+	Digest   string
+	Members  []string
+	Suspects []string
+	Replicas int
+}
+
+// TopologyClient is the typed client for the topology service.
+type TopologyClient struct{ C vinci.Client }
+
+// Status fetches the cluster status.
+func (tc TopologyClient) Status() (TopologyStatus, error) {
+	resp, err := tc.C.Call(vinci.Request{Service: TopologyService, Op: "status"})
+	if err != nil {
+		return TopologyStatus{}, err
+	}
+	if !resp.OK {
+		return TopologyStatus{}, fmt.Errorf("%s", resp.Error)
+	}
+	st := TopologyStatus{Digest: resp.Fields["digest"]}
+	st.Epoch, _ = strconv.ParseUint(resp.Fields["epoch"], 10, 64)
+	st.Replicas, _ = strconv.Atoi(resp.Fields["replicas"])
+	st.Members = strings.Fields(resp.Fields["members"])
+	st.Suspects = strings.Fields(resp.Fields["suspects"])
+	return st, nil
+}
+
+// Node returns a member's shard roles and the ring epoch — what a
+// joined storage node folds into its own health reports.
+func (tc TopologyClient) Node(name string) (services.TopologyInfo, error) {
+	resp, err := tc.C.Call(vinci.Request{Service: TopologyService, Op: "node",
+		Params: map[string]string{"node": name}})
+	if err != nil {
+		return services.TopologyInfo{}, err
+	}
+	if !resp.OK {
+		return services.TopologyInfo{}, fmt.Errorf("%s", resp.Error)
+	}
+	ti := services.TopologyInfo{Digest: resp.Fields["ring_digest"]}
+	ti.Epoch, _ = strconv.ParseUint(resp.Fields["ring_epoch"], 10, 64)
+	ti.Primaries, _ = strconv.Atoi(resp.Fields["shard_primaries"])
+	ti.Replicas, _ = strconv.Atoi(resp.Fields["shard_replicas"])
+	return ti, nil
+}
+
+// Place returns the replica set for a key, primary first.
+func (tc TopologyClient) Place(key string) ([]string, error) {
+	resp, err := tc.C.Call(vinci.Request{Service: TopologyService, Op: "place",
+		Params: map[string]string{"key": key}})
+	if err != nil {
+		return nil, err
+	}
+	if !resp.OK {
+		return nil, fmt.Errorf("%s", resp.Error)
+	}
+	return strings.Fields(resp.Fields["replicas"]), nil
+}
+
+// Join asks the router to admit the named node at addr.
+func (tc TopologyClient) Join(node, addr string) error {
+	resp, err := tc.C.Call(vinci.Request{Service: TopologyService, Op: "join",
+		Params: map[string]string{"node": node, "addr": addr}})
+	if err != nil {
+		return err
+	}
+	if !resp.OK {
+		return fmt.Errorf("%s", resp.Error)
+	}
+	return nil
+}
+
+// Drain asks the router to retire the named node.
+func (tc TopologyClient) Drain(node string) error {
+	resp, err := tc.C.Call(vinci.Request{Service: TopologyService, Op: "drain",
+		Params: map[string]string{"node": node}})
+	if err != nil {
+		return err
+	}
+	if !resp.OK {
+		return fmt.Errorf("%s", resp.Error)
+	}
+	return nil
+}
+
+// Rejoin asks the router to catch the named member up after recovery.
+func (tc TopologyClient) Rejoin(node string) error {
+	resp, err := tc.C.Call(vinci.Request{Service: TopologyService, Op: "rejoin",
+		Params: map[string]string{"node": node}})
+	if err != nil {
+		return err
+	}
+	if !resp.OK {
+		return fmt.Errorf("%s", resp.Error)
+	}
+	return nil
+}

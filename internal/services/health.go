@@ -29,8 +29,40 @@ type HealthOptions struct {
 	// failed) and why. A degraded node still answers reads; callers use
 	// the flag to route writes and mining runs elsewhere.
 	Degraded func() (bool, string)
+	// Topology, when set, lets ping and status report the node's place
+	// in the ring: the ring epoch it is serving under and how many shard
+	// ranges it holds as primary vs replica. Operators reading a flat
+	// "ok" from a node that silently dropped out of its replica sets was
+	// exactly the blind spot this closes.
+	Topology func() TopologyInfo
 	// now overrides the clock in tests.
 	now func() time.Time
+}
+
+// TopologyInfo is a node's self-reported ring position.
+type TopologyInfo struct {
+	// Epoch is the ring generation the node is serving under.
+	Epoch uint64
+	// Digest is the ring's canonical placement digest.
+	Digest string
+	// Primaries and Replicas count the virtual-node ranges the node
+	// serves in each role.
+	Primaries int
+	Replicas  int
+}
+
+// Role summarizes the node's shard role for display: "primary" when it
+// owns any range as primary, "replica" when it only follows, "idle"
+// when it holds no ranges.
+func (ti TopologyInfo) Role() string {
+	switch {
+	case ti.Primaries > 0:
+		return "primary"
+	case ti.Replicas > 0:
+		return "replica"
+	default:
+		return "idle"
+	}
 }
 
 // RegisterHealth exposes node liveness: ops ping, status and uptime.
@@ -46,7 +78,13 @@ func RegisterHealth(reg *vinci.Registry, opts HealthOptions) {
 	reg.Register(HealthService, func(req vinci.Request) vinci.Response {
 		switch req.Op {
 		case "ping":
-			return vinci.OKResponse(map[string]string{"pong": "1", "node": opts.Node})
+			fields := map[string]string{"pong": "1", "node": opts.Node}
+			if opts.Topology != nil {
+				ti := opts.Topology()
+				fields["ring_epoch"] = strconv.FormatUint(ti.Epoch, 10)
+				fields["role"] = ti.Role()
+			}
+			return vinci.OKResponse(fields)
 		case "uptime":
 			up := opts.now().Sub(start)
 			return vinci.OKResponse(map[string]string{
@@ -71,6 +109,14 @@ func RegisterHealth(reg *vinci.Registry, opts HealthOptions) {
 					fields["degraded"] = "0"
 				}
 			}
+			if opts.Topology != nil {
+				ti := opts.Topology()
+				fields["ring_epoch"] = strconv.FormatUint(ti.Epoch, 10)
+				fields["ring_digest"] = ti.Digest
+				fields["role"] = ti.Role()
+				fields["shard_primaries"] = strconv.Itoa(ti.Primaries)
+				fields["shard_replicas"] = strconv.Itoa(ti.Replicas)
+			}
 			return vinci.OKResponse(fields)
 		}
 		return vinci.Errorf("health: unknown op %q", req.Op)
@@ -91,6 +137,9 @@ type NodeStatus struct {
 	// DegradedReason says why.
 	Degraded       bool
 	DegradedReason string
+	// Topology is the node's self-reported ring position, nil when the
+	// node is not part of a replicated deployment.
+	Topology *TopologyInfo
 }
 
 // HealthClient is the typed client for the health service.
@@ -151,6 +200,19 @@ func (hc HealthClient) Status() (NodeStatus, error) {
 	if resp.Fields["degraded"] == "1" {
 		st.Degraded = true
 		st.DegradedReason = resp.Fields["degraded_reason"]
+	}
+	if v, ok := resp.Fields["ring_epoch"]; ok {
+		ti := &TopologyInfo{Digest: resp.Fields["ring_digest"]}
+		if epoch, err := strconv.ParseUint(v, 10, 64); err == nil {
+			ti.Epoch = epoch
+		}
+		if n, err := strconv.Atoi(resp.Fields["shard_primaries"]); err == nil {
+			ti.Primaries = n
+		}
+		if n, err := strconv.Atoi(resp.Fields["shard_replicas"]); err == nil {
+			ti.Replicas = n
+		}
+		st.Topology = ti
 	}
 	return st, nil
 }

@@ -1,0 +1,123 @@
+package services
+
+import (
+	"encoding/base64"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"webfountain/internal/store"
+	"webfountain/internal/vinci"
+)
+
+// ReplicaService is the shard-handoff service: it ships store state
+// between nodes as WAL frames (see store/replicate.go) so a draining or
+// recovering node can catch up on every write it missed before it is
+// re-admitted to its replica sets. The service is deliberately not
+// idempotent-registered: apply mutates, and ship of a live store is a
+// point-in-time read that should not be hedged against itself.
+const ReplicaService = "replica"
+
+// RegisterReplica exposes handoff ops on a node's store:
+//
+//	ids   — every entity ID the node holds (the diff base for catch-up)
+//	ship  — a WAL-frame batch for the requested IDs (or everything)
+//	apply — install a shipped batch through the normal mutation path
+//
+// Frames travel base64-encoded inside the XML response/params; their
+// own CRCs still detect corruption end to end. hooks keep the node's
+// derived state (index) in step with applied catch-up writes.
+func RegisterReplica(reg *vinci.Registry, st *store.Store, hooks StoreHooks) {
+	reg.Register(ReplicaService, func(req vinci.Request) vinci.Response {
+		switch req.Op {
+		case "ids":
+			return vinci.OKResponse(map[string]string{"ids": strings.Join(st.IDs(), " ")})
+		case "ship":
+			var batch []byte
+			var err error
+			if want := strings.Fields(req.Param("ids")); len(want) > 0 {
+				for _, id := range want {
+					e, ok := st.Get(id)
+					if !ok {
+						continue // deleted since the diff; the batch omits it
+					}
+					if batch, err = store.AppendPutFrame(batch, e); err != nil {
+						return vinci.Errorf("replica: %v", err)
+					}
+				}
+			} else if batch, err = st.SnapshotFrames(nil); err != nil {
+				return vinci.Errorf("replica: %v", err)
+			}
+			return vinci.OKResponse(map[string]string{
+				"frames": base64.StdEncoding.EncodeToString(batch),
+			})
+		case "apply":
+			batch, err := base64.StdEncoding.DecodeString(req.Param("frames"))
+			if err != nil {
+				return vinci.Errorf("replica: bad frame encoding: %v", err)
+			}
+			applied, err := store.ApplyFramesObserved(st, batch, func(id string, e *store.Entity) {
+				if e != nil {
+					if hooks.OnPut != nil {
+						hooks.OnPut(e)
+					}
+				} else if hooks.OnDelete != nil {
+					hooks.OnDelete(id)
+				}
+			})
+			if err != nil {
+				return vinci.Errorf("replica: apply failed after %d frames: %v", applied, err)
+			}
+			return vinci.OKResponse(map[string]string{"applied": strconv.Itoa(applied)})
+		}
+		return vinci.Errorf("replica: unknown op %q", req.Op)
+	})
+}
+
+// ReplicaClient is the typed client for the replica service.
+type ReplicaClient struct{ C vinci.Client }
+
+// IDs lists every entity ID the node holds, sorted.
+func (rc ReplicaClient) IDs() ([]string, error) {
+	resp, err := rc.C.Call(vinci.Request{Service: ReplicaService, Op: "ids"})
+	if err != nil {
+		return nil, err
+	}
+	if !resp.OK {
+		return nil, fmt.Errorf("%s", resp.Error)
+	}
+	if resp.Fields["ids"] == "" {
+		return nil, nil
+	}
+	return strings.Fields(resp.Fields["ids"]), nil
+}
+
+// Ship fetches a WAL-frame batch for the given IDs (all state when ids
+// is empty).
+func (rc ReplicaClient) Ship(ids []string) ([]byte, error) {
+	resp, err := rc.C.Call(vinci.Request{Service: ReplicaService, Op: "ship", Params: map[string]string{
+		"ids": strings.Join(ids, " "),
+	}})
+	if err != nil {
+		return nil, err
+	}
+	if !resp.OK {
+		return nil, fmt.Errorf("%s", resp.Error)
+	}
+	return base64.StdEncoding.DecodeString(resp.Fields["frames"])
+}
+
+// Apply installs a shipped frame batch on the node and returns how many
+// frames landed.
+func (rc ReplicaClient) Apply(frames []byte) (int, error) {
+	resp, err := rc.C.Call(vinci.Request{Service: ReplicaService, Op: "apply", Params: map[string]string{
+		"frames": base64.StdEncoding.EncodeToString(frames),
+	}})
+	if err != nil {
+		return 0, err
+	}
+	if !resp.OK {
+		return 0, fmt.Errorf("%s", resp.Error)
+	}
+	return strconv.Atoi(resp.Fields["applied"])
+}

@@ -1,0 +1,177 @@
+package services
+
+import (
+	"fmt"
+	"testing"
+
+	"webfountain/internal/store"
+	"webfountain/internal/vinci"
+)
+
+func replicaFixture(t *testing.T, n int) (*store.Store, ReplicaClient) {
+	t.Helper()
+	st := store.New(2)
+	for i := 0; i < n; i++ {
+		if err := st.Put(&store.Entity{
+			ID:   fmt.Sprintf("doc-%06d", i),
+			Text: fmt.Sprintf("text %d", i),
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	reg := vinci.NewRegistry()
+	RegisterReplica(reg, st, StoreHooks{})
+	return st, ReplicaClient{C: vinci.NewLocalClient(reg)}
+}
+
+func TestReplicaIDsAndShipAll(t *testing.T) {
+	_, rc := replicaFixture(t, 5)
+	ids, err := rc.IDs()
+	if err != nil || len(ids) != 5 {
+		t.Fatalf("ids=%v err=%v", ids, err)
+	}
+	frames, err := rc.Ship(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := store.New(4)
+	if applied, err := store.ApplyFrames(dst, frames); err != nil || applied != 5 {
+		t.Fatalf("applied=%d err=%v", applied, err)
+	}
+	if dst.Len() != 5 {
+		t.Fatalf("dst.Len=%d, want 5", dst.Len())
+	}
+}
+
+func TestReplicaShipSelectedAndApply(t *testing.T) {
+	_, src := replicaFixture(t, 10)
+	frames, err := src.Ship([]string{"doc-000001", "doc-000003", "doc-999999"}) // missing ID skipped
+	if err != nil {
+		t.Fatal(err)
+	}
+	dstStore := store.New(1)
+	var indexed []string
+	reg := vinci.NewRegistry()
+	RegisterReplica(reg, dstStore, StoreHooks{
+		OnPut: func(e *store.Entity) { indexed = append(indexed, e.ID) },
+	})
+	dst := ReplicaClient{C: vinci.NewLocalClient(reg)}
+	applied, err := dst.Apply(frames)
+	if err != nil || applied != 2 {
+		t.Fatalf("applied=%d err=%v, want 2", applied, err)
+	}
+	if len(indexed) != 2 {
+		t.Fatalf("OnPut hook fired %d times, want 2 (got %v)", len(indexed), indexed)
+	}
+	if _, ok := dstStore.Get("doc-000003"); !ok {
+		t.Fatal("shipped entity missing at destination")
+	}
+}
+
+func TestReplicaApplyRejectsCorruptBatch(t *testing.T) {
+	_, src := replicaFixture(t, 2)
+	frames, err := src.Ship(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frames[len(frames)-1] ^= 0xff
+	dstStore := store.New(1)
+	reg := vinci.NewRegistry()
+	RegisterReplica(reg, dstStore, StoreHooks{})
+	dst := ReplicaClient{C: vinci.NewLocalClient(reg)}
+	if _, err := dst.Apply(frames); err == nil {
+		t.Fatal("corrupt batch must be rejected")
+	}
+}
+
+func TestStoreServiceIDsOp(t *testing.T) {
+	st := store.New(1)
+	for i := 0; i < 3; i++ {
+		if err := st.Put(&store.Entity{ID: fmt.Sprintf("doc-%06d", i), Text: "t"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	reg := vinci.NewRegistry()
+	RegisterStore(reg, st)
+	sc := StoreClient{C: vinci.NewLocalClient(reg)}
+	ids, err := sc.IDs()
+	if err != nil || len(ids) != 3 || ids[0] != "doc-000000" {
+		t.Fatalf("ids=%v err=%v", ids, err)
+	}
+}
+
+func TestStoreServiceHooks(t *testing.T) {
+	st := store.New(1)
+	var puts, dels []string
+	reg := vinci.NewRegistry()
+	RegisterStoreWith(reg, st, StoreHooks{
+		OnPut:    func(e *store.Entity) { puts = append(puts, e.ID) },
+		OnDelete: func(id string) { dels = append(dels, id) },
+	})
+	sc := StoreClient{C: vinci.NewLocalClient(reg)}
+	if err := sc.Put(&store.Entity{ID: "doc-000001", Text: "hello"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := sc.Delete("doc-000001"); err != nil {
+		t.Fatal(err)
+	}
+	if len(puts) != 1 || len(dels) != 1 {
+		t.Fatalf("hooks: puts=%v dels=%v", puts, dels)
+	}
+}
+
+func TestHealthReportsTopology(t *testing.T) {
+	reg := vinci.NewRegistry()
+	RegisterHealth(reg, HealthOptions{
+		Node: "node-1",
+		Topology: func() TopologyInfo {
+			return TopologyInfo{Epoch: 7, Digest: "abc123", Primaries: 12, Replicas: 9}
+		},
+	})
+	hc := HealthClient{C: vinci.NewLocalClient(reg)}
+	st, err := hc.Status()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Topology == nil {
+		t.Fatal("status missing topology")
+	}
+	if st.Topology.Epoch != 7 || st.Topology.Digest != "abc123" ||
+		st.Topology.Primaries != 12 || st.Topology.Replicas != 9 {
+		t.Fatalf("topology = %+v", *st.Topology)
+	}
+	if got := st.Topology.Role(); got != "primary" {
+		t.Fatalf("role = %q, want primary", got)
+	}
+	// Ping carries the epoch and role too — the one-shot probe an
+	// operator runs with wfnode -ping.
+	resp, err := hc.C.Call(vinci.Request{Service: HealthService, Op: "ping"})
+	if err != nil || !resp.OK {
+		t.Fatalf("ping: %v %+v", err, resp)
+	}
+	if resp.Fields["ring_epoch"] != "7" || resp.Fields["role"] != "primary" {
+		t.Fatalf("ping fields = %+v", resp.Fields)
+	}
+}
+
+func TestHealthWithoutTopologyOmitsIt(t *testing.T) {
+	reg := vinci.NewRegistry()
+	RegisterHealth(reg, HealthOptions{Node: "solo"})
+	hc := HealthClient{C: vinci.NewLocalClient(reg)}
+	st, err := hc.Status()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Topology != nil {
+		t.Fatalf("single-node status should omit topology, got %+v", *st.Topology)
+	}
+}
+
+func TestTopologyInfoRole(t *testing.T) {
+	if (TopologyInfo{}).Role() != "idle" {
+		t.Fatal("empty info should be idle")
+	}
+	if (TopologyInfo{Replicas: 3}).Role() != "replica" {
+		t.Fatal("replica-only info should be replica")
+	}
+}

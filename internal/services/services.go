@@ -34,9 +34,26 @@ func Idempotent(service string) bool {
 
 // --- store service ---
 
-// RegisterStore exposes an entity store: ops get, put, delete, count.
-// Entities travel as XML (the store's native representation).
+// StoreHooks observe mutations that arrive through the store service or
+// the replica service, letting a node keep derived state (its inverted
+// index) in step with writes it did not originate — the replicated
+// write path routes puts at nodes directly, not through the local
+// ingest pipeline.
+type StoreHooks struct {
+	// OnPut runs after a put is durably applied.
+	OnPut func(e *store.Entity)
+	// OnDelete runs after a delete is applied.
+	OnDelete func(id string)
+}
+
+// RegisterStore exposes an entity store: ops get, put, delete, count,
+// ids. Entities travel as XML (the store's native representation).
 func RegisterStore(reg *vinci.Registry, st *store.Store) {
+	RegisterStoreWith(reg, st, StoreHooks{})
+}
+
+// RegisterStoreWith is RegisterStore with mutation hooks.
+func RegisterStoreWith(reg *vinci.Registry, st *store.Store, hooks StoreHooks) {
 	reg.Register(StoreService, func(req vinci.Request) vinci.Response {
 		switch req.Op {
 		case "get":
@@ -57,14 +74,22 @@ func RegisterStore(reg *vinci.Registry, st *store.Store) {
 			if err := st.Put(e); err != nil {
 				return vinci.Errorf("store: %v", err)
 			}
+			if hooks.OnPut != nil {
+				hooks.OnPut(e)
+			}
 			return vinci.OKResponse(map[string]string{"id": e.ID})
 		case "delete":
 			if err := st.Delete(req.Param("id")); err != nil {
 				return vinci.Errorf("store: %v", err)
 			}
+			if hooks.OnDelete != nil {
+				hooks.OnDelete(req.Param("id"))
+			}
 			return vinci.OKResponse(nil)
 		case "count":
 			return vinci.OKResponse(map[string]string{"count": strconv.Itoa(st.Len())})
+		case "ids":
+			return vinci.OKResponse(map[string]string{"ids": strings.Join(st.IDs(), " ")})
 		}
 		return vinci.Errorf("store: unknown op %q", req.Op)
 	})
@@ -111,6 +136,21 @@ func (sc StoreClient) Delete(id string) error {
 		return fmt.Errorf("%s", resp.Error)
 	}
 	return nil
+}
+
+// IDs returns every stored entity ID, sorted.
+func (sc StoreClient) IDs() ([]string, error) {
+	resp, err := sc.C.Call(vinci.Request{Service: StoreService, Op: "ids"})
+	if err != nil {
+		return nil, err
+	}
+	if !resp.OK {
+		return nil, fmt.Errorf("%s", resp.Error)
+	}
+	if resp.Fields["ids"] == "" {
+		return nil, nil
+	}
+	return strings.Fields(resp.Fields["ids"]), nil
 }
 
 // Count returns the entity count.

@@ -1,0 +1,127 @@
+package store
+
+import (
+	"encoding/xml"
+	"errors"
+	"fmt"
+)
+
+// Shard handoff ships state between nodes as WAL frames — the same
+// length-prefixed, double-checksummed records the durable log already
+// uses on disk (see wal.go). Reusing the codec buys the transfer path
+// the WAL's corruption taxonomy for free: a frame torn or bit-flipped in
+// transit fails its checksum at the receiver instead of installing a
+// silently wrong entity, and the catch-up protocol can retry the batch.
+// The receiver applies frames through the store's normal mutation path,
+// so a durable receiver re-logs everything it catches up on and the
+// shipped state survives the receiver's own next crash.
+
+// ErrCorruptFrame reports a replication batch whose framing or checksums
+// did not survive transit. Nothing after the corrupt frame is applied.
+var ErrCorruptFrame = errors.New("store: corrupt replication frame")
+
+// EncodePutFrame renders one entity as a shippable opPut WAL frame.
+func EncodePutFrame(e *Entity) ([]byte, error) {
+	body, err := xml.Marshal(e)
+	if err != nil {
+		return nil, fmt.Errorf("store: encode replication frame for %s: %w", e.ID, err)
+	}
+	return encodeWALRecord(opPut, body), nil
+}
+
+// EncodeDeleteFrame renders one tombstone as a shippable opDelete frame.
+func EncodeDeleteFrame(id string) []byte {
+	return encodeWALRecord(opDelete, []byte(id))
+}
+
+// AppendPutFrame appends e's opPut frame to buf — the batch-builder used
+// when shipping a whole shard range.
+func AppendPutFrame(buf []byte, e *Entity) ([]byte, error) {
+	frame, err := EncodePutFrame(e)
+	if err != nil {
+		return buf, err
+	}
+	return append(buf, frame...), nil
+}
+
+// ApplyFrames decodes every WAL frame in data and applies it to the
+// store through the normal mutation path (Put/Delete — WAL-logged again
+// on a durable store). It returns the number of frames applied. On a
+// checksum or framing failure it stops and returns ErrCorruptFrame
+// (wrapped); frames before the corruption remain applied, so a retried
+// batch converges (puts and deletes are idempotent).
+func ApplyFrames(s *Store, data []byte) (applied int, err error) {
+	return ApplyFramesObserved(s, data, nil)
+}
+
+// ApplyFramesObserved is ApplyFrames with a per-frame observer: observe
+// is called after each frame lands, with the mutated entity for a put
+// (nil for a delete or annotate). A receiving node uses it to keep its
+// inverted index in step with the state it catches up on.
+func ApplyFramesObserved(s *Store, data []byte, observe func(id string, e *Entity)) (applied int, err error) {
+	for len(data) > 0 {
+		op, body, n, derr := decodeWALRecord(data)
+		if derr != nil {
+			return applied, fmt.Errorf("%w: frame %d: %v", ErrCorruptFrame, applied, derr)
+		}
+		switch op {
+		case opPut:
+			e, perr := ParseEntity(body)
+			if perr != nil {
+				return applied, fmt.Errorf("%w: frame %d: %v", ErrCorruptFrame, applied, perr)
+			}
+			if perr := s.Put(e); perr != nil {
+				return applied, fmt.Errorf("store: apply replication frame %d: %w", applied, perr)
+			}
+			if observe != nil {
+				observe(e.ID, e)
+			}
+		case opDelete:
+			if derr := s.Delete(string(body)); derr != nil {
+				return applied, fmt.Errorf("store: apply replication frame %d: %w", applied, derr)
+			}
+			if observe != nil {
+				observe(string(body), nil)
+			}
+		case opAnnotate:
+			rec, aerr := decodeAnnotate(body)
+			if aerr != nil {
+				return applied, fmt.Errorf("%w: frame %d: %v", ErrCorruptFrame, applied, aerr)
+			}
+			if _, aerr := s.Annotate(rec.ID, rec.Annotations); aerr != nil {
+				return applied, fmt.Errorf("store: apply replication frame %d: %w", applied, aerr)
+			}
+			if observe != nil {
+				observe(rec.ID, nil)
+			}
+		default:
+			return applied, fmt.Errorf("%w: frame %d: unknown op %d", ErrCorruptFrame, applied, op)
+		}
+		applied++
+		data = data[n:]
+	}
+	return applied, nil
+}
+
+// SnapshotFrames renders the store's full contents (or, with filter
+// non-nil, the entities it selects) as a concatenated frame batch in
+// sorted-ID order — deterministic bytes for a deterministic state, which
+// the chaos harness leans on when comparing two runs of one seed.
+func (s *Store) SnapshotFrames(filter func(id string) bool) ([]byte, error) {
+	ids := s.IDs()
+	var buf []byte
+	for _, id := range ids {
+		if filter != nil && !filter(id) {
+			continue
+		}
+		e, ok := s.Get(id)
+		if !ok {
+			continue // raced with a delete; the frame batch just omits it
+		}
+		var err error
+		if buf, err = AppendPutFrame(buf, e); err != nil {
+			return nil, err
+		}
+	}
+	return buf, nil
+}

@@ -1,0 +1,176 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+)
+
+func replicaEntity(i int) *Entity {
+	return &Entity{
+		ID:    fmt.Sprintf("doc-%06d", i),
+		URL:   fmt.Sprintf("http://example.com/%d", i),
+		Title: fmt.Sprintf("title %d", i),
+		Text:  fmt.Sprintf("body text %d", i),
+		Annotations: []Annotation{
+			{Miner: "sentiment", Key: "polarity", Value: "positive"},
+		},
+	}
+}
+
+func TestReplicationFramesRoundTrip(t *testing.T) {
+	src := New(4)
+	for i := 0; i < 25; i++ {
+		if err := src.Put(replicaEntity(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	batch, err := src.SnapshotFrames(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := New(2) // different shard count must not matter
+	applied, err := ApplyFrames(dst, batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if applied != 25 || dst.Len() != 25 {
+		t.Fatalf("applied=%d len=%d, want 25/25", applied, dst.Len())
+	}
+	for i := 0; i < 25; i++ {
+		want := replicaEntity(i)
+		got, ok := dst.Get(want.ID)
+		if !ok {
+			t.Fatalf("missing %s after catch-up", want.ID)
+		}
+		if got.Text != want.Text || got.Title != want.Title {
+			t.Fatalf("entity %s mangled: %+v", want.ID, got)
+		}
+		if len(got.Annotations) != 1 || got.Annotations[0].Value != "positive" {
+			t.Fatalf("annotations lost for %s: %+v", want.ID, got.Annotations)
+		}
+	}
+}
+
+func TestReplicationFramesFiltered(t *testing.T) {
+	src := New(2)
+	for i := 0; i < 10; i++ {
+		if err := src.Put(replicaEntity(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	batch, err := src.SnapshotFrames(func(id string) bool { return id < "doc-000005" })
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := New(2)
+	if applied, err := ApplyFrames(dst, batch); err != nil || applied != 5 {
+		t.Fatalf("applied=%d err=%v, want 5/nil", applied, err)
+	}
+}
+
+func TestReplicationFramesDeterministic(t *testing.T) {
+	build := func() []byte {
+		s := New(3)
+		for i := 9; i >= 0; i-- { // insertion order must not matter
+			if err := s.Put(replicaEntity(i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		b, err := s.SnapshotFrames(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	if !bytes.Equal(build(), build()) {
+		t.Fatal("same state produced different frame bytes")
+	}
+}
+
+func TestReplicationDeleteFrame(t *testing.T) {
+	dst := New(1)
+	if err := dst.Put(replicaEntity(1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ApplyFrames(dst, EncodeDeleteFrame("doc-000001")); err != nil {
+		t.Fatal(err)
+	}
+	if dst.Len() != 0 {
+		t.Fatal("delete frame did not remove the entity")
+	}
+}
+
+func TestReplicationCorruptFrameDetected(t *testing.T) {
+	frame, err := EncodePutFrame(replicaEntity(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	good, err := EncodePutFrame(replicaEntity(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	flipped := append(append([]byte(nil), frame...), good...)
+	flipped[len(flipped)-1] ^= 0xff // rot the second frame's payload in "transit"
+	dst := New(1)
+	applied, err := ApplyFrames(dst, flipped)
+	if !errors.Is(err, ErrCorruptFrame) {
+		t.Fatalf("corrupt batch: applied=%d err=%v, want ErrCorruptFrame", applied, err)
+	}
+	if applied != 1 || dst.Len() != 1 {
+		t.Fatalf("frames before the corruption should apply: applied=%d len=%d", applied, dst.Len())
+	}
+	// Idempotent retry of the repaired batch converges.
+	whole := append(append([]byte(nil), frame...), good...)
+	if applied, err := ApplyFrames(dst, whole); err != nil || applied != 2 {
+		t.Fatalf("retry: applied=%d err=%v", applied, err)
+	}
+	if dst.Len() != 2 {
+		t.Fatalf("after retry len=%d, want 2", dst.Len())
+	}
+}
+
+func TestReplicationTruncatedBatchDetected(t *testing.T) {
+	frame, err := EncodePutFrame(replicaEntity(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := New(1)
+	if _, err := ApplyFrames(dst, frame[:len(frame)-3]); !errors.Is(err, ErrCorruptFrame) {
+		t.Fatalf("truncated batch err=%v, want ErrCorruptFrame", err)
+	}
+}
+
+func TestReplicationIntoDurableStoreRelogs(t *testing.T) {
+	src := New(1)
+	for i := 0; i < 8; i++ {
+		if err := src.Put(replicaEntity(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	batch, err := src.SnapshotFrames(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	dst, err := Open(dir, Options{Shards: 2, SyncEvery: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ApplyFrames(dst, batch); err != nil {
+		t.Fatal(err)
+	}
+	if err := dst.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// The receiver re-logged what it caught up on: reopen and recover.
+	re, err := Open(dir, Options{Shards: 2, SyncEvery: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if re.Len() != 8 {
+		t.Fatalf("after crash-recovery of caught-up node: len=%d, want 8", re.Len())
+	}
+}

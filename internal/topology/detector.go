@@ -1,0 +1,209 @@
+// Phi-accrual-style failure detection (Hayashibara et al., "The φ
+// accrual failure detector"): instead of a binary alive/dead flag, each
+// node accrues a suspicion level φ that grows the longer it goes without
+// a successful probe, scaled by the node's own observed probe cadence.
+// The router marks a node suspected when φ crosses a threshold — or
+// immediately on enough consecutive explicit probe failures, the fast
+// path that lets failover complete within one probe interval of a kill.
+package topology
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"time"
+)
+
+// DetectorOptions tunes a Detector. The zero value is usable.
+type DetectorOptions struct {
+	// PhiThreshold is the accrued suspicion level at which a silent node
+	// (no explicit failures, just no recent successes) becomes suspected
+	// (default 8 — roughly "this silence had a 1e-8 chance under the
+	// observed cadence").
+	PhiThreshold float64
+	// FailureThreshold is the number of consecutive explicit probe
+	// failures that suspect a node immediately, bypassing accrual
+	// (default 1: a refused connection is much stronger evidence than
+	// silence, and waiting out φ would stretch failover past one probe
+	// interval).
+	FailureThreshold int
+	// Window is how many recent inter-arrival intervals feed the cadence
+	// estimate (default 32).
+	Window int
+	// MinInterval floors the estimated mean inter-arrival time so a burst
+	// of rapid successes cannot make φ hair-triggered (default 10ms).
+	MinInterval time.Duration
+	// now overrides the clock in tests.
+	now func() time.Time
+}
+
+func (o DetectorOptions) normalized() DetectorOptions {
+	if o.PhiThreshold <= 0 {
+		o.PhiThreshold = 8
+	}
+	if o.FailureThreshold <= 0 {
+		o.FailureThreshold = 1
+	}
+	if o.Window <= 0 {
+		o.Window = 32
+	}
+	if o.MinInterval <= 0 {
+		o.MinInterval = 10 * time.Millisecond
+	}
+	if o.now == nil {
+		o.now = time.Now
+	}
+	return o
+}
+
+// nodeState is one node's observation history.
+type nodeState struct {
+	last      time.Time // last successful probe
+	intervals []float64 // recent inter-arrival times, seconds (ring buffer)
+	next      int       // ring-buffer write cursor
+	count     int       // observations recorded (≤ len(intervals))
+	fails     int       // consecutive explicit failures since last success
+	everSeen  bool      // at least one success observed
+}
+
+// Detector accrues per-node suspicion from probe outcomes. Safe for
+// concurrent use; the router's probe loop and its request paths both
+// report into it (every routed call doubles as a probe, which is what
+// keeps detection latency at one request rather than one timer tick).
+type Detector struct {
+	opts DetectorOptions
+
+	mu    sync.Mutex
+	nodes map[string]*nodeState
+}
+
+// NewDetector builds a detector.
+func NewDetector(opts DetectorOptions) *Detector {
+	return &Detector{opts: opts.normalized(), nodes: make(map[string]*nodeState)}
+}
+
+func (d *Detector) state(node string) *nodeState {
+	st := d.nodes[node]
+	if st == nil {
+		st = &nodeState{intervals: make([]float64, d.opts.Window)}
+		d.nodes[node] = st
+	}
+	return st
+}
+
+// ReportSuccess records a successful probe or call: the node's suspicion
+// resets and its cadence estimate absorbs the new inter-arrival time.
+func (d *Detector) ReportSuccess(node string) {
+	now := d.opts.now()
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	st := d.state(node)
+	if st.everSeen {
+		st.intervals[st.next] = now.Sub(st.last).Seconds()
+		st.next = (st.next + 1) % len(st.intervals)
+		if st.count < len(st.intervals) {
+			st.count++
+		}
+	}
+	st.last = now
+	st.everSeen = true
+	st.fails = 0
+}
+
+// ReportFailure records an explicit probe or call failure (refused,
+// timed out, transport error). Enough consecutive failures suspect the
+// node immediately, regardless of φ.
+func (d *Detector) ReportFailure(node string) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.state(node).fails++
+}
+
+// Forget drops all state for a node (it left the ring).
+func (d *Detector) Forget(node string) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	delete(d.nodes, node)
+}
+
+// meanInterval estimates the node's probe cadence in seconds.
+func (d *Detector) meanInterval(st *nodeState) float64 {
+	floor := d.opts.MinInterval.Seconds()
+	if st.count == 0 {
+		return floor
+	}
+	var sum float64
+	for i := 0; i < st.count; i++ {
+		sum += st.intervals[i]
+	}
+	if mean := sum / float64(st.count); mean > floor {
+		return mean
+	}
+	return floor
+}
+
+// Phi returns the node's current accrued suspicion. Under the
+// exponential inter-arrival model, the probability a live node would
+// still be silent after t is exp(-t/mean), so φ = -log10 of that =
+// t / (mean·ln10). A node never seen has φ 0 until it fails explicitly —
+// silence before first contact is indistinguishable from slow startup.
+func (d *Detector) Phi(node string) float64 {
+	now := d.opts.now()
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	st := d.nodes[node]
+	if st == nil || !st.everSeen {
+		return 0
+	}
+	t := now.Sub(st.last).Seconds()
+	if t <= 0 {
+		return 0
+	}
+	return t / (d.meanInterval(st) * math.Ln10)
+}
+
+// Suspect reports whether the node is currently suspected: either
+// enough consecutive explicit failures, or accrued φ past the threshold.
+func (d *Detector) Suspect(node string) bool {
+	d.mu.Lock()
+	st := d.nodes[node]
+	fails := 0
+	if st != nil {
+		fails = st.fails
+	}
+	d.mu.Unlock()
+	if fails >= d.opts.FailureThreshold {
+		return true
+	}
+	return d.Phi(node) >= d.opts.PhiThreshold
+}
+
+// NodeHealth is one node's snapshot for status reporting.
+type NodeHealth struct {
+	Node      string
+	Phi       float64
+	Fails     int
+	Suspected bool
+}
+
+// Snapshot reports every tracked node's health, sorted by name.
+func (d *Detector) Snapshot() []NodeHealth {
+	d.mu.Lock()
+	names := make([]string, 0, len(d.nodes))
+	for n := range d.nodes {
+		names = append(names, n)
+	}
+	d.mu.Unlock()
+	sort.Strings(names)
+	out := make([]NodeHealth, 0, len(names))
+	for _, n := range names {
+		d.mu.Lock()
+		fails := 0
+		if st := d.nodes[n]; st != nil {
+			fails = st.fails
+		}
+		d.mu.Unlock()
+		out = append(out, NodeHealth{Node: n, Phi: d.Phi(n), Fails: fails, Suspected: d.Suspect(n)})
+	}
+	return out
+}

@@ -1,0 +1,116 @@
+package topology
+
+import (
+	"testing"
+	"time"
+)
+
+// fakeClock drives the detector deterministically.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+func newFakeClock() *fakeClock               { return &fakeClock{t: time.Unix(1_700_000_000, 0)} }
+
+func newTestDetector(clk *fakeClock, opts DetectorOptions) *Detector {
+	opts.now = clk.now
+	return NewDetector(opts)
+}
+
+func TestDetectorExplicitFailureSuspectsImmediately(t *testing.T) {
+	clk := newFakeClock()
+	d := newTestDetector(clk, DetectorOptions{FailureThreshold: 1})
+	d.ReportSuccess("n1")
+	if d.Suspect("n1") {
+		t.Fatal("healthy node suspected")
+	}
+	d.ReportFailure("n1")
+	if !d.Suspect("n1") {
+		t.Fatal("explicit failure must suspect within one probe, no accrual wait")
+	}
+	d.ReportSuccess("n1")
+	if d.Suspect("n1") {
+		t.Fatal("success must clear suspicion")
+	}
+}
+
+func TestDetectorFailureThreshold(t *testing.T) {
+	clk := newFakeClock()
+	d := newTestDetector(clk, DetectorOptions{FailureThreshold: 3})
+	d.ReportSuccess("n1")
+	d.ReportFailure("n1")
+	d.ReportFailure("n1")
+	if d.Suspect("n1") {
+		t.Fatal("suspected below the consecutive-failure threshold")
+	}
+	d.ReportFailure("n1")
+	if !d.Suspect("n1") {
+		t.Fatal("threshold reached but not suspected")
+	}
+}
+
+func TestDetectorPhiAccruesWithSilence(t *testing.T) {
+	clk := newFakeClock()
+	d := newTestDetector(clk, DetectorOptions{PhiThreshold: 8})
+	// Establish a steady 100ms probe cadence.
+	for i := 0; i < 20; i++ {
+		d.ReportSuccess("n1")
+		clk.advance(100 * time.Millisecond)
+	}
+	if phi := d.Phi("n1"); phi > 1 {
+		t.Fatalf("phi right after cadence established = %.2f, want small", phi)
+	}
+	if d.Suspect("n1") {
+		t.Fatal("suspected while fresh")
+	}
+	// Silence: phi must grow monotonically and eventually cross the
+	// threshold (t/(mean·ln10) ⇒ ~1.84s of silence at 100ms cadence).
+	clk.advance(500 * time.Millisecond)
+	low := d.Phi("n1")
+	clk.advance(3 * time.Second)
+	high := d.Phi("n1")
+	if high <= low {
+		t.Fatalf("phi did not grow with silence: %.2f then %.2f", low, high)
+	}
+	if !d.Suspect("n1") {
+		t.Fatalf("prolonged silence (phi=%.2f) must suspect", high)
+	}
+}
+
+func TestDetectorNeverSeenIsNotSuspected(t *testing.T) {
+	clk := newFakeClock()
+	d := newTestDetector(clk, DetectorOptions{})
+	if d.Phi("cold") != 0 || d.Suspect("cold") {
+		t.Fatal("a node never probed must not be suspected by silence alone")
+	}
+}
+
+func TestDetectorForget(t *testing.T) {
+	clk := newFakeClock()
+	d := newTestDetector(clk, DetectorOptions{FailureThreshold: 1})
+	d.ReportFailure("n1")
+	if !d.Suspect("n1") {
+		t.Fatal("setup: n1 should be suspected")
+	}
+	d.Forget("n1")
+	if d.Suspect("n1") {
+		t.Fatal("Forget must clear suspicion state")
+	}
+}
+
+func TestDetectorSnapshot(t *testing.T) {
+	clk := newFakeClock()
+	d := newTestDetector(clk, DetectorOptions{FailureThreshold: 1})
+	d.ReportSuccess("a")
+	d.ReportFailure("b")
+	snap := d.Snapshot()
+	if len(snap) != 2 || snap[0].Node != "a" || snap[1].Node != "b" {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+	if snap[0].Suspected || !snap[1].Suspected {
+		t.Fatalf("snapshot suspicion wrong: %+v", snap)
+	}
+	if snap[1].Fails != 1 {
+		t.Fatalf("snapshot fails = %d, want 1", snap[1].Fails)
+	}
+}

@@ -1,0 +1,311 @@
+// Package topology implements shard placement and failure detection for
+// a multi-node WebFountain deployment: a consistent-hash ring with
+// virtual nodes and replica sets (placement), and a phi-accrual-style
+// suspicion detector over health-probe observations (liveness).
+//
+// The ring is a pure function of (member set, seed, virtual-node count,
+// replica factor, epoch): two routers given the same inputs compute
+// byte-identical placement, which is what lets a stateless wfrouter tier
+// scale out without a coordination service, and what makes ring-epoch
+// convergence assertable byte-for-byte in the chaos harness. Rings are
+// immutable; membership changes return a new ring with the epoch bumped,
+// and the router swaps the active ring atomically so every request sees
+// exactly one placement.
+package topology
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Config tunes ring construction. The zero value selects 64 virtual
+// nodes per member and a replica factor of 2.
+type Config struct {
+	// VNodes is the number of virtual nodes each member contributes to
+	// the ring (default 64). More virtual nodes smooth the ownership
+	// distribution; fewer make handoff ranges coarser.
+	VNodes int
+	// Replicas is the replica-set size R: every key lives on the R
+	// distinct members clockwise from its hash (default 2). Values above
+	// the member count clamp to the member count at placement time.
+	Replicas int
+	// Seed perturbs every hash on the ring, so two deployments with the
+	// same member names still get independent placements, and a chaos
+	// seed reproduces one exact placement.
+	Seed int64
+}
+
+func (c Config) normalized() Config {
+	if c.VNodes <= 0 {
+		c.VNodes = 64
+	}
+	if c.Replicas <= 0 {
+		c.Replicas = 2
+	}
+	return c
+}
+
+// point is one virtual node: a position on the hash circle owned by a
+// member.
+type point struct {
+	hash uint64
+	node string
+}
+
+// Ring is an immutable consistent-hash ring over a member set. All
+// methods are safe for concurrent use.
+type Ring struct {
+	cfg     Config
+	epoch   uint64
+	members []string // sorted
+	points  []point  // sorted by hash
+}
+
+// fnv64 constants (FNV-1a).
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// seededHash hashes s with the ring seed mixed into the FNV-1a state, so
+// placement is a deterministic function of (seed, s). The raw FNV value
+// is run through a murmur3-style finalizer: FNV alone has weak avalanche
+// in the high bits for inputs that differ only in a short suffix (like
+// "node#0".."node#63"), which would cluster all of a member's virtual
+// nodes in one arc of the circle and destroy the balance and
+// minimal-disruption properties the ring exists to provide.
+func seededHash(seed int64, s string) uint64 {
+	h := uint64(fnvOffset64)
+	var sb [8]byte
+	binary.LittleEndian.PutUint64(sb[:], uint64(seed))
+	for _, b := range sb {
+		h ^= uint64(b)
+		h *= fnvPrime64
+	}
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= fnvPrime64
+	}
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	h *= 0xc4ceb9fe1a85ec53
+	h ^= h >> 33
+	return h
+}
+
+// New builds the epoch-0 ring over the given members. Duplicate member
+// names collapse; order does not matter (members are sorted, and every
+// position is a pure hash).
+func New(members []string, cfg Config) *Ring {
+	cfg = cfg.normalized()
+	return build(dedupeSorted(members), cfg, 0)
+}
+
+func dedupeSorted(members []string) []string {
+	out := append([]string(nil), members...)
+	sort.Strings(out)
+	j := 0
+	for i, m := range out {
+		if m == "" || (i > 0 && m == out[j-1]) {
+			continue
+		}
+		out[j] = m
+		j++
+	}
+	return out[:j]
+}
+
+func build(members []string, cfg Config, epoch uint64) *Ring {
+	r := &Ring{cfg: cfg, epoch: epoch, members: members}
+	r.points = make([]point, 0, len(members)*cfg.VNodes)
+	for _, m := range members {
+		for v := 0; v < cfg.VNodes; v++ {
+			r.points = append(r.points, point{
+				hash: seededHash(cfg.Seed, fmt.Sprintf("node|%s#%d", m, v)),
+				node: m,
+			})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		return r.points[i].node < r.points[j].node // total order: hash collisions cannot flip placement
+	})
+	return r
+}
+
+// Epoch is the ring's generation number; every membership change (and
+// every rejoin acknowledgement) bumps it by one.
+func (r *Ring) Epoch() uint64 { return r.epoch }
+
+// Members returns the member names, sorted. The caller must not mutate
+// the returned slice.
+func (r *Ring) Members() []string { return r.members }
+
+// NumMembers returns the member count.
+func (r *Ring) NumMembers() int { return len(r.members) }
+
+// Replicas is the configured replica-set size R.
+func (r *Ring) Replicas() int { return r.cfg.Replicas }
+
+// Seed is the placement seed the ring was built with.
+func (r *Ring) Seed() int64 { return r.cfg.Seed }
+
+// Has reports whether node is a ring member.
+func (r *Ring) Has(node string) bool {
+	i := sort.SearchStrings(r.members, node)
+	return i < len(r.members) && r.members[i] == node
+}
+
+// successor returns the index of the first point at or after hash,
+// wrapping to 0 past the end.
+func (r *Ring) successor(hash uint64) int {
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= hash })
+	if i == len(r.points) {
+		return 0
+	}
+	return i
+}
+
+// ReplicaSet returns the R distinct members that own key, primary first,
+// walking clockwise from the key's hash. With fewer than R members every
+// member owns every key. The result is freshly allocated.
+func (r *Ring) ReplicaSet(key string) []string {
+	if len(r.points) == 0 {
+		return nil
+	}
+	want := r.cfg.Replicas
+	if want > len(r.members) {
+		want = len(r.members)
+	}
+	set := make([]string, 0, want)
+	start := r.successor(seededHash(r.cfg.Seed, "key|"+key))
+	for i := 0; i < len(r.points) && len(set) < want; i++ {
+		n := r.points[(start+i)%len(r.points)].node
+		if !contains(set, n) {
+			set = append(set, n)
+		}
+	}
+	return set
+}
+
+func contains(set []string, n string) bool {
+	for _, s := range set {
+		if s == n {
+			return true
+		}
+	}
+	return false
+}
+
+// Primary returns the key's primary owner ("" on an empty ring).
+func (r *Ring) Primary(key string) string {
+	if len(r.points) == 0 {
+		return ""
+	}
+	return r.points[r.successor(seededHash(r.cfg.Seed, "key|"+key))].node
+}
+
+// Owns reports whether node is in key's replica set.
+func (r *Ring) Owns(node, key string) bool {
+	return contains(r.ReplicaSet(key), node)
+}
+
+// WithNode returns a new ring with node added and the epoch bumped. If
+// node is already a member the receiver is returned unchanged (no epoch
+// bump) — an aborted or repeated join must not advance the epoch, or
+// per-seed convergence would depend on how many attempts it took.
+func (r *Ring) WithNode(node string) *Ring {
+	if node == "" || r.Has(node) {
+		return r
+	}
+	return build(dedupeSorted(append(append([]string(nil), r.members...), node)), r.cfg, r.epoch+1)
+}
+
+// WithoutNode returns a new ring with node removed and the epoch bumped,
+// or the receiver unchanged when node is not a member.
+func (r *Ring) WithoutNode(node string) *Ring {
+	if !r.Has(node) {
+		return r
+	}
+	members := make([]string, 0, len(r.members)-1)
+	for _, m := range r.members {
+		if m != node {
+			members = append(members, m)
+		}
+	}
+	return build(members, r.cfg, r.epoch+1)
+}
+
+// NextEpoch returns a ring with identical membership and placement but
+// the epoch bumped — the acknowledgement a recovered node's catch-up
+// completed and readers may treat it as a full replica again.
+func (r *Ring) NextEpoch() *Ring {
+	cp := *r
+	cp.epoch++
+	return &cp
+}
+
+// RoleCounts reports how many virtual-node ranges the node serves as
+// primary and as a non-primary replica — the per-shard role summary the
+// health service exposes. Both are zero for a non-member.
+func (r *Ring) RoleCounts(node string) (primaries, replicas int) {
+	if len(r.points) == 0 {
+		return 0, 0
+	}
+	want := r.cfg.Replicas
+	if want > len(r.members) {
+		want = len(r.members)
+	}
+	for i := range r.points {
+		// The range ending at point i is owned by the distinct nodes
+		// starting at point i: its primary is points[i].node, its replicas
+		// the next distinct nodes clockwise.
+		if r.points[i].node == node {
+			primaries++
+			continue
+		}
+		seen := []string{r.points[i].node}
+		for j := 1; j < len(r.points) && len(seen) < want; j++ {
+			n := r.points[(i+j)%len(r.points)].node
+			if contains(seen, n) {
+				continue
+			}
+			if n == node {
+				replicas++
+				break
+			}
+			seen = append(seen, n)
+		}
+	}
+	return primaries, replicas
+}
+
+// Digest returns a hex SHA-256 over the ring's canonical serialization:
+// epoch, config, members and every point in order. Two routers (or two
+// chaos runs of one seed) that converged to the same ring produce
+// byte-identical digests.
+func (r *Ring) Digest() string {
+	h := sha256.New()
+	fmt.Fprintf(h, "epoch=%d seed=%d vnodes=%d replicas=%d\n", r.epoch, r.cfg.Seed, r.cfg.VNodes, r.cfg.Replicas)
+	fmt.Fprintf(h, "members=%s\n", strings.Join(r.members, ","))
+	var pb [8]byte
+	for _, p := range r.points {
+		binary.LittleEndian.PutUint64(pb[:], p.hash)
+		h.Write(pb[:])
+		h.Write([]byte(p.node))
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// String renders the ring compactly.
+func (r *Ring) String() string {
+	return fmt.Sprintf("ring(epoch=%d, %d members, R=%d, %d vnodes/member, seed=%d)",
+		r.epoch, len(r.members), r.cfg.Replicas, r.cfg.VNodes, r.cfg.Seed)
+}

@@ -1,0 +1,164 @@
+package topology
+
+import (
+	"fmt"
+	"testing"
+)
+
+func ringKeys(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("doc-%06d", i)
+	}
+	return keys
+}
+
+func TestRingDeterministicPlacement(t *testing.T) {
+	members := []string{"node-b", "node-a", "node-c"}
+	a := New(members, Config{Seed: 42})
+	b := New([]string{"node-c", "node-a", "node-b"}, Config{Seed: 42}) // order must not matter
+	if a.Digest() != b.Digest() {
+		t.Fatalf("same members+seed produced different digests:\n%s\n%s", a.Digest(), b.Digest())
+	}
+	for _, k := range ringKeys(200) {
+		sa, sb := a.ReplicaSet(k), b.ReplicaSet(k)
+		if len(sa) != len(sb) {
+			t.Fatalf("replica set size mismatch for %q", k)
+		}
+		for i := range sa {
+			if sa[i] != sb[i] {
+				t.Fatalf("placement mismatch for %q: %v vs %v", k, sa, sb)
+			}
+		}
+	}
+	if c := New(members, Config{Seed: 43}); c.Digest() == a.Digest() {
+		t.Fatal("different seeds produced identical digests")
+	}
+}
+
+func TestRingReplicaSetProperties(t *testing.T) {
+	r := New([]string{"n1", "n2", "n3", "n4"}, Config{Seed: 7, Replicas: 3})
+	for _, k := range ringKeys(500) {
+		set := r.ReplicaSet(k)
+		if len(set) != 3 {
+			t.Fatalf("want 3 replicas for %q, got %v", k, set)
+		}
+		seen := map[string]bool{}
+		for _, n := range set {
+			if seen[n] {
+				t.Fatalf("duplicate node in replica set for %q: %v", k, set)
+			}
+			seen[n] = true
+		}
+		if set[0] != r.Primary(k) {
+			t.Fatalf("replica set head %q != primary %q for key %q", set[0], r.Primary(k), k)
+		}
+		if !r.Owns(set[1], k) || r.Owns("n-absent", k) {
+			t.Fatalf("Owns inconsistent with ReplicaSet for %q", k)
+		}
+	}
+}
+
+func TestRingReplicasClampToMembers(t *testing.T) {
+	r := New([]string{"only"}, Config{Seed: 1, Replicas: 3})
+	if set := r.ReplicaSet("k"); len(set) != 1 || set[0] != "only" {
+		t.Fatalf("single-member ring should place everything on it, got %v", set)
+	}
+}
+
+func TestRingMembershipChangesBumpEpoch(t *testing.T) {
+	r := New([]string{"n1", "n2"}, Config{Seed: 11})
+	if r.Epoch() != 0 {
+		t.Fatalf("fresh ring epoch = %d, want 0", r.Epoch())
+	}
+	r2 := r.WithNode("n3")
+	if r2.Epoch() != 1 || !r2.Has("n3") {
+		t.Fatalf("WithNode: epoch=%d has=%v", r2.Epoch(), r2.Has("n3"))
+	}
+	// Re-adding an existing member must not bump the epoch: repeated or
+	// aborted join attempts would otherwise make convergence depend on
+	// attempt count.
+	if r3 := r2.WithNode("n3"); r3 != r2 {
+		t.Fatal("re-adding a member must be a no-op")
+	}
+	if r.WithoutNode("absent") != r {
+		t.Fatal("removing a non-member must be a no-op")
+	}
+	r4 := r2.WithoutNode("n1")
+	if r4.Epoch() != 2 || r4.Has("n1") {
+		t.Fatalf("WithoutNode: epoch=%d has=%v", r4.Epoch(), r4.Has("n1"))
+	}
+	r5 := r4.NextEpoch()
+	if r5.Epoch() != 3 || r5.NumMembers() != r4.NumMembers() {
+		t.Fatalf("NextEpoch: epoch=%d members=%d", r5.Epoch(), r5.NumMembers())
+	}
+	if r5.Digest() == r4.Digest() {
+		t.Fatal("epoch bump must change the digest")
+	}
+}
+
+func TestRingMinimalDisruption(t *testing.T) {
+	// Consistent hashing's point: adding a node moves only the keys the
+	// new node takes over; placements among surviving nodes stay put.
+	r := New([]string{"n1", "n2", "n3"}, Config{Seed: 42, Replicas: 2})
+	grown := r.WithNode("n4")
+	moved := 0
+	keys := ringKeys(1000)
+	for _, k := range keys {
+		before, after := r.Primary(k), grown.Primary(k)
+		if before != after {
+			moved++
+			if after != "n4" {
+				t.Fatalf("key %q moved %s→%s, not to the new node", k, before, after)
+			}
+		}
+	}
+	if moved == 0 || moved > len(keys)/2 {
+		t.Fatalf("adding 1 of 4 nodes moved %d/%d primaries (want ~1/4, nonzero)", moved, len(keys))
+	}
+}
+
+func TestRingBalance(t *testing.T) {
+	nodes := []string{"n1", "n2", "n3"}
+	r := New(nodes, Config{Seed: 42, VNodes: 64})
+	counts := map[string]int{}
+	keys := ringKeys(3000)
+	for _, k := range keys {
+		counts[r.Primary(k)]++
+	}
+	for _, n := range nodes {
+		share := float64(counts[n]) / float64(len(keys))
+		if share < 0.15 || share > 0.55 {
+			t.Fatalf("node %s owns %.0f%% of keys; virtual nodes are not balancing (%v)", n, share*100, counts)
+		}
+	}
+}
+
+func TestRingRoleCounts(t *testing.T) {
+	nodes := []string{"n1", "n2", "n3"}
+	r := New(nodes, Config{Seed: 42, VNodes: 16, Replicas: 2})
+	totalPrim := 0
+	for _, n := range nodes {
+		p, rep := r.RoleCounts(n)
+		if p == 0 || rep == 0 {
+			t.Fatalf("node %s: primaries=%d replicas=%d; every member should hold both roles", n, p, rep)
+		}
+		totalPrim += p
+	}
+	if want := len(nodes) * 16; totalPrim != want {
+		t.Fatalf("total primary ranges %d != total vnodes %d", totalPrim, want)
+	}
+	if p, rep := r.RoleCounts("absent"); p != 0 || rep != 0 {
+		t.Fatalf("non-member has roles: %d/%d", p, rep)
+	}
+}
+
+func TestRingEmptyAndSingle(t *testing.T) {
+	empty := New(nil, Config{})
+	if empty.Primary("k") != "" || empty.ReplicaSet("k") != nil {
+		t.Fatal("empty ring must place nothing")
+	}
+	if d := empty.Digest(); d == "" {
+		t.Fatal("empty ring still digests")
+	}
+}
