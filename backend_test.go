@@ -2,6 +2,7 @@ package webfountain
 
 import (
 	"fmt"
+	"sync"
 	"testing"
 )
 
@@ -220,5 +221,58 @@ func TestDistributedAddNodeRebalances(t *testing.T) {
 	}
 	if n := dp.NumEntities(); n != 50 {
 		t.Fatalf("NumEntities after join = %d, want 50", n)
+	}
+}
+
+// TestDistributedMembershipConcurrentWithReads: AddNode rebuilds the
+// node map while health checks and invariant probes read it — the
+// exact overlap online handoff creates. Run under -race this pins the
+// membership maps' synchronization.
+func TestDistributedMembershipConcurrentWithReads(t *testing.T) {
+	dp, err := NewDistributedPlatform(DistributedConfig{Nodes: 3, Replicas: 2, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dp.Close()
+	docs := make([]Document, 40)
+	for i := range docs {
+		docs[i] = Document{Text: fmt.Sprintf("pre-join doc %d", i)}
+	}
+	ids, err := dp.Ingest(docs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 3; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				for _, n := range dp.NodeNames() {
+					dp.NodeHas(n, ids[0])
+					dp.NodeEntityCount(n)
+				}
+				dp.Degraded()
+				dp.Entity(ids[len(ids)-1])
+			}
+		}()
+	}
+	if err := dp.AddNode("node-4"); err != nil {
+		t.Fatal(err)
+	}
+	close(stop)
+	wg.Wait()
+	names := dp.NodeNames()
+	if names[len(names)-1] != "node-4" {
+		t.Fatalf("node-4 missing from %v", names)
+	}
+	if n, ok := dp.NodeEntityCount("node-4"); !ok || n == 0 {
+		t.Fatalf("joined node holds %d entities (ok=%v)", n, ok)
 	}
 }

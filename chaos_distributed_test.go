@@ -113,9 +113,10 @@ func newDistChaos(t *testing.T, plan faults.ClusterPlan) *distChaos {
 // under a dead node), but this harness asserts the stronger guarantee
 // — so, like a real client that needs it, it retries the idempotent
 // ingest until each reachable member of the replica set holds the
-// document. That discipline is also what keeps catch-up's tombstone
-// rule sound: a sole copy can then only exist on a node that was down,
-// never on a healthy one that happened to drop a replica write.
+// document. That discipline also keeps the holder-set invariant exact:
+// catch-up conservatively keeps (and re-replicates) sole copies with
+// no tombstone evidence, so a half-replicated write would still
+// converge — but to a holder set the placement check could not predict.
 func (dc *distChaos) write(t *testing.T, id, text string) {
 	t.Helper()
 	doc := Document{ID: id, Source: "chaos", Text: text}

@@ -3,6 +3,7 @@ package webfountain
 import (
 	"fmt"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -77,9 +78,15 @@ type distNode struct {
 type DistributedPlatform struct {
 	cfg    DistributedConfig
 	r      *router.Router
-	nodes  map[string]*distNode
-	names  []string
 	nextID atomic.Int64
+
+	// surgery serializes membership operations (AddNode, RetryJoin); mu
+	// guards nodes/names so health checks and invariant probes can read
+	// them while a handoff is rebuilding the map.
+	surgery sync.Mutex
+	mu      sync.RWMutex
+	nodes   map[string]*distNode
+	names   []string
 }
 
 // NewDistributedPlatform assembles nodes and router. Node names are
@@ -166,13 +173,22 @@ func (dp *DistributedPlatform) Router() *router.Router { return dp.r }
 
 // NodeNames lists the storage nodes in creation order.
 func (dp *DistributedPlatform) NodeNames() []string {
+	dp.mu.RLock()
+	defer dp.mu.RUnlock()
 	return append([]string(nil), dp.names...)
+}
+
+func (dp *DistributedPlatform) node(name string) (*distNode, bool) {
+	dp.mu.RLock()
+	defer dp.mu.RUnlock()
+	n, ok := dp.nodes[name]
+	return n, ok
 }
 
 // NodeEntityCount reports how many entities a node physically holds —
 // the replica-level view invariant checks need (NumEntities dedupes).
 func (dp *DistributedPlatform) NodeEntityCount(name string) (int, bool) {
-	n, ok := dp.nodes[name]
+	n, ok := dp.node(name)
 	if !ok {
 		return 0, false
 	}
@@ -181,7 +197,7 @@ func (dp *DistributedPlatform) NodeEntityCount(name string) (int, bool) {
 
 // NodeHas reports whether a node physically holds an entity.
 func (dp *DistributedPlatform) NodeHas(name, id string) bool {
-	n, ok := dp.nodes[name]
+	n, ok := dp.node(name)
 	if !ok {
 		return false
 	}
@@ -193,7 +209,9 @@ func (dp *DistributedPlatform) NodeHas(name, id string) bool {
 // the online-handoff path. The router dual-writes during catch-up and
 // bumps the ring epoch only once the node holds everything it owns.
 func (dp *DistributedPlatform) AddNode(name string) error {
-	if _, exists := dp.nodes[name]; exists {
+	dp.surgery.Lock()
+	defer dp.surgery.Unlock()
+	if _, exists := dp.node(name); exists {
 		return fmt.Errorf("webfountain: node %s already exists", name)
 	}
 	n, err := dp.buildNode(name)
@@ -203,15 +221,19 @@ func (dp *DistributedPlatform) AddNode(name string) error {
 	if err := dp.r.Join(name, n.c); err != nil {
 		return err
 	}
+	dp.mu.Lock()
 	dp.nodes[name] = n
 	dp.names = append(dp.names, name)
+	dp.mu.Unlock()
 	return nil
 }
 
 // RetryJoin retries a previously-failed AddNode for a node whose
 // process is still around (the aborted join kept the node's store).
 func (dp *DistributedPlatform) RetryJoin(name string) error {
-	n, ok := dp.nodes[name]
+	dp.surgery.Lock()
+	defer dp.surgery.Unlock()
+	n, ok := dp.node(name)
 	if !ok {
 		return fmt.Errorf("webfountain: node %s unknown", name)
 	}
@@ -299,8 +321,8 @@ func (dp *DistributedPlatform) Degraded() (bool, string) {
 	if suspects := dp.r.Suspects(); len(suspects) > 0 {
 		return true, "suspected nodes: " + strings.Join(suspects, ", ")
 	}
-	for _, name := range dp.names {
-		if n, ok := dp.nodes[name]; ok {
+	for _, name := range dp.NodeNames() {
+		if n, ok := dp.node(name); ok {
 			if deg, reason := n.st.Degraded(); deg {
 				return true, name + ": " + reason
 			}
@@ -312,8 +334,8 @@ func (dp *DistributedPlatform) Degraded() (bool, string) {
 // Close stops the router and releases every node store.
 func (dp *DistributedPlatform) Close() error {
 	err := dp.r.Close()
-	for _, name := range dp.names {
-		if n, ok := dp.nodes[name]; ok {
+	for _, name := range dp.NodeNames() {
+		if n, ok := dp.node(name); ok {
 			if cerr := n.st.Close(); err == nil {
 				err = cerr
 			}

@@ -44,18 +44,23 @@ func (r *Router) Join(name string, c vinci.Client) error {
 	r.nmu.Unlock()
 	target := active.WithNode(name)
 	r.pending.Store(target)
-	err := r.catchUp(target, []string{name})
-	r.pending.Store(nil)
-	if err != nil {
+	if err := r.catchUp(target, []string{name}); err != nil {
 		// Abort: the node never became a read target and the epoch never
 		// moved; remove the handle so placement math doesn't see a ghost.
+		r.pending.Store(nil)
 		r.nmu.Lock()
 		delete(r.nodes, name)
 		r.nmu.Unlock()
 		r.det.Forget(name)
 		return fmt.Errorf("router: join %s aborted: %w", name, err)
 	}
+	// Publish the new ring BEFORE retiring the pending one: a concurrent
+	// Put resolving its write set in between sees (old ring + pending) or
+	// (new ring + pending) — both cover the new owners. Clearing pending
+	// first would open a window where writes resolve from the old ring
+	// alone and never reach the node that just finished catch-up.
 	r.ring.Store(target)
+	r.pending.Store(nil)
 	return nil
 }
 
@@ -76,12 +81,15 @@ func (r *Router) Drain(name string) error {
 	}
 	target := active.WithoutNode(name)
 	r.pending.Store(target)
-	err := r.catchUp(target, target.Members())
-	r.pending.Store(nil)
-	if err != nil {
+	if err := r.catchUp(target, target.Members()); err != nil {
+		r.pending.Store(nil)
 		return fmt.Errorf("router: drain %s aborted: %w", name, err)
 	}
+	// Same publish order as Join: new ring first, then retire pending, so
+	// no concurrent write ever resolves from the old ring alone and skips
+	// the owners that inherit the drained node's ranges.
 	r.ring.Store(target)
+	r.pending.Store(nil)
 	r.nmu.Lock()
 	delete(r.nodes, name)
 	r.nmu.Unlock()
@@ -110,16 +118,22 @@ func (r *Router) Rejoin(name string) error {
 
 // catchUp brings each node in fill up to its obligations under the
 // target ring: every entity the ring assigns it that it does not hold
-// is shipped from a live current holder, and every entity it holds in
-// an owned range that no live holder still has is deleted (it was
-// deleted cluster-wide while the node was down — with acked writes on
-// at least one live replica, a sole stale copy can only be a tombstoned
-// one). Shipping is batched per source node and iterated in sorted
-// order, so a given cluster state produces one deterministic transfer.
+// is shipped from a live current holder. An entity it holds that no
+// live holder still has is reconciled against real tombstones: if a
+// censused peer recorded the delete, the copy is removed (it was
+// deleted cluster-wide while the node was down); with no delete
+// evidence the copy is conservatively kept — it may be the sole
+// survivor of an acked write — and re-replicated to the entity's other
+// live owners so it regains R copies. Shipping is batched per source
+// node and iterated in sorted order, so a given cluster state produces
+// one deterministic transfer.
 func (r *Router) catchUp(target *topology.Ring, fill []string) error {
-	// Holdings census. A fill node must answer (we cannot diff against a
-	// node we cannot reach); other nodes are best-effort sources.
+	// Holdings + tombstone census. A fill node must answer (we cannot
+	// diff against a node we cannot reach); other nodes are best-effort
+	// sources, and a peer that cannot report tombstones just contributes
+	// none, which only makes reconciliation more conservative.
 	holdings := map[string]map[string]bool{}
+	tombs := map[string]map[string]bool{}
 	for _, n := range r.snapshotNodes() {
 		ids, err := services.ReplicaClient{C: n.c}.IDs()
 		if err != nil {
@@ -133,6 +147,13 @@ func (r *Router) catchUp(target *topology.Ring, fill []string) error {
 			set[id] = true
 		}
 		holdings[n.name] = set
+		if tids, terr := (services.ReplicaClient{C: n.c}).Tombstones(); terr == nil {
+			tset := make(map[string]bool, len(tids))
+			for _, id := range tids {
+				tset[id] = true
+			}
+			tombs[n.name] = tset
+		}
 	}
 	all := map[string]bool{}
 	for _, set := range holdings {
@@ -154,17 +175,23 @@ func (r *Router) catchUp(target *topology.Ring, fill []string) error {
 		have := holdings[f]
 		// Missing entities, grouped by the source that will ship them.
 		bySource := map[string][]string{}
-		var extras []string
+		var extras, soleCopies []string
 		for _, id := range allSorted {
 			if !target.Owns(f, id) {
 				continue
 			}
 			if have[id] {
-				// Held — but only legitimately if some live peer still has
-				// it; a copy nobody else holds is a tombstone (deleted while
-				// this node was down).
-				if !heldElsewhere(holdings, f, id) {
+				if heldElsewhere(holdings, f, id) {
+					continue
+				}
+				// Nobody else holds it. A peer's tombstone is proof it was
+				// deleted cluster-wide while this node was down; absent that
+				// evidence the copy may be the only survivor of an acked
+				// write, so it is kept and re-replicated below.
+				if tombstonedElsewhere(tombs, f, id) {
 					extras = append(extras, id)
+				} else {
+					soleCopies = append(soleCopies, id)
 				}
 				continue
 			}
@@ -197,8 +224,54 @@ func (r *Router) catchUp(target *topology.Ring, fill []string) error {
 				return fmt.Errorf("reconcile tombstone %s on %s: %w", id, f, err)
 			}
 		}
+		// Restore the replication factor of kept sole copies: ship each
+		// one from its holder to the entity's other censused owners.
+		spread := map[string][]string{}
+		for _, id := range soleCopies {
+			for _, owner := range target.ReplicaSet(id) {
+				if owner == f {
+					continue
+				}
+				if _, censused := holdings[owner]; !censused {
+					continue // unreachable; it catches up on its own rejoin
+				}
+				spread[owner] = append(spread[owner], id)
+			}
+		}
+		dests := make([]string, 0, len(spread))
+		for d := range spread {
+			dests = append(dests, d)
+		}
+		sort.Strings(dests)
+		for _, dst := range dests {
+			dnode, ok := r.lookup(dst)
+			if !ok {
+				return fmt.Errorf("re-replication target %s: no handle", dst)
+			}
+			frames, err := services.ReplicaClient{C: fnode.c}.Ship(spread[dst])
+			if err != nil {
+				return fmt.Errorf("ship sole copies from %s: %w", f, err)
+			}
+			if _, err := (services.ReplicaClient{C: dnode.c}).Apply(frames); err != nil {
+				return fmt.Errorf("apply sole copies to %s: %w", dst, err)
+			}
+			for _, id := range spread[dst] {
+				holdings[dst][id] = true
+			}
+		}
 	}
 	return nil
+}
+
+// tombstonedElsewhere reports whether any censused node besides f
+// retains a tombstone for id.
+func tombstonedElsewhere(tombs map[string]map[string]bool, f, id string) bool {
+	for name, set := range tombs {
+		if name != f && set[id] {
+			return true
+		}
+	}
+	return false
 }
 
 // heldElsewhere reports whether any censused node besides f holds id.

@@ -89,6 +89,13 @@ type Router struct {
 	nmu   sync.RWMutex
 	nodes map[string]*node
 
+	// seq stamps Entity.Version on every Put, making writes of one ID
+	// totally ordered so replication catch-up can refuse to roll a newer
+	// copy back to an older shipped frame. The counter is router-local:
+	// a deployment running several routers concurrently would need a
+	// shared sequence (or per-key vector) for the same guarantee.
+	seq atomic.Uint64
+
 	stop chan struct{}
 	wg   sync.WaitGroup
 }
@@ -293,6 +300,7 @@ func (r *Router) Put(e *store.Entity) error {
 	if len(targets) == 0 {
 		return fmt.Errorf("router: put %s: no nodes", e.ID)
 	}
+	e.Version = r.seq.Add(1)
 	acks := 0
 	var lastErr error
 	for _, n := range targets {

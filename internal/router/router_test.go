@@ -438,3 +438,46 @@ func TestRouterTopologyInfoFor(t *testing.T) {
 		t.Fatalf("role = %s", ti.Role())
 	}
 }
+
+// TestRouterRejoinKeepsSoleCopy: a write that acked on exactly one
+// replica (the peer dropped it) and then rode that node through a
+// crash must survive reconciliation — with no tombstone on any live
+// peer there is no delete evidence, so catch-up keeps the sole copy
+// and re-replicates it to the entity's other owners.
+func TestRouterRejoinKeepsSoleCopy(t *testing.T) {
+	c := newCluster(t, []string{"n1", "n2", "n3"}, Options{Replicas: 2, Seed: 11})
+	c.put(t, 20)
+	victim := "n3"
+	var id string
+	for i := 1000; id == ""; i++ {
+		if cand := testEntity(i).ID; c.r.Ring().Owns(victim, cand) {
+			id = cand
+		}
+	}
+	// The acked-on-one write: only the victim holds it, nobody holds a
+	// tombstone for it.
+	if err := c.nodes[victim].st.Put(&store.Entity{ID: id, Text: "sole survivor", Version: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.r.Rejoin(victim); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.nodes[victim].st.Get(id); !ok {
+		t.Fatalf("reconciliation destroyed the sole copy of %s", id)
+	}
+	// Re-replication restored R copies on the entity's replica set.
+	holders := c.holders(id)
+	if len(holders) != 2 {
+		t.Fatalf("%s held by %v after rejoin, want full R=2", id, holders)
+	}
+	want := c.r.Ring().ReplicaSet(id)
+	for _, h := range holders {
+		if !containsStr(want, h) {
+			t.Fatalf("%s re-replicated to %s, outside replica set %v", id, h, want)
+		}
+	}
+	e, err := c.r.Get(id)
+	if err != nil || e.Text != "sole survivor" {
+		t.Fatalf("get %s after rejoin: %+v %v", id, e, err)
+	}
+}

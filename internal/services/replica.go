@@ -21,6 +21,8 @@ const ReplicaService = "replica"
 // RegisterReplica exposes handoff ops on a node's store:
 //
 //	ids   — every entity ID the node holds (the diff base for catch-up)
+//	tombs — retained tombstones: IDs deleted on this node, so catch-up
+//	        can tell "deleted while you were down" from "sole copy"
 //	ship  — a WAL-frame batch for the requested IDs (or everything)
 //	apply — install a shipped batch through the normal mutation path
 //
@@ -32,6 +34,8 @@ func RegisterReplica(reg *vinci.Registry, st *store.Store, hooks StoreHooks) {
 		switch req.Op {
 		case "ids":
 			return vinci.OKResponse(map[string]string{"ids": strings.Join(st.IDs(), " ")})
+		case "tombs":
+			return vinci.OKResponse(map[string]string{"ids": strings.Join(st.Tombstones(), " ")})
 		case "ship":
 			var batch []byte
 			var err error
@@ -80,6 +84,21 @@ type ReplicaClient struct{ C vinci.Client }
 // IDs lists every entity ID the node holds, sorted.
 func (rc ReplicaClient) IDs() ([]string, error) {
 	resp, err := rc.C.Call(vinci.Request{Service: ReplicaService, Op: "ids"})
+	if err != nil {
+		return nil, err
+	}
+	if !resp.OK {
+		return nil, fmt.Errorf("%s", resp.Error)
+	}
+	if resp.Fields["ids"] == "" {
+		return nil, nil
+	}
+	return strings.Fields(resp.Fields["ids"]), nil
+}
+
+// Tombstones lists the node's retained deleted IDs, sorted.
+func (rc ReplicaClient) Tombstones() ([]string, error) {
+	resp, err := rc.C.Call(vinci.Request{Service: ReplicaService, Op: "tombs"})
 	if err != nil {
 		return nil, err
 	}

@@ -175,3 +175,18 @@ func TestTopologyInfoRole(t *testing.T) {
 		t.Fatal("replica-only info should be replica")
 	}
 }
+
+func TestReplicaTombstonesOp(t *testing.T) {
+	st, rc := replicaFixture(t, 3)
+	tids, err := rc.Tombstones()
+	if err != nil || len(tids) != 0 {
+		t.Fatalf("tombs=%v err=%v, want none before any delete", tids, err)
+	}
+	if err := st.Delete("doc-000001"); err != nil {
+		t.Fatal(err)
+	}
+	tids, err = rc.Tombstones()
+	if err != nil || len(tids) != 1 || tids[0] != "doc-000001" {
+		t.Fatalf("tombs=%v err=%v, want [doc-000001]", tids, err)
+	}
+}

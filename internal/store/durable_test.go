@@ -757,3 +757,30 @@ func TestOpenEmptyDir(t *testing.T) {
 		t.Fatalf("stats = %+v", ds)
 	}
 }
+
+func TestDurableStoreRecoversTombstones(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(&Entity{ID: "doc-01", Text: "body"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Delete("doc-01"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// WAL replay re-runs the delete, so the tombstone survives a restart
+	// (until a compaction drops the delete record from the log).
+	s2, err := Open(dir, Options{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if !s2.HasTombstone("doc-01") {
+		t.Fatal("tombstone lost across restart")
+	}
+}

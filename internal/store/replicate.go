@@ -46,10 +46,12 @@ func AppendPutFrame(buf []byte, e *Entity) ([]byte, error) {
 
 // ApplyFrames decodes every WAL frame in data and applies it to the
 // store through the normal mutation path (Put/Delete — WAL-logged again
-// on a durable store). It returns the number of frames applied. On a
-// checksum or framing failure it stops and returns ErrCorruptFrame
-// (wrapped); frames before the corruption remain applied, so a retried
-// batch converges (puts and deletes are idempotent).
+// on a durable store). It returns the number of frames consumed; a put
+// frame older than the locally-held copy (Entity.Version) is skipped
+// rather than installed, but still counts. On a checksum or framing
+// failure it stops and returns ErrCorruptFrame (wrapped); frames before
+// the corruption remain applied, so a retried batch converges (puts and
+// deletes are idempotent).
 func ApplyFrames(s *Store, data []byte) (applied int, err error) {
 	return ApplyFramesObserved(s, data, nil)
 }
@@ -69,6 +71,16 @@ func ApplyFramesObserved(s *Store, data []byte, observe func(id string, e *Entit
 			e, perr := ParseEntity(body)
 			if perr != nil {
 				return applied, fmt.Errorf("%w: frame %d: %v", ErrCorruptFrame, applied, perr)
+			}
+			// Version fence: a frame is a point-in-time read of the source,
+			// and a dual-written update may have landed here after the frame
+			// was shipped. Installing the older frame would roll the newer
+			// copy back, so it is skipped (still counted — the batch
+			// converged for this ID).
+			if cur, ok := s.Get(e.ID); ok && cur.Version > e.Version {
+				applied++
+				data = data[n:]
+				continue
 			}
 			if perr := s.Put(e); perr != nil {
 				return applied, fmt.Errorf("store: apply replication frame %d: %w", applied, perr)

@@ -174,3 +174,43 @@ func TestReplicationIntoDurableStoreRelogs(t *testing.T) {
 		t.Fatalf("after crash-recovery of caught-up node: len=%d, want 8", re.Len())
 	}
 }
+
+func TestReplicationApplySkipsStaleVersions(t *testing.T) {
+	src := New(2)
+	if err := src.Put(&Entity{ID: "doc-01", Text: "old body", Version: 3}); err != nil {
+		t.Fatal(err)
+	}
+	frames, err := src.SnapshotFrames(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The receiver already holds a newer copy (a dual-write that landed
+	// after the frame was shipped); applying must not roll it back.
+	dst := New(2)
+	if err := dst.Put(&Entity{ID: "doc-01", Text: "new body", Version: 5}); err != nil {
+		t.Fatal(err)
+	}
+	applied, err := ApplyFrames(dst, frames)
+	if err != nil || applied != 1 {
+		t.Fatalf("applied=%d err=%v, want the stale frame consumed cleanly", applied, err)
+	}
+	e, ok := dst.Get("doc-01")
+	if !ok || e.Text != "new body" || e.Version != 5 {
+		t.Fatalf("stale frame rolled the newer copy back: %+v", e)
+	}
+	// A genuinely newer frame still replaces.
+	src2 := New(2)
+	if err := src2.Put(&Entity{ID: "doc-01", Text: "newest body", Version: 6}); err != nil {
+		t.Fatal(err)
+	}
+	frames2, err := src2.SnapshotFrames(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ApplyFrames(dst, frames2); err != nil {
+		t.Fatal(err)
+	}
+	if e, _ := dst.Get("doc-01"); e.Text != "newest body" || e.Version != 6 {
+		t.Fatalf("newer frame not installed: %+v", e)
+	}
+}

@@ -62,6 +62,14 @@ type Entity struct {
 	// Links are the IDs of entities this one links to (the hyperlink
 	// graph the page-ranking miner consumes).
 	Links []string `xml:"links>link,omitempty"`
+	// Version orders replicated writes of one ID: the routing tier stamps
+	// every Put with a monotonically increasing sequence, and replication
+	// catch-up (ApplyFrames) discards frames older than the copy a node
+	// already holds, so a frame shipped before a dual-write landed cannot
+	// roll the newer copy back. Zero on entities that never passed
+	// through a router (single-process deployments), where arrival order
+	// is write order and no comparison is needed.
+	Version uint64 `xml:"version,attr,omitempty"`
 	// Annotations are miner outputs attached to the entity.
 	Annotations []Annotation `xml:"annotations>annotation,omitempty"`
 }
@@ -138,7 +146,32 @@ type Store struct {
 	shards []*shard
 	// dur is the durability state, nil for in-memory stores.
 	dur *durability
+
+	// Tombstones: every Delete records the ID so replication catch-up can
+	// distinguish "deleted cluster-wide while you were down" (a live peer
+	// holds the tombstone) from "you hold the only surviving copy of an
+	// acked write" (nobody does). Retention is a bounded FIFO
+	// (maxTombstones); on a durable store the WAL replays deletes through
+	// applyDelete, so tombstones younger than the last compaction survive
+	// a restart.
+	tmu       sync.Mutex
+	tombs     map[string]uint64 // id -> seq of its newest tombstone
+	tombSeq   uint64
+	tombOrder []tombEntry
 }
+
+// tombEntry is one FIFO slot in the tombstone retention queue. The seq
+// lets eviction skip slots that were superseded (the ID was re-deleted
+// after an intervening put, so a newer slot exists further back).
+type tombEntry struct {
+	id  string
+	seq uint64
+}
+
+// maxTombstones bounds per-store tombstone retention. Beyond it the
+// oldest tombstones are forgotten, after which catch-up treats the ID's
+// sole copies conservatively (kept, not deleted).
+const maxTombstones = 8192
 
 // New creates an in-memory store with the given number of shards
 // (minimum 1).
@@ -186,8 +219,9 @@ func (s *Store) Put(e *Entity) error {
 func (s *Store) applyPut(e *Entity) {
 	sh := s.shardFor(e.ID)
 	sh.mu.Lock()
-	defer sh.mu.Unlock()
 	sh.entities[e.ID] = e.Clone()
+	sh.mu.Unlock()
+	s.clearTombstone(e.ID)
 }
 
 // Get returns a copy of the entity with the given ID.
@@ -217,8 +251,61 @@ func (s *Store) Delete(id string) error {
 func (s *Store) applyDelete(id string) {
 	sh := s.shardFor(id)
 	sh.mu.Lock()
-	defer sh.mu.Unlock()
 	delete(sh.entities, id)
+	sh.mu.Unlock()
+	s.recordTombstone(id)
+}
+
+// recordTombstone remembers that id was deleted, evicting the oldest
+// tombstones past the retention cap. Deletes of never-held IDs still
+// record — a replica that missed the original put but received the
+// delete is exactly the evidence catch-up needs.
+func (s *Store) recordTombstone(id string) {
+	s.tmu.Lock()
+	defer s.tmu.Unlock()
+	if s.tombs == nil {
+		s.tombs = map[string]uint64{}
+	}
+	s.tombSeq++
+	s.tombs[id] = s.tombSeq
+	s.tombOrder = append(s.tombOrder, tombEntry{id: id, seq: s.tombSeq})
+	for len(s.tombOrder) > maxTombstones {
+		old := s.tombOrder[0]
+		s.tombOrder = s.tombOrder[1:]
+		// Only forget the ID if this slot is still its newest tombstone;
+		// a superseded slot (re-deleted later) must not evict the live one.
+		if s.tombs[old.id] == old.seq {
+			delete(s.tombs, old.id)
+		}
+	}
+}
+
+// clearTombstone withdraws a tombstone: the ID was re-created, so its
+// absence elsewhere no longer means "deleted".
+func (s *Store) clearTombstone(id string) {
+	s.tmu.Lock()
+	delete(s.tombs, id)
+	s.tmu.Unlock()
+}
+
+// Tombstones returns the retained deleted IDs, sorted.
+func (s *Store) Tombstones() []string {
+	s.tmu.Lock()
+	out := make([]string, 0, len(s.tombs))
+	for id := range s.tombs {
+		out = append(out, id)
+	}
+	s.tmu.Unlock()
+	sort.Strings(out)
+	return out
+}
+
+// HasTombstone reports whether a retained tombstone exists for id.
+func (s *Store) HasTombstone(id string) bool {
+	s.tmu.Lock()
+	defer s.tmu.Unlock()
+	_, ok := s.tombs[id]
+	return ok
 }
 
 // Annotate appends annotations to a stored entity — the miner write-back

@@ -110,8 +110,8 @@ func dedupeSorted(members []string) []string {
 	out := append([]string(nil), members...)
 	sort.Strings(out)
 	j := 0
-	for i, m := range out {
-		if m == "" || (i > 0 && m == out[j-1]) {
+	for _, m := range out {
+		if m == "" || (j > 0 && m == out[j-1]) {
 			continue
 		}
 		out[j] = m

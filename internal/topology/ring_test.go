@@ -162,3 +162,16 @@ func TestRingEmptyAndSingle(t *testing.T) {
 		t.Fatal("empty ring still digests")
 	}
 }
+
+func TestRingDedupeEmptyAndDuplicateMembers(t *testing.T) {
+	// A leading empty member must be dropped, not panic (regression: the
+	// dedupe guard once indexed out[-1] when the sorted input began with "").
+	r := New([]string{"", "node-a"}, Config{Seed: 1})
+	if got := r.Members(); len(got) != 1 || got[0] != "node-a" {
+		t.Fatalf("members = %v, want [node-a]", got)
+	}
+	r2 := New([]string{"node-a", "", "node-a", "node-b", ""}, Config{Seed: 1})
+	if got := r2.Members(); len(got) != 2 || got[0] != "node-a" || got[1] != "node-b" {
+		t.Fatalf("members = %v, want [node-a node-b]", got)
+	}
+}
