@@ -30,6 +30,7 @@ import (
 	"encoding/hex"
 	"fmt"
 	"os"
+	"runtime"
 	"sort"
 	"strings"
 	"sync/atomic"
@@ -77,7 +78,19 @@ type distChaos struct {
 	deleted map[string]bool   // acked deletes
 }
 
+// newDistChaos builds the availability-mode (W=1) harness the three
+// original archetypes run on: they keep writing while an owner is down
+// and drive replication to completion themselves (see write). The W=2
+// guarantees have their own archetypes in chaos_quorum_test.go, built
+// through newDistChaosQuorum.
 func newDistChaos(t *testing.T, plan faults.ClusterPlan) *distChaos {
+	t.Helper()
+	return newDistChaosQuorum(t, plan, 1, 1)
+}
+
+// newDistChaosQuorum builds the harness at an explicit consistency
+// level (W write quorum, R read quorum).
+func newDistChaosQuorum(t *testing.T, plan faults.ClusterPlan, w, r int) *distChaos {
 	t.Helper()
 	netCfg := plan.Net
 	netCfg.Seed = plan.Seed
@@ -89,9 +102,11 @@ func newDistChaos(t *testing.T, plan faults.ClusterPlan) *distChaos {
 		deleted: map[string]bool{},
 	}
 	dp, err := NewDistributedPlatform(DistributedConfig{
-		Nodes:    3,
-		Replicas: 2,
-		Seed:     plan.Seed,
+		Nodes:       3,
+		Replicas:    2,
+		Seed:        plan.Seed,
+		WriteQuorum: w,
+		ReadQuorum:  r,
 		WrapNodeClient: func(name string, c vinci.Client) vinci.Client {
 			g := faults.NewGate(name)
 			armed := &atomic.Int64{}
@@ -121,6 +136,10 @@ func (dc *distChaos) write(t *testing.T, id, text string) {
 	t.Helper()
 	doc := Document{ID: id, Source: "chaos", Text: text}
 	for attempt := 0; attempt < 200; attempt++ {
+		// Quorum writes ack before their stragglers land; on a single-P
+		// runtime a tight poll would starve those background goroutines
+		// forever, so every retry yields first.
+		runtime.Gosched()
 		if _, err := dc.dp.Ingest([]Document{doc}); err != nil {
 			continue
 		}
@@ -147,6 +166,7 @@ func (dc *distChaos) write(t *testing.T, id, text string) {
 func (dc *distChaos) read(t *testing.T, id string) Document {
 	t.Helper()
 	for attempt := 0; attempt < 200; attempt++ {
+		runtime.Gosched()
 		if d, ok := dc.dp.Entity(id); ok {
 			return d
 		}
@@ -166,6 +186,7 @@ func (dc *distChaos) read(t *testing.T, id string) Document {
 func (dc *distChaos) delete(t *testing.T, id string) {
 	t.Helper()
 	for attempt := 0; attempt < 200; attempt++ {
+		runtime.Gosched()
 		if err := dc.dp.Delete(id); err != nil {
 			continue
 		}
@@ -214,6 +235,7 @@ func (dc *distChaos) ownedBy(node string) []string {
 // consistent.
 func (dc *distChaos) checkConverged(t *testing.T, tag string) {
 	t.Helper()
+	dc.dp.Router().Quiesce()
 	ring := dc.dp.Router().Ring()
 	names := dc.dp.NodeNames()
 	for id, text := range dc.acked {
@@ -242,6 +264,7 @@ func (dc *distChaos) checkConverged(t *testing.T, tag string) {
 	want := len(dc.live())
 	got := -1
 	for attempt := 0; attempt < 200; attempt++ {
+		runtime.Gosched()
 		if got = dc.dp.NumEntities(); got == want {
 			return
 		}
@@ -253,6 +276,7 @@ func (dc *distChaos) checkConverged(t *testing.T, tag string) {
 // every acked id's fate and holder set. Two runs of one plan must
 // produce identical bytes.
 func (dc *distChaos) digest() (string, uint64) {
+	dc.dp.Router().Quiesce() // holder sets must be final before fingerprinting
 	ring := dc.dp.Router().Ring()
 	h := sha256.New()
 	fmt.Fprintf(h, "epoch=%d ring=%s\n", ring.Epoch(), ring.Digest())
@@ -323,6 +347,10 @@ func chaosInvariantLog(t *testing.T) func(format string, args ...any) {
 // node zero requests.
 func (dc *distChaos) failAndObserve(t *testing.T, plan faults.ClusterPlan, logf func(string, ...any), round int) {
 	t.Helper()
+	// Let every straggler finish (and report its success) before the
+	// fault, or late evidence from a pre-fault call could reset the
+	// victim's failure count after the probe observed it down.
+	dc.dp.Router().Quiesce()
 	gate := dc.gates[plan.Victim]
 	if plan.Archetype == faults.ArchetypePartition {
 		gate.Partition()
@@ -436,7 +464,9 @@ func runHandoffChaos(t *testing.T, plan faults.ClusterPlan, logf func(string, ..
 		plan.Seed, plan.Archetype, plan.Victim, owes)
 
 	// Allow one more call through (the catch-up census), then crash the
-	// victim — the shipment lands on a dead node and must abort.
+	// victim — the shipment lands on a dead node and must abort. Quiesce
+	// first so a queued straggler cannot burn the tripwire budget.
+	dc.dp.Router().Quiesce()
 	dc.trips[plan.Victim].Store(1)
 	r := dc.dp.Router()
 	before := r.Ring().Epoch()

@@ -1,0 +1,262 @@
+package webfountain
+
+// Out-of-process chaos smoke: the same no-acked-write-lost invariant
+// the in-process archetypes prove, driven against REAL wfnode and
+// wfrouter binaries with REAL signals. In-process gates simulate a
+// crash by refusing calls; SIGKILL does not flush buffers, does not
+// run deferred handlers, and kills the actual WAL mid-write — if the
+// invariant only held because the simulation was polite, this test is
+// where that shows up.
+//
+// The smoke is build-and-spawn heavy, so it runs only when CI (or a
+// developer) opts in with CHAOS_MULTIPROC=1:
+//
+//	CHAOS_MULTIPROC=1 go test -run TestChaosMultiprocessQuorum -v .
+//
+// Sequence: build the binaries, start 3 durable wfnodes and a W=2
+// wfrouter over them, ack a write batch through the router, SIGKILL
+// the primary of the first document, prove every acked write still
+// reads back (the W=2 ack forced a second copy), prove a write placed
+// on the dead node is refused rather than half-acked, restart the
+// victim from its WAL, rejoin it, and prove it again holds everything
+// it owns.
+
+import (
+	"fmt"
+	"net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"webfountain/internal/router"
+	"webfountain/internal/services"
+	"webfountain/internal/store"
+	"webfountain/internal/vinci"
+)
+
+// freePort asks the kernel for an unused port. The listener is closed
+// before the port is handed out, so a parallel process could steal it;
+// the smoke runs its processes sequentially, which keeps that window
+// harmless in practice.
+func freePort(t *testing.T) int {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	return ln.Addr().(*net.TCPAddr).Port
+}
+
+// proc is one spawned binary and the log file capturing its output.
+type proc struct {
+	cmd *exec.Cmd
+	log *os.File
+}
+
+func (p *proc) kill(sig syscall.Signal) {
+	if p.cmd.Process != nil {
+		_ = p.cmd.Process.Signal(sig)
+	}
+	_, _ = p.cmd.Process.Wait()
+}
+
+func spawn(t *testing.T, logDir, name, bin string, args ...string) *proc {
+	t.Helper()
+	f, err := os.OpenFile(filepath.Join(logDir, name+".log"), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd := exec.Command(bin, args...)
+	cmd.Stdout = f
+	cmd.Stderr = f
+	if err := cmd.Start(); err != nil {
+		t.Fatalf("start %s: %v", name, err)
+	}
+	return &proc{cmd: cmd, log: f}
+}
+
+// waitHealthy dials an address until its health service answers.
+func waitHealthy(t *testing.T, addr string, within time.Duration) vinci.Client {
+	t.Helper()
+	deadline := time.Now().Add(within)
+	for {
+		c, err := vinci.DialWith(addr, vinci.DialOptions{CallTimeout: 2 * time.Second})
+		if err == nil {
+			if perr := services.Probe(c); perr == nil {
+				return c
+			}
+			c.Close()
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("%s not healthy within %v", addr, within)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}
+
+func TestChaosMultiprocessQuorum(t *testing.T) {
+	if os.Getenv("CHAOS_MULTIPROC") != "1" {
+		t.Skip("out-of-process chaos smoke; set CHAOS_MULTIPROC=1 to run")
+	}
+	logf := chaosInvariantLog(t)
+	dir := t.TempDir()
+
+	// Real binaries, not test doubles.
+	nodeBin := filepath.Join(dir, "wfnode")
+	routerBin := filepath.Join(dir, "wfrouter")
+	for bin, pkg := range map[string]string{nodeBin: "./cmd/wfnode", routerBin: "./cmd/wfrouter"} {
+		out, err := exec.Command("go", "build", "-o", bin, pkg).CombinedOutput()
+		if err != nil {
+			t.Fatalf("build %s: %v\n%s", pkg, err, out)
+		}
+	}
+
+	// Three durable storage nodes. -docs 0 starts them empty; -data-dir
+	// gives each a WAL so a SIGKILLed node can be restarted with its
+	// acked state intact.
+	nodeNames := []string{"n1", "n2", "n3"}
+	nodeAddr := map[string]string{}
+	nodeProc := map[string]*proc{}
+	nodeArgs := func(name string) []string {
+		return []string{
+			"-listen", nodeAddr[name], "-docs", "0",
+			"-data-dir", filepath.Join(dir, name), "-node-id", name,
+		}
+	}
+	var members []string
+	for _, name := range nodeNames {
+		nodeAddr[name] = fmt.Sprintf("127.0.0.1:%d", freePort(t))
+		members = append(members, name+"="+nodeAddr[name])
+	}
+	for _, name := range nodeNames {
+		nodeProc[name] = spawn(t, dir, name, nodeBin, nodeArgs(name)...)
+		waitHealthy(t, nodeAddr[name], 30*time.Second).Close()
+	}
+	routerAddr := fmt.Sprintf("127.0.0.1:%d", freePort(t))
+	routerProc := spawn(t, dir, "router", routerBin,
+		"-listen", routerAddr, "-nodes", strings.Join(members, ","),
+		"-write-quorum", "2", "-probe-interval", "100ms",
+		"-anti-entropy-interval", "500ms", "-seed", "7")
+	t.Cleanup(func() {
+		routerProc.kill(syscall.SIGTERM)
+		for _, p := range nodeProc {
+			p.kill(syscall.SIGTERM)
+		}
+	})
+	rc := waitHealthy(t, routerAddr, 30*time.Second)
+	defer rc.Close()
+	sc := services.StoreClient{C: rc}
+	tc := router.TopologyClient{C: rc}
+
+	// Ack a write batch at W=2 through the real router.
+	acked := map[string]string{}
+	for i := 0; i < 30; i++ {
+		id := fmt.Sprintf("wf-mp-%02d", i)
+		text := fmt.Sprintf("multiprocess smoke body %02d", i)
+		if err := sc.Put(&store.Entity{ID: id, Source: "chaos-mp", Text: text}); err != nil {
+			t.Fatalf("put %s: %v", id, err)
+		}
+		acked[id] = text
+	}
+	logf("multiproc: %d writes acked at W=2 through %s", len(acked), routerAddr)
+
+	// SIGKILL the primary of the first acked document — the node whose
+	// ack, under W=1, would have been the only durable copy.
+	set, err := tc.Place("wf-mp-00")
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim := set[0]
+	nodeProc[victim].kill(syscall.SIGKILL)
+	logf("multiproc: SIGKILLed %s (%s), primary of wf-mp-00", victim, nodeAddr[victim])
+
+	// Invariant: no acked write lost. Every document must read back
+	// through the router while the victim is a corpse, because the W=2
+	// ack forced a copy on the second replica.
+	readBack := func(tag string) {
+		t.Helper()
+		for id, text := range acked {
+			var e *store.Entity
+			var rerr error
+			deadline := time.Now().Add(30 * time.Second)
+			for {
+				if e, rerr = sc.Get(id); rerr == nil {
+					break
+				}
+				if time.Now().After(deadline) {
+					t.Fatalf("%s: acked %s unreadable: %v", tag, id, rerr)
+				}
+				time.Sleep(50 * time.Millisecond)
+			}
+			if e.Text != text {
+				t.Fatalf("%s: acked %s read back different text", tag, id)
+			}
+		}
+	}
+	readBack("victim down")
+	logf("multiproc: all %d acked writes readable with %s dead", len(acked), victim)
+
+	// A W=2 write placed on the corpse must be refused, not half-acked.
+	refused := ""
+	for i := 0; i < 1000 && refused == ""; i++ {
+		id := fmt.Sprintf("wf-refuse-%03d", i)
+		if set, err := tc.Place(id); err == nil && (set[0] == victim || set[1] == victim) {
+			refused = id
+		}
+	}
+	if err := sc.Put(&store.Entity{ID: refused, Source: "chaos-mp", Text: "must not ack"}); err == nil {
+		t.Fatalf("W=2 write %s acked with its replica %s SIGKILLed", refused, victim)
+	}
+	logf("multiproc: write placed on dead %s correctly refused", victim)
+
+	// Restart the victim from its WAL and rejoin it. The rejoin retries
+	// until the catch-up census can reach the revived process.
+	nodeProc[victim] = spawn(t, dir, victim+"-revived", nodeBin, nodeArgs(victim)...)
+	waitHealthy(t, nodeAddr[victim], 30*time.Second).Close()
+	var joinErr error
+	for attempt := 0; attempt < 100; attempt++ {
+		if joinErr = tc.Rejoin(victim); joinErr == nil {
+			break
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	if joinErr != nil {
+		t.Fatalf("rejoin %s never converged: %v", victim, joinErr)
+	}
+	readBack("after rejoin")
+
+	// The revived victim must itself hold every acked document it owns —
+	// recovered from its own WAL or shipped by the catch-up.
+	vc := waitHealthy(t, nodeAddr[victim], 10*time.Second)
+	defer vc.Close()
+	vsc := services.StoreClient{C: vc}
+	owned := 0
+	for id := range acked {
+		set, err := tc.Place(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mine := false
+		for _, n := range set {
+			if n == victim {
+				mine = true
+			}
+		}
+		if !mine {
+			continue
+		}
+		owned++
+		if _, err := vsc.Get(id); err != nil {
+			t.Fatalf("revived %s missing owned acked doc %s: %v", victim, id, err)
+		}
+	}
+	if owned == 0 {
+		t.Fatalf("victim %s owns none of the acked docs; smoke proved nothing", victim)
+	}
+	logf("multiproc: revived %s holds all %d owned acked docs; invariant held end to end", victim, owned)
+}

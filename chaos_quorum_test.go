@@ -1,0 +1,361 @@
+package webfountain
+
+// Quorum-consistency chaos archetypes: where chaos_distributed_test.go
+// proves the availability-mode (W=1) recovery machinery, these plans
+// prove the guarantees quorum writes buy:
+//
+//  1. partition-during-quorum-write — with W=2, a partition that
+//     isolates the FIRST-acking replica of a write loses nothing: the
+//     ack itself forced a second copy, so every acked document reads
+//     back during the cut and converges cleanly after heal;
+//  2. two-router-split — two peered routers forked onto divergent
+//     rings (same epoch, different membership) resolve the fork
+//     deterministically through the topology control service, and no
+//     write acked on either side is lost;
+//  3. anti-entropy-after-rejoin — a crashed replica that comes back
+//     WITHOUT a ring-level rejoin is converged by the background
+//     divergence sweep alone: missed writes shipped, acked deletes
+//     enforced by tombstone, ring epoch untouched.
+//
+// Every archetype replays twice per pinned seed and must converge to
+// byte-identical fingerprints, exactly like the original archetypes.
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"webfountain/internal/faults"
+	"webfountain/internal/router"
+	"webfountain/internal/store"
+	"webfountain/internal/vinci"
+)
+
+// runQuorumPartitionChaos: the acceptance archetype. All writes run at
+// W=2/R=2; a batch of documents whose first-acking replica is the
+// victim is acked immediately before the victim is partitioned away.
+func runQuorumPartitionChaos(t *testing.T, plan faults.ClusterPlan, logf func(string, ...any)) (string, uint64) {
+	t.Helper()
+	dc := newDistChaosQuorum(t, plan, 2, 2)
+	defer dc.dp.Close()
+	logf("%s", plan)
+
+	for i := 0; i < plan.WarmWrites; i++ {
+		id := fmt.Sprintf("wf-%03d", i)
+		dc.write(t, id, fmt.Sprintf("warm body of %s", id))
+	}
+
+	// The quorum fan dials a key's replica set in placement order, so
+	// keys whose primary is the victim are the ones whose first ack the
+	// partition is about to isolate.
+	ring := dc.dp.Router().Ring()
+	var victimFirst []string
+	for i := 0; len(victimFirst) < 8 && i < 1000; i++ {
+		id := fmt.Sprintf("wf-q-%03d", i)
+		if ring.ReplicaSet(id)[0] != plan.Victim {
+			continue
+		}
+		dc.write(t, id, fmt.Sprintf("quorum-acked just before the cut: %s", id))
+		victimFirst = append(victimFirst, id)
+	}
+	if len(victimFirst) < 8 {
+		t.Fatalf("no keys with primary %s in 1000 candidates", plan.Victim)
+	}
+
+	dc.dp.Router().Quiesce()
+	gate := dc.gates[plan.Victim]
+	gate.Partition()
+
+	// Invariant: nothing acked is lost — the W=2 ack guaranteed a copy
+	// outside the partition, so every read must succeed DURING the cut,
+	// not just after heal.
+	for _, id := range dc.live() {
+		if d := dc.read(t, id); d.Text != dc.acked[id] {
+			t.Fatalf("acked %s read back different text during partition", id)
+		}
+	}
+
+	// A W=2 write that cannot reach quorum must be refused, never
+	// half-applied and acked.
+	refusedID := ""
+	for i := 0; i < 1000 && refusedID == ""; i++ {
+		id := fmt.Sprintf("wf-refuse-%03d", i)
+		if ring.Owns(plan.Victim, id) {
+			refusedID = id
+		}
+	}
+	if _, err := dc.dp.Ingest([]Document{{ID: refusedID, Source: "chaos", Text: "must not ack"}}); err == nil {
+		t.Fatalf("W=2 write %s acked with replica %s partitioned", refusedID, plan.Victim)
+	}
+
+	// Keys that do not place on the victim keep full quorum service.
+	for i, wrote := 0, 0; wrote < 5 && i < 1000; i++ {
+		id := fmt.Sprintf("wf-avail-%03d", i)
+		if ring.Owns(plan.Victim, id) {
+			i++
+			continue
+		}
+		dc.write(t, id, fmt.Sprintf("written during the cut: %s", id))
+		wrote++
+		i++
+	}
+
+	time.Sleep(plan.Downtime)
+	gate.Heal()
+	// The refused write may have left an unacked single copy on the live
+	// owner; a real client that saw the error deletes (or retries) it.
+	// Deleting keeps the converged entity count predictable.
+	dc.delete(t, refusedID)
+	dc.rejoinUntilConverged(t, plan.Victim)
+	dc.checkConverged(t, fmt.Sprintf("seed %d quorum-partition", plan.Seed))
+	logf("seed=%d archetype=%s: %d victim-first acked writes survived isolation of their first acker",
+		plan.Seed, plan.Archetype, len(victimFirst))
+
+	digest, epoch := dc.digest()
+	logf("seed=%d archetype=%s: final epoch=%d digest=%s injected=%v",
+		plan.Seed, plan.Archetype, epoch, digest[:16], dc.in.Stats())
+	return digest, epoch
+}
+
+// runRouterSplitChaos: two routers over the same storage nodes fork
+// onto different rings at the same epoch — A bumps the epoch in place
+// (rejoin), B drains the victim — then peer sync must resolve the fork
+// the same way on both, and every write acked before the fork must be
+// readable through both routers afterwards.
+func runRouterSplitChaos(t *testing.T, plan faults.ClusterPlan, logf func(string, ...any)) (string, uint64) {
+	t.Helper()
+	dc := newDistChaosQuorum(t, plan, 2, 1)
+	defer dc.dp.Close()
+	logf("%s", plan)
+	rA := dc.dp.Router()
+
+	// Router B routes over the SAME gated node transports with the same
+	// placement config, the way a second wfrouter process would.
+	dialable := map[string]vinci.Client{}
+	var handles []router.NodeHandle
+	for _, name := range dc.dp.NodeNames() {
+		c := dc.dp.nodes[name].c
+		dialable["addr:"+name] = c
+		handles = append(handles, router.NodeHandle{Name: name, Client: c, Addr: "addr:" + name})
+	}
+	rB := router.New(handles, router.Options{
+		Replicas:    2,
+		Seed:        plan.Seed,
+		WriteQuorum: 2,
+		Dial: func(addr string) (vinci.Client, error) {
+			c, ok := dialable[addr]
+			if !ok {
+				return nil, fmt.Errorf("no route to %s", addr)
+			}
+			return c, nil
+		},
+	})
+	defer rB.Close()
+
+	for i := 0; i < plan.WarmWrites; i++ {
+		id := fmt.Sprintf("wf-%03d", i)
+		dc.write(t, id, fmt.Sprintf("warm body of %s", id))
+	}
+	if owned := dc.ownedBy(plan.Victim); len(owned) >= 2 {
+		dc.delete(t, owned[0])
+		dc.delete(t, owned[1])
+	}
+
+	// The fork, driven while the routers cannot see each other (no peer
+	// links yet — the split): A bumps the epoch on unchanged membership,
+	// B drains the victim. Same epoch, different digests.
+	survivor := ""
+	for _, n := range dc.dp.NodeNames() {
+		if n != plan.Victim {
+			survivor = n
+			break
+		}
+	}
+	retry := func(what string, op func() error) {
+		t.Helper()
+		for attempt := 0; attempt < 100; attempt++ {
+			if err := op(); err == nil {
+				return
+			}
+		}
+		t.Fatalf("%s: no success in 100 attempts", what)
+	}
+	retry("rejoin on A", func() error { return rA.Rejoin(survivor) })
+	retry("drain on B", func() error { return rB.Drain(plan.Victim) })
+	specA, specB := rA.RingSpec(), rB.RingSpec()
+	if specA.Epoch != specB.Epoch || specA.Digest == specB.Digest {
+		t.Fatalf("fork not established: A epoch=%d digest=%s, B epoch=%d digest=%s",
+			specA.Epoch, specA.Digest[:12], specB.Epoch, specB.Digest[:12])
+	}
+	logf("seed=%d archetype=%s: fork at epoch %d (A=%s B=%s)",
+		plan.Seed, plan.Archetype, specA.Epoch, specA.Digest[:12], specB.Digest[:12])
+
+	// Split heals: the routers discover each other and exchange rings.
+	// One sync pass must converge both sides to the same ring — the
+	// deterministic winner of the equal-epoch tie-break.
+	regA := vinci.NewRegistry()
+	rA.RegisterTopology(regA)
+	regB := vinci.NewRegistry()
+	rB.RegisterTopology(regB)
+	rA.AddPeer("router-b", vinci.NewLocalClient(regB))
+	rB.AddPeer("router-a", vinci.NewLocalClient(regA))
+	// The platform's in-process handles carry no dialable address, so
+	// pre-wire B with every node handle: if A's full-membership ring wins
+	// the tie-break, B must reattach the member it drained.
+	for _, h := range handles {
+		rB.AddHandle(h)
+	}
+	retry("peer sync on A", rA.SyncPeersOnce)
+	retry("peer sync on B", rB.SyncPeersOnce)
+	specA, specB = rA.RingSpec(), rB.RingSpec()
+	if specA.Epoch != specB.Epoch || specA.Digest != specB.Digest {
+		t.Fatalf("fork did not resolve: A epoch=%d digest=%s, B epoch=%d digest=%s",
+			specA.Epoch, specA.Digest[:12], specB.Epoch, specB.Digest[:12])
+	}
+	if rA.Stale() || rB.Stale() {
+		t.Fatalf("converged routers still stale: A=%v B=%v", rA.Stale(), rB.Stale())
+	}
+
+	// Whatever the winning ring, the anti-entropy sweep restores full
+	// replication under it (a drain that lost shifts copies around; a
+	// rejoin that lost leaves the drained placement authoritative).
+	converged := false
+	for attempt := 0; attempt < 100 && !converged; attempt++ {
+		rep, err := rA.AntiEntropyOnce()
+		converged = err == nil && rep == 0 && attempt > 0
+	}
+	if !converged {
+		t.Fatal("anti-entropy never went quiet after fork resolution")
+	}
+
+	// No acked write lost, from either router's point of view.
+	finalRing := rA.Ring()
+	for _, id := range dc.live() {
+		d := dc.read(t, id)
+		if d.Text != dc.acked[id] {
+			t.Fatalf("acked %s read back different text via A after split", id)
+		}
+		e, err := rB.Get(id)
+		if err != nil || e.Text != dc.acked[id] {
+			t.Fatalf("acked %s unreadable via B after split: %v", id, err)
+		}
+		for _, n := range finalRing.Members() {
+			if finalRing.Owns(n, id) && !dc.dp.NodeHas(n, id) {
+				t.Fatalf("%s missing from final-ring owner %s after split", id, n)
+			}
+		}
+	}
+	for id := range dc.deleted {
+		if _, err := rB.Get(id); err == nil {
+			t.Fatalf("deleted %s resurrected via B after split", id)
+		}
+	}
+
+	// Both routers accept writes again at full quorum.
+	postID := "wf-post-split"
+	if err := rB.Put(&store.Entity{ID: postID, Source: "chaos", Text: "written via B after heal"}); err != nil {
+		t.Fatalf("post-split write via B refused: %v", err)
+	}
+	rB.Quiesce()
+	dc.write(t, postID, "written via B after heal") // drives + records it acked via A
+
+	rB.Quiesce()
+	digest, epoch := dc.digest()
+	logf("seed=%d archetype=%s: final epoch=%d digest=%s injected=%v",
+		plan.Seed, plan.Archetype, epoch, digest[:16], dc.in.Stats())
+	return digest, epoch
+}
+
+// runAntiEntropyChaos: availability-mode (W=1) writes diverge while a
+// replica is down; the background sweep alone must converge the
+// cluster after the replica returns — no ring-level rejoin, no epoch
+// bump.
+func runAntiEntropyChaos(t *testing.T, plan faults.ClusterPlan, logf func(string, ...any)) (string, uint64) {
+	t.Helper()
+	dc := newDistChaosQuorum(t, plan, 1, 1)
+	defer dc.dp.Close()
+	logf("%s", plan)
+	r := dc.dp.Router()
+
+	for i := 0; i < plan.WarmWrites; i++ {
+		id := fmt.Sprintf("wf-%03d", i)
+		dc.write(t, id, fmt.Sprintf("warm body of %s", id))
+	}
+
+	r.Quiesce()
+	gate := dc.gates[plan.Victim]
+	gate.Kill()
+	for i := 0; i < 10; i++ {
+		id := fmt.Sprintf("wf-miss-%02d", i)
+		dc.write(t, id, fmt.Sprintf("missed by %s: %s", plan.Victim, id))
+	}
+	if owned := dc.ownedBy(plan.Victim); len(owned) >= 2 {
+		dc.delete(t, owned[0])
+		dc.delete(t, owned[1])
+	}
+
+	time.Sleep(plan.Downtime)
+	gate.Revive()
+	epochBefore := r.Ring().Epoch()
+
+	// Sweep until a full pass finds nothing to repair. The victim is
+	// never ring-rejoined: convergence is the sweep's job alone.
+	repaired, quiet := 0, false
+	for attempt := 0; attempt < 100 && !quiet; attempt++ {
+		rep, err := r.AntiEntropyOnce()
+		repaired += rep
+		quiet = err == nil && rep == 0 && attempt > 0
+	}
+	if !quiet {
+		t.Fatal("anti-entropy never went quiet after the victim returned")
+	}
+	if repaired == 0 {
+		t.Fatalf("victim %s missed writes but the sweep repaired nothing", plan.Victim)
+	}
+	if got := r.Ring().Epoch(); got != epochBefore {
+		t.Fatalf("anti-entropy moved the ring epoch: %d -> %d", epochBefore, got)
+	}
+	dc.checkConverged(t, fmt.Sprintf("seed %d anti-entropy", plan.Seed))
+	logf("seed=%d archetype=%s: sweep repaired %d divergent entries, epoch pinned at %d",
+		plan.Seed, plan.Archetype, repaired, epochBefore)
+
+	// On a clean network the digest fast path makes the idle sweep one
+	// call per node.
+	if plan.Net == (faults.Config{}) {
+		for _, g := range dc.gates {
+			g.ResetCounts()
+		}
+		if rep, err := r.AntiEntropyOnce(); err != nil || rep != 0 {
+			t.Fatalf("idle sweep not idle: repaired=%d err=%v", rep, err)
+		}
+		for name, g := range dc.gates {
+			if delivered, _ := g.Counts(); delivered != 1 {
+				t.Fatalf("idle sweep made %d calls to %s, want 1 (digest only)", delivered, name)
+			}
+		}
+	}
+
+	digest, epoch := dc.digest()
+	logf("seed=%d archetype=%s: final epoch=%d digest=%s injected=%v",
+		plan.Seed, plan.Archetype, epoch, digest[:16], dc.in.Stats())
+	return digest, epoch
+}
+
+// TestChaosQuorumPartition: the PR's acceptance invariant — with W=2 a
+// partition isolating the first-acking replica loses no acked write,
+// during the cut or after heal.
+func TestChaosQuorumPartition(t *testing.T) {
+	runDistArchetype(t, faults.ArchetypeQuorumPartition, runQuorumPartitionChaos)
+}
+
+// TestChaosRouterSplit: peered routers forked onto divergent rings
+// resolve deterministically and lose nothing acked on either side.
+func TestChaosRouterSplit(t *testing.T) {
+	runDistArchetype(t, faults.ArchetypeRouterSplit, runRouterSplitChaos)
+}
+
+// TestChaosAntiEntropyAfterRejoin: a revived replica converges through
+// the background sweep alone, with the ring epoch untouched.
+func TestChaosAntiEntropyAfterRejoin(t *testing.T) {
+	runDistArchetype(t, faults.ArchetypeAntiEntropyRejoin, runAntiEntropyChaos)
+}

@@ -4,11 +4,13 @@
 // the ingest→index pipeline end to end (serial vs. worker-pool), the
 // sharded inverted index, WAL durability with and without group commit,
 // and the single-thread NLP micro-benchmarks that guard against
-// regressions on the non-parallel paths. Two scenario probes cover the
-// overload path: p99 latency under 2× open-loop overload with admission
-// control on vs. off, and the extra-call fraction of hedged reads.
+// regressions on the non-parallel paths. Three scenario probes cover
+// the distributed paths: p99 latency under 2× open-loop overload with
+// admission control on vs. off, the extra-call fraction of hedged
+// reads, and the per-put cost of the write quorum (W=1 vs W=2) on the
+// replicated tier.
 //
-//	bench [-quick] [-docs N] [-out BENCH_PR6.json]
+//	bench [-quick] [-docs N] [-out BENCH_PR7.json]
 //	bench -compare old.json new.json
 //
 // The JSON records ns/op, MB/s and allocs/op per benchmark plus the
@@ -74,7 +76,7 @@ type Report struct {
 }
 
 func main() {
-	out := flag.String("out", "BENCH_PR6.json", "output JSON path")
+	out := flag.String("out", "BENCH_PR7.json", "output JSON path")
 	quick := flag.Bool("quick", false, "smaller corpora for CI smoke runs")
 	docsFlag := flag.Int("docs", 0, "corpus size per ingest iteration (0: 200, or 40 with -quick)")
 	compare := flag.Bool("compare", false, "compare two result files: bench -compare old.json new.json")
@@ -117,7 +119,7 @@ func main() {
 // run executes the benchmark suite and assembles the report.
 func run(docs int, quick bool) Report {
 	rep := Report{
-		Bench:      "PR6",
+		Bench:      "PR7",
 		GoVersion:  runtime.Version(),
 		CPUs:       runtime.NumCPU(),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
@@ -421,6 +423,31 @@ func run(docs int, quick bool) Report {
 	rep.Derived["p99_unhedged_ms"] = float64(p99Plain) / 1e6
 	fmt.Printf("%-32s %12.2f ms p99 (plain %.2f) %6.1f%% extra calls\n",
 		"hedge/tail-read", float64(p99Hedged)/1e6, float64(p99Plain)/1e6, extraFrac*100)
+	// Quorum probe: what the W=2 durability guarantee costs per acked
+	// write. Both runs drive the same 3-node/2-replica in-process
+	// platform; the only difference is whether the router acks on the
+	// first replica (availability mode) or waits for both.
+	quorumPuts := 400
+	if quick {
+		quorumPuts = 150
+	}
+	var w1Mean time.Duration
+	for _, w := range []int{1, 2} {
+		mean, p99, err := probeQuorum(w, quorumPuts)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "quorum probe:", err)
+			os.Exit(1)
+		}
+		rep.Derived[fmt.Sprintf("put_w%d_mean_us", w)] = float64(mean) / 1e3
+		rep.Derived[fmt.Sprintf("put_w%d_p99_us", w)] = float64(p99) / 1e3
+		if w == 1 {
+			w1Mean = mean
+		} else if w1Mean > 0 {
+			rep.Derived["quorum_w2_overhead_pct"] = (float64(mean)/float64(w1Mean) - 1) * 100
+		}
+		fmt.Printf("%-32s %12.2f us mean %9.2f us p99\n",
+			fmt.Sprintf("quorum/put-w%d", w), float64(mean)/1e3, float64(p99)/1e3)
+	}
 
 	snap := metrics.Default().Snapshot()
 	rep.Metrics = &snap
@@ -591,6 +618,40 @@ func probeHedge(calls int) (extraFrac float64, p99Hedged, p99Plain time.Duration
 	}
 	hedges := metrics.Default().Counter("vinci.client.hedges").Value() - hedgesBefore
 	return float64(hedges) / float64(calls), p99Of(hedgedLat), p99Of(plainLat), nil
+}
+
+// probeQuorum measures per-put latency through the replicated tier's
+// acked-write path at write quorum w. The platform is the in-process
+// 3-node/2-replica deployment the chaos harness uses; Put goes through
+// the router's quorum fan-out, so the W=1 vs W=2 gap is exactly the
+// cost of waiting for the second replica before the ack — the price of
+// the no-acked-write-lost guarantee the quorum chaos archetypes prove.
+func probeQuorum(w, puts int) (mean, p99 time.Duration, err error) {
+	dp, err := webfountain.NewDistributedPlatform(webfountain.DistributedConfig{
+		Nodes: 3, Replicas: 2, Seed: 7, WriteQuorum: w,
+	})
+	if err != nil {
+		return 0, 0, err
+	}
+	defer dp.Close()
+	r := dp.Router()
+	lat := make([]time.Duration, 0, puts)
+	var total time.Duration
+	for i := 0; i < puts; i++ {
+		e := &store.Entity{
+			ID:     fmt.Sprintf("bench-q%d-%05d", w, i),
+			Source: "bench",
+			Text:   "quorum write latency probe body",
+		}
+		start := time.Now()
+		if perr := r.Put(e); perr != nil {
+			return 0, 0, perr
+		}
+		d := time.Since(start)
+		lat = append(lat, d)
+		total += d
+	}
+	return total / time.Duration(puts), p99Of(lat), nil
 }
 
 // p99Of returns the 99th-percentile latency of a sample set.

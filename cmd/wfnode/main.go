@@ -26,7 +26,9 @@
 // in the ring; -advertise is the address the router dials back (defaults
 // to -listen, which must then be reachable from the router). Once
 // joined, -ping and /healthz report the node's shard role (primary/
-// replica) and the ring epoch, fetched live from the router.
+// replica) and the ring epoch, fetched live from the router, plus the
+// newest hybrid-logical-clock version the node has applied and how far
+// it runs ahead of the wall clock (the cluster skew signal).
 //
 //	wfnode -listen host:9410 -join router:9400 [-node-id n1] [-advertise host:9410]
 //
@@ -65,6 +67,7 @@ import (
 
 	"webfountain/internal/chunk"
 	"webfountain/internal/corpus"
+	"webfountain/internal/hlc"
 	"webfountain/internal/index"
 	"webfountain/internal/ingest"
 	"webfountain/internal/metrics"
@@ -297,6 +300,28 @@ func serve(addr, corpusName string, docs int, seed int64, dataDir string, syncEv
 	// uses for shard handoff.
 	hooks := services.StoreHooks{OnPut: addToIndex, OnDelete: ix.Remove}
 	topo := &topoProbe{}
+	// A storage node runs no clock of its own — routers stamp versions —
+	// but it can report the newest HLC it has applied (across live
+	// entities and tombstones) and how far that runs ahead of its wall
+	// clock, which is exactly the skew signal operators scan fleets for.
+	clockInfo := func() services.ClockInfo {
+		var last uint64
+		for _, v := range st.Versions() {
+			if v > last {
+				last = v
+			}
+		}
+		for _, v := range st.TombstonesVersioned() {
+			if v > last {
+				last = v
+			}
+		}
+		ahead := hlc.Physical(last) - time.Now().UnixMilli()
+		if ahead < 0 {
+			ahead = 0
+		}
+		return services.ClockInfo{Last: last, Offset: time.Duration(ahead) * time.Millisecond}
+	}
 	reg := vinci.NewRegistry()
 	services.RegisterStoreWith(reg, st, hooks)
 	services.RegisterIndex(reg, ix)
@@ -308,6 +333,7 @@ func serve(addr, corpusName string, docs int, seed int64, dataDir string, syncEv
 		Entities: st.Len,
 		Degraded: st.Degraded,
 		Topology: topo.info,
+		Clock:    clockInfo,
 	})
 	services.RegisterMetrics(reg, metrics.Default())
 
@@ -317,12 +343,13 @@ func serve(addr, corpusName string, docs int, seed int64, dataDir string, syncEv
 		mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 			deg, reason := st.Degraded()
 			ti := topo.info()
+			ci := clockInfo()
 			w.Header().Set("Content-Type", "application/json")
 			if deg {
 				w.WriteHeader(http.StatusServiceUnavailable)
 			}
-			fmt.Fprintf(w, `{"node":%q,"entities":%d,"degraded":%v,"degraded_reason":%q,"role":%q,"ring_epoch":%d}`+"\n",
-				jc.NodeID, st.Len(), deg, reason, ti.Role(), ti.Epoch)
+			fmt.Fprintf(w, `{"node":%q,"entities":%d,"degraded":%v,"degraded_reason":%q,"role":%q,"ring_epoch":%d,"hlc":%d,"hlc_offset_ms":%d}`+"\n",
+				jc.NodeID, st.Len(), deg, reason, ti.Role(), ti.Epoch, ci.Last, ci.Offset.Milliseconds())
 		})
 		go func() {
 			log.Printf("metrics on http://%s/metrics", metricsAddr)
@@ -458,6 +485,9 @@ func client(addr string, opts vinci.DialOptions, hedge, ping, showMetrics bool, 
 		if ti := st.Topology; ti != nil {
 			fmt.Printf("  ring: %s at epoch %d (%d primary shards, %d replica shards)\n",
 				ti.Role(), ti.Epoch, ti.Primaries, ti.Replicas)
+		}
+		if ci := st.Clock; ci != nil {
+			fmt.Printf("  hlc: %s (offset %v ahead of wall clock)\n", hlc.Format(ci.Last), ci.Offset)
 		}
 		if st.Degraded {
 			fmt.Printf("  DEGRADED (read-only): %s\n", st.DegradedReason)

@@ -9,6 +9,18 @@
 //	wfrouter -listen :9400 -nodes n1=host1:9410,n2=host2:9410,n3=host3:9410
 //	         [-replicas 2] [-vnodes 64] [-seed 1] [-probe-interval 500ms]
 //	         [-hedge-after 20ms] [-metrics-addr :9401]
+//	         [-write-quorum 2] [-read-quorum 1] [-write-timeout 2s]
+//	         [-anti-entropy-interval 30s] [-peers rtr2=host2:9400]
+//
+// -write-quorum (W) and -read-quorum (R) set the consistency level:
+// a write is acknowledged only after W replicas accept it, and a read
+// consults R replicas, returns the newest version, and repairs stale
+// copies in the background. -anti-entropy-interval runs the divergence
+// sweep that heals whatever read-repair misses. -peers names the other
+// routers of the same deployment: membership changes admitted here are
+// pushed to them (and refused loudly if they cannot converge), and a
+// router that discovers it is behind refuses writes until it has
+// re-pulled the ring.
 //
 // The router serves the SAME store/index/sentiment wire protocol a
 // single node speaks, so any wfnode client works against it unchanged
@@ -57,6 +69,11 @@ func main() {
 	probeInterval := flag.Duration("probe-interval", 500*time.Millisecond, "serve mode: health-probe cadence (0: off)")
 	hedgeAfter := flag.Duration("hedge-after", 20*time.Millisecond, "serve mode: hedge reads to the second replica after this long")
 	metricsAddr := flag.String("metrics-addr", "", "serve mode: HTTP address for /metrics and /healthz (empty: disabled)")
+	writeQuorum := flag.Int("write-quorum", 2, "serve mode: W, replicas that must accept a write before it is acked (1: availability mode)")
+	readQuorum := flag.Int("read-quorum", 1, "serve mode: R, replicas a read consults (R>1: newest version wins, stale copies repaired)")
+	writeTimeout := flag.Duration("write-timeout", 2*time.Second, "serve mode: per-replica write deadline budget (0: none)")
+	antiEntropyInterval := flag.Duration("anti-entropy-interval", 30*time.Second, "serve mode: background divergence-sweep cadence (0: off)")
+	peers := flag.String("peers", "", "serve mode: peer routers as name=addr,name=addr; membership changes converge across them")
 	connect := flag.String("connect", "", "client mode: router address to connect to")
 	status := flag.Bool("status", false, "client: print ring epoch, digest, members and suspects")
 	place := flag.String("place", "", "client: print the replica set for a key, primary first")
@@ -68,7 +85,15 @@ func main() {
 
 	switch {
 	case *listen != "":
-		if err := serve(*listen, *nodes, *replicas, *vnodes, *seed, *probeInterval, *hedgeAfter, *metricsAddr, *callTimeout); err != nil {
+		sc := serveConfig{
+			Addr: *listen, Nodes: *nodes, Peers: *peers,
+			Replicas: *replicas, VNodes: *vnodes, Seed: *seed,
+			ProbeInterval: *probeInterval, HedgeAfter: *hedgeAfter,
+			MetricsAddr: *metricsAddr, CallTimeout: *callTimeout,
+			WriteQuorum: *writeQuorum, ReadQuorum: *readQuorum,
+			WriteTimeout: *writeTimeout, AntiEntropyInterval: *antiEntropyInterval,
+		}
+		if err := serve(sc); err != nil {
 			log.Fatal(err)
 		}
 	case *connect != "":
@@ -98,14 +123,27 @@ func parseMembers(spec string) ([][2]string, error) {
 	return out, nil
 }
 
-func serve(addr, nodesSpec string, replicas, vnodes int, seed int64, probeInterval, hedgeAfter time.Duration, metricsAddr string, callTimeout time.Duration) error {
-	members, err := parseMembers(nodesSpec)
+// serveConfig carries wfrouter's serve-mode flags.
+type serveConfig struct {
+	Addr, Nodes, Peers                string
+	Replicas, VNodes                  int
+	Seed                              int64
+	ProbeInterval, HedgeAfter         time.Duration
+	MetricsAddr                       string
+	CallTimeout                       time.Duration
+	WriteQuorum, ReadQuorum           int
+	WriteTimeout, AntiEntropyInterval time.Duration
+}
+
+func serve(sc serveConfig) error {
+	addr, metricsAddr := sc.Addr, sc.MetricsAddr
+	members, err := parseMembers(sc.Nodes)
 	if err != nil {
 		return err
 	}
 	dial := func(nodeAddr string) (vinci.Client, error) {
 		return vinci.DialWith(nodeAddr, vinci.DialOptions{
-			CallTimeout: callTimeout,
+			CallTimeout: sc.CallTimeout,
 			Retry:       vinci.RetryPolicy{MaxAttempts: 2, BaseBackoff: 10 * time.Millisecond, MaxBackoff: 100 * time.Millisecond, Jitter: 0.2},
 		})
 	}
@@ -118,17 +156,57 @@ func serve(addr, nodesSpec string, replicas, vnodes int, seed int64, probeInterv
 			}
 			return fmt.Errorf("wfrouter: dial %s (%s): %w", m[0], m[1], err)
 		}
-		handles = append(handles, router.NodeHandle{Name: m[0], Client: c})
+		// Addr rides along so a ring adopted from a peer router can name
+		// this member and we can re-dial it if the handle was retired.
+		handles = append(handles, router.NodeHandle{Name: m[0], Client: c, Addr: m[1]})
 	}
 	r := router.New(handles, router.Options{
-		Replicas:      replicas,
-		VNodes:        vnodes,
-		Seed:          seed,
-		ProbeInterval: probeInterval,
-		HedgeAfter:    hedgeAfter,
-		Dial:          dial,
+		Replicas:            sc.Replicas,
+		VNodes:              sc.VNodes,
+		Seed:                sc.Seed,
+		ProbeInterval:       sc.ProbeInterval,
+		HedgeAfter:          sc.HedgeAfter,
+		Dial:                dial,
+		WriteQuorum:         sc.WriteQuorum,
+		ReadQuorum:          sc.ReadQuorum,
+		WriteTimeout:        sc.WriteTimeout,
+		AntiEntropyInterval: sc.AntiEntropyInterval,
 	})
 	defer r.Close()
+
+	// Peer routers: dial each and pull/push ring state until the first
+	// successful sync. A peer that is still starting is retried in the
+	// background; the anti-entropy loop keeps re-syncing a stale router
+	// afterwards.
+	if sc.Peers != "" {
+		peerMembers, err := parseMembers(sc.Peers)
+		if err != nil {
+			return err
+		}
+		for _, p := range peerMembers {
+			c, err := dial(p[1])
+			if err != nil {
+				return fmt.Errorf("wfrouter: dial peer %s (%s): %w", p[0], p[1], err)
+			}
+			r.AddPeer(p[0], c)
+		}
+		go func() {
+			for attempt, backoff := 0, 250*time.Millisecond; attempt < 20; attempt++ {
+				if err := r.SyncPeersOnce(); err == nil {
+					ring := r.Ring()
+					log.Printf("peer sync converged: epoch %d, ring %s", ring.Epoch(), ring.Digest()[:12])
+					return
+				} else {
+					log.Printf("peer sync: %v (retrying in %v)", err, backoff)
+				}
+				time.Sleep(backoff)
+				if backoff < 4*time.Second {
+					backoff *= 2
+				}
+			}
+			log.Printf("peer sync: giving up on initial convergence; anti-entropy loop keeps retrying")
+		}()
+	}
 
 	reg := vinci.NewRegistry()
 	r.RegisterRouted(reg)
@@ -153,6 +231,10 @@ func serve(addr, nodesSpec string, replicas, vnodes int, seed int64, probeInterv
 			ring := r.Ring()
 			return services.TopologyInfo{Epoch: ring.Epoch(), Digest: ring.Digest()}
 		},
+		Clock: func() services.ClockInfo {
+			c := r.Clock()
+			return services.ClockInfo{Last: c.Last(), Offset: c.Offset()}
+		},
 	})
 	services.RegisterMetrics(reg, metrics.Default())
 
@@ -162,13 +244,17 @@ func serve(addr, nodesSpec string, replicas, vnodes int, seed int64, probeInterv
 		mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 			ring := r.Ring()
 			suspects := r.Suspects()
+			clk := r.Clock()
+			stale := r.Stale()
 			w.Header().Set("Content-Type", "application/json")
-			if len(suspects) > 0 {
+			if len(suspects) > 0 || stale {
 				w.WriteHeader(http.StatusServiceUnavailable)
 			}
-			fmt.Fprintf(w, `{"node":%q,"ring_epoch":%d,"ring_digest":%q,"members":%q,"suspects":%q}`+"\n",
+			fmt.Fprintf(w, `{"node":%q,"ring_epoch":%d,"ring_digest":%q,"members":%q,"suspects":%q,"stale":%v,"write_quorum":%d,"read_quorum":%d,"hlc":%d,"hlc_offset_ms":%d}`+"\n",
 				"wfrouter@"+addr, ring.Epoch(), ring.Digest(),
-				strings.Join(ring.Members(), ","), strings.Join(suspects, ","))
+				strings.Join(ring.Members(), ","), strings.Join(suspects, ","),
+				stale, sc.WriteQuorum, sc.ReadQuorum,
+				clk.Last(), clk.Offset().Milliseconds())
 		})
 		go func() {
 			log.Printf("metrics on http://%s/metrics", metricsAddr)
@@ -183,8 +269,9 @@ func serve(addr, nodesSpec string, replicas, vnodes int, seed int64, probeInterv
 		return err
 	}
 	ring := r.Ring()
-	log.Printf("wfrouter serving %v on %s: %d members, R=%d, epoch %d, ring %s",
-		reg.Services(), ln.Addr(), ring.NumMembers(), ring.Replicas(), ring.Epoch(), ring.Digest()[:12])
+	log.Printf("wfrouter serving %v on %s: %d members, R=%d, W=%d/R=%d quorums, epoch %d, ring %s",
+		reg.Services(), ln.Addr(), ring.NumMembers(), ring.Replicas(),
+		sc.WriteQuorum, sc.ReadQuorum, ring.Epoch(), ring.Digest()[:12])
 
 	srv := vinci.NewServer(reg)
 	sigc := make(chan os.Signal, 1)

@@ -36,6 +36,19 @@ type DistributedConfig struct {
 	Detector topology.DetectorOptions
 	// StoreShards is each node's store shard count (default 4).
 	StoreShards int
+	// WriteQuorum is W: replicas that must accept a write before it is
+	// acknowledged (default 2; 1 selects availability mode, where a
+	// partition can strand the only acked copy until a sweep heals it).
+	WriteQuorum int
+	// ReadQuorum is R: replicas a read consults; with R>1 the newest
+	// version wins and stale replicas are repaired in the background
+	// (default 1).
+	ReadQuorum int
+	// WriteTimeout bounds each replica write attempt (0: none).
+	WriteTimeout time.Duration
+	// AntiEntropyInterval is the background divergence-sweep cadence
+	// (0 disables the loop; Router().AntiEntropyOnce() still works).
+	AntiEntropyInterval time.Duration
 	// DataDir, when set, makes every node durable under
 	// <DataDir>/<node-name> (the per-node WAL + snapshot layout from the
 	// durable store).
@@ -106,12 +119,16 @@ func NewDistributedPlatform(cfg DistributedConfig) (*DistributedPlatform, error)
 		handles = append(handles, router.NodeHandle{Name: name, Client: n.c})
 	}
 	dp.r = router.New(handles, router.Options{
-		Replicas:      cfg.Replicas,
-		VNodes:        cfg.VNodes,
-		Seed:          cfg.Seed,
-		ProbeInterval: cfg.ProbeInterval,
-		HedgeAfter:    cfg.HedgeAfter,
-		Detector:      cfg.Detector,
+		Replicas:            cfg.Replicas,
+		VNodes:              cfg.VNodes,
+		Seed:                cfg.Seed,
+		ProbeInterval:       cfg.ProbeInterval,
+		HedgeAfter:          cfg.HedgeAfter,
+		Detector:            cfg.Detector,
+		WriteQuorum:         cfg.WriteQuorum,
+		ReadQuorum:          cfg.ReadQuorum,
+		WriteTimeout:        cfg.WriteTimeout,
+		AntiEntropyInterval: cfg.AntiEntropyInterval,
 	})
 	return dp, nil
 }
@@ -159,6 +176,13 @@ func (dp *DistributedPlatform) buildNode(name string) (*distNode, error) {
 				return services.TopologyInfo{}
 			}
 			return dp.r.TopologyInfoFor(name)
+		},
+		Clock: func() services.ClockInfo {
+			if dp.r == nil {
+				return services.ClockInfo{}
+			}
+			c := dp.r.Clock()
+			return services.ClockInfo{Last: c.Last(), Offset: c.Offset()}
 		},
 	})
 	n.c = vinci.NewLocalClient(reg)

@@ -145,6 +145,19 @@ const (
 	// involving it is in flight: the handoff must abort without bumping
 	// the ring epoch, then converge when retried after revival.
 	ArchetypeKillDuringHandoff = "kill-during-handoff"
+	// ArchetypeQuorumPartition partitions the first-acking replica of
+	// quorum-acked (W=2) writes: every write acked before the cut must
+	// survive it, because the quorum forced a second copy before the ack.
+	ArchetypeQuorumPartition = "partition-during-quorum-write"
+	// ArchetypeRouterSplit forks two peered routers onto divergent rings
+	// (same epoch, different membership) and requires the fork to resolve
+	// deterministically, with no acked write lost on either side.
+	ArchetypeRouterSplit = "two-router-split"
+	// ArchetypeAntiEntropyRejoin revives a crashed replica WITHOUT the
+	// ring-level rejoin: the background anti-entropy sweep alone must
+	// converge the divergence — missed writes shipped, acked deletes
+	// enforced by tombstone — with the ring epoch untouched.
+	ArchetypeAntiEntropyRejoin = "anti-entropy-after-rejoin"
 )
 
 // ClusterPlan is the deterministic decision set for one distributed

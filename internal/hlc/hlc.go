@@ -1,0 +1,148 @@
+// Package hlc implements hybrid logical clocks — the versioning scheme
+// the replicated tier stamps on every write so that "newer" is
+// meaningful across routers, across handoff catch-up, and across
+// restarts. A timestamp packs a physical component (Unix milliseconds)
+// with a logical counter into one uint64:
+//
+//	[48 bits physical ms][16 bits logical]
+//
+// so plain uint64 comparison IS the happens-before comparison, and the
+// timestamp travels in the store's existing Entity.Version field, WAL
+// records and replica frames without a wire change. The packing also
+// makes the classic HLC update rules single-instruction: "same physical
+// time, next logical" is just +1, and a logical counter that overflows
+// carries into the physical field — one millisecond of artificial skew
+// instead of a wrapped counter that would re-order writes.
+//
+// Two properties matter to the consistency protocol:
+//
+//  1. Monotonicity: a clock never issues a timestamp <= one it issued
+//     or observed before, even when the wall clock steps backwards
+//     (NTP correction, VM migration). The physical component simply
+//     stops tracking the wall clock until real time catches up, and
+//     Offset exposes how far ahead the clock is running so operators
+//     can spot the skew.
+//  2. Causality: Observe folds a remote timestamp into the local clock,
+//     so any write stamped after a read (or a peer sync) that saw
+//     version v gets a version > v. Routers observe every version they
+//     read and every peer clock they sync with.
+package hlc
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// logicalBits is the width of the logical counter in a packed
+// timestamp; the remaining 48 bits hold Unix milliseconds (good until
+// the year 10889).
+const logicalBits = 16
+
+// Pack builds a timestamp from a physical component (Unix ms) and a
+// logical counter.
+func Pack(unixMs int64, logical uint32) uint64 {
+	return uint64(unixMs)<<logicalBits | uint64(logical)&(1<<logicalBits-1)
+}
+
+// Physical extracts a timestamp's physical component as Unix ms.
+func Physical(ts uint64) int64 { return int64(ts >> logicalBits) }
+
+// Logical extracts a timestamp's logical counter.
+func Logical(ts uint64) uint32 { return uint32(ts & (1<<logicalBits - 1)) }
+
+// Compare orders two timestamps: -1, 0 or +1. Packed timestamps order
+// exactly as uint64s; the function exists so call sites read as version
+// comparisons rather than integer math.
+func Compare(a, b uint64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// Format renders a timestamp for logs: "<unix-ms>.<logical>".
+func Format(ts uint64) string {
+	return fmt.Sprintf("%d.%d", Physical(ts), Logical(ts))
+}
+
+// Clock is a hybrid logical clock. The zero value is not usable; build
+// one with New. All methods are safe for concurrent use.
+type Clock struct {
+	mu   sync.Mutex
+	last uint64
+	now  func() time.Time
+}
+
+// New builds a clock over the given time source (nil selects
+// time.Now). The clock starts at the current wall time with logical 0.
+func New(now func() time.Time) *Clock {
+	if now == nil {
+		now = time.Now
+	}
+	return &Clock{now: now}
+}
+
+// wall returns the current wall time as a packed timestamp with
+// logical 0.
+func (c *Clock) wall() uint64 { return Pack(c.now().UnixMilli(), 0) }
+
+// Now issues the timestamp for a local event (a write being stamped).
+// It is strictly greater than every timestamp the clock has issued or
+// observed, and tracks the wall clock whenever the wall clock is ahead.
+func (c *Clock) Now() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	next := c.last + 1 // same physical ms: bump logical (overflow carries into physical)
+	if w := c.wall(); w > next {
+		next = w
+	}
+	c.last = next
+	return next
+}
+
+// Observe folds a remote timestamp into the clock (a version read from
+// a replica, a peer router's clock) and returns the clock's new value,
+// which is strictly greater than both the remote timestamp and every
+// previous local one. Call it on receipt; the next Now is then
+// guaranteed to order after the observed event.
+func (c *Clock) Observe(remote uint64) uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	next := c.last + 1
+	if r := remote + 1; r > next {
+		next = r
+	}
+	if w := c.wall(); w > next {
+		next = w
+	}
+	c.last = next
+	return next
+}
+
+// Last returns the newest timestamp the clock has issued or observed,
+// without advancing it.
+func (c *Clock) Last() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.last
+}
+
+// Offset reports how far the clock's physical component runs ahead of
+// the wall clock. Near zero is healthy; a large positive offset means
+// this process observed timestamps from a peer whose wall clock is
+// ahead (or its own clock stepped back), and versions are drifting away
+// from real time — the signal health reports surface per node.
+func (c *Clock) Offset() time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ahead := Physical(c.last) - c.now().UnixMilli()
+	if ahead < 0 {
+		ahead = 0 // behind the wall clock just means idle, not skew
+	}
+	return time.Duration(ahead) * time.Millisecond
+}

@@ -1,0 +1,231 @@
+package hlc
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeTime is a settable time source for driving clock edge cases.
+type fakeTime struct {
+	mu sync.Mutex
+	ms int64
+}
+
+func (f *fakeTime) now() time.Time {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return time.UnixMilli(f.ms)
+}
+
+func (f *fakeTime) set(ms int64) {
+	f.mu.Lock()
+	f.ms = ms
+	f.mu.Unlock()
+}
+
+func TestPackRoundTrip(t *testing.T) {
+	cases := []struct {
+		ms      int64
+		logical uint32
+	}{
+		{0, 0},
+		{1, 1},
+		{1700000000000, 42},
+		{1 << 47, 65535},
+	}
+	for _, c := range cases {
+		ts := Pack(c.ms, c.logical)
+		if got := Physical(ts); got != c.ms {
+			t.Errorf("Physical(Pack(%d, %d)) = %d", c.ms, c.logical, got)
+		}
+		if got := Logical(ts); got != c.logical {
+			t.Errorf("Logical(Pack(%d, %d)) = %d", c.ms, c.logical, got)
+		}
+	}
+}
+
+func TestPackOrdersByPhysicalThenLogical(t *testing.T) {
+	a := Pack(100, 65535)
+	b := Pack(101, 0)
+	if Compare(a, b) != -1 {
+		t.Fatalf("later physical must beat any logical: Compare(%s, %s) = %d", Format(a), Format(b), Compare(a, b))
+	}
+	c := Pack(100, 3)
+	d := Pack(100, 4)
+	if Compare(c, d) != -1 || Compare(d, c) != 1 || Compare(c, c) != 0 {
+		t.Fatalf("equal physical must order by logical")
+	}
+}
+
+func TestNowAdvancesWithWallClock(t *testing.T) {
+	ft := &fakeTime{ms: 1000}
+	c := New(ft.now)
+	ts1 := c.Now()
+	if Physical(ts1) != 1000 || Logical(ts1) != 0 {
+		t.Fatalf("first Now = %s, want 1000.0", Format(ts1))
+	}
+	ft.set(1001)
+	ts2 := c.Now()
+	if Physical(ts2) != 1001 || Logical(ts2) != 0 {
+		t.Fatalf("Now after wall advance = %s, want 1001.0", Format(ts2))
+	}
+}
+
+func TestNowSamePhysicalBumpsLogical(t *testing.T) {
+	ft := &fakeTime{ms: 1000}
+	c := New(ft.now)
+	prev := c.Now()
+	for i := 0; i < 100; i++ {
+		ts := c.Now()
+		if ts <= prev {
+			t.Fatalf("Now not strictly increasing: %s then %s", Format(prev), Format(ts))
+		}
+		if Physical(ts) != 1000 {
+			t.Fatalf("physical drifted without wall movement: %s", Format(ts))
+		}
+		prev = ts
+	}
+	if Logical(prev) != 100 {
+		t.Fatalf("logical = %d after 100 same-ms ticks, want 100", Logical(prev))
+	}
+}
+
+func TestClockGoingBackwards(t *testing.T) {
+	ft := &fakeTime{ms: 5000}
+	c := New(ft.now)
+	before := c.Now()
+
+	// Wall clock steps back 3 seconds (NTP correction). Timestamps must
+	// keep increasing, pinned at the old physical time with the logical
+	// counter absorbing the regression.
+	ft.set(2000)
+	prev := before
+	for i := 0; i < 10; i++ {
+		ts := c.Now()
+		if ts <= prev {
+			t.Fatalf("backwards wall clock broke monotonicity: %s then %s", Format(prev), Format(ts))
+		}
+		if Physical(ts) != Physical(before) {
+			t.Fatalf("physical moved while wall is behind: %s", Format(ts))
+		}
+		prev = ts
+	}
+
+	// Offset should surface the ~3s skew.
+	if off := c.Offset(); off < 2900*time.Millisecond || off > 3100*time.Millisecond {
+		t.Fatalf("Offset = %v, want ~3s", off)
+	}
+
+	// Once the wall clock catches up past the pinned physical time, the
+	// clock resumes tracking it and the skew disappears.
+	ft.set(6000)
+	ts := c.Now()
+	if Physical(ts) != 6000 || Logical(ts) != 0 {
+		t.Fatalf("Now after wall catch-up = %s, want 6000.0", Format(ts))
+	}
+	if off := c.Offset(); off != 0 {
+		t.Fatalf("Offset after catch-up = %v, want 0", off)
+	}
+}
+
+func TestObserveRemoteAhead(t *testing.T) {
+	ft := &fakeTime{ms: 1000}
+	c := New(ft.now)
+	c.Now()
+
+	remote := Pack(9000, 7) // peer's wall clock far ahead
+	got := c.Observe(remote)
+	if got <= remote {
+		t.Fatalf("Observe(%s) = %s, want > remote", Format(remote), Format(got))
+	}
+	if Physical(got) != 9000 || Logical(got) != 8 {
+		t.Fatalf("Observe(%s) = %s, want 9000.8", Format(remote), Format(got))
+	}
+
+	// Subsequent local events must order after the observed one.
+	ts := c.Now()
+	if ts <= remote || ts <= got {
+		t.Fatalf("Now after Observe not ordered: %s", Format(ts))
+	}
+}
+
+func TestObserveRemoteBehindIsNoOpForOrdering(t *testing.T) {
+	ft := &fakeTime{ms: 5000}
+	c := New(ft.now)
+	local := c.Now()
+	got := c.Observe(Pack(1000, 99))
+	if got <= local {
+		t.Fatalf("Observe must still advance: %s then %s", Format(local), Format(got))
+	}
+	if Physical(got) != 5000 {
+		t.Fatalf("stale remote dragged physical: %s", Format(got))
+	}
+}
+
+func TestLogicalOverflowCarriesIntoPhysical(t *testing.T) {
+	ft := &fakeTime{ms: 1000}
+	c := New(ft.now)
+	// Drive the clock to the top of the logical range via a crafted
+	// remote observation, then force one more same-ms tick.
+	c.Observe(Pack(1000, 65534)) // last becomes 1000.65535
+	if Logical(c.Last()) != 65535 {
+		t.Fatalf("setup: Last = %s", Format(c.Last()))
+	}
+	ts := c.Now()
+	if Physical(ts) != 1001 || Logical(ts) != 0 {
+		t.Fatalf("overflow carry: Now = %s, want 1001.0", Format(ts))
+	}
+	if ts <= Pack(1000, 65535) {
+		t.Fatalf("overflow broke monotonicity")
+	}
+}
+
+func TestLastDoesNotAdvance(t *testing.T) {
+	ft := &fakeTime{ms: 1000}
+	c := New(ft.now)
+	ts := c.Now()
+	if c.Last() != ts || c.Last() != ts {
+		t.Fatalf("Last advanced the clock")
+	}
+}
+
+func TestConcurrentMonotonicity(t *testing.T) {
+	ft := &fakeTime{ms: 1000}
+	c := New(ft.now)
+	const goroutines = 8
+	const perG = 500
+	results := make([][]uint64, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			out := make([]uint64, 0, perG)
+			for i := 0; i < perG; i++ {
+				if i%3 == 0 {
+					out = append(out, c.Observe(Pack(1000, uint32(i%100))))
+				} else {
+					out = append(out, c.Now())
+				}
+			}
+			results[g] = out
+		}(g)
+	}
+	wg.Wait()
+
+	seen := make(map[uint64]bool, goroutines*perG)
+	for g, out := range results {
+		for i := 1; i < len(out); i++ {
+			if out[i] <= out[i-1] {
+				t.Fatalf("goroutine %d: non-monotonic %s then %s", g, Format(out[i-1]), Format(out[i]))
+			}
+		}
+		for _, ts := range out {
+			if seen[ts] {
+				t.Fatalf("duplicate timestamp issued: %s", Format(ts))
+			}
+			seen[ts] = true
+		}
+	}
+}

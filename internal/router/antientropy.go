@@ -1,0 +1,277 @@
+package router
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"webfountain/internal/services"
+	"webfountain/internal/store"
+)
+
+// Anti-entropy is the convergence path of last resort: quorum writes
+// leave stragglers, partitions strand acked copies on one side, and
+// read-repair only heals keys somebody reads. The sweep compares
+// per-node version censuses through the replica service and ships only
+// the divergent entities, so replicas converge without waiting for a
+// handoff or a lucky read.
+//
+// The sweep has a digest fast path: each node's replica service
+// fingerprints its (id, version, tombstone) census as one sha256
+// (store.VersionDigest). When every live node's digest matches what it
+// was at the end of the last fully-converged sweep, nothing changed
+// anywhere and the sweep is a handful of tiny RPCs. Only when a digest
+// moves does the sweep pull full censuses and diff them.
+//
+// Resolution is per ID, deterministic, and version-driven:
+//
+//   - the newest put version across all holders is the winning copy
+//   - a tombstone at version >= the winning put supersedes it: the ID
+//     is deleted (with the tombstone's stamp) wherever it survives
+//   - otherwise every ring owner missing the winning version receives
+//     it as a fenced replica frame, shipped from a holder of that
+//     version, batched per (source, destination) pair
+//
+// Everything travels through the same fenced frame path read-repair
+// uses, so a sweep racing live writes can only lose to them, never
+// undo them.
+
+// antiEntropyLoop runs AntiEntropyOnce on a fixed cadence until Close.
+func (r *Router) antiEntropyLoop() {
+	defer r.wg.Done()
+	t := time.NewTicker(r.opts.AntiEntropyInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-r.stop:
+			return
+		case <-t.C:
+			if r.stale.Load() {
+				// A stale router re-pulls the ring on the sweep cadence so
+				// the write refusal is bounded by peer reachability, not by
+				// an operator noticing.
+				_ = r.SyncPeersOnce()
+			}
+			_, _ = r.AntiEntropyOnce()
+		}
+	}
+}
+
+// nodeCensus is one node's replicated-state census as the sweep sees
+// it.
+type nodeCensus struct {
+	n        *node
+	digest   string
+	versions map[string]uint64
+	tombs    map[string]uint64
+}
+
+// AntiEntropyOnce runs one divergence sweep across all reachable
+// nodes and returns how many repair operations (entity ships plus
+// propagated deletes) it performed. Unreachable nodes are skipped —
+// they will be swept after they return, and the digest memory ensures
+// the next sweep does not fast-path past them (their digest entry is
+// cleared).
+func (r *Router) AntiEntropyOnce() (repaired int, err error) {
+	nodes := r.snapshotNodes()
+	if len(nodes) == 0 {
+		return 0, nil
+	}
+
+	// Phase 1: digests. Reachability and change detection in one cheap
+	// round.
+	digests := make(map[string]string, len(nodes))
+	var reachable []*node
+	for _, n := range nodes {
+		d, derr := (services.ReplicaClient{C: n.c}).VersionDigest()
+		if derr != nil {
+			continue
+		}
+		digests[n.name] = d
+		reachable = append(reachable, n)
+	}
+	if len(reachable) < 2 {
+		// Nothing to converge against; do not record digests so the next
+		// sweep with more nodes up does a real pass.
+		r.aeMu.Lock()
+		r.aeDigests = nil
+		r.aeMu.Unlock()
+		return 0, nil
+	}
+	r.aeMu.Lock()
+	fastPath := r.aeDigests != nil && len(r.aeDigests) == len(digests)
+	if fastPath {
+		for name, d := range digests {
+			if r.aeDigests[name] != d {
+				fastPath = false
+				break
+			}
+		}
+	}
+	r.aeMu.Unlock()
+	if fastPath {
+		return 0, nil
+	}
+
+	// Phase 2: full censuses from every reachable node.
+	censuses := make([]nodeCensus, 0, len(reachable))
+	for _, n := range reachable {
+		rc := services.ReplicaClient{C: n.c}
+		versions, verr := rc.Versions()
+		if verr != nil {
+			continue
+		}
+		tombs, terr := rc.TombstonesVersioned()
+		if terr != nil {
+			continue
+		}
+		censuses = append(censuses, nodeCensus{n: n, digest: digests[n.name], versions: versions, tombs: tombs})
+	}
+	if len(censuses) < 2 {
+		return 0, nil
+	}
+
+	// Global resolution: newest put version + holder, newest tombstone.
+	newest := map[string]uint64{}
+	holder := map[string]*node{}
+	tombV := map[string]uint64{}
+	for _, c := range censuses {
+		for id, v := range c.versions {
+			if cur, ok := newest[id]; !ok || v > cur || (v == cur && holder[id].name > c.n.name) {
+				// Deterministic tie-break on equal versions: lowest node name
+				// ships, so two runs of one seed repair identically.
+				newest[id] = v
+				holder[id] = c.n
+			}
+		}
+		for id, v := range c.tombs {
+			if cur, ok := tombV[id]; !ok || v > cur {
+				tombV[id] = v
+			}
+		}
+	}
+
+	ids := make([]string, 0, len(newest))
+	for id := range newest {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+
+	// Phase 3: plan repairs. shipPlan[src][dst] = ids to copy src->dst.
+	type pair struct{ src, dst *node }
+	shipPlan := map[pair][]string{}
+	ring := r.ring.Load()
+	byName := make(map[string]nodeCensus, len(censuses))
+	for _, c := range censuses {
+		byName[c.n.name] = c
+	}
+	var firstErr error
+	for _, id := range ids {
+		winV := newest[id]
+		if tv, dead := tombV[id]; dead && tv >= winV && tv > 0 {
+			// The delete wins: propagate the versioned tombstone to every
+			// reachable node still holding a copy it supersedes.
+			frame := store.EncodeDeleteFrame(id, tv)
+			for _, c := range censuses {
+				if hv, held := c.versions[id]; held && hv <= tv {
+					if _, aerr := (services.ReplicaClient{C: c.n.c}).Apply(frame); aerr != nil {
+						if firstErr == nil {
+							firstErr = fmt.Errorf("anti-entropy: delete %s on %s: %w", id, c.n.name, aerr)
+						}
+						continue
+					}
+					repaired++
+				}
+			}
+			continue
+		}
+		// The put wins: every ring owner must hold the winning version.
+		src := holder[id]
+		for _, owner := range ring.ReplicaSet(id) {
+			c, reachableOwner := byName[owner]
+			if !reachableOwner || owner == src.name {
+				continue
+			}
+			if hv, held := c.versions[id]; !held || hv < winV {
+				p := pair{src: src, dst: c.n}
+				shipPlan[p] = append(shipPlan[p], id)
+			}
+		}
+	}
+
+	// Phase 4: execute ships in deterministic (src, dst) order.
+	pairs := make([]pair, 0, len(shipPlan))
+	for p := range shipPlan {
+		pairs = append(pairs, p)
+	}
+	sort.Slice(pairs, func(i, j int) bool {
+		if pairs[i].src.name != pairs[j].src.name {
+			return pairs[i].src.name < pairs[j].src.name
+		}
+		return pairs[i].dst.name < pairs[j].dst.name
+	})
+	for _, p := range pairs {
+		want := shipPlan[p]
+		sort.Strings(want)
+		frames, serr := (services.ReplicaClient{C: p.src.c}).Ship(want)
+		if serr != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("anti-entropy: ship from %s: %w", p.src.name, serr)
+			}
+			continue
+		}
+		if _, aerr := (services.ReplicaClient{C: p.dst.c}).Apply(frames); aerr != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("anti-entropy: apply on %s: %w", p.dst.name, aerr)
+			}
+			continue
+		}
+		repaired += len(want)
+	}
+
+	// Keep the clock ahead of everything the sweep saw, so writes
+	// stamped after a sweep order after every version it touched.
+	var maxSeen uint64
+	for _, id := range ids {
+		if newest[id] > maxSeen {
+			maxSeen = newest[id]
+		}
+	}
+	for id, v := range tombV {
+		_ = id
+		if v > maxSeen {
+			maxSeen = v
+		}
+	}
+	if maxSeen > 0 {
+		r.clock.Observe(maxSeen)
+	}
+
+	// Remember the post-sweep digests only when the sweep finished clean
+	// and actually converged (a sweep that repaired something changed
+	// digests; re-pull them so the fast path keys on converged state).
+	if firstErr == nil {
+		fresh := make(map[string]string, len(reachable))
+		complete := true
+		for _, n := range reachable {
+			d, derr := (services.ReplicaClient{C: n.c}).VersionDigest()
+			if derr != nil {
+				complete = false
+				break
+			}
+			fresh[n.name] = d
+		}
+		r.aeMu.Lock()
+		if complete {
+			r.aeDigests = fresh
+		} else {
+			r.aeDigests = nil
+		}
+		r.aeMu.Unlock()
+	} else {
+		r.aeMu.Lock()
+		r.aeDigests = nil
+		r.aeMu.Unlock()
+	}
+	return repaired, firstErr
+}

@@ -118,42 +118,35 @@ func (r *Router) Rejoin(name string) error {
 
 // catchUp brings each node in fill up to its obligations under the
 // target ring: every entity the ring assigns it that it does not hold
-// is shipped from a live current holder. An entity it holds that no
-// live holder still has is reconciled against real tombstones: if a
-// censused peer recorded the delete, the copy is removed (it was
-// deleted cluster-wide while the node was down); with no delete
-// evidence the copy is conservatively kept — it may be the sole
-// survivor of an acked write — and re-replicated to the entity's other
-// live owners so it regains R copies. Shipping is batched per source
-// node and iterated in sorted order, so a given cluster state produces
-// one deterministic transfer.
+// — or holds at a version older than a live peer's — is shipped from
+// the holder of the newest version. An entity it holds that no live
+// holder still has is reconciled against real tombstones, by version:
+// a peer tombstone at or above the copy's version is proof the delete
+// superseded it (removed, carrying the tombstone's stamp); a tombstone
+// below the copy's version means the copy was re-created after the
+// delete and is kept. With no delete evidence the copy is
+// conservatively kept — it may be the sole survivor of an acked write
+// — and re-replicated to the entity's other live owners so it regains
+// R copies. Shipping is batched per source node and iterated in sorted
+// order, so a given cluster state produces one deterministic transfer.
 func (r *Router) catchUp(target *topology.Ring, fill []string) error {
-	// Holdings + tombstone census. A fill node must answer (we cannot
-	// diff against a node we cannot reach); other nodes are best-effort
-	// sources, and a peer that cannot report tombstones just contributes
-	// none, which only makes reconciliation more conservative.
-	holdings := map[string]map[string]bool{}
-	tombs := map[string]map[string]bool{}
+	// Version + tombstone census — from EVERY node, or the catch-up
+	// aborts. A census silently missing a live node loses its tombstone
+	// evidence (a kept stale copy resurrects an acked delete) or its
+	// holdings (an acked write never ships), and no later step can tell
+	// that from a clean sweep. Each node gets a few tries to ride out
+	// transient network faults; a node that stays unreachable fails this
+	// attempt, and the caller retries once the cluster is whole (an
+	// aborted attempt never bumps the epoch, so retries are free).
+	holdings := map[string]map[string]uint64{}
+	tombs := map[string]map[string]uint64{}
 	for _, n := range r.snapshotNodes() {
-		ids, err := services.ReplicaClient{C: n.c}.IDs()
+		versions, tv, err := censusOf(n)
 		if err != nil {
-			if containsStr(fill, n.name) {
-				return fmt.Errorf("census of %s: %w", n.name, err)
-			}
-			continue
+			return fmt.Errorf("census of %s: %w", n.name, err)
 		}
-		set := make(map[string]bool, len(ids))
-		for _, id := range ids {
-			set[id] = true
-		}
-		holdings[n.name] = set
-		if tids, terr := (services.ReplicaClient{C: n.c}).Tombstones(); terr == nil {
-			tset := make(map[string]bool, len(tids))
-			for _, id := range tids {
-				tset[id] = true
-			}
-			tombs[n.name] = tset
-		}
+		holdings[n.name] = versions
+		tombs[n.name] = tv
 	}
 	all := map[string]bool{}
 	for _, set := range holdings {
@@ -173,29 +166,51 @@ func (r *Router) catchUp(target *topology.Ring, fill []string) error {
 			return fmt.Errorf("fill node %s: no handle", f)
 		}
 		have := holdings[f]
-		// Missing entities, grouped by the source that will ship them.
+		// Entities to ship to f, grouped by the source that will ship them.
 		bySource := map[string][]string{}
-		var extras, soleCopies []string
+		type tombedCopy struct {
+			id string
+			v  uint64 // the superseding tombstone's version
+		}
+		var extras []tombedCopy
+		var soleCopies []string
 		for _, id := range allSorted {
 			if !target.Owns(f, id) {
 				continue
 			}
-			if have[id] {
-				if heldElsewhere(holdings, f, id) {
+			hv, held := have[id]
+			newestV, heldByPeer := newestElsewhere(holdings, f, id)
+			if held {
+				if heldByPeer {
+					if newestV > hv {
+						// Stale copy: pull the newer version (fenced apply, so a
+						// concurrent even-newer write still wins).
+						src := pickSource(holdings, target.ReplicaSet(id), f, id, newestV)
+						if src != "" {
+							bySource[src] = append(bySource[src], id)
+						}
+					}
 					continue
 				}
-				// Nobody else holds it. A peer's tombstone is proof it was
-				// deleted cluster-wide while this node was down; absent that
-				// evidence the copy may be the only survivor of an acked
-				// write, so it is kept and re-replicated below.
-				if tombstonedElsewhere(tombs, f, id) {
-					extras = append(extras, id)
+				// Nobody else holds it. A peer tombstone at or above this
+				// copy's version is proof it was deleted cluster-wide while
+				// this node was down; absent that evidence the copy may be the
+				// only survivor of an acked write, so it is kept and
+				// re-replicated below.
+				if tv, dead := tombstonedElsewhere(tombs, f, id, hv); dead {
+					extras = append(extras, tombedCopy{id: id, v: tv})
 				} else {
 					soleCopies = append(soleCopies, id)
 				}
 				continue
 			}
-			src := pickSource(holdings, target.ReplicaSet(id), f, id)
+			// f is missing the entity. If the newest surviving copy is itself
+			// superseded by a tombstone, shipping it would only create work
+			// for the next sweep; skip it.
+			if tv, dead := tombstonedElsewhere(tombs, f, id, newestV); dead && tv > 0 {
+				continue
+			}
+			src := pickSource(holdings, target.ReplicaSet(id), f, id, newestV)
 			if src == "" {
 				return fmt.Errorf("entity %s: no live source", id)
 			}
@@ -219,9 +234,17 @@ func (r *Router) catchUp(target *topology.Ring, fill []string) error {
 				return fmt.Errorf("apply to %s: %w", f, err)
 			}
 		}
-		for _, id := range extras {
-			if err := (services.StoreClient{C: fnode.c}).Delete(id); err != nil {
-				return fmt.Errorf("reconcile tombstone %s on %s: %w", id, f, err)
+		for _, ex := range extras {
+			var err error
+			if ex.v > 0 {
+				// Carry the delete's stamp so the fill node's tombstone fences
+				// stale puts exactly as the deleting node's does.
+				err = (services.StoreClient{C: fnode.c}).DeleteVersioned(ex.id, ex.v)
+			} else {
+				err = (services.StoreClient{C: fnode.c}).Delete(ex.id)
+			}
+			if err != nil {
+				return fmt.Errorf("reconcile tombstone %s on %s: %w", ex.id, f, err)
 			}
 		}
 		// Restore the replication factor of kept sole copies: ship each
@@ -256,40 +279,87 @@ func (r *Router) catchUp(target *topology.Ring, fill []string) error {
 				return fmt.Errorf("apply sole copies to %s: %w", dst, err)
 			}
 			for _, id := range spread[dst] {
-				holdings[dst][id] = true
+				holdings[dst][id] = have[id]
 			}
 		}
 	}
 	return nil
 }
 
+// censusOf pulls one node's (versions, tombstones) census, retrying a
+// few times so a single dropped call under network weather does not
+// abort a whole catch-up attempt. Retries are read-only and idempotent.
+func censusOf(n *node) (map[string]uint64, map[string]uint64, error) {
+	rc := services.ReplicaClient{C: n.c}
+	var lastErr error
+	for attempt := 0; attempt < 3; attempt++ {
+		versions, err := rc.Versions()
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		tv, err := rc.TombstonesVersioned()
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		return versions, tv, nil
+	}
+	return nil, nil, lastErr
+}
+
 // tombstonedElsewhere reports whether any censused node besides f
-// retains a tombstone for id.
-func tombstonedElsewhere(tombs map[string]map[string]bool, f, id string) bool {
+// retains a tombstone for id that supersedes a copy at version hv
+// (tombstone version >= hv; unversioned tombstones supersede only
+// unversioned copies, preserving the conservative pre-HLC behavior).
+// It returns the newest such tombstone's version.
+func tombstonedElsewhere(tombs map[string]map[string]uint64, f, id string, hv uint64) (uint64, bool) {
+	var best uint64
+	found := false
 	for name, set := range tombs {
-		if name != f && set[id] {
-			return true
+		if name == f {
+			continue
+		}
+		if tv, ok := set[id]; ok && tv >= hv {
+			found = true
+			if tv > best {
+				best = tv
+			}
 		}
 	}
-	return false
+	return best, found
 }
 
-// heldElsewhere reports whether any censused node besides f holds id.
-func heldElsewhere(holdings map[string]map[string]bool, f, id string) bool {
+// newestElsewhere returns the highest version any censused node
+// besides f holds for id, and whether any such holder exists.
+func newestElsewhere(holdings map[string]map[string]uint64, f, id string) (uint64, bool) {
+	var best uint64
+	found := false
 	for name, set := range holdings {
-		if name != f && set[id] {
-			return true
+		if name == f {
+			continue
+		}
+		if v, ok := set[id]; ok {
+			found = true
+			if v > best {
+				best = v
+			}
 		}
 	}
-	return false
+	return best, found
 }
 
-// pickSource chooses the shipping source for id: the first censused
-// holder in the key's replica-set order (stable, so transfers are
-// deterministic), falling back to any holder.
-func pickSource(holdings map[string]map[string]bool, replicaSet []string, f, id string) string {
+// pickSource chooses the shipping source for id among holders of the
+// newest version (wantV): the first such holder in the key's
+// replica-set order (stable, so transfers are deterministic), falling
+// back to any newest-version holder by name.
+func pickSource(holdings map[string]map[string]uint64, replicaSet []string, f, id string, wantV uint64) string {
+	holds := func(name string) bool {
+		v, ok := holdings[name][id]
+		return ok && v >= wantV
+	}
 	for _, name := range replicaSet {
-		if name != f && holdings[name][id] {
+		if name != f && holds(name) {
 			return name
 		}
 	}
@@ -299,7 +369,7 @@ func pickSource(holdings map[string]map[string]bool, replicaSet []string, f, id 
 	}
 	sort.Strings(names)
 	for _, name := range names {
-		if name != f && holdings[name][id] {
+		if name != f && holds(name) {
 			return name
 		}
 	}

@@ -1,0 +1,347 @@
+// Multi-router ring-epoch agreement. Any number of routers can front
+// one node set because placement is a pure function of (members, seed,
+// vnodes, replicas, epoch) — but only if they agree on those inputs.
+// Routers registered as peers exchange ring specs through the topology
+// control service: a membership change on one router is offered to the
+// others (BroadcastRing), and a router can pull and reconcile on demand
+// (SyncPeersOnce) or automatically while stale (the anti-entropy loop
+// re-pulls).
+//
+// Resolution is deterministic and symmetric: the higher epoch wins;
+// at equal epochs with different digests (a fork — two routers changed
+// membership independently), the lexically smaller digest wins. Both
+// sides evaluate the same rule, so exactly one yields.
+//
+// A router that learns it is behind but cannot adopt the current ring
+// (a member it cannot reach and cannot dial) marks itself stale:
+// it refuses writes — acking under a retired placement could land
+// writes on nodes the current ring no longer consults — but keeps
+// serving reads. Stale clears on the next successful adoption or on a
+// clean sync that proves no peer is ahead.
+package router
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"webfountain/internal/topology"
+	"webfountain/internal/vinci"
+)
+
+// RingSpec is a ring as advertised on the wire: everything a peer
+// needs to rebuild it byte-for-byte (epoch, placement config, member
+// set) plus the addresses to reach members it has never met and the
+// advertising router's HLC reading, folded into the receiver's clock
+// so version stamps stay ordered across routers.
+type RingSpec struct {
+	Epoch    uint64
+	Digest   string
+	Seed     int64
+	VNodes   int
+	Replicas int
+	HLC      uint64
+	// Members maps member name to dialable address ("" when the
+	// advertising router only knows the member by handle).
+	Members map[string]string
+}
+
+// fields serializes the spec for a vinci response or request.
+func (s RingSpec) fields() map[string]string {
+	members := make([]string, 0, len(s.Members))
+	for name, addr := range s.Members {
+		members = append(members, name+"="+addr)
+	}
+	sort.Strings(members)
+	return map[string]string{
+		"epoch":    strconv.FormatUint(s.Epoch, 10),
+		"digest":   s.Digest,
+		"seed":     strconv.FormatInt(s.Seed, 10),
+		"vnodes":   strconv.Itoa(s.VNodes),
+		"replicas": strconv.Itoa(s.Replicas),
+		"hlc":      strconv.FormatUint(s.HLC, 10),
+		"members":  strings.Join(members, " "),
+	}
+}
+
+// parseRingSpec is the inverse of fields.
+func parseRingSpec(f map[string]string) (RingSpec, error) {
+	var s RingSpec
+	var err error
+	if s.Epoch, err = strconv.ParseUint(f["epoch"], 10, 64); err != nil {
+		return s, fmt.Errorf("ring spec: bad epoch %q", f["epoch"])
+	}
+	if s.Digest = f["digest"]; s.Digest == "" {
+		return s, fmt.Errorf("ring spec: missing digest")
+	}
+	if s.Seed, err = strconv.ParseInt(f["seed"], 10, 64); err != nil {
+		return s, fmt.Errorf("ring spec: bad seed %q", f["seed"])
+	}
+	if s.VNodes, err = strconv.Atoi(f["vnodes"]); err != nil || s.VNodes <= 0 {
+		return s, fmt.Errorf("ring spec: bad vnodes %q", f["vnodes"])
+	}
+	if s.Replicas, err = strconv.Atoi(f["replicas"]); err != nil || s.Replicas <= 0 {
+		return s, fmt.Errorf("ring spec: bad replicas %q", f["replicas"])
+	}
+	s.HLC, _ = strconv.ParseUint(f["hlc"], 10, 64)
+	s.Members = map[string]string{}
+	for _, tok := range strings.Fields(f["members"]) {
+		i := strings.IndexByte(tok, '=')
+		if i <= 0 {
+			return s, fmt.Errorf("ring spec: bad member %q", tok)
+		}
+		s.Members[tok[:i]] = tok[i+1:]
+	}
+	if len(s.Members) == 0 {
+		return s, fmt.Errorf("ring spec: no members")
+	}
+	return s, nil
+}
+
+// RingSpec snapshots this router's active ring as a wire spec.
+func (r *Router) RingSpec() RingSpec {
+	ring := r.Ring()
+	s := RingSpec{
+		Epoch:    ring.Epoch(),
+		Digest:   ring.Digest(),
+		Seed:     ring.Seed(),
+		VNodes:   ring.VNodes(),
+		Replicas: ring.Replicas(),
+		HLC:      r.clock.Last(),
+		Members:  make(map[string]string, ring.NumMembers()),
+	}
+	for _, m := range ring.Members() {
+		s.Members[m] = r.addrOf(m)
+	}
+	return s
+}
+
+func (r *Router) addrOf(name string) string {
+	r.nmu.RLock()
+	defer r.nmu.RUnlock()
+	if n, ok := r.nodes[name]; ok {
+		return n.addr
+	}
+	return ""
+}
+
+// AddPeer registers another router to exchange ring epochs with. The
+// router does not take ownership of the client.
+func (r *Router) AddPeer(name string, c vinci.Client) {
+	r.pmu.Lock()
+	defer r.pmu.Unlock()
+	r.peers[name] = c
+}
+
+// Peers lists registered peer routers, sorted.
+func (r *Router) Peers() []string {
+	r.pmu.Lock()
+	defer r.pmu.Unlock()
+	out := make([]string, 0, len(r.peers))
+	for name := range r.peers {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+type peerHandle struct {
+	name string
+	c    vinci.Client
+}
+
+func (r *Router) snapshotPeers() []peerHandle {
+	r.pmu.Lock()
+	defer r.pmu.Unlock()
+	out := make([]peerHandle, 0, len(r.peers))
+	for name, c := range r.peers {
+		out = append(out, peerHandle{name: name, c: c})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	return out
+}
+
+// remoteWins is the fork-resolution rule, evaluated identically on
+// both sides: higher epoch wins; at equal epochs with differing
+// digests the lexically smaller digest wins, so exactly one router
+// yields and the pair converges in one exchange.
+func remoteWins(local *topology.Ring, spec RingSpec) bool {
+	if spec.Epoch != local.Epoch() {
+		return spec.Epoch > local.Epoch()
+	}
+	if spec.Digest == local.Digest() {
+		return false
+	}
+	return spec.Digest < local.Digest()
+}
+
+// OfferRing is the receiving half of ring gossip: a peer advertised
+// spec. If the rule says the remote ring wins, this router adopts it;
+// otherwise the offer is a no-op (the response carries this router's
+// own spec, which is how the offering peer learns it is the one
+// behind). The peer's HLC reading is folded in either way.
+func (r *Router) OfferRing(spec RingSpec) (adopted bool, err error) {
+	if spec.HLC > 0 {
+		r.clock.Observe(spec.HLC)
+	}
+	if !remoteWins(r.Ring(), spec) {
+		return false, nil
+	}
+	if err := r.adoptRing(spec); err != nil {
+		return false, err
+	}
+	return true, nil
+}
+
+// adoptRing installs a peer's winning ring: rebuild it from the spec
+// (placement is a pure function of the inputs), verify the digest
+// byte-for-byte, make sure every member has a reachable handle
+// (dialing by advertised address when needed), then swap it in
+// atomically. Any failure leaves the old ring active and marks the
+// router stale, because it now *knows* it is behind.
+func (r *Router) adoptRing(spec RingSpec) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !remoteWins(r.ring.Load(), spec) {
+		return nil // lost a race with another adoption or a local change
+	}
+	members := make([]string, 0, len(spec.Members))
+	for m := range spec.Members {
+		members = append(members, m)
+	}
+	ring := topology.Restore(members, topology.Config{
+		VNodes:   spec.VNodes,
+		Replicas: spec.Replicas,
+		Seed:     spec.Seed,
+	}, spec.Epoch)
+	if ring.Digest() != spec.Digest {
+		r.stale.Store(true)
+		return fmt.Errorf("router: adopt epoch %d: rebuilt digest %.12s != advertised %.12s (placement config differs)",
+			spec.Epoch, ring.Digest(), spec.Digest)
+	}
+	for name, addr := range spec.Members {
+		if _, ok := r.lookup(name); ok {
+			continue
+		}
+		if addr == "" || r.opts.Dial == nil {
+			r.stale.Store(true)
+			return fmt.Errorf("router: adopt epoch %d: no handle or dialable address for member %s", spec.Epoch, name)
+		}
+		c, derr := r.opts.Dial(addr)
+		if derr != nil {
+			r.stale.Store(true)
+			return fmt.Errorf("router: adopt epoch %d: dial %s (%s): %w", spec.Epoch, name, addr, derr)
+		}
+		r.nmu.Lock()
+		r.nodes[name] = &node{name: name, addr: addr, c: &reportingClient{c: c, det: r.det, node: name}}
+		r.nmu.Unlock()
+	}
+	r.ring.Store(ring)
+	// Retired members lose their handles, like a local drain.
+	r.nmu.Lock()
+	for name := range r.nodes {
+		if !ring.Has(name) {
+			delete(r.nodes, name)
+			r.det.Forget(name)
+		}
+	}
+	r.nmu.Unlock()
+	r.stale.Store(false)
+	return nil
+}
+
+// BroadcastRing offers this router's ring to every registered peer —
+// called after a local membership change so peers converge without
+// waiting for their next pull. If a peer's response shows *it* is the
+// one ahead, this router adopts from the response instead. Returns the
+// first failure; a caller that must guarantee convergence (the join
+// path) surfaces it loudly rather than leaving routers split.
+func (r *Router) BroadcastRing() error {
+	var firstErr error
+	record := func(err error) {
+		if firstErr == nil {
+			firstErr = err
+		}
+	}
+	for _, p := range r.snapshotPeers() {
+		peerSpec, err := (TopologyClient{C: p.c}).OfferRing(r.RingSpec())
+		if err != nil {
+			record(fmt.Errorf("router: peer %s: %w", p.name, err))
+			continue
+		}
+		if remoteWins(r.Ring(), peerSpec) {
+			if _, aerr := r.OfferRing(peerSpec); aerr != nil {
+				record(fmt.Errorf("router: peer %s: %w", p.name, aerr))
+			}
+		}
+	}
+	return firstErr
+}
+
+// SyncPeersOnce pulls every peer's ring and reconciles both ways:
+// adopt when the peer is ahead, push ours when the peer is behind. A
+// round that reconciles every peer without error proves no peer is
+// ahead, so the stale flag clears. The anti-entropy loop calls this
+// while the router is stale; it is also the manual re-pull.
+func (r *Router) SyncPeersOnce() error {
+	var firstErr error
+	record := func(err error) {
+		if firstErr == nil {
+			firstErr = err
+		}
+	}
+	for _, p := range r.snapshotPeers() {
+		tc := TopologyClient{C: p.c}
+		spec, err := tc.RingSpec()
+		if err != nil {
+			record(fmt.Errorf("router: peer %s: %w", p.name, err))
+			continue
+		}
+		if spec.HLC > 0 {
+			r.clock.Observe(spec.HLC)
+		}
+		local := r.Ring()
+		switch {
+		case remoteWins(local, spec):
+			if _, aerr := r.OfferRing(spec); aerr != nil {
+				record(fmt.Errorf("router: peer %s: %w", p.name, aerr))
+			}
+		case spec.Epoch != local.Epoch() || spec.Digest != local.Digest():
+			if _, oerr := tc.OfferRing(r.RingSpec()); oerr != nil {
+				record(fmt.Errorf("router: peer %s: %w", p.name, oerr))
+			}
+		}
+	}
+	if firstErr == nil {
+		r.stale.Store(false)
+	}
+	return firstErr
+}
+
+// JoinAddr is Join for a node reached by address: the address is
+// recorded on the handle so peer routers adopting this ring can dial
+// the member themselves.
+func (r *Router) JoinAddr(name, addr string, c vinci.Client) error {
+	if err := r.Join(name, c); err != nil {
+		return err
+	}
+	r.nmu.Lock()
+	if n, ok := r.nodes[name]; ok {
+		n.addr = addr
+	}
+	r.nmu.Unlock()
+	return nil
+}
+
+// AddHandle registers a node client without changing membership — how
+// an embedding process pre-wires handles for members this router will
+// adopt from a peer (in-process tests, static deployments without a
+// dialer). An existing handle for the name is kept.
+func (r *Router) AddHandle(h NodeHandle) {
+	r.nmu.Lock()
+	defer r.nmu.Unlock()
+	if _, ok := r.nodes[h.Name]; !ok {
+		r.nodes[h.Name] = &node{name: h.Name, addr: h.Addr, c: &reportingClient{c: h.Client, det: r.det, node: h.Name}}
+	}
+}

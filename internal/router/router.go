@@ -2,22 +2,27 @@
 // WebFountain deployment. A Router owns no data: it holds a consistent-
 // hash ring (internal/topology), a Vinci client per storage node, and a
 // failure detector, and forwards every operation to the replica set the
-// ring assigns. Writes fan to all replicas of the key (primary first)
-// and acknowledge on the first success; reads race the first two live
-// replicas through the hedged-read machinery and fall back across the
-// rest, so a node kill costs at most one failed attempt before the
-// answer comes from a live replica. Because placement is a pure
-// function of the ring, any number of routers compute identical routing
-// without coordinating — the tier scales by just starting more of them.
+// ring assigns. Writes are stamped with hybrid-logical-clock versions
+// (internal/hlc), fan to all replicas of the key in parallel, and
+// acknowledge once WriteQuorum replicas accepted (stragglers complete
+// in the background); reads consult ReadQuorum replicas, return the
+// newest version and asynchronously repair stale ones, with a
+// background anti-entropy sweep converging whatever the synchronous
+// paths missed. Because placement is a pure function of the ring, any
+// number of routers compute identical routing without coordinating —
+// the tier scales by just starting more of them, with ring epochs kept
+// in agreement through the topology control service (peers.go).
 package router
 
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"webfountain/internal/hlc"
 	"webfountain/internal/index"
 	"webfountain/internal/services"
 	"webfountain/internal/store"
@@ -26,10 +31,13 @@ import (
 )
 
 // NodeHandle names a storage node and the client the router reaches it
-// through.
+// through. Addr, when known, is the node's dialable address — what a
+// peer router adopting this router's ring uses to connect to members
+// it has never met.
 type NodeHandle struct {
 	Name   string
 	Client vinci.Client
+	Addr   string
 }
 
 // Options tunes a Router. The zero value is usable for tests.
@@ -50,8 +58,32 @@ type Options struct {
 	// Detector tunes failure detection.
 	Detector topology.DetectorOptions
 	// Dial, when set, lets the topology service's join op connect to a
-	// new node by address.
+	// new node by address (and lets ring adoption from a peer router
+	// reach members this router has never met).
 	Dial func(addr string) (vinci.Client, error)
+	// WriteQuorum is W: how many replicas must accept a put/delete
+	// before it is acknowledged (default 2, clamped to the write set).
+	// W=1 is availability mode — the pre-quorum first-ack behavior,
+	// where a partition can strand the only acked copy until
+	// anti-entropy heals it.
+	WriteQuorum int
+	// ReadQuorum is R: how many replicas a Get consults before
+	// answering (default 1). With R>1 the newest version wins and stale
+	// replicas are repaired asynchronously; R+W > Replicas makes reads
+	// see every acknowledged write outside failure windows.
+	ReadQuorum int
+	// WriteTimeout is the per-replica deadline budget stamped on quorum
+	// write attempts (0: no per-attempt deadline). It bounds how long a
+	// slow replica can hold the quorum count below W before the write
+	// fails over to the remaining targets.
+	WriteTimeout time.Duration
+	// AntiEntropyInterval is the background divergence-sweep cadence; 0
+	// disables the loop (AntiEntropyOnce can still be called manually).
+	AntiEntropyInterval time.Duration
+	// Clock, when set, replaces the router's hybrid logical clock —
+	// shared with the embedding process so health reports and routed
+	// writes agree on one timeline.
+	Clock *hlc.Clock
 }
 
 func (o Options) normalized() Options {
@@ -61,13 +93,23 @@ func (o Options) normalized() Options {
 	if o.VNodes <= 0 {
 		o.VNodes = 64
 	}
+	if o.WriteQuorum <= 0 {
+		o.WriteQuorum = 2
+	}
+	if o.ReadQuorum <= 0 {
+		o.ReadQuorum = 1
+	}
+	if o.Clock == nil {
+		o.Clock = hlc.New(nil)
+	}
 	return o
 }
 
-// node is one storage node as the router sees it: its name and its
-// detector-reporting client.
+// node is one storage node as the router sees it: its name, its
+// detector-reporting client, and (when known) its dialable address.
 type node struct {
 	name string
+	addr string
 	c    vinci.Client
 }
 
@@ -89,12 +131,34 @@ type Router struct {
 	nmu   sync.RWMutex
 	nodes map[string]*node
 
-	// seq stamps Entity.Version on every Put, making writes of one ID
-	// totally ordered so replication catch-up can refuse to roll a newer
-	// copy back to an older shipped frame. The counter is router-local:
-	// a deployment running several routers concurrently would need a
-	// shared sequence (or per-key vector) for the same guarantee.
-	seq atomic.Uint64
+	// clock stamps Entity.Version on every put and delete with a hybrid
+	// logical timestamp, making writes of one ID totally ordered across
+	// routers and across restarts: every version a router reads or
+	// receives from a peer is folded back in via Observe, so a write
+	// stamped after any observation of version v carries a version > v.
+	clock *hlc.Clock
+
+	// stale is set when a peer router proves this router's ring is
+	// behind (higher epoch elsewhere) and ring adoption has not yet
+	// succeeded. A stale router refuses to ack writes — acking under a
+	// retired placement could land writes on nodes the current ring no
+	// longer consults — but keeps serving reads.
+	stale atomic.Bool
+
+	// peers are other routers this one exchanges ring epochs with.
+	pmu   sync.Mutex
+	peers map[string]vinci.Client
+
+	// inflight tracks write attempts that kept running after their
+	// quorum was reached; Close waits for them so node clients are not
+	// used after teardown.
+	inflight sync.WaitGroup
+
+	// aeDigests remembers each node's version digest at the end of the
+	// last fully-converged anti-entropy sweep, enabling the digest fast
+	// path (nothing changed anywhere -> nothing to diff).
+	aeMu      sync.Mutex
+	aeDigests map[string]string
 
 	stop chan struct{}
 	wg   sync.WaitGroup
@@ -131,12 +195,14 @@ func New(handles []NodeHandle, opts Options) *Router {
 		opts:  opts,
 		det:   topology.NewDetector(opts.Detector),
 		nodes: make(map[string]*node, len(handles)),
+		peers: map[string]vinci.Client{},
+		clock: opts.Clock,
 		stop:  make(chan struct{}),
 	}
 	names := make([]string, 0, len(handles))
 	for _, h := range handles {
 		names = append(names, h.Name)
-		r.nodes[h.Name] = &node{name: h.Name, c: &reportingClient{c: h.Client, det: r.det, node: h.Name}}
+		r.nodes[h.Name] = &node{name: h.Name, addr: h.Addr, c: &reportingClient{c: h.Client, det: r.det, node: h.Name}}
 	}
 	r.ring.Store(topology.New(names, topology.Config{
 		VNodes:   opts.VNodes,
@@ -147,16 +213,35 @@ func New(handles []NodeHandle, opts Options) *Router {
 		r.wg.Add(1)
 		go r.probeLoop()
 	}
+	if opts.AntiEntropyInterval > 0 {
+		r.wg.Add(1)
+		go r.antiEntropyLoop()
+	}
 	return r
 }
 
-// Close stops the probe loop. Node clients stay open (the caller owns
-// them).
+// Close stops the probe and anti-entropy loops and waits for
+// background write attempts (quorum stragglers, read repairs) to
+// finish. Node clients stay open (the caller owns them).
 func (r *Router) Close() error {
 	close(r.stop)
 	r.wg.Wait()
+	r.inflight.Wait()
 	return nil
 }
+
+// Clock exposes the router's hybrid logical clock (health reporting).
+func (r *Router) Clock() *hlc.Clock { return r.clock }
+
+// Quiesce blocks until every background write attempt currently in
+// flight (quorum stragglers, read repairs) has completed. Determinism
+// checkpoints use it: evidence from a straggler that completed before
+// a fault can otherwise surface after it.
+func (r *Router) Quiesce() { r.inflight.Wait() }
+
+// Stale reports whether this router has refused writes since learning
+// its ring is behind a peer's (see peers.go).
+func (r *Router) Stale() bool { return r.stale.Load() }
 
 // Ring returns the active ring.
 func (r *Router) Ring() *topology.Ring { return r.ring.Load() }
@@ -290,50 +375,119 @@ func containsStr(set []string, s string) bool {
 
 // --- write path ---
 
+// ErrStaleRouter reports a write refused because this router has
+// learned (from a peer) that its ring is behind and has not yet
+// adopted the current one. Retry after the ring re-pull; reads keep
+// working in the meantime.
+var ErrStaleRouter = fmt.Errorf("router: ring is stale; refusing writes until current ring is adopted")
+
+// quorumFan runs one write attempt against every target in parallel
+// and returns once quorum targets acked (nil) or every target has
+// answered with fewer than quorum acks (the last error). Attempts
+// still in flight when quorum is reached keep running in the
+// background — the write is already durable on W replicas, and letting
+// the stragglers land keeps replicas convergent without waiting for
+// anti-entropy. Close waits for them.
+func (r *Router) quorumFan(targets []*node, quorum int, attempt func(*node) error) error {
+	if quorum > len(targets) {
+		quorum = len(targets)
+	}
+	results := make(chan error, len(targets))
+	for _, n := range targets {
+		r.inflight.Add(1)
+		go func(n *node) {
+			defer r.inflight.Done()
+			results <- attempt(n)
+		}(n)
+	}
+	acks := 0
+	var lastErr error
+	for i := 0; i < len(targets); i++ {
+		if err := <-results; err != nil {
+			lastErr = err
+		} else {
+			acks++
+			if acks >= quorum {
+				return nil
+			}
+		}
+	}
+	return lastErr
+}
+
+// writeReq stamps the per-replica deadline budget onto a write request.
+func (r *Router) writeReq(req vinci.Request) vinci.Request {
+	if r.opts.WriteTimeout > 0 {
+		return vinci.WithDeadlineBudget(req, r.opts.WriteTimeout)
+	}
+	return req
+}
+
 // Put replicates an entity to every node in its write set and
-// acknowledges once at least one replica accepted it. Failed replicas
-// are reported to the detector and caught up at rejoin; an
-// acknowledged Put therefore survives any failure that leaves one
-// acking replica recoverable.
+// acknowledges once WriteQuorum replicas accepted it (clamped to the
+// write-set size). The entity version is stamped from the router's
+// hybrid logical clock, so versions are comparable across routers;
+// replicas fence stale frames and deletes against it. With W=2 an
+// acknowledged Put survives the loss or isolation of any single
+// replica — including the first one to ack.
 func (r *Router) Put(e *store.Entity) error {
+	if r.stale.Load() {
+		return fmt.Errorf("put %s: %w", e.ID, ErrStaleRouter)
+	}
 	targets := r.writeSet(e.ID)
 	if len(targets) == 0 {
 		return fmt.Errorf("router: put %s: no nodes", e.ID)
 	}
-	e.Version = r.seq.Add(1)
-	acks := 0
-	var lastErr error
-	for _, n := range targets {
-		if err := (services.StoreClient{C: n.c}).Put(e); err != nil {
-			lastErr = err
-		} else {
-			acks++
-		}
+	e.Version = r.clock.Now()
+	data, err := e.MarshalIndent()
+	if err != nil {
+		return fmt.Errorf("router: put %s: %w", e.ID, err)
 	}
-	if acks == 0 {
-		return fmt.Errorf("router: put %s: no replica acked: %w", e.ID, lastErr)
+	req := r.writeReq(vinci.Request{Service: services.StoreService, Op: "put",
+		Params: map[string]string{"entity": string(data)}})
+	ferr := r.quorumFan(targets, r.opts.WriteQuorum, func(n *node) error {
+		resp, cerr := n.c.Call(req)
+		if cerr != nil {
+			return cerr
+		}
+		if !resp.OK {
+			return fmt.Errorf("%s", resp.Error)
+		}
+		return nil
+	})
+	if ferr != nil {
+		return fmt.Errorf("router: put %s: quorum not reached: %w", e.ID, ferr)
 	}
 	return nil
 }
 
-// Delete removes an entity from every node in its write set; like Put
-// it acknowledges on the first success.
+// Delete removes an entity from every node in its write set under a
+// fresh HLC stamp, acknowledging once WriteQuorum replicas accepted.
+// Replicas record the stamp as a versioned tombstone, which fences any
+// stale put frame that would otherwise resurrect the entity.
 func (r *Router) Delete(id string) error {
+	if r.stale.Load() {
+		return fmt.Errorf("delete %s: %w", id, ErrStaleRouter)
+	}
 	targets := r.writeSet(id)
 	if len(targets) == 0 {
 		return fmt.Errorf("router: delete %s: no nodes", id)
 	}
-	acks := 0
-	var lastErr error
-	for _, n := range targets {
-		if err := (services.StoreClient{C: n.c}).Delete(id); err != nil {
-			lastErr = err
-		} else {
-			acks++
+	version := r.clock.Now()
+	req := r.writeReq(vinci.Request{Service: services.StoreService, Op: "delete",
+		Params: map[string]string{"id": id, "version": strconv.FormatUint(version, 10)}})
+	ferr := r.quorumFan(targets, r.opts.WriteQuorum, func(n *node) error {
+		resp, cerr := n.c.Call(req)
+		if cerr != nil {
+			return cerr
 		}
-	}
-	if acks == 0 {
-		return fmt.Errorf("router: delete %s: no replica acked: %w", id, lastErr)
+		if !resp.OK {
+			return fmt.Errorf("%s", resp.Error)
+		}
+		return nil
+	})
+	if ferr != nil {
+		return fmt.Errorf("router: delete %s: quorum not reached: %w", id, ferr)
 	}
 	return nil
 }
@@ -371,16 +525,25 @@ func getFrom(c vinci.Client, id string) (*store.Entity, bool, error) {
 	return e, true, nil
 }
 
-// Get reads an entity from its replica set. With two or more live
-// replicas the first two race through the hedged-read machinery (both
-// transports are different nodes, so the hedge is also the failover);
-// remaining replicas are tried in order. A replica that answers
-// not-found does not end the read — during catch-up a just-revived
-// node is authoritative about nothing except what it has.
+// Get reads an entity from its replica set. With ReadQuorum 1 (the
+// default) and two or more live replicas, the first two race through
+// the hedged-read machinery (both transports are different nodes, so
+// the hedge is also the failover) and remaining replicas are tried in
+// order. With ReadQuorum > 1 the first R candidates are consulted in
+// parallel, the newest version wins, and replicas that answered with a
+// stale or missing copy are repaired asynchronously through the fenced
+// replica-apply path. In both modes a replica that answers not-found
+// does not end the read — during catch-up a just-revived node is
+// authoritative about nothing except what it has. Every version read
+// is folded into the router's clock, so subsequent writes order after
+// it.
 func (r *Router) Get(id string) (*store.Entity, error) {
 	candidates := r.readOrder(id)
 	if len(candidates) == 0 {
 		return nil, fmt.Errorf("router: get %s: no nodes", id)
+	}
+	if r.opts.ReadQuorum > 1 && len(candidates) > 1 {
+		return r.quorumGet(id, candidates)
 	}
 	if len(candidates) >= 2 {
 		h := vinci.NewHedged(candidates[0].c, candidates[1].c, vinci.HedgeOptions{
@@ -391,6 +554,7 @@ func (r *Router) Get(id string) (*store.Entity, error) {
 			IsIdempotent: func(string) bool { return true },
 		})
 		if e, found, err := getFrom(h, id); err == nil && found {
+			r.clock.Observe(e.Version)
 			return e, nil
 		}
 		// Hedge inconclusive (both down, or fastest answered not-found):
@@ -405,6 +569,7 @@ func (r *Router) Get(id string) (*store.Entity, error) {
 			continue
 		}
 		if found {
+			r.clock.Observe(e.Version)
 			return e, nil
 		}
 		answered = true
@@ -413,6 +578,104 @@ func (r *Router) Get(id string) (*store.Entity, error) {
 		return nil, errNotFound{id: id}
 	}
 	return nil, fmt.Errorf("router: get %s: no replica reachable: %w", id, lastErr)
+}
+
+// readAnswer is one replica's response to a quorum read.
+type readAnswer struct {
+	n *node
+	e *store.Entity // nil: answered not-found
+}
+
+// quorumGet consults up to ReadQuorum replicas in parallel, extends to
+// the remaining candidates if too few were reachable (availability
+// beats a strict R when replicas are down — the chosen answer is still
+// the newest of everything read), returns the highest-version copy and
+// fires read-repair at every consulted replica that returned something
+// older or nothing.
+func (r *Router) quorumGet(id string, candidates []*node) (*store.Entity, error) {
+	quorum := r.opts.ReadQuorum
+	if quorum > len(candidates) {
+		quorum = len(candidates)
+	}
+	answers := make([]readAnswer, 0, quorum)
+	var lastErr error
+
+	type result struct {
+		n     *node
+		e     *store.Entity
+		found bool
+		err   error
+	}
+	results := make(chan result, len(candidates))
+	ask := func(n *node) {
+		e, found, err := getFrom(n.c, id)
+		results <- result{n: n, e: e, found: found, err: err}
+	}
+	for _, n := range candidates[:quorum] {
+		go ask(n)
+	}
+	launched := quorum
+	for pending := quorum; pending > 0; pending-- {
+		res := <-results
+		if res.err != nil {
+			lastErr = res.err
+			// A consulted replica was unreachable: pull in the next unasked
+			// candidate so the read still gathers R answers when the ring
+			// has them to give.
+			if launched < len(candidates) {
+				go ask(candidates[launched])
+				launched++
+				pending++
+			}
+			continue
+		}
+		if res.found {
+			answers = append(answers, readAnswer{n: res.n, e: res.e})
+		} else {
+			answers = append(answers, readAnswer{n: res.n})
+		}
+	}
+	if len(answers) == 0 {
+		return nil, fmt.Errorf("router: get %s: no replica reachable: %w", id, lastErr)
+	}
+
+	var newest *store.Entity
+	for _, a := range answers {
+		if a.e != nil && (newest == nil || a.e.Version > newest.Version) {
+			newest = a.e
+		}
+	}
+	if newest == nil {
+		return nil, errNotFound{id: id}
+	}
+	r.clock.Observe(newest.Version)
+	r.repairStale(newest, answers)
+	return newest, nil
+}
+
+// repairStale pushes the winning copy of a quorum read to every
+// consulted replica that answered with an older version or not-found.
+// The repair travels as a replica-apply frame, not a plain put: the
+// receiving store fences it against newer versions and versioned
+// tombstones, so a repair racing a fresher write (or a delete the
+// reader had not seen) can never roll state back. Repairs run in the
+// background — the read already answered — and Close waits for them.
+func (r *Router) repairStale(newest *store.Entity, answers []readAnswer) {
+	frame, err := store.EncodePutFrame(newest)
+	if err != nil {
+		return
+	}
+	for _, a := range answers {
+		if a.e != nil && a.e.Version >= newest.Version {
+			continue
+		}
+		n := a.n
+		r.inflight.Add(1)
+		go func() {
+			defer r.inflight.Done()
+			_, _ = (services.ReplicaClient{C: n.c}).Apply(frame)
+		}()
+	}
 }
 
 // --- fan-out queries ---

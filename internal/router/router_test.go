@@ -164,7 +164,7 @@ func TestRouterReadFailoverAfterKill(t *testing.T) {
 }
 
 func TestRouterWriteSurvivesDeadReplicaAndRejoinCatchesUp(t *testing.T) {
-	c := newCluster(t, []string{"n1", "n2", "n3"}, Options{Replicas: 2, Seed: 7})
+	c := newCluster(t, []string{"n1", "n2", "n3"}, Options{Replicas: 2, Seed: 7, WriteQuorum: 1})
 	c.put(t, 10)
 	victim := "n2"
 	c.nodes[victim].gate.Kill()
@@ -198,7 +198,7 @@ func TestRouterWriteSurvivesDeadReplicaAndRejoinCatchesUp(t *testing.T) {
 }
 
 func TestRouterRejoinReconcilesTombstones(t *testing.T) {
-	c := newCluster(t, []string{"n1", "n2", "n3"}, Options{Replicas: 2, Seed: 11})
+	c := newCluster(t, []string{"n1", "n2", "n3"}, Options{Replicas: 2, Seed: 11, WriteQuorum: 1})
 	c.put(t, 20)
 	// Find an entity the victim owns, delete it while the victim is down.
 	victim := "n3"
@@ -371,7 +371,7 @@ func TestRouterDrain(t *testing.T) {
 }
 
 func TestRouterPartitionHealsWithoutDataLoss(t *testing.T) {
-	c := newCluster(t, []string{"n1", "n2", "n3"}, Options{Replicas: 2, Seed: 9})
+	c := newCluster(t, []string{"n1", "n2", "n3"}, Options{Replicas: 2, Seed: 9, WriteQuorum: 1})
 	c.put(t, 15)
 	c.nodes["n1"].gate.Partition()
 	c.put(t, 30) // writes flow during the partition

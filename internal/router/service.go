@@ -60,9 +60,18 @@ func (r *Router) RegisterTopology(reg *vinci.Registry) {
 			if err != nil {
 				return vinci.Errorf("topology: dial %s: %v", addr, err)
 			}
-			if err := r.Join(name, c); err != nil {
+			if err := r.JoinAddr(name, addr, c); err != nil {
 				c.Close()
 				return vinci.Errorf("topology: %v", err)
+			}
+			// A join accepted by this router must reach its peers, or two
+			// routers would route under different memberships — the
+			// single-authority footgun. The node is admitted either way
+			// (the ring moved), but the caller hears about the split
+			// loudly instead of discovering it as data loss.
+			if berr := r.BroadcastRing(); berr != nil {
+				return vinci.Errorf("topology: join admitted %s (epoch %d) but peer routers did not converge: %v",
+					name, r.Ring().Epoch(), berr)
 			}
 			return vinci.OKResponse(map[string]string{
 				"epoch": strconv.FormatUint(r.Ring().Epoch(), 10),
@@ -71,6 +80,10 @@ func (r *Router) RegisterTopology(reg *vinci.Registry) {
 			if err := r.Drain(req.Param("node")); err != nil {
 				return vinci.Errorf("topology: %v", err)
 			}
+			if berr := r.BroadcastRing(); berr != nil {
+				return vinci.Errorf("topology: drain applied (epoch %d) but peer routers did not converge: %v",
+					r.Ring().Epoch(), berr)
+			}
 			return vinci.OKResponse(map[string]string{
 				"epoch": strconv.FormatUint(r.Ring().Epoch(), 10),
 			})
@@ -78,9 +91,27 @@ func (r *Router) RegisterTopology(reg *vinci.Registry) {
 			if err := r.Rejoin(req.Param("node")); err != nil {
 				return vinci.Errorf("topology: %v", err)
 			}
+			if berr := r.BroadcastRing(); berr != nil {
+				return vinci.Errorf("topology: rejoin applied (epoch %d) but peer routers did not converge: %v",
+					r.Ring().Epoch(), berr)
+			}
 			return vinci.OKResponse(map[string]string{
 				"epoch": strconv.FormatUint(r.Ring().Epoch(), 10),
 			})
+		case "ring":
+			return vinci.OKResponse(r.RingSpec().fields())
+		case "adopt":
+			spec, err := parseRingSpec(req.Params)
+			if err != nil {
+				return vinci.Errorf("topology: %v", err)
+			}
+			if _, err := r.OfferRing(spec); err != nil {
+				return vinci.Errorf("topology: adopt: %v", err)
+			}
+			// Answer with our own (possibly just-adopted) spec: when the
+			// offer lost the resolution rule, this is how the offering
+			// router learns it is the one behind.
+			return vinci.OKResponse(r.RingSpec().fields())
 		}
 		return vinci.Errorf("topology: unknown op %q", req.Op)
 	})
@@ -170,6 +201,33 @@ func (tc TopologyClient) Drain(node string) error {
 		return fmt.Errorf("%s", resp.Error)
 	}
 	return nil
+}
+
+// RingSpec fetches the router's active ring as a wire spec.
+func (tc TopologyClient) RingSpec() (RingSpec, error) {
+	resp, err := tc.C.Call(vinci.Request{Service: TopologyService, Op: "ring"})
+	if err != nil {
+		return RingSpec{}, err
+	}
+	if !resp.OK {
+		return RingSpec{}, fmt.Errorf("%s", resp.Error)
+	}
+	return parseRingSpec(resp.Fields)
+}
+
+// OfferRing advertises a ring to the router and returns the ring the
+// router is left serving (the offered one if it won resolution, the
+// router's own — possibly ahead — otherwise).
+func (tc TopologyClient) OfferRing(spec RingSpec) (RingSpec, error) {
+	resp, err := tc.C.Call(vinci.Request{Service: TopologyService, Op: "adopt",
+		Params: spec.fields()})
+	if err != nil {
+		return RingSpec{}, err
+	}
+	if !resp.OK {
+		return RingSpec{}, fmt.Errorf("%s", resp.Error)
+	}
+	return parseRingSpec(resp.Fields)
 }
 
 // Rejoin asks the router to catch the named member up after recovery.

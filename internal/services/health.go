@@ -35,8 +35,23 @@ type HealthOptions struct {
 	// "ok" from a node that silently dropped out of its replica sets was
 	// exactly the blind spot this closes.
 	Topology func() TopologyInfo
+	// Clock, when set, lets ping and status report the node's hybrid
+	// logical clock: the newest version stamp it has issued or observed,
+	// and how far that runs ahead of the wall clock. A large offset
+	// flags a clock-skewed peer somewhere in the cluster before it
+	// starts winning last-writer-wins races it shouldn't.
+	Clock func() ClockInfo
 	// now overrides the clock in tests.
 	now func() time.Time
+}
+
+// ClockInfo is a node's self-reported HLC state.
+type ClockInfo struct {
+	// Last is the newest HLC timestamp issued or observed.
+	Last uint64
+	// Offset is how far the HLC's physical component runs ahead of the
+	// node's wall clock (0 when tracking real time).
+	Offset time.Duration
 }
 
 // TopologyInfo is a node's self-reported ring position.
@@ -84,6 +99,11 @@ func RegisterHealth(reg *vinci.Registry, opts HealthOptions) {
 				fields["ring_epoch"] = strconv.FormatUint(ti.Epoch, 10)
 				fields["role"] = ti.Role()
 			}
+			if opts.Clock != nil {
+				ci := opts.Clock()
+				fields["hlc"] = strconv.FormatUint(ci.Last, 10)
+				fields["hlc_offset_ms"] = strconv.FormatInt(ci.Offset.Milliseconds(), 10)
+			}
 			return vinci.OKResponse(fields)
 		case "uptime":
 			up := opts.now().Sub(start)
@@ -117,6 +137,11 @@ func RegisterHealth(reg *vinci.Registry, opts HealthOptions) {
 				fields["shard_primaries"] = strconv.Itoa(ti.Primaries)
 				fields["shard_replicas"] = strconv.Itoa(ti.Replicas)
 			}
+			if opts.Clock != nil {
+				ci := opts.Clock()
+				fields["hlc"] = strconv.FormatUint(ci.Last, 10)
+				fields["hlc_offset_ms"] = strconv.FormatInt(ci.Offset.Milliseconds(), 10)
+			}
 			return vinci.OKResponse(fields)
 		}
 		return vinci.Errorf("health: unknown op %q", req.Op)
@@ -140,6 +165,9 @@ type NodeStatus struct {
 	// Topology is the node's self-reported ring position, nil when the
 	// node is not part of a replicated deployment.
 	Topology *TopologyInfo
+	// Clock is the node's self-reported HLC state, nil when the node
+	// does not run a hybrid logical clock.
+	Clock *ClockInfo
 }
 
 // HealthClient is the typed client for the health service.
@@ -213,6 +241,16 @@ func (hc HealthClient) Status() (NodeStatus, error) {
 			ti.Replicas = n
 		}
 		st.Topology = ti
+	}
+	if v, ok := resp.Fields["hlc"]; ok {
+		ci := &ClockInfo{}
+		if last, err := strconv.ParseUint(v, 10, 64); err == nil {
+			ci.Last = last
+		}
+		if ms, err := strconv.ParseInt(resp.Fields["hlc_offset_ms"], 10, 64); err == nil {
+			ci.Offset = time.Duration(ms) * time.Millisecond
+		}
+		st.Clock = ci
 	}
 	return st, nil
 }

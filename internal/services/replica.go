@@ -2,7 +2,9 @@ package services
 
 import (
 	"encoding/base64"
+	"encoding/hex"
 	"fmt"
+	"sort"
 	"strconv"
 	"strings"
 
@@ -20,11 +22,16 @@ const ReplicaService = "replica"
 
 // RegisterReplica exposes handoff ops on a node's store:
 //
-//	ids   — every entity ID the node holds (the diff base for catch-up)
-//	tombs — retained tombstones: IDs deleted on this node, so catch-up
-//	        can tell "deleted while you were down" from "sole copy"
-//	ship  — a WAL-frame batch for the requested IDs (or everything)
-//	apply — install a shipped batch through the normal mutation path
+//	ids     — every entity ID the node holds (the diff base for catch-up)
+//	tombs   — retained tombstones: IDs deleted on this node, so catch-up
+//	          can tell "deleted while you were down" from "sole copy"
+//	ship    — a WAL-frame batch for the requested IDs (or everything)
+//	apply   — install a shipped batch through the normal mutation path
+//	vdigest — sha256 over the node's (id, version) census including
+//	          versioned tombstones; the anti-entropy fast path (equal
+//	          digests = nothing to exchange)
+//	versions — the full id@version census of held entities
+//	tombsv   — retained tombstones as id@version pairs
 //
 // Frames travel base64-encoded inside the XML response/params; their
 // own CRCs still detect corruption end to end. hooks keep the node's
@@ -36,6 +43,13 @@ func RegisterReplica(reg *vinci.Registry, st *store.Store, hooks StoreHooks) {
 			return vinci.OKResponse(map[string]string{"ids": strings.Join(st.IDs(), " ")})
 		case "tombs":
 			return vinci.OKResponse(map[string]string{"ids": strings.Join(st.Tombstones(), " ")})
+		case "vdigest":
+			d := st.VersionDigest()
+			return vinci.OKResponse(map[string]string{"digest": hex.EncodeToString(d[:])})
+		case "versions":
+			return vinci.OKResponse(map[string]string{"versions": encodeVersionCensus(st.Versions())})
+		case "tombsv":
+			return vinci.OKResponse(map[string]string{"versions": encodeVersionCensus(st.TombstonesVersioned())})
 		case "ship":
 			var batch []byte
 			var err error
@@ -78,8 +92,85 @@ func RegisterReplica(reg *vinci.Registry, st *store.Store, hooks StoreHooks) {
 	})
 }
 
+// encodeVersionCensus renders id->version as sorted space-separated
+// id@version pairs — the same space-separated-IDs idiom the ids op
+// uses, with the version suffixed after an @ (IDs with spaces are
+// already unrepresentable in this protocol; @ splits on the last
+// occurrence so IDs containing @ survive).
+func encodeVersionCensus(m map[string]uint64) string {
+	ids := make([]string, 0, len(m))
+	for id := range m {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	var b strings.Builder
+	for i, id := range ids {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		b.WriteString(id)
+		b.WriteByte('@')
+		b.WriteString(strconv.FormatUint(m[id], 10))
+	}
+	return b.String()
+}
+
+// decodeVersionCensus parses encodeVersionCensus output.
+func decodeVersionCensus(s string) (map[string]uint64, error) {
+	out := map[string]uint64{}
+	for _, pair := range strings.Fields(s) {
+		at := strings.LastIndexByte(pair, '@')
+		if at < 0 {
+			return nil, fmt.Errorf("replica: bad census pair %q", pair)
+		}
+		v, err := strconv.ParseUint(pair[at+1:], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("replica: bad census pair %q: %v", pair, err)
+		}
+		out[pair[:at]] = v
+	}
+	return out, nil
+}
+
 // ReplicaClient is the typed client for the replica service.
 type ReplicaClient struct{ C vinci.Client }
+
+// VersionDigest fetches the node's version-census digest (hex sha256).
+func (rc ReplicaClient) VersionDigest() (string, error) {
+	resp, err := rc.C.Call(vinci.Request{Service: ReplicaService, Op: "vdigest"})
+	if err != nil {
+		return "", err
+	}
+	if !resp.OK {
+		return "", fmt.Errorf("%s", resp.Error)
+	}
+	return resp.Fields["digest"], nil
+}
+
+// Versions fetches the node's full id -> version census.
+func (rc ReplicaClient) Versions() (map[string]uint64, error) {
+	resp, err := rc.C.Call(vinci.Request{Service: ReplicaService, Op: "versions"})
+	if err != nil {
+		return nil, err
+	}
+	if !resp.OK {
+		return nil, fmt.Errorf("%s", resp.Error)
+	}
+	return decodeVersionCensus(resp.Fields["versions"])
+}
+
+// TombstonesVersioned fetches the node's retained tombstones with
+// their delete versions.
+func (rc ReplicaClient) TombstonesVersioned() (map[string]uint64, error) {
+	resp, err := rc.C.Call(vinci.Request{Service: ReplicaService, Op: "tombsv"})
+	if err != nil {
+		return nil, err
+	}
+	if !resp.OK {
+		return nil, fmt.Errorf("%s", resp.Error)
+	}
+	return decodeVersionCensus(resp.Fields["versions"])
+}
 
 // IDs lists every entity ID the node holds, sorted.
 func (rc ReplicaClient) IDs() ([]string, error) {

@@ -190,3 +190,80 @@ func TestReplicaTombstonesOp(t *testing.T) {
 		t.Fatalf("tombs=%v err=%v, want [doc-000001]", tids, err)
 	}
 }
+
+func TestReplicaVersionCensusOps(t *testing.T) {
+	st, rc := replicaFixture(t, 0)
+	if err := st.Put(&store.Entity{ID: "doc-a", Text: "a", Version: 7}); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Put(&store.Entity{ID: "doc@odd", Text: "b", Version: 9}); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.DeleteVersioned("doc-gone", 12); err != nil {
+		t.Fatal(err)
+	}
+
+	versions, err := rc.Versions()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(versions) != 2 || versions["doc-a"] != 7 || versions["doc@odd"] != 9 {
+		t.Fatalf("versions = %v", versions)
+	}
+	tombs, err := rc.TombstonesVersioned()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tombs) != 1 || tombs["doc-gone"] != 12 {
+		t.Fatalf("tombsv = %v", tombs)
+	}
+
+	d1, err := rc.VersionDigest()
+	if err != nil || len(d1) != 64 {
+		t.Fatalf("digest %q err %v", d1, err)
+	}
+	want := st.VersionDigest()
+	if d1 != fmt.Sprintf("%x", want) {
+		t.Fatalf("digest mismatch: wire %s, local %x", d1, want)
+	}
+	// Digest moves with state.
+	if err := st.Put(&store.Entity{ID: "doc-a", Text: "a2", Version: 20}); err != nil {
+		t.Fatal(err)
+	}
+	d2, err := rc.VersionDigest()
+	if err != nil || d2 == d1 {
+		t.Fatalf("digest did not move: %q vs %q (err %v)", d1, d2, err)
+	}
+}
+
+func TestStoreServiceVersionedDelete(t *testing.T) {
+	st := store.New(1)
+	if err := st.Put(&store.Entity{ID: "doc-a", Text: "a", Version: 30}); err != nil {
+		t.Fatal(err)
+	}
+	reg := vinci.NewRegistry()
+	var deleted []string
+	RegisterStoreWith(reg, st, StoreHooks{OnDelete: func(id string) { deleted = append(deleted, id) }})
+	sc := StoreClient{C: vinci.NewLocalClient(reg)}
+
+	// Stale delete is fenced by the store.
+	if err := sc.DeleteVersioned("doc-a", 25); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := st.Get("doc-a"); !ok {
+		t.Fatal("stale wire delete removed newer copy")
+	}
+	// Newer delete applies and records the versioned tombstone.
+	if err := sc.DeleteVersioned("doc-a", 35); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := st.Get("doc-a"); ok {
+		t.Fatal("versioned wire delete did not apply")
+	}
+	if v := st.TombstonesVersioned()["doc-a"]; v != 35 {
+		t.Fatalf("tombstone version = %d, want 35", v)
+	}
+	if len(deleted) != 2 {
+		t.Fatalf("OnDelete hook fired %d times, want 2", len(deleted))
+	}
+}

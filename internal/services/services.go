@@ -79,7 +79,18 @@ func RegisterStoreWith(reg *vinci.Registry, st *store.Store, hooks StoreHooks) {
 			}
 			return vinci.OKResponse(map[string]string{"id": e.ID})
 		case "delete":
-			if err := st.Delete(req.Param("id")); err != nil {
+			// An optional version param makes the delete an HLC-fenced
+			// versioned delete (see store.DeleteVersioned); without it the
+			// delete is unconditional, preserving single-node semantics.
+			if vs := req.Param("version"); vs != "" {
+				v, err := strconv.ParseUint(vs, 10, 64)
+				if err != nil {
+					return vinci.Errorf("store: bad version %q: %v", vs, err)
+				}
+				if err := st.DeleteVersioned(req.Param("id"), v); err != nil {
+					return vinci.Errorf("store: %v", err)
+				}
+			} else if err := st.Delete(req.Param("id")); err != nil {
 				return vinci.Errorf("store: %v", err)
 			}
 			if hooks.OnDelete != nil {
@@ -129,6 +140,23 @@ func (sc StoreClient) Put(e *store.Entity) error {
 // Delete removes an entity.
 func (sc StoreClient) Delete(id string) error {
 	resp, err := sc.C.Call(vinci.Request{Service: StoreService, Op: "delete", Params: map[string]string{"id": id}})
+	if err != nil {
+		return err
+	}
+	if !resp.OK {
+		return fmt.Errorf("%s", resp.Error)
+	}
+	return nil
+}
+
+// DeleteVersioned removes an entity under an HLC version stamp; the
+// node fences the delete against newer held copies and records a
+// versioned tombstone (store.DeleteVersioned).
+func (sc StoreClient) DeleteVersioned(id string, version uint64) error {
+	resp, err := sc.C.Call(vinci.Request{Service: StoreService, Op: "delete", Params: map[string]string{
+		"id":      id,
+		"version": strconv.FormatUint(version, 10),
+	}})
 	if err != nil {
 		return err
 	}

@@ -354,6 +354,13 @@ func applyRecord(s *Store, op byte, body []byte) error {
 	case opDelete:
 		s.applyDelete(string(body))
 		return nil
+	case opDeleteV:
+		id, v, err := decodeDeleteV(body)
+		if err != nil {
+			return err
+		}
+		s.applyDeleteVersioned(id, v)
+		return nil
 	case opAnnotate:
 		rec, err := decodeAnnotate(body)
 		if err != nil {

@@ -1,9 +1,12 @@
 package store
 
 import (
+	"crypto/sha256"
+	"encoding/binary"
 	"encoding/xml"
 	"errors"
 	"fmt"
+	"sort"
 )
 
 // Shard handoff ships state between nodes as WAL frames — the same
@@ -29,8 +32,14 @@ func EncodePutFrame(e *Entity) ([]byte, error) {
 	return encodeWALRecord(opPut, body), nil
 }
 
-// EncodeDeleteFrame renders one tombstone as a shippable opDelete frame.
-func EncodeDeleteFrame(id string) []byte {
+// EncodeDeleteFrame renders one tombstone as a shippable delete frame.
+// A nonzero version produces a versioned (opDeleteV) frame, which the
+// receiver fences against newer held copies; version 0 produces the
+// legacy unconditional opDelete frame.
+func EncodeDeleteFrame(id string, version uint64) []byte {
+	if version > 0 {
+		return encodeWALRecord(opDeleteV, encodeDeleteV(id, version))
+	}
 	return encodeWALRecord(opDelete, []byte(id))
 }
 
@@ -72,12 +81,18 @@ func ApplyFramesObserved(s *Store, data []byte, observe func(id string, e *Entit
 			if perr != nil {
 				return applied, fmt.Errorf("%w: frame %d: %v", ErrCorruptFrame, applied, perr)
 			}
-			// Version fence: a frame is a point-in-time read of the source,
-			// and a dual-written update may have landed here after the frame
-			// was shipped. Installing the older frame would roll the newer
-			// copy back, so it is skipped (still counted — the batch
-			// converged for this ID).
+			// Version fences: a frame is a point-in-time read of the source,
+			// and a dual-written update — or a versioned delete — may have
+			// landed here after the frame was shipped. Installing the older
+			// frame would roll the newer copy back (or resurrect a deleted
+			// entity), so it is skipped (still counted — the batch converged
+			// for this ID).
 			if cur, ok := s.Get(e.ID); ok && cur.Version > e.Version {
+				applied++
+				data = data[n:]
+				continue
+			}
+			if tv, ok := s.tombstoneVersion(e.ID); ok && e.Version > 0 && tv >= e.Version {
 				applied++
 				data = data[n:]
 				continue
@@ -94,6 +109,24 @@ func ApplyFramesObserved(s *Store, data []byte, observe func(id string, e *Entit
 			}
 			if observe != nil {
 				observe(string(body), nil)
+			}
+		case opDeleteV:
+			id, v, verr := decodeDeleteV(body)
+			if verr != nil {
+				return applied, fmt.Errorf("%w: frame %d: %v", ErrCorruptFrame, applied, verr)
+			}
+			// Stale-delete fence: a copy newer than the delete stamp means a
+			// later put superseded the delete; keep the copy.
+			if cur, ok := s.Get(id); ok && cur.Version > v {
+				applied++
+				data = data[n:]
+				continue
+			}
+			if derr := s.DeleteVersioned(id, v); derr != nil {
+				return applied, fmt.Errorf("store: apply replication frame %d: %w", applied, derr)
+			}
+			if observe != nil {
+				observe(id, nil)
 			}
 		case opAnnotate:
 			rec, aerr := decodeAnnotate(body)
@@ -113,6 +146,52 @@ func ApplyFramesObserved(s *Store, data []byte, observe func(id string, e *Entit
 		data = data[n:]
 	}
 	return applied, nil
+}
+
+// VersionDigest fingerprints the store's replicated state: a sha256
+// over every held (id, version) pair and every retained versioned
+// tombstone, in sorted-ID order. Two replicas with equal digests hold
+// byte-identical version censuses, so anti-entropy can skip the full
+// census exchange — the fast path of the sweep. Annotations and entity
+// bodies are deliberately outside the digest: the version stamp already
+// changes on every routed write, and hashing bodies would make the
+// sweep cost proportional to corpus size instead of corpus count.
+func (s *Store) VersionDigest() [32]byte {
+	versions := s.Versions()
+	ids := make([]string, 0, len(versions))
+	for id := range versions {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	tombs := s.TombstonesVersioned()
+	tids := make([]string, 0, len(tombs))
+	for id := range tombs {
+		tids = append(tids, id)
+	}
+	sort.Strings(tids)
+
+	h := sha256.New()
+	var num [8]byte
+	writePair := func(id string, v uint64) {
+		binary.BigEndian.PutUint64(num[:], uint64(len(id)))
+		h.Write(num[:])
+		h.Write([]byte(id))
+		binary.BigEndian.PutUint64(num[:], v)
+		h.Write(num[:])
+	}
+	binary.BigEndian.PutUint64(num[:], uint64(len(ids)))
+	h.Write(num[:])
+	for _, id := range ids {
+		writePair(id, versions[id])
+	}
+	binary.BigEndian.PutUint64(num[:], uint64(len(tids)))
+	h.Write(num[:])
+	for _, id := range tids {
+		writePair(id, tombs[id])
+	}
+	var out [32]byte
+	h.Sum(out[:0])
+	return out
 }
 
 // SnapshotFrames renders the store's full contents (or, with filter

@@ -94,7 +94,7 @@ func TestReplicationDeleteFrame(t *testing.T) {
 	if err := dst.Put(replicaEntity(1)); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := ApplyFrames(dst, EncodeDeleteFrame("doc-000001")); err != nil {
+	if _, err := ApplyFrames(dst, EncodeDeleteFrame("doc-000001", 0)); err != nil {
 		t.Fatal(err)
 	}
 	if dst.Len() != 0 {

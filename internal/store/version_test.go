@@ -1,0 +1,300 @@
+package store
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+func versionedEntity(id string, version uint64) *Entity {
+	return &Entity{ID: id, Text: fmt.Sprintf("body of %s at %d", id, version), Version: version}
+}
+
+func TestVersionedPutFenceLastWriterWins(t *testing.T) {
+	s := New(4)
+	if err := s.Put(versionedEntity("doc-a", 10)); err != nil {
+		t.Fatal(err)
+	}
+	// Stale replica of an older write arrives after the newer one.
+	if err := s.Put(versionedEntity("doc-a", 5)); err != nil {
+		t.Fatal(err)
+	}
+	e, ok := s.Get("doc-a")
+	if !ok || e.Version != 10 {
+		t.Fatalf("stale put rolled back the newer copy: got %+v", e)
+	}
+	// A genuinely newer write replaces.
+	if err := s.Put(versionedEntity("doc-a", 11)); err != nil {
+		t.Fatal(err)
+	}
+	if e, _ := s.Get("doc-a"); e.Version != 11 {
+		t.Fatalf("newer put did not install: got version %d", e.Version)
+	}
+}
+
+func TestUnversionedPutAlwaysInstalls(t *testing.T) {
+	s := New(4)
+	if err := s.Put(versionedEntity("doc-a", 10)); err != nil {
+		t.Fatal(err)
+	}
+	// Single-process deployments never stamp versions; arrival order is
+	// write order and a version-0 put must not be fenced.
+	if err := s.Put(&Entity{ID: "doc-a", Text: "local overwrite"}); err != nil {
+		t.Fatal(err)
+	}
+	if e, _ := s.Get("doc-a"); e.Text != "local overwrite" {
+		t.Fatalf("unversioned put was fenced: %+v", e)
+	}
+}
+
+func TestDeleteVersionedFencesAndTombstones(t *testing.T) {
+	s := New(4)
+	if err := s.Put(versionedEntity("doc-a", 20)); err != nil {
+		t.Fatal(err)
+	}
+
+	// Stale delete (older than the held copy): no-op, no tombstone.
+	if err := s.DeleteVersioned("doc-a", 15); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get("doc-a"); !ok {
+		t.Fatal("stale delete removed a newer copy")
+	}
+	if s.HasTombstone("doc-a") {
+		t.Fatal("stale delete recorded a tombstone")
+	}
+
+	// Newer delete applies and records its version.
+	if err := s.DeleteVersioned("doc-a", 25); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get("doc-a"); ok {
+		t.Fatal("versioned delete did not remove the entity")
+	}
+	if v := s.TombstonesVersioned()["doc-a"]; v != 25 {
+		t.Fatalf("tombstone version = %d, want 25", v)
+	}
+
+	// A put older than the tombstone must not resurrect the entity.
+	if err := s.Put(versionedEntity("doc-a", 22)); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get("doc-a"); ok {
+		t.Fatal("put older than tombstone resurrected the entity")
+	}
+	if !s.HasTombstone("doc-a") {
+		t.Fatal("fenced put withdrew the tombstone")
+	}
+
+	// A put newer than the tombstone re-creates and clears it.
+	if err := s.Put(versionedEntity("doc-a", 30)); err != nil {
+		t.Fatal(err)
+	}
+	if e, ok := s.Get("doc-a"); !ok || e.Version != 30 {
+		t.Fatalf("newer put did not re-create: %+v", e)
+	}
+	if s.HasTombstone("doc-a") {
+		t.Fatal("tombstone survived a newer put")
+	}
+}
+
+func TestRedeleteKeepsNewestTombstoneVersion(t *testing.T) {
+	s := New(4)
+	if err := s.DeleteVersioned("doc-a", 40); err != nil {
+		t.Fatal(err)
+	}
+	// An unversioned re-delete (local operator action) must not erase the
+	// versioned evidence.
+	if err := s.Delete("doc-a"); err != nil {
+		t.Fatal(err)
+	}
+	if v := s.TombstonesVersioned()["doc-a"]; v != 40 {
+		t.Fatalf("unversioned re-delete degraded tombstone version to %d", v)
+	}
+	// Nor may a stale versioned re-delete.
+	if err := s.DeleteVersioned("doc-a", 35); err != nil {
+		t.Fatal(err)
+	}
+	if v := s.TombstonesVersioned()["doc-a"]; v != 40 {
+		t.Fatalf("stale re-delete degraded tombstone version to %d", v)
+	}
+}
+
+func TestApplyFramesVersionedDeleteFences(t *testing.T) {
+	s := New(4)
+	if err := s.Put(versionedEntity("doc-a", 50)); err != nil {
+		t.Fatal(err)
+	}
+
+	// Stale versioned delete frame: fenced, copy survives.
+	if _, err := ApplyFrames(s, EncodeDeleteFrame("doc-a", 45)); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get("doc-a"); !ok {
+		t.Fatal("stale delete frame removed a newer copy")
+	}
+
+	// Newer versioned delete frame applies.
+	if _, err := ApplyFrames(s, EncodeDeleteFrame("doc-a", 55)); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get("doc-a"); ok {
+		t.Fatal("newer delete frame did not apply")
+	}
+
+	// A put frame older than the tombstone must not resurrect.
+	frame, err := EncodePutFrame(versionedEntity("doc-a", 52))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ApplyFrames(s, frame); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get("doc-a"); ok {
+		t.Fatal("put frame older than tombstone resurrected the entity")
+	}
+
+	// A put frame newer than the tombstone re-creates.
+	frame, err = EncodePutFrame(versionedEntity("doc-a", 60))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ApplyFrames(s, frame); err != nil {
+		t.Fatal(err)
+	}
+	if e, ok := s.Get("doc-a"); !ok || e.Version != 60 {
+		t.Fatalf("newer put frame did not re-create: %+v", e)
+	}
+}
+
+func TestVersionSurvivesWALReplay(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(versionedEntity("doc-keep", 70)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(versionedEntity("doc-gone", 71)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.DeleteVersioned("doc-gone", 75); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := Open(dir, Options{Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	e, ok := s2.Get("doc-keep")
+	if !ok || e.Version != 70 {
+		t.Fatalf("version lost across replay: %+v", e)
+	}
+	if _, ok := s2.Get("doc-gone"); ok {
+		t.Fatal("versioned delete lost across replay")
+	}
+	if v := s2.TombstonesVersioned()["doc-gone"]; v != 75 {
+		t.Fatalf("tombstone version lost across replay: %d", v)
+	}
+	// The fences must hold against the replayed state exactly as against
+	// the original: version comparison is meaningful across restarts.
+	if err := s2.Put(versionedEntity("doc-gone", 73)); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s2.Get("doc-gone"); ok {
+		t.Fatal("stale put resurrected entity after replay")
+	}
+	if err := s2.Put(versionedEntity("doc-keep", 65)); err != nil {
+		t.Fatal(err)
+	}
+	if e, _ := s2.Get("doc-keep"); e.Version != 70 {
+		t.Fatalf("stale put rolled back replayed copy to %d", e.Version)
+	}
+}
+
+func TestVersionDigestTracksDivergence(t *testing.T) {
+	a, b := New(4), New(4)
+	for i := 0; i < 20; i++ {
+		e := versionedEntity(fmt.Sprintf("doc-%03d", i), uint64(100+i))
+		if err := a.Put(e); err != nil {
+			t.Fatal(err)
+		}
+		if err := b.Put(e.Clone()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	da, db := a.VersionDigest(), b.VersionDigest()
+	if !bytes.Equal(da[:], db[:]) {
+		t.Fatal("identical stores produced different digests")
+	}
+
+	// A version bump on one side diverges the digests.
+	if err := a.Put(versionedEntity("doc-003", 200)); err != nil {
+		t.Fatal(err)
+	}
+	da = a.VersionDigest()
+	if bytes.Equal(da[:], db[:]) {
+		t.Fatal("digest blind to a version change")
+	}
+
+	// Converge b and the digests match again.
+	if err := b.Put(versionedEntity("doc-003", 200)); err != nil {
+		t.Fatal(err)
+	}
+	db = b.VersionDigest()
+	if !bytes.Equal(da[:], db[:]) {
+		t.Fatal("converged stores still differ")
+	}
+
+	// Tombstones are part of the digest: a delete on one side diverges
+	// even though both sides stop holding the entity.
+	if err := a.DeleteVersioned("doc-007", 300); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Delete("doc-007"); err != nil { // unversioned: tombstone v0
+		t.Fatal(err)
+	}
+	da, db = a.VersionDigest(), b.VersionDigest()
+	if bytes.Equal(da[:], db[:]) {
+		t.Fatal("digest blind to tombstone version difference")
+	}
+}
+
+// FuzzApplyFrames asserts the version-carrying replica frame path never
+// panics on arbitrary bytes, never reports more frames than it was
+// given, and fails with ErrCorruptFrame (not a silent partial state) on
+// anything malformed.
+func FuzzApplyFrames(f *testing.F) {
+	seedPut, _ := EncodePutFrame(versionedEntity("doc-a", 42))
+	f.Add(seedPut)
+	f.Add(EncodeDeleteFrame("doc-a", 43))
+	f.Add(EncodeDeleteFrame("doc-a", 0))
+	f.Add(append(append([]byte{}, seedPut...), EncodeDeleteFrame("doc-b", 7)...))
+	f.Add([]byte{})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0, 0, 0, 0, 1, 2, 3})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s := New(2)
+		applied, err := ApplyFrames(s, data)
+		if applied < 0 {
+			t.Fatalf("negative applied count %d", applied)
+		}
+		if err == nil {
+			// Re-applying a fully accepted batch must be idempotent: same
+			// count, same resulting version census.
+			before := s.VersionDigest()
+			applied2, err2 := ApplyFrames(s, data)
+			if err2 != nil || applied2 != applied {
+				t.Fatalf("re-apply diverged: applied %d/%v, want %d/nil", applied2, err2, applied)
+			}
+			after := s.VersionDigest()
+			if !bytes.Equal(before[:], after[:]) {
+				t.Fatal("re-applying an accepted batch changed state")
+			}
+		}
+	})
+}

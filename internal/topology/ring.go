@@ -106,6 +106,16 @@ func New(members []string, cfg Config) *Ring {
 	return build(dedupeSorted(members), cfg, 0)
 }
 
+// Restore rebuilds a ring from a wire-transferred spec: the member
+// set, config and epoch a peer router advertised. Because placement is
+// a pure function of those inputs, the restored ring is byte-identical
+// to the peer's — the caller verifies that by comparing Digest against
+// the advertised one before adopting.
+func Restore(members []string, cfg Config, epoch uint64) *Ring {
+	cfg = cfg.normalized()
+	return build(dedupeSorted(members), cfg, epoch)
+}
+
 func dedupeSorted(members []string) []string {
 	out := append([]string(nil), members...)
 	sort.Strings(out)
@@ -156,6 +166,9 @@ func (r *Ring) Replicas() int { return r.cfg.Replicas }
 
 // Seed is the placement seed the ring was built with.
 func (r *Ring) Seed() int64 { return r.cfg.Seed }
+
+// VNodes is the per-member virtual-node count the ring was built with.
+func (r *Ring) VNodes() int { return r.cfg.VNodes }
 
 // Has reports whether node is a ring member.
 func (r *Ring) Has(node string) bool {
