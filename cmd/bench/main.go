@@ -10,8 +10,14 @@
 // reads, and the per-put cost of the write quorum (W=1 vs W=2) on the
 // replicated tier.
 //
-//	bench [-quick] [-docs N] [-out BENCH_PR7.json]
+//	bench [-quick] [-docs N] [-out BENCH_PR8.json]
 //	bench -compare old.json new.json
+//
+// The -compare mode doubles as the allocation regression gate for the
+// zero-alloc mining hot path: besides the before/after table it fails
+// (exit 1) when any mine/* benchmark's allocs/op regressed more than
+// 10% against the old file, so CI's bench-smoke catches an accidental
+// re-introduction of per-document garbage.
 //
 // The JSON records ns/op, MB/s and allocs/op per benchmark plus the
 // machine shape (CPUs, GOMAXPROCS) the numbers were taken on — parallel
@@ -33,6 +39,7 @@ import (
 	"os"
 	"runtime"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -76,7 +83,7 @@ type Report struct {
 }
 
 func main() {
-	out := flag.String("out", "BENCH_PR7.json", "output JSON path")
+	out := flag.String("out", "BENCH_PR8.json", "output JSON path")
 	quick := flag.Bool("quick", false, "smaller corpora for CI smoke runs")
 	docsFlag := flag.Int("docs", 0, "corpus size per ingest iteration (0: 200, or 40 with -quick)")
 	compare := flag.Bool("compare", false, "compare two result files: bench -compare old.json new.json")
@@ -119,7 +126,7 @@ func main() {
 // run executes the benchmark suite and assembles the report.
 func run(docs int, quick bool) Report {
 	rep := Report{
-		Bench:      "PR7",
+		Bench:      "PR8",
 		GoVersion:  runtime.Version(),
 		CPUs:       runtime.NumCPU(),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
@@ -246,6 +253,9 @@ func run(docs int, quick bool) Report {
 			}
 		})
 	}
+	// Posting-list footprint of the compressed (delta-varint) index over
+	// the benchmark corpus, against the flat layout it replaced.
+	postStats := queryIx.PostingStats()
 
 	// Single-thread NLP micro-benchmarks: the no-regression guard for
 	// the paths the pipeline did not parallelize.
@@ -362,6 +372,16 @@ func run(docs int, quick bool) Report {
 	})
 
 	rep.Derived = map[string]float64{}
+	// Postings compression: encoded bytes per document and the ratio
+	// against the flat posting-struct layout the codec replaced.
+	if postStats.EncodedBytes > 0 {
+		rep.Derived["postings_compression_ratio"] = postStats.Ratio()
+		rep.Derived["postings_encoded_bytes_per_doc"] = float64(postStats.EncodedBytes) / float64(docs)
+		rep.Derived["postings_flat_bytes_per_doc"] = float64(postStats.FlatBytes) / float64(docs)
+		fmt.Printf("%-32s %12.2fx smaller %7.0f B/doc (flat %.0f B/doc)\n",
+			"index/postings-compression", postStats.Ratio(),
+			float64(postStats.EncodedBytes)/float64(docs), float64(postStats.FlatBytes)/float64(docs))
+	}
 	// Estimated instrumentation overhead on the ingest path: each
 	// document pays one span and two counter adds.
 	if sp, ok := byName["metrics/span"]; ok {
@@ -664,7 +684,9 @@ func p99Of(lat []time.Duration) time.Duration {
 	return lat[idx]
 }
 
-// compareFiles prints a before/after table of two result files.
+// compareFiles prints a before/after table of two result files and
+// enforces the mining-path allocation gate: any mine/* benchmark whose
+// allocs/op grew more than 10% over the old file fails the comparison.
 func compareFiles(oldPath, newPath string) error {
 	oldRep, err := load(oldPath)
 	if err != nil {
@@ -678,15 +700,29 @@ func compareFiles(oldPath, newPath string) error {
 	for _, r := range oldRep.Results {
 		oldBy[r.Name] = r
 	}
-	fmt.Printf("%-32s %14s %14s %9s\n", "benchmark", "old ns/op", "new ns/op", "delta")
+	var failures []string
+	fmt.Printf("%-32s %14s %14s %9s %12s %12s\n",
+		"benchmark", "old ns/op", "new ns/op", "delta", "old allocs", "new allocs")
 	for _, nr := range newRep.Results {
 		or, ok := oldBy[nr.Name]
 		if !ok || or.NsPerOp <= 0 {
-			fmt.Printf("%-32s %14s %14.0f %9s\n", nr.Name, "-", nr.NsPerOp, "new")
+			fmt.Printf("%-32s %14s %14.0f %9s %12s %12d\n",
+				nr.Name, "-", nr.NsPerOp, "new", "-", nr.AllocsPerOp)
 			continue
 		}
 		delta := (nr.NsPerOp - or.NsPerOp) / or.NsPerOp * 100
-		fmt.Printf("%-32s %14.0f %14.0f %+8.1f%%\n", nr.Name, or.NsPerOp, nr.NsPerOp, delta)
+		fmt.Printf("%-32s %14.0f %14.0f %+8.1f%% %12d %12d\n",
+			nr.Name, or.NsPerOp, nr.NsPerOp, delta, or.AllocsPerOp, nr.AllocsPerOp)
+		if strings.HasPrefix(nr.Name, "mine/") && or.AllocsPerOp > 0 {
+			if float64(nr.AllocsPerOp) > float64(or.AllocsPerOp)*1.10 {
+				failures = append(failures, fmt.Sprintf(
+					"%s: allocs/op %d -> %d (>+10%%)", nr.Name, or.AllocsPerOp, nr.AllocsPerOp))
+			}
+		}
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("allocation regression on the mining path:\n  %s",
+			strings.Join(failures, "\n  "))
 	}
 	return nil
 }

@@ -22,7 +22,7 @@ type Collocation struct {
 // selects the embedded default).
 func NewCollocation(lex *lexicon.Lexicon) *Collocation {
 	if lex == nil {
-		lex = lexicon.Default()
+		lex = lexicon.Shared()
 	}
 	return &Collocation{lex: lex}
 }

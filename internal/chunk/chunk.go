@@ -11,6 +11,7 @@ import (
 	"strings"
 
 	"webfountain/internal/pos"
+	"webfountain/internal/tokenize"
 )
 
 // PhraseType classifies a chunk.
@@ -141,8 +142,12 @@ var negationAdverbs = map[string]bool{
 	"little": true, "neither": true, "nor": true,
 }
 
-// IsNegationAdverb reports whether the lower-cased word reverses polarity.
-func IsNegationAdverb(w string) bool { return negationAdverbs[strings.ToLower(w)] }
+// IsNegationAdverb reports whether the word reverses polarity; the check
+// folds case without allocating.
+func IsNegationAdverb(w string) bool {
+	v, _ := tokenize.FoldProbe(negationAdverbs, w)
+	return v
+}
 
 // Chunker groups tagged tokens into phrases and clauses. The zero value is
 // ready to use.
@@ -153,7 +158,13 @@ func New() *Chunker { return &Chunker{} }
 
 // Chunk partitions a tagged sentence into phrases.
 func (c *Chunker) Chunk(ts []pos.TaggedToken) []Phrase {
-	var phrases []Phrase
+	return c.AppendPhrases(nil, ts)
+}
+
+// AppendPhrases appends the phrases of a tagged sentence to dst and
+// returns the extended slice.
+func (c *Chunker) AppendPhrases(dst []Phrase, ts []pos.TaggedToken) []Phrase {
+	phrases := dst
 	i, n := 0, len(ts)
 	for i < n {
 		tag := ts[i].Tag
@@ -372,58 +383,70 @@ func (c *Chunker) scanVP(ts []pos.TaggedToken, i int) (end, mainVerb int) {
 	return j, mainVerb
 }
 
+// Scratch holds reusable buffers for clause analysis. A zero Scratch is
+// ready to use; passing the same Scratch to successive ClausesInto calls
+// reuses the phrase, clause, verb-chain and PP storage. The returned
+// clauses — and every pointer inside them — are valid only until the next
+// call with the same Scratch.
+type Scratch struct {
+	phrases []Phrase
+	clauses []Clause
+	chain   []pos.TaggedToken
+	pps     []Phrase
+}
+
 // Clauses chunks a tagged sentence and splits the chunks into clauses,
 // assigning roles within each. Clause boundaries are coordinating
 // conjunctions or punctuation separating two verb-bearing spans.
 func (c *Chunker) Clauses(ts []pos.TaggedToken) []Clause {
-	phrases := c.Chunk(ts)
-	segments := splitClauses(phrases)
-	clauses := make([]Clause, 0, len(segments))
-	for _, seg := range segments {
-		clauses = append(clauses, analyzeClause(seg))
-	}
-	return clauses
+	return c.ClausesInto(new(Scratch), ts)
 }
 
-// splitClauses cuts the phrase list at O-chunks (CC, comma, semicolon)
-// whenever both sides contain a VP.
-func splitClauses(phrases []Phrase) [][]Phrase {
+// ClausesInto is Clauses with caller-owned scratch storage: phrases,
+// clauses, verb chains and PP lists live in sc and are overwritten by the
+// next call. Clause role pointers point into sc's phrase buffer.
+func (c *Chunker) ClausesInto(sc *Scratch, ts []pos.TaggedToken) []Clause {
+	sc.phrases = c.AppendPhrases(sc.phrases[:0], ts)
+	sc.clauses = sc.clauses[:0]
+	sc.chain = sc.chain[:0]
+	sc.pps = sc.pps[:0]
+
+	phrases := sc.phrases
 	hasVP := func(ps []Phrase) bool {
-		for _, p := range ps {
-			if p.Type == VP {
+		for i := range ps {
+			if ps[i].Type == VP {
 				return true
 			}
 		}
 		return false
 	}
-	var segs [][]Phrase
+	// Cut the phrase list at O-chunks (CC, comma, semicolon) whenever both
+	// sides contain a VP.
 	start := 0
-	for i, p := range phrases {
+	for i := range phrases {
+		p := &phrases[i]
 		if p.Type != O {
 			continue
 		}
-		txt := strings.ToLower(p.Tokens[0].Text)
+		txt := p.Tokens[0].Text
 		if txt != "," && txt != ";" && p.Tokens[0].Tag != pos.CC {
 			continue
 		}
-		left := phrases[start:i]
-		right := phrases[i+1:]
-		if hasVP(left) && hasVP(right) {
-			segs = append(segs, left)
+		if hasVP(phrases[start:i]) && hasVP(phrases[i+1:]) {
+			sc.clauses = append(sc.clauses, analyzeClause(sc, phrases[start:i]))
 			start = i + 1
 		}
 	}
-	if start < len(phrases) {
-		segs = append(segs, phrases[start:])
+	if start < len(phrases) || len(sc.clauses) == 0 {
+		sc.clauses = append(sc.clauses, analyzeClause(sc, phrases[start:]))
 	}
-	if len(segs) == 0 {
-		segs = [][]Phrase{phrases}
-	}
-	return segs
+	return sc.clauses
 }
 
 // analyzeClause assigns SP/OP/CP/PP roles around the main predicate.
-func analyzeClause(phrases []Phrase) Clause {
+// Role pointers reference the phrase slice in place; verb chains and PP
+// lists are carved from sc's shared backing arrays.
+func analyzeClause(sc *Scratch, phrases []Phrase) Clause {
 	cl := Clause{Phrases: phrases}
 
 	// Predicate: the first VP whose main verb is not an attributive
@@ -444,26 +467,31 @@ func analyzeClause(phrases []Phrase) Clause {
 	for i := vpIdx + 1; i < len(phrases) && phrases[i].Type == VP; i++ {
 		lastVP = i
 	}
-	pred := phrases[lastVP]
-	cl.Predicate = &pred
-	cl.MainVerb = pred.HeadToken()
+	cl.Predicate = &phrases[lastVP]
+	cl.MainVerb = phrases[lastVP].HeadToken()
+	chainStart := len(sc.chain)
 	for i := vpIdx; i <= lastVP; i++ {
 		for _, t := range phrases[i].Tokens {
 			if t.Tag.IsVerb() {
-				cl.ChainVerbs = append(cl.ChainVerbs, t)
+				sc.chain = append(sc.chain, t)
 			}
 		}
+	}
+	// Cap the carve so a later clause's append reallocates rather than
+	// overwriting this clause's chain.
+	cl.ChainVerbs = sc.chain[chainStart:len(sc.chain):len(sc.chain)]
+	if len(cl.ChainVerbs) == 0 {
+		cl.ChainVerbs = nil
 	}
 
 	// Negation and passivity from every VP in the chain.
 	sawBe := false
 	for i := vpIdx; i <= lastVP; i++ {
 		for _, t := range phrases[i].Tokens {
-			lw := strings.ToLower(t.Text)
-			if t.Tag.IsAdverb() && negationAdverbs[lw] {
+			if t.Tag.IsAdverb() && IsNegationAdverb(t.Text) {
 				cl.Negated = true
 			}
-			if isBeForm(lw) {
+			if isBeForm(t.Text) {
 				sawBe = true
 			}
 		}
@@ -475,8 +503,7 @@ func analyzeClause(phrases []Phrase) Clause {
 	// Subject: last NP before the predicate chain.
 	for i := vpIdx - 1; i >= 0; i-- {
 		if phrases[i].Type == NP {
-			sp := phrases[i]
-			cl.Subject = &sp
+			cl.Subject = &phrases[i]
 			break
 		}
 	}
@@ -484,55 +511,66 @@ func analyzeClause(phrases []Phrase) Clause {
 	// Post-verbal phrases: first NP is the object, first ADJP is the
 	// complement; an NP directly after a copular main verb is also a
 	// complement ("is a great product").
-	copular := isBeForm(strings.ToLower(cl.MainVerb.Text)) ||
-		isLinkingVerb(strings.ToLower(cl.MainVerb.Text))
+	copular := isBeForm(cl.MainVerb.Text) || isLinkingVerb(cl.MainVerb.Text)
+	ppStart := len(sc.pps)
 	for i := lastVP + 1; i < len(phrases); i++ {
 		switch phrases[i].Type {
 		case NP:
-			np := phrases[i]
 			if copular && cl.Complement == nil && cl.Object == nil {
-				cl.Complement = &np
+				cl.Complement = &phrases[i]
 			} else if cl.Object == nil {
-				cl.Object = &np
+				cl.Object = &phrases[i]
 			}
 		case ADJP:
 			if cl.Complement == nil {
-				adjp := phrases[i]
-				cl.Complement = &adjp
+				cl.Complement = &phrases[i]
 			}
 		case PP:
-			cl.PPs = append(cl.PPs, phrases[i])
+			sc.pps = append(sc.pps, phrases[i])
 		}
 	}
 	// Leading PPs ("Unlike the T series CLIEs, the NR70 ...") also belong
 	// to the clause.
 	for i := 0; i < vpIdx; i++ {
 		if phrases[i].Type == PP {
-			cl.PPs = append(cl.PPs, phrases[i])
+			sc.pps = append(sc.pps, phrases[i])
 		}
+	}
+	cl.PPs = sc.pps[ppStart:len(sc.pps):len(sc.pps)]
+	if len(cl.PPs) == 0 {
+		cl.PPs = nil
 	}
 	return cl
 }
 
-func isBeForm(w string) bool {
-	switch w {
-	case "be", "is", "are", "am", "was", "were", "been", "being", "'s", "'re", "'m":
-		return true
-	}
-	return false
+var beFormSet = map[string]bool{
+	"be": true, "is": true, "are": true, "am": true, "was": true,
+	"were": true, "been": true, "being": true, "'s": true, "'re": true,
+	"'m": true,
 }
 
-// isLinkingVerb lists copular verbs other than be whose post-verbal
+// isBeForm reports whether the word is a form of "be", folding case
+// without allocating.
+func isBeForm(w string) bool {
+	v, _ := tokenize.FoldProbe(beFormSet, w)
+	return v
+}
+
+// linkingVerbs lists copular verbs other than be whose post-verbal
 // adjective describes the subject.
+var linkingVerbs = map[string]bool{
+	"seem": true, "seems": true, "seemed": true, "look": true,
+	"looks": true, "looked": true, "sound": true, "sounds": true,
+	"sounded": true, "feel": true, "feels": true, "felt": true,
+	"appear": true, "appears": true, "appeared": true, "remain": true,
+	"remains": true, "remained": true, "stay": true, "stays": true,
+	"stayed": true, "become": true, "becomes": true, "became": true,
+	"get": true, "gets": true, "got": true, "turn": true, "turns": true,
+	"turned": true, "prove": true, "proves": true, "proved": true,
+	"taste": true, "tastes": true, "smell": true, "smells": true,
+}
+
 func isLinkingVerb(w string) bool {
-	switch w {
-	case "seem", "seems", "seemed", "look", "looks", "looked",
-		"sound", "sounds", "sounded", "feel", "feels", "felt",
-		"appear", "appears", "appeared", "remain", "remains", "remained",
-		"stay", "stays", "stayed", "become", "becomes", "became",
-		"get", "gets", "got", "turn", "turns", "turned",
-		"prove", "proves", "proved", "taste", "tastes", "smell", "smells":
-		return true
-	}
-	return false
+	v, _ := tokenize.FoldProbe(linkingVerbs, w)
+	return v
 }

@@ -29,7 +29,10 @@ type EntityMiner interface {
 	// Name identifies the miner; its annotations carry this name.
 	Name() string
 	// Process inspects the entity and returns annotations to attach. It
-	// must not retain or mutate e.
+	// must not retain or mutate e. The returned slice is owned by the
+	// cluster: it stamps the miner name into each annotation in place
+	// before the write-back, so Process must return a slice it does not
+	// itself retain.
 	Process(e *store.Entity) ([]store.Annotation, error)
 }
 
@@ -491,12 +494,12 @@ func (c *Cluster) mineShard(m EntityMiner, shard int, rs *runState) {
 			// annotations on durable stores; a failure (degraded read-only
 			// mode) makes the mined result unrecoverable, so it counts as
 			// an entity failure and feeds the error budget like any other.
-			anns := make([]store.Annotation, len(res.anns))
-			for i, a := range res.anns {
-				a.Miner = m.Name()
-				anns[i] = a
+			// Stamp the miner name in place: Process hands over ownership
+			// of the returned slice, so no defensive copy is needed.
+			for i := range res.anns {
+				res.anns[i].Miner = m.Name()
 			}
-			if _, werr := c.store.Annotate(e.ID, anns); werr != nil {
+			if _, werr := c.store.Annotate(e.ID, res.anns); werr != nil {
 				res.err = fmt.Errorf("annotation write-back: %w", werr)
 				writeFailed = true
 			}

@@ -1,0 +1,132 @@
+package codec
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+func TestRoundTrip(t *testing.T) {
+	type doc struct {
+		id  uint64
+		pos []int
+	}
+	cases := [][]doc{
+		nil, // empty blob
+		{{id: 0, pos: nil}},
+		{{id: 7, pos: []int{0}}},
+		{{id: 3, pos: []int{1, 2, 9}}, {id: 3, pos: nil}, {id: 12, pos: []int{500}}},
+		{{id: 0, pos: []int{0, 1, 2, 3}}, {id: 1 << 40, pos: []int{1 << 30}}},
+	}
+	for ci, docs := range cases {
+		var blob []byte
+		prev := uint64(0)
+		for _, d := range docs {
+			blob = AppendBlock(blob, d.id-prev, d.pos)
+			prev = d.id
+		}
+		r := NewReader(blob)
+		var got []doc
+		for {
+			b, ok := r.Next()
+			if !ok {
+				break
+			}
+			got = append(got, doc{id: b.Doc, pos: b.AppendPositions(nil)})
+		}
+		if len(got) != len(docs) {
+			t.Fatalf("case %d: %d blocks decoded, want %d", ci, len(got), len(docs))
+		}
+		for i := range docs {
+			if got[i].id != docs[i].id || !equalPos(got[i].pos, docs[i].pos) {
+				t.Fatalf("case %d block %d: got %+v want %+v", ci, i, got[i], docs[i])
+			}
+		}
+	}
+}
+
+func equalPos(a, b []int) bool {
+	if len(a) == 0 && len(b) == 0 {
+		return true
+	}
+	return reflect.DeepEqual(a, b)
+}
+
+func TestContains(t *testing.T) {
+	blob := AppendBlock(nil, 5, []int{2, 7, 8, 40})
+	r := NewReader(blob)
+	b, ok := r.Next()
+	if !ok || b.Doc != 5 {
+		t.Fatalf("decode failed: %+v %v", b, ok)
+	}
+	for _, p := range []int{2, 7, 8, 40} {
+		if !b.Contains(p) {
+			t.Fatalf("Contains(%d) = false", p)
+		}
+	}
+	for _, p := range []int{0, 1, 3, 9, 39, 41, 1000} {
+		if b.Contains(p) {
+			t.Fatalf("Contains(%d) = true", p)
+		}
+	}
+}
+
+func TestTruncatedInput(t *testing.T) {
+	blob := AppendBlock(nil, 1, []int{3, 5, 1000000})
+	blob = AppendBlock(blob, 9, []int{64})
+	for cut := 0; cut <= len(blob); cut++ {
+		r := NewReader(blob[:cut])
+		for {
+			b, ok := r.Next()
+			if !ok {
+				break
+			}
+			b.AppendPositions(nil) // must never read out of bounds
+		}
+	}
+}
+
+func TestRandomRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 100; trial++ {
+		nblocks := rng.Intn(20)
+		var blob []byte
+		type blk struct {
+			doc uint64
+			pos []int
+		}
+		var want []blk
+		doc := uint64(0)
+		for i := 0; i < nblocks; i++ {
+			gap := uint64(rng.Intn(1000))
+			if i == 0 || rng.Intn(8) > 0 {
+				gap++
+			} else {
+				gap = 0 // repeated concept add
+			}
+			doc += gap
+			npos := rng.Intn(6)
+			pos := make([]int, 0, npos)
+			p := -1
+			for j := 0; j < npos; j++ {
+				p += 1 + rng.Intn(50)
+				pos = append(pos, p)
+			}
+			blob = AppendBlock(blob, gap, pos)
+			want = append(want, blk{doc, pos})
+		}
+		r := NewReader(blob)
+		for i := 0; ; i++ {
+			b, ok := r.Next()
+			if !ok {
+				if i != len(want) {
+					t.Fatalf("trial %d: decoded %d blocks, want %d", trial, i, len(want))
+				}
+				break
+			}
+			if b.Doc != want[i].doc || !equalPos(b.AppendPositions(nil), want[i].pos) {
+				t.Fatalf("trial %d block %d mismatch", trial, i)
+			}
+		}
+	}
+}

@@ -1,0 +1,110 @@
+package index
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+
+	"webfountain/internal/index/codec"
+)
+
+// TestRemoveReAddCycle exercises the document-number interning contract:
+// removing a document retires its number, so a re-Add interns a fresh,
+// larger one and every term's block sequence stays non-decreasing. A
+// wraparound bug here would corrupt gaps silently, so the cycle is
+// driven many times against a one-shard index (worst case for number
+// reuse) and cross-checked with exact searches.
+func TestRemoveReAddCycle(t *testing.T) {
+	ix := NewSharded(1)
+	ix.Add("keep", []string{"alpha", "omega"})
+	for i := 0; i < 50; i++ {
+		ix.Add("cycle", []string{"alpha", "beta", "gamma"})
+		if got := ix.Search(Term("beta")); !reflect.DeepEqual(got, []string{"cycle"}) {
+			t.Fatalf("iter %d: beta -> %v", i, got)
+		}
+		if got := ix.Search(Phrase("alpha", "beta", "gamma")); !reflect.DeepEqual(got, []string{"cycle"}) {
+			t.Fatalf("iter %d: phrase -> %v", i, got)
+		}
+		ix.Remove("cycle")
+		if got := ix.Search(Term("beta")); len(got) != 0 {
+			t.Fatalf("iter %d: beta after remove -> %v", i, got)
+		}
+		if got := ix.Search(Term("alpha")); !reflect.DeepEqual(got, []string{"keep"}) {
+			t.Fatalf("iter %d: alpha after remove -> %v", i, got)
+		}
+	}
+	if got := ix.Search(Phrase("alpha", "omega")); !reflect.DeepEqual(got, []string{"keep"}) {
+		t.Fatalf("keep survived wrong: %v", got)
+	}
+}
+
+// TestRepeatedConceptBlocks drives zero-gap blocks (same document,
+// same concept, added repeatedly) through search and DocFreq.
+func TestRepeatedConceptBlocks(t *testing.T) {
+	ix := New()
+	for i := 0; i < 5; i++ {
+		ix.AddConcept("d1", "sentiment/nr70/+")
+	}
+	ix.AddConcept("d2", "sentiment/nr70/+")
+	got := ix.Search(Term("sentiment/nr70/+"))
+	if !reflect.DeepEqual(got, []string{"d1", "d2"}) {
+		t.Fatalf("concept search: %v", got)
+	}
+	// DocFreq counts blocks (document frequency including repeats),
+	// matching the previous posting-per-add layout.
+	if df := ix.DocFreq("sentiment/nr70/+"); df != 6 {
+		t.Fatalf("DocFreq = %d, want 6", df)
+	}
+}
+
+// TestPostingStatsRatio indexes a realistic volume of small documents
+// and checks the compressed footprint claim: the delta-varint blobs must
+// be at least 3x smaller than the flat layout they replaced.
+func TestPostingStatsRatio(t *testing.T) {
+	ix := New()
+	rng := rand.New(rand.NewSource(7))
+	vocab := make([]string, 400)
+	for i := range vocab {
+		vocab[i] = fmt.Sprintf("word%03d", i)
+	}
+	for d := 0; d < 300; d++ {
+		toks := make([]string, 80)
+		for i := range toks {
+			toks[i] = vocab[rng.Intn(len(vocab))]
+		}
+		ix.Add(fmt.Sprintf("doc-%04d", d), toks)
+	}
+	st := ix.PostingStats()
+	if st.Blocks == 0 || st.Positions == 0 {
+		t.Fatalf("empty stats: %+v", st)
+	}
+	if r := st.Ratio(); r < 3 {
+		t.Fatalf("compression ratio %.2f < 3 (stats %+v)", r, st)
+	}
+	t.Logf("posting stats: %+v ratio=%.2f", st, st.Ratio())
+}
+
+// TestSnapshotSurvivesMutation captures a posting view, mutates the
+// index underneath it (appends and a remove), and verifies the snapshot
+// still decodes to the original documents.
+func TestSnapshotSurvivesMutation(t *testing.T) {
+	ix := NewSharded(1)
+	ix.Add("a", []string{"shared", "one"})
+	ix.Add("b", []string{"shared", "two"})
+	v := ix.postings("shared")
+
+	ix.Add("c", []string{"shared"})
+	ix.Remove("a")
+
+	var got []string
+	v.forEach(func(id string, _ codec.Block) bool {
+		got = append(got, id)
+		return true
+	})
+	sort.Strings(got)
+	if !reflect.DeepEqual(got, []string{"a", "b"}) {
+		t.Fatalf("snapshot changed under mutation: %v", got)
+	}
+}

@@ -14,18 +14,14 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"webfountain/internal/index/codec"
 )
 
 // ErrDeadlineExceeded reports a search abandoned because its deadline
 // passed mid-evaluation. No partial result is returned: a truncated doc
 // set would silently look like an exact answer.
 var ErrDeadlineExceeded = errors.New("index: search deadline exceeded")
-
-// posting records the positions of one term within one document.
-type posting struct {
-	docID     string
-	positions []int
-}
 
 // defaultShards is the term-shard count selected by New. Sixteen shards
 // keep lock contention negligible up to the worker-pool sizes the
@@ -34,9 +30,27 @@ type posting struct {
 const defaultShards = 16
 
 // termShard owns the posting lists of the terms that hash to it.
+// Document IDs are interned per shard: ids maps the shard-local document
+// number back to the ID string and idOf the reverse. Interning happens
+// under the shard's write lock, so the numbers a term list accumulates
+// are non-decreasing — exactly the property the delta-varint codec
+// encodes into ~1-byte gaps.
 type termShard struct {
 	mu    sync.RWMutex
-	terms map[string][]posting
+	terms map[string]*termList
+	ids   []string
+	idOf  map[string]uint32
+}
+
+// termList is one term's compressed posting list: a delta-varint blob of
+// (document number, positions) blocks (see internal/index/codec) plus
+// the bookkeeping appends need. Readers snapshot the blob by length and
+// appends only ever write past it, so a snapshot stays immutable without
+// holding the shard lock — the same contract the []posting slices gave.
+type termList struct {
+	blob []byte
+	last uint32 // document number of the final block
+	n    int    // block count (document frequency incl. repeats)
 }
 
 // docShard owns the membership and token counts of the documents that
@@ -86,7 +100,8 @@ func NewSharded(shards int) *Index {
 		numShards:  make([]numShard, shards),
 	}
 	for i := 0; i < shards; i++ {
-		ix.termShards[i].terms = make(map[string][]posting)
+		ix.termShards[i].terms = make(map[string]*termList)
+		ix.termShards[i].idOf = make(map[string]uint32)
 		ix.docShards[i].docLen = make(map[string]int)
 		ix.numShards[i].numeric = make(map[string]map[string]float64)
 	}
@@ -128,7 +143,9 @@ func (ix *Index) Reset() {
 	for i := range ix.termShards {
 		sh := &ix.termShards[i]
 		sh.mu.Lock()
-		sh.terms = make(map[string][]posting)
+		sh.terms = make(map[string]*termList)
+		sh.ids = nil
+		sh.idOf = make(map[string]uint32)
 		sh.mu.Unlock()
 	}
 	for i := range ix.docShards {
@@ -244,16 +261,48 @@ func (ix *Index) Add(docID string, tokens []string) {
 		}
 		sh := &ix.termShards[s]
 		sh.mu.Lock()
+		docN := sh.intern(docID)
 		for i := range b.entries {
 			e := &b.entries[i]
 			if e.shard != uint32(s) {
 				continue
 			}
-			sh.terms[e.term] = append(sh.terms[e.term], posting{docID: docID, positions: e.pos})
+			sh.appendBlock(e.term, docN, e.pos)
 		}
 		sh.mu.Unlock()
 	}
 	b.release()
+}
+
+// intern returns the shard-local document number for an ID, assigning
+// the next one on first sight. Callers hold the shard write lock.
+func (sh *termShard) intern(docID string) uint32 {
+	if n, ok := sh.idOf[docID]; ok {
+		return n
+	}
+	n := uint32(len(sh.ids))
+	sh.ids = append(sh.ids, docID)
+	sh.idOf[docID] = n
+	return n
+}
+
+// appendBlock appends one (document, positions) block to a term's
+// compressed list. Callers hold the shard write lock and must pass
+// document numbers in non-decreasing order per term — which shard-lock
+// interning guarantees.
+func (sh *termShard) appendBlock(term string, docN uint32, positions []int) {
+	tl := sh.terms[term]
+	if tl == nil {
+		tl = &termList{}
+		sh.terms[term] = tl
+	}
+	gap := uint64(docN) // first block: the document number itself
+	if tl.n > 0 {
+		gap = uint64(docN - tl.last)
+	}
+	tl.blob = codec.AppendBlock(tl.blob, gap, positions)
+	tl.last = docN
+	tl.n++
 }
 
 // AddConcept indexes a conceptual token (no position) for a document.
@@ -261,7 +310,7 @@ func (ix *Index) AddConcept(docID, concept string) {
 	lt := strings.ToLower(concept)
 	sh := ix.termShard(lt)
 	sh.mu.Lock()
-	sh.terms[lt] = append(sh.terms[lt], posting{docID: docID})
+	sh.appendBlock(lt, sh.intern(docID), nil)
 	sh.mu.Unlock()
 	ix.touchDoc(docID)
 }
@@ -308,10 +357,26 @@ func (ix *Index) Remove(docID string) {
 	for s := range ix.termShards {
 		sh := &ix.termShards[s]
 		sh.mu.Lock()
-		for term, ps := range sh.terms {
+		docN, present := sh.idOf[docID]
+		if !present {
+			sh.mu.Unlock()
+			continue
+		}
+		// Retire the document number: blocks carrying it are rebuilt away
+		// below, and a re-Add of the same ID interns a fresh, larger
+		// number so per-term monotonicity survives remove→re-add cycles.
+		// (The ids slot stays — snapshots already handed out may still
+		// map through it.)
+		delete(sh.idOf, docID)
+		var scratch []int
+		for term, tl := range sh.terms {
 			hit := false
-			for i := range ps {
-				if ps[i].docID == docID {
+			for r := codec.NewReader(tl.blob); ; {
+				b, ok := r.Next()
+				if !ok {
+					break
+				}
+				if uint32(b.Doc) == docN {
 					hit = true
 					break
 				}
@@ -319,19 +384,31 @@ func (ix *Index) Remove(docID string) {
 			if !hit {
 				continue
 			}
-			// Compact into a fresh slice: posting slices already handed to
+			// Rebuild into a fresh list: blob snapshots already handed to
 			// in-flight readers stay immutable, so queries never need to
 			// hold a shard lock while walking positions.
-			kept := make([]posting, 0, len(ps)-1)
-			for _, p := range ps {
-				if p.docID != docID {
-					kept = append(kept, p)
+			nt := &termList{}
+			for r := codec.NewReader(tl.blob); ; {
+				b, ok := r.Next()
+				if !ok {
+					break
 				}
+				if uint32(b.Doc) == docN {
+					continue
+				}
+				scratch = b.AppendPositions(scratch[:0])
+				gap := b.Doc
+				if nt.n > 0 {
+					gap = b.Doc - uint64(nt.last)
+				}
+				nt.blob = codec.AppendBlock(nt.blob, gap, scratch)
+				nt.last = uint32(b.Doc)
+				nt.n++
 			}
-			if len(kept) == 0 {
+			if nt.n == 0 {
 				delete(sh.terms, term)
 			} else {
-				sh.terms[term] = kept
+				sh.terms[term] = nt
 			}
 		}
 		sh.mu.Unlock()
@@ -361,23 +438,104 @@ func (ix *Index) NumDocs() int {
 	return n
 }
 
-// postings returns the posting list for an already-lowered term. The
-// returned slice is a stable snapshot: appends go past its length and
-// removals reallocate, so it is safe to read after the lock is dropped.
-func (ix *Index) postings(lt string) []posting {
+// postingView is an immutable snapshot of one term's posting list: the
+// encoded blob plus the shard's ID table, both captured by length under
+// the read lock. Appends only write past the captured lengths and
+// removals reallocate, so a view is safe to read after the lock drops —
+// the same snapshot contract the old []posting slices carried.
+type postingView struct {
+	blob []byte
+	n    int
+	ids  []string
+}
+
+// forEach decodes the view's blocks in order, resolving document numbers
+// to ID strings. fn returning false stops the walk.
+func (v postingView) forEach(fn func(id string, b codec.Block) bool) {
+	for r := codec.NewReader(v.blob); ; {
+		b, ok := r.Next()
+		if !ok {
+			return
+		}
+		if b.Doc >= uint64(len(v.ids)) {
+			return // corrupt blob; unreachable rather than a panic
+		}
+		if !fn(v.ids[b.Doc], b) {
+			return
+		}
+	}
+}
+
+// postings returns a stable snapshot of the posting list for an
+// already-lowered term.
+func (ix *Index) postings(lt string) postingView {
 	sh := ix.termShard(lt)
 	sh.mu.RLock()
-	ps := sh.terms[lt]
-	sh.mu.RUnlock()
-	if len(ps) > 0 {
-		postingSizes.Observe(int64(len(ps)))
+	var v postingView
+	if tl := sh.terms[lt]; tl != nil {
+		v = postingView{
+			blob: tl.blob[:len(tl.blob):len(tl.blob)],
+			n:    tl.n,
+			ids:  sh.ids[:len(sh.ids):len(sh.ids)],
+		}
 	}
-	return ps
+	sh.mu.RUnlock()
+	if v.n > 0 {
+		postingSizes.Observe(int64(v.n))
+	}
+	return v
 }
 
 // DocFreq returns the number of documents containing term.
 func (ix *Index) DocFreq(term string) int {
-	return len(ix.postings(strings.ToLower(term)))
+	return ix.postings(strings.ToLower(term)).n
+}
+
+// PostingStats reports the memory footprint of the compressed posting
+// lists against what the previous flat representation (a 40-byte posting
+// struct per document block plus 8 bytes per position) would occupy.
+type PostingStats struct {
+	// EncodedBytes is the total size of the delta-varint blobs.
+	EncodedBytes int64
+	// FlatBytes is the computed footprint of the pre-codec layout:
+	// per block a string header (16 B) and a position-slice header
+	// (24 B), plus 8 B per position.
+	FlatBytes int64
+	// Blocks is the number of document blocks across all terms.
+	Blocks int64
+	// Positions is the number of encoded token positions.
+	Positions int64
+}
+
+// Ratio returns FlatBytes / EncodedBytes (0 when empty).
+func (s PostingStats) Ratio() float64 {
+	if s.EncodedBytes == 0 {
+		return 0
+	}
+	return float64(s.FlatBytes) / float64(s.EncodedBytes)
+}
+
+// PostingStats walks every term shard and totals the posting footprint.
+func (ix *Index) PostingStats() PostingStats {
+	var st PostingStats
+	for i := range ix.termShards {
+		sh := &ix.termShards[i]
+		sh.mu.RLock()
+		for _, tl := range sh.terms {
+			st.EncodedBytes += int64(len(tl.blob))
+			st.Blocks += int64(tl.n)
+			for r := codec.NewReader(tl.blob); ; {
+				b, ok := r.Next()
+				if !ok {
+					break
+				}
+				st.Positions += int64(b.Count)
+			}
+		}
+		sh.mu.RUnlock()
+	}
+	st.FlatBytes = 40*st.Blocks + 8*st.Positions
+	return st
 }
 
 // Vocabulary returns the number of distinct terms.
@@ -445,11 +603,12 @@ type Query interface {
 type termQuery string
 
 func (q termQuery) eval(ec *evalCtx) docSet {
-	ps := ec.ix.postings(strings.ToLower(string(q)))
-	out := make(docSet, len(ps))
-	for i := range ps {
-		out[ps[i].docID] = true
-	}
+	v := ec.ix.postings(strings.ToLower(string(q)))
+	out := make(docSet, v.n)
+	v.forEach(func(id string, _ codec.Block) bool {
+		out[id] = true
+		return true
+	})
 	return out
 }
 
@@ -523,32 +682,38 @@ func (q phraseQuery) eval(ec *evalCtx) docSet {
 		return out
 	}
 	// Snapshot every word's posting list up front: one shard-lock round
-	// per word instead of one per (position, word) probe.
-	lists := make([][]posting, len(q))
+	// per word instead of one per (position, word) probe. Document IDs
+	// are compared as strings across lists — each word may live in a
+	// different shard, and document numbers are shard-local.
+	lists := make([]postingView, len(q))
 	for i, w := range q {
 		lists[i] = ec.ix.postings(strings.ToLower(w))
-		if len(lists[i]) == 0 {
+		if lists[i].n == 0 {
 			return out
 		}
 	}
-	for i, p := range lists[0] {
-		if i%256 == 255 && ec.expired() {
-			return out
+	var starts []int
+	n := 0
+	lists[0].forEach(func(id string, b codec.Block) bool {
+		if n++; n%256 == 0 && ec.expired() {
+			return false
 		}
-		if phraseAt(lists, p) {
-			out[p.docID] = true
+		starts = b.AppendPositions(starts[:0])
+		if phraseAt(lists, id, starts) {
+			out[id] = true
 		}
-	}
+		return true
+	})
 	return out
 }
 
-// phraseAt checks whether the phrase continues from each position of the
-// first word's posting.
-func phraseAt(lists [][]posting, first posting) bool {
-	for _, start := range first.positions {
+// phraseAt checks whether the phrase continues from each of the first
+// word's start positions in the given document.
+func phraseAt(lists []postingView, docID string, starts []int) bool {
+	for _, start := range starts {
 		ok := true
 		for k := 1; k < len(lists); k++ {
-			if !hasPosition(lists[k], first.docID, start+k) {
+			if !hasPosition(lists[k], docID, start+k) {
 				ok = false
 				break
 			}
@@ -560,15 +725,16 @@ func phraseAt(lists [][]posting, first posting) bool {
 	return false
 }
 
-func hasPosition(ps []posting, docID string, pos int) bool {
-	for i := range ps {
-		if ps[i].docID != docID {
-			continue
+func hasPosition(v postingView, docID string, pos int) bool {
+	found := false
+	v.forEach(func(id string, b codec.Block) bool {
+		if id != docID {
+			return true
 		}
-		j := sort.SearchInts(ps[i].positions, pos)
-		return j < len(ps[i].positions) && ps[i].positions[j] == pos
-	}
-	return false
+		found = b.Contains(pos)
+		return false // the document's block decides, as before
+	})
+	return found
 }
 
 // Phrase matches documents containing the words consecutively.
@@ -652,12 +818,18 @@ func (q regexpQuery) scanShard(ix *Index, s int, out docSet) {
 	defer span.End()
 	sh := &ix.termShards[s]
 	sh.mu.RLock()
-	for term, ps := range sh.terms {
+	for term, tl := range sh.terms {
 		if !q.re.MatchString(term) {
 			continue
 		}
-		for i := range ps {
-			out[ps[i].docID] = true
+		for r := codec.NewReader(tl.blob); ; {
+			b, ok := r.Next()
+			if !ok {
+				break
+			}
+			if b.Doc < uint64(len(sh.ids)) {
+				out[sh.ids[b.Doc]] = true
+			}
 		}
 	}
 	sh.mu.RUnlock()

@@ -26,7 +26,10 @@ import (
 	"fmt"
 	"io"
 	"strings"
+	"sync"
+	"sync/atomic"
 
+	"webfountain/internal/match"
 	"webfountain/internal/pos"
 )
 
@@ -66,11 +69,31 @@ type Entry struct {
 
 // Lexicon maps (term, POS) to polarity. Multi-word terms are supported via
 // LookupPhrase.
+//
+// A lexicon is not safe for concurrent mutation, but once fully loaded it
+// may be shared freely across goroutines: the phrase trie backing
+// LookupPhrase is built lazily behind an atomic pointer, and Add
+// invalidates it.
 type Lexicon struct {
 	// entries maps term -> list of (POS, polarity) readings.
 	entries map[string][]Entry
 	// maxWords is the longest multi-word entry length, for phrase lookup.
 	maxWords int
+
+	// trie is the lazily compiled phrase automaton; nil after any Add
+	// until the next LookupPhrase rebuilds it.
+	trie    atomic.Pointer[phraseTrie]
+	buildMu sync.Mutex
+}
+
+// phraseTrie is the compiled longest-match automaton over every entry
+// term, mapping the matcher's pattern IDs back to entry keys.
+type phraseTrie struct {
+	m *match.Matcher
+	// terms[pattern] is the single-space join of the pattern's words —
+	// exactly the key the scan-time probe must use, matching the old
+	// ToLower+Join candidate construction.
+	terms []string
 }
 
 // New returns an empty lexicon.
@@ -92,6 +115,17 @@ func Default() *Lexicon {
 	return lx
 }
 
+var shared = sync.OnceValue(func() *Lexicon {
+	lx := Default()
+	lx.phraseTrie() // compile eagerly so first lookups don't pay for it
+	return lx
+})
+
+// Shared returns a process-wide lexicon of the embedded entries with its
+// phrase automaton pre-compiled. Callers must treat it as read-only;
+// anyone needing extra entries builds their own via Default + Add/Load.
+func Shared() *Lexicon { return shared() }
+
 // Add inserts an entry. Later entries with the same (term, POS) override
 // earlier ones.
 func (lx *Lexicon) Add(e Entry) {
@@ -100,6 +134,7 @@ func (lx *Lexicon) Add(e Entry) {
 	if words > lx.maxWords {
 		lx.maxWords = words
 	}
+	lx.trie.Store(nil) // entry set changed; rebuild the trie on next use
 	list := lx.entries[e.Term]
 	for i, old := range list {
 		if old.POS == e.POS {
@@ -121,7 +156,13 @@ func (lx *Lexicon) MaxWords() int { return lx.maxWords }
 // adjective entries all adjective grades, and verb entries all inflections,
 // mirroring how the paper's tagger-agnostic entries behave.
 func (lx *Lexicon) Lookup(term string, tag pos.Tag) (Polarity, bool) {
-	list, ok := lx.entries[strings.ToLower(term)]
+	return lx.lookupLower(strings.ToLower(term), tag)
+}
+
+// lookupLower is Lookup for a term that is already lower-cased (entry
+// keys and trie terms are), skipping the ToLower scan on the hot path.
+func (lx *Lexicon) lookupLower(term string, tag pos.Tag) (Polarity, bool) {
+	list, ok := lx.entries[term]
 	if !ok {
 		return Neutral, false
 	}
@@ -219,10 +260,89 @@ func (lx *Lexicon) LookupComparative(word string) (Polarity, bool) {
 	return Neutral, false
 }
 
+// phraseTrie returns the compiled phrase automaton, building it on first
+// use (and after every Add). Concurrent readers race only on the atomic
+// pointer; the build itself is serialized.
+func (lx *Lexicon) phraseTrie() *phraseTrie {
+	if t := lx.trie.Load(); t != nil {
+		return t
+	}
+	lx.buildMu.Lock()
+	defer lx.buildMu.Unlock()
+	if t := lx.trie.Load(); t != nil {
+		return t
+	}
+	b := match.NewBuilder()
+	t := &phraseTrie{}
+	seen := make(map[string]bool, len(lx.entries))
+	for term := range lx.entries {
+		words := strings.Fields(term)
+		if len(words) == 0 {
+			continue
+		}
+		// Probe by the normalized join: entry keys with irregular spacing
+		// were unreachable under the old Join(parts, " ") candidates and
+		// must stay unreachable.
+		norm := strings.Join(words, " ")
+		if seen[norm] {
+			continue
+		}
+		seen[norm] = true
+		b.Add(words)
+		t.terms = append(t.terms, norm)
+	}
+	t.m = b.Compile()
+	lx.trie.Store(t)
+	return t
+}
+
+// lookupPhraseCands bounds the per-call match stack: one candidate per
+// length, so it caps the longest usable entry. Embedded entries top out
+// at a few words; anything longer falls back to the allocating scan.
+const lookupPhraseCands = 16
+
 // LookupPhrase scans tagged tokens [i, len) for the longest lexicon entry
 // starting at i. It returns the polarity, the number of tokens consumed,
 // and whether a match was found.
+//
+// The scan walks the shared phrase automaton, so it allocates nothing:
+// candidate terms are resolved to interned entry keys instead of being
+// built with ToLower+Join per length per position.
 func (lx *Lexicon) LookupPhrase(tokens []pos.TaggedToken, i int) (Polarity, int, bool) {
+	if lx.maxWords > lookupPhraseCands {
+		return lx.lookupPhraseSlow(tokens, i)
+	}
+	t := lx.phraseTrie()
+	var pats, lens [lookupPhraseCands]int32
+	n := 0
+	t.m.WalkAt(len(tokens), i,
+		func(j int) uint32 { return t.m.Sym(tokens[j].Text) },
+		func(pattern, length int) bool {
+			pats[n], lens[n] = int32(pattern), int32(length)
+			n++
+			return true
+		})
+	for k := n - 1; k >= 0; k-- { // longest first
+		term := t.terms[pats[k]]
+		l := int(lens[k])
+		if pol, ok := lx.lookupLower(term, tokens[i].Tag); ok {
+			return pol, l, true
+		}
+		// Single-reading fallback: when the term exists in the lexicon
+		// under exactly one reading, a POS mismatch is almost always the
+		// tagger misjudging an unknown word ("grimy" guessed as a noun),
+		// not a genuine sense distinction — accept the lone reading.
+		if list := lx.entries[term]; len(list) == 1 && tokens[i].Tag != "" {
+			return list[0].Pol, l, true
+		}
+	}
+	return Neutral, 0, false
+}
+
+// lookupPhraseSlow is the pre-automaton candidate scan, kept as the
+// fallback for absurdly long entries and as the reference implementation
+// the differential test checks the trie walk against.
+func (lx *Lexicon) lookupPhraseSlow(tokens []pos.TaggedToken, i int) (Polarity, int, bool) {
 	maxLen := lx.maxWords
 	if rem := len(tokens) - i; maxLen > rem {
 		maxLen = rem
@@ -236,10 +356,6 @@ func (lx *Lexicon) LookupPhrase(tokens []pos.TaggedToken, i int) (Polarity, int,
 		if pol, ok := lx.Lookup(term, tokens[i].Tag); ok {
 			return pol, l, true
 		}
-		// Single-reading fallback: when the term exists in the lexicon
-		// under exactly one reading, a POS mismatch is almost always the
-		// tagger misjudging an unknown word ("grimy" guessed as a noun),
-		// not a genuine sense distinction — accept the lone reading.
 		if list := lx.entries[term]; len(list) == 1 && tokens[i].Tag != "" {
 			return list[0].Pol, l, true
 		}

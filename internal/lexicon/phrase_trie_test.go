@@ -1,0 +1,104 @@
+package lexicon
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"webfountain/internal/pos"
+	"webfountain/internal/tokenize"
+)
+
+// vocabWords collects every distinct word of every entry so the random
+// token streams actually exercise multi-word and prefix collisions.
+func vocabWords(lx *Lexicon) []string {
+	seen := map[string]bool{}
+	var words []string
+	for term := range lx.entries {
+		for _, w := range strings.Fields(term) {
+			if !seen[w] {
+				seen[w] = true
+				words = append(words, w)
+			}
+		}
+	}
+	return words
+}
+
+// TestLookupPhraseMatchesSlowPath drives the trie walk and the original
+// ToLower+Join candidate scan over random token streams drawn from the
+// lexicon's own vocabulary (plus noise) and requires identical results at
+// every position.
+func TestLookupPhraseMatchesSlowPath(t *testing.T) {
+	lx := Default()
+	words := vocabWords(lx)
+	noise := []string{"the", "a", "zzz", "Frobnicate", ",", ".", "it"}
+	tags := []pos.Tag{pos.NN, pos.NNS, pos.JJ, pos.JJR, pos.VB, pos.VBN, pos.RB, pos.DT, ""}
+
+	for _, seed := range []int64{1, 42, 20050405} {
+		rng := rand.New(rand.NewSource(seed))
+		for trial := 0; trial < 200; trial++ {
+			n := 1 + rng.Intn(12)
+			toks := make([]pos.TaggedToken, n)
+			for i := range toks {
+				var w string
+				if rng.Intn(4) == 0 {
+					w = noise[rng.Intn(len(noise))]
+				} else {
+					w = words[rng.Intn(len(words))]
+				}
+				if rng.Intn(3) == 0 {
+					w = strings.ToUpper(w) // exercise case folding
+				}
+				toks[i] = pos.TaggedToken{Token: tokenize.Token{Text: w}, Tag: tags[rng.Intn(len(tags))]}
+			}
+			for i := 0; i < n; i++ {
+				gp, gl, gok := lx.LookupPhrase(toks, i)
+				wp, wl, wok := lx.lookupPhraseSlow(toks, i)
+				if gp != wp || gl != wl || gok != wok {
+					t.Fatalf("seed %d trial %d pos %d (%v): trie (%v,%d,%v) != slow (%v,%d,%v)",
+						seed, trial, i, toks, gp, gl, gok, wp, wl, wok)
+				}
+			}
+		}
+	}
+}
+
+// TestLookupPhraseTrieInvalidation proves Add after a lookup rebuilds the
+// automaton so new multi-word entries are found.
+func TestLookupPhraseTrieInvalidation(t *testing.T) {
+	lx := New()
+	lx.Add(Entry{Term: "battery", POS: pos.NN, Pol: Negative})
+	toks := []pos.TaggedToken{
+		{Token: tokenize.Token{Text: "battery"}, Tag: pos.NN},
+		{Token: tokenize.Token{Text: "drain"}, Tag: pos.NN},
+	}
+	if pol, l, ok := lx.LookupPhrase(toks, 0); !ok || l != 1 || pol != Negative {
+		t.Fatalf("before Add: got (%v,%d,%v)", pol, l, ok)
+	}
+	lx.Add(Entry{Term: "battery drain", POS: pos.NN, Pol: Positive})
+	if pol, l, ok := lx.LookupPhrase(toks, 0); !ok || l != 2 || pol != Positive {
+		t.Fatalf("after Add: got (%v,%d,%v), want longest-first 2-word match", pol, l, ok)
+	}
+}
+
+// TestLookupPhraseAllocs pins the zero-allocation contract of the trie
+// walk for both hit and miss positions.
+func TestLookupPhraseAllocs(t *testing.T) {
+	lx := Shared()
+	toks := []pos.TaggedToken{
+		{Token: tokenize.Token{Text: "The"}, Tag: pos.DT},
+		{Token: tokenize.Token{Text: "Battery"}, Tag: pos.NN},
+		{Token: tokenize.Token{Text: "life"}, Tag: pos.NN},
+		{Token: tokenize.Token{Text: "is"}, Tag: pos.VBZ},
+		{Token: tokenize.Token{Text: "excellent"}, Tag: pos.JJ},
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		for i := range toks {
+			lx.LookupPhrase(toks, i)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("LookupPhrase allocates %v per scan, want 0", allocs)
+	}
+}

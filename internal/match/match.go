@@ -1,0 +1,437 @@
+// Package match implements the shared token-sequence matcher that backs
+// the term spotter and the sentiment lexicon's phrase lookup: an
+// Aho-Corasick automaton over interned word symbols, compiled once at
+// platform start and scanned per document with zero allocation.
+//
+// The previous hot path looked every token up in a Go map after a
+// strings.ToLower call — one allocation per capitalized token and a hash
+// per token per resource. The matcher replaces both: tokens resolve to
+// dense symbol IDs through a case-folding open-addressing table that
+// never allocates, and the automaton's transitions live in one packed
+// hash table keyed by (state, symbol), so a document is scanned in a
+// single pass regardless of how many patterns are registered.
+//
+// Two scan disciplines are exposed over the same compiled trie:
+//
+//   - Scan: classic Aho-Corasick with failure links, reporting every
+//     occurrence of every pattern (the spotter's contract).
+//   - LongestAt: a plain root walk reporting the longest pattern starting
+//     at one position (the lexicon's longest-entry-first contract).
+//
+// Patterns are word sequences, already lower-cased by the builder;
+// matching is case-insensitive (ASCII fast path, Unicode fallback).
+package match
+
+import "strings"
+
+// noSym marks a token word that appears in no pattern. Symbol 0 is
+// reserved for it so the scanner can branch on zero.
+const noSym = 0
+
+// Builder accumulates patterns before compilation.
+type Builder struct {
+	syms  map[string]uint32
+	words []string
+	pats  [][]uint32
+}
+
+// NewBuilder returns an empty pattern builder.
+func NewBuilder() *Builder {
+	return &Builder{syms: map[string]uint32{}}
+}
+
+// Add registers one pattern (a word sequence). Words are lower-cased by
+// the builder. The pattern's payload is the value reported on a match —
+// typically an index into a caller-side table. Empty patterns are
+// ignored. Add returns the builder for chaining.
+func (b *Builder) Add(words []string) *Builder {
+	if len(words) == 0 {
+		return b
+	}
+	pat := make([]uint32, len(words))
+	for i, w := range words {
+		lw := strings.ToLower(w)
+		sym, ok := b.syms[lw]
+		if !ok {
+			sym = uint32(len(b.words)) + 1 // 0 is noSym
+			b.syms[lw] = sym
+			b.words = append(b.words, lw)
+		}
+		pat[i] = sym
+	}
+	b.pats = append(b.pats, pat)
+	return b
+}
+
+// Len returns the number of registered patterns. The payload of the
+// pattern added by the n-th Add call is n (zero-based), so callers can
+// index a side table by it.
+func (b *Builder) Len() int { return len(b.pats) }
+
+// trieNode is scratch state used only during compilation.
+type trieNode struct {
+	next map[uint32]int32
+	out  []int32 // pattern indices terminating here
+	fail int32
+	len  int32 // depth in words (pattern length for terminals)
+}
+
+// Match is one reported occurrence.
+type Match struct {
+	// Pattern is the zero-based index of the Add call that registered
+	// the matched pattern.
+	Pattern int
+	// Start and End are token indices of the occurrence (half-open).
+	Start, End int
+}
+
+// Matcher is the compiled automaton. It is immutable and safe for
+// concurrent use; build one at startup and share it across workers.
+type Matcher struct {
+	table    foldTable
+	trans    transTable
+	fail     []int32
+	outHead  []int32 // per state: head index into outList, -1 if none
+	outList  []outEntry
+	patLen   []int32 // per pattern: length in words
+	maxDepth int
+}
+
+// outEntry is one node of the per-state output list (a linked list so
+// suffix outputs are shared rather than copied per state).
+type outEntry struct {
+	pattern int32
+	length  int32
+	next    int32
+}
+
+// Compile freezes the builder into a Matcher.
+func (b *Builder) Compile() *Matcher {
+	// Build the word trie.
+	nodes := []trieNode{{next: map[uint32]int32{}}}
+	patLen := make([]int32, len(b.pats))
+	for pi, pat := range b.pats {
+		cur := int32(0)
+		for _, sym := range pat {
+			nxt, ok := nodes[cur].next[sym]
+			if !ok {
+				nxt = int32(len(nodes))
+				nodes = append(nodes, trieNode{next: map[uint32]int32{}, len: nodes[cur].len + 1})
+				nodes[cur].next[sym] = nxt
+			}
+			cur = nxt
+		}
+		nodes[cur].out = append(nodes[cur].out, int32(pi))
+		patLen[pi] = int32(len(pat))
+	}
+
+	m := &Matcher{
+		fail:    make([]int32, len(nodes)),
+		outHead: make([]int32, len(nodes)),
+		patLen:  patLen,
+	}
+	for i := range m.outHead {
+		m.outHead[i] = -1
+	}
+	m.table.init(b.words)
+
+	// BFS failure links (standard Aho-Corasick construction), and the
+	// per-state output lists: a state's outputs are its own terminals
+	// followed by a link to its failure state's list.
+	queue := make([]int32, 0, len(nodes))
+	for _, child := range nodes[0].next {
+		nodes[child].fail = 0
+		queue = append(queue, child)
+	}
+	for head := 0; head < len(queue); head++ {
+		cur := queue[head]
+		for sym, child := range nodes[cur].next {
+			f := nodes[cur].fail
+			for f != 0 {
+				if nxt, ok := nodes[f].next[sym]; ok {
+					f = nxt
+					goto linked
+				}
+				f = nodes[f].fail
+			}
+			if nxt, ok := nodes[0].next[sym]; ok {
+				f = nxt
+			}
+		linked:
+			nodes[child].fail = f
+			queue = append(queue, child)
+		}
+	}
+	// queue is in BFS order; parents precede children, so a failure
+	// state's output list is final before its dependents link to it.
+	link := func(state int32) {
+		n := &nodes[state]
+		head := int32(-1)
+		if n.fail != state {
+			head = m.outHead[n.fail]
+		}
+		for i := len(n.out) - 1; i >= 0; i-- {
+			pi := n.out[i]
+			m.outList = append(m.outList, outEntry{pattern: pi, length: patLen[pi], next: head})
+			head = int32(len(m.outList) - 1)
+		}
+		m.outHead[state] = head
+		m.fail[state] = n.fail
+	}
+	link(0)
+	for _, state := range queue {
+		link(state)
+	}
+
+	// Pack transitions into the shared open-addressing table.
+	edges := 0
+	for i := range nodes {
+		edges += len(nodes[i].next)
+	}
+	m.trans.init(edges)
+	for state := range nodes {
+		for sym, child := range nodes[state].next {
+			m.trans.put(int32(state), sym, child)
+		}
+		if int(nodes[state].len) > m.maxDepth {
+			m.maxDepth = int(nodes[state].len)
+		}
+	}
+	return m
+}
+
+// MaxLen returns the longest registered pattern length in words.
+func (m *Matcher) MaxLen() int { return m.maxDepth }
+
+// Sym resolves a token's surface text to its symbol, case-insensitively
+// and without allocating. It returns 0 for words outside every pattern.
+func (m *Matcher) Sym(word string) uint32 { return m.table.lookup(word) }
+
+// Scan runs the automaton over syms[i] = Sym(token i text) resolved by
+// the caller via fn, reporting every pattern occurrence to emit in token
+// order (at equal end positions, longer patterns first). It allocates
+// nothing itself; emit receives matches as they are found.
+//
+// fn is called once per token and must return Sym(token text); callers
+// scan token slices of any element type by closing over them.
+func (m *Matcher) Scan(n int, fn func(i int) uint32, emit func(Match)) {
+	state := int32(0)
+	for i := 0; i < n; i++ {
+		sym := fn(i)
+		if sym == noSym {
+			// A word outside every pattern always resets to the root:
+			// no pattern can span it.
+			state = 0
+			continue
+		}
+		for {
+			if nxt, ok := m.trans.get(state, sym); ok {
+				state = nxt
+				break
+			}
+			if state == 0 {
+				break
+			}
+			state = m.fail[state]
+		}
+		for e := m.outHead[state]; e >= 0; e = m.outList[e].next {
+			o := &m.outList[e]
+			emit(Match{
+				Pattern: int(o.pattern),
+				Start:   i + 1 - int(o.length),
+				End:     i + 1,
+			})
+		}
+	}
+}
+
+// WalkAt walks the trie from the root over positions i, i+1, ... and
+// calls visit for every pattern that starts exactly at i, in increasing
+// length order. The walk stops when visit returns false, when the trie
+// runs out of transitions, or when a word outside every pattern is hit.
+// Like Scan, symbols are supplied per position by fn. Callers wanting
+// the lexicon's longest-entry-first discipline collect the visited
+// (pattern, length) pairs and try them in reverse.
+func (m *Matcher) WalkAt(n, i int, fn func(i int) uint32, visit func(pattern, length int) bool) {
+	state := int32(0)
+	for j := i; j < n && j-i < m.maxDepth; j++ {
+		sym := fn(j)
+		if sym == noSym {
+			return
+		}
+		nxt, found := m.trans.get(state, sym)
+		if !found {
+			return
+		}
+		state = nxt
+		// Only outputs terminating exactly here (depth j-i+1) count: a
+		// failure-suffix output would start later than i.
+		for e := m.outHead[state]; e >= 0; e = m.outList[e].next {
+			o := &m.outList[e]
+			if int(o.length) == j-i+1 {
+				if !visit(int(o.pattern), int(o.length)) {
+					return
+				}
+				break
+			}
+		}
+	}
+}
+
+// LongestAt returns the longest pattern starting exactly at position i,
+// or ok=false when none does.
+func (m *Matcher) LongestAt(n, i int, fn func(i int) uint32) (pattern, length int, ok bool) {
+	m.WalkAt(n, i, fn, func(p, l int) bool {
+		pattern, length, ok = p, l, true
+		return true
+	})
+	return pattern, length, ok
+}
+
+// transTable is an open-addressing hash table from (state, symbol) to
+// next state, packed into two flat arrays. Load factor is kept at or
+// below 1/2 and probing is linear; lookups touch one or two cache lines
+// and never allocate.
+type transTable struct {
+	keys []uint64 // (state+1)<<32 | sym; 0 = empty slot
+	vals []int32
+	mask uint64
+}
+
+func (t *transTable) init(edges int) {
+	size := 16
+	for size < edges*2 {
+		size <<= 1
+	}
+	t.keys = make([]uint64, size)
+	t.vals = make([]int32, size)
+	t.mask = uint64(size - 1)
+}
+
+func transKey(state int32, sym uint32) uint64 {
+	return (uint64(state)+1)<<32 | uint64(sym)
+}
+
+// mix is the 64-bit finalizer from splitmix64.
+func mix(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+func (t *transTable) put(state int32, sym uint32, next int32) {
+	k := transKey(state, sym)
+	slot := mix(k) & t.mask
+	for t.keys[slot] != 0 {
+		slot = (slot + 1) & t.mask
+	}
+	t.keys[slot] = k
+	t.vals[slot] = next
+}
+
+func (t *transTable) get(state int32, sym uint32) (int32, bool) {
+	k := transKey(state, sym)
+	slot := mix(k) & t.mask
+	for {
+		cur := t.keys[slot]
+		if cur == k {
+			return t.vals[slot], true
+		}
+		if cur == 0 {
+			return 0, false
+		}
+		slot = (slot + 1) & t.mask
+	}
+}
+
+// foldTable maps surface words to symbols, case-insensitively, without
+// allocating. Vocabulary words are stored lower-cased; lookups hash the
+// probe word with ASCII case folding and compare fold-equal, so "CLIE",
+// "Clie" and "clie" all resolve to one symbol with zero garbage. Words
+// containing non-ASCII bytes take a Unicode slow path that may allocate
+// — they cannot appear in the embedded English resources.
+type foldTable struct {
+	slots []uint32 // symbol+1; 0 = empty
+	words []string // vocabulary, indexed by symbol-1
+	mask  uint64
+}
+
+func (t *foldTable) init(words []string) {
+	size := 16
+	for size < len(words)*2 {
+		size <<= 1
+	}
+	t.slots = make([]uint32, size)
+	t.words = words
+	t.mask = uint64(size - 1)
+	for i, w := range words {
+		slot := foldHash(w) & t.mask
+		for t.slots[slot] != 0 {
+			slot = (slot + 1) & t.mask
+		}
+		t.slots[slot] = uint32(i) + 1
+	}
+}
+
+func (t *foldTable) lookup(word string) uint32 {
+	if !asciiString(word) {
+		// Unicode slow path: fold through ToLower (allocates only when
+		// the word actually contains upper-case runes).
+		word = strings.ToLower(word)
+	}
+	slot := foldHash(word) & t.mask
+	for {
+		sym := t.slots[slot]
+		if sym == 0 {
+			return noSym
+		}
+		if foldEqualASCII(t.words[sym-1], word) {
+			return sym
+		}
+		slot = (slot + 1) & t.mask
+	}
+}
+
+func asciiString(s string) bool {
+	for i := 0; i < len(s); i++ {
+		if s[i] >= 0x80 {
+			return false
+		}
+	}
+	return true
+}
+
+// foldHash is FNV-1a over ASCII-lower-cased bytes.
+func foldHash(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if 'A' <= c && c <= 'Z' {
+			c += 'a' - 'A'
+		}
+		h ^= uint64(c)
+		h *= 1099511628211
+	}
+	return h
+}
+
+// foldEqualASCII reports a == b under ASCII case folding. The left side
+// (stored vocabulary) is already lower-case.
+func foldEqualASCII(lower, b string) bool {
+	if len(lower) != len(b) {
+		return false
+	}
+	for i := 0; i < len(b); i++ {
+		c := b[i]
+		if 'A' <= c && c <= 'Z' {
+			c += 'a' - 'A'
+		}
+		if lower[i] != c {
+			return false
+		}
+	}
+	return true
+}

@@ -88,7 +88,7 @@ func New() *Spotter { return &Spotter{} }
 
 // SpotTokens scans tokens and returns named entities ordered by position.
 func (sp *Spotter) SpotTokens(tokens []tokenize.Token) []Entity {
-	return sp.scan(tokens, -1)
+	return sp.AppendEntities(nil, tokens, -1)
 }
 
 // SpotSentences scans each sentence, marking entities with their sentence
@@ -98,13 +98,15 @@ func (sp *Spotter) SpotTokens(tokens []tokenize.Token) []Entity {
 func (sp *Spotter) SpotSentences(sents []tokenize.Sentence) []Entity {
 	var all []Entity
 	for _, s := range sents {
-		all = append(all, sp.scan(s.Tokens, s.Index)...)
+		all = sp.AppendEntities(all, s.Tokens, s.Index)
 	}
 	return all
 }
 
-func (sp *Spotter) scan(tokens []tokenize.Token, sentence int) []Entity {
-	var entities []Entity
+// AppendEntities scans tokens and appends the detected entities to dst,
+// marking them with the given sentence index (-1 for whole-document
+// scans). All lookups fold case without allocating.
+func (sp *Spotter) AppendEntities(dst []Entity, tokens []tokenize.Token, sentence int) []Entity {
 	i := 0
 	for i < len(tokens) {
 		if !isCandidateStart(tokens, i) {
@@ -121,23 +123,20 @@ func (sp *Spotter) scan(tokens []tokenize.Token, sentence int) []Entity {
 				j++
 				continue
 			}
-			lw := t.Lower()
-			if connectors[lw] && j+1 < len(tokens) && isCapWord(tokens[j+1]) {
+			if isConnector(t) && j+1 < len(tokens) && isCapWord(tokens[j+1]) {
 				j += 2
 				continue
 			}
-			if lw == "'s" && j+1 < len(tokens) && isCapWord(tokens[j+1]) {
+			if isPossessive(t) && j+1 < len(tokens) && isCapWord(tokens[j+1]) {
 				j += 2
 				continue
 			}
 			break
 		}
-		for _, e := range splitCandidate(tokens, i, j, sentence) {
-			entities = append(entities, e)
-		}
+		dst = splitCandidate(dst, tokens, i, j, sentence)
 		i = j
 	}
-	return entities
+	return dst
 }
 
 // isCandidateStart reports whether a candidate name may begin at i.
@@ -146,15 +145,31 @@ func isCandidateStart(tokens []tokenize.Token, i int) bool {
 	if !isCapWord(t) {
 		return false
 	}
-	lw := t.Lower()
-	if !stopwords[lw] {
+	if !isStopword(t) {
 		return true
 	}
 	// A capitalized stopword can still start an entity when directly
 	// followed by another capitalized word ("The Beatles") — but only
 	// mid-sentence starts are trustworthy; we accept the lookahead form.
-	return i+1 < len(tokens) && isCapWord(tokens[i+1]) && !stopwords[tokens[i+1].Lower()]
+	return i+1 < len(tokens) && isCapWord(tokens[i+1]) && !isStopword(tokens[i+1])
 }
+
+func isConnector(t tokenize.Token) bool {
+	v, _ := tokenize.FoldProbe(connectors, t.Text)
+	return v
+}
+
+func isStopword(t tokenize.Token) bool {
+	v, _ := tokenize.FoldProbe(stopwords, t.Text)
+	return v
+}
+
+func isSplitter(t tokenize.Token) bool {
+	v, _ := tokenize.FoldProbe(splitters, t.Text)
+	return v
+}
+
+func isPossessive(t tokenize.Token) bool { return tokenize.EqualFold(t.Text, "'s") }
 
 func isCapWord(t tokenize.Token) bool {
 	if t.Kind != tokenize.Word {
@@ -164,10 +179,10 @@ func isCapWord(t tokenize.Token) bool {
 }
 
 // splitCandidate applies the paper's split heuristics to a candidate run
-// [i, j): split at conjunctions/prepositions unless a title binds the
-// parts, and split at possessives.
-func splitCandidate(tokens []tokenize.Token, i, j, sentence int) []Entity {
-	var out []Entity
+// [i, j), appending the resulting entities to dst: split at
+// conjunctions/prepositions unless a title binds the parts, and split at
+// possessives.
+func splitCandidate(dst []Entity, tokens []tokenize.Token, i, j, sentence int) []Entity {
 	start := i
 	flush := func(end int) {
 		if end <= start {
@@ -175,58 +190,72 @@ func splitCandidate(tokens []tokenize.Token, i, j, sentence int) []Entity {
 		}
 		// Trim leading/trailing connectors and stopword-only entities.
 		s, e := start, end
-		for s < e && (connectors[tokens[s].Lower()] || stopwords[tokens[s].Lower()] && s == start && e-s > 1 && !isTitle(tokens[s])) {
-			if connectors[tokens[s].Lower()] {
+		for s < e && (isConnector(tokens[s]) || isStopword(tokens[s]) && s == start && e-s > 1 && !isTitle(tokens[s])) {
+			if isConnector(tokens[s]) {
 				s++
 				continue
 			}
-			if stopwords[tokens[s].Lower()] && !isTitle(tokens[s]) {
+			if isStopword(tokens[s]) && !isTitle(tokens[s]) {
 				s++
 				continue
 			}
 			break
 		}
-		for e > s && (connectors[tokens[e-1].Lower()] || tokens[e-1].Lower() == "'s") {
+		for e > s && (isConnector(tokens[e-1]) || isPossessive(tokens[e-1])) {
 			e--
 		}
 		if e <= s {
 			return
 		}
-		if e-s == 1 && stopwords[tokens[s].Lower()] {
+		if e-s == 1 && isStopword(tokens[s]) {
 			return
 		}
-		var words []string
-		for _, t := range tokens[s:e] {
-			words = append(words, t.Text)
+		text := tokens[s].Text // single-token entity: no string build
+		if e-s > 1 {
+			n := 0
+			for _, t := range tokens[s:e] {
+				n += len(t.Text) + 1
+			}
+			var b strings.Builder
+			b.Grow(n - 1)
+			for k, t := range tokens[s:e] {
+				if k > 0 {
+					b.WriteByte(' ')
+				}
+				b.WriteString(t.Text)
+			}
+			text = b.String()
 		}
-		out = append(out, Entity{
-			Text:     strings.Join(words, " "),
+		dst = append(dst, Entity{
+			Text:     text,
 			Start:    s,
 			End:      e,
 			Sentence: sentence,
 		})
 	}
 	for k := i; k < j; k++ {
-		lw := tokens[k].Lower()
-		if splitters[lw] {
+		if isSplitter(tokens[k]) {
 			// "of" after a title phrase splits ("Prof. Wilson of American
 			// University"); a leading "of" inside an org name like "Bank
 			// of America" does not when the left side is a single
 			// non-title capitalized word.
-			if lw == "of" && k-start == 1 && !isTitle(tokens[start]) {
+			if tokenize.EqualFold(tokens[k].Text, "of") && k-start == 1 && !isTitle(tokens[start]) {
 				continue // keep "Bank of America" together
 			}
 			flush(k)
 			start = k + 1
 			continue
 		}
-		if lw == "'s" {
+		if isPossessive(tokens[k]) {
 			flush(k)
 			start = k + 1
 		}
 	}
 	flush(j)
-	return out
+	return dst
 }
 
-func isTitle(t tokenize.Token) bool { return titles[t.Lower()] }
+func isTitle(t tokenize.Token) bool {
+	v, _ := tokenize.FoldProbe(titles, t.Text)
+	return v
+}

@@ -28,6 +28,7 @@ import (
 	"fmt"
 	"io"
 	"strings"
+	"sync"
 
 	"webfountain/internal/chunk"
 	"webfountain/internal/lexicon"
@@ -79,6 +80,10 @@ type Pattern struct {
 	InvertSource bool
 	// Target is the component the sentiment is directed to.
 	Target RoleSpec
+
+	// str caches the notation rendering. DB.Add fills it so the hot
+	// analyzer path never re-renders per assignment.
+	str string
 }
 
 // IsTrans reports whether the pattern transfers sentiment from a source
@@ -87,6 +92,13 @@ func (p Pattern) IsTrans() bool { return p.Fixed == lexicon.Neutral }
 
 // String renders the pattern in the paper's notation.
 func (p Pattern) String() string {
+	if p.str != "" {
+		return p.str
+	}
+	return p.render()
+}
+
+func (p Pattern) render() string {
 	cat := p.Fixed.String()
 	if p.IsTrans() {
 		cat = p.Source.String()
@@ -114,10 +126,18 @@ func Default() *DB {
 	return db
 }
 
+var shared = sync.OnceValue(Default)
+
+// Shared returns a process-wide database of the embedded patterns, built
+// once. Callers must treat it as read-only; anyone needing extra patterns
+// builds their own DB via Default + Add/Load.
+func Shared() *DB { return shared() }
+
 // Add inserts a pattern. Multiple patterns per predicate are allowed; the
 // analyzer picks the best structural match.
 func (db *DB) Add(p Pattern) {
 	p.Predicate = strings.ToLower(p.Predicate)
+	p.str = p.render()
 	db.byPredicate[p.Predicate] = append(db.byPredicate[p.Predicate], p)
 }
 

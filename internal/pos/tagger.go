@@ -26,12 +26,69 @@ func NewTagger() *Tagger { return &Tagger{} }
 // Tag tags a full sentence worth of tokens. Tagging is done in two passes:
 // a per-token lexical pass followed by contextual repair rules.
 func (tg *Tagger) Tag(tokens []tokenize.Token) []TaggedToken {
-	out := make([]TaggedToken, len(tokens))
+	return tg.AppendTags(nil, tokens)
+}
+
+// AppendTags appends one TaggedToken per token to dst and returns the
+// extended slice. Context repair runs over the appended region only, so a
+// caller can tag several sentences into one reused buffer.
+func (tg *Tagger) AppendTags(dst []TaggedToken, tokens []tokenize.Token) []TaggedToken {
+	base := len(dst)
 	for i, tok := range tokens {
-		out[i] = TaggedToken{Token: tok, Tag: tg.lexical(tok, i == 0)}
+		dst = append(dst, TaggedToken{Token: tok, Tag: tg.lexical(tok, i == 0)})
 	}
-	applyContextRules(out)
-	return out
+	applyContextRules(dst[base:])
+	return dst
+}
+
+// foldProbe probes an ASCII-keyed map with the case-folded form of s
+// without allocating: the string(buf) conversion in a map index is elided
+// by the compiler.
+func foldProbe[V any](m map[string]V, s string) (V, bool) {
+	if len(s) <= 32 {
+		ascii := true
+		var buf [32]byte
+		for i := 0; i < len(s); i++ {
+			c := s[i]
+			if c >= 0x80 {
+				ascii = false
+				break
+			}
+			if 'A' <= c && c <= 'Z' {
+				c += 'a' - 'A'
+			}
+			buf[i] = c
+		}
+		if ascii {
+			v, ok := m[string(buf[:len(s)])]
+			return v, ok
+		}
+	}
+	v, ok := m[strings.ToLower(s)]
+	return v, ok
+}
+
+// foldEq reports whether s equals lower under ASCII case folding; lower
+// must already be lower-case.
+func foldEq(s, lower string) bool {
+	if len(s) != len(lower) {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if 'A' <= c && c <= 'Z' {
+			c += 'a' - 'A'
+		}
+		if c != lower[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// hasSuffixFold reports whether s ends with lower under ASCII case folding.
+func hasSuffixFold(s, lower string) bool {
+	return len(s) >= len(lower) && foldEq(s[len(s)-len(lower):], lower)
 }
 
 // TagSentence tags the tokens of a tokenize.Sentence.
@@ -47,49 +104,49 @@ func (tg *Tagger) lexical(tok tokenize.Token, first bool) Tag {
 	case tokenize.Punct, tokenize.Symbol:
 		return PCT
 	}
-	lower := strings.ToLower(tok.Text)
+	w := tok.Text
 
 	// Possessive clitic from the tokenizer ("camera" + "'s"). Verbal "'s"
 	// (= is) is repaired contextually when followed by an adjective or
 	// determiner; default to POS after nouns, which the context rules use.
-	if lower == "'s" {
+	if foldEq(w, "'s") {
 		return POS
 	}
-	if t, ok := beForms[lower]; ok && lower != "'s" {
+	if t, ok := foldProbe(beForms, w); ok {
 		return t
 	}
 
 	if tg.Extra != nil {
-		if t, ok := tg.Extra[lower]; ok {
+		if t, ok := foldProbe(tg.Extra, w); ok {
 			return t
 		}
 	}
 
 	switch {
-	case lower == "to":
+	case foldEq(w, "to"):
 		return TO
-	case lower == "there":
+	case foldEq(w, "there"):
 		return EX // repaired to RB contextually when not followed by be
-	case determiners[lower]:
+	case probe(determiners, w):
 		return DT
-	case modals[lower]:
+	case probe(modals, w):
 		return MD
-	case possessivePronouns[lower]:
+	case probe(possessivePronouns, w):
 		return PRPS
-	case pronouns[lower]:
+	case probe(pronouns, w):
 		return PRP
-	case conjunctions[lower]:
+	case probe(conjunctions, w):
 		return CC
-	case prepositions[lower]:
+	case probe(prepositions, w):
 		return IN
 	}
-	if t, ok := whWords[lower]; ok {
+	if t, ok := foldProbe(whWords, w); ok {
 		return t
 	}
-	if t, ok := irregularVerbs[lower]; ok {
+	if t, ok := foldProbe(irregularVerbs, w); ok {
 		return t
 	}
-	if t, ok := lexicon[lower]; ok {
+	if t, ok := foldProbe(lexicon, w); ok {
 		return t
 	}
 
@@ -97,49 +154,56 @@ func (tg *Tagger) lexical(tok tokenize.Token, first bool) Tag {
 	// nouns; sentence-initial capitalized unknowns are too, since known
 	// common words were already matched via their lower-case form.
 	if tok.IsCapitalized() {
-		if strings.HasSuffix(tok.Text, "s") && len(tok.Text) > 3 && !strings.HasSuffix(lower, "ss") {
+		if strings.HasSuffix(w, "s") && len(w) > 3 && !hasSuffixFold(w, "ss") {
 			return NNPS
 		}
 		return NNP
 	}
-	return suffixTag(lower)
+	return suffixTag(w)
 }
 
-// suffixTag guesses a tag for an unknown lower-case word from morphology.
+// probe is foldProbe for set-style bool maps, dropping the ok result.
+func probe(m map[string]bool, s string) bool {
+	v, _ := foldProbe(m, s)
+	return v
+}
+
+// suffixTag guesses a tag for an unknown word from morphology. Suffix
+// checks fold ASCII case so the caller need not lower-case first.
 func suffixTag(w string) Tag {
 	switch {
 	case strings.Contains(w, "-"):
 		// Unknown hyphenated compounds are overwhelmingly modifiers in
 		// review text ("washed-out", "state-of-the-art").
 		return JJ
-	case strings.HasSuffix(w, "ly") && len(w) > 4:
+	case hasSuffixFold(w, "ly") && len(w) > 4:
 		return RB
-	case strings.HasSuffix(w, "ing") && len(w) > 5:
+	case hasSuffixFold(w, "ing") && len(w) > 5:
 		return VBG
-	case strings.HasSuffix(w, "ed") && len(w) > 4:
+	case hasSuffixFold(w, "ed") && len(w) > 4:
 		return VBN // repaired to VBD contextually after a nominal subject
-	case strings.HasSuffix(w, "tion") || strings.HasSuffix(w, "sion") ||
-		strings.HasSuffix(w, "ment") || strings.HasSuffix(w, "ness") ||
-		strings.HasSuffix(w, "ance") || strings.HasSuffix(w, "ence") ||
-		strings.HasSuffix(w, "ship") || strings.HasSuffix(w, "ity") ||
-		strings.HasSuffix(w, "ism") || strings.HasSuffix(w, "age") ||
-		strings.HasSuffix(w, "ure") || strings.HasSuffix(w, "cy"):
+	case hasSuffixFold(w, "tion") || hasSuffixFold(w, "sion") ||
+		hasSuffixFold(w, "ment") || hasSuffixFold(w, "ness") ||
+		hasSuffixFold(w, "ance") || hasSuffixFold(w, "ence") ||
+		hasSuffixFold(w, "ship") || hasSuffixFold(w, "ity") ||
+		hasSuffixFold(w, "ism") || hasSuffixFold(w, "age") ||
+		hasSuffixFold(w, "ure") || hasSuffixFold(w, "cy"):
 		return NN
-	case strings.HasSuffix(w, "ous") || strings.HasSuffix(w, "ful") ||
-		strings.HasSuffix(w, "able") || strings.HasSuffix(w, "ible") ||
-		strings.HasSuffix(w, "ive") || strings.HasSuffix(w, "ish") ||
-		strings.HasSuffix(w, "less") || strings.HasSuffix(w, "ic") ||
-		strings.HasSuffix(w, "al") || strings.HasSuffix(w, "ary"):
+	case hasSuffixFold(w, "ous") || hasSuffixFold(w, "ful") ||
+		hasSuffixFold(w, "able") || hasSuffixFold(w, "ible") ||
+		hasSuffixFold(w, "ive") || hasSuffixFold(w, "ish") ||
+		hasSuffixFold(w, "less") || hasSuffixFold(w, "ic") ||
+		hasSuffixFold(w, "al") || hasSuffixFold(w, "ary"):
 		return JJ
-	case strings.HasSuffix(w, "est") && len(w) > 4:
+	case hasSuffixFold(w, "est") && len(w) > 4:
 		return JJS
-	case strings.HasSuffix(w, "er") && len(w) > 4:
+	case hasSuffixFold(w, "er") && len(w) > 4:
 		// -er is genuinely ambiguous (agent noun vs. comparative); nouns
 		// dominate in product text (reviewer, adapter, charger).
 		return NN
-	case strings.HasSuffix(w, "ies"):
+	case hasSuffixFold(w, "ies"):
 		return NNS
-	case strings.HasSuffix(w, "s") && !strings.HasSuffix(w, "ss") && len(w) > 3:
+	case hasSuffixFold(w, "s") && !hasSuffixFold(w, "ss") && len(w) > 3:
 		return NNS
 	}
 	return NN
@@ -156,11 +220,8 @@ func applyContextRules(ts []TaggedToken) {
 		}
 		return ts[i].Tag
 	}
-	lowerAt := func(i int) string {
-		if i < 0 || i >= n {
-			return ""
-		}
-		return strings.ToLower(ts[i].Text)
+	wordIs := func(i int, lower string) bool {
+		return i >= 0 && i < n && foldEq(ts[i].Text, lower)
 	}
 
 	for i := 0; i < n; i++ {
@@ -207,7 +268,7 @@ func applyContextRules(ts []TaggedToken) {
 		// view"), which must stay verbal for the PP(by;with) patterns.
 		case (cur == VBN || cur == VBG) && isLinkingLike(ts, i-1) &&
 			!(next.IsNoun() || next == DT || next == PRPS) &&
-			lowerAt(i+1) != "by" && lowerAt(i+1) != "with":
+			!wordIs(i+1, "by") && !wordIs(i+1, "with"):
 			ts[i].Tag = JJ
 
 		// Existential "there" only before forms of be.
@@ -238,13 +299,13 @@ func applyContextRules(ts []TaggedToken) {
 
 		// Prepositional "like/unlike" stay IN; verbal "like" after PRP:
 		// "I like the camera."
-		case cur == IN && lowerAt(i) == "like" && (prev == PRP || prev == NNS || prev == NNP) && (next == DT || next == PRPS || next == NNP):
+		case cur == IN && wordIs(i, "like") && (prev == PRP || prev == NNS || prev == NNP) && (next == DT || next == PRPS || next == NNP):
 			ts[i].Tag = VBP
 
 		// "that" as complementizer after a verb: keep IN; as determiner
 		// before a noun: DT (already lexical); as relative pronoun after a
 		// noun and before a verb: WDT.
-		case cur == DT && lowerAt(i) == "that" && prev.IsNoun() && (next.IsVerb() || next == MD):
+		case cur == DT && wordIs(i, "that") && prev.IsNoun() && (next.IsVerb() || next == MD):
 			ts[i].Tag = WDT
 		}
 	}
@@ -256,7 +317,7 @@ func applyContextRules(ts []TaggedToken) {
 	// earnings"): NNS followed by JJ+NN with a nominal before it.
 	for i := 1; i < n-1; i++ {
 		if ts[i].Tag == NNS && at(i-1).IsNoun() && (at(i+1) == JJ || at(i+1) == DT) {
-			if vb, ok := pluralAsVerb[strings.ToLower(ts[i].Text)]; ok {
+			if vb, ok := foldProbe(pluralAsVerb, ts[i].Text); ok {
 				ts[i].Tag = vb
 			}
 		}
@@ -294,11 +355,12 @@ func isLinkingLike(ts []TaggedToken, j int) bool {
 	if j < 0 || j >= len(ts) {
 		return false
 	}
-	lw := strings.ToLower(ts[j].Text)
-	if _, ok := beForms[lw]; ok {
+	if _, ok := foldProbe(beForms, ts[j].Text); ok {
 		return true
 	}
-	switch VerbLemma(lw) {
+	// Mid-sentence verbs are already lower-case, so this ToLower is
+	// normally a no-op that returns its input without allocating.
+	switch VerbLemma(strings.ToLower(ts[j].Text)) {
 	case "seem", "look", "feel", "taste", "smell", "appear", "sound",
 		"remain", "stay", "become", "get", "turn", "prove", "grow":
 		return ts[j].Tag.IsVerb()
@@ -316,8 +378,8 @@ func followsDoSupport(ts []TaggedToken, i int) bool {
 		case MD:
 			return true
 		case VB, VBZ, VBP, VBD:
-			lw := strings.ToLower(ts[j].Text)
-			return lw == "do" || lw == "does" || lw == "did"
+			w := ts[j].Text
+			return foldEq(w, "do") || foldEq(w, "does") || foldEq(w, "did")
 		default:
 			return false
 		}
@@ -333,8 +395,9 @@ func hasAuxBefore(ts []TaggedToken, i int) bool {
 		case RB, RBR, RBS:
 			continue
 		case MD, VBZ, VBP, VBD, VB:
-			lw := strings.ToLower(ts[j].Text)
-			if _, isBe := beForms[lw]; isBe || lw == "has" || lw == "have" || lw == "had" {
+			w := ts[j].Text
+			if _, isBe := foldProbe(beForms, w); isBe ||
+				foldEq(w, "has") || foldEq(w, "have") || foldEq(w, "had") {
 				return true
 			}
 			return false

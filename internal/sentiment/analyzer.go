@@ -17,6 +17,7 @@ import (
 	"webfountain/internal/lexicon"
 	"webfountain/internal/patterns"
 	"webfountain/internal/pos"
+	"webfountain/internal/tokenize"
 )
 
 // Assignment is one (target, sentiment) pair extracted from a sentence.
@@ -67,10 +68,10 @@ func New(lex *lexicon.Lexicon, db *patterns.DB) *Analyzer {
 // NewWithOptions is New with explicit Options.
 func NewWithOptions(lex *lexicon.Lexicon, db *patterns.DB, opts Options) *Analyzer {
 	if lex == nil {
-		lex = lexicon.Default()
+		lex = lexicon.Shared()
 	}
 	if db == nil {
-		db = patterns.Default()
+		db = patterns.Shared()
 	}
 	return &Analyzer{lex: lex, db: db, opts: opts}
 }
@@ -80,11 +81,17 @@ func (a *Analyzer) Lexicon() *lexicon.Lexicon { return a.lex }
 
 // AnalyzeClauses extracts sentiment assignments from pre-computed clauses.
 func (a *Analyzer) AnalyzeClauses(clauses []chunk.Clause) []Assignment {
-	var out []Assignment
-	for _, cl := range clauses {
-		out = append(out, a.analyzeClause(cl)...)
+	return a.AppendAssignments(nil, clauses)
+}
+
+// AppendAssignments appends the assignments of the clauses to dst and
+// returns the extended slice, so a caller can reuse one buffer across
+// sentences.
+func (a *Analyzer) AppendAssignments(dst []Assignment, clauses []chunk.Clause) []Assignment {
+	for i := range clauses {
+		dst = a.analyzeClause(dst, clauses[i])
 	}
-	return out
+	return dst
 }
 
 // Analyze tags nothing itself: it takes a tagged sentence, chunks it and
@@ -102,16 +109,18 @@ var reversalVerbs = map[string]bool{
 }
 
 // analyzeClause applies pattern matching and sentiment assignment to one
-// clause. With a catenative predicate chain ("fails to meet
-// expectations"), the verbs are tried from last to first; reversal verbs
-// earlier in the chain flip the resulting polarity.
-func (a *Analyzer) analyzeClause(cl chunk.Clause) []Assignment {
+// clause, appending results to dst. With a catenative predicate chain
+// ("fails to meet expectations"), the verbs are tried from last to first;
+// reversal verbs earlier in the chain flip the resulting polarity.
+func (a *Analyzer) analyzeClause(dst []Assignment, cl chunk.Clause) []Assignment {
 	if cl.Predicate == nil {
-		return a.verblessFallback(cl)
+		return a.verblessFallback(dst, cl)
 	}
 	chain := cl.ChainVerbs
+	var one [1]pos.TaggedToken
 	if len(chain) == 0 {
-		chain = []pos.TaggedToken{cl.MainVerb}
+		one[0] = cl.MainVerb
+		chain = one[:]
 	}
 
 	for k := len(chain) - 1; k >= 0; k-- {
@@ -124,7 +133,7 @@ func (a *Analyzer) analyzeClause(cl chunk.Clause) []Assignment {
 		if pat.IsTrans() {
 			src, srcOK := rolePhrase(cl, pat.Source)
 			if !srcOK {
-				return nil
+				return dst
 			}
 			if pat.Source.Role == chunk.RoleCP {
 				pol = a.complementPolarity(src)
@@ -136,7 +145,7 @@ func (a *Analyzer) analyzeClause(cl chunk.Clause) []Assignment {
 			}
 		}
 		if pol == lexicon.Neutral {
-			return nil
+			return dst
 		}
 		negated := false
 		for j := 0; j < k; j++ {
@@ -150,18 +159,18 @@ func (a *Analyzer) analyzeClause(cl chunk.Clause) []Assignment {
 		}
 		tgt, tgtOK := rolePhrase(cl, pat.Target)
 		if !tgtOK {
-			return nil
+			return dst
 		}
-		out := []Assignment{{
+		dst = append(dst, Assignment{
 			Target:   TargetText(tgt),
 			Polarity: pol,
 			Pattern:  pat.String(),
 			Phrase:   tgt,
 			Negated:  negated,
-		}}
-		out = append(out, a.contrastAssignments(cl, tgt, pol)...)
-		out = append(out, a.comparativeAssignments(cl, tgt, pol)...)
-		return out
+		})
+		dst = a.contrastAssignments(dst, cl, tgt, pol)
+		dst = a.comparativeAssignments(dst, cl, tgt, pol)
+		return dst
 	}
 
 	// Fallback: a chain verb may be a sentiment word even without a
@@ -171,11 +180,11 @@ func (a *Analyzer) analyzeClause(cl chunk.Clause) []Assignment {
 		if lemma == "be" || lemma == "do" || lemma == "have" {
 			continue
 		}
-		if as := a.lexiconVerbFallback(cl, lemma); len(as) > 0 {
-			return as
+		if out := a.lexiconVerbFallback(dst, cl, lemma); len(out) > len(dst) {
+			return out
 		}
 	}
-	return nil
+	return dst
 }
 
 // bestPattern picks the pattern for lemma whose structural constraints the
@@ -280,39 +289,38 @@ func innerNP(pp chunk.Phrase) chunk.Phrase {
 // contrastAssignments implements the unlike-PP rule: "Unlike the T series
 // CLIEs, the NR70 does not require an adapter" assigns the subject's
 // sentiment, flipped, to the unlike-phrase.
-func (a *Analyzer) contrastAssignments(cl chunk.Clause, target chunk.Phrase, pol lexicon.Polarity) []Assignment {
+func (a *Analyzer) contrastAssignments(dst []Assignment, cl chunk.Clause, target chunk.Phrase, pol lexicon.Polarity) []Assignment {
 	if a.opts.DisableContrast || cl.Subject == nil {
-		return nil
+		return dst
 	}
 	// The contrast only makes sense when the sentiment landed on the
 	// subject.
 	if target.Start != cl.Subject.Start {
-		return nil
+		return dst
 	}
-	var out []Assignment
 	for _, pp := range cl.PPs {
 		if pp.Prep != "unlike" {
 			continue
 		}
 		np := innerNP(pp)
-		out = append(out, Assignment{
+		dst = append(dst, Assignment{
 			Target:   TargetText(np),
 			Polarity: pol.Flip(),
 			Pattern:  "contrast(unlike)",
 			Phrase:   np,
 		})
 	}
-	return out
+	return dst
 }
 
 // lexiconVerbFallback handles predicates absent from the pattern database
 // but present in the sentiment lexicon. The sentiment goes to the object
 // when the subject is a first/third-person opinion holder, otherwise to
 // the subject.
-func (a *Analyzer) lexiconVerbFallback(cl chunk.Clause, lemma string) []Assignment {
+func (a *Analyzer) lexiconVerbFallback(dst []Assignment, cl chunk.Clause, lemma string) []Assignment {
 	pol, ok := a.lex.Lookup(lemma, pos.VB)
 	if !ok || pol == lexicon.Neutral {
-		return nil
+		return dst
 	}
 	negated := false
 	if cl.Negated && !a.opts.DisableNegation {
@@ -341,23 +349,21 @@ func (a *Analyzer) lexiconVerbFallback(cl chunk.Clause, lemma string) []Assignme
 	case cl.Object != nil:
 		tgt = *cl.Object
 	default:
-		return nil
+		return dst
 	}
-	out := []Assignment{{
+	dst = append(dst, Assignment{
 		Target:   TargetText(tgt),
 		Polarity: pol,
 		Pattern:  "lexicon-verb",
 		Phrase:   tgt,
 		Negated:  negated,
-	}}
-	out = append(out, a.contrastAssignments(cl, tgt, pol)...)
-	return out
+	})
+	return a.contrastAssignments(dst, cl, tgt, pol)
 }
 
 // verblessFallback extracts sentiment from verbless fragments ("A truly
 // wonderful album.") by pairing an NP with sentiment-bearing modifiers.
-func (a *Analyzer) verblessFallback(cl chunk.Clause) []Assignment {
-	var out []Assignment
+func (a *Analyzer) verblessFallback(dst []Assignment, cl chunk.Clause) []Assignment {
 	for _, p := range cl.Phrases {
 		if p.Type != chunk.NP {
 			continue
@@ -366,54 +372,56 @@ func (a *Analyzer) verblessFallback(cl chunk.Clause) []Assignment {
 		if pol == lexicon.Neutral {
 			continue
 		}
-		out = append(out, Assignment{
+		dst = append(dst, Assignment{
 			Target:   headText(p),
 			Polarity: pol,
 			Pattern:  "verbless-np",
 			Phrase:   p,
 		})
 	}
-	return out
+	return dst
+}
+
+// opinionHolders are head words denoting a person expressing an opinion.
+var opinionHolders = map[string]bool{
+	"i": true, "we": true, "you": true, "he": true, "she": true,
+	"they": true, "reviewer": true, "reviewers": true, "critic": true,
+	"critics": true, "user": true, "users": true, "customer": true,
+	"customers": true, "consumer": true, "consumers": true, "owner": true,
+	"owners": true, "analyst": true, "analysts": true, "everyone": true,
+	"everybody": true, "people": true, "fans": true, "fan": true,
+	"listener": true, "listeners": true, "doctor": true, "doctors": true,
+	"patient": true, "patients": true, "investor": true, "investors": true,
 }
 
 // isOpinionHolder reports whether the subject phrase denotes a person
 // expressing an opinion (pronouns, reviewers, critics...).
 func isOpinionHolder(p chunk.Phrase) bool {
-	h := strings.ToLower(p.HeadToken().Text)
-	switch h {
-	case "i", "we", "you", "he", "she", "they",
-		"reviewer", "reviewers", "critic", "critics", "user", "users",
-		"customer", "customers", "consumer", "consumers", "owner",
-		"owners", "analyst", "analysts", "everyone", "everybody",
-		"people", "fans", "fan", "listener", "listeners", "doctor",
-		"doctors", "patient", "patients", "investor", "investors":
-		return true
-	}
-	return false
+	v, _ := tokenize.FoldProbe(opinionHolders, p.HeadToken().Text)
+	return v
 }
 
 // comparativeAssignments handles "X is better than Y": when the matched
 // complement carries a comparative adjective whose base form is polar, a
 // than-PP names the disadvantaged comparand, which receives the opposite
 // polarity — the comparative cousin of the unlike rule.
-func (a *Analyzer) comparativeAssignments(cl chunk.Clause, target chunk.Phrase, pol lexicon.Polarity) []Assignment {
+func (a *Analyzer) comparativeAssignments(dst []Assignment, cl chunk.Clause, target chunk.Phrase, pol lexicon.Polarity) []Assignment {
 	if a.opts.DisableContrast || cl.Subject == nil || target.Start != cl.Subject.Start {
-		return nil
+		return dst
 	}
-	var out []Assignment
 	for _, pp := range cl.PPs {
 		if pp.Prep != "than" {
 			continue
 		}
 		np := innerNP(pp)
-		out = append(out, Assignment{
+		dst = append(dst, Assignment{
 			Target:   TargetText(np),
 			Polarity: pol.Flip(),
 			Pattern:  "comparative(than)",
 			Phrase:   np,
 		})
 	}
-	return out
+	return dst
 }
 
 // complementPolarity computes a complement phrase's polarity, resolving
@@ -478,11 +486,22 @@ func TargetText(p chunk.Phrase) string {
 	for len(toks) > 0 && (toks[0].Tag == pos.DT || toks[0].Tag == pos.PRPS || toks[0].Tag == pos.PDT) {
 		toks = toks[1:]
 	}
-	parts := make([]string, len(toks))
-	for i, t := range toks {
-		parts[i] = t.Text
+	if len(toks) == 1 {
+		return toks[0].Text
 	}
-	return strings.Join(parts, " ")
+	n := 0
+	for _, t := range toks {
+		n += len(t.Text) + 1
+	}
+	var b strings.Builder
+	b.Grow(n - 1)
+	for i, t := range toks {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		b.WriteString(t.Text)
+	}
+	return b.String()
 }
 
 func headText(p chunk.Phrase) string { return p.HeadToken().Text }
@@ -491,13 +510,17 @@ func headText(p chunk.Phrase) string { return p.HeadToken().Text }
 // the token index range [start, end) — used to answer "what is the
 // sentiment about the subject spotted at this span?".
 func ForSpan(as []Assignment, start, end int) []Assignment {
-	var out []Assignment
+	return AppendForSpan(nil, as, start, end)
+}
+
+// AppendForSpan is ForSpan appending into a caller-owned buffer.
+func AppendForSpan(dst, as []Assignment, start, end int) []Assignment {
 	for _, a := range as {
 		if a.Phrase.Start < end && start < a.Phrase.End {
-			out = append(out, a)
+			dst = append(dst, a)
 		}
 	}
-	return out
+	return dst
 }
 
 // Net combines a set of assignments for one subject into a single

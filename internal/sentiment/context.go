@@ -1,6 +1,7 @@
 package sentiment
 
 import (
+	"webfountain/internal/chunk"
 	"webfountain/internal/pos"
 	"webfountain/internal/tokenize"
 )
@@ -41,17 +42,46 @@ func BuildContext(sents []tokenize.Sentence, focus, window, subjStart, subjEnd i
 	}
 }
 
+// Scratch carries the reusable buffers of the tag→chunk→analyze pipeline
+// so repeated per-spot analyses allocate nothing in steady state. The
+// zero value is ready; results of a call are valid until the next call
+// with the same Scratch.
+type Scratch struct {
+	tagged  []pos.TaggedToken
+	chunk   chunk.Scratch
+	ck      chunk.Chunker
+	assigns []Assignment
+	hits    []Assignment
+}
+
+// AnalyzeInto is Analyze reusing the scratch buffers. The returned
+// assignments (and the phrases they reference) are valid until the next
+// call with the same Scratch.
+func (a *Analyzer) AnalyzeInto(sc *Scratch, ts []pos.TaggedToken) []Assignment {
+	sc.assigns = a.AppendAssignments(sc.assigns[:0], sc.ck.ClausesInto(&sc.chunk, ts))
+	return sc.assigns
+}
+
 // SubjectSentiment runs the analyzer over the context and reduces the
 // assignments that target the subject spot to a single polarity. It also
 // returns the matching assignments for tracing. Assignments from
 // non-focus sentences only count when the focus sentence yields nothing —
 // the window is a fallback, not an override.
 func (a *Analyzer) SubjectSentiment(tagger *pos.Tagger, ctx Context) ([]Assignment, bool) {
-	focus := tagger.TagSentence(ctx.FocusSentence())
-	as := a.Analyze(focus)
-	hits := ForSpan(as, ctx.SubjectStart, ctx.SubjectEnd)
-	if len(hits) > 0 {
-		return hits, true
+	return a.SubjectSentimentInto(new(Scratch), tagger, ctx)
+}
+
+// SubjectSentimentInto is SubjectSentiment with caller-owned scratch: the
+// focus-sentence hot path runs tag→chunk→analyze entirely in the scratch
+// buffers. Returned assignments are valid until the next call with the
+// same Scratch. The windowed fallback (ContextWindow > 0 and a silent
+// focus sentence) still allocates — it is the rare path by construction.
+func (a *Analyzer) SubjectSentimentInto(sc *Scratch, tagger *pos.Tagger, ctx Context) ([]Assignment, bool) {
+	sc.tagged = tagger.AppendTags(sc.tagged[:0], ctx.FocusSentence().Tokens)
+	as := a.AnalyzeInto(sc, sc.tagged)
+	sc.hits = AppendForSpan(sc.hits[:0], as, ctx.SubjectStart, ctx.SubjectEnd)
+	if len(sc.hits) > 0 {
+		return sc.hits, true
 	}
 	// Fallback to surrounding sentences: a spot mentioned there under the
 	// same head noun inherits their assignments.

@@ -1,0 +1,222 @@
+// The corpus package imports spotter, so this differential test lives in
+// the external test package to break the cycle.
+package spotter_test
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+
+	"webfountain/internal/corpus"
+	"webfountain/internal/spotter"
+	"webfountain/internal/tokenize"
+)
+
+type SynonymSet = spotter.SynonymSet
+
+type Spot = spotter.Spot
+
+// termWords mirrors the spotter's registration-time term tokenization.
+func termWords(term string) []string {
+	toks := tokenize.New().Tokenize(strings.ToLower(term))
+	words := make([]string, 0, len(toks))
+	for _, t := range toks {
+		words = append(words, t.Text)
+	}
+	return words
+}
+
+// sortSpots mirrors the spotter's documented output ordering.
+func sortSpots(spots []Spot) {
+	sort.Slice(spots, func(i, j int) bool {
+		if spots[i].Sentence != spots[j].Sentence {
+			return spots[i].Sentence < spots[j].Sentence
+		}
+		if spots[i].Start != spots[j].Start {
+			return spots[i].Start < spots[j].Start
+		}
+		if spots[i].End != spots[j].End {
+			return spots[i].End > spots[j].End // longest first
+		}
+		if spots[i].SetID != spots[j].SetID {
+			return spots[i].SetID < spots[j].SetID
+		}
+		return spots[i].Term < spots[j].Term
+	})
+}
+
+// This file preserves the pre-DFA spotter — the per-token map-lookup
+// Aho-Corasick over *node pointers — as a reference implementation, and
+// proves the shared-automaton spotter emits byte-identical spans over the
+// seeded corpus. If the DFA path ever diverges (span, term, set, order),
+// these tests name the first differing spot.
+
+type refNode struct {
+	next    map[string]*refNode
+	fail    *refNode
+	outputs []refOutput
+}
+
+type refOutput struct {
+	setID  string
+	term   string
+	length int
+}
+
+type refSpotter struct {
+	root *refNode
+}
+
+func newRefSpotter(sets []SynonymSet) *refSpotter {
+	sp := &refSpotter{root: &refNode{next: make(map[string]*refNode)}}
+	for _, set := range sets {
+		for _, term := range set.Terms {
+			words := termWords(term)
+			if len(words) == 0 {
+				continue
+			}
+			sp.insert(set.ID, strings.Join(words, " "), words)
+		}
+	}
+	sp.buildFailureLinks()
+	return sp
+}
+
+func (sp *refSpotter) insert(setID, term string, words []string) {
+	cur := sp.root
+	for _, w := range words {
+		nxt, ok := cur.next[w]
+		if !ok {
+			nxt = &refNode{next: make(map[string]*refNode)}
+			cur.next[w] = nxt
+		}
+		cur = nxt
+	}
+	cur.outputs = append(cur.outputs, refOutput{setID: setID, term: term, length: len(words)})
+}
+
+func (sp *refSpotter) buildFailureLinks() {
+	var queue []*refNode
+	for _, child := range sp.root.next {
+		child.fail = sp.root
+		queue = append(queue, child)
+	}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for sym, child := range cur.next {
+			f := cur.fail
+			for f != nil {
+				if nxt, ok := f.next[sym]; ok {
+					child.fail = nxt
+					break
+				}
+				f = f.fail
+			}
+			if child.fail == nil {
+				child.fail = sp.root
+			}
+			child.outputs = append(child.outputs, child.fail.outputs...)
+			queue = append(queue, child)
+		}
+	}
+}
+
+func (sp *refSpotter) spotTokens(tokens []tokenize.Token, sentence int) []Spot {
+	var spots []Spot
+	cur := sp.root
+	for i, tok := range tokens {
+		sym := strings.ToLower(tok.Text)
+		for cur != sp.root && cur.next[sym] == nil {
+			cur = cur.fail
+		}
+		if nxt, ok := cur.next[sym]; ok {
+			cur = nxt
+		}
+		for _, out := range cur.outputs {
+			spots = append(spots, Spot{
+				SetID:    out.setID,
+				Term:     out.term,
+				Start:    i - out.length + 1,
+				End:      i + 1,
+				Sentence: sentence,
+			})
+		}
+	}
+	sortSpots(spots)
+	return spots
+}
+
+func spotFingerprint(spots []Spot) string {
+	var b strings.Builder
+	for _, s := range spots {
+		fmt.Fprintf(&b, "%s|%s|%d|%d|%d\n", s.SetID, s.Term, s.Start, s.End, s.Sentence)
+	}
+	return b.String()
+}
+
+// TestDFAMatchesMapLookupOverCorpus runs both spotters over every document
+// of the seeded digital-camera corpus for three seeds and requires
+// byte-identical spot streams.
+func TestDFAMatchesMapLookupOverCorpus(t *testing.T) {
+	terms := append(append([]string{}, corpus.CameraProducts...), corpus.CameraFeatures...)
+	sets := corpus.SynonymSets(terms)
+	dfa := spotter.New(sets)
+	ref := newRefSpotter(sets)
+	tk := tokenize.New()
+
+	for _, seed := range []int64{1, 42, 20050405} {
+		docs := corpus.DigitalCameraReviews(seed, 25)
+		for di, doc := range docs {
+			toks := tk.Tokenize(doc.Text())
+
+			got := dfa.SpotTokens(toks)
+			want := ref.spotTokens(toks, -1)
+			if gf, wf := spotFingerprint(got), spotFingerprint(want); gf != wf {
+				t.Fatalf("seed %d doc %d: token-scan spots diverge\nDFA:\n%s\nmap-lookup:\n%s", seed, di, gf, wf)
+			}
+
+			sents := tk.Split(toks)
+			var wantSent []Spot
+			for _, s := range sents {
+				wantSent = append(wantSent, ref.spotTokens(s.Tokens, s.Index)...)
+			}
+			sortSpots(wantSent)
+			gotSent := dfa.SpotSentences(sents)
+			if gf, wf := spotFingerprint(gotSent), spotFingerprint(wantSent); gf != wf {
+				t.Fatalf("seed %d doc %d: sentence-scan spots diverge\nDFA:\n%s\nmap-lookup:\n%s", seed, di, gf, wf)
+			}
+		}
+	}
+}
+
+// TestDFAMatchesMapLookupCaseAndOverlap hand-picks the awkward shapes:
+// case variants, shared suffixes, overlapping multi-word terms, and a term
+// that is a prefix of another.
+func TestDFAMatchesMapLookupCaseAndOverlap(t *testing.T) {
+	sets := []SynonymSet{
+		{ID: "clie", Canonical: "CLIE", Terms: []string{"CLIE", "Sony CLIE", "T series CLIEs"}},
+		{ID: "battery", Canonical: "battery life", Terms: []string{"battery", "battery life"}},
+		{ID: "series", Canonical: "series", Terms: []string{"series", "T series"}},
+	}
+	dfa := spotter.New(sets)
+	ref := newRefSpotter(sets)
+	tk := tokenize.New()
+
+	for _, text := range []string{
+		"The Sony CLIE beats the T series CLIEs on battery life.",
+		"BATTERY battery Battery life LIFE",
+		"T series T series CLIEs series",
+		"Nothing relevant here at all.",
+		"",
+		"CLIE CLIE CLIE",
+	} {
+		toks := tk.Tokenize(text)
+		got := dfa.SpotTokens(toks)
+		want := ref.spotTokens(toks, -1)
+		if gf, wf := spotFingerprint(got), spotFingerprint(want); gf != wf {
+			t.Fatalf("%q: spots diverge\nDFA:\n%s\nmap-lookup:\n%s", text, gf, wf)
+		}
+	}
+}

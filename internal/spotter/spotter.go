@@ -13,6 +13,7 @@ import (
 	"sort"
 	"strings"
 
+	"webfountain/internal/match"
 	"webfountain/internal/tokenize"
 )
 
@@ -40,34 +41,29 @@ type Spot struct {
 	Sentence int
 }
 
-// node is one Aho-Corasick trie state.
-type node struct {
-	next map[string]*node
-	fail *node
-	// outputs are (setID, term, length-in-tokens) for terms ending here.
-	outputs []output
-}
-
+// output records the synonym set and surface term behind one compiled
+// pattern, indexed by the matcher's pattern ID.
 type output struct {
-	setID  string
-	term   string
-	length int
+	setID string
+	term  string
 }
 
 // Spotter is an immutable, compiled term matcher. Build one with New and
-// reuse it across documents; it is safe for concurrent use.
+// reuse it across documents; it is safe for concurrent use. Matching runs
+// on a shared Aho-Corasick automaton over interned word symbols
+// (internal/match) built once at construction, so a document scan does no
+// per-token map lookups or case-folding allocations.
 type Spotter struct {
-	root *node
+	m    *match.Matcher
+	outs []output
 	sets map[string]SynonymSet
 }
 
 // New compiles the synonym sets into a spotter. Empty terms are ignored;
 // duplicate terms across sets match for every set that registered them.
 func New(sets []SynonymSet) *Spotter {
-	sp := &Spotter{
-		root: &node{next: make(map[string]*node)},
-		sets: make(map[string]SynonymSet, len(sets)),
-	}
+	sp := &Spotter{sets: make(map[string]SynonymSet, len(sets))}
+	b := match.NewBuilder()
 	for _, set := range sets {
 		sp.sets[set.ID] = set
 		for _, term := range set.Terms {
@@ -75,10 +71,11 @@ func New(sets []SynonymSet) *Spotter {
 			if len(words) == 0 {
 				continue
 			}
-			sp.insert(set.ID, strings.Join(words, " "), words)
+			b.Add(words)
+			sp.outs = append(sp.outs, output{setID: set.ID, term: strings.Join(words, " ")})
 		}
 	}
-	sp.buildFailureLinks()
+	sp.m = b.Compile()
 	return sp
 }
 
@@ -93,47 +90,6 @@ func termWords(term string) []string {
 	return words
 }
 
-func (sp *Spotter) insert(setID, term string, words []string) {
-	cur := sp.root
-	for _, w := range words {
-		nxt, ok := cur.next[w]
-		if !ok {
-			nxt = &node{next: make(map[string]*node)}
-			cur.next[w] = nxt
-		}
-		cur = nxt
-	}
-	cur.outputs = append(cur.outputs, output{setID: setID, term: term, length: len(words)})
-}
-
-// buildFailureLinks runs the standard BFS construction.
-func (sp *Spotter) buildFailureLinks() {
-	var queue []*node
-	for _, child := range sp.root.next {
-		child.fail = sp.root
-		queue = append(queue, child)
-	}
-	for len(queue) > 0 {
-		cur := queue[0]
-		queue = queue[1:]
-		for sym, child := range cur.next {
-			f := cur.fail
-			for f != nil {
-				if nxt, ok := f.next[sym]; ok {
-					child.fail = nxt
-					break
-				}
-				f = f.fail
-			}
-			if child.fail == nil {
-				child.fail = sp.root
-			}
-			child.outputs = append(child.outputs, child.fail.outputs...)
-			queue = append(queue, child)
-		}
-	}
-}
-
 // Set returns the synonym set registered under id.
 func (sp *Spotter) Set(id string) (SynonymSet, bool) {
 	s, ok := sp.sets[id]
@@ -146,7 +102,7 @@ func (sp *Spotter) Sets() int { return len(sp.sets) }
 // SpotTokens scans a token slice and returns all matches, ordered by start
 // position (longest first at equal starts). Sentence is -1 on every spot.
 func (sp *Spotter) SpotTokens(tokens []tokenize.Token) []Spot {
-	spots := sp.scan(tokens, -1)
+	spots := sp.AppendSpots(nil, tokens, -1)
 	sortSpots(spots)
 	return spots
 }
@@ -156,35 +112,36 @@ func (sp *Spotter) SpotTokens(tokens []tokenize.Token) []Spot {
 func (sp *Spotter) SpotSentences(sents []tokenize.Sentence) []Spot {
 	var all []Spot
 	for _, s := range sents {
-		all = append(all, sp.scan(s.Tokens, s.Index)...)
+		all = sp.AppendSpots(all, s.Tokens, s.Index)
 	}
 	sortSpots(all)
 	return all
 }
 
-func (sp *Spotter) scan(tokens []tokenize.Token, sentence int) []Spot {
-	var spots []Spot
-	cur := sp.root
-	for i, tok := range tokens {
-		sym := strings.ToLower(tok.Text)
-		for cur != sp.root && cur.next[sym] == nil {
-			cur = cur.fail
-		}
-		if nxt, ok := cur.next[sym]; ok {
-			cur = nxt
-		}
-		for _, out := range cur.outputs {
-			spots = append(spots, Spot{
-				SetID:    out.setID,
-				Term:     out.term,
-				Start:    i - out.length + 1,
-				End:      i + 1,
+// AppendSpots scans tokens through the automaton and appends matches to
+// dst in automaton emission order (by end position, longest first at equal
+// ends). Callers wanting the documented SpotTokens ordering must sort; the
+// scan itself allocates nothing beyond dst growth.
+func (sp *Spotter) AppendSpots(dst []Spot, tokens []tokenize.Token, sentence int) []Spot {
+	sp.m.Scan(len(tokens),
+		func(i int) uint32 { return sp.m.Sym(tokens[i].Text) },
+		func(mt match.Match) {
+			o := &sp.outs[mt.Pattern]
+			dst = append(dst, Spot{
+				SetID:    o.setID,
+				Term:     o.term,
+				Start:    mt.Start,
+				End:      mt.End,
 				Sentence: sentence,
 			})
-		}
-	}
-	return spots
+		})
+	return dst
 }
+
+// Sort orders spots by (Sentence, Start, longest-first End, SetID, Term)
+// — the documented SpotTokens/SpotSentences ordering — so callers of
+// AppendSpots can restore it over a reused buffer.
+func Sort(spots []Spot) { sortSpots(spots) }
 
 func sortSpots(spots []Spot) {
 	sort.Slice(spots, func(i, j int) bool {
@@ -197,7 +154,10 @@ func sortSpots(spots []Spot) {
 		if spots[i].End != spots[j].End {
 			return spots[i].End > spots[j].End // longest first
 		}
-		return spots[i].SetID < spots[j].SetID
+		if spots[i].SetID != spots[j].SetID {
+			return spots[i].SetID < spots[j].SetID
+		}
+		return spots[i].Term < spots[j].Term
 	})
 }
 

@@ -410,6 +410,18 @@ func (s *Store) Annotate(id string, anns []Annotation) (bool, error) {
 		_, ok := s.Get(id)
 		return ok, nil
 	}
+	if s.dur == nil {
+		// Inlined apply: the closure below would heap-allocate per call
+		// on this hot path just to be invoked immediately.
+		sh := s.shardFor(id)
+		sh.mu.Lock()
+		e, ok := sh.entities[id]
+		if ok {
+			e.Annotations = append(e.Annotations, anns...)
+		}
+		sh.mu.Unlock()
+		return ok, nil
+	}
 	found := false
 	apply := func() {
 		sh := s.shardFor(id)
@@ -419,10 +431,6 @@ func (s *Store) Annotate(id string, anns []Annotation) (bool, error) {
 			e.Annotations = append(e.Annotations, anns...)
 			found = true
 		}
-	}
-	if s.dur == nil {
-		apply()
-		return found, nil
 	}
 	// Skip logging a record for an entity that is already gone; the
 	// existence re-check inside apply still guards the racing delete.

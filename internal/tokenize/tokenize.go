@@ -134,7 +134,14 @@ func New() *Tokenizer { return &Tokenizer{} }
 
 // Tokenize splits text into tokens with byte offsets.
 func (tk *Tokenizer) Tokenize(text string) []Token {
-	var tokens []Token
+	return tk.AppendTokens(nil, text)
+}
+
+// AppendTokens appends the tokens of text to dst and returns the extended
+// slice. Callers that retain dst across documents (resetting with dst[:0])
+// amortize token storage to zero steady-state allocations.
+func (tk *Tokenizer) AppendTokens(dst []Token, text string) []Token {
+	tokens := dst
 	n := len(text)
 	i := 0
 	for i < n {
@@ -182,11 +189,10 @@ func (tk *Tokenizer) Tokenize(text string) []Token {
 			}
 			// Trailing period kept only for known abbreviations, so that
 			// "etc." stays one token but "camera." splits.
-			if j < n && text[j] == '.' && abbreviations[strings.ToLower(text[i:j+1])] {
+			if j < n && text[j] == '.' && isAbbreviation(text[i:j+1]) {
 				j++
 			}
-			word := text[i:j]
-			tokens = append(tokens, splitContractions(word, i)...)
+			tokens = appendWordTokens(tokens, text[i:j], i)
 			i = j
 		default:
 			// Single-character punctuation or symbol token. Collapse runs
@@ -201,7 +207,10 @@ func (tk *Tokenizer) Tokenize(text string) []Token {
 			if isPunctByte(c) {
 				kind = Punct
 			}
-			tokens = append(tokens, Token{Text: string(c), Start: i, End: j, Kind: kind})
+			// text[i:i+1] rather than string(c): the one-byte substring
+			// shares the input's memory, so punctuation tokens cost no
+			// allocation.
+			tokens = append(tokens, Token{Text: text[i : i+1], Start: i, End: j, Kind: kind})
 			i = j
 		}
 	}
@@ -209,38 +218,63 @@ func (tk *Tokenizer) Tokenize(text string) []Token {
 }
 
 // looksLikeAbbrevSoFar reports whether a partial word containing an
-// internal period could still be an abbreviation like "e.g" or "U.S".
+// internal period could still be an abbreviation like "e.g" or "U.S":
+// single letters separated by periods.
 func looksLikeAbbrevSoFar(s string) bool {
-	// Single letters separated by periods: U.S., e.g., i.e.
-	parts := strings.Split(strings.TrimSuffix(s, "."), ".")
-	for _, p := range parts {
-		if len(p) != 1 {
-			return false
+	for len(s) > 0 && s[len(s)-1] == '.' {
+		s = s[:len(s)-1]
+	}
+	expectLetter := true
+	for i := 0; i < len(s); i++ {
+		if expectLetter {
+			if s[i] == '.' {
+				return false
+			}
+			expectLetter = false
+		} else {
+			if s[i] != '.' {
+				return false
+			}
+			expectLetter = true
 		}
 	}
-	return true
+	return !expectLetter && len(s) > 0
 }
 
-// splitContractions splits possessives and contractions off a word token.
-// The pieces share the byte span boundaries of the original word.
-func splitContractions(word string, start int) []Token {
-	lower := strings.ToLower(word)
+// isAbbreviation reports whether s is a known abbreviation, folding ASCII
+// case without allocating. The string(buf) map key conversion does not
+// escape, so the lookup is allocation-free.
+func isAbbreviation(s string) bool {
+	if len(s) > 16 {
+		return false
+	}
+	var buf [16]byte
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c >= 0x80 {
+			return abbreviations[strings.ToLower(s)]
+		}
+		if 'A' <= c && c <= 'Z' {
+			c += 'a' - 'A'
+		}
+		buf[i] = c
+	}
+	return abbreviations[string(buf[:len(s)])]
+}
+
+// appendWordTokens appends a word to dst, splitting possessives and
+// contractions off the end. The pieces share the byte span boundaries of
+// the original word.
+func appendWordTokens(dst []Token, word string, start int) []Token {
 	for _, suf := range contractionSuffixes {
-		if len(lower) > len(suf) && strings.HasSuffix(lower, suf) {
+		if len(word) > len(suf) && equalFoldASCII(word[len(word)-len(suf):], suf) {
 			cut := len(word) - len(suf)
-			head := word[:cut]
-			tail := word[cut:]
-			// "n't" requires the head to end in a letter ("do" in "don't").
-			if head == "" {
-				break
-			}
-			return []Token{
-				{Text: head, Start: start, End: start + cut, Kind: Word},
-				{Text: tail, Start: start + cut, End: start + len(word), Kind: Word},
-			}
+			return append(dst,
+				Token{Text: word[:cut], Start: start, End: start + cut, Kind: Word},
+				Token{Text: word[cut:], Start: start + cut, End: start + len(word), Kind: Word})
 		}
 	}
-	return []Token{{Text: word, Start: start, End: start + len(word), Kind: Word}}
+	return append(dst, Token{Text: word, Start: start, End: start + len(word), Kind: Word})
 }
 
 // Sentences tokenizes text and groups the tokens into sentences.
@@ -253,23 +287,30 @@ func (tk *Tokenizer) Sentences(text string) []Sentence {
 // '.', '!' or '?' unless the period belongs to a known abbreviation, or at
 // the end of input.
 func (tk *Tokenizer) Split(tokens []Token) []Sentence {
-	var sentences []Sentence
-	var cur []Token
-	flush := func() {
-		if len(cur) == 0 {
+	return tk.AppendSentences(nil, tokens)
+}
+
+// AppendSentences appends the sentences of a token stream to dst and
+// returns the extended slice. Sentences partition the stream in order, so
+// each Sentence.Tokens is a capped subslice of tokens — no token copies.
+// Sentence indexes restart at zero for this stream regardless of len(dst).
+func (tk *Tokenizer) AppendSentences(dst []Sentence, tokens []Token) []Sentence {
+	base := len(dst)
+	start := 0
+	flush := func(end int) {
+		if end <= start {
 			return
 		}
-		s := Sentence{
-			Index:  len(sentences),
+		cur := tokens[start:end:end]
+		dst = append(dst, Sentence{
+			Index:  len(dst) - base,
 			Tokens: cur,
 			Start:  cur[0].Start,
 			End:    cur[len(cur)-1].End,
-		}
-		sentences = append(sentences, s)
-		cur = nil
+		})
+		start = end
 	}
 	for i, t := range tokens {
-		cur = append(cur, t)
 		if t.Kind == Punct && (t.Text == "." || t.Text == "!" || t.Text == "?") {
 			// A period mid-number or abbreviation never reaches here (those
 			// are folded into the preceding token), so this is a boundary —
@@ -278,11 +319,11 @@ func (tk *Tokenizer) Split(tokens []Token) []Sentence {
 			if t.Text == "." && i+1 < len(tokens) && tokens[i+1].Kind == Word && !tokens[i+1].IsCapitalized() {
 				continue
 			}
-			flush()
+			flush(i + 1)
 		}
 	}
-	flush()
-	return sentences
+	flush(len(tokens))
+	return dst
 }
 
 // hasURLPrefix reports whether the text starts with a URL scheme or a
@@ -329,6 +370,75 @@ func isEmailAhead(text string, i int) bool {
 		}
 	}
 	return false
+}
+
+// Fold appends the lower-cased form of s to dst and returns the extended
+// slice. ASCII letters fold bytewise; a non-ASCII byte switches the
+// remainder to full Unicode lowering. With a reused buffer the fold is
+// allocation-free, and so is the map probe, because Go elides the
+// conversion in m[string(b)]:
+//
+//	key := tokenize.Fold(buf[:0], t.Text)
+//	v, ok := m[string(key)]
+func Fold(dst []byte, s string) []byte {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c >= 0x80 {
+			return append(dst, strings.ToLower(s[i:])...)
+		}
+		if 'A' <= c && c <= 'Z' {
+			c += 'a' - 'A'
+		}
+		dst = append(dst, c)
+	}
+	return dst
+}
+
+// EqualFold reports whether s equals lower under ASCII case folding. The
+// second argument must already be lower-case; non-ASCII bytes compare
+// verbatim.
+func EqualFold(s, lower string) bool {
+	if len(s) != len(lower) {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if 'A' <= c && c <= 'Z' {
+			c += 'a' - 'A'
+		}
+		if c != lower[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// FoldProbe probes a lower-case-keyed map with the case-folded form of s
+// without allocating: the fold goes through a stack buffer and the
+// string(buf) conversion in a map index is elided by the compiler.
+// Non-ASCII or oversized keys fall back to strings.ToLower.
+func FoldProbe[V any](m map[string]V, s string) (V, bool) {
+	if len(s) <= 32 {
+		ascii := true
+		var buf [32]byte
+		for i := 0; i < len(s); i++ {
+			c := s[i]
+			if c >= 0x80 {
+				ascii = false
+				break
+			}
+			if 'A' <= c && c <= 'Z' {
+				c += 'a' - 'A'
+			}
+			buf[i] = c
+		}
+		if ascii {
+			v, ok := m[string(buf[:len(s)])]
+			return v, ok
+		}
+	}
+	v, ok := m[strings.ToLower(s)]
+	return v, ok
 }
 
 func equalFoldASCII(a, b string) bool {

@@ -5,6 +5,7 @@ import (
 	"io"
 	"sort"
 	"strings"
+	"sync"
 
 	"webfountain/internal/chunk"
 	"webfountain/internal/cluster"
@@ -96,7 +97,8 @@ type SubjectSentiment struct {
 	DocID string
 	// Sentence is the sentence index within the document.
 	Sentence int
-	// Snippet is the sentiment-bearing sentence.
+	// Snippet is the sentiment-bearing sentence, quoted verbatim from
+	// the source text.
 	Snippet string
 	// Pattern names the sentiment pattern that fired, for tracing.
 	Pattern string
@@ -113,19 +115,57 @@ type SentimentMiner struct {
 	disamb   map[string]*disambig.Disambiguator
 	nespot   *ne.Spotter
 	sidx     *index.SentimentIndex
+	arenas   sync.Pool // of *pipelineArena
+}
+
+// pipelineArena owns one in-flight document's scratch buffers across
+// every pipeline stage: tokenize → split → spot → disambiguate → tag →
+// chunk → analyze. Each miner worker checks one out per document and all
+// stage outputs are carved from it, so in steady state a document's trip
+// through the pipeline allocates only the facts it extracts.
+//
+// The reuse contract: a buffer's contents are valid until the arena
+// starts the next document. Stages therefore always finish consuming a
+// buffer before the stage that owns it runs again.
+type pipelineArena struct {
+	tokens []tokenize.Token    // whole-document token stream
+	sents  []tokenize.Sentence // subslice views over tokens
+	spots  []spotter.Spot      // raw spotter output, one sentence at a time
+	keep   []spotter.Spot      // maximal() survivors
+	seen   map[string]bool     // per-sentence subject dedup
+	one    [1]spotter.Spot     // disambiguator's single-spot argument
+	ents   []ne.Entity         // mode 2: named entities of one sentence
+	hits   []sentiment.Assignment
+	sa     sentiment.Scratch // mode 1: per-spot tag→chunk→analyze buffers
+
+	// Mode 2 drives the stages itself, so it owns the stage buffers
+	// directly instead of going through the sentiment scratch.
+	tagged  []pos.TaggedToken
+	ck      chunk.Chunker
+	cs      chunk.Scratch
+	assigns []sentiment.Assignment
+}
+
+func (m *SentimentMiner) arena() *pipelineArena {
+	return m.arenas.Get().(*pipelineArena)
 }
 
 // NewSentimentMiner builds a miner. It fails only when ExtraLexicon or
 // ExtraPatterns contain malformed entries; a zero config always succeeds.
 func NewSentimentMiner(cfg MinerConfig) (*SentimentMiner, error) {
-	lex := lexicon.Default()
+	// Without extra entries the embedded resources are immutable, so every
+	// miner shares the process-wide compiled copies instead of rebuilding
+	// its own maps and automata.
+	lex := lexicon.Shared()
 	if cfg.ExtraLexicon != nil {
+		lex = lexicon.Default()
 		if err := lex.Load(cfg.ExtraLexicon); err != nil {
 			return nil, fmt.Errorf("webfountain: extra lexicon: %w", err)
 		}
 	}
-	db := patterns.Default()
+	db := patterns.Shared()
 	if cfg.ExtraPatterns != nil {
+		db = patterns.Default()
 		if err := db.Load(cfg.ExtraPatterns); err != nil {
 			return nil, fmt.Errorf("webfountain: extra patterns: %w", err)
 		}
@@ -139,6 +179,7 @@ func NewSentimentMiner(cfg MinerConfig) (*SentimentMiner, error) {
 		sidx:     index.NewSentimentIndex(),
 		disamb:   map[string]*disambig.Disambiguator{},
 	}
+	m.arenas.New = func() any { return &pipelineArena{seen: map[string]bool{}} }
 	if len(cfg.Subjects) > 0 {
 		sets := make([]spotter.SynonymSet, 0, len(cfg.Subjects))
 		for _, s := range cfg.Subjects {
@@ -172,17 +213,22 @@ func (m *SentimentMiner) AnalyzeText(text string) []SubjectSentiment {
 }
 
 // analyzeEntity extracts the (subject, sentiment) facts of one document,
-// stamping the trip through the pipeline stages into the registry.
+// stamping the trip through the pipeline stages into the registry. The
+// document is tokenized exactly once; sentences are subslice views over
+// the arena's token buffer, shared by every downstream stage.
 func (m *SentimentMiner) analyzeEntity(docID, text string) []SubjectSentiment {
+	a := m.arena()
+	defer m.arenas.Put(a)
 	doc := docPipelineNs.Start()
 	tok := stageTokenize.Start()
-	sents := m.tk.Sentences(text)
+	a.tokens = m.tk.AppendTokens(a.tokens[:0], text)
+	a.sents = m.tk.AppendSentences(a.sents[:0], a.tokens)
 	tok.End()
 	var out []SubjectSentiment
 	if m.spot != nil {
-		out = m.mineWithSubjects(docID, text, sents)
+		out = m.mineWithSubjects(a, docID, text)
 	} else {
-		out = m.mineEntities(docID, sents)
+		out = m.mineEntities(a, docID, text)
 	}
 	doc.End()
 	minedDocs.Inc()
@@ -192,42 +238,41 @@ func (m *SentimentMiner) analyzeEntity(docID, text string) []SubjectSentiment {
 
 // mineWithSubjects is mode 1: spot subjects, disambiguate, build a
 // sentiment context per spot and analyze it.
-func (m *SentimentMiner) mineWithSubjects(docID, text string, sents []tokenize.Sentence) []SubjectSentiment {
+func (m *SentimentMiner) mineWithSubjects(a *pipelineArena, docID, text string) []SubjectSentiment {
 	var out []SubjectSentiment
-	tok := stageTokenize.Start()
-	allTokens := m.tk.Tokenize(text)
-	tok.End()
 	// Sentences partition the document token stream, so a running offset
 	// turns sentence-local token indices into document-level ones for the
 	// disambiguator's local window.
 	offset := 0
-	for _, s := range sents {
+	for _, s := range a.sents {
 		sentOffset := offset
 		offset += len(s.Tokens)
 		sspan := stageSpot.Start()
-		spots := m.spot.SpotTokens(s.Tokens)
-		spots = maximal(spots)
+		a.spots = m.spot.AppendSpots(a.spots[:0], s.Tokens, -1)
+		spotter.Sort(a.spots)
+		a.keep = maximalInto(a.keep[:0], a.spots)
 		sspan.End()
-		seen := map[string]bool{}
-		for _, sp := range spots {
-			if seen[sp.SetID] {
+		clear(a.seen)
+		for _, sp := range a.keep {
+			if a.seen[sp.SetID] {
 				continue
 			}
-			seen[sp.SetID] = true
+			a.seen[sp.SetID] = true
 			if d, ok := m.disamb[sp.SetID]; ok {
 				dspan := stageDisambig.Start()
-				kept := d.Filter(allTokens, []spotter.Spot{{
+				a.one[0] = spotter.Spot{
 					SetID: sp.SetID, Term: sp.Term,
 					Start: sentOffset + sp.Start, End: sentOffset + sp.End,
-				}})
+				}
+				kept := d.Filter(a.tokens, a.one[:])
 				dspan.End()
 				if len(kept) == 0 {
 					continue
 				}
 			}
 			span := stageSentiment.Start()
-			ctx := sentiment.BuildContext(sents, s.Index, m.cfg.ContextWindow, sp.Start, sp.End)
-			hits, ok := m.analyzer.SubjectSentiment(m.tagger, ctx)
+			ctx := sentiment.BuildContext(a.sents, s.Index, m.cfg.ContextWindow, sp.Start, sp.End)
+			hits, ok := m.analyzer.SubjectSentimentInto(&a.sa, m.tagger, ctx)
 			span.End()
 			if !ok {
 				continue
@@ -238,7 +283,7 @@ func (m *SentimentMiner) mineWithSubjects(docID, text string, sents []tokenize.S
 					Polarity: h.Polarity,
 					DocID:    docID,
 					Sentence: s.Index,
-					Snippet:  s.Text(),
+					Snippet:  text[s.Start:s.End], // verbatim span: no render
 					Pattern:  h.Pattern,
 				})
 			}
@@ -249,37 +294,37 @@ func (m *SentimentMiner) mineWithSubjects(docID, text string, sents []tokenize.S
 
 // mineEntities is mode 2's analysis half: named entities become subjects;
 // every sentiment-bearing sentence contributes (entity, polarity) facts.
-func (m *SentimentMiner) mineEntities(docID string, sents []tokenize.Sentence) []SubjectSentiment {
+func (m *SentimentMiner) mineEntities(a *pipelineArena, docID, text string) []SubjectSentiment {
 	var out []SubjectSentiment
-	ck := chunk.New()
-	for _, s := range sents {
+	for _, s := range a.sents {
 		sspan := stageSpot.Start()
-		entities := m.nespot.SpotTokens(s.Tokens)
+		a.ents = m.nespot.AppendEntities(a.ents[:0], s.Tokens, -1)
 		sspan.End()
-		if len(entities) == 0 {
+		if len(a.ents) == 0 {
 			continue
 		}
 		pspan := stagePOS.Start()
-		tagged := m.tagger.TagSentence(s)
+		a.tagged = m.tagger.AppendTags(a.tagged[:0], s.Tokens)
 		pspan.End()
 		cspan := stageChunk.Start()
-		clauses := ck.Clauses(tagged)
+		clauses := a.ck.ClausesInto(&a.cs, a.tagged)
 		cspan.End()
 		aspan := stageSentiment.Start()
-		assignments := m.analyzer.AnalyzeClauses(clauses)
+		a.assigns = m.analyzer.AppendAssignments(a.assigns[:0], clauses)
 		aspan.End()
+		assignments := a.assigns
 		if len(assignments) == 0 {
 			continue
 		}
-		for _, e := range entities {
-			hits := sentiment.ForSpan(assignments, e.Start, e.End)
-			for _, h := range hits {
+		for _, e := range a.ents {
+			a.hits = sentiment.AppendForSpan(a.hits[:0], assignments, e.Start, e.End)
+			for _, h := range a.hits {
 				out = append(out, SubjectSentiment{
 					Subject:  e.Text,
 					Polarity: h.Polarity,
 					DocID:    docID,
 					Sentence: s.Index,
-					Snippet:  s.Text(),
+					Snippet:  text[s.Start:s.End], // verbatim span: no render
 					Pattern:  h.Pattern,
 				})
 			}
@@ -288,9 +333,9 @@ func (m *SentimentMiner) mineEntities(docID string, sents []tokenize.Sentence) [
 	return out
 }
 
-// maximal drops spots contained in longer spots (longest-match rule).
-func maximal(spots []spotter.Spot) []spotter.Spot {
-	var out []spotter.Spot
+// maximalInto drops spots contained in longer spots (longest-match rule),
+// appending the survivors to dst. dst must not alias spots.
+func maximalInto(dst, spots []spotter.Spot) []spotter.Spot {
 	for i, s := range spots {
 		contained := false
 		for j, t := range spots {
@@ -300,10 +345,10 @@ func maximal(spots []spotter.Spot) []spotter.Spot {
 			}
 		}
 		if !contained {
-			out = append(out, s)
+			dst = append(dst, s)
 		}
 	}
-	return out
+	return dst
 }
 
 // MinerName is the annotation name the sentiment miner writes.

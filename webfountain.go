@@ -268,14 +268,27 @@ func platformOver(st *store.Store, cfg PlatformConfig) *Platform {
 // indexEntity tokenizes a document body and adds it to the inverted
 // index — the one tokenize→words→Add path shared by Ingest, reindex and
 // Restore, so every route into the index produces identical postings.
-func (p *Platform) indexEntity(tk *tokenize.Tokenizer, id, text string) {
-	toks := tk.Tokenize(text)
-	words := make([]string, len(toks))
-	for i := range toks {
-		words[i] = toks[i].Text
+func (p *Platform) indexEntity(a *ingestArena, id, text string) {
+	a.toks = a.tk.AppendTokens(a.toks[:0], text)
+	a.words = a.words[:0]
+	for i := range a.toks {
+		a.words = append(a.words, a.toks[i].Text)
 	}
-	p.index.Add(id, words)
+	p.index.Add(id, a.words)
 }
+
+// ingestArena holds one ingest worker's reusable buffers: the tokenizer,
+// its token output and the word slice handed to the index. Every worker
+// owns its arena outright — no cross-worker pool to contend on — so the
+// steady-state ingest path allocates nothing per document beyond what
+// the index retains.
+type ingestArena struct {
+	tk    *tokenize.Tokenizer
+	toks  []tokenize.Token
+	words []string
+}
+
+func newIngestArena() *ingestArena { return &ingestArena{tk: tokenize.New()} }
 
 // parseGeneratedID recognizes the platform's generated document IDs
 // ("doc-" followed by digits only) and returns the counter value. A
@@ -320,10 +333,10 @@ func (p *Platform) reindex() {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			tk := tokenize.New()
+			ia := newIngestArena()
 			for si := range shardCh {
 				_ = p.store.ForEachInShard(si, func(e *store.Entity) error {
-					p.indexEntity(tk, e.ID, e.Text)
+					p.indexEntity(ia, e.ID, e.Text)
 					if n, ok := parseGeneratedID(e.ID); ok {
 						for {
 							cur := maxGen.Load()
@@ -385,9 +398,9 @@ func (p *Platform) Ingest(docs []Document) ([]string, error) {
 		workers = len(docs)
 	}
 	if workers <= 1 {
-		tk := tokenize.New()
+		ia := newIngestArena()
 		for i := range docs {
-			if err := p.ingestOne(tk, &docs[i], ids[i]); err != nil {
+			if err := p.ingestOne(ia, &docs[i], ids[i]); err != nil {
 				return ids[:i], err
 			}
 		}
@@ -406,13 +419,13 @@ func (p *Platform) Ingest(docs []Document) ([]string, error) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			tk := tokenize.New()
+			ia := newIngestArena()
 			for !aborted.Load() {
 				i := int(next.Add(1)) - 1
 				if i >= len(docs) {
 					return
 				}
-				if err := p.ingestOne(tk, &docs[i], ids[i]); err != nil {
+				if err := p.ingestOne(ia, &docs[i], ids[i]); err != nil {
 					aborted.Store(true)
 					mu.Lock()
 					if errIdx < 0 || i < errIdx {
@@ -435,7 +448,7 @@ func (p *Platform) Ingest(docs []Document) ([]string, error) {
 }
 
 // ingestOne stores and indexes a single document under the given ID.
-func (p *Platform) ingestOne(tk *tokenize.Tokenizer, d *Document, id string) error {
+func (p *Platform) ingestOne(a *ingestArena, d *Document, id string) error {
 	e := &store.Entity{
 		ID:     id,
 		URL:    d.URL,
@@ -449,7 +462,7 @@ func (p *Platform) ingestOne(tk *tokenize.Tokenizer, d *Document, id string) err
 	if err := p.store.Put(e); err != nil {
 		return fmt.Errorf("webfountain: ingest %s: %w", id, err)
 	}
-	p.indexEntity(tk, id, d.Text)
+	p.indexEntity(a, id, d.Text)
 	span.End()
 	platformIngestDocs.Inc()
 	platformIngestBytes.Add(int64(len(d.Text)))
@@ -513,12 +526,12 @@ func (p *Platform) Restore(r io.Reader) (int, error) {
 	if err != nil {
 		return n, fmt.Errorf("webfountain: restore: %w", err)
 	}
-	tk := tokenize.New()
+	ia := newIngestArena()
 	err = staging.ForEach(func(e *store.Entity) error {
 		if putErr := p.store.Put(e); putErr != nil {
 			return putErr
 		}
-		p.indexEntity(tk, e.ID, e.Text)
+		p.indexEntity(ia, e.ID, e.Text)
 		return nil
 	})
 	return n, err
