@@ -8,9 +8,13 @@
 // the distributed paths: p99 latency under 2× open-loop overload with
 // admission control on vs. off, the extra-call fraction of hedged
 // reads, and the per-put cost of the write quorum (W=1 vs W=2) on the
-// replicated tier.
+// replicated tier. A fourth probe drives an open-loop read storm at the
+// live serving tier, comparing per-request store scans against the
+// materialized aggregates with and without the gateway's result cache —
+// the numbers behind the serving tier's "query cost must not grow with
+// the corpus" claim.
 //
-//	bench [-quick] [-docs N] [-out BENCH_PR8.json]
+//	bench [-quick] [-docs N] [-out BENCH_PR9.json]
 //	bench -compare old.json new.json
 //
 // The -compare mode doubles as the allocation regression gate for the
@@ -36,6 +40,9 @@ import (
 	"flag"
 	"fmt"
 	"net"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
 	"os"
 	"runtime"
 	"sort"
@@ -50,6 +57,7 @@ import (
 	"webfountain/internal/index"
 	"webfountain/internal/metrics"
 	"webfountain/internal/pos"
+	"webfountain/internal/serve"
 	"webfountain/internal/store"
 	"webfountain/internal/tokenize"
 	"webfountain/internal/vinci"
@@ -83,7 +91,7 @@ type Report struct {
 }
 
 func main() {
-	out := flag.String("out", "BENCH_PR8.json", "output JSON path")
+	out := flag.String("out", "BENCH_PR9.json", "output JSON path")
 	quick := flag.Bool("quick", false, "smaller corpora for CI smoke runs")
 	docsFlag := flag.Int("docs", 0, "corpus size per ingest iteration (0: 200, or 40 with -quick)")
 	compare := flag.Bool("compare", false, "compare two result files: bench -compare old.json new.json")
@@ -126,7 +134,7 @@ func main() {
 // run executes the benchmark suite and assembles the report.
 func run(docs int, quick bool) Report {
 	rep := Report{
-		Bench:      "PR8",
+		Bench:      "PR9",
 		GoVersion:  runtime.Version(),
 		CPUs:       runtime.NumCPU(),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
@@ -468,6 +476,22 @@ func run(docs int, quick bool) Report {
 		fmt.Printf("%-32s %12.2f us mean %9.2f us p99\n",
 			fmt.Sprintf("quorum/put-w%d", w), float64(mean)/1e3, float64(p99)/1e3)
 	}
+	// Read storm against the live serving tier: the scan path pays a
+	// trend-miner pass over the store on every request, the aggregate
+	// path reads the materialized snapshot, and the cached path serves
+	// stored bytes. Same query mix, same open-loop arrival rate.
+	stormCalls, stormQPS := 3000, 3000.0
+	if quick {
+		stormCalls, stormQPS = 800, 2000.0
+	}
+	stormDerived, err := probeReadStorm(generated, stormCalls, stormQPS)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "read-storm probe:", err)
+		os.Exit(1)
+	}
+	for k, v := range stormDerived {
+		rep.Derived[k] = v
+	}
 
 	snap := metrics.Default().Snapshot()
 	rep.Metrics = &snap
@@ -672,6 +696,146 @@ func probeQuorum(w, puts int) (mean, p99 time.Duration, err error) {
 		total += d
 	}
 	return total / time.Duration(puts), p99Of(lat), nil
+}
+
+// probeReadStorm measures query latency under a sustained open-loop
+// read storm against three serving configurations over the same mined
+// corpus:
+//
+//   - scan: every trend query re-runs the trend miner over the store —
+//     the pre-serving-tier cost model, O(corpus) per request;
+//   - agg: the gateway's /api/trend off the materialized aggregate
+//     snapshot, result cache disabled;
+//   - cached: the same endpoint with the bounded LRU on, so a repeated
+//     query serves stored bytes.
+//
+// Arrivals are open-loop at the target QPS: a slow server does not slow
+// the arrival process, it grows a queue — so the p99s show each path
+// under load, not at leisure. The tenant limiter is configured wide
+// open; rate limiting is probed by its own unit tests, not here.
+func probeReadStorm(generated []corpus.Document, calls int, qps float64) (map[string]float64, error) {
+	batch := make([]webfountain.Document, len(generated))
+	for i := range generated {
+		batch[i] = webfountain.Document{
+			ID: generated[i].ID, Source: generated[i].Source,
+			Title: generated[i].Title, Date: generated[i].Date,
+			Text: generated[i].Text(),
+		}
+	}
+	p := webfountain.NewPlatform(webfountain.PlatformConfig{})
+	if _, err := p.Ingest(batch); err != nil {
+		return nil, err
+	}
+	m, err := webfountain.NewSentimentMiner(webfountain.MinerConfig{})
+	if err != nil {
+		return nil, err
+	}
+	facts, err := m.Run(p)
+	if err != nil {
+		return nil, err
+	}
+	tier := webfountain.NewServingTier(p, m, facts)
+	subjects := tier.View().Subjects()
+	if len(subjects) == 0 {
+		return nil, fmt.Errorf("read storm: no mined subjects")
+	}
+	if len(subjects) > 8 {
+		subjects = subjects[:8] // a small rotating working set, like real dashboards
+	}
+
+	// The scan path: a minimal handler that re-derives the series from
+	// the store on every request, which is what serving trend queries
+	// cost before the materialized aggregates existed.
+	scan := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		series, _, _ := p.SentimentTrend(r.URL.Query().Get("name"))
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(series)
+	})
+	open := serve.GatewayConfig{TenantRate: 1e12, TenantBurst: 1 << 30}
+	agg := serve.NewGateway(tier, serve.GatewayConfig{
+		CacheEntries: -1, TenantRate: open.TenantRate, TenantBurst: open.TenantBurst,
+	})
+	cached := serve.NewGateway(tier, open)
+
+	storm := func(h http.Handler) ([]time.Duration, error) {
+		interarrival := time.Duration(float64(time.Second) / qps)
+		var (
+			mu   sync.Mutex
+			lats []time.Duration
+			bad  int
+			wg   sync.WaitGroup
+		)
+		for i := 0; i < calls; i++ {
+			target := "/api/trend?name=" + url.QueryEscape(subjects[i%len(subjects)])
+			wg.Add(1)
+			go func(target string) {
+				defer wg.Done()
+				req := httptest.NewRequest("GET", target, nil)
+				rec := httptest.NewRecorder()
+				start := time.Now()
+				h.ServeHTTP(rec, req)
+				elapsed := time.Since(start)
+				mu.Lock()
+				defer mu.Unlock()
+				if rec.Code != http.StatusOK {
+					bad++
+					return
+				}
+				lats = append(lats, elapsed)
+			}(target)
+			time.Sleep(interarrival)
+		}
+		wg.Wait()
+		if bad > 0 {
+			return nil, fmt.Errorf("read storm: %d non-200 responses", bad)
+		}
+		return lats, nil
+	}
+	meanOf := func(lats []time.Duration) time.Duration {
+		var total time.Duration
+		for _, d := range lats {
+			total += d
+		}
+		return total / time.Duration(len(lats))
+	}
+
+	derived := map[string]float64{
+		"read_storm_qps":   qps,
+		"read_storm_calls": float64(calls),
+	}
+	hitsBefore := metrics.Default().Counter("serve.cache.hits").Value()
+	for _, tc := range []struct {
+		name, meanKey, p99Key string
+		h                     http.Handler
+	}{
+		{"storm/scan-trend", "scan_trend_mean_us", "scan_trend_p99_ms", scan},
+		{"storm/agg-trend-nocache", "agg_trend_nocache_mean_us", "agg_trend_nocache_p99_ms", agg},
+		{"storm/agg-trend-cached", "agg_trend_cached_mean_us", "agg_trend_cached_p99_ms", cached},
+	} {
+		lats, err := storm(tc.h)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", tc.name, err)
+		}
+		mean, p99 := meanOf(lats), p99Of(lats)
+		derived[tc.meanKey] = float64(mean) / 1e3
+		derived[tc.p99Key] = float64(p99) / 1e6
+		fmt.Printf("%-32s %12.2f us mean %9.3f ms p99\n",
+			tc.name, float64(mean)/1e3, float64(p99)/1e6)
+	}
+	hits := metrics.Default().Counter("serve.cache.hits").Value() - hitsBefore
+	derived["read_storm_cache_hit_fraction"] = float64(hits) / float64(calls)
+	if derived["agg_trend_cached_mean_us"] > 0 {
+		derived["read_storm_speedup_cached_vs_scan"] =
+			derived["scan_trend_mean_us"] / derived["agg_trend_cached_mean_us"]
+	}
+	if derived["agg_trend_nocache_mean_us"] > 0 {
+		derived["read_storm_speedup_agg_vs_scan"] =
+			derived["scan_trend_mean_us"] / derived["agg_trend_nocache_mean_us"]
+	}
+	fmt.Printf("%-32s %12.2fx cached %9.2fx uncached %5.0f%% hits\n",
+		"storm/speedup-vs-scan", derived["read_storm_speedup_cached_vs_scan"],
+		derived["read_storm_speedup_agg_vs_scan"], derived["read_storm_cache_hit_fraction"]*100)
+	return derived, nil
 }
 
 // p99Of returns the 99th-percentile latency of a sample set.

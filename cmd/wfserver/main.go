@@ -1,19 +1,32 @@
 // Command wfserver hosts the sentiment mining results as a Web service —
 // the equivalent of the WebFountain application server behind Figures 4
-// and 5 of the paper. It mines a generated corpus at startup and serves:
+// and 5 of the paper. It mines a generated corpus at startup and then
+// serves it live: queries come off incrementally-maintained materialized
+// aggregates behind a bounded result cache, and new documents POSTed to
+// the ingest endpoint are mined online, with the cache invalidated on
+// every batch.
 //
-//	GET /                      — HTML overview: sentiment per subject
-//	GET /subject?name=X        — HTML listing of sentiment-bearing
-//	                             sentences for a subject (Figure 5)
-//	GET /api/subjects          — JSON subject list with counts
-//	GET /api/sentiment?name=X  — JSON sentiment entries for a subject
-//	GET /metrics               — plain-text metrics registry dump
-//	GET /metrics.json          — full metrics snapshot as JSON
-//	GET /healthz               — liveness probe
+//	GET  /                      — HTML overview: sentiment per subject
+//	GET  /subject?name=X        — HTML listing of sentiment-bearing
+//	                              sentences for a subject (Figure 5)
+//	GET  /api/subjects          — JSON subject list with counts + share
+//	GET  /api/sentiment?name=X  — JSON sentiment entries for a subject
+//	GET  /api/trend?name=X      — JSON monthly sentiment series
+//	GET  /api/aspects?name=X    — JSON per-feature (aspect) counts
+//	GET  /api/overview          — JSON corpus totals + aggregate generation
+//	POST /api/ingest            — ingest + mine documents online
+//	GET  /metrics               — plain-text metrics registry dump
+//	GET  /metrics.json          — full metrics snapshot as JSON
+//	GET  /healthz               — liveness; 503 when the store is degraded
+//
+// Every /api request draws a per-tenant rate-limit token (x-tenant
+// header; empty means the default tenant) and is answered 429 when the
+// tenant's bucket is empty.
 //
 // Usage:
 //
 //	wfserver [-addr :8085] [-corpus pharma] [-docs 120] [-seed 7]
+//	         [-cache-entries 256] [-tenant-rate 50] [-tenant-burst 100]
 //	         [-pprof-addr :8086] [-drain-timeout 10s]
 //
 // SIGINT/SIGTERM trigger a graceful shutdown: the listener stops
@@ -23,7 +36,6 @@ package main
 
 import (
 	"context"
-	"encoding/json"
 	"flag"
 	"fmt"
 	"html/template"
@@ -38,6 +50,7 @@ import (
 	"webfountain"
 	"webfountain/internal/corpus"
 	"webfountain/internal/metrics"
+	"webfountain/internal/serve"
 )
 
 var overviewTmpl = template.Must(template.New("overview").Parse(`<!DOCTYPE html>
@@ -81,16 +94,24 @@ func main() {
 	corpusName := flag.String("corpus", "pharma", "corpus: camera, music, petroleum, pharma, news")
 	docs := flag.Int("docs", 120, "documents to mine at startup")
 	seed := flag.Int64("seed", 7, "corpus seed")
+	cacheEntries := flag.Int("cache-entries", 256, "bounded LRU result cache size (negative: disable caching)")
+	tenantRate := flag.Float64("tenant-rate", 50, "per-tenant steady request rate (tokens/second)")
+	tenantBurst := flag.Int("tenant-burst", 100, "per-tenant token-bucket burst size")
 	pprofAddr := flag.String("pprof-addr", "", "HTTP address for net/http/pprof profiling (empty: disabled)")
 	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "graceful-shutdown bound for draining in-flight requests")
 	flag.Parse()
 
-	miner, platform, err := mine(*corpusName, *docs, *seed)
+	miner, platform, facts, err := mine(*corpusName, *docs, *seed)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	mux := newMux(miner, platform)
+	tier := webfountain.NewServingTier(platform, miner, facts)
+	mux := newMux(miner, platform, tier, serve.GatewayConfig{
+		CacheEntries: *cacheEntries,
+		TenantRate:   *tenantRate,
+		TenantBurst:  *tenantBurst,
+	})
 
 	if *pprofAddr != "" {
 		// net/http/pprof registers its handlers on the default mux.
@@ -130,8 +151,13 @@ func main() {
 	}
 }
 
-// newMux wires the HTTP handlers over a mined platform.
-func newMux(miner *webfountain.SentimentMiner, platform *webfountain.Platform) *http.ServeMux {
+// newMux wires the HTML views over the mined platform and mounts the
+// serving-tier gateway for the JSON API, the health probe and ingest.
+// The gateway handles its own caching, rate limiting and degraded-mode
+// semantics; backend is the serving tier (an indirection the tests use
+// to fake degraded mode).
+func newMux(miner *webfountain.SentimentMiner, platform *webfountain.Platform,
+	backend serve.Backend, cfg serve.GatewayConfig) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
 		type row struct {
@@ -144,11 +170,9 @@ func newMux(miner *webfountain.SentimentMiner, platform *webfountain.Platform) *
 		for _, s := range miner.Subjects() {
 			p, n := miner.Counts(s)
 			facts += p + n
-			share := 0
-			if p+n > 0 {
-				share = 100 * p / (p + n)
-			}
-			rows = append(rows, row{Subject: s, Pos: p, Neg: n, Share: share})
+			// Rounded, not floored: a 99.9% share reads 100, not 99.
+			// One helper shared with the aggregate layer (serve.Counts).
+			rows = append(rows, row{Subject: s, Pos: p, Neg: n, Share: serve.SharePercent(p, n)})
 		}
 		data := struct {
 			Docs, Facts int
@@ -174,38 +198,17 @@ func newMux(miner *webfountain.SentimentMiner, platform *webfountain.Platform) *
 			log.Print(err)
 		}
 	})
-	mux.HandleFunc("/api/subjects", func(w http.ResponseWriter, r *http.Request) {
-		type row struct {
-			Subject            string `json:"subject"`
-			Positive, Negative int
-		}
-		var rows []row
-		for _, s := range miner.Subjects() {
-			p, n := miner.Counts(s)
-			rows = append(rows, row{s, p, n})
-		}
-		w.Header().Set("Content-Type", "application/json")
-		json.NewEncoder(w).Encode(rows)
-	})
-	mux.HandleFunc("/api/sentiment", func(w http.ResponseWriter, r *http.Request) {
-		name := r.URL.Query().Get("name")
-		if name == "" {
-			http.Error(w, `{"error":"missing name parameter"}`, http.StatusBadRequest)
-			return
-		}
-		w.Header().Set("Content-Type", "application/json")
-		json.NewEncoder(w).Encode(miner.Query(name))
-	})
+	gw := serve.NewGateway(backend, cfg)
+	mux.Handle("/api/", gw)
+	mux.Handle("/healthz", gw)
 	metrics.Default().RegisterHTTP(mux)
-	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "application/json")
-		fmt.Fprintf(w, `{"status":"ok","documents":%d}`+"\n", platform.NumEntities())
-	})
 	return mux
 }
 
-// mine generates, ingests and mines the corpus, returning the loaded miner.
-func mine(corpusName string, docs int, seed int64) (*webfountain.SentimentMiner, *webfountain.Platform, error) {
+// mine generates, ingests and mines the corpus, returning the loaded
+// miner, the platform and the extracted facts (which seed the serving
+// tier's materialized aggregates).
+func mine(corpusName string, docs int, seed int64) (*webfountain.SentimentMiner, *webfountain.Platform, []webfountain.SubjectSentiment, error) {
 	var generated []corpus.Document
 	switch corpusName {
 	case "camera":
@@ -219,7 +222,7 @@ func mine(corpusName string, docs int, seed int64) (*webfountain.SentimentMiner,
 	case "news":
 		generated = corpus.PetroleumNews(seed, docs)
 	default:
-		return nil, nil, fmt.Errorf("unknown corpus %q", corpusName)
+		return nil, nil, nil, fmt.Errorf("unknown corpus %q", corpusName)
 	}
 	platform := webfountain.NewPlatform(webfountain.PlatformConfig{})
 	pub := make([]webfountain.Document, len(generated))
@@ -227,17 +230,21 @@ func mine(corpusName string, docs int, seed int64) (*webfountain.SentimentMiner,
 		pub[i] = webfountain.Document{
 			ID: generated[i].ID, Source: generated[i].Source,
 			Title: generated[i].Title, Text: generated[i].Text(),
+			// The date used to be dropped here, leaving the trend
+			// endpoint with no time buckets to serve.
+			Date: generated[i].Date,
 		}
 	}
 	if _, err := platform.Ingest(pub); err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	miner, err := webfountain.NewSentimentMiner(webfountain.MinerConfig{})
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
-	if _, err := miner.Run(platform); err != nil {
-		return nil, nil, err
+	facts, err := miner.Run(platform)
+	if err != nil {
+		return nil, nil, nil, err
 	}
-	return miner, platform, nil
+	return miner, platform, facts, nil
 }

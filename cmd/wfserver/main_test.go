@@ -1,24 +1,55 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"sort"
 	"strings"
 	"testing"
 
 	"webfountain"
+	"webfountain/internal/serve"
 )
 
-func testServer(t *testing.T) *httptest.Server {
+// degradable wraps the serving tier so tests can force degraded mode
+// without corrupting a real store.
+type degradable struct {
+	*webfountain.ServingTier
+	degraded bool
+	reason   string
+}
+
+func (d *degradable) Degraded() (bool, string) { return d.degraded, d.reason }
+
+func testBackend(t *testing.T) *degradable {
 	t.Helper()
-	miner, platform, err := mine("pharma", 25, 3)
+	miner, platform, facts, err := mine("pharma", 25, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv := httptest.NewServer(newMux(miner, platform))
+	t.Cleanup(func() { platform.Close() })
+	return &degradable{ServingTier: webfountain.NewServingTier(platform, miner, facts)}
+}
+
+func testServerCfg(t *testing.T, cfg serve.GatewayConfig) (*httptest.Server, *degradable) {
+	t.Helper()
+	miner, platform, facts, err := mine("pharma", 25, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { platform.Close() })
+	backend := &degradable{ServingTier: webfountain.NewServingTier(platform, miner, facts)}
+	srv := httptest.NewServer(newMux(miner, platform, backend, cfg))
 	t.Cleanup(srv.Close)
+	return srv, backend
+}
+
+func testServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	srv, _ := testServerCfg(t, serve.GatewayConfig{})
 	return srv
 }
 
@@ -36,8 +67,22 @@ func get(t *testing.T, url string) (int, string) {
 	return resp.StatusCode, string(body)
 }
 
+func getCached(t *testing.T, url string) (int, string, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body), resp.Header.Get("X-Cache")
+}
+
 func TestMineRejectsUnknownCorpus(t *testing.T) {
-	if _, _, err := mine("bogus", 5, 1); err == nil {
+	if _, _, _, err := mine("bogus", 5, 1); err == nil {
 		t.Error("unknown corpus should fail")
 	}
 }
@@ -69,25 +114,47 @@ func TestSubjectPage(t *testing.T) {
 	}
 }
 
-func TestAPISubjects(t *testing.T) {
+// TestAPISubjectsSchema pins the wire schema of /api/subjects: every key
+// lower-case, share present. The untagged struct this replaces leaked
+// Go-cased "Positive"/"Negative" field names to every API consumer.
+func TestAPISubjectsSchema(t *testing.T) {
 	srv := testServer(t)
 	status, body := get(t, srv.URL+"/api/subjects")
 	if status != 200 {
 		t.Fatalf("status = %d", status)
 	}
-	var rows []struct {
-		Subject            string
-		Positive, Negative int
-	}
-	if err := json.Unmarshal([]byte(body), &rows); err != nil {
+	var raw []map[string]json.RawMessage
+	if err := json.Unmarshal([]byte(body), &raw); err != nil {
 		t.Fatalf("bad json: %v (%.100s)", err, body)
 	}
-	if len(rows) == 0 {
+	if len(raw) == 0 {
 		t.Fatal("no subjects")
+	}
+	want := []string{"negative", "positive", "share", "subject"}
+	for i, row := range raw {
+		keys := make([]string, 0, len(row))
+		for k := range row {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		if strings.Join(keys, ",") != strings.Join(want, ",") {
+			t.Fatalf("row %d keys = %v, want %v", i, keys, want)
+		}
+	}
+	var rows []struct {
+		Subject            string `json:"subject"`
+		Positive, Negative int
+		Share              int `json:"share"`
+	}
+	if err := json.Unmarshal([]byte(body), &rows); err != nil {
+		t.Fatal(err)
 	}
 	total := 0
 	for _, r := range rows {
 		total += r.Positive + r.Negative
+		if r.Share < 0 || r.Share > 100 {
+			t.Errorf("%s: share %d out of range", r.Subject, r.Share)
+		}
 	}
 	if total == 0 {
 		t.Error("no sentiment counted")
@@ -100,11 +167,226 @@ func TestAPISentiment(t *testing.T) {
 	if status != 200 {
 		t.Fatalf("status = %d", status)
 	}
-	var entries []webfountain.SubjectSentiment
+	var entries []serve.Entry
 	if err := json.Unmarshal([]byte(body), &entries); err != nil {
 		t.Fatalf("bad json: %v", err)
 	}
+	if len(entries) == 0 {
+		t.Fatal("no entries for medicure")
+	}
+	for _, e := range entries {
+		if e.Polarity != "+" && e.Polarity != "-" {
+			t.Errorf("bad polarity %q", e.Polarity)
+		}
+	}
 	if status, _ := get(t, srv.URL+"/api/sentiment"); status != 400 {
 		t.Errorf("missing name should be 400, got %d", status)
+	}
+	// Unknown subject: empty JSON array, not null.
+	_, body = get(t, srv.URL+"/api/sentiment?name=nonesuch")
+	if strings.TrimSpace(body) != "[]" {
+		t.Errorf("unknown subject body = %q, want []", body)
+	}
+}
+
+// TestAPITrend exercises the materialized series — and would catch the
+// old bug where wfserver dropped corpus dates, leaving trend empty.
+func TestAPITrend(t *testing.T) {
+	srv := testServer(t)
+	status, body := get(t, srv.URL+"/api/trend?name=medicure")
+	if status != 200 {
+		t.Fatalf("status = %d", status)
+	}
+	var resp struct {
+		Subject string         `json:"subject"`
+		Series  []serve.Bucket `json:"series"`
+	}
+	if err := json.Unmarshal([]byte(body), &resp); err != nil {
+		t.Fatalf("bad json: %v", err)
+	}
+	if len(resp.Series) == 0 {
+		t.Fatal("no time buckets — are corpus dates reaching the platform?")
+	}
+	for i := 1; i < len(resp.Series); i++ {
+		if resp.Series[i-1].Month >= resp.Series[i].Month {
+			t.Errorf("series not chronological: %s >= %s",
+				resp.Series[i-1].Month, resp.Series[i].Month)
+		}
+	}
+	if status, _ := get(t, srv.URL+"/api/trend"); status != 400 {
+		t.Errorf("missing name should be 400, got %d", status)
+	}
+}
+
+func TestAPIAspects(t *testing.T) {
+	srv := testServer(t)
+	status, body := get(t, srv.URL+"/api/aspects?name=medicure")
+	if status != 200 {
+		t.Fatalf("status = %d", status)
+	}
+	var resp struct {
+		Subject string              `json:"subject"`
+		Aspects []serve.AspectCount `json:"aspects"`
+	}
+	if err := json.Unmarshal([]byte(body), &resp); err != nil {
+		t.Fatalf("bad json: %v", err)
+	}
+	if status, _ := get(t, srv.URL+"/api/aspects"); status != 400 {
+		t.Errorf("missing name should be 400, got %d", status)
+	}
+}
+
+func TestAPIOverview(t *testing.T) {
+	srv := testServer(t)
+	status, body := get(t, srv.URL+"/api/overview")
+	if status != 200 {
+		t.Fatalf("status = %d", status)
+	}
+	var resp struct {
+		Documents  int    `json:"documents"`
+		Subjects   int    `json:"subjects"`
+		Facts      int    `json:"facts"`
+		Generation uint64 `json:"generation"`
+		Share      int    `json:"share"`
+	}
+	if err := json.Unmarshal([]byte(body), &resp); err != nil {
+		t.Fatalf("bad json: %v", err)
+	}
+	if resp.Documents != 25 || resp.Subjects == 0 || resp.Facts == 0 || resp.Generation == 0 {
+		t.Errorf("implausible overview: %+v", resp)
+	}
+}
+
+// TestAPICacheInvalidationOnIngest: a repeated query hits the cache; an
+// ingest batch bumps the generation, so the next query misses, re-renders
+// against the new snapshot and includes the new batch's subject — the
+// response is never staler than one ingest batch.
+func TestAPICacheInvalidationOnIngest(t *testing.T) {
+	srv, _ := testServerCfg(t, serve.GatewayConfig{})
+
+	if _, _, xc := getCached(t, srv.URL+"/api/subjects"); xc != "miss" {
+		t.Fatalf("first query X-Cache = %q, want miss", xc)
+	}
+	if _, _, xc := getCached(t, srv.URL+"/api/subjects"); xc != "hit" {
+		t.Fatalf("second query X-Cache = %q, want hit", xc)
+	}
+
+	ingest := `{"docs":[{"title":"ZX900","date":"2004-03-02",
+		"text":"The ZX900 takes excellent pictures. The ZX900 is disappointing in low light."}]}`
+	resp, err := http.Post(srv.URL+"/api/ingest", "application/json", strings.NewReader(ingest))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ack struct {
+		IDs        []string `json:"ids"`
+		Facts      int      `json:"facts"`
+		Generation uint64   `json:"generation"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&ack); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 || len(ack.IDs) != 1 || ack.Facts == 0 {
+		t.Fatalf("ingest ack = %d %+v", resp.StatusCode, ack)
+	}
+
+	status, body, xc := getCached(t, srv.URL+"/api/subjects")
+	if status != 200 || xc != "miss" {
+		t.Fatalf("post-ingest query: status %d X-Cache %q, want 200 miss", status, xc)
+	}
+	if !strings.Contains(body, "zx900") {
+		t.Fatalf("post-ingest response missing new subject: %.300s", body)
+	}
+	if _, _, xc := getCached(t, srv.URL+"/api/subjects"); xc != "hit" {
+		t.Fatalf("re-query after invalidation X-Cache = %q, want hit", xc)
+	}
+}
+
+func TestAPIIngestRejectsBadRequests(t *testing.T) {
+	srv := testServer(t)
+	if status, _ := get(t, srv.URL+"/api/ingest"); status != http.StatusMethodNotAllowed {
+		t.Errorf("GET /api/ingest = %d, want 405", status)
+	}
+	resp, err := http.Post(srv.URL+"/api/ingest", "application/json", bytes.NewReader([]byte("{")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("malformed body = %d, want 400", resp.StatusCode)
+	}
+	resp, err = http.Post(srv.URL+"/api/ingest", "application/json", strings.NewReader(`{"docs":[]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("empty batch = %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestAPIRateLimit: with refill disabled and a burst of 2, the third
+// request from one tenant is 429 while another tenant still gets through.
+func TestAPIRateLimit(t *testing.T) {
+	srv, _ := testServerCfg(t, serve.GatewayConfig{TenantRate: -1, TenantBurst: 2})
+	call := func(tenant string) int {
+		req, err := http.NewRequest("GET", srv.URL+"/api/overview", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tenant != "" {
+			req.Header.Set("x-tenant", tenant)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	for i := 0; i < 2; i++ {
+		if status := call("acme"); status != 200 {
+			t.Fatalf("request %d = %d", i, status)
+		}
+	}
+	if status := call("acme"); status != http.StatusTooManyRequests {
+		t.Fatalf("over-budget request = %d, want 429", status)
+	}
+	if status := call("globex"); status != 200 {
+		t.Fatalf("other tenant = %d, want 200", status)
+	}
+}
+
+// TestHealthzDegraded: healthy answers 200; a degraded (read-only) store
+// answers 503 with the reason — so a load balancer rotates the node out —
+// while read queries keep working and ingest is refused with 503.
+func TestHealthzDegraded(t *testing.T) {
+	srv, backend := testServerCfg(t, serve.GatewayConfig{})
+	status, body := get(t, srv.URL+"/healthz")
+	if status != 200 || !strings.Contains(body, `"status":"ok"`) {
+		t.Fatalf("healthy: %d %s", status, body)
+	}
+
+	backend.degraded = true
+	backend.reason = "wal sync failure"
+	status, body = get(t, srv.URL+"/healthz")
+	if status != http.StatusServiceUnavailable {
+		t.Fatalf("degraded healthz = %d, want 503", status)
+	}
+	if !strings.Contains(body, `"status":"degraded"`) || !strings.Contains(body, "wal sync failure") {
+		t.Fatalf("degraded body missing reason: %s", body)
+	}
+	if status, _ := get(t, srv.URL+"/api/subjects"); status != 200 {
+		t.Errorf("degraded read = %d, want 200 (read-only mode still serves)", status)
+	}
+	resp, err := http.Post(srv.URL+"/api/ingest", "application/json",
+		strings.NewReader(`{"docs":[{"text":"x"}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("degraded ingest = %d, want 503", resp.StatusCode)
 	}
 }

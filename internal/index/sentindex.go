@@ -22,6 +22,10 @@ type SentimentEntry struct {
 	Polarity int
 	// Snippet is the sentiment-bearing sentence text, for display.
 	Snippet string
+	// Feature is the target phrase the sentiment was directed at, the
+	// aspect dimension of the serving tier's aggregates ("" when the
+	// analyzer resolved no target).
+	Feature string
 }
 
 // SentimentCounts aggregates a subject's sentiment.
@@ -80,6 +84,9 @@ func (si *SentimentIndex) Query(subject string) []SentimentEntry {
 		}
 		if out[i].Polarity != out[j].Polarity {
 			return out[i].Polarity > out[j].Polarity
+		}
+		if out[i].Feature != out[j].Feature {
+			return out[i].Feature < out[j].Feature
 		}
 		return out[i].Snippet < out[j].Snippet
 	})

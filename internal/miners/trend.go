@@ -2,6 +2,7 @@ package miners
 
 import (
 	"sort"
+	"strings"
 
 	"webfountain/internal/store"
 )
@@ -52,10 +53,13 @@ func (t *Trend) Run(st *store.Store) error {
 			if a.Type != "polarity" {
 				continue
 			}
-			bySubject, ok := t.series[a.Key]
+			// Subjects are case-insensitive, matching the sentiment
+			// index: "Aurora" annotations and an "aurora" query meet.
+			key := strings.ToLower(a.Key)
+			bySubject, ok := t.series[key]
 			if !ok {
 				bySubject = map[string]*MonthCounts{}
-				t.series[a.Key] = bySubject
+				t.series[key] = bySubject
 			}
 			mc, ok := bySubject[month]
 			if !ok {
@@ -87,9 +91,10 @@ type MonthPoint struct {
 	MonthCounts
 }
 
-// Series returns a subject's sentiment by month, chronologically.
+// Series returns a subject's sentiment by month, chronologically. The
+// subject is case-insensitive.
 func (t *Trend) Series(subject string) []MonthPoint {
-	bySubject := t.series[subject]
+	bySubject := t.series[strings.ToLower(subject)]
 	out := make([]MonthPoint, 0, len(bySubject))
 	for m, c := range bySubject {
 		out = append(out, MonthPoint{Month: m, MonthCounts: *c})

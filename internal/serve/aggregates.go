@@ -1,0 +1,230 @@
+package serve
+
+import (
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Fact is one extracted sentiment mention, the unit the aggregate layer
+// consumes at ingest: who it is about, which feature phrase the
+// sentiment was directed at, when the document was published and which
+// way the sentiment points.
+type Fact struct {
+	// Subject is the subject the sentiment is about (case-insensitive;
+	// normalized to lower case on apply).
+	Subject string
+	// Feature is the target phrase the sentiment was directed at ("")
+	// when the miner did not resolve one). It is the paper's
+	// feature-level dimension: "battery life" vs the camera itself.
+	Feature string
+	// Date is the document's publication date in YYYY-MM-DD form; facts
+	// without a parseable month count toward totals and aspects but not
+	// toward any time bucket.
+	Date string
+	// Positive is the polarity (false = negative).
+	Positive bool
+}
+
+// Bucket is one month of a subject's materialized sentiment series.
+type Bucket struct {
+	// Month is "YYYY-MM".
+	Month string `json:"month"`
+	Counts
+}
+
+// AspectCount is one feature's tally within a subject.
+type AspectCount struct {
+	// Feature is the sentiment target phrase.
+	Feature string `json:"feature"`
+	Counts
+}
+
+// subjectAgg is one subject's cells: the polarity totals, the per-month
+// time buckets and the per-feature aspect tallies. Once published in a
+// View it is immutable — Apply clones touched subjects before mutating.
+type subjectAgg struct {
+	total   Counts
+	months  map[string]Counts
+	aspects map[string]Counts
+}
+
+func (s *subjectAgg) clone() *subjectAgg {
+	c := &subjectAgg{
+		total:   s.total,
+		months:  make(map[string]Counts, len(s.months)),
+		aspects: make(map[string]Counts, len(s.aspects)),
+	}
+	for k, v := range s.months {
+		c.months[k] = v
+	}
+	for k, v := range s.aspects {
+		c.aspects[k] = v
+	}
+	return c
+}
+
+// View is an immutable snapshot of the materialized aggregates. Readers
+// obtain one with Aggregates.View — a single atomic pointer load, the
+// same reader discipline as the inverted index's posting snapshots —
+// and may then query it without any locking for as long as they like.
+type View struct {
+	gen      uint64
+	subjects map[string]*subjectAgg
+	names    []string // sorted subject keys
+	totals   Counts
+	facts    int
+}
+
+// Generation is the ingest-batch counter the view was built at. Every
+// applied batch — even an empty one — bumps it, so a cached response
+// tagged with a generation is provably no staler than one ingest batch.
+func (v *View) Generation() uint64 { return v.gen }
+
+// Facts returns the number of facts folded into the view.
+func (v *View) Facts() int { return v.facts }
+
+// Totals returns the corpus-wide polarity tally.
+func (v *View) Totals() Counts { return v.totals }
+
+// Subjects returns every aggregated subject, sorted. The slice is
+// shared with the view and must not be mutated.
+func (v *View) Subjects() []string { return v.names }
+
+// Counts returns a subject's polarity totals (zero when unknown).
+func (v *View) Counts(subject string) Counts {
+	if s := v.subjects[strings.ToLower(subject)]; s != nil {
+		return s.total
+	}
+	return Counts{}
+}
+
+// Series returns a subject's monthly sentiment buckets, chronologically
+// — the materialized equivalent of the offline trend miner's Series.
+func (v *View) Series(subject string) []Bucket {
+	s := v.subjects[strings.ToLower(subject)]
+	if s == nil {
+		return nil
+	}
+	out := make([]Bucket, 0, len(s.months))
+	for m, c := range s.months {
+		out = append(out, Bucket{Month: m, Counts: c})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Month < out[j].Month })
+	return out
+}
+
+// Aspects returns a subject's per-feature tallies, most-mentioned
+// first (ties by feature name, so the order is total).
+func (v *View) Aspects(subject string) []AspectCount {
+	s := v.subjects[strings.ToLower(subject)]
+	if s == nil {
+		return nil
+	}
+	out := make([]AspectCount, 0, len(s.aspects))
+	for f, c := range s.aspects {
+		out = append(out, AspectCount{Feature: f, Counts: c})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Total() != out[j].Total() {
+			return out[i].Total() > out[j].Total()
+		}
+		return out[i].Feature < out[j].Feature
+	})
+	return out
+}
+
+// Aggregates maintains the materialized sentiment aggregates. Writers
+// (ingest batches) serialize on a mutex and publish copy-on-write
+// snapshots; readers load the current View with one atomic pointer
+// load and never block a writer or another reader.
+type Aggregates struct {
+	mu   sync.Mutex
+	view atomic.Pointer[View]
+}
+
+// NewAggregates returns an empty aggregate store at generation 0.
+func NewAggregates() *Aggregates {
+	a := &Aggregates{}
+	a.view.Store(&View{subjects: map[string]*subjectAgg{}})
+	return a
+}
+
+// View returns the current immutable snapshot (never nil).
+func (a *Aggregates) View() *View { return a.view.Load() }
+
+// Apply folds one ingest batch's facts into the aggregates and
+// publishes a new snapshot, returning its generation. The generation
+// bumps even for an empty batch: the corpus changed (documents were
+// ingested), so every cached response keyed on the old generation must
+// re-render. Only subjects touched by the batch are cloned; untouched
+// subjects are shared structurally with the previous view.
+func (a *Aggregates) Apply(facts []Fact) uint64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	old := a.view.Load()
+	next := &View{
+		gen:      old.gen + 1,
+		subjects: make(map[string]*subjectAgg, len(old.subjects)+4),
+		totals:   old.totals,
+		facts:    old.facts + len(facts),
+	}
+	for k, v := range old.subjects {
+		next.subjects[k] = v
+	}
+	cloned := map[string]bool{}
+	for _, f := range facts {
+		key := strings.ToLower(f.Subject)
+		s := next.subjects[key]
+		switch {
+		case s == nil:
+			s = &subjectAgg{months: map[string]Counts{}, aspects: map[string]Counts{}}
+			next.subjects[key] = s
+			cloned[key] = true
+		case !cloned[key]:
+			s = s.clone()
+			next.subjects[key] = s
+			cloned[key] = true
+		}
+		bump := func(c *Counts) {
+			if f.Positive {
+				c.Positive++
+			} else {
+				c.Negative++
+			}
+		}
+		bump(&s.total)
+		bump(&next.totals)
+		if m := monthOf(f.Date); m != "" {
+			mc := s.months[m]
+			bump(&mc)
+			s.months[m] = mc
+		}
+		if f.Feature != "" {
+			ac := s.aspects[strings.ToLower(f.Feature)]
+			bump(&ac)
+			s.aspects[strings.ToLower(f.Feature)] = ac
+		}
+	}
+	if len(cloned) == 0 {
+		next.names = old.names
+	} else {
+		next.names = make([]string, 0, len(next.subjects))
+		for k := range next.subjects {
+			next.names = append(next.names, k)
+		}
+		sort.Strings(next.names)
+	}
+	a.view.Store(next)
+	return next.gen
+}
+
+// monthOf extracts "YYYY-MM" from a "YYYY-MM-DD" date ("" if
+// malformed) — the same bucketing rule as the offline trend miner.
+func monthOf(date string) string {
+	if len(date) < 7 || date[4] != '-' {
+		return ""
+	}
+	return date[:7]
+}

@@ -1,0 +1,152 @@
+package serve
+
+import (
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+)
+
+func TestSharePercentRounds(t *testing.T) {
+	cases := []struct {
+		pos, neg, want int
+	}{
+		{0, 0, 0},
+		{1, 0, 100},
+		{0, 1, 0},
+		{999, 1, 100}, // 99.9% must not floor to 99
+		{1, 999, 0},
+		{1, 1, 50},
+		{2, 1, 67}, // 66.7 rounds up
+		{1, 2, 33},
+	}
+	for _, c := range cases {
+		if got := SharePercent(c.pos, c.neg); got != c.want {
+			t.Errorf("SharePercent(%d, %d) = %d, want %d", c.pos, c.neg, got, c.want)
+		}
+	}
+}
+
+func TestAggregatesApply(t *testing.T) {
+	a := NewAggregates()
+	if g := a.View().Generation(); g != 0 {
+		t.Fatalf("fresh generation = %d", g)
+	}
+	gen := a.Apply([]Fact{
+		{Subject: "NR70", Feature: "battery life", Date: "2004-07-14", Positive: true},
+		{Subject: "nr70", Feature: "battery life", Date: "2004-07-20", Positive: false},
+		{Subject: "nr70", Feature: "pictures", Date: "2004-08-01", Positive: true},
+		{Subject: "clie", Date: "bogus", Positive: true},
+	})
+	if gen != 1 {
+		t.Fatalf("generation after first batch = %d", gen)
+	}
+	v := a.View()
+	if got := v.Subjects(); !reflect.DeepEqual(got, []string{"clie", "nr70"}) {
+		t.Fatalf("Subjects() = %v", got)
+	}
+	if c := v.Counts("NR70"); c != (Counts{Positive: 2, Negative: 1}) {
+		t.Fatalf("Counts(NR70) = %+v", c)
+	}
+	series := v.Series("nr70")
+	want := []Bucket{
+		{Month: "2004-07", Counts: Counts{Positive: 1, Negative: 1}},
+		{Month: "2004-08", Counts: Counts{Positive: 1}},
+	}
+	if !reflect.DeepEqual(series, want) {
+		t.Fatalf("Series(nr70) = %+v", series)
+	}
+	// A malformed date lands in totals but no bucket.
+	if got := v.Series("clie"); len(got) != 0 {
+		t.Fatalf("Series(clie) = %+v, want no buckets", got)
+	}
+	if c := v.Counts("clie"); c != (Counts{Positive: 1}) {
+		t.Fatalf("Counts(clie) = %+v", c)
+	}
+	aspects := v.Aspects("nr70")
+	wantAspects := []AspectCount{
+		{Feature: "battery life", Counts: Counts{Positive: 1, Negative: 1}},
+		{Feature: "pictures", Counts: Counts{Positive: 1}},
+	}
+	if !reflect.DeepEqual(aspects, wantAspects) {
+		t.Fatalf("Aspects(nr70) = %+v", aspects)
+	}
+	if tot := v.Totals(); tot != (Counts{Positive: 3, Negative: 1}) {
+		t.Fatalf("Totals() = %+v", tot)
+	}
+	if v.Facts() != 4 {
+		t.Fatalf("Facts() = %d", v.Facts())
+	}
+}
+
+func TestAggregatesEmptyBatchBumpsGeneration(t *testing.T) {
+	a := NewAggregates()
+	a.Apply([]Fact{{Subject: "x", Positive: true}})
+	if gen := a.Apply(nil); gen != 2 {
+		t.Fatalf("empty batch generation = %d, want 2", gen)
+	}
+	// The content is shared with the previous view, not rebuilt.
+	if c := a.View().Counts("x"); c != (Counts{Positive: 1}) {
+		t.Fatalf("Counts(x) = %+v after empty batch", c)
+	}
+}
+
+func TestAggregatesSnapshotImmutable(t *testing.T) {
+	a := NewAggregates()
+	a.Apply([]Fact{{Subject: "s", Feature: "f", Date: "2004-01-02", Positive: true}})
+	old := a.View()
+	a.Apply([]Fact{
+		{Subject: "s", Feature: "f", Date: "2004-01-03", Positive: false},
+		{Subject: "t", Positive: true},
+	})
+	// The old snapshot must still answer with its old numbers.
+	if c := old.Counts("s"); c != (Counts{Positive: 1}) {
+		t.Fatalf("old snapshot Counts(s) = %+v, mutated in place", c)
+	}
+	if len(old.Subjects()) != 1 {
+		t.Fatalf("old snapshot Subjects() = %v", old.Subjects())
+	}
+	if c := a.View().Counts("s"); c != (Counts{Positive: 1, Negative: 1}) {
+		t.Fatalf("new snapshot Counts(s) = %+v", c)
+	}
+}
+
+// TestAggregatesConcurrentReadersWriters drives readers against a
+// stream of Apply batches under the race detector: readers must always
+// see a coherent snapshot (totals equal to the sum over subjects).
+func TestAggregatesConcurrentReadersWriters(t *testing.T) {
+	a := NewAggregates()
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				v := a.View()
+				sum := Counts{}
+				for _, s := range v.Subjects() {
+					c := v.Counts(s)
+					sum.Positive += c.Positive
+					sum.Negative += c.Negative
+				}
+				if sum != v.Totals() {
+					t.Errorf("torn snapshot: subjects sum %+v != totals %+v", sum, v.Totals())
+					return
+				}
+			}
+		}()
+	}
+	for i := 0; i < 200; i++ {
+		a.Apply([]Fact{
+			{Subject: fmt.Sprintf("s%d", i%7), Date: "2004-05-05", Positive: i%3 != 0},
+		})
+	}
+	close(stop)
+	wg.Wait()
+}

@@ -1,0 +1,110 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+
+	"webfountain/internal/metrics"
+)
+
+// Cache metrics: hit/miss ratio is the read-storm probe's headline
+// number, and stale drops count how often ingest invalidated a result.
+var (
+	cacheHits      = metrics.Default().Counter("serve.cache.hits")
+	cacheMisses    = metrics.Default().Counter("serve.cache.misses")
+	cacheEvictions = metrics.Default().Counter("serve.cache.evictions")
+	cacheStale     = metrics.Default().Counter("serve.cache.stale")
+)
+
+// Cache is a bounded LRU over rendered responses, keyed by request
+// (path + query) and tagged with the aggregate generation the response
+// was rendered at. Invalidation is by generation: ingest bumps the
+// aggregate generation, so every entry minted before the bump misses on
+// its next lookup and is dropped — a cached response can therefore
+// never be staler than one ingest batch. Safe for concurrent use.
+type Cache struct {
+	mu       sync.Mutex
+	capacity int
+	ll       *list.List
+	items    map[string]*list.Element
+}
+
+// centry is one cached response.
+type centry struct {
+	key  string
+	gen  uint64
+	body []byte
+}
+
+// NewCache returns an LRU holding at most capacity entries. A zero or
+// negative capacity disables caching: Get always misses, Put is a
+// no-op.
+func NewCache(capacity int) *Cache {
+	c := &Cache{capacity: capacity}
+	if capacity > 0 {
+		c.ll = list.New()
+		c.items = make(map[string]*list.Element, capacity)
+	}
+	return c
+}
+
+// Get returns the cached body for key if it was rendered at the given
+// generation. An entry from an older generation is removed (counted as
+// stale) and reported as a miss.
+func (c *Cache) Get(key string, gen uint64) ([]byte, bool) {
+	if c.capacity <= 0 {
+		cacheMisses.Inc()
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		cacheMisses.Inc()
+		return nil, false
+	}
+	e := el.Value.(*centry)
+	if e.gen != gen {
+		c.ll.Remove(el)
+		delete(c.items, key)
+		cacheStale.Inc()
+		cacheMisses.Inc()
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	cacheHits.Inc()
+	return e.body, true
+}
+
+// Put stores a rendered body under key at the given generation,
+// evicting the least-recently-used entry when full.
+func (c *Cache) Put(key string, gen uint64, body []byte) {
+	if c.capacity <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		e := el.Value.(*centry)
+		e.gen, e.body = gen, body
+		c.ll.MoveToFront(el)
+		return
+	}
+	for c.ll.Len() >= c.capacity {
+		last := c.ll.Back()
+		c.ll.Remove(last)
+		delete(c.items, last.Value.(*centry).key)
+		cacheEvictions.Inc()
+	}
+	c.items[key] = c.ll.PushFront(&centry{key: key, gen: gen, body: body})
+}
+
+// Len returns the number of cached entries.
+func (c *Cache) Len() int {
+	if c.capacity <= 0 {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}

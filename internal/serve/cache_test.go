@@ -1,0 +1,88 @@
+package serve
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestCacheHitMissAndGenerationInvalidation(t *testing.T) {
+	c := NewCache(4)
+	if _, ok := c.Get("k", 1); ok {
+		t.Fatal("empty cache hit")
+	}
+	c.Put("k", 1, []byte("v1"))
+	if body, ok := c.Get("k", 1); !ok || string(body) != "v1" {
+		t.Fatalf("Get(k, 1) = %q, %v", body, ok)
+	}
+	// Ingest bumps the generation: the entry must miss and be dropped.
+	if _, ok := c.Get("k", 2); ok {
+		t.Fatal("stale-generation entry served")
+	}
+	if c.Len() != 0 {
+		t.Fatalf("stale entry retained, Len = %d", c.Len())
+	}
+	c.Put("k", 2, []byte("v2"))
+	if body, ok := c.Get("k", 2); !ok || string(body) != "v2" {
+		t.Fatalf("Get(k, 2) = %q, %v", body, ok)
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	c := NewCache(2)
+	c.Put("a", 1, []byte("a"))
+	c.Put("b", 1, []byte("b"))
+	c.Get("a", 1) // a is now most recently used
+	c.Put("c", 1, []byte("c"))
+	if _, ok := c.Get("b", 1); ok {
+		t.Fatal("LRU entry b survived eviction")
+	}
+	for _, k := range []string{"a", "c"} {
+		if _, ok := c.Get(k, 1); !ok {
+			t.Fatalf("entry %q evicted out of order", k)
+		}
+	}
+	if c.Len() != 2 {
+		t.Fatalf("Len = %d", c.Len())
+	}
+}
+
+func TestCacheDisabled(t *testing.T) {
+	c := NewCache(0)
+	c.Put("k", 1, []byte("v"))
+	if _, ok := c.Get("k", 1); ok {
+		t.Fatal("disabled cache served a hit")
+	}
+	if c.Len() != 0 {
+		t.Fatalf("disabled cache Len = %d", c.Len())
+	}
+}
+
+func TestCacheUpdateInPlace(t *testing.T) {
+	c := NewCache(2)
+	c.Put("k", 1, []byte("old"))
+	c.Put("k", 3, []byte("new"))
+	if c.Len() != 1 {
+		t.Fatalf("duplicate key grew cache, Len = %d", c.Len())
+	}
+	if body, ok := c.Get("k", 3); !ok || string(body) != "new" {
+		t.Fatalf("Get(k, 3) = %q, %v", body, ok)
+	}
+}
+
+func TestCacheConcurrent(t *testing.T) {
+	c := NewCache(8)
+	done := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		go func(w int) {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < 500; i++ {
+				k := fmt.Sprintf("k%d", i%16)
+				c.Put(k, uint64(i), []byte(k))
+				c.Get(k, uint64(i))
+			}
+		}(w)
+	}
+	for w := 0; w < 4; w++ {
+		<-done
+	}
+}

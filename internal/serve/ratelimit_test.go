@@ -1,0 +1,88 @@
+package serve
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// fixedClock is a manually-advanced clock for deterministic refill.
+type fixedClock struct{ t time.Time }
+
+func (c *fixedClock) now() time.Time          { return c.t }
+func (c *fixedClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+
+func TestLimiterBurstThenDeny(t *testing.T) {
+	l := NewLimiter(LimiterConfig{Rate: -1, Burst: 3})
+	for i := 0; i < 3; i++ {
+		if !l.Allow("acme") {
+			t.Fatalf("request %d denied within burst", i)
+		}
+	}
+	if l.Allow("acme") {
+		t.Fatal("request beyond burst allowed (rate -1: no refill)")
+	}
+	// Other tenants draw from their own buckets.
+	if !l.Allow("globex") {
+		t.Fatal("fresh tenant denied")
+	}
+	if !l.Allow("") {
+		t.Fatal("default tenant denied")
+	}
+}
+
+func TestLimiterRefill(t *testing.T) {
+	clk := &fixedClock{t: time.Unix(1000, 0)}
+	l := NewLimiter(LimiterConfig{Rate: 10, Burst: 2, Now: clk.now})
+	if !l.Allow("a") || !l.Allow("a") {
+		t.Fatal("burst denied")
+	}
+	if l.Allow("a") {
+		t.Fatal("empty bucket allowed")
+	}
+	clk.advance(100 * time.Millisecond) // 1 token at 10/s
+	if !l.Allow("a") {
+		t.Fatal("refilled token denied")
+	}
+	if l.Allow("a") {
+		t.Fatal("second token granted after 0.1s at 10/s")
+	}
+	// Refill caps at the burst size no matter how long the idle.
+	clk.advance(time.Hour)
+	if !l.Allow("a") || !l.Allow("a") {
+		t.Fatal("burst after long idle denied")
+	}
+	if l.Allow("a") {
+		t.Fatal("refill exceeded burst cap")
+	}
+}
+
+func TestLimiterTenantBound(t *testing.T) {
+	clk := &fixedClock{t: time.Unix(1000, 0)}
+	l := NewLimiter(LimiterConfig{Rate: 1, Burst: 1, MaxTenants: 4, Now: clk.now})
+	for i := 0; i < 16; i++ {
+		l.Allow(fmt.Sprintf("tenant-%d", i))
+	}
+	if n := l.Tenants(); n > 4 {
+		t.Fatalf("tracked tenants = %d, bound is 4", n)
+	}
+	// Idle tenants refill to full and are swept, making room again.
+	clk.advance(10 * time.Second)
+	if !l.Allow("tenant-new") {
+		t.Fatal("new tenant denied after idle sweep")
+	}
+}
+
+func TestLimiterOverflowSharesDefaultBucket(t *testing.T) {
+	// With no refill and the map full of never-full buckets, newcomers
+	// must fold into the default bucket rather than minting new ones.
+	l := NewLimiter(LimiterConfig{Rate: -1, Burst: 2, MaxTenants: 2})
+	l.Allow("a") // occupies slot 1
+	l.Allow("b") // occupies slot 2
+	before := l.Tenants()
+	l.Allow("c")
+	l.Allow("d")
+	if n := l.Tenants(); n > before+1 { // at most the default bucket added
+		t.Fatalf("overflow tenants grew the map: %d -> %d", before, n)
+	}
+}

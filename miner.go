@@ -102,6 +102,11 @@ type SubjectSentiment struct {
 	Snippet string
 	// Pattern names the sentiment pattern that fired, for tracing.
 	Pattern string
+	// Feature is the target phrase the sentiment was directed at
+	// (determiners stripped) — the feature-level dimension of the
+	// paper's aggregates ("battery life" vs the camera itself). Empty
+	// when the analyzer did not resolve a target phrase.
+	Feature string
 }
 
 // SentimentMiner implements the paper's miner in both operational modes.
@@ -285,6 +290,7 @@ func (m *SentimentMiner) mineWithSubjects(a *pipelineArena, docID, text string) 
 					Sentence: s.Index,
 					Snippet:  text[s.Start:s.End], // verbatim span: no render
 					Pattern:  h.Pattern,
+					Feature:  h.Target,
 				})
 			}
 		}
@@ -326,6 +332,7 @@ func (m *SentimentMiner) mineEntities(a *pipelineArena, docID, text string) []Su
 					Sentence: s.Index,
 					Snippet:  text[s.Start:s.End], // verbatim span: no render
 					Pattern:  h.Pattern,
+					Feature:  h.Target,
 				})
 			}
 		}
@@ -420,6 +427,9 @@ func (m *SentimentMiner) Run(p *Platform) ([]SubjectSentiment, error) {
 		if a.Pattern != b.Pattern {
 			return a.Pattern < b.Pattern
 		}
+		if a.Feature != b.Feature {
+			return a.Feature < b.Feature
+		}
 		return a.Snippet < b.Snippet
 	})
 	for _, f := range mu.facts {
@@ -429,9 +439,30 @@ func (m *SentimentMiner) Run(p *Platform) ([]SubjectSentiment, error) {
 			Subject:  f.Subject,
 			Polarity: int(f.Polarity),
 			Snippet:  f.Snippet,
+			Feature:  f.Feature,
 		})
 	}
 	return mu.facts, nil
+}
+
+// MineDocument runs the pipeline over one already-ingested document and
+// folds the extracted facts into the query-time sentiment index — the
+// online counterpart of Run for the live serving tier, where documents
+// are mined as they arrive instead of in a corpus-wide batch. Safe for
+// concurrent use.
+func (m *SentimentMiner) MineDocument(docID, text string) []SubjectSentiment {
+	facts := m.analyzeEntity(docID, text)
+	for _, f := range facts {
+		m.sidx.Add(index.SentimentEntry{
+			DocID:    f.DocID,
+			Sentence: f.Sentence,
+			Subject:  f.Subject,
+			Polarity: int(f.Polarity),
+			Snippet:  f.Snippet,
+			Feature:  f.Feature,
+		})
+	}
+	return facts
 }
 
 // Query serves a query-time sentiment lookup from the index built by Run.
@@ -445,6 +476,7 @@ func (m *SentimentMiner) Query(subject string) []SubjectSentiment {
 			DocID:    e.DocID,
 			Sentence: e.Sentence,
 			Snippet:  e.Snippet,
+			Feature:  e.Feature,
 		})
 	}
 	return out

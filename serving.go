@@ -1,0 +1,156 @@
+package webfountain
+
+import (
+	"fmt"
+	"net/http"
+	"sync"
+
+	"webfountain/internal/serve"
+	"webfountain/internal/store"
+)
+
+// Aliases re-exporting the serving tier's wire and config types, so
+// library users can drive ServingTier and mount its gateway without
+// importing internal/serve (which the internal rule forbids outside
+// this module).
+type (
+	// ServingDoc is one document submitted to ServingTier.Ingest.
+	ServingDoc = serve.Doc
+	// ServingEntry is one sentiment-bearing mention as served.
+	ServingEntry = serve.Entry
+	// ServingView is an immutable aggregate snapshot.
+	ServingView = serve.View
+	// ServingGatewayConfig tunes NewServingGateway.
+	ServingGatewayConfig = serve.GatewayConfig
+)
+
+// NewServingGateway mounts the tier's HTTP/JSON API (the /api/*
+// endpoints and /healthz of cmd/wfserver) on any mux: result caching,
+// per-tenant rate limits and degraded-mode semantics included.
+func NewServingGateway(t *ServingTier, cfg ServingGatewayConfig) http.Handler {
+	return serve.NewGateway(t, cfg)
+}
+
+// ServingTier is the live serving tier over a mined platform: it keeps
+// the materialized sentiment aggregates (per subject × feature ×
+// polarity × time bucket) in lock-step with the corpus, mining new
+// documents online at ingest instead of re-running the batch miner. It
+// implements serve.Backend, so serve.NewGateway(tier, cfg) is the whole
+// HTTP serving stack.
+//
+// Consistency contract: Ingest publishes a new aggregate snapshot (and
+// bumps the cache-invalidation generation) before it returns, so a
+// query issued after an ingest batch acks can never observe aggregates
+// staler than that batch. Queries concurrent with an in-flight batch
+// may see the previous snapshot — a staleness bound of exactly one
+// batch.
+type ServingTier struct {
+	mu  sync.Mutex // serializes ingest batches
+	p   *Platform
+	m   *SentimentMiner
+	agg *serve.Aggregates
+}
+
+// NewServingTier builds the tier over a platform and a miner that has
+// already run (facts are Run's output, seeding the aggregates so the
+// first query is served from the materialized view, not a corpus scan).
+func NewServingTier(p *Platform, m *SentimentMiner, facts []SubjectSentiment) *ServingTier {
+	t := &ServingTier{p: p, m: m, agg: serve.NewAggregates()}
+	t.agg.Apply(t.toFacts(facts))
+	return t
+}
+
+// toFacts converts mined facts to aggregate facts, resolving each
+// document's publication date for the time-bucket dimension.
+func (t *ServingTier) toFacts(facts []SubjectSentiment) []serve.Fact {
+	dates := map[string]string{}
+	out := make([]serve.Fact, 0, len(facts))
+	for _, f := range facts {
+		date, ok := dates[f.DocID]
+		if !ok {
+			if e, found := t.p.Entity(f.DocID); found {
+				date = e.Date
+			}
+			dates[f.DocID] = date
+		}
+		out = append(out, serve.Fact{
+			Subject:  f.Subject,
+			Feature:  f.Feature,
+			Date:     date,
+			Positive: f.Polarity == Positive,
+		})
+	}
+	return out
+}
+
+// View returns the current aggregate snapshot (serve.Backend).
+func (t *ServingTier) View() *serve.View { return t.agg.View() }
+
+// NumDocs returns the number of stored documents (serve.Backend).
+func (t *ServingTier) NumDocs() int { return t.p.NumEntities() }
+
+// Degraded reports the store's degraded read-only mode (serve.Backend).
+func (t *ServingTier) Degraded() (bool, string) { return t.p.Degraded() }
+
+// Entries returns a subject's sentiment-bearing mentions from the
+// query-time sentiment index (serve.Backend).
+func (t *ServingTier) Entries(subject string) []serve.Entry {
+	facts := t.m.Query(subject)
+	out := make([]serve.Entry, 0, len(facts))
+	for _, f := range facts {
+		out = append(out, serve.Entry{
+			Subject:  f.Subject,
+			Polarity: f.Polarity.String(),
+			Doc:      f.DocID,
+			Sentence: f.Sentence,
+			Snippet:  f.Snippet,
+			Feature:  f.Feature,
+		})
+	}
+	return out
+}
+
+// Ingest implements serve.Backend's online write path: the documents
+// are stored and indexed, each one is mined as it lands (facts go to
+// the query-time sentiment index and are annotated onto the entity, so
+// the offline trend miner sees them too), and the batch's facts are
+// folded into the aggregates — the generation bump that invalidates
+// every cached response. Batches are serialized; on a partial ingest
+// failure the successfully-ingested prefix is still mined and
+// published, matching Platform.Ingest's prefix semantics.
+func (t *ServingTier) Ingest(docs []serve.Doc) ([]string, int, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	batch := make([]Document, len(docs))
+	for i, d := range docs {
+		batch[i] = Document{
+			ID: d.ID, Source: d.Source, Title: d.Title, Date: d.Date, Text: d.Text,
+		}
+	}
+	ids, ingestErr := t.p.Ingest(batch)
+	var facts []SubjectSentiment
+	for i, id := range ids {
+		mined := t.m.MineDocument(id, batch[i].Text)
+		if len(mined) == 0 {
+			continue
+		}
+		facts = append(facts, mined...)
+		anns := make([]store.Annotation, 0, len(mined))
+		for _, f := range mined {
+			anns = append(anns, store.Annotation{
+				Miner:    MinerName,
+				Type:     "polarity",
+				Key:      f.Subject,
+				Value:    f.Polarity.String(),
+				Sentence: f.Sentence,
+			})
+		}
+		if _, err := t.p.internalStore().Annotate(id, anns); err != nil && ingestErr == nil {
+			ingestErr = fmt.Errorf("webfountain: serving annotate %s: %w", id, err)
+		}
+	}
+	// Publish even an empty batch: the corpus changed, so cached
+	// responses keyed on the old generation must re-render.
+	t.agg.Apply(t.toFacts(facts))
+	return ids, len(facts), ingestErr
+}
