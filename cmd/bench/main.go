@@ -12,9 +12,12 @@
 // live serving tier, comparing per-request store scans against the
 // materialized aggregates with and without the gateway's result cache —
 // the numbers behind the serving tier's "query cost must not grow with
-// the corpus" claim.
+// the corpus" claim. A fifth probe measures serving-tier recovery time:
+// cold full re-mine of a durable corpus vs. checkpoint restore plus
+// watermark repair of the un-checkpointed tail — the bound the
+// crash-recoverable serving tier puts on restart.
 //
-//	bench [-quick] [-docs N] [-out BENCH_PR9.json]
+//	bench [-quick] [-docs N] [-out BENCH_PR10.json]
 //	bench -compare old.json new.json
 //
 // The -compare mode doubles as the allocation regression gate for the
@@ -36,6 +39,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -44,6 +48,7 @@ import (
 	"net/http/httptest"
 	"net/url"
 	"os"
+	"path/filepath"
 	"runtime"
 	"sort"
 	"strings"
@@ -91,7 +96,7 @@ type Report struct {
 }
 
 func main() {
-	out := flag.String("out", "BENCH_PR9.json", "output JSON path")
+	out := flag.String("out", "BENCH_PR10.json", "output JSON path")
 	quick := flag.Bool("quick", false, "smaller corpora for CI smoke runs")
 	docsFlag := flag.Int("docs", 0, "corpus size per ingest iteration (0: 200, or 40 with -quick)")
 	compare := flag.Bool("compare", false, "compare two result files: bench -compare old.json new.json")
@@ -134,7 +139,7 @@ func main() {
 // run executes the benchmark suite and assembles the report.
 func run(docs int, quick bool) Report {
 	rep := Report{
-		Bench:      "PR9",
+		Bench:      "PR10",
 		GoVersion:  runtime.Version(),
 		CPUs:       runtime.NumCPU(),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
@@ -492,6 +497,22 @@ func run(docs int, quick bool) Report {
 	for k, v := range stormDerived {
 		rep.Derived[k] = v
 	}
+	// Recovery probe: what the serving tier's checkpoint buys at boot.
+	// Cold is a full batch re-mine of the durable corpus; repair is
+	// checkpoint load plus re-mining only the un-checkpointed tail.
+	coldMs, repairMs, repairedDocs, err := probeRecovery(generated)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "recovery probe:", err)
+		os.Exit(1)
+	}
+	rep.Derived["recovery_cold_remine_ms"] = coldMs
+	rep.Derived["recovery_checkpoint_repair_ms"] = repairMs
+	rep.Derived["recovery_repaired_docs"] = float64(repairedDocs)
+	if repairMs > 0 {
+		rep.Derived["recovery_speedup"] = coldMs / repairMs
+	}
+	fmt.Printf("%-32s %12.2f ms cold %9.2f ms repair (%d docs repaired, %.1fx)\n",
+		"recovery/checkpoint-vs-remine", coldMs, repairMs, repairedDocs, coldMs/repairMs)
 
 	snap := metrics.Default().Snapshot()
 	rep.Metrics = &snap
@@ -836,6 +857,102 @@ func probeReadStorm(generated []corpus.Document, calls int, qps float64) (map[st
 		"storm/speedup-vs-scan", derived["read_storm_speedup_cached_vs_scan"],
 		derived["read_storm_speedup_agg_vs_scan"], derived["read_storm_cache_hit_fraction"]*100)
 	return derived, nil
+}
+
+// probeRecovery measures serving-tier restart time two ways over the
+// same durable corpus. Setup: 90% of the documents flow through a
+// checkpointing tier which then checkpoints; the final 10% are acked
+// by the platform alone — the crash window where durable ingests never
+// reached the aggregates — and the process "dies" without a final
+// checkpoint. The repair path times RecoverServingTier (checkpoint
+// load + re-mine of just the tail); the cold path times a full batch
+// re-mine of the whole corpus. Both timings start after the platform
+// itself is open, isolating the serving tier's boot cost.
+func probeRecovery(generated []corpus.Document) (coldMs, repairMs float64, repairedDocs int, err error) {
+	base, err := os.MkdirTemp("", "bench-recovery-")
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	defer os.RemoveAll(base)
+	dataDir := filepath.Join(base, "data")
+	ckptDir := filepath.Join(base, "ckpt")
+
+	docs := make([]webfountain.ServingDoc, len(generated))
+	for i := range generated {
+		docs[i] = webfountain.ServingDoc{
+			ID:   fmt.Sprintf("doc-%05d", i),
+			Date: generated[i].Date,
+			Text: generated[i].Text(),
+		}
+	}
+	split := len(docs) * 9 / 10
+
+	// Build the pre-crash state: checkpointed head, durable-only tail.
+	p, err := webfountain.OpenPlatform(webfountain.PlatformConfig{DataDir: dataDir})
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	m, err := webfountain.NewSentimentMiner(webfountain.MinerConfig{})
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	tier, _, err := webfountain.RecoverServingTier(p, m, webfountain.ServingTierConfig{CheckpointDir: ckptDir})
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	if _, _, err := tier.Ingest(context.Background(), docs[:split]); err != nil {
+		return 0, 0, 0, err
+	}
+	if err := tier.Checkpoint(); err != nil {
+		return 0, 0, 0, err
+	}
+	tail := make([]webfountain.Document, 0, len(docs)-split)
+	for _, d := range docs[split:] {
+		tail = append(tail, webfountain.Document{ID: d.ID, Date: d.Date, Text: d.Text})
+	}
+	if _, err := p.Ingest(tail); err != nil {
+		return 0, 0, 0, err
+	}
+	if err := p.Close(); err != nil { // crash for the tier: no tier.Close, no final checkpoint
+		return 0, 0, 0, err
+	}
+
+	// Repair path: checkpoint restore + watermark repair of the tail.
+	p2, err := webfountain.OpenPlatform(webfountain.PlatformConfig{DataDir: dataDir})
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	m2, err := webfountain.NewSentimentMiner(webfountain.MinerConfig{})
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	start := time.Now()
+	_, rec, err := webfountain.RecoverServingTier(p2, m2, webfountain.ServingTierConfig{CheckpointDir: ckptDir})
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	repairMs = float64(time.Since(start)) / 1e6
+	repairedDocs = rec.RepairedDocs
+	p2.Close()
+
+	// Cold path: full batch re-mine, no checkpoint.
+	p3, err := webfountain.OpenPlatform(webfountain.PlatformConfig{DataDir: dataDir})
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	m3, err := webfountain.NewSentimentMiner(webfountain.MinerConfig{})
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	start = time.Now()
+	facts, err := m3.Run(p3)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	webfountain.NewServingTier(p3, m3, facts)
+	coldMs = float64(time.Since(start)) / 1e6
+	p3.Close()
+	return coldMs, repairMs, repairedDocs, nil
 }
 
 // p99Of returns the 99th-percentile latency of a sample set.

@@ -26,12 +26,23 @@
 // Usage:
 //
 //	wfserver [-addr :8085] [-corpus pharma] [-docs 120] [-seed 7]
+//	         [-data-dir ""] [-checkpoint-dir ""] [-checkpoint-every 8]
 //	         [-cache-entries 256] [-tenant-rate 50] [-tenant-burst 100]
+//	         [-max-ingest-bytes 8388608] [-request-timeout 0]
 //	         [-pprof-addr :8086] [-drain-timeout 10s]
 //
+// With -data-dir the corpus lives in a durable write-ahead-logged
+// store: a restart recovers every acked document instead of minting a
+// fresh corpus. With -checkpoint-dir (requires -data-dir) the serving
+// tier also persists its materialized aggregates, so a restart loads
+// the newest valid checkpoint and re-mines only the documents past its
+// watermark instead of the whole corpus — bounded recovery time even
+// after a SIGKILL.
+//
 // SIGINT/SIGTERM trigger a graceful shutdown: the listener stops
-// accepting, in-flight requests drain for up to -drain-timeout, and the
-// final metrics registry is flushed to the log before exit.
+// accepting, in-flight requests drain for up to -drain-timeout, a
+// final serving checkpoint is written, and the final metrics registry
+// is flushed to the log before exit.
 package main
 
 import (
@@ -94,23 +105,33 @@ func main() {
 	corpusName := flag.String("corpus", "pharma", "corpus: camera, music, petroleum, pharma, news")
 	docs := flag.Int("docs", 120, "documents to mine at startup")
 	seed := flag.Int64("seed", 7, "corpus seed")
+	dataDir := flag.String("data-dir", "", "durable store root (empty: in-memory, corpus is lost on exit)")
+	checkpointDir := flag.String("checkpoint-dir", "", "serving-tier checkpoint directory (requires -data-dir; empty: aggregates re-mined at boot)")
+	checkpointEvery := flag.Int("checkpoint-every", 8, "write a serving checkpoint every N ingest batches (0: only on shutdown)")
 	cacheEntries := flag.Int("cache-entries", 256, "bounded LRU result cache size (negative: disable caching)")
 	tenantRate := flag.Float64("tenant-rate", 50, "per-tenant steady request rate (tokens/second)")
 	tenantBurst := flag.Int("tenant-burst", 100, "per-tenant token-bucket burst size")
+	maxIngestBytes := flag.Int64("max-ingest-bytes", 8<<20, "largest accepted /api/ingest body in bytes (negative: unbounded)")
+	requestTimeout := flag.Duration("request-timeout", 0, "per-request handling deadline propagated into backend calls (0: none)")
+	readHeaderTimeout := flag.Duration("read-header-timeout", 5*time.Second, "http.Server ReadHeaderTimeout (slowloris bound)")
+	readTimeout := flag.Duration("read-timeout", 30*time.Second, "http.Server ReadTimeout")
+	writeTimeout := flag.Duration("write-timeout", 60*time.Second, "http.Server WriteTimeout")
+	idleTimeout := flag.Duration("idle-timeout", 120*time.Second, "http.Server IdleTimeout")
 	pprofAddr := flag.String("pprof-addr", "", "HTTP address for net/http/pprof profiling (empty: disabled)")
 	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "graceful-shutdown bound for draining in-flight requests")
 	flag.Parse()
 
-	miner, platform, facts, err := mine(*corpusName, *docs, *seed)
+	miner, platform, tier, err := boot(*corpusName, *docs, *seed, *dataDir, *checkpointDir, *checkpointEvery)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	tier := webfountain.NewServingTier(platform, miner, facts)
 	mux := newMux(miner, platform, tier, serve.GatewayConfig{
-		CacheEntries: *cacheEntries,
-		TenantRate:   *tenantRate,
-		TenantBurst:  *tenantBurst,
+		CacheEntries:   *cacheEntries,
+		TenantRate:     *tenantRate,
+		TenantBurst:    *tenantBurst,
+		MaxIngestBytes: *maxIngestBytes,
+		RequestTimeout: *requestTimeout,
 	})
 
 	if *pprofAddr != "" {
@@ -124,13 +145,23 @@ func main() {
 	}
 
 	log.Printf("serving sentiment for %d documents on %s", platform.NumEntities(), *addr)
-	srv := &http.Server{Addr: *addr, Handler: mux}
+	// Real timeouts on every phase of a connection's life, so a
+	// slowloris client trickling headers or never reading its response
+	// cannot pin server resources forever.
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           mux,
+		ReadHeaderTimeout: *readHeaderTimeout,
+		ReadTimeout:       *readTimeout,
+		WriteTimeout:      *writeTimeout,
+		IdleTimeout:       *idleTimeout,
+	}
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
 
 	// Graceful shutdown: stop accepting, drain in-flight requests for a
-	// bounded window, then flush the final metrics so the run's numbers
-	// survive the process.
+	// bounded window, write a final serving checkpoint, then flush the
+	// final metrics so the run's numbers survive the process.
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
 	select {
@@ -144,11 +175,67 @@ func main() {
 			log.Printf("drain incomplete: %v", err)
 			srv.Close()
 		}
+		if err := tier.Close(); err != nil {
+			log.Printf("serving checkpoint: %v", err)
+		}
 		if err := platform.Close(); err != nil {
 			log.Printf("platform close: %v", err)
 		}
 		log.Printf("final metrics:\n%s", metrics.Default().Text())
 	}
+}
+
+// boot assembles the mined platform and the serving tier. Without a
+// data dir the boot is the PR 9 in-memory path: generate, ingest and
+// batch-mine the corpus. With one, the corpus lives in the durable
+// store (seeded only when empty) and the tier recovers from its newest
+// checkpoint, re-mining only the documents past the watermark.
+func boot(corpusName string, docs int, seed int64, dataDir, checkpointDir string, checkpointEvery int) (
+	*webfountain.SentimentMiner, *webfountain.Platform, *webfountain.ServingTier, error) {
+	if dataDir == "" {
+		if checkpointDir != "" {
+			return nil, nil, nil, fmt.Errorf("-checkpoint-dir requires -data-dir: a checkpoint watermark is only meaningful against a durable doc set")
+		}
+		miner, platform, facts, err := mine(corpusName, docs, seed)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		return miner, platform, webfountain.NewServingTier(platform, miner, facts), nil
+	}
+
+	platform, err := webfountain.OpenPlatform(webfountain.PlatformConfig{DataDir: dataDir})
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	if platform.NumEntities() == 0 {
+		pub, err := buildCorpus(corpusName, docs, seed)
+		if err != nil {
+			platform.Close()
+			return nil, nil, nil, err
+		}
+		if _, err := platform.Ingest(pub); err != nil {
+			platform.Close()
+			return nil, nil, nil, err
+		}
+	}
+	miner, err := webfountain.NewSentimentMiner(webfountain.MinerConfig{})
+	if err != nil {
+		platform.Close()
+		return nil, nil, nil, err
+	}
+	start := time.Now()
+	tier, rec, err := webfountain.RecoverServingTier(platform, miner, webfountain.ServingTierConfig{
+		CheckpointDir:   checkpointDir,
+		CheckpointEvery: checkpointEvery,
+	})
+	if err != nil {
+		platform.Close()
+		return nil, nil, nil, err
+	}
+	log.Printf("serving recovery: checkpoint=%v gen=%d quarantined=%d repaired=%d docs in %v",
+		rec.CheckpointLoaded, rec.CheckpointGen, rec.Quarantined, rec.RepairedDocs,
+		time.Since(start).Round(time.Millisecond))
+	return miner, platform, tier, nil
 }
 
 // newMux wires the HTML views over the mined platform and mounts the
@@ -205,10 +292,8 @@ func newMux(miner *webfountain.SentimentMiner, platform *webfountain.Platform,
 	return mux
 }
 
-// mine generates, ingests and mines the corpus, returning the loaded
-// miner, the platform and the extracted facts (which seed the serving
-// tier's materialized aggregates).
-func mine(corpusName string, docs int, seed int64) (*webfountain.SentimentMiner, *webfountain.Platform, []webfountain.SubjectSentiment, error) {
+// buildCorpus generates the named corpus as ingestable documents.
+func buildCorpus(corpusName string, docs int, seed int64) ([]webfountain.Document, error) {
 	var generated []corpus.Document
 	switch corpusName {
 	case "camera":
@@ -222,9 +307,8 @@ func mine(corpusName string, docs int, seed int64) (*webfountain.SentimentMiner,
 	case "news":
 		generated = corpus.PetroleumNews(seed, docs)
 	default:
-		return nil, nil, nil, fmt.Errorf("unknown corpus %q", corpusName)
+		return nil, fmt.Errorf("unknown corpus %q", corpusName)
 	}
-	platform := webfountain.NewPlatform(webfountain.PlatformConfig{})
 	pub := make([]webfountain.Document, len(generated))
 	for i := range generated {
 		pub[i] = webfountain.Document{
@@ -235,6 +319,19 @@ func mine(corpusName string, docs int, seed int64) (*webfountain.SentimentMiner,
 			Date: generated[i].Date,
 		}
 	}
+	return pub, nil
+}
+
+// mine generates, ingests and mines the corpus in memory, returning the
+// loaded miner, the platform and the extracted facts (which seed the
+// serving tier's materialized aggregates) — the boot path when no data
+// directory is configured.
+func mine(corpusName string, docs int, seed int64) (*webfountain.SentimentMiner, *webfountain.Platform, []webfountain.SubjectSentiment, error) {
+	pub, err := buildCorpus(corpusName, docs, seed)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	platform := webfountain.NewPlatform(webfountain.PlatformConfig{})
 	if _, err := platform.Ingest(pub); err != nil {
 		return nil, nil, nil, err
 	}

@@ -120,6 +120,38 @@ func (si *SentimentIndex) Subjects() []string {
 	return out
 }
 
+// All returns every indexed entry in a deterministic total order
+// (subject, then the Query key) — the serving tier's checkpoint writer
+// dumps the index through it, so two indexes holding the same entries
+// always serialize to the same bytes regardless of insertion order.
+func (si *SentimentIndex) All() []SentimentEntry {
+	si.mu.RLock()
+	out := make([]SentimentEntry, 0, 64)
+	for _, es := range si.bySubject {
+		out = append(out, es...)
+	}
+	si.mu.RUnlock()
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Subject != out[j].Subject {
+			return out[i].Subject < out[j].Subject
+		}
+		if out[i].DocID != out[j].DocID {
+			return out[i].DocID < out[j].DocID
+		}
+		if out[i].Sentence != out[j].Sentence {
+			return out[i].Sentence < out[j].Sentence
+		}
+		if out[i].Polarity != out[j].Polarity {
+			return out[i].Polarity > out[j].Polarity
+		}
+		if out[i].Feature != out[j].Feature {
+			return out[i].Feature < out[j].Feature
+		}
+		return out[i].Snippet < out[j].Snippet
+	})
+	return out
+}
+
 // Len returns the total number of indexed entries.
 func (si *SentimentIndex) Len() int {
 	si.mu.RLock()

@@ -1,0 +1,448 @@
+package serve
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// A checkpoint makes the serving tier's materialized state durable: the
+// full subject × feature × polarity × month aggregate table, the
+// query-time sentiment entries behind /api/sentiment, and the set of
+// document IDs whose facts those tables already contain — the
+// high-watermark a restart repairs forward from by re-mining only the
+// documents the durable store holds beyond it.
+//
+// The on-disk format is a versioned binary codec guarded the same way
+// the store's snapshots are: a magic+version header, a varint-encoded
+// body, and a CRC32 (IEEE) trailer over everything before it. Files are
+// published atomically (temp file + fsync + rename + directory fsync)
+// and named by the aggregate generation they capture, so "newest" is
+// well-defined without trusting mtimes. A checkpoint that fails its CRC
+// or decodes inconsistently is quarantined (renamed *.corrupt) and the
+// loader falls back to the next-older generation.
+
+const (
+	// checkpointMagic opens every checkpoint file; the trailing two
+	// bytes are the big-endian codec version.
+	checkpointMagic   = "WFCKPT"
+	checkpointVersion = uint16(1)
+	// checkpointKeep is how many valid generations WriteCheckpoint
+	// retains: the one just written plus one fallback for bit-rot.
+	checkpointKeep = 2
+)
+
+// Checkpoint is the serving tier's durable state.
+type Checkpoint struct {
+	// View is the aggregate snapshot (including its generation).
+	View *View
+	// Entries are the query-time sentiment-index entries, in the
+	// deterministic total order the index dumps them in.
+	Entries []Entry
+	// MinedDocs are the IDs of every document whose facts are folded
+	// into View and Entries — the recovery watermark. Sorted.
+	MinedDocs []string
+	// PendingAnnotate are IDs whose facts are folded in but whose
+	// entity annotations were refused (degraded store) — an annotation
+	// debt recovery settles once the store is writable again. Sorted.
+	PendingAnnotate []string
+}
+
+// encode serializes the checkpoint: header, body, CRC trailer.
+func (ck *Checkpoint) encode() []byte {
+	var b bytes.Buffer
+	b.WriteString(checkpointMagic)
+	var ver [2]byte
+	binary.BigEndian.PutUint16(ver[:], checkpointVersion)
+	b.Write(ver[:])
+	encodeViewBody(&b, ck.View, true)
+	putUvarint(&b, uint64(len(ck.Entries)))
+	for _, e := range ck.Entries {
+		putString(&b, e.Subject)
+		putString(&b, e.Polarity)
+		putString(&b, e.Doc)
+		putUvarint(&b, uint64(e.Sentence))
+		putString(&b, e.Snippet)
+		putString(&b, e.Feature)
+	}
+	putStrings(&b, ck.MinedDocs)
+	putStrings(&b, ck.PendingAnnotate)
+	var crc [4]byte
+	binary.LittleEndian.PutUint32(crc[:], crc32.ChecksumIEEE(b.Bytes()))
+	b.Write(crc[:])
+	return b.Bytes()
+}
+
+// decodeCheckpoint parses and CRC-verifies one checkpoint file's bytes.
+func decodeCheckpoint(data []byte) (*Checkpoint, error) {
+	if len(data) < len(checkpointMagic)+2+4 {
+		return nil, fmt.Errorf("serve: checkpoint truncated (%d bytes)", len(data))
+	}
+	body, trailer := data[:len(data)-4], data[len(data)-4:]
+	if got, want := crc32.ChecksumIEEE(body), binary.LittleEndian.Uint32(trailer); got != want {
+		return nil, fmt.Errorf("serve: checkpoint CRC mismatch: %08x != %08x", got, want)
+	}
+	if string(body[:len(checkpointMagic)]) != checkpointMagic {
+		return nil, fmt.Errorf("serve: bad checkpoint magic")
+	}
+	if v := binary.BigEndian.Uint16(body[len(checkpointMagic):]); v != checkpointVersion {
+		return nil, fmt.Errorf("serve: unsupported checkpoint version %d", v)
+	}
+	d := &decoder{buf: body[len(checkpointMagic)+2:]}
+	ck := &Checkpoint{}
+	ck.View = decodeViewBody(d)
+	n := d.uvarint()
+	if max := uint64(len(d.buf)); n > max { // each entry is ≥ 6 bytes
+		d.fail("entry count %d exceeds remaining bytes", n)
+	}
+	if d.err == nil {
+		ck.Entries = make([]Entry, 0, n)
+		for i := uint64(0); i < n && d.err == nil; i++ {
+			ck.Entries = append(ck.Entries, Entry{
+				Subject:  d.string(),
+				Polarity: d.string(),
+				Doc:      d.string(),
+				Sentence: int(d.uvarint()),
+				Snippet:  d.string(),
+				Feature:  d.string(),
+			})
+		}
+	}
+	ck.MinedDocs = d.strings()
+	ck.PendingAnnotate = d.strings()
+	if d.err != nil {
+		return nil, d.err
+	}
+	if len(d.buf) != 0 {
+		return nil, fmt.Errorf("serve: checkpoint has %d trailing bytes", len(d.buf))
+	}
+	return ck, nil
+}
+
+// encodeViewBody writes the aggregate table in a deterministic order
+// (sorted subjects, months and aspects). withGen=false is the
+// fingerprint form: two views holding the same cells hash identically
+// no matter how many batches built them.
+func encodeViewBody(b *bytes.Buffer, v *View, withGen bool) {
+	if withGen {
+		putUvarint(b, v.gen)
+	}
+	putUvarint(b, uint64(v.facts))
+	putCounts(b, v.totals)
+	putUvarint(b, uint64(len(v.names)))
+	for _, name := range v.names {
+		s := v.subjects[name]
+		putString(b, name)
+		putCounts(b, s.total)
+		months := sortedKeys(s.months)
+		putUvarint(b, uint64(len(months)))
+		for _, m := range months {
+			putString(b, m)
+			putCounts(b, s.months[m])
+		}
+		aspects := sortedKeys(s.aspects)
+		putUvarint(b, uint64(len(aspects)))
+		for _, a := range aspects {
+			putString(b, a)
+			putCounts(b, s.aspects[a])
+		}
+	}
+}
+
+// decodeViewBody is encodeViewBody's inverse (always with generation).
+func decodeViewBody(d *decoder) *View {
+	v := &View{
+		gen:      d.uvarint(),
+		facts:    int(d.uvarint()),
+		totals:   d.counts(),
+		subjects: map[string]*subjectAgg{},
+	}
+	n := d.uvarint()
+	for i := uint64(0); i < n && d.err == nil; i++ {
+		name := d.string()
+		s := &subjectAgg{
+			total:   d.counts(),
+			months:  map[string]Counts{},
+			aspects: map[string]Counts{},
+		}
+		for j, m := uint64(0), d.uvarint(); j < m && d.err == nil; j++ {
+			key := d.string()
+			s.months[key] = d.counts()
+		}
+		for j, m := uint64(0), d.uvarint(); j < m && d.err == nil; j++ {
+			key := d.string()
+			s.aspects[key] = d.counts()
+		}
+		v.subjects[name] = s
+		v.names = append(v.names, name)
+	}
+	return v
+}
+
+// Fingerprint returns a deterministic digest of the aggregate table —
+// every subject's totals, months and aspects plus the corpus totals,
+// excluding the generation counter. Two views that answer every query
+// identically fingerprint identically, which is what the chaos suite
+// compares between a recovered tier and an offline full re-mine.
+func (v *View) Fingerprint() string {
+	var b bytes.Buffer
+	encodeViewBody(&b, v, false)
+	sum := sha256.Sum256(b.Bytes())
+	return hex.EncodeToString(sum[:])
+}
+
+// NewAggregatesFrom returns an aggregate store whose first snapshot is
+// the given restored view — the checkpoint-recovery constructor.
+func NewAggregatesFrom(v *View) *Aggregates {
+	a := &Aggregates{}
+	a.view.Store(v)
+	return a
+}
+
+// checkpointName returns the file name for a generation.
+func checkpointName(gen uint64) string {
+	return fmt.Sprintf("checkpoint-%016x.ck", gen)
+}
+
+// checkpointGen parses a generation back out of a checkpoint file name.
+func checkpointGen(name string) (uint64, bool) {
+	if !strings.HasPrefix(name, "checkpoint-") || !strings.HasSuffix(name, ".ck") {
+		return 0, false
+	}
+	gen, err := strconv.ParseUint(strings.TrimSuffix(strings.TrimPrefix(name, "checkpoint-"), ".ck"), 16, 64)
+	return gen, err == nil
+}
+
+// WriteCheckpoint atomically publishes a checkpoint into dir and prunes
+// old generations (keeping checkpointKeep valid files). wrap, when
+// non-nil, wraps the temp file handle — the deterministic disk-fault
+// injector's hook in crash tests. The write path mirrors the store's
+// compaction: write temp, fsync file, rename into place, fsync the
+// directory, so a crash at any instant leaves either the old set of
+// checkpoints or the old set plus one complete new file — never a torn
+// one under the real name.
+func WriteCheckpoint(dir string, ck *Checkpoint, wrap func(io.WriteCloser) io.WriteCloser) (string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", fmt.Errorf("serve: checkpoint dir: %w", err)
+	}
+	data := ck.encode()
+	f, err := os.CreateTemp(dir, "checkpoint-*.tmp")
+	if err != nil {
+		return "", fmt.Errorf("serve: checkpoint temp: %w", err)
+	}
+	tmpPath := f.Name()
+	var w io.WriteCloser = f
+	if wrap != nil {
+		w = wrap(f)
+	}
+	if _, err := w.Write(data); err != nil {
+		w.Close()
+		os.Remove(tmpPath)
+		return "", fmt.Errorf("serve: checkpoint write: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		w.Close()
+		os.Remove(tmpPath)
+		return "", fmt.Errorf("serve: checkpoint sync: %w", err)
+	}
+	if err := w.Close(); err != nil {
+		os.Remove(tmpPath)
+		return "", fmt.Errorf("serve: checkpoint close: %w", err)
+	}
+	final := filepath.Join(dir, checkpointName(ck.View.Generation()))
+	if err := os.Rename(tmpPath, final); err != nil {
+		os.Remove(tmpPath)
+		return "", fmt.Errorf("serve: checkpoint rename: %w", err)
+	}
+	if err := syncDir(dir); err != nil {
+		return "", fmt.Errorf("serve: checkpoint dir sync: %w", err)
+	}
+	pruneCheckpoints(dir, ck.View.Generation())
+	return final, nil
+}
+
+// pruneCheckpoints removes checkpoint files older than the
+// checkpointKeep newest, never touching generations above the one just
+// written. Best-effort: pruning failures don't fail the write.
+func pruneCheckpoints(dir string, written uint64) {
+	gens := listCheckpointGens(dir)
+	keep := 0
+	for _, gen := range gens { // gens is newest-first
+		if gen > written {
+			continue
+		}
+		keep++
+		if keep > checkpointKeep {
+			os.Remove(filepath.Join(dir, checkpointName(gen)))
+		}
+	}
+}
+
+// listCheckpointGens returns the generations present in dir, newest
+// first.
+func listCheckpointGens(dir string) []uint64 {
+	des, err := os.ReadDir(dir)
+	if err != nil {
+		return nil
+	}
+	var gens []uint64
+	for _, de := range des {
+		if gen, ok := checkpointGen(de.Name()); ok {
+			gens = append(gens, gen)
+		}
+	}
+	sort.Slice(gens, func(i, j int) bool { return gens[i] > gens[j] })
+	return gens
+}
+
+// LoadCheckpoint returns the newest valid checkpoint in dir (nil when
+// the directory holds none), quarantining every newer file that fails
+// verification by renaming it *.corrupt, and reports how many files it
+// quarantined. Stray temp files from a crash mid-write are removed —
+// they were never published, so they carry no authority.
+func LoadCheckpoint(dir string) (*Checkpoint, int, error) {
+	des, err := os.ReadDir(dir)
+	if os.IsNotExist(err) {
+		return nil, 0, nil
+	}
+	if err != nil {
+		return nil, 0, fmt.Errorf("serve: checkpoint dir: %w", err)
+	}
+	for _, de := range des {
+		if strings.HasSuffix(de.Name(), ".tmp") {
+			os.Remove(filepath.Join(dir, de.Name()))
+		}
+	}
+	quarantined := 0
+	for _, gen := range listCheckpointGens(dir) {
+		path := filepath.Join(dir, checkpointName(gen))
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil, quarantined, fmt.Errorf("serve: read checkpoint: %w", err)
+		}
+		ck, err := decodeCheckpoint(data)
+		if err != nil {
+			// Bit rot or a torn write that somehow reached the real
+			// name: quarantine for post-mortem and fall back.
+			os.Rename(path, path+".corrupt")
+			quarantined++
+			continue
+		}
+		return ck, quarantined, nil
+	}
+	return nil, quarantined, nil
+}
+
+// syncDir fsyncs a directory so a rename into it is durable — the same
+// ordering discipline as the store's compaction.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}
+
+// --- varint codec helpers ---
+
+func putUvarint(b *bytes.Buffer, v uint64) {
+	var scratch [binary.MaxVarintLen64]byte
+	b.Write(scratch[:binary.PutUvarint(scratch[:], v)])
+}
+
+func putString(b *bytes.Buffer, s string) {
+	putUvarint(b, uint64(len(s)))
+	b.WriteString(s)
+}
+
+func putStrings(b *bytes.Buffer, ss []string) {
+	putUvarint(b, uint64(len(ss)))
+	for _, s := range ss {
+		putString(b, s)
+	}
+}
+
+func putCounts(b *bytes.Buffer, c Counts) {
+	putUvarint(b, uint64(c.Positive))
+	putUvarint(b, uint64(c.Negative))
+}
+
+func sortedKeys(m map[string]Counts) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// decoder is a bounds-checked reader over the checkpoint body; the
+// first malformed field latches err and every later read returns zero
+// values, so decode call sites stay linear.
+type decoder struct {
+	buf []byte
+	err error
+}
+
+func (d *decoder) fail(format string, args ...any) {
+	if d.err == nil {
+		d.err = fmt.Errorf("serve: checkpoint decode: "+format, args...)
+	}
+}
+
+func (d *decoder) uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.buf)
+	if n <= 0 {
+		d.fail("bad uvarint")
+		return 0
+	}
+	d.buf = d.buf[n:]
+	return v
+}
+
+func (d *decoder) string() string {
+	n := d.uvarint()
+	if d.err != nil {
+		return ""
+	}
+	if n > uint64(len(d.buf)) {
+		d.fail("string length %d exceeds remaining %d bytes", n, len(d.buf))
+		return ""
+	}
+	s := string(d.buf[:n])
+	d.buf = d.buf[n:]
+	return s
+}
+
+func (d *decoder) strings() []string {
+	n := d.uvarint()
+	if d.err != nil {
+		return nil
+	}
+	if n > uint64(len(d.buf)) {
+		d.fail("string count %d exceeds remaining bytes", n)
+		return nil
+	}
+	out := make([]string, 0, n)
+	for i := uint64(0); i < n && d.err == nil; i++ {
+		out = append(out, d.string())
+	}
+	return out
+}
+
+func (d *decoder) counts() Counts {
+	return Counts{Positive: int(d.uvarint()), Negative: int(d.uvarint())}
+}

@@ -1,9 +1,12 @@
 package serve
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 	"time"
 
 	"webfountain/internal/metrics"
@@ -14,6 +17,8 @@ var (
 	gwRequests  = metrics.Default().Counter("serve.gateway.requests")
 	gwRequestNs = metrics.Default().Histogram("serve.gateway.request.ns")
 	gwIngested  = metrics.Default().Counter("serve.gateway.ingest.docs")
+	gwPanics    = metrics.Default().Counter("serve.gateway.panics")
+	gwStale     = metrics.Default().Counter("serve.gateway.stale")
 )
 
 // Entry is one sentiment-bearing mention as served by the gateway.
@@ -41,12 +46,17 @@ type Doc struct {
 type Backend interface {
 	// View returns the current aggregate snapshot.
 	View() *View
-	// Entries returns a subject's sentiment-bearing mentions.
-	Entries(subject string) []Entry
+	// Entries returns a subject's sentiment-bearing mentions. The
+	// context carries the request deadline; a backend may return a
+	// partial (or empty) answer once it expires.
+	Entries(ctx context.Context, subject string) []Entry
 	// Ingest stores, indexes and mines new documents online, folds the
 	// extracted facts into the aggregates and bumps the generation. It
-	// returns the assigned IDs and the number of facts mined.
-	Ingest(docs []Doc) (ids []string, facts int, err error)
+	// returns the assigned IDs and the number of facts mined. The
+	// context carries the request deadline: a batch whose deadline
+	// expires mid-mine keeps its durably-acked prefix and reports
+	// context.DeadlineExceeded for the rest.
+	Ingest(ctx context.Context, docs []Doc) (ids []string, facts int, err error)
 	// Degraded reports the store's degraded read-only mode.
 	Degraded() (bool, string)
 	// NumDocs returns the number of stored documents.
@@ -66,6 +76,15 @@ type GatewayConfig struct {
 	MaxTenants int
 	// Clock overrides the limiter clock, for tests.
 	Clock func() time.Time
+	// RequestTimeout bounds every request's handling time; the deadline
+	// propagates into backend calls via the request context (default 0:
+	// no gateway-imposed deadline). A client may tighten — never
+	// loosen — it per request with an x-deadline-ms header.
+	RequestTimeout time.Duration
+	// MaxIngestBytes bounds the POST /api/ingest request body; an
+	// oversized body is refused with 413 (default 8 MiB; negative
+	// disables the bound).
+	MaxIngestBytes int64
 }
 
 // Gateway is the HTTP/JSON query API of the live serving tier:
@@ -84,10 +103,12 @@ type GatewayConfig struct {
 // (the x-tenant header names the tenant, "" is the default bucket) and
 // is answered 429 when the bucket is empty.
 type Gateway struct {
-	backend Backend
-	cache   *Cache
-	limit   *Limiter
-	mux     *http.ServeMux
+	backend   Backend
+	cache     *Cache
+	limit     *Limiter
+	mux       *http.ServeMux
+	timeout   time.Duration
+	maxIngest int64
 }
 
 // NewGateway builds a gateway over a backend.
@@ -96,6 +117,10 @@ func NewGateway(b Backend, cfg GatewayConfig) *Gateway {
 	if entries == 0 {
 		entries = 256
 	}
+	maxIngest := cfg.MaxIngestBytes
+	if maxIngest == 0 {
+		maxIngest = 8 << 20
+	}
 	g := &Gateway{
 		backend: b,
 		cache:   NewCache(entries),
@@ -103,7 +128,9 @@ func NewGateway(b Backend, cfg GatewayConfig) *Gateway {
 			Rate: cfg.TenantRate, Burst: cfg.TenantBurst,
 			MaxTenants: cfg.MaxTenants, Now: cfg.Clock,
 		}),
-		mux: http.NewServeMux(),
+		mux:       http.NewServeMux(),
+		timeout:   cfg.RequestTimeout,
+		maxIngest: maxIngest,
 	}
 	g.mux.HandleFunc("/api/subjects", g.limited(g.cached(g.handleSubjects)))
 	g.mux.HandleFunc("/api/sentiment", g.limited(g.cached(g.handleSentiment)))
@@ -118,12 +145,44 @@ func NewGateway(b Backend, cfg GatewayConfig) *Gateway {
 // Cache exposes the result cache (for stats and tests).
 func (g *Gateway) Cache() *Cache { return g.cache }
 
-// ServeHTTP implements http.Handler.
+// ServeHTTP implements http.Handler. It is the gateway's failure
+// envelope: a handler panic is recovered into a 500 (counted in
+// serve.gateway.panics) so one poisoned request cannot take the server
+// down, and the per-request deadline — the tighter of RequestTimeout
+// and the client's x-deadline-ms header — is installed on the request
+// context here so every backend call downstream observes it.
 func (g *Gateway) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	gwRequests.Inc()
 	span := gwRequestNs.Start()
 	defer span.End()
+	defer func() {
+		if p := recover(); p != nil {
+			gwPanics.Inc()
+			jsonError(w, http.StatusInternalServerError,
+				fmt.Sprintf("internal error: %v", p))
+		}
+	}()
+	if d := g.deadlineFor(r); d > 0 {
+		ctx, cancel := context.WithTimeout(r.Context(), d)
+		defer cancel()
+		r = r.WithContext(ctx)
+	}
 	g.mux.ServeHTTP(w, r)
+}
+
+// deadlineFor resolves a request's handling budget: the configured
+// RequestTimeout, tightened (never loosened) by an x-deadline-ms
+// header. Zero means no deadline.
+func (g *Gateway) deadlineFor(r *http.Request) time.Duration {
+	d := g.timeout
+	if h := r.Header.Get("x-deadline-ms"); h != "" {
+		if ms, err := strconv.ParseInt(h, 10, 64); err == nil && ms > 0 {
+			if hd := time.Duration(ms) * time.Millisecond; d == 0 || hd < d {
+				d = hd
+			}
+		}
+	}
+	return d
 }
 
 // jsonError writes a JSON error body with the given status.
@@ -157,6 +216,14 @@ type renderFunc func(v *View, r *http.Request) (body any, status int, errMsg str
 func (g *Gateway) cached(render renderFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		v := g.backend.View()
+		// Serve-stale: a degraded (read-only) store stops ingest, not
+		// reads — the last-good aggregate snapshot keeps answering, and
+		// the X-Stale header tells the client why the data has stopped
+		// moving instead of the read erroring out.
+		if deg, _ := g.backend.Degraded(); deg {
+			w.Header().Set("X-Stale", "store-degraded")
+			gwStale.Inc()
+		}
 		key := r.URL.Path + "?" + r.URL.RawQuery
 		if body, ok := g.cache.Get(key, v.Generation()); ok {
 			w.Header().Set("Content-Type", "application/json")
@@ -218,7 +285,7 @@ func (g *Gateway) handleSentiment(_ *View, r *http.Request) (any, int, string) {
 	if errMsg != "" {
 		return nil, http.StatusBadRequest, errMsg
 	}
-	entries := g.backend.Entries(n)
+	entries := g.backend.Entries(r.Context(), n)
 	if entries == nil {
 		entries = []Entry{}
 	}
@@ -279,10 +346,19 @@ func (g *Gateway) handleIngest(w http.ResponseWriter, r *http.Request) {
 			fmt.Sprintf("store degraded (read-only): %s", reason))
 		return
 	}
+	if g.maxIngest > 0 {
+		r.Body = http.MaxBytesReader(w, r.Body, g.maxIngest)
+	}
 	var req struct {
 		Docs []Doc `json:"docs"`
 	}
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			jsonError(w, http.StatusRequestEntityTooLarge,
+				fmt.Sprintf("request body exceeds %d bytes", tooBig.Limit))
+			return
+		}
 		jsonError(w, http.StatusBadRequest, "bad request body: "+err.Error())
 		return
 	}
@@ -290,8 +366,20 @@ func (g *Gateway) handleIngest(w http.ResponseWriter, r *http.Request) {
 		jsonError(w, http.StatusBadRequest, "no documents")
 		return
 	}
-	ids, facts, err := g.backend.Ingest(req.Docs)
+	ids, facts, err := g.backend.Ingest(r.Context(), req.Docs)
 	if err != nil {
+		// A deadline that expired mid-batch is not a server fault: the
+		// acked prefix is durable and will be mined; tell the client
+		// which documents made it.
+		if errors.Is(err, context.DeadlineExceeded) {
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusGatewayTimeout)
+			json.NewEncoder(w).Encode(struct {
+				Error string   `json:"error"`
+				IDs   []string `json:"ids"`
+			}{err.Error(), ids})
+			return
+		}
 		jsonError(w, http.StatusInternalServerError, err.Error())
 		return
 	}

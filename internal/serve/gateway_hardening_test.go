@@ -1,0 +1,184 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+// panicBackend panics on View — the poisoned-request shape the
+// gateway's failure envelope must contain.
+type panicBackend struct {
+	*fakeBackend
+	armed bool
+}
+
+func (b *panicBackend) View() *View {
+	if b.armed {
+		panic("poisoned snapshot")
+	}
+	return b.fakeBackend.View()
+}
+
+// TestGatewayPanicRecovery: a handler panic becomes a 500 JSON error
+// and the server keeps answering afterwards.
+func TestGatewayPanicRecovery(t *testing.T) {
+	b := &panicBackend{fakeBackend: newFakeBackend(), armed: true}
+	srv := testGateway(t, b, GatewayConfig{})
+
+	resp, body := get(t, srv.URL+"/api/subjects")
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("panicked request: status %d, want 500", resp.StatusCode)
+	}
+	var e map[string]string
+	if err := json.Unmarshal([]byte(body), &e); err != nil || !strings.Contains(e["error"], "internal error") {
+		t.Fatalf("panicked request body %q, want a JSON internal error", body)
+	}
+
+	b.armed = false
+	resp, _ = get(t, srv.URL+"/api/subjects")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("request after recovered panic: status %d, want 200", resp.StatusCode)
+	}
+}
+
+// TestGatewayServeStaleHeader: a degraded store keeps answering reads
+// from the last-good snapshot, flagged X-Stale so clients know the data
+// stopped moving. Healthy reads carry no flag.
+func TestGatewayServeStaleHeader(t *testing.T) {
+	b := newFakeBackend()
+	srv := testGateway(t, b, GatewayConfig{})
+
+	resp, healthy := get(t, srv.URL+"/api/subjects")
+	if h := resp.Header.Get("X-Stale"); h != "" {
+		t.Fatalf("healthy read carries X-Stale %q", h)
+	}
+
+	b.degraded, b.reason = true, "disk failure"
+	resp, stale := get(t, srv.URL+"/api/subjects")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("degraded read: status %d, want 200 (serve stale, not error)", resp.StatusCode)
+	}
+	if h := resp.Header.Get("X-Stale"); h != "store-degraded" {
+		t.Fatalf("degraded read X-Stale %q, want store-degraded", h)
+	}
+	if stale != healthy {
+		t.Error("degraded read did not serve the last-good snapshot")
+	}
+}
+
+// TestGatewayIngestBodyLimit: an oversized ingest body is refused with
+// 413 before the backend sees it.
+func TestGatewayIngestBodyLimit(t *testing.T) {
+	b := newFakeBackend()
+	srv := testGateway(t, b, GatewayConfig{MaxIngestBytes: 128})
+
+	small := `{"docs":[{"title":"ok","text":"hi"}]}`
+	resp, err := http.Post(srv.URL+"/api/ingest", "application/json", strings.NewReader(small))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("small body: status %d, want 200", resp.StatusCode)
+	}
+
+	big := fmt.Sprintf(`{"docs":[{"title":"big","text":%q}]}`, strings.Repeat("x", 4096))
+	resp, err = http.Post(srv.URL+"/api/ingest", "application/json", strings.NewReader(big))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized body: status %d, want 413", resp.StatusCode)
+	}
+	if b.ingests != 1 {
+		t.Errorf("backend saw %d ingests, want 1 (the oversized body must not reach it)", b.ingests)
+	}
+}
+
+// deadlineBackend blocks Ingest until the request deadline fires, then
+// reports a durably-acked prefix with a DeadlineExceeded error — the
+// ServingTier mid-batch-expiry shape.
+type deadlineBackend struct {
+	*fakeBackend
+	sawDeadline bool
+}
+
+func (b *deadlineBackend) Ingest(ctx context.Context, docs []Doc) ([]string, int, error) {
+	if _, ok := ctx.Deadline(); ok {
+		b.sawDeadline = true
+	}
+	<-ctx.Done()
+	return []string{"acked-1"}, 0, fmt.Errorf("mine deferred: %w", ctx.Err())
+}
+
+// TestGatewayDeadlinePropagatesToIngest: RequestTimeout installs a
+// deadline on the backend context; an expiry mid-batch is answered 504
+// with the acked prefix in the body, not a dropped connection.
+func TestGatewayDeadlinePropagatesToIngest(t *testing.T) {
+	b := &deadlineBackend{fakeBackend: newFakeBackend()}
+	srv := testGateway(t, b, GatewayConfig{RequestTimeout: 50 * time.Millisecond})
+
+	resp, err := http.Post(srv.URL+"/api/ingest", "application/json",
+		strings.NewReader(`{"docs":[{"title":"slow","text":"hi"}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("status %d, want 504", resp.StatusCode)
+	}
+	if !b.sawDeadline {
+		t.Error("backend context carried no deadline")
+	}
+	var out struct {
+		Error string   `json:"error"`
+		IDs   []string `json:"ids"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.IDs) != 1 || out.IDs[0] != "acked-1" {
+		t.Errorf("504 body ids %v, want the durably-acked prefix [acked-1]", out.IDs)
+	}
+	if out.Error == "" {
+		t.Error("504 body carries no error description")
+	}
+}
+
+// TestGatewayDeadlineHeaderTightensOnly: x-deadline-ms can shorten the
+// configured budget but never extend it.
+func TestGatewayDeadlineHeaderTightensOnly(t *testing.T) {
+	g := NewGateway(newFakeBackend(), GatewayConfig{RequestTimeout: time.Second})
+	req, _ := http.NewRequest("GET", "/api/subjects", nil)
+	if d := g.deadlineFor(req); d != time.Second {
+		t.Errorf("no header: %v, want 1s", d)
+	}
+	req.Header.Set("x-deadline-ms", "100")
+	if d := g.deadlineFor(req); d != 100*time.Millisecond {
+		t.Errorf("tightening header: %v, want 100ms", d)
+	}
+	req.Header.Set("x-deadline-ms", "5000")
+	if d := g.deadlineFor(req); d != time.Second {
+		t.Errorf("loosening header: %v, want the configured 1s", d)
+	}
+	req.Header.Set("x-deadline-ms", "garbage")
+	if d := g.deadlineFor(req); d != time.Second {
+		t.Errorf("malformed header: %v, want the configured 1s", d)
+	}
+
+	unbounded := NewGateway(newFakeBackend(), GatewayConfig{})
+	req, _ = http.NewRequest("GET", "/api/subjects", nil)
+	if d := unbounded.deadlineFor(req); d != 0 {
+		t.Errorf("no config, no header: %v, want 0", d)
+	}
+	req.Header.Set("x-deadline-ms", "100")
+	if d := unbounded.deadlineFor(req); d != 100*time.Millisecond {
+		t.Errorf("header only: %v, want 100ms", d)
+	}
+}

@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -43,12 +44,15 @@ func (b *fakeBackend) seed(subject, feature, date string, pos bool) {
 	})
 }
 
-func (b *fakeBackend) View() *View                   { return b.agg.View() }
-func (b *fakeBackend) Entries(subject string) []Entry { return b.entries[strings.ToLower(subject)] }
-func (b *fakeBackend) Degraded() (bool, string)      { return b.degraded, b.reason }
-func (b *fakeBackend) NumDocs() int                  { return b.docs }
+func (b *fakeBackend) View() *View              { return b.agg.View() }
+func (b *fakeBackend) Degraded() (bool, string) { return b.degraded, b.reason }
+func (b *fakeBackend) NumDocs() int             { return b.docs }
 
-func (b *fakeBackend) Ingest(docs []Doc) ([]string, int, error) {
+func (b *fakeBackend) Entries(_ context.Context, subject string) []Entry {
+	return b.entries[strings.ToLower(subject)]
+}
+
+func (b *fakeBackend) Ingest(_ context.Context, docs []Doc) ([]string, int, error) {
 	b.ingests++
 	var facts []Fact
 	ids := make([]string, len(docs))

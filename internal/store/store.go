@@ -261,6 +261,26 @@ func (s *Store) Get(id string) (*Entity, bool) {
 	return e.Clone(), true
 }
 
+// View runs fn on the live stored entity under its shard's read lock,
+// skipping the defensive clone Get makes — the read path for scans
+// that visit many entities and only look (the serving tier's startup
+// repair walks the whole corpus through it). fn must not mutate the
+// entity or retain it (or its slices) past the call; retaining plain
+// string fields is fine, strings are immutable. fn must not call back
+// into the store — the shard lock is held. Returns false when the ID
+// is absent.
+func (s *Store) View(id string, fn func(*Entity)) bool {
+	sh := s.shardFor(id)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	e, ok := sh.entities[id]
+	if !ok {
+		return false
+	}
+	fn(e)
+	return true
+}
+
 // Delete removes an entity; deleting a missing ID is a no-op. On a
 // durable store the delete is write-ahead-logged first; the error is
 // non-nil only when the log cannot be appended (degraded mode).

@@ -465,6 +465,12 @@ func (m *SentimentMiner) MineDocument(docID, text string) []SubjectSentiment {
 	return facts
 }
 
+// restoreSentiment re-adds one previously-mined entry to the query-time
+// sentiment index without re-running the pipeline — the serving tier's
+// checkpoint-restore path, where the entries come from a verified
+// checkpoint instead of the analyzer.
+func (m *SentimentMiner) restoreSentiment(e index.SentimentEntry) { m.sidx.Add(e) }
+
 // Query serves a query-time sentiment lookup from the index built by Run.
 func (m *SentimentMiner) Query(subject string) []SubjectSentiment {
 	entries := m.sidx.Query(subject)

@@ -1,10 +1,16 @@
 package webfountain
 
 import (
+	"context"
+	"errors"
 	"fmt"
+	"io"
 	"net/http"
+	"sort"
 	"sync"
 
+	"webfountain/internal/index"
+	"webfountain/internal/metrics"
 	"webfountain/internal/serve"
 	"webfountain/internal/store"
 )
@@ -24,11 +30,48 @@ type (
 	ServingGatewayConfig = serve.GatewayConfig
 )
 
+var (
+	servingCheckpoints    = metrics.Default().Counter("serving.checkpoints")
+	servingCheckpointErrs = metrics.Default().Counter("serving.checkpoint.errors")
+	servingRepairedDocs   = metrics.Default().Counter("serving.recovery.repaired.docs")
+)
+
 // NewServingGateway mounts the tier's HTTP/JSON API (the /api/*
 // endpoints and /healthz of cmd/wfserver) on any mux: result caching,
 // per-tenant rate limits and degraded-mode semantics included.
 func NewServingGateway(t *ServingTier, cfg ServingGatewayConfig) http.Handler {
 	return serve.NewGateway(t, cfg)
+}
+
+// ServingTierConfig tunes the tier's durability. The zero value
+// disables checkpointing entirely (the PR 9 memory-only behavior).
+type ServingTierConfig struct {
+	// CheckpointDir, when non-empty, is where the tier persists its
+	// aggregate checkpoints — see RecoverServingTier for how they are
+	// used at startup.
+	CheckpointDir string
+	// CheckpointEvery writes a checkpoint every N ingest batches
+	// (0: only on Close or an explicit Checkpoint call).
+	CheckpointEvery int
+	// WrapCheckpoint, when set, wraps the checkpoint temp-file handle —
+	// the deterministic disk-fault injector's hook in crash tests.
+	WrapCheckpoint func(io.WriteCloser) io.WriteCloser
+}
+
+// ServingRecovery describes what RecoverServingTier found and did.
+type ServingRecovery struct {
+	// CheckpointLoaded reports whether a valid checkpoint was restored
+	// (false means a cold start: every document was re-mined).
+	CheckpointLoaded bool
+	// CheckpointGen is the restored checkpoint's aggregate generation.
+	CheckpointGen uint64
+	// Quarantined counts checkpoint files that failed verification and
+	// were renamed *.corrupt before an older valid one was found.
+	Quarantined int
+	// RepairedDocs counts the documents mined forward from the
+	// watermark — the store held them durably but the checkpoint's
+	// aggregates did not include them yet.
+	RepairedDocs int
 }
 
 // ServingTier is the live serving tier over a mined platform: it keeps
@@ -44,20 +87,241 @@ func NewServingGateway(t *ServingTier, cfg ServingGatewayConfig) http.Handler {
 // staler than that batch. Queries concurrent with an in-flight batch
 // may see the previous snapshot — a staleness bound of exactly one
 // batch.
+//
+// Durability contract: with a CheckpointDir configured, the tier
+// persists CRC-guarded checkpoints of the aggregate table, the
+// query-time sentiment entries and the mined-document watermark.
+// RecoverServingTier restores the newest valid checkpoint and re-mines
+// only the documents the durable store holds past the watermark, so a
+// crash between a durable Platform.Ingest ack and the aggregate
+// publish loses nothing: the missing documents are exactly the ones
+// past the watermark, and repair folds them in before the tier serves.
 type ServingTier struct {
-	mu  sync.Mutex // serializes ingest batches
+	mu  sync.Mutex // serializes ingest batches, repair and checkpoints
 	p   *Platform
 	m   *SentimentMiner
 	agg *serve.Aggregates
+	cfg ServingTierConfig
+
+	// mined holds the IDs of every document whose facts are folded
+	// into the aggregates and the sentiment index — the recovery
+	// watermark a checkpoint persists.
+	mined map[string]struct{}
+	// pendingMine holds stored (durably acked) documents not yet
+	// mined: the suffix of a batch whose request deadline expired
+	// mid-mine. The next batch drains it; recovery repairs it.
+	pendingMine []string
+	// pendingAnn holds mined documents whose entity annotation was
+	// refused (degraded store) — an annotation debt settled by
+	// recovery once the store accepts writes again.
+	pendingAnn map[string]struct{}
+	// batches counts ingest batches since the last checkpoint.
+	batches int
+}
+
+func newServingTier(p *Platform, m *SentimentMiner, cfg ServingTierConfig) *ServingTier {
+	return &ServingTier{
+		p: p, m: m, agg: serve.NewAggregates(), cfg: cfg,
+		mined:      map[string]struct{}{},
+		pendingAnn: map[string]struct{}{},
+	}
 }
 
 // NewServingTier builds the tier over a platform and a miner that has
 // already run (facts are Run's output, seeding the aggregates so the
 // first query is served from the materialized view, not a corpus scan).
+// The tier does not checkpoint; use RecoverServingTier for a tier that
+// survives restarts.
 func NewServingTier(p *Platform, m *SentimentMiner, facts []SubjectSentiment) *ServingTier {
-	t := &ServingTier{p: p, m: m, agg: serve.NewAggregates()}
+	t := newServingTier(p, m, ServingTierConfig{})
 	t.agg.Apply(t.toFacts(facts))
+	for _, id := range p.internalStore().IDs() {
+		t.mined[id] = struct{}{}
+	}
 	return t
+}
+
+// RecoverServingTier builds the tier from its durable state: it loads
+// the newest valid checkpoint in cfg.CheckpointDir (quarantining
+// corrupt ones), restores the aggregate table, the sentiment index and
+// the mined-document watermark from it, and then repairs forward by
+// mining every document the store holds past the watermark — the
+// store's durable doc set is ground truth. Without a usable checkpoint
+// the same repair pass simply covers the whole corpus. Repair
+// annotates only documents that carry no sentiment annotations yet, so
+// a crash after the annotate but before the checkpoint does not
+// double-annotate on the next boot. A fresh checkpoint is written when
+// recovery completes, so the next restart starts from here.
+func RecoverServingTier(p *Platform, m *SentimentMiner, cfg ServingTierConfig) (*ServingTier, ServingRecovery, error) {
+	t := newServingTier(p, m, cfg)
+	var rec ServingRecovery
+	if cfg.CheckpointDir != "" {
+		ck, quarantined, err := serve.LoadCheckpoint(cfg.CheckpointDir)
+		rec.Quarantined = quarantined
+		if err != nil {
+			return nil, rec, err
+		}
+		if ck != nil {
+			rec.CheckpointLoaded = true
+			rec.CheckpointGen = ck.View.Generation()
+			t.agg = serve.NewAggregatesFrom(ck.View)
+			for _, e := range ck.Entries {
+				m.restoreSentiment(index.SentimentEntry{
+					DocID:    e.Doc,
+					Sentence: e.Sentence,
+					Subject:  e.Subject,
+					Polarity: parsePolarity(e.Polarity),
+					Snippet:  e.Snippet,
+					Feature:  e.Feature,
+				})
+			}
+			for _, id := range ck.MinedDocs {
+				t.mined[id] = struct{}{}
+			}
+			for _, id := range ck.PendingAnnotate {
+				t.pendingAnn[id] = struct{}{}
+			}
+		}
+	}
+	rec.RepairedDocs = t.repairForward()
+	servingRepairedDocs.Add(int64(rec.RepairedDocs))
+	if cfg.CheckpointDir != "" {
+		// Persist the repaired state immediately: the next crash's
+		// recovery starts from this watermark, not the pre-crash one.
+		// Best-effort — a failing checkpoint disk must not keep the
+		// tier down when the repaired in-memory state is already
+		// serving-ready; the error counter records it and the ingest
+		// cadence retries.
+		t.Checkpoint() //nolint:errcheck
+	}
+	return t, rec, nil
+}
+
+// repairForward mines every stored document not yet behind the
+// watermark, in sorted ID order so two recoveries of the same store
+// converge to identical aggregates and generations. Each repaired
+// document gets its own aggregate publish: the generation strictly
+// grows past every batch the crash erased, so a cached client can
+// never observe the generation move backwards across a restart.
+func (t *ServingTier) repairForward() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	ids := t.p.internalStore().IDs()
+	sort.Strings(ids)
+	repaired := 0
+	for _, id := range ids {
+		if _, ok := t.mined[id]; ok {
+			continue
+		}
+		if t.repairDoc(id) {
+			repaired++
+		}
+	}
+	t.settleAnnotations()
+	return repaired
+}
+
+// repairDoc re-mines one stored document into the sentiment index and
+// the aggregates, annotating the entity only when it carries no
+// sentiment annotations yet (the crash may have landed the annotate
+// without the checkpoint). Reports whether the document existed.
+func (t *ServingTier) repairDoc(id string) bool {
+	var text, date string
+	annotated := false
+	st := t.p.internalStore()
+	ok := st.View(id, func(e *store.Entity) {
+		text, date = e.Text, e.Date
+		annotated = len(e.AnnotationsBy(MinerName)) > 0
+	})
+	if !ok {
+		return false
+	}
+	mined := t.m.MineDocument(id, text)
+	t.mined[id] = struct{}{}
+	if len(mined) > 0 && !annotated {
+		if _, err := st.Annotate(id, annotationsOf(mined)); err != nil {
+			t.pendingAnn[id] = struct{}{}
+		}
+	}
+	t.agg.Apply(datedFacts(mined, date))
+	return true
+}
+
+// settleAnnotations retries the annotation debt: documents whose facts
+// are already folded in but whose entity annotation was refused by a
+// degraded store. The facts are re-derived from the text (the analyzer
+// is deterministic) without touching the sentiment index again.
+func (t *ServingTier) settleAnnotations() {
+	st := t.p.internalStore()
+	for _, id := range sortedSet(t.pendingAnn) {
+		var text string
+		annotated := false
+		ok := st.View(id, func(e *store.Entity) {
+			text = e.Text
+			annotated = len(e.AnnotationsBy(MinerName)) > 0
+		})
+		if !ok || annotated {
+			delete(t.pendingAnn, id)
+			continue
+		}
+		facts := t.m.analyzeEntity(id, text)
+		if len(facts) == 0 {
+			delete(t.pendingAnn, id)
+			continue
+		}
+		if _, err := st.Annotate(id, annotationsOf(facts)); err == nil {
+			delete(t.pendingAnn, id)
+		}
+	}
+}
+
+// Checkpoint persists the tier's current state — aggregate table,
+// sentiment entries, mined-document watermark and annotation debt —
+// atomically into the configured checkpoint directory.
+func (t *ServingTier) Checkpoint() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.checkpointLocked()
+}
+
+func (t *ServingTier) checkpointLocked() error {
+	if t.cfg.CheckpointDir == "" {
+		return errors.New("webfountain: serving tier has no checkpoint directory")
+	}
+	all := t.m.sidx.All()
+	entries := make([]serve.Entry, 0, len(all))
+	for _, e := range all {
+		entries = append(entries, serve.Entry{
+			Subject:  e.Subject,
+			Polarity: Polarity(e.Polarity).String(),
+			Doc:      e.DocID,
+			Sentence: e.Sentence,
+			Snippet:  e.Snippet,
+			Feature:  e.Feature,
+		})
+	}
+	ck := &serve.Checkpoint{
+		View:            t.agg.View(),
+		Entries:         entries,
+		MinedDocs:       sortedSet(t.mined),
+		PendingAnnotate: sortedSet(t.pendingAnn),
+	}
+	if _, err := serve.WriteCheckpoint(t.cfg.CheckpointDir, ck, t.cfg.WrapCheckpoint); err != nil {
+		servingCheckpointErrs.Inc()
+		return err
+	}
+	servingCheckpoints.Inc()
+	t.batches = 0
+	return nil
+}
+
+// Close persists a final checkpoint (graceful shutdown). A tier
+// without a checkpoint directory closes as a no-op.
+func (t *ServingTier) Close() error {
+	if t.cfg.CheckpointDir == "" {
+		return nil
+	}
+	return t.Checkpoint()
 }
 
 // toFacts converts mined facts to aggregate facts, resolving each
@@ -93,8 +357,12 @@ func (t *ServingTier) NumDocs() int { return t.p.NumEntities() }
 func (t *ServingTier) Degraded() (bool, string) { return t.p.Degraded() }
 
 // Entries returns a subject's sentiment-bearing mentions from the
-// query-time sentiment index (serve.Backend).
-func (t *ServingTier) Entries(subject string) []serve.Entry {
+// query-time sentiment index (serve.Backend). An already-expired
+// request deadline short-circuits to an empty answer.
+func (t *ServingTier) Entries(ctx context.Context, subject string) []serve.Entry {
+	if ctx != nil && ctx.Err() != nil {
+		return nil
+	}
 	facts := t.m.Query(subject)
 	out := make([]serve.Entry, 0, len(facts))
 	for _, f := range facts {
@@ -117,10 +385,44 @@ func (t *ServingTier) Entries(subject string) []serve.Entry {
 // folded into the aggregates — the generation bump that invalidates
 // every cached response. Batches are serialized; on a partial ingest
 // failure the successfully-ingested prefix is still mined and
-// published, matching Platform.Ingest's prefix semantics.
-func (t *ServingTier) Ingest(docs []serve.Doc) ([]string, int, error) {
+// published, matching Platform.Ingest's prefix semantics, and every
+// failure along the way (store refusal, annotate refusal, expired
+// deadline) is reported joined rather than first-wins.
+//
+// The context carries the request deadline. A deadline that expires
+// mid-batch stops the mining, not the durability: the remaining
+// documents are already stored (acked) and are queued as mine-debt
+// that the next batch — or crash recovery — folds in.
+func (t *ServingTier) Ingest(ctx context.Context, docs []serve.Doc) ([]string, int, error) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, 0, fmt.Errorf("webfountain: serving ingest: %w", err)
+	}
+	var errs []error
+	var facts []serve.Fact
+
+	// Drain the mine-debt of a previous deadline-aborted batch first:
+	// those documents are durably acked, their facts ride this publish.
+	if n := len(t.pendingMine); n > 0 {
+		debt := t.pendingMine
+		t.pendingMine = nil
+		for _, id := range debt {
+			var text, date string
+			if !t.p.internalStore().View(id, func(e *store.Entity) { text, date = e.Text, e.Date }) {
+				continue
+			}
+			fs, err := t.mineDoc(id, text, date)
+			facts = append(facts, fs...)
+			if err != nil {
+				errs = append(errs, err)
+			}
+		}
+	}
+
 	batch := make([]Document, len(docs))
 	for i, d := range docs {
 		batch[i] = Document{
@@ -128,29 +430,109 @@ func (t *ServingTier) Ingest(docs []serve.Doc) ([]string, int, error) {
 		}
 	}
 	ids, ingestErr := t.p.Ingest(batch)
-	var facts []SubjectSentiment
+	if ingestErr != nil {
+		errs = append(errs, ingestErr)
+	}
 	for i, id := range ids {
-		mined := t.m.MineDocument(id, batch[i].Text)
-		if len(mined) == 0 {
-			continue
+		if cerr := ctx.Err(); cerr != nil {
+			// Deadline mid-batch: the rest are stored (acked) but not
+			// yet mined — queue the debt instead of dropping it.
+			t.pendingMine = append(t.pendingMine, ids[i:]...)
+			errs = append(errs, fmt.Errorf(
+				"webfountain: serving mine deferred for %d of %d docs: %w",
+				len(ids)-i, len(ids), cerr))
+			break
 		}
-		facts = append(facts, mined...)
-		anns := make([]store.Annotation, 0, len(mined))
-		for _, f := range mined {
-			anns = append(anns, store.Annotation{
-				Miner:    MinerName,
-				Type:     "polarity",
-				Key:      f.Subject,
-				Value:    f.Polarity.String(),
-				Sentence: f.Sentence,
-			})
-		}
-		if _, err := t.p.internalStore().Annotate(id, anns); err != nil && ingestErr == nil {
-			ingestErr = fmt.Errorf("webfountain: serving annotate %s: %w", id, err)
+		fs, err := t.mineDoc(id, batch[i].Text, batch[i].Date)
+		facts = append(facts, fs...)
+		if err != nil {
+			errs = append(errs, err)
 		}
 	}
-	// Publish even an empty batch: the corpus changed, so cached
-	// responses keyed on the old generation must re-render.
-	t.agg.Apply(t.toFacts(facts))
-	return ids, len(facts), ingestErr
+	// Publish even an empty successful batch: the corpus changed, so
+	// cached responses keyed on the old generation must re-render. A
+	// batch that stored nothing and failed changed nothing — skipping
+	// its publish keeps the generation meaningful across recovery
+	// (recovery replays documents, not failed attempts).
+	if len(ids) > 0 || len(errs) == 0 {
+		t.agg.Apply(facts)
+		t.batches++
+		if t.cfg.CheckpointDir != "" && t.cfg.CheckpointEvery > 0 &&
+			t.batches >= t.cfg.CheckpointEvery {
+			// Best-effort: a failed checkpoint must not fail an acked
+			// ingest; the error counter records it and the cadence
+			// retries on the next batch.
+			t.checkpointLocked() //nolint:errcheck
+		}
+	}
+	return ids, len(facts), errors.Join(errs...)
+}
+
+// mineDoc mines one stored document into the sentiment index, records
+// it behind the watermark, annotates the entity (recording an
+// annotation debt when the store refuses) and returns the dated facts
+// for the aggregate publish.
+func (t *ServingTier) mineDoc(id, text, date string) ([]serve.Fact, error) {
+	mined := t.m.MineDocument(id, text)
+	t.mined[id] = struct{}{}
+	if len(mined) == 0 {
+		return nil, nil
+	}
+	if _, err := t.p.internalStore().Annotate(id, annotationsOf(mined)); err != nil {
+		t.pendingAnn[id] = struct{}{}
+		return datedFacts(mined, date), fmt.Errorf("webfountain: serving annotate %s: %w", id, err)
+	}
+	return datedFacts(mined, date), nil
+}
+
+// annotationsOf converts mined facts to the store annotations the
+// offline trend miner consumes.
+func annotationsOf(facts []SubjectSentiment) []store.Annotation {
+	anns := make([]store.Annotation, 0, len(facts))
+	for _, f := range facts {
+		anns = append(anns, store.Annotation{
+			Miner:    MinerName,
+			Type:     "polarity",
+			Key:      f.Subject,
+			Value:    f.Polarity.String(),
+			Sentence: f.Sentence,
+		})
+	}
+	return anns
+}
+
+// datedFacts converts one document's mined facts to aggregate facts,
+// all carrying the document's publication date.
+func datedFacts(facts []SubjectSentiment, date string) []serve.Fact {
+	out := make([]serve.Fact, 0, len(facts))
+	for _, f := range facts {
+		out = append(out, serve.Fact{
+			Subject:  f.Subject,
+			Feature:  f.Feature,
+			Date:     date,
+			Positive: f.Polarity == Positive,
+		})
+	}
+	return out
+}
+
+// parsePolarity inverts Polarity.String.
+func parsePolarity(s string) int {
+	switch s {
+	case "+":
+		return int(Positive)
+	case "-":
+		return int(Negative)
+	}
+	return int(Neutral)
+}
+
+// sortedSet returns a set's keys, sorted.
+func sortedSet(set map[string]struct{}) []string {
+	out := make([]string, 0, len(set))
+	for k := range set {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
 }

@@ -1,6 +1,7 @@
 package webfountain
 
 import (
+	"context"
 	"fmt"
 	"reflect"
 	"sync"
@@ -78,7 +79,7 @@ func TestServingTierOnlineMatchesOffline(t *testing.T) {
 	}
 	online := NewServingTier(p, m, nil)
 	for i := range generated {
-		_, _, err := online.Ingest([]serve.Doc{{
+		_, _, err := online.Ingest(context.Background(), []serve.Doc{{
 			ID: generated[i].ID, Source: generated[i].Source,
 			Title: generated[i].Title, Date: generated[i].Date,
 			Text: generated[i].Text(),
@@ -122,7 +123,7 @@ func TestServingTierMaterializedSeriesMatchesTrendMiner(t *testing.T) {
 	}
 	tier := NewServingTier(p, m, nil)
 	for i := range generated {
-		if _, _, err := tier.Ingest([]serve.Doc{{
+		if _, _, err := tier.Ingest(context.Background(), []serve.Doc{{
 			ID: generated[i].ID, Date: generated[i].Date, Text: generated[i].Text(),
 		}}); err != nil {
 			t.Fatal(err)
@@ -163,7 +164,7 @@ func TestServingTierIngestFreshness(t *testing.T) {
 		text := fmt.Sprintf("The %s takes excellent pictures. The %s is disappointing in low light.",
 			subject, subject)
 		before := tier.View().Generation()
-		ids, facts, err := tier.Ingest([]serve.Doc{{
+		ids, facts, err := tier.Ingest(context.Background(), []serve.Doc{{
 			Title: subject, Date: fmt.Sprintf("2004-%02d-10", i+1), Text: text,
 		}})
 		if err != nil {
@@ -183,7 +184,7 @@ func TestServingTierIngestFreshness(t *testing.T) {
 		if c.Total() == 0 {
 			t.Fatalf("batch %d: subject %s not aggregated after ack", i, subject)
 		}
-		if len(tier.Entries(subject)) == 0 {
+		if len(tier.Entries(context.Background(), subject)) == 0 {
 			t.Fatalf("batch %d: no entries for %s after ack", i, subject)
 		}
 		if pos, neg := m.Counts(subject); pos != c.Positive || neg != c.Negative {
@@ -229,12 +230,12 @@ func TestServingTierConcurrentReadsDuringIngest(t *testing.T) {
 					t.Errorf("torn snapshot: %+v != %+v", sum, v.Totals())
 					return
 				}
-				tier.Entries("medicure")
+				tier.Entries(context.Background(), "medicure")
 			}
 		}()
 	}
 	for i := 0; i < 20; i++ {
-		if _, _, err := tier.Ingest([]serve.Doc{{
+		if _, _, err := tier.Ingest(context.Background(), []serve.Doc{{
 			Date: "2004-06-15",
 			Text: fmt.Sprintf("The QX%d10 takes excellent pictures.", i),
 		}}); err != nil {
